@@ -1,0 +1,75 @@
+"""Ablation: PI vs EI vs UCB acquisition functions (Section 3.1).
+
+DESIGN.md ablation #5.  The paper picks Probability of Improvement
+"because it is similar to EI and simpler".  This bench runs the full
+resource determination with each acquisition ten times and compares probe
+counts and decision quality.  Expected shape: all three land on similar
+predicted completion times (the space is small); PI's probe count is
+competitive -- the paper's simplicity argument costs nothing.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner, request_for
+from repro.analysis import format_table, mean_and_ci
+from repro.cloud.pricing import get_prices
+from repro.cloud.providers import get_provider
+from repro.core.predictor import WorkloadPredictor
+
+N_TRIALS = 10
+
+
+def test_ablation_acquisition_functions(aws_relay, benchmark):
+    system = aws_relay
+    request = request_for(system, "tpcds-q11")
+    dataset = system.history.as_dataset(
+        tuple(sorted(system.predictor.known_queries))
+    )
+
+    results = {}
+    for name in ("pi", "ei", "ucb"):
+        probes, predicted = [], []
+        for trial in range(N_TRIALS):
+            predictor = WorkloadPredictor(
+                provider=get_provider("aws"),
+                prices=get_prices("aws"),
+                relay=True, max_vm=12, max_sl=12,
+                acquisition=name, rng=900 + trial,
+            )
+            predictor.fit(dataset, query_ids=("tpcds-q11",), augment=False)
+            decision = predictor.determine(request)
+            probes.append(decision.n_evaluations)
+            predicted.append(decision.predicted_seconds)
+        results[name] = (
+            mean_and_ci(np.array(probes)),
+            mean_and_ci(np.array(predicted)),
+        )
+
+    banner("Ablation -- acquisition function (q11 determination, 10 trials)")
+    print(format_table(
+        ("acquisition", "probes", "probes CI +-", "predicted_s",
+         "predicted CI +-"),
+        [
+            (name.upper(), p.mean, p.half_width, t.mean, t.half_width)
+            for name, (p, t) in results.items()
+        ],
+    ))
+
+    best_time = min(t.mean for _, t in results.values())
+    for name, (probes, predicted) in results.items():
+        # All acquisitions find near-equivalent optima...
+        assert predicted.mean < 1.25 * best_time, name
+        # ...within the BO budget.
+        assert probes.mean <= 60, name
+    # PI (the paper's choice) is not meaningfully worse than the best.
+    pi_time = results["pi"][1].mean
+    assert pi_time < 1.2 * best_time
+
+    predictor = WorkloadPredictor(
+        provider=get_provider("aws"), prices=get_prices("aws"),
+        relay=True, max_vm=12, max_sl=12, acquisition="pi", rng=1,
+    )
+    predictor.fit(dataset, query_ids=("tpcds-q11",), augment=False)
+    benchmark.pedantic(
+        lambda: predictor.determine(request), rounds=5, iterations=1
+    )

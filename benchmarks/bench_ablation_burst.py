@@ -1,0 +1,97 @@
+"""Ablation: the data-burst augmentation heuristic (Section 5).
+
+DESIGN.md ablation #4.  The paper claims the +-5 % / ~10x burst lets
+Smartpick "function quickly and effectively with as small as 100
+representational workloads".  This bench trains forests with and without
+augmentation at several base sample counts and evaluates against
+fresh ground-truth simulations.  Expected shape: augmentation helps most
+at small sample counts; both label-jitter readings of the heuristic are
+reported (feature-only is the default).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner
+from repro.analysis import format_table
+from repro.core.features import INTEGER_FEATURE_COLUMNS
+from repro.ml import DataBurstAugmenter, RandomForestRegressor, rmse
+
+
+def _ground_truth_rmse(system, forest, n_probes=40, seed=0):
+    """RMSE of ``forest`` against fresh simulated executions."""
+    rng = np.random.default_rng(seed)
+    from repro.core.predictor import PredictionRequest
+    from repro.engine import run_query
+    from repro.workloads import get_query
+
+    query = get_query("tpcds-q49")
+    historical = system.history.historical_duration("tpcds-q49")
+    request = PredictionRequest(
+        "tpcds-q49", 100.0, 1.7e9, historical_duration_s=historical
+    )
+    errors = []
+    for _ in range(n_probes):
+        n_vm = int(rng.integers(2, 13))
+        n_sl = int(rng.integers(0, 13))
+        predicted = float(
+            forest.predict(request.feature_vector(n_vm, n_sl).as_array()[None, :])[0]
+        )
+        actual = run_query(
+            query, n_vm, n_sl, provider=system.provider,
+            prices=system.prices, relay=n_sl > 0, rng=int(rng.integers(1e9)),
+        ).completion_seconds
+        errors.append(predicted - actual)
+    return float(np.sqrt(np.mean(np.square(errors))))
+
+
+def test_ablation_data_burst(aws_relay, benchmark):
+    system = aws_relay
+    full = system.history.as_dataset(
+        tuple(sorted(system.predictor.known_queries))
+    )
+
+    rows = []
+    improvements = []
+    rng = np.random.default_rng(1)
+    for n_base in (25, 50, 100):
+        indices = rng.choice(len(full), size=n_base, replace=False)
+        base = full.take(indices)
+        variants = {
+            "none": base,
+            "burst (features only)": DataBurstAugmenter(
+                factor=10, integer_columns=INTEGER_FEATURE_COLUMNS, rng=2
+            ).augment(base),
+            "burst (labels too)": DataBurstAugmenter(
+                factor=10, integer_columns=INTEGER_FEATURE_COLUMNS,
+                jitter_targets=True, rng=2,
+            ).augment(base),
+        }
+        scores = {}
+        for label, dataset in variants.items():
+            forest = RandomForestRegressor(
+                n_estimators=100, max_depth=20, min_samples_leaf=2,
+                max_features=1.0, rng=3,
+            ).fit(dataset.features, dataset.targets)
+            scores[label] = _ground_truth_rmse(system, forest, seed=n_base)
+            rows.append((n_base, label, len(dataset), scores[label]))
+        improvements.append(scores["none"] - scores["burst (features only)"])
+
+    banner("Ablation -- data-burst augmentation vs ground truth "
+           "(TPC-DS q49, AWS)")
+    print(format_table(
+        ("base samples", "augmentation", "train size", "ground-truth RMSE"),
+        rows,
+    ))
+
+    # Augmentation must not hurt on average, and must help at the smallest
+    # sample count (the paper's 100-workload claim).
+    assert improvements[0] > -2.0
+    assert np.mean(improvements) > -1.0
+
+    small = full.take(np.arange(25))
+    augmenter = DataBurstAugmenter(
+        factor=10, integer_columns=INTEGER_FEATURE_COLUMNS, rng=4
+    )
+    benchmark.pedantic(
+        lambda: augmenter.augment(small), rounds=10, iterations=1
+    )

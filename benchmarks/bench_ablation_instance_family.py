@@ -1,0 +1,97 @@
+"""Extension bench: larger instance families (Section 7).
+
+The paper observes (result omitted there for space) that "applications
+can improve performance with additional cost by using larger VM instance
+family, e.g., AWS c3, which opens another richer tradeoff space".  This
+bench runs the same query at the same configuration across the t3 / m5 /
+c5 families.
+
+Expected shape: completion time falls with the bigger families, whose
+*hourly list price* is higher -- the paper's richer tradeoff axis.  An
+honest wrinkle our cost model surfaces: a t3 pinned at 100 % CPU pays
+burst surcharges that bring it to ~$0.10/hr, so at sustained analytics
+load the fixed-performance families can come out cheaper *realized* --
+the extra-cost claim holds on list prices, not under saturated bursting.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner
+from repro.analysis import format_table
+from repro.cloud import get_provider
+from repro.cloud.families import FAMILIES, apply_family
+from repro.cloud.pricing import get_prices
+from repro.engine import run_query
+from repro.workloads import get_query
+
+N_RUNS = 5
+
+
+def _mean_run(query, family_name, seed_base):
+    profile, prices = apply_family(
+        get_provider("aws"), get_prices("aws"), family_name
+    )
+    times, costs = [], []
+    for run in range(N_RUNS):
+        result = run_query(
+            query, n_vm=8, n_sl=0, provider=profile, prices=prices,
+            rng=seed_base + run,
+        )
+        times.append(result.completion_seconds)
+        costs.append(result.cost_cents)
+    return float(np.mean(times)), float(np.mean(costs))
+
+
+def test_ablation_instance_family(benchmark):
+    query = get_query("tpcds-q11")
+    rows, times, hourly = [], [], []
+    _, t3_prices = apply_family(get_provider("aws"), get_prices("aws"), "t3")
+    for family_name in ("t3", "c5", "m5"):
+        family = FAMILIES[family_name]
+        time_s, cost_c = _mean_run(query, family_name, seed_base=50)
+        _, prices = apply_family(
+            get_provider("aws"), get_prices("aws"), family_name
+        )
+        effective_hourly = 3600.0 * (
+            prices.vm_per_second + prices.vm_burst_per_second
+        )
+        rows.append((
+            family_name,
+            f"x{family.compute_speedup:g}",
+            f"{family.memory_gb:g} GB",
+            f"{prices.vm_hourly:.4f}",
+            f"{effective_hourly:.4f}",
+            time_s,
+            cost_c,
+        ))
+        times.append(time_s)
+        hourly.append(prices.vm_hourly)
+
+    banner("Section 7 extension -- instance families "
+           "(8 VMs, TPC-DS q11, AWS)")
+    print(format_table(
+        ("family", "cpu speedup", "worker mem", "list $/h",
+         "sustained $/h", "time_s", "cost_cents"),
+        rows,
+    ))
+    print("\nnote: at sustained 100% CPU the t3 burst surcharge "
+          "(~$0.08/h) can make fixed-performance families cheaper "
+          "*realized*; the paper's extra-cost claim is about list prices.")
+
+    t3_time, c5_time, m5_time = times
+    t3_hourly, c5_hourly, m5_hourly = hourly
+    # Faster families really are faster...
+    assert c5_time < t3_time
+    assert m5_time < t3_time
+    # ...at a higher list price (the paper's richer tradeoff axis).
+    assert c5_hourly > t3_hourly
+    assert m5_hourly > t3_hourly
+    # And c5 (compute-optimised) beats m5 on raw speed for this
+    # compute-heavy workload.
+    assert c5_time <= m5_time * 1.05
+
+    profile, prices = apply_family(get_provider("aws"), get_prices("aws"), "c5")
+    benchmark.pedantic(
+        lambda: run_query(query, 8, 0, provider=profile, prices=prices, rng=0),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,73 @@
+"""Ablation: Eq. 4 knob vs naive proportional scale-down.
+
+DESIGN.md ablation #3.  Section 3.3 rejects the naive reading of the knob
+("setting 0.5 halves the numbers of SL and VM instances") because it
+"leads to significantly high query completion times without a smoother
+navigation".  This bench runs both policies side by side.  Expected
+shape: at equal epsilon the Eq. 4 selection stays within its latency
+budget while the naive scale-down overshoots it badly at larger epsilon.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner, repeat_submissions, request_for
+from repro.analysis import format_table
+from repro.core.tradeoff import naive_scale_down
+from repro.engine import run_query
+from repro.workloads import get_query
+
+KNOBS = (0.2, 0.4, 0.6, 0.8)
+N_RUNS = 5
+
+
+def test_ablation_knob_vs_naive_scaledown(aws_relay, benchmark):
+    system = aws_relay
+    query = get_query("tpcds-q11")
+    request = request_for(system, "tpcds-q11")
+    base_decision = system.predictor.determine(request, knob=0.0)
+    t_best = base_decision.predicted_seconds
+
+    rows = []
+    eq4_violation, naive_violation = [], []
+    for knob in KNOBS:
+        budget = t_best * (1.0 + knob)
+
+        times, costs, _ = repeat_submissions(
+            system, "tpcds-q11", N_RUNS, knob=knob
+        )
+        eq4_time, eq4_cost = float(times.mean()), float(costs.mean())
+        eq4_violation.append(max(eq4_time / budget - 1.0, 0.0))
+
+        n_vm, n_sl = naive_scale_down(base_decision.best_entry, knob)
+        n_times, n_costs = [], []
+        for run in range(N_RUNS):
+            result = run_query(
+                query, n_vm=n_vm, n_sl=n_sl, provider=system.provider,
+                prices=system.prices, relay=n_vm > 0 and n_sl > 0,
+                rng=40 + run,
+            )
+            n_times.append(result.completion_seconds)
+            n_costs.append(result.cost_cents)
+        naive_time = float(np.mean(n_times))
+        naive_violation.append(max(naive_time / budget - 1.0, 0.0))
+        rows.extend([
+            (f"{knob:g}", "Eq.4 ET-list", eq4_time, eq4_cost,
+             f"{100 * eq4_violation[-1]:.0f}%"),
+            (f"{knob:g}", f"naive ({n_vm},{n_sl})", naive_time,
+             float(np.mean(n_costs)), f"{100 * naive_violation[-1]:.0f}%"),
+        ])
+
+    banner("Ablation -- Eq. 4 knob vs naive proportional scale-down "
+           f"(q11, AWS; T_best = {t_best:.0f} s)")
+    print(format_table(
+        ("knob", "policy", "time_s", "cost_cents", "budget overshoot"), rows
+    ))
+
+    # The naive policy overshoots the latency budget far more than Eq. 4.
+    assert max(naive_violation) > max(eq4_violation)
+    assert np.mean(naive_violation) > np.mean(eq4_violation)
+
+    benchmark.pedantic(
+        lambda: system.predictor.determine(request, knob=0.4),
+        rounds=5, iterations=1,
+    )

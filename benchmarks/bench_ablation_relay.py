@@ -1,0 +1,76 @@
+"""Ablation: relay-instances vs segueing vs run-to-completion.
+
+DESIGN.md ablation #2.  Sweeps the VM cold-boot latency (the quantity the
+relay window tracks) and compares the three SL termination policies at a
+fixed hybrid configuration.  Expected shape: relay matches segueing and
+run-to-completion on latency while costing the least at every boot
+latency, and its advantage grows with the boot window (more SL time for
+the static policies to waste).
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner
+from repro.analysis import format_table
+from repro.cloud import get_provider
+from repro.engine import (
+    NoEarlyTermination,
+    RelayPolicy,
+    SegueTimeoutPolicy,
+    run_query,
+)
+from repro.workloads import get_query
+
+BOOT_LATENCIES = (31.5, 55.0, 90.0)
+N_RUNS = 5
+
+
+def _mean_run(query, policy, provider, seed_base):
+    times, costs = [], []
+    for run in range(N_RUNS):
+        result = run_query(
+            query, n_vm=8, n_sl=8, provider=provider, policy=policy,
+            rng=seed_base + run,
+        )
+        times.append(result.completion_seconds)
+        costs.append(result.cost_cents)
+    return float(np.mean(times)), float(np.mean(costs))
+
+
+def test_ablation_relay_vs_alternatives(benchmark):
+    query = get_query("tpcds-q11")
+    rows = []
+    gaps = []
+    for boot in BOOT_LATENCIES:
+        provider = get_provider("aws").with_boot_seconds(boot)
+        relay_t, relay_c = _mean_run(query, RelayPolicy(), provider, 10)
+        segue_t, segue_c = _mean_run(
+            query, SegueTimeoutPolicy(boot * 2), provider, 10
+        )
+        keep_t, keep_c = _mean_run(query, NoEarlyTermination(), provider, 10)
+        rows.extend([
+            (f"{boot:g}", "relay", relay_t, relay_c),
+            (f"{boot:g}", "segueing(2x boot)", segue_t, segue_c),
+            (f"{boot:g}", "run-to-completion", keep_t, keep_c),
+        ])
+        # Relay is the cheapest policy at every boot latency.
+        assert relay_c < segue_c
+        assert relay_c < keep_c
+        # And costs at most a modest latency premium over keeping SLs.
+        assert relay_t < 1.6 * keep_t
+        gaps.append(segue_c - relay_c)
+
+    banner("Ablation -- SL termination policy vs VM boot latency "
+           "(8 VM + 8 SL, TPC-DS q11, AWS)")
+    print(format_table(
+        ("boot_s", "policy", "time_s", "cost_cents"), rows
+    ))
+    # The relay advantage grows with the boot window.
+    assert gaps[-1] > gaps[0]
+
+    provider = get_provider("aws")
+    benchmark.pedantic(
+        lambda: run_query(query, 8, 8, provider=provider,
+                          policy=RelayPolicy(), rng=0),
+        rounds=3, iterations=1,
+    )

@@ -1,0 +1,84 @@
+"""Figure 10: Word Count as a brand-new workload (Section 6.5.2).
+
+Word Count is structurally unlike anything in the training set.  With
+``errorDifference.trigger = 10`` (the paper's setting), the first
+execution mispredicts, background retraining fires, and the prediction
+error collapses within a couple of executions -- the model "quickly
+converges to new values by efficient (data-burst based) re-training".
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner
+from repro import Smartpick, SmartpickProperties
+from repro.analysis import format_table
+from repro.workloads import get_query
+from repro.workloads.tpcds import TPCDS_TRAINING_QUERY_IDS
+
+N_EXECUTIONS = 8
+
+
+def _fresh_system(provider, seed):
+    system = Smartpick(
+        SmartpickProperties(provider=provider, error_difference_trigger=10.0),
+        max_vm=12, max_sl=12, rng=seed,
+    )
+    system.bootstrap(
+        [get_query(q) for q in TPCDS_TRAINING_QUERY_IDS],
+        n_configs_per_query=20,
+    )
+    return system
+
+
+def _run_convergence(system, provider_label):
+    banner(f"Figure 10 -- Word Count on {provider_label} "
+           "(trigger = 10 s; predicted vs actual per execution)")
+    rows, errors, retrains = [], [], []
+    for execution in range(1, N_EXECUTIONS + 1):
+        outcome = system.submit(get_query("wordcount"))
+        retrained = outcome.retrain_event is not None
+        rows.append((
+            execution,
+            outcome.predicted_seconds,
+            outcome.actual_seconds,
+            outcome.error_seconds,
+            "alien" if outcome.is_alien else "known",
+            "retrain" if retrained else "",
+        ))
+        errors.append(outcome.error_seconds)
+        retrains.append(retrained)
+    print(format_table(
+        ("execution", "predicted_s", "actual_s", "|error| s", "status",
+         "event"),
+        rows,
+    ))
+    return np.array(errors), retrains
+
+
+def _assert_convergence(errors, retrains):
+    # The unknown workload misses at first and triggers retraining...
+    assert retrains[0], "first Word Count execution should fire a retrain"
+    # ...after which predictions converge under the trigger threshold.
+    assert errors[-1] < errors[0]
+    assert np.mean(errors[-3:]) < np.mean(errors[:2])
+    assert min(errors[1:]) < 10.0
+
+
+def test_fig10_wordcount_aws(benchmark):
+    system = _fresh_system("AWS", seed=210)
+    errors, retrains = _run_convergence(system, "AWS")
+    _assert_convergence(errors, retrains)
+
+    benchmark.pedantic(
+        lambda: system.submit(get_query("wordcount")), rounds=3, iterations=1
+    )
+
+
+def test_fig10_wordcount_gcp(benchmark):
+    system = _fresh_system("GCP", seed=211)
+    errors, retrains = _run_convergence(system, "GCP")
+    _assert_convergence(errors, retrains)
+
+    benchmark.pedantic(
+        lambda: system.submit(get_query("wordcount")), rounds=3, iterations=1
+    )

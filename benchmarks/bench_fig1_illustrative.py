@@ -1,0 +1,69 @@
+"""Figure 1: exploring resource determination and tradeoff (Section 2.2).
+
+Sweeps the (nVM, nSL) mixes (0,5) .. (5,0) for the three illustrative
+query classes -- 100 tasks (short), 250 (mid), 500 (long) -- under the
+section's assumptions: 55 s VM cold boot, zero SL boot, 30 % SL overhead,
+noise-free tasks of 4 s.  Expected shape:
+
+- 100 tasks: SL-only (0,5) offers the best performance;
+- 250/500 tasks: hybrids beat both extremes;
+- 500 tasks: VM-only outperforms SL-only (heterogeneity);
+- relay with 5 SL + 5 VM on the long query lands near the paper's
+  198.8 s at ~5 cents.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner
+from repro.analysis import format_table
+from repro.cloud import get_provider
+from repro.engine import RelayPolicy, run_query
+from repro.workloads import make_uniform_query
+
+AWS55 = get_provider("aws").with_boot_seconds(55.0).with_noise_sigma(0.0)
+MIXES = [(0, 5), (1, 4), (2, 3), (3, 2), (4, 1), (5, 0)]
+
+
+def _sweep(n_tasks: int):
+    query = make_uniform_query(n_tasks, task_seconds=4.0)
+    rows = []
+    for n_vm, n_sl in MIXES:
+        result = run_query(query, n_vm, n_sl, provider=AWS55, relay=False, rng=0)
+        rows.append((n_vm, n_sl, result.completion_seconds, result.cost_cents))
+    return rows
+
+
+def test_fig1_resource_determination(benchmark):
+    banner("Figure 1 -- resource determination sweep (55 s boot, 4 s tasks)")
+    best_configs = {}
+    for n_tasks in (100, 250, 500):
+        rows = _sweep(n_tasks)
+        best = min(rows, key=lambda row: row[2])
+        best_configs[n_tasks] = (best[0], best[1])
+        print(format_table(
+            ("nVM", "nSL", "time_s", "cost_cents"),
+            [(v, s, t, c) for v, s, t, c in rows],
+            title=f"\n{n_tasks} tasks (best: {best[0]} VM + {best[1]} SL)",
+        ))
+
+    # Short query: SL-only wins.
+    assert best_configs[100] == (0, 5)
+    # Long query: VM-only beats SL-only.
+    long_rows = _sweep(500)
+    sl_only = next(r for r in long_rows if (r[0], r[1]) == (0, 5))
+    vm_only = next(r for r in long_rows if (r[0], r[1]) == (5, 0))
+    assert vm_only[2] < sl_only[2]
+
+    banner("Figure 1 (cont.) -- relaying the 500-task workload (5 SL + 5 VM)")
+    query = make_uniform_query(500, 4.0)
+    relay = run_query(
+        query, n_vm=5, n_sl=5, provider=AWS55, policy=RelayPolicy(), rng=0
+    )
+    print(f"relay(5 VM + 5 SL): {relay.completion_seconds:.1f} s, "
+          f"{relay.cost_cents:.2f} cents  (paper: 198.8 s at ~5 cents)")
+    # Relay beats every pure mix of 5 workers on the long query.
+    assert relay.completion_seconds < min(row[2] for row in long_rows)
+    assert 150.0 <= relay.completion_seconds <= 250.0
+    assert 3.5 <= relay.cost_cents <= 7.5
+
+    benchmark.pedantic(lambda: _sweep(250), rounds=3, iterations=1)

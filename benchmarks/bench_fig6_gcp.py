@@ -1,0 +1,45 @@
+"""Figure 6: evaluation on GCP (Section 6.3.1).
+
+Same protocol as Figure 5, on the GCP profile.  Additional expected
+shapes: the same query runs visibly slower on GCP than on AWS (slower
+storage and CPU, Table 5), results carry more variance (Section 6.1), and
+VM-only's cost advantage is larger because GCP's e2 bursting is free.
+"""
+
+import numpy as np
+
+from benchmarks.bench_fig5_aws import APPROACHES, print_panels, run_panel
+from benchmarks.conftest import TRAINING_IDS, banner, repeat_submissions
+from repro.workloads import get_query
+
+
+def test_fig6_gcp_evaluation(gcp_relay, gcp_norelay, aws_relay, benchmark):
+    data = run_panel(gcp_relay, gcp_norelay)
+    print_panels(data, "GCP")
+
+    for query_id in TRAINING_IDS:
+        per_query = data[query_id]
+        cost_of = {a: float(np.mean(per_query[a][1])) for a in APPROACHES}
+        time_of = {a: float(np.mean(per_query[a][0])) for a in APPROACHES}
+        # Free bursting: GCP VM-only is the cheapest approach by a margin.
+        assert cost_of["vm-only"] < cost_of["sl-only"], query_id
+        assert cost_of["vm-only"] < cost_of["smartpick"], query_id
+        # Hybrids still deliver the best completion times.
+        assert min(time_of["smartpick"], time_of["smartpick-r"]) <= 1.10 * min(
+            time_of["vm-only"], time_of["sl-only"]
+        ), query_id
+        # Relay still cheaper than run-to-completion.
+        assert cost_of["smartpick-r"] <= cost_of["smartpick"], query_id
+
+    banner("Cross-provider check -- the same query is slower on GCP")
+    for query_id in ("tpcds-q11", "tpcds-q82"):
+        gcp_time = float(np.mean(data[query_id]["smartpick-r"][0]))
+        aws_outcome = aws_relay.submit(get_query(query_id))
+        print(f"{query_id}: GCP {gcp_time:.1f} s vs AWS "
+              f"{aws_outcome.actual_seconds:.1f} s")
+        assert gcp_time > aws_outcome.actual_seconds
+
+    benchmark.pedantic(
+        lambda: repeat_submissions(gcp_relay, "tpcds-q82", n_runs=1),
+        rounds=3, iterations=1,
+    )

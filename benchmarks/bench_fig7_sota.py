@@ -1,0 +1,134 @@
+"""Figure 7: comparison with state-of-the-art systems (Section 6.3.2).
+
+Smartpick(-r) against Cocoa and SplitServe on both providers, with both
+baselines consuming Smartpick's WP module tweaked to VM-only -- exactly
+the paper's integration.  Expected shape: the baselines reach comparable
+query completion times but at visibly inflated cost (the paper reports up
+to 50 % cost reduction for Smartpick); Cocoa's inflation comes from its
+static SL bias, SplitServe's from equal counts plus the static segueing
+timeout.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import (
+    N_RUNS,
+    TRAINING_IDS,
+    banner,
+    repeat_submissions,
+    request_for,
+)
+from repro.analysis import format_table
+from repro.baselines import CocoaPlanner, SplitServePlanner
+from repro.workloads import get_query
+
+SYSTEMS = ("smartpick", "cocoa", "splitserve")
+
+
+def _compare(system, seed_base):
+    """{query: {system: (mean_time, mean_cost_cents)}} on one provider."""
+    cocoa = CocoaPlanner(system.predictor)
+    splitserve = SplitServePlanner(system.predictor)
+    table = {}
+    for query_id in TRAINING_IDS:
+        query = get_query(query_id)
+        request = request_for(system, query_id)
+        times, costs, _ = repeat_submissions(system, query_id, N_RUNS)
+        row = {"smartpick": (float(times.mean()), float(costs.mean()))}
+        for name, planner in (("cocoa", cocoa), ("splitserve", splitserve)):
+            p_times, p_costs = [], []
+            for run in range(N_RUNS):
+                _, result = planner.run(
+                    query, request, rng=seed_base + run
+                )
+                p_times.append(result.completion_seconds)
+                p_costs.append(result.cost_cents)
+            row[name] = (float(np.mean(p_times)), float(np.mean(p_costs)))
+        table[query_id] = row
+    return table
+
+
+def _print_provider(table, provider_label):
+    banner(f"Figure 7 -- completion time on {provider_label} "
+           "(seconds; lower is better)")
+    print(format_table(
+        ("query", *SYSTEMS),
+        [(q, *[table[q][s][0] for s in SYSTEMS]) for q in TRAINING_IDS],
+    ))
+    banner(f"Figure 7 -- cost on {provider_label} (cents; lower is better)")
+    print(format_table(
+        ("query", *SYSTEMS),
+        [(q, *[table[q][s][1] for s in SYSTEMS]) for q in TRAINING_IDS],
+    ))
+    reductions = [
+        100.0 * (1.0 - table[q]["smartpick"][1]
+                 / max(table[q][s][1] for s in ("cocoa", "splitserve")))
+        for q in TRAINING_IDS
+    ]
+    print(f"\nSmartpick cost reduction vs the pricier baseline: "
+          f"{min(reductions):.0f}% .. {max(reductions):.0f}% "
+          "(paper: up to 50%)")
+    return reductions
+
+
+# Mid/long queries: runtimes far beyond the boot window, where the
+# baselines' SL waste (run-to-completion, segue-hold) has room to show.
+MIDLONG_IDS = ("tpcds-q11", "tpcds-q49", "tpcds-q74")
+
+
+def _assert_shape(table, cocoa_costlier_on=MIDLONG_IDS):
+    for query_id in TRAINING_IDS:
+        smart_time, smart_cost = table[query_id]["smartpick"]
+        for baseline in ("cocoa", "splitserve"):
+            base_time, base_cost = table[query_id][baseline]
+            # Comparable latency: baselines within ~2.5x (Cocoa's static
+            # sizing lags most on short queries on the slower cloud).
+            assert base_time < 2.5 * smart_time, (query_id, baseline)
+            # No baseline Pareto-dominates Smartpick (meaningfully better
+            # on both axes at once never happens).
+            assert not (
+                base_time < 0.95 * smart_time
+                and base_cost < 0.95 * smart_cost
+            ), (query_id, baseline)
+    for query_id in MIDLONG_IDS:
+        smart_cost = table[query_id]["smartpick"][1]
+        # SplitServe's segue-hold inflates cost wherever queries outlive
+        # the boot window.
+        assert table[query_id]["splitserve"][1] > smart_cost, query_id
+    for query_id in cocoa_costlier_on:
+        smart_cost = table[query_id]["smartpick"][1]
+        assert table[query_id]["cocoa"][1] > smart_cost, query_id
+
+
+def test_fig7_aws(aws_relay, benchmark):
+    table = _compare(aws_relay, seed_base=500)
+    reductions = _print_provider(table, "AWS")
+    # On AWS (burst pricing narrows the SL/VM rate gap) Cocoa's smaller,
+    # slower clusters can undercut on cost for some queries; the headline
+    # shape -- comparable latency, no Pareto domination, SplitServe
+    # always pricier on mid/long queries -- still holds.
+    _assert_shape(table, cocoa_costlier_on=("tpcds-q11",))
+    assert max(reductions) > 15.0
+
+    request = request_for(aws_relay, "tpcds-q82")
+    planner = SplitServePlanner(aws_relay.predictor)
+    benchmark.pedantic(
+        lambda: planner.run(get_query("tpcds-q82"), request, rng=1),
+        rounds=3, iterations=1,
+    )
+
+
+def test_fig7_gcp(gcp_relay, benchmark):
+    table = _compare(gcp_relay, seed_base=600)
+    reductions = _print_provider(table, "GCP")
+    _assert_shape(table)
+    # GCP punishes SL-heavy baselines harder (cheap VMs, pricey SLs):
+    # this is where the large cost reductions appear.
+    assert max(reductions) > 30.0
+
+    request = request_for(gcp_relay, "tpcds-q82")
+    planner = CocoaPlanner(gcp_relay.predictor)
+    benchmark.pedantic(
+        lambda: planner.run(get_query("tpcds-q82"), request, rng=1),
+        rounds=3, iterations=1,
+    )

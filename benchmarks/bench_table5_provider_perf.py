@@ -1,0 +1,49 @@
+"""Table 5: performance comparison between GCP and AWS (Section 6.1).
+
+Probes the simulated providers sysbench-style and prints the measured
+microbenchmark rows next to the paper's published numbers.
+"""
+
+from benchmarks.conftest import banner
+from repro.analysis import format_table
+from repro.cloud import AWS_PROFILE, GCP_PROFILE, run_microbenchmark
+
+PAPER = {
+    "aws": (117.53, 771.06, 1156.59, 4675.66, 1109.07, 811.13),
+    "gcp": (51.64, 764.14, 1146.21, 4182.49, 906.67, 714.87),
+}
+HEADERS = (
+    "provider", "storage MiB/s", "IO writes/s", "IO reads/s",
+    "mem kops/s", "VM CPU ev/s", "SL CPU ev/s",
+)
+
+
+def test_table5_provider_microbenchmarks(benchmark):
+    banner("Table 5 -- provider microbenchmarks (measured vs paper)")
+    rows = []
+    reports = {}
+    for profile in (AWS_PROFILE, GCP_PROFILE):
+        report = run_microbenchmark(profile, n_trials=10, rng=7)
+        reports[profile.name] = report
+        rows.append(report.as_row())
+        rows.append((
+            f"  (paper {profile.name})", *PAPER[profile.name],
+        ))
+    print(format_table(HEADERS, rows))
+
+    aws, gcp = reports["aws"], reports["gcp"]
+    # The orderings the paper's analysis relies on (Section 6.1).
+    assert aws.cloud_storage_mib_s > 1.5 * gcp.cloud_storage_mib_s
+    assert aws.vm_cpu_events_s > gcp.vm_cpu_events_s
+    assert aws.sl_cpu_events_s > gcp.sl_cpu_events_s
+    assert aws.memory_kops_s > gcp.memory_kops_s
+    # Measured values within 10 % of the published figures.
+    for name in ("aws", "gcp"):
+        measured = reports[name].as_row()[1:]
+        for value, reference in zip(measured, PAPER[name]):
+            assert abs(value - reference) / reference < 0.10
+
+    benchmark.pedantic(
+        lambda: run_microbenchmark(AWS_PROFILE, n_trials=10, rng=7),
+        rounds=10, iterations=1,
+    )

@@ -1,0 +1,64 @@
+"""Handling workload dynamics (Section 6.5): new workloads + data growth.
+
+Two back-to-back stories on one live system:
+
+1. **A brand-new workload.**  Word Count arrives; the Similarity Checker
+   routes it through the closest TPC-DS neighbour, the first execution
+   misses the prediction, event-driven background retraining fires
+   (``errorDifference.trigger = 10``), and subsequent predictions track.
+2. **The data outgrows the model.**  TPC-H q3 runs against 100 GB; the
+   dataset then grows to 500 GB.  The error spikes once and the model
+   re-converges automatically.
+
+Usage::
+
+    python examples/dynamics_retraining.py
+"""
+
+from repro import Smartpick, SmartpickProperties
+from repro.workloads import get_query
+from repro.workloads.tpcds import TPCDS_TRAINING_QUERY_IDS
+
+
+def show(outcome, execution: int, label: str) -> None:
+    event = " ** RETRAINED **" if outcome.retrain_event else ""
+    alien = (f" [alien -> {outcome.similar_query_id}]"
+             if outcome.is_alien else "")
+    print(f"  run {execution}: {label:18s} predicted {outcome.predicted_seconds:6.1f} s"
+          f"  actual {outcome.actual_seconds:6.1f} s"
+          f"  |err| {outcome.error_seconds:5.1f} s{alien}{event}")
+
+
+def main() -> None:
+    properties = SmartpickProperties(
+        provider="AWS",
+        error_difference_trigger=10.0,  # the paper's Section 6.5 setting
+    )
+    system = Smartpick(properties=properties, rng=31)
+    print("bootstrapping on the TPC-DS training workloads...")
+    system.bootstrap(
+        [get_query(q) for q in TPCDS_TRAINING_QUERY_IDS],
+        n_configs_per_query=20,
+    )
+
+    print("\n=== story 1: Word Count, a workload the model has never seen ===")
+    for execution in range(1, 6):
+        outcome = system.submit(get_query("wordcount"))
+        show(outcome, execution, "wordcount")
+
+    print("\n=== story 2: TPC-H q3, then the database grows 100 -> 500 GB ===")
+    for execution in range(1, 5):
+        outcome = system.submit(get_query("tpch-q3", input_gb=100.0))
+        show(outcome, execution, "tpch-q3 @100GB")
+    print("  --- dataset grows to 500 GB ---")
+    for execution in range(5, 9):
+        outcome = system.submit(get_query("tpch-q3", input_gb=500.0))
+        show(outcome, execution, "tpch-q3 @500GB")
+
+    print(f"\nmodel versions published: "
+          f"{system.model_store.versions} (v1 = bootstrap)")
+    print(f"retraining events: {len(system.retrainer.events)}")
+
+
+if __name__ == "__main__":
+    main()

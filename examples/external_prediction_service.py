@@ -1,0 +1,66 @@
+"""Serving workload prediction to other SEDA systems (Section 5).
+
+The paper implements WP "as a separate process (server) using Thrift RPC
+[so] other SEDA systems can get benefits from Smartpick".  This example
+starts the prediction service and drives it from a SplitServe-like
+consumer: the external system asks for a VM-only determination over the
+wire, sizes its equal SL/VM cluster from the answer, and also borrows the
+cost-performance knob -- all without importing Smartpick internals.
+
+Usage::
+
+    python examples/external_prediction_service.py
+"""
+
+from repro import Smartpick, SmartpickProperties
+from repro.core.rpc import PredictionClient, PredictionServer
+from repro.engine import SegueTimeoutPolicy, run_query
+from repro.workloads import get_query
+from repro.workloads.tpcds import TPCDS_TRAINING_QUERY_IDS
+
+
+def external_splitserve_consumer(host: str, port: int, system: Smartpick):
+    """A SplitServe-style system using Smartpick's WP over RPC only."""
+    query = get_query("tpcds-q49")
+    # The consumer assembles its own request from what it knows publicly.
+    request = system.mfe.build_request(query, system.predictor).request
+
+    with PredictionClient(host, port) as client:
+        info = client.model_info()
+        print(f"  remote model: v{info['model_version']}, "
+              f"{info['training_samples']} samples, "
+              f"knows {len(info['known_queries'])} queries")
+
+        for knob in (0.0, 0.4):
+            decision = client.determine(request, knob=knob, mode="vm-only")
+            n = max(decision["n_vm"], 1)
+            print(f"  knob={knob:g}: remote WP says {n} VMs "
+                  f"(~{decision['predicted_seconds']:.0f} s) -> "
+                  f"SplitServe provisions {n} VM + {n} SL")
+            result = run_query(
+                query, n_vm=n, n_sl=n,
+                provider=system.provider, prices=system.prices,
+                policy=SegueTimeoutPolicy(60.0), rng=5,
+            )
+            print(f"           executed: {result.completion_seconds:.1f} s, "
+                  f"{result.cost_cents:.2f} cents ({result.policy})")
+
+
+def main() -> None:
+    system = Smartpick(SmartpickProperties(provider="AWS"), rng=41)
+    print("bootstrapping the prediction model...")
+    system.bootstrap(
+        [get_query(q) for q in TPCDS_TRAINING_QUERY_IDS],
+        n_configs_per_query=20,
+    )
+
+    with PredictionServer(system.predictor) as server:
+        host, port = server.address
+        print(f"\nprediction service listening on {host}:{port}")
+        print("an external SplitServe-style system connects:\n")
+        external_splitserve_consumer(host, port, system)
+    print("\nservice stopped.")
+
+
+if __name__ == "__main__":
+    main()

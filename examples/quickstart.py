@@ -1,0 +1,49 @@
+"""Quickstart: train Smartpick and submit a query.
+
+Runs the whole pipeline in under a minute:
+
+1. bootstrap the prediction model on one representational workload
+   (Section 5's CLI initial-training step),
+2. submit the query and let the RF + BO determination size the hybrid
+   VM/serverless cluster,
+3. inspect the decision, the execution and the bill.
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro import Smartpick, SmartpickProperties
+from repro.workloads import get_query
+
+
+def main() -> None:
+    properties = SmartpickProperties(
+        provider="AWS",   # smartpick.cloud.compute.provider
+        relay=True,       # smartpick.cloud.compute.relay
+        knob=0.0,         # smartpick.cloud.compute.knob: best performance
+    )
+    system = Smartpick(properties=properties, rng=7)
+
+    print("bootstrapping on TPC-DS q82 (20 sample configurations)...")
+    report = system.bootstrap([get_query("tpcds-q82")], n_configs_per_query=20)
+    print(f"  {report.n_runs} sample runs -> {report.n_training_samples} "
+          f"training samples (data-burst x10), OOB RMSE "
+          f"{report.oob_rmse:.1f} s")
+
+    print("\nsubmitting tpcds-q82...")
+    outcome = system.submit(get_query("tpcds-q82"))
+    decision = outcome.decision
+    print(f"  determination: {decision.n_vm} VMs + {decision.n_sl} SLs "
+          f"({decision.n_evaluations} BO probes, "
+          f"{decision.inference_seconds * 1000:.0f} ms)")
+    print(f"  predicted {outcome.predicted_seconds:.1f} s, "
+          f"actual {outcome.actual_seconds:.1f} s "
+          f"(|error| {outcome.error_seconds:.1f} s)")
+    print(f"  cost: {outcome.result.cost_cents:.2f} cents "
+          f"({outcome.result.policy})")
+    print(f"\n{system.describe()}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Exploring the cost-performance tradeoff space (Section 3.3 / Figure 8).
+
+A budget-sensitive application sweeps ``smartpick.cloud.compute.knob``
+(epsilon) and charts the latency/cost frontier Smartpick opens by mixing
+serverless and VM workers.  Each knob setting is the one-line change the
+paper promises: no application code, just a property.
+
+Usage::
+
+    python examples/tradeoff_explorer.py
+"""
+
+import numpy as np
+
+from repro import Smartpick, SmartpickProperties
+from repro.analysis import format_series
+from repro.workloads import get_query
+from repro.workloads.tpcds import TPCDS_TRAINING_QUERY_IDS
+
+KNOBS = (0.0, 0.2, 0.4, 0.6, 0.8)
+RUNS_PER_POINT = 5
+QUERY = "tpcds-q11"
+
+
+def main() -> None:
+    system = Smartpick(SmartpickProperties(provider="AWS"), rng=21)
+    print("bootstrapping...")
+    system.bootstrap(
+        [get_query(q) for q in TPCDS_TRAINING_QUERY_IDS],
+        n_configs_per_query=20,
+    )
+
+    times, costs, configs = [], [], []
+    for knob in KNOBS:
+        knob_times, knob_costs, knob_configs = [], [], []
+        for _ in range(RUNS_PER_POINT):
+            outcome = system.submit(get_query(QUERY), knob=knob)
+            knob_times.append(outcome.actual_seconds)
+            knob_costs.append(outcome.result.cost_cents)
+            knob_configs.append(outcome.decision.config)
+        times.append(float(np.mean(knob_times)))
+        costs.append(float(np.mean(knob_costs)))
+        configs.append(max(set(knob_configs), key=knob_configs.count))
+
+    print(f"\ncost-performance frontier for {QUERY} "
+          f"(mean of {RUNS_PER_POINT} runs per point)\n")
+    print(format_series(
+        "knob",
+        [f"{k:g}" for k in KNOBS],
+        {
+            "config": [f"{v}V+{s}S" for v, s in configs],
+            "time_s": times,
+            "cost_cents": costs,
+        },
+    ))
+
+    baseline = costs[0]
+    print("\nreading the frontier:")
+    for knob, time_s, cost in zip(KNOBS, times, costs):
+        saved = 100.0 * (1.0 - cost / baseline)
+        extra = 100.0 * (time_s / times[0] - 1.0)
+        print(f"  knob={knob:g}: {saved:+5.1f}% cost for {extra:+5.1f}% latency")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,21 @@
+"""Legacy setup shim.
+
+The offline build environment lacks the ``wheel`` package, so PEP 660
+editable installs fail; this shim lets ``pip install -e .`` use the legacy
+``setup.py develop`` path.  All metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "Smartpick reproduction: workload prediction for serverless-enabled "
+        "scalable data analytics (Middleware '23)"
+    ),
+    python_requires=">=3.10",
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    install_requires=["numpy", "scipy", "networkx"],
+)

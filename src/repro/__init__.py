@@ -1,0 +1,27 @@
+"""Smartpick reproduction.
+
+A from-scratch implementation of *Smartpick: Workload Prediction for
+Serverless-enabled Scalable Data Analytics Systems* (Mohapatra & Oh,
+Middleware '23), including every substrate the paper runs on: a simulated
+AWS/GCP cloud, a Spark-like discrete-event execution engine, synthetic
+TPC-DS / TPC-H / WordCount workloads, an ML stack (Random Forest, Gaussian
+Processes, Bayesian optimisation), a SQL metadata parser and the baseline
+systems the paper compares against.
+
+Start here::
+
+    from repro import Smartpick, SmartpickProperties
+    from repro.workloads import get_query
+
+    system = Smartpick(SmartpickProperties(provider="AWS"), rng=7)
+    system.bootstrap([get_query("tpcds-q82")], n_configs_per_query=10)
+    outcome = system.submit(get_query("tpcds-q82"))
+    print(outcome.summary())
+"""
+
+from repro.core.config import SmartpickProperties
+from repro.core.smartpick import Smartpick
+
+__version__ = "1.0.0"
+
+__all__ = ["Smartpick", "SmartpickProperties", "__version__"]

@@ -1,0 +1,21 @@
+"""Analysis utilities shared by the benchmark harness.
+
+- :mod:`repro.analysis.pcr` -- the performance-cost ratio of Eq. 3.
+- :mod:`repro.analysis.stats` -- means and 90 % confidence intervals
+  (the paper plots averages of 10 runs with 90 % CIs).
+- :mod:`repro.analysis.reporting` -- ASCII tables and series so every
+  bench prints the same rows/series its paper figure shows.
+"""
+
+from repro.analysis.pcr import performance_cost_ratio, scaled_pcr
+from repro.analysis.reporting import format_series, format_table
+from repro.analysis.stats import confidence_interval, mean_and_ci
+
+__all__ = [
+    "confidence_interval",
+    "format_series",
+    "format_table",
+    "mean_and_ci",
+    "performance_cost_ratio",
+    "scaled_pcr",
+]

@@ -1,0 +1,29 @@
+"""The performance-cost ratio (Eq. 3 of the paper).
+
+``PCr = (1 / Time) / (1 + cost)`` where *Time* is the inference latency of
+a resource-determination scheme and *cost* the compute charges it incurred
+to make the decision.  Figure 2 plots PCr "scaled to a multiple of 100"
+for RF-only (OptimusCloud), BO-only (CherryPick) and RF + BO (Smartpick).
+"""
+
+from __future__ import annotations
+
+__all__ = ["performance_cost_ratio", "scaled_pcr"]
+
+
+def performance_cost_ratio(time_seconds: float, cost_dollars: float) -> float:
+    """Eq. 3: ``(1 / Time) / (1 + cost)``."""
+    if time_seconds <= 0:
+        raise ValueError("time_seconds must be positive")
+    if cost_dollars < 0:
+        raise ValueError("cost_dollars must be non-negative")
+    return (1.0 / time_seconds) / (1.0 + cost_dollars)
+
+
+def scaled_pcr(
+    time_seconds: float, cost_dollars: float, scale: float = 100.0
+) -> float:
+    """PCr scaled the way Figure 2 plots it (a multiple of 100)."""
+    if scale <= 0:
+        raise ValueError("scale must be positive")
+    return performance_cost_ratio(time_seconds, cost_dollars) * scale

@@ -1,0 +1,80 @@
+"""ASCII tables and series for the benchmark harness.
+
+Every bench prints the same rows/series its corresponding paper table or
+figure shows, in plain text, so results are reviewable straight from the
+pytest output (and from ``bench_output.txt``).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+__all__ = ["format_table", "format_series"]
+
+
+def _render_cell(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.2f}"
+    # Control characters would break the row layout.
+    text = str(value)
+    return "".join(ch if ch.isprintable() else " " for ch in text)
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence[object]],
+    title: str = "",
+) -> str:
+    """A fixed-width ASCII table.
+
+    >>> print(format_table(("a", "b"), [(1, 2.5)]))
+    a | b
+    --+-----
+    1 | 2.50
+    """
+    rendered = [[_render_cell(cell) for cell in row] for row in rows]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match the header count")
+    widths = [
+        max(len(header), *(len(row[i]) for row in rendered)) if rendered
+        else len(header)
+        for i, header in enumerate(headers)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(
+        " | ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
+    )
+    lines.append("-+-".join("-" * width for width in widths))
+    for row in rendered:
+        lines.append(
+            " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    return "\n".join(line.rstrip() for line in lines)
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: dict[str, Sequence[object]],
+    title: str = "",
+) -> str:
+    """A figure-style data listing: one x column plus named series columns.
+
+    >>> print(format_series("eps", ("0.0", "0.2"), {"cost": (5.0, 4.2)}))
+    eps | cost
+    ----+-----
+    0.0 | 5.00
+    0.2 | 4.20
+    """
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(f"series {name!r} length does not match x_values")
+    headers = [x_label, *series.keys()]
+    rows = [
+        [x, *(series[name][i] for name in series)]
+        for i, x in enumerate(x_values)
+    ]
+    return format_table(headers, rows, title=title)

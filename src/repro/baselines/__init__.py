@@ -1,0 +1,30 @@
+"""Baseline systems the paper compares against.
+
+- :mod:`repro.baselines.static` -- the VM-only and SL-only extremes
+  (Section 6.3.1; the paper mimics them by tweaking Smartpick's WP).
+- :mod:`repro.baselines.cocoa` -- Cocoa (Oh & Song, IC2E '21): static
+  per-task assumptions that bias provisioning toward serverless, no relay.
+- :mod:`repro.baselines.splitserve` -- SplitServe (Jain et al.,
+  Middleware '20): equal SL/VM counts with a static segueing timeout.
+- :mod:`repro.baselines.rf_only` -- OptimusCloud-style exhaustive Random
+  Forest search (Fig. 2's RF-only arm).
+- :mod:`repro.baselines.bo_only` -- CherryPick-style Bayesian optimisation
+  over live runs (Fig. 2's BO-only arm).
+"""
+
+from repro.baselines.bo_only import CherryPickPlanner, LiveProbeResult
+from repro.baselines.cocoa import CocoaPlanner
+from repro.baselines.rf_only import OptimusCloudPlanner
+from repro.baselines.splitserve import SplitServePlanner
+from repro.baselines.static import SLOnlyPlanner, StaticPlan, VMOnlyPlanner
+
+__all__ = [
+    "CherryPickPlanner",
+    "CocoaPlanner",
+    "LiveProbeResult",
+    "OptimusCloudPlanner",
+    "SLOnlyPlanner",
+    "SplitServePlanner",
+    "StaticPlan",
+    "VMOnlyPlanner",
+]

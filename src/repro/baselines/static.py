@@ -1,0 +1,81 @@
+"""The VM-only and SL-only extremes.
+
+"To mimic VM-only and SL-only approaches, we tweak Smartpick's workload
+prediction module to choose either SL-only or VM-only for comparison
+purposes." (Section 6.1)  These planners do precisely that: they reuse a
+trained :class:`~repro.core.predictor.WorkloadPredictor` but restrict its
+candidate grid to one axis, then execute without any relay mechanism
+(there is nothing to relay to/from).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.core.predictor import (
+    ConfigDecision,
+    PredictionRequest,
+    WorkloadPredictor,
+)
+from repro.engine.dag import QuerySpec
+from repro.engine.policies import NoEarlyTermination
+from repro.engine.runner import QueryRunResult, run_query
+
+__all__ = ["StaticPlan", "VMOnlyPlanner", "SLOnlyPlanner"]
+
+
+@dataclasses.dataclass
+class StaticPlan:
+    """A planned-and-executed baseline run."""
+
+    decision: ConfigDecision
+    result: QueryRunResult
+
+
+class _SingleKindPlanner:
+    """Shared machinery for the two single-resource extremes."""
+
+    mode: str = "hybrid"
+
+    def __init__(self, predictor: WorkloadPredictor) -> None:
+        self.predictor = predictor
+
+    def decide(
+        self, request: PredictionRequest, knob: float = 0.0
+    ) -> ConfigDecision:
+        """Resource determination restricted to this planner's axis."""
+        return self.predictor.determine(request, knob=knob, mode=self.mode)
+
+    def run(
+        self,
+        query: QuerySpec,
+        request: PredictionRequest,
+        knob: float = 0.0,
+        rng: np.random.Generator | int | None = None,
+    ) -> StaticPlan:
+        """Decide and execute in one step."""
+        decision = self.decide(request, knob=knob)
+        result = run_query(
+            query,
+            n_vm=decision.n_vm,
+            n_sl=decision.n_sl,
+            provider=self.predictor.provider,
+            prices=self.predictor.prices,
+            policy=NoEarlyTermination(),
+            rng=rng,
+        )
+        return StaticPlan(decision=decision, result=result)
+
+
+class VMOnlyPlanner(_SingleKindPlanner):
+    """Only VM instances; pays the cold-boot latency on every query."""
+
+    mode = "vm-only"
+
+
+class SLOnlyPlanner(_SingleKindPlanner):
+    """Only serverless instances; agile but slower and pricier per second."""
+
+    mode = "sl-only"

@@ -1,0 +1,143 @@
+"""Command-line interface.
+
+Section 5: "To kick-start Smartpick, the first model training is invoked
+through a CLI script, tailor-made to initialize and create models from
+scratch."  This module is that script, plus a submit command and a
+prediction-service launcher:
+
+.. code-block:: bash
+
+    # initial training on the representational workloads
+    python -m repro.cli bootstrap --provider AWS \
+        --queries tpcds-q11,tpcds-q49,tpcds-q68,tpcds-q74,tpcds-q82 \
+        --configs 20 --history history.json
+
+    # size + execute one query against a previously saved history
+    python -m repro.cli submit tpcds-q11 --history history.json --knob 0.2
+
+    # list the available workloads
+    python -m repro.cli workloads
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Sequence
+
+from repro import Smartpick, SmartpickProperties
+from repro.workloads import all_query_ids, get_query
+from repro.workloads.tpcds import TPCDS_TRAINING_QUERY_IDS
+
+__all__ = ["build_parser", "main"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.cli",
+        description="Smartpick reproduction command-line interface",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    bootstrap = sub.add_parser(
+        "bootstrap", help="initial model training (Section 5 CLI step)"
+    )
+    bootstrap.add_argument(
+        "--provider", default="AWS", choices=("AWS", "GCP", "aws", "gcp")
+    )
+    bootstrap.add_argument(
+        "--queries",
+        default=",".join(TPCDS_TRAINING_QUERY_IDS),
+        help="comma-separated query ids (default: the paper's training set)",
+    )
+    bootstrap.add_argument("--configs", type=int, default=20,
+                           help="sample configurations per query")
+    bootstrap.add_argument("--no-relay", action="store_true",
+                           help="train the no-relay Smartpick variant")
+    bootstrap.add_argument("--seed", type=int, default=7)
+    bootstrap.add_argument("--history", default=None,
+                           help="write the run history to this JSON file")
+
+    submit = sub.add_parser("submit", help="size and execute one query")
+    submit.add_argument("query_id")
+    submit.add_argument("--provider", default="AWS",
+                        choices=("AWS", "GCP", "aws", "gcp"))
+    submit.add_argument("--knob", type=float, default=0.0,
+                        help="cost-performance tolerance (epsilon)")
+    submit.add_argument("--mode", default="hybrid",
+                        choices=("hybrid", "vm-only", "sl-only"))
+    submit.add_argument("--input-gb", type=float, default=100.0)
+    submit.add_argument("--configs", type=int, default=20,
+                        help="bootstrap configurations if training is needed")
+    submit.add_argument("--seed", type=int, default=7)
+
+    sub.add_parser("workloads", help="list the available benchmark queries")
+    return parser
+
+
+def _run_bootstrap(args: argparse.Namespace) -> int:
+    query_ids = [q.strip() for q in args.queries.split(",") if q.strip()]
+    if not query_ids:
+        print("no queries given", file=sys.stderr)
+        return 2
+    properties = SmartpickProperties(
+        provider=args.provider.upper(), relay=not args.no_relay
+    )
+    system = Smartpick(properties=properties, rng=args.seed)
+    report = system.bootstrap(
+        [get_query(q) for q in query_ids], n_configs_per_query=args.configs
+    )
+    print(f"trained model v{report.model_version} on {report.n_runs} runs "
+          f"({report.n_training_samples} burst-augmented samples)")
+    if report.oob_rmse is not None:
+        print(f"out-of-bag RMSE: {report.oob_rmse:.2f} s")
+    if args.history:
+        system.history.dump_json(args.history)
+        print(f"history written to {args.history}")
+    return 0
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    properties = SmartpickProperties(
+        provider=args.provider.upper(), knob=args.knob
+    )
+    system = Smartpick(properties=properties, rng=args.seed)
+    # A fresh process needs a model first; bootstrap on the paper's
+    # training set (a saved-model store would go here in a deployment).
+    print("bootstrapping the prediction model...")
+    system.bootstrap(
+        [get_query(q) for q in TPCDS_TRAINING_QUERY_IDS],
+        n_configs_per_query=args.configs,
+    )
+    outcome = system.submit(
+        get_query(args.query_id, input_gb=args.input_gb),
+        knob=args.knob,
+        mode=args.mode,
+    )
+    print(outcome.summary())
+    print(f"configuration: {outcome.decision.n_vm} VM + "
+          f"{outcome.decision.n_sl} SL ({outcome.result.policy})")
+    return 0
+
+
+def _run_workloads() -> int:
+    for query_id in all_query_ids():
+        query = get_query(query_id)
+        print(f"{query_id:12s} {query.suite:10s} {query.n_stages:3d} stages "
+              f"{query.total_tasks:5d} tasks")
+    return 0
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "bootstrap":
+        return _run_bootstrap(args)
+    if args.command == "submit":
+        return _run_submit(args)
+    if args.command == "workloads":
+        return _run_workloads()
+    raise AssertionError(f"unhandled command {args.command!r}")
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,59 @@
+"""Simulated public-cloud substrate.
+
+The paper evaluates Smartpick on live AWS and GCP test-beds; offline we
+substitute a simulated cloud calibrated against the paper's published
+measurements (Tables 1 and 5):
+
+- :mod:`repro.cloud.providers` -- provider performance profiles (boot
+  latencies, compute/storage speed factors, variance) for AWS-like and
+  GCP-like clouds, plus the sysbench-style microbenchmark that regenerates
+  Table 5.
+- :mod:`repro.cloud.pricing` -- the price book: per-second VM billing,
+  burstable vCPU surcharges, block storage, serverless GB-seconds, and the
+  external Redis host charged while serverless instances are alive.
+- :mod:`repro.cloud.instances` -- VM / serverless instance lifecycle state
+  machines with billing accumulators.
+- :mod:`repro.cloud.resource_manager` -- the Resource Manager (RM): spawns
+  and tracks instances, maintains the REQUEST-ID to INSTANCE-ID relay
+  mapping, and produces per-query cost reports.
+- :mod:`repro.cloud.storage` -- cloud object storage and external Redis
+  bandwidth models.
+"""
+
+from repro.cloud.instances import (
+    Instance,
+    InstanceKind,
+    InstanceState,
+    ServerlessInstance,
+    VMInstance,
+)
+from repro.cloud.pricing import CostBreakdown, PriceBook
+from repro.cloud.providers import (
+    AWS_PROFILE,
+    GCP_PROFILE,
+    MicrobenchmarkReport,
+    ProviderProfile,
+    get_provider,
+    run_microbenchmark,
+)
+from repro.cloud.resource_manager import ResourceManager
+from repro.cloud.storage import ExternalStore, ObjectStore
+
+__all__ = [
+    "AWS_PROFILE",
+    "CostBreakdown",
+    "ExternalStore",
+    "GCP_PROFILE",
+    "Instance",
+    "InstanceKind",
+    "InstanceState",
+    "MicrobenchmarkReport",
+    "ObjectStore",
+    "PriceBook",
+    "ProviderProfile",
+    "ResourceManager",
+    "ServerlessInstance",
+    "VMInstance",
+    "get_provider",
+    "run_microbenchmark",
+]

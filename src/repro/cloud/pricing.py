@@ -1,0 +1,227 @@
+"""The price book: what the simulated clouds charge.
+
+All rates come from the public price pages the paper cites (Section 2.2 and
+Section 5, "Cost estimation"), for the exact instance types of the
+evaluation (Section 6.1):
+
+- Workers are AWS ``t3.small`` / GCP ``e2-small`` (2 vCPU, 2 GB) and
+  2 GB serverless functions (also 2 vCPU per invocation).
+- VM time is billed per second while the instance is deployed
+  (boot time included), *plus* 8 GB of block storage per VM, *plus* the
+  burstable surcharge of $0.05 per vCPU-hour on AWS (free on GCP).
+- Serverless time is billed per GB-second only while code executes
+  (pure pay-as-you-go), plus a per-invocation fee.
+- Whenever at least one serverless instance participates in a query, the
+  external Redis store (a ``t3.xlarge`` / ``e2-standard-4`` host) is billed
+  for the query duration.
+
+With these rates an AWS serverless second costs ~5.8x a base VM second,
+matching Table 1's "up to 5.8X" unit-cost comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["PriceBook", "CostBreakdown", "AWS_PRICES", "GCP_PRICES", "get_prices"]
+
+_SECONDS_PER_HOUR = 3600.0
+_SECONDS_PER_MONTH = 30.0 * 24.0 * 3600.0
+
+
+@dataclasses.dataclass(frozen=True)
+class PriceBook:
+    """Billing rates for one provider.
+
+    Attributes
+    ----------
+    provider:
+        Provider key this book belongs to.
+    vm_hourly:
+        On-demand price of one worker VM (t3.small / e2-small).
+    burstable_per_vcpu_hour:
+        Surcharge while a burstable VM runs above its CPU baseline.
+        Zero on GCP (e2 bursting is free, Section 6.1).
+    burst_utilisation:
+        Fraction of CPU time billed at the burst rate.  Analytics tasks pin
+        the CPU, so a t3.small (20 % baseline per vCPU) is charged for the
+        ~80 % above baseline.
+    vm_vcpus:
+        vCPUs per worker VM (2 for both evaluation clouds).
+    vm_storage_gb / storage_gb_month:
+        Block storage attached to each VM (8 GB gp2) and its monthly rate.
+    sl_gb_second:
+        Serverless compute price per GB-second.
+    sl_memory_gb:
+        Memory size of one serverless instance (2 GB in the evaluation).
+    sl_invocation:
+        Flat fee per serverless invocation.
+    redis_host_hourly:
+        External store host (t3.xlarge / e2-standard-4), billed while any
+        serverless instance serves the query.
+    """
+
+    provider: str
+    vm_hourly: float
+    burstable_per_vcpu_hour: float
+    burst_utilisation: float
+    vm_vcpus: int
+    vm_storage_gb: float
+    storage_gb_month: float
+    sl_gb_second: float
+    sl_memory_gb: float
+    sl_invocation: float
+    redis_host_hourly: float
+
+    # ------------------------------------------------------------------
+    # Per-second rates
+    # ------------------------------------------------------------------
+
+    @property
+    def vm_per_second(self) -> float:
+        """Base VM price per second (excluding burst and storage)."""
+        return self.vm_hourly / _SECONDS_PER_HOUR
+
+    @property
+    def vm_burst_per_second(self) -> float:
+        """Burstable surcharge per VM-second."""
+        return (
+            self.burstable_per_vcpu_hour
+            * self.burst_utilisation
+            * self.vm_vcpus
+            / _SECONDS_PER_HOUR
+        )
+
+    @property
+    def vm_storage_per_second(self) -> float:
+        """Block-storage price per VM-second."""
+        return self.vm_storage_gb * self.storage_gb_month / _SECONDS_PER_MONTH
+
+    @property
+    def sl_per_second(self) -> float:
+        """Serverless price per busy second of one instance."""
+        return self.sl_gb_second * self.sl_memory_gb
+
+    @property
+    def redis_per_second(self) -> float:
+        """External store price per second."""
+        return self.redis_host_hourly / _SECONDS_PER_HOUR
+
+    @property
+    def sl_to_vm_unit_cost_ratio(self) -> float:
+        """How much pricier one SL second is than one base VM second.
+
+        Table 1 reports "up to 5.8X" for the evaluation's instance pair.
+        """
+        return self.sl_per_second / self.vm_per_second
+
+    # ------------------------------------------------------------------
+    # Aggregate charges
+    # ------------------------------------------------------------------
+
+    def vm_charge(self, deployed_seconds: float) -> float:
+        """Total charge for one VM deployed for ``deployed_seconds``."""
+        if deployed_seconds < 0:
+            raise ValueError("deployed_seconds must be non-negative")
+        rate = self.vm_per_second + self.vm_burst_per_second + self.vm_storage_per_second
+        return deployed_seconds * rate
+
+    def sl_charge(self, busy_seconds: float, invocations: int = 1) -> float:
+        """Total charge for one SL instance busy for ``busy_seconds``."""
+        if busy_seconds < 0:
+            raise ValueError("busy_seconds must be non-negative")
+        if invocations < 0:
+            raise ValueError("invocations must be non-negative")
+        return busy_seconds * self.sl_per_second + invocations * self.sl_invocation
+
+    def redis_charge(self, duration_seconds: float) -> float:
+        """External-store charge for a query of ``duration_seconds``."""
+        if duration_seconds < 0:
+            raise ValueError("duration_seconds must be non-negative")
+        return duration_seconds * self.redis_per_second
+
+
+@dataclasses.dataclass
+class CostBreakdown:
+    """Itemised cost of one query execution (Section 5, Cost estimation)."""
+
+    vm_compute: float = 0.0
+    vm_burst: float = 0.0
+    vm_storage: float = 0.0
+    sl_compute: float = 0.0
+    sl_invocations: float = 0.0
+    external_store: float = 0.0
+
+    @property
+    def vm_total(self) -> float:
+        return self.vm_compute + self.vm_burst + self.vm_storage
+
+    @property
+    def sl_total(self) -> float:
+        return self.sl_compute + self.sl_invocations + self.external_store
+
+    @property
+    def total(self) -> float:
+        return self.vm_total + self.sl_total
+
+    def __add__(self, other: "CostBreakdown") -> "CostBreakdown":
+        return CostBreakdown(
+            vm_compute=self.vm_compute + other.vm_compute,
+            vm_burst=self.vm_burst + other.vm_burst,
+            vm_storage=self.vm_storage + other.vm_storage,
+            sl_compute=self.sl_compute + other.sl_compute,
+            sl_invocations=self.sl_invocations + other.sl_invocations,
+            external_store=self.external_store + other.external_store,
+        )
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "vm_compute": self.vm_compute,
+            "vm_burst": self.vm_burst,
+            "vm_storage": self.vm_storage,
+            "sl_compute": self.sl_compute,
+            "sl_invocations": self.sl_invocations,
+            "external_store": self.external_store,
+            "total": self.total,
+        }
+
+
+AWS_PRICES = PriceBook(
+    provider="aws",
+    vm_hourly=0.0208,            # t3.small, us-east-1
+    burstable_per_vcpu_hour=0.05,
+    burst_utilisation=0.8,       # pinned CPU minus the 20 % t3 baseline
+    vm_vcpus=2,
+    vm_storage_gb=8.0,           # gp2 root volume per worker
+    storage_gb_month=0.10,
+    sl_gb_second=1.66667e-5,     # Lambda
+    sl_memory_gb=2.0,
+    sl_invocation=2.0e-7,        # $0.20 per million requests
+    redis_host_hourly=0.1664,    # t3.xlarge
+)
+
+GCP_PRICES = PriceBook(
+    provider="gcp",
+    vm_hourly=0.016751,          # e2-small, us-east1
+    burstable_per_vcpu_hour=0.0,  # e2 bursting is free of charge
+    burst_utilisation=0.8,
+    vm_vcpus=2,
+    vm_storage_gb=8.0,           # pd-balanced root volume
+    storage_gb_month=0.10,
+    sl_gb_second=1.45e-5,        # Cloud Functions 2 GB tier (memory + GHz)
+    sl_memory_gb=2.0,
+    sl_invocation=4.0e-7,        # $0.40 per million invocations
+    redis_host_hourly=0.134012,  # e2-standard-4
+)
+
+_PRICES = {book.provider: book for book in (AWS_PRICES, GCP_PRICES)}
+
+
+def get_prices(provider: str) -> PriceBook:
+    """Look a price book up by provider name (case-insensitive)."""
+    try:
+        return _PRICES[provider.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown provider {provider!r}; choose from {sorted(_PRICES)}"
+        ) from None

@@ -1,0 +1,225 @@
+"""Cloud provider performance profiles.
+
+Table 5 of the paper reports sysbench-style microbenchmarks for the two
+evaluation clouds.  We encode those measurements directly and derive the
+simulator's speed factors from them, so the simulated AWS/GCP relationship
+matches the published one:
+
+============================  =========  =========
+measurement                   AWS        GCP
+============================  =========  =========
+Cloud storage (MiB/s)         117.53     51.64
+VM I/O writes/s               771.06     764.14
+VM I/O reads/s                1156.59    1146.21
+Memory (1k-ops/s)             4675.66    4182.49
+VM CPU (events/s)             1109.07    906.67
+SL CPU (events/s)             811.13     714.87
+============================  =========  =========
+
+Other calibration points taken from the paper text:
+
+- VM cold boot measured at 31-32 s on both clouds (Section 6.1); the
+  motivating example of Section 2.2 uses the literature value of 55 s.
+- SL boot < 100 ms (Table 1).
+- SL task execution carries ~30 % overhead versus VM (Section 2.2, "based
+  on experimental evidence as shown in Section 6.1") -- and indeed the SL/VM
+  CPU ratio in Table 5 is 1109.07 / 811.13 = 1.37 on AWS.
+- GCP shows visibly more run-to-run variance than AWS (Sections 6.1-6.2),
+  reflected here in ``noise_sigma``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = [
+    "ProviderProfile",
+    "MicrobenchmarkReport",
+    "AWS_PROFILE",
+    "GCP_PROFILE",
+    "get_provider",
+    "run_microbenchmark",
+]
+
+# Reference point: all speed factors are expressed relative to an AWS VM.
+_AWS_VM_CPU_EVENTS = 1109.07
+
+
+@dataclasses.dataclass(frozen=True)
+class ProviderProfile:
+    """Performance characteristics of one cloud provider.
+
+    Attributes
+    ----------
+    name:
+        Short provider key (``"aws"`` or ``"gcp"``).
+    vm_boot_seconds:
+        Cold-boot latency of a VM instance (Section 6.1 measurement).
+    sl_boot_seconds:
+        Invocation latency of a serverless instance (< 100 ms, Table 1).
+    storage_mib_per_s:
+        Object-storage download bandwidth (Table 5, per reader).
+    vm_io_writes_per_s / vm_io_reads_per_s:
+        Local disk IOPS (Table 5).
+    memory_kops_per_s:
+        Memory benchmark (Table 5).
+    vm_cpu_events_per_s / sl_cpu_events_per_s:
+        Sysbench CPU scores (Table 5); these fix the compute speed factors.
+    noise_sigma:
+        Relative standard deviation of per-task duration noise.
+    sl_has_local_scratch:
+        GCP Functions have no ephemeral scratch beyond RAM (Section 6.1),
+        which costs extra SL-side I/O latency.
+    burstable_free:
+        e2 bursting is free on GCP; t3 bursting costs extra on AWS.
+    """
+
+    name: str
+    vm_boot_seconds: float
+    sl_boot_seconds: float
+    storage_mib_per_s: float
+    vm_io_writes_per_s: float
+    vm_io_reads_per_s: float
+    memory_kops_per_s: float
+    vm_cpu_events_per_s: float
+    sl_cpu_events_per_s: float
+    noise_sigma: float
+    sl_has_local_scratch: bool
+    burstable_free: bool
+
+    @property
+    def vm_compute_factor(self) -> float:
+        """Task-duration multiplier on a VM (1.0 = AWS VM)."""
+        return _AWS_VM_CPU_EVENTS / self.vm_cpu_events_per_s
+
+    @property
+    def sl_compute_factor(self) -> float:
+        """Task-duration multiplier on a serverless instance."""
+        factor = _AWS_VM_CPU_EVENTS / self.sl_cpu_events_per_s
+        if not self.sl_has_local_scratch:
+            # No ephemeral scratch: spill-over work rides on RAM/remote I/O.
+            factor *= 1.05
+        return factor
+
+    @property
+    def sl_overhead(self) -> float:
+        """Relative SL-vs-VM slowdown on this provider (paper: ~30 %)."""
+        return self.sl_compute_factor / self.vm_compute_factor - 1.0
+
+    def with_boot_seconds(self, vm_boot_seconds: float) -> "ProviderProfile":
+        """Copy of the profile with a different VM cold-boot latency.
+
+        The motivating example (Fig. 1) uses the 55 s literature number
+        while the evaluation uses the measured 31-32 s; this helper supports
+        both without a second profile.
+        """
+        if vm_boot_seconds < 0:
+            raise ValueError("vm_boot_seconds must be non-negative")
+        return dataclasses.replace(self, vm_boot_seconds=vm_boot_seconds)
+
+    def with_noise_sigma(self, noise_sigma: float) -> "ProviderProfile":
+        """Copy of the profile with a different task-noise level."""
+        if noise_sigma < 0:
+            raise ValueError("noise_sigma must be non-negative")
+        return dataclasses.replace(self, noise_sigma=noise_sigma)
+
+
+AWS_PROFILE = ProviderProfile(
+    name="aws",
+    vm_boot_seconds=31.5,
+    sl_boot_seconds=0.1,
+    storage_mib_per_s=117.53,
+    vm_io_writes_per_s=771.06,
+    vm_io_reads_per_s=1156.59,
+    memory_kops_per_s=4675.66,
+    vm_cpu_events_per_s=1109.07,
+    sl_cpu_events_per_s=811.13,
+    noise_sigma=0.03,
+    sl_has_local_scratch=True,
+    burstable_free=False,
+)
+
+GCP_PROFILE = ProviderProfile(
+    name="gcp",
+    vm_boot_seconds=32.0,
+    sl_boot_seconds=0.1,
+    storage_mib_per_s=51.64,
+    vm_io_writes_per_s=764.14,
+    vm_io_reads_per_s=1146.21,
+    memory_kops_per_s=4182.49,
+    vm_cpu_events_per_s=906.67,
+    sl_cpu_events_per_s=714.87,
+    noise_sigma=0.09,
+    sl_has_local_scratch=False,
+    burstable_free=True,
+)
+
+_PROVIDERS = {profile.name: profile for profile in (AWS_PROFILE, GCP_PROFILE)}
+
+
+def get_provider(name: str) -> ProviderProfile:
+    """Look a provider profile up by name (case-insensitive)."""
+    try:
+        return _PROVIDERS[name.lower()]
+    except KeyError:
+        raise ValueError(
+            f"unknown provider {name!r}; choose from {sorted(_PROVIDERS)}"
+        ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class MicrobenchmarkReport:
+    """One row of Table 5: measured performance of a provider."""
+
+    provider: str
+    cloud_storage_mib_s: float
+    vm_io_writes_s: float
+    vm_io_reads_s: float
+    memory_kops_s: float
+    vm_cpu_events_s: float
+    sl_cpu_events_s: float
+
+    def as_row(self) -> tuple[str, float, float, float, float, float, float]:
+        return (
+            self.provider.upper(),
+            self.cloud_storage_mib_s,
+            self.vm_io_writes_s,
+            self.vm_io_reads_s,
+            self.memory_kops_s,
+            self.vm_cpu_events_s,
+            self.sl_cpu_events_s,
+        )
+
+
+def run_microbenchmark(
+    profile: ProviderProfile,
+    n_trials: int = 10,
+    rng: np.random.Generator | int | None = None,
+) -> MicrobenchmarkReport:
+    """Probe a (simulated) provider sysbench-style, as Section 6.1 does.
+
+    Each trial samples the underlying hardware metric with the provider's
+    noise; the report averages the trials, mirroring the paper's
+    average-of-runs methodology.
+    """
+    if n_trials < 1:
+        raise ValueError("n_trials must be at least 1")
+    generator = np.random.default_rng(rng)
+
+    def probe(true_value: float) -> float:
+        samples = true_value * (
+            1.0 + generator.normal(0.0, profile.noise_sigma, size=n_trials)
+        )
+        return float(np.mean(np.maximum(samples, 0.0)))
+
+    return MicrobenchmarkReport(
+        provider=profile.name,
+        cloud_storage_mib_s=probe(profile.storage_mib_per_s),
+        vm_io_writes_s=probe(profile.vm_io_writes_per_s),
+        vm_io_reads_s=probe(profile.vm_io_reads_per_s),
+        memory_kops_s=probe(profile.memory_kops_per_s),
+        vm_cpu_events_s=probe(profile.vm_cpu_events_per_s),
+        sl_cpu_events_s=probe(profile.sl_cpu_events_per_s),
+    )

@@ -1,0 +1,171 @@
+"""The Resource Manager (RM).
+
+Mirrors the paper's RM component (Sections 4.1 and 5): it spawns the
+determined numbers of VMs and SLs on the chosen provider, tracks their
+charging status, maintains the ``REQUEST ID`` (SL) to ``INSTANCE ID`` (VM)
+mapping that drives the relay-instances mechanism, and produces the
+per-query cost report.
+
+The RM is deliberately engine-agnostic: the discrete-event engine asks it
+*when* instances become ready and tells it *when* time passes; the RM owns
+instance state and billing.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.instances import (
+    Instance,
+    InstanceKind,
+    InstanceState,
+    ServerlessInstance,
+    VMInstance,
+)
+from repro.cloud.pricing import CostBreakdown, PriceBook
+from repro.cloud.providers import ProviderProfile
+
+__all__ = ["ResourceManager"]
+
+
+class ResourceManager:
+    """Spawns, tracks, relays and bills worker instances for one query.
+
+    Parameters
+    ----------
+    provider:
+        Performance profile of the target cloud (boot latencies).
+    prices:
+        The provider's price book, used for the final cost report.
+    relay_enabled:
+        When ``True`` (``smartpick.cloud.compute.relay``), every SL spawned
+        alongside a VM is paired to it; the pairing is consumed when the VM
+        becomes ready and the SL is drained.
+    """
+
+    def __init__(
+        self,
+        provider: ProviderProfile,
+        prices: PriceBook,
+        relay_enabled: bool = True,
+    ) -> None:
+        self.provider = provider
+        self.prices = prices
+        self.relay_enabled = relay_enabled
+        self.instances: list[Instance] = []
+        # VM INSTANCE ID -> SL REQUEST ID, per Section 5's relay bookkeeping.
+        self._relay_by_vm: dict[str, str] = {}
+        self._by_id: dict[str, Instance] = {}
+
+    # ------------------------------------------------------------------
+    # Spawning
+    # ------------------------------------------------------------------
+
+    def spawn_vms(self, count: int, now: float) -> list[VMInstance]:
+        """Request ``count`` VMs; they become ready after the cold boot."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        vms = []
+        for _ in range(count):
+            vm = VMInstance.create(spawn_time=now)
+            vm.transition(InstanceState.BOOTING, now)
+            self._register(vm)
+            vms.append(vm)
+        return vms
+
+    def spawn_sls(self, count: int, now: float) -> list[ServerlessInstance]:
+        """Invoke ``count`` serverless instances (near-instant boot)."""
+        if count < 0:
+            raise ValueError("count must be non-negative")
+        sls = []
+        for _ in range(count):
+            sl = ServerlessInstance.create(spawn_time=now)
+            sl.transition(InstanceState.BOOTING, now)
+            self._register(sl)
+            sls.append(sl)
+        return sls
+
+    def _register(self, instance: Instance) -> None:
+        self.instances.append(instance)
+        self._by_id[instance.instance_id] = instance
+
+    def boot_duration(self, instance: Instance) -> float:
+        """Cold-boot latency for ``instance`` on this provider."""
+        if instance.kind is InstanceKind.VM:
+            return self.provider.vm_boot_seconds
+        return self.provider.sl_boot_seconds
+
+    def mark_ready(self, instance: Instance, now: float) -> None:
+        """Boot finished; the instance may now run tasks."""
+        instance.transition(InstanceState.RUNNING, now)
+
+    # ------------------------------------------------------------------
+    # Relay-instances bookkeeping (Section 4.3)
+    # ------------------------------------------------------------------
+
+    def pair_for_relay(self, sl: ServerlessInstance, vm: VMInstance) -> None:
+        """Pair ``sl`` to ``vm``: the SL retires when the VM is ready."""
+        if not self.relay_enabled:
+            raise RuntimeError("relay is disabled on this resource manager")
+        if vm.instance_id in self._relay_by_vm:
+            raise ValueError(f"{vm.instance_id} already has a relay partner")
+        self._relay_by_vm[vm.instance_id] = sl.instance_id
+        sl.relayed_vm_id = vm.instance_id
+
+    def relay_partner(self, vm: VMInstance) -> ServerlessInstance | None:
+        """The SL paired to ``vm``, if any (consumes the mapping)."""
+        sl_id = self._relay_by_vm.pop(vm.instance_id, None)
+        if sl_id is None:
+            return None
+        partner = self._by_id[sl_id]
+        assert isinstance(partner, ServerlessInstance)
+        return partner
+
+    def drain(self, instance: Instance, now: float) -> None:
+        """Stop assigning tasks; the engine terminates it once idle."""
+        if instance.state is InstanceState.RUNNING:
+            instance.transition(InstanceState.DRAINING, now)
+
+    def terminate(self, instance: Instance, now: float) -> None:
+        """Release an instance (idempotent)."""
+        if instance.state is not InstanceState.TERMINATED:
+            instance.transition(InstanceState.TERMINATED, now)
+
+    def terminate_all(self, now: float) -> None:
+        """Release everything still alive (query completed)."""
+        for instance in self.instances:
+            self.terminate(instance, now)
+
+    # ------------------------------------------------------------------
+    # Introspection and billing
+    # ------------------------------------------------------------------
+
+    @property
+    def vms(self) -> list[VMInstance]:
+        return [i for i in self.instances if isinstance(i, VMInstance)]
+
+    @property
+    def sls(self) -> list[ServerlessInstance]:
+        return [i for i in self.instances if isinstance(i, ServerlessInstance)]
+
+    def alive_instances(self) -> list[Instance]:
+        return [i for i in self.instances if i.is_alive]
+
+    def available_instances(self) -> list[Instance]:
+        return [i for i in self.instances if i.is_available]
+
+    def used_serverless(self) -> bool:
+        """Whether any SL executed work (drives the external-store charge)."""
+        return any(sl.tasks_executed > 0 for sl in self.sls)
+
+    def cost_report(self, query_duration: float, now: float) -> CostBreakdown:
+        """Itemised query cost (Section 5, "Cost estimation").
+
+        VM instances bill per deployed second; SLs per busy GB-second; and
+        the external Redis host bills for the full query duration if at
+        least one SL instance served the query.
+        """
+        report = CostBreakdown()
+        for instance in self.instances:
+            report = report + instance.cost(self.prices, now)
+        if self.used_serverless():
+            report.external_store += self.prices.redis_charge(query_duration)
+        return report

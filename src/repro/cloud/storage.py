@@ -1,0 +1,74 @@
+"""Cloud storage bandwidth models.
+
+Two storage paths matter to the simulation:
+
+- **Object storage** (S3 / GCP Storage): query input is read from here; the
+  per-reader bandwidth comes straight from Table 5 (117.53 MiB/s AWS,
+  51.64 MiB/s GCP), which is why identical queries run visibly slower on
+  the simulated GCP, as the paper observes.
+- **External store** (Redis on a t3.xlarge / e2-standard-4 host): SLs have
+  no worker-to-worker network, so shuffle data transits this store
+  (Section 2.1).  It adds per-access latency and is the hook for the
+  external-storage cost the paper charges whenever SLs participate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["ObjectStore", "ExternalStore"]
+
+_MIB = 1024.0 * 1024.0
+
+
+@dataclasses.dataclass(frozen=True)
+class ObjectStore:
+    """Object storage with fixed per-reader bandwidth and request latency."""
+
+    bandwidth_mib_per_s: float
+    request_latency_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mib_per_s <= 0:
+            raise ValueError("bandwidth_mib_per_s must be positive")
+        if self.request_latency_s < 0:
+            raise ValueError("request_latency_s must be non-negative")
+
+    def read_seconds(self, n_bytes: float) -> float:
+        """Time for one reader to fetch ``n_bytes`` from the store."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if n_bytes == 0:
+            return 0.0
+        return self.request_latency_s + n_bytes / (self.bandwidth_mib_per_s * _MIB)
+
+
+@dataclasses.dataclass(frozen=True)
+class ExternalStore:
+    """Redis-style external store relaying shuffle data between SLs.
+
+    Shuffle through an external hop is slower than Spark's direct
+    VM-to-VM transfer; ``relative_shuffle_penalty`` captures that extra
+    latency as a fraction of the shuffled volume's transfer time.
+    """
+
+    bandwidth_mib_per_s: float = 400.0
+    request_latency_s: float = 0.001
+    relative_shuffle_penalty: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.bandwidth_mib_per_s <= 0:
+            raise ValueError("bandwidth_mib_per_s must be positive")
+        if self.request_latency_s < 0:
+            raise ValueError("request_latency_s must be non-negative")
+        if self.relative_shuffle_penalty < 0:
+            raise ValueError("relative_shuffle_penalty must be non-negative")
+
+    def transfer_seconds(self, n_bytes: float) -> float:
+        """Time to push or pull ``n_bytes`` through the store."""
+        if n_bytes < 0:
+            raise ValueError("n_bytes must be non-negative")
+        if n_bytes == 0:
+            return 0.0
+        base = n_bytes / (self.bandwidth_mib_per_s * _MIB)
+        return self.request_latency_s + base * (1.0 + self.relative_shuffle_penalty)

@@ -1,0 +1,57 @@
+"""Smartpick's core: the paper's contribution.
+
+The architecture follows Figure 3 of the paper:
+
+- :mod:`repro.core.config` -- the Smartpick properties of Table 4.
+- :mod:`repro.core.features` -- the workload-prediction features of Table 3.
+- :mod:`repro.core.history` -- the History Server (HS).
+- :mod:`repro.core.monitor` -- Monitor & Feature Extraction (MFE).
+- :mod:`repro.core.similarity` -- the Similarity Checker (SC).
+- :mod:`repro.core.predictor` -- the Workload Prediction module (WP):
+  Random Forest + Bayesian Optimizer.
+- :mod:`repro.core.tradeoff` -- the cost-performance knob (Eq. 4).
+- :mod:`repro.core.retrain` -- event-driven Background Re-training.
+- :mod:`repro.core.job` -- the Job Initializer (JI).
+- :mod:`repro.core.smartpick` -- the :class:`~repro.core.smartpick.Smartpick`
+  facade tying everything together.
+- :mod:`repro.core.rpc` -- the standalone prediction service (Thrift-RPC
+  substitute) other SEDA systems can call.
+"""
+
+from repro.core.config import SmartpickProperties
+from repro.core.features import FEATURE_NAMES, FeatureVector
+from repro.core.history import ExecutionRecord, HistoryServer
+from repro.core.job import JobInitializer, SubmissionOutcome
+from repro.core.monitor import MonitorAndFeatureExtraction
+from repro.core.predictor import (
+    ConfigDecision,
+    EstimatedTimeEntry,
+    PredictionRequest,
+    WorkloadPredictor,
+)
+from repro.core.retrain import BackgroundRetrainer, ModelStore, RetrainEvent
+from repro.core.similarity import SimilarityChecker
+from repro.core.smartpick import Smartpick
+from repro.core.tradeoff import naive_scale_down, select_with_knob
+
+__all__ = [
+    "BackgroundRetrainer",
+    "ConfigDecision",
+    "EstimatedTimeEntry",
+    "ExecutionRecord",
+    "FEATURE_NAMES",
+    "FeatureVector",
+    "HistoryServer",
+    "JobInitializer",
+    "ModelStore",
+    "MonitorAndFeatureExtraction",
+    "PredictionRequest",
+    "RetrainEvent",
+    "SimilarityChecker",
+    "Smartpick",
+    "SmartpickProperties",
+    "SubmissionOutcome",
+    "WorkloadPredictor",
+    "naive_scale_down",
+    "select_with_knob",
+]

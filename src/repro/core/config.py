@@ -1,0 +1,163 @@
+"""Smartpick properties (Table 4 of the paper).
+
+Spark applications configure Smartpick purely through properties -- no code
+changes (Section 5).  :class:`SmartpickProperties` carries the same keys
+with the same defaults:
+
+==========================================  =========
+key                                         default
+==========================================  =========
+``smartpick.cloud.compute.provider``        ``AWS``
+``smartpick.cloud.compute.instanceFamily``  ``t3``
+``smartpick.cloud.compute.relay``           ``True``
+``smartpick.cloud.compute.knob``            ``0``
+``smartpick.train.max.batch``               ``100``
+``smartpick.train.pref.sameInstance``       ``False``
+``smartpick.train.min.ram.gb``              ``4``
+``smartpick.train.errorDifference.trigger`` ``50``
+==========================================  =========
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Any, Mapping
+
+__all__ = ["SmartpickProperties"]
+
+_KEY_TO_FIELD = {
+    "smartpick.cloud.compute.provider": "provider",
+    "smartpick.cloud.compute.instanceFamily": "instance_family",
+    "smartpick.cloud.compute.relay": "relay",
+    "smartpick.cloud.compute.knob": "knob",
+    "smartpick.train.max.batch": "max_batch",
+    "smartpick.train.pref.sameInstance": "prefer_same_instance",
+    "smartpick.train.min.ram.gb": "min_ram_gb",
+    "smartpick.train.errorDifference.trigger": "error_difference_trigger",
+}
+_FIELD_TO_KEY = {field: key for key, field in _KEY_TO_FIELD.items()}
+
+_TRUTHY = {"true", "1", "yes", "on"}
+_FALSY = {"false", "0", "no", "off"}
+
+
+def _parse_bool(value: Any) -> bool:
+    if isinstance(value, bool):
+        return value
+    text = str(value).strip().lower()
+    if text in _TRUTHY:
+        return True
+    if text in _FALSY:
+        return False
+    raise ValueError(f"cannot interpret {value!r} as a boolean property")
+
+
+@dataclasses.dataclass
+class SmartpickProperties:
+    """Typed view of the Table 4 property set.
+
+    Attributes
+    ----------
+    provider:
+        Target cloud (``smartpick.cloud.compute.provider``).
+    instance_family:
+        Worker instance family; ``t3`` in the evaluation.  Larger families
+        trade extra cost for memory locality (Section 7).
+    relay:
+        Enable the relay-instances mechanism
+        (``smartpick.cloud.compute.relay``).
+    knob:
+        Cost-performance tradeoff epsilon (``smartpick.cloud.compute.knob``);
+        0 requests best performance regardless of cost (Section 3.3).
+    max_batch:
+        Batch size for incremental background retraining
+        (``smartpick.train.max.batch``).
+    prefer_same_instance:
+        Retrain on the same instance when memory allows
+        (``smartpick.train.pref.sameInstance``).
+    min_ram_gb:
+        Minimum free memory for same-instance retraining
+        (``smartpick.train.min.ram.gb``).
+    error_difference_trigger:
+        Retrain when ``|actual - predicted|`` exceeds this many seconds
+        (``smartpick.train.errorDifference.trigger``).
+    """
+
+    provider: str = "AWS"
+    instance_family: str = "t3"
+    relay: bool = True
+    knob: float = 0.0
+    max_batch: int = 100
+    prefer_same_instance: bool = False
+    min_ram_gb: float = 4.0
+    error_difference_trigger: float = 50.0
+
+    def __post_init__(self) -> None:
+        self.validate()
+
+    def validate(self) -> None:
+        if self.provider.lower() not in ("aws", "gcp"):
+            raise ValueError(
+                f"unsupported provider {self.provider!r} (use AWS or GCP)"
+            )
+        if self.instance_family.lower() not in ("t3", "m5", "c5"):
+            raise ValueError(
+                f"unsupported instance family {self.instance_family!r} "
+                "(use t3, m5 or c5)"
+            )
+        if self.knob < 0:
+            raise ValueError("the knob (epsilon) must be non-negative")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be at least 1")
+        if self.min_ram_gb <= 0:
+            raise ValueError("min_ram_gb must be positive")
+        if self.error_difference_trigger <= 0:
+            raise ValueError("error_difference_trigger must be positive")
+
+    # ------------------------------------------------------------------
+    # Property-file style round trip
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_properties(cls, properties: Mapping[str, Any]) -> "SmartpickProperties":
+        """Build from dotted Spark-style property keys.
+
+        Unknown ``smartpick.*`` keys raise; foreign keys (``spark.*``) are
+        ignored so a full Spark configuration can be passed through.
+        """
+        kwargs: dict[str, Any] = {}
+        for key, value in properties.items():
+            if not key.startswith("smartpick."):
+                continue
+            field = _KEY_TO_FIELD.get(key)
+            if field is None:
+                raise ValueError(f"unknown Smartpick property {key!r}")
+            kwargs[field] = value
+        if "relay" in kwargs:
+            kwargs["relay"] = _parse_bool(kwargs["relay"])
+        if "prefer_same_instance" in kwargs:
+            kwargs["prefer_same_instance"] = _parse_bool(
+                kwargs["prefer_same_instance"]
+            )
+        for numeric in ("knob", "min_ram_gb", "error_difference_trigger"):
+            if numeric in kwargs:
+                kwargs[numeric] = float(kwargs[numeric])
+        if "max_batch" in kwargs:
+            kwargs["max_batch"] = int(kwargs["max_batch"])
+        return cls(**kwargs)
+
+    def to_properties(self) -> dict[str, str]:
+        """Render back to dotted property keys (all values stringified)."""
+        out: dict[str, str] = {}
+        for field, key in _FIELD_TO_KEY.items():
+            value = getattr(self, field)
+            out[key] = str(value)
+        return out
+
+    def with_knob(self, knob: float) -> "SmartpickProperties":
+        """Copy with a different tradeoff epsilon."""
+        return dataclasses.replace(self, knob=knob)
+
+    def with_relay(self, relay: bool) -> "SmartpickProperties":
+        """Copy with relay toggled."""
+        return dataclasses.replace(self, relay=relay)

@@ -1,0 +1,135 @@
+"""The workload-prediction feature schema (Table 3 of the paper).
+
+Table 3 lists the features Smartpick's Random Forest consumes:
+
+=====================  ==================================================
+feature                comment
+=====================  ==================================================
+instances              number of VMs and SLs used (two columns here)
+input-size             size of input in bytes (stored as GB for scale)
+start-time-epoch       initial job submit time in epoch
+total-memory           total memory of available workers
+available-memory       available memory of available workers
+memory-per-executor    memory assigned to each executor
+num-waiting-apps       number of applications in wait state
+total-available-cores  number of available cores
+query-duration         completion time of a given query
+=====================  ==================================================
+
+``query-duration`` plays a double role in the paper: it is the training
+*label*, and for prediction "the query-duration feature will act as the
+best estimation for completion time" of the (possibly alien) query.  We
+realise that as ``historical_duration_s``: the mean completion time this
+query (or, for aliens, its Similarity-Checker neighbour) has shown in the
+History Server.  It is how query identity reaches the model.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["FEATURE_NAMES", "INTEGER_FEATURE_COLUMNS", "FeatureVector"]
+
+FEATURE_NAMES: tuple[str, ...] = (
+    "n_vm",
+    "n_sl",
+    "input_size_gb",
+    "start_time_epoch",
+    "total_memory_gb",
+    "available_memory_gb",
+    "memory_per_executor_gb",
+    "num_waiting_apps",
+    "total_available_cores",
+    "historical_duration_s",
+)
+
+#: Columns that must stay integral under data-burst augmentation.
+INTEGER_FEATURE_COLUMNS: tuple[int, ...] = (
+    FEATURE_NAMES.index("n_vm"),
+    FEATURE_NAMES.index("n_sl"),
+    FEATURE_NAMES.index("num_waiting_apps"),
+    FEATURE_NAMES.index("total_available_cores"),
+)
+
+_WORKER_MEMORY_GB = 2.0
+_WORKER_VCPUS = 2
+
+
+@dataclasses.dataclass(frozen=True)
+class FeatureVector:
+    """One Table 3 feature vector (the model input)."""
+
+    n_vm: int
+    n_sl: int
+    input_size_gb: float
+    start_time_epoch: float
+    total_memory_gb: float
+    available_memory_gb: float
+    memory_per_executor_gb: float
+    num_waiting_apps: int
+    total_available_cores: int
+    historical_duration_s: float
+
+    def __post_init__(self) -> None:
+        if self.n_vm < 0 or self.n_sl < 0:
+            raise ValueError("instance counts must be non-negative")
+        if self.n_vm + self.n_sl == 0:
+            raise ValueError("a configuration needs at least one instance")
+        if self.input_size_gb < 0:
+            raise ValueError("input_size_gb must be non-negative")
+        if self.historical_duration_s < 0:
+            raise ValueError("historical_duration_s must be non-negative")
+
+    def as_array(self) -> np.ndarray:
+        """The model-facing row, ordered as :data:`FEATURE_NAMES`."""
+        return np.array(
+            [
+                float(self.n_vm),
+                float(self.n_sl),
+                self.input_size_gb,
+                self.start_time_epoch,
+                self.total_memory_gb,
+                self.available_memory_gb,
+                self.memory_per_executor_gb,
+                float(self.num_waiting_apps),
+                float(self.total_available_cores),
+                self.historical_duration_s,
+            ],
+            dtype=np.float64,
+        )
+
+    @classmethod
+    def build(
+        cls,
+        n_vm: int,
+        n_sl: int,
+        input_size_gb: float,
+        start_time_epoch: float,
+        historical_duration_s: float,
+        num_waiting_apps: int = 0,
+        memory_per_executor_gb: float = _WORKER_MEMORY_GB,
+        worker_vcpus: int = _WORKER_VCPUS,
+    ) -> "FeatureVector":
+        """Derive the cluster-shape features from a configuration.
+
+        Memory and core totals follow mechanically from the instance counts
+        (every evaluation worker offers 2 vCPUs / 2 GB); waiting
+        applications consume a share of the nominally available memory.
+        """
+        n_workers = n_vm + n_sl
+        total_memory = n_workers * memory_per_executor_gb
+        available = total_memory * max(1.0 - 0.05 * num_waiting_apps, 0.0)
+        return cls(
+            n_vm=n_vm,
+            n_sl=n_sl,
+            input_size_gb=input_size_gb,
+            start_time_epoch=start_time_epoch,
+            total_memory_gb=total_memory,
+            available_memory_gb=available,
+            memory_per_executor_gb=memory_per_executor_gb,
+            num_waiting_apps=num_waiting_apps,
+            total_available_cores=n_workers * worker_vcpus,
+            historical_duration_s=historical_duration_s,
+        )

@@ -1,0 +1,161 @@
+"""The History Server (HS).
+
+"History Server captures and stores the metrics outlined in Table 3"
+(Section 4.1); the prototype stores monitoring data as JSON and serves it
+to other components over internal DNS APIs (Section 5).  Offline, the HS
+is an in-process store with the same responsibilities:
+
+- append-only log of :class:`ExecutionRecord` entries,
+- per-query lookups (records, mean historical duration),
+- training-set assembly as a :class:`repro.ml.dataset.Dataset`,
+- JSON round-tripping so histories survive process restarts.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import numpy as np
+
+from repro.core.features import FEATURE_NAMES, FeatureVector
+from repro.ml.dataset import Dataset
+
+__all__ = ["ExecutionRecord", "HistoryServer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ExecutionRecord:
+    """One completed query execution: features, label and billing."""
+
+    query_id: str
+    features: FeatureVector
+    duration_s: float
+    cost_dollars: float
+    provider: str
+    relay: bool
+
+    def to_json_dict(self) -> dict:
+        return {
+            "query_id": self.query_id,
+            "features": dataclasses.asdict(self.features),
+            "duration_s": self.duration_s,
+            "cost_dollars": self.cost_dollars,
+            "provider": self.provider,
+            "relay": self.relay,
+        }
+
+    @classmethod
+    def from_json_dict(cls, payload: dict) -> "ExecutionRecord":
+        return cls(
+            query_id=payload["query_id"],
+            features=FeatureVector(**payload["features"]),
+            duration_s=payload["duration_s"],
+            cost_dollars=payload["cost_dollars"],
+            provider=payload["provider"],
+            relay=payload["relay"],
+        )
+
+
+class HistoryServer:
+    """Append-only store of execution records with training-set assembly."""
+
+    def __init__(self) -> None:
+        self._records: list[ExecutionRecord] = []
+        self._by_query: dict[str, list[ExecutionRecord]] = {}
+        # A logical clock standing in for wall-clock submit epochs; each
+        # record advances it so start-time-epoch features are monotone.
+        self._logical_epoch = 1_700_000_000.0
+
+    # ------------------------------------------------------------------
+    # Recording
+    # ------------------------------------------------------------------
+
+    def record(self, record: ExecutionRecord) -> None:
+        """Append one completed execution."""
+        if record.duration_s <= 0:
+            raise ValueError("duration_s must be positive")
+        self._records.append(record)
+        self._by_query.setdefault(record.query_id, []).append(record)
+
+    def next_epoch(self, spacing_s: float = 300.0) -> float:
+        """Monotone submit-time epochs for successive jobs."""
+        self._logical_epoch += spacing_s
+        return self._logical_epoch
+
+    # ------------------------------------------------------------------
+    # Lookups (the prototype's "internal DNS APIs")
+    # ------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    @property
+    def records(self) -> tuple[ExecutionRecord, ...]:
+        return tuple(self._records)
+
+    def known_query_ids(self) -> tuple[str, ...]:
+        """Queries with at least one recorded execution."""
+        return tuple(sorted(self._by_query))
+
+    def records_for(self, query_id: str) -> tuple[ExecutionRecord, ...]:
+        return tuple(self._by_query.get(query_id, ()))
+
+    def historical_duration(self, query_id: str) -> float:
+        """Mean observed completion time of ``query_id``.
+
+        This is the "query-duration" feature of Table 3 -- "the best
+        estimation for completion time" a trained model starts from.
+        """
+        records = self._by_query.get(query_id)
+        if not records:
+            raise KeyError(f"no history for query {query_id!r}")
+        return float(np.mean([record.duration_s for record in records]))
+
+    def recent_records(self, limit: int) -> tuple[ExecutionRecord, ...]:
+        """The ``limit`` most recent executions (batch retraining input)."""
+        if limit < 1:
+            raise ValueError("limit must be at least 1")
+        return tuple(self._records[-limit:])
+
+    # ------------------------------------------------------------------
+    # Training-set assembly
+    # ------------------------------------------------------------------
+
+    def as_dataset(
+        self, query_ids: tuple[str, ...] | None = None
+    ) -> Dataset:
+        """Features/targets of all (or the selected queries') records."""
+        if query_ids is None:
+            selected = self._records
+        else:
+            wanted = set(query_ids)
+            selected = [r for r in self._records if r.query_id in wanted]
+        if not selected:
+            raise ValueError("no records match the requested queries")
+        features = np.stack([r.features.as_array() for r in selected])
+        targets = np.array([r.duration_s for r in selected])
+        return Dataset(features, targets, FEATURE_NAMES)
+
+    # ------------------------------------------------------------------
+    # JSON persistence (Section 5 stores monitoring data as JSON)
+    # ------------------------------------------------------------------
+
+    def dump_json(self, path: str | pathlib.Path) -> None:
+        """Write the full history to a JSON file."""
+        payload = {
+            "logical_epoch": self._logical_epoch,
+            "records": [record.to_json_dict() for record in self._records],
+        }
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load_json(cls, path: str | pathlib.Path) -> "HistoryServer":
+        """Rebuild a history server from :meth:`dump_json` output."""
+        payload = json.loads(pathlib.Path(path).read_text())
+        server = cls()
+        server._logical_epoch = float(payload["logical_epoch"])
+        for entry in payload["records"]:
+            server.record(ExecutionRecord.from_json_dict(entry))
+        return server

@@ -1,0 +1,152 @@
+"""The Job Initializer (JI): the Figure 3 workflow, end to end.
+
+Step 0: a query arrives.  Step 1: JI asks WP for the optimal numbers of
+VMs and SLs.  Step 2: unknown queries detour through the Similarity
+Checker.  Steps 3-5: MFE assembles model inputs from the History Server.
+Step 6: WP returns the configuration (knob applied).  Steps 7-8: the
+Resource Manager spawns the instances and the query executes.  Step 9: MFE
+examines the prediction error on completion and Background Re-train fires
+when it exceeds the trigger.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.cloud.pricing import PriceBook
+from repro.cloud.providers import ProviderProfile
+from repro.core.config import SmartpickProperties
+from repro.core.history import ExecutionRecord
+from repro.core.monitor import MonitorAndFeatureExtraction, map_task_count
+from repro.core.predictor import ConfigDecision, WorkloadPredictor
+from repro.core.retrain import BackgroundRetrainer, RetrainEvent
+from repro.core.similarity import SimilarityChecker
+from repro.engine.dag import QuerySpec
+from repro.engine.policies import (
+    NoEarlyTermination,
+    RelayPolicy,
+    TerminationPolicy,
+)
+from repro.engine.runner import QueryRunResult, run_query
+
+__all__ = ["JobInitializer", "SubmissionOutcome"]
+
+
+@dataclasses.dataclass
+class SubmissionOutcome:
+    """Everything one query submission produced."""
+
+    query_id: str
+    decision: ConfigDecision
+    result: QueryRunResult
+    record: ExecutionRecord
+    predicted_seconds: float
+    actual_seconds: float
+    is_alien: bool
+    similar_query_id: str | None
+    retrain_event: RetrainEvent | None
+
+    @property
+    def error_seconds(self) -> float:
+        return abs(self.actual_seconds - self.predicted_seconds)
+
+    @property
+    def cost_dollars(self) -> float:
+        return self.result.cost_dollars
+
+    def summary(self) -> str:
+        alien = f" (alien, via {self.similar_query_id})" if self.is_alien else ""
+        retrained = ", retrained" if self.retrain_event else ""
+        return (
+            f"{self.query_id}{alien}: predicted {self.predicted_seconds:.1f}s, "
+            f"actual {self.actual_seconds:.1f}s, "
+            f"{self.result.cost_cents:.2f} cents{retrained}"
+        )
+
+
+class JobInitializer:
+    """Coordinates WP, SC, MFE, HS, RM and Background Re-train per query."""
+
+    def __init__(
+        self,
+        predictor: WorkloadPredictor,
+        mfe: MonitorAndFeatureExtraction,
+        similarity: SimilarityChecker,
+        retrainer: BackgroundRetrainer,
+        properties: SmartpickProperties,
+        provider: ProviderProfile,
+        prices: PriceBook,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.predictor = predictor
+        self.mfe = mfe
+        self.similarity = similarity
+        self.retrainer = retrainer
+        self.properties = properties
+        self.provider = provider
+        self.prices = prices
+        self._rng = np.random.default_rng(rng)
+
+    def _execution_policy(self, n_vm: int, n_sl: int) -> TerminationPolicy:
+        if self.properties.relay and n_vm > 0 and n_sl > 0:
+            return RelayPolicy()
+        return NoEarlyTermination()
+
+    def submit(
+        self,
+        query: QuerySpec,
+        knob: float | None = None,
+        mode: str = "hybrid",
+        num_waiting_apps: int = 0,
+    ) -> SubmissionOutcome:
+        """Run the full workflow for one incoming query."""
+        if knob is None:
+            knob = self.properties.knob
+
+        # Steps 1-5: assemble inputs (Similarity Checker for aliens) and
+        # determine the configuration.
+        context = self.mfe.build_request(
+            query, self.predictor, num_waiting_apps=num_waiting_apps
+        )
+        decision = self.predictor.determine(context.request, knob=knob, mode=mode)
+
+        # Steps 7-8: spawn and execute.
+        policy = self._execution_policy(decision.n_vm, decision.n_sl)
+        result = run_query(
+            query,
+            n_vm=decision.n_vm,
+            n_sl=decision.n_sl,
+            provider=self.provider,
+            prices=self.prices,
+            policy=policy,
+            rng=self._rng,
+        )
+
+        # Step 9: record, monitor the error, maybe retrain.
+        record = self.mfe.record_run(query, context, result)
+        retrain_event = self.retrainer.observe(
+            query.query_id,
+            predicted_s=decision.predicted_seconds,
+            actual_s=result.completion_seconds,
+        )
+        if retrain_event is not None and not self.similarity.__contains__(
+            query.query_id
+        ):
+            # The model now knows this workload; future similarity searches
+            # may return it as a neighbour.
+            self.similarity.register_sql(
+                query.query_id, query.sql, map_task_count(query)
+            )
+        return SubmissionOutcome(
+            query_id=query.query_id,
+            decision=decision,
+            result=result,
+            record=record,
+            predicted_seconds=decision.predicted_seconds,
+            actual_seconds=result.completion_seconds,
+            is_alien=context.is_alien,
+            similar_query_id=context.similar_query_id,
+            retrain_event=retrain_event,
+        )

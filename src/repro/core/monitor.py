@@ -1,0 +1,151 @@
+"""Monitor & Feature Extraction (MFE).
+
+Figure 3's MFE sits between the Workload Prediction module and the History
+Server: it assembles the prediction inputs for an incoming query (steps
+3-5), records finished executions, and -- via an "independent monitor
+thread" in the prototype -- compares actual and predicted completion times
+to decide whether background retraining must fire (step 9, Section 4.2).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.core.config import SmartpickProperties
+from repro.core.features import FeatureVector
+from repro.core.history import ExecutionRecord, HistoryServer
+from repro.core.predictor import PredictionRequest, WorkloadPredictor
+from repro.core.similarity import QueryAttributes, SimilarityChecker
+from repro.engine.dag import QuerySpec
+from repro.engine.runner import QueryRunResult
+
+__all__ = ["MonitorAndFeatureExtraction", "RequestContext"]
+
+
+def map_task_count(query: QuerySpec) -> int:
+    """Tasks in the query's scan (map) stages -- an SC attribute."""
+    return sum(
+        stage.n_tasks for stage in query.stages if stage.task_input_mb > 0
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class RequestContext:
+    """A prediction request plus how it was derived."""
+
+    request: PredictionRequest
+    is_alien: bool
+    similar_query_id: str | None
+    similarity: float | None
+
+
+class MonitorAndFeatureExtraction:
+    """Feature assembly, run recording and prediction-error monitoring."""
+
+    def __init__(
+        self,
+        history: HistoryServer,
+        similarity: SimilarityChecker,
+        properties: SmartpickProperties,
+    ) -> None:
+        self.history = history
+        self.similarity = similarity
+        self.properties = properties
+
+    # ------------------------------------------------------------------
+    # Prediction inputs (workflow steps 2-5)
+    # ------------------------------------------------------------------
+
+    def build_request(
+        self,
+        query: QuerySpec,
+        predictor: WorkloadPredictor,
+        num_waiting_apps: int = 0,
+    ) -> RequestContext:
+        """Assemble the WP inputs for ``query``.
+
+        Known queries read their historical duration straight from the
+        History Server.  Alien queries go through the Similarity Checker,
+        which parses the SQL and returns the closest known identifier
+        whose history then stands in (Section 4.2).
+        """
+        epoch = self.history.next_epoch()
+        if predictor.is_known(query.query_id):
+            historical = self.history.historical_duration(query.query_id)
+            request = PredictionRequest(
+                query_id=query.query_id,
+                input_size_gb=query.input_gb,
+                start_time_epoch=epoch,
+                historical_duration_s=historical,
+                num_waiting_apps=num_waiting_apps,
+            )
+            return RequestContext(
+                request=request,
+                is_alien=False,
+                similar_query_id=None,
+                similarity=None,
+            )
+
+        attributes = QueryAttributes.from_sql(query.sql, map_task_count(query))
+        match = self.similarity.closest(attributes)
+        historical = self.history.historical_duration(match.query_id)
+        request = PredictionRequest(
+            query_id=query.query_id,
+            input_size_gb=query.input_gb,
+            start_time_epoch=epoch,
+            historical_duration_s=historical,
+            num_waiting_apps=num_waiting_apps,
+        )
+        return RequestContext(
+            request=request,
+            is_alien=True,
+            similar_query_id=match.query_id,
+            similarity=match.similarity,
+        )
+
+    # ------------------------------------------------------------------
+    # Run recording (workflow step 9)
+    # ------------------------------------------------------------------
+
+    def record_run(
+        self,
+        query: QuerySpec,
+        context: RequestContext,
+        result: QueryRunResult,
+    ) -> ExecutionRecord:
+        """Persist a finished execution into the History Server.
+
+        The stored feature vector is the one the model *saw* at decision
+        time (for aliens that includes the neighbour's historical
+        duration), so retraining learns from exactly the inputs that will
+        recur at prediction time.
+        """
+        features = context.request.feature_vector(result.n_vm, result.n_sl)
+        features = dataclasses.replace(
+            features, n_vm=result.n_vm, n_sl=result.n_sl
+        )
+        record = ExecutionRecord(
+            query_id=query.query_id,
+            features=features,
+            duration_s=result.completion_seconds,
+            cost_dollars=result.cost_dollars,
+            provider=result.provider,
+            relay=self.properties.relay,
+        )
+        self.history.record(record)
+        return record
+
+    # ------------------------------------------------------------------
+    # Error monitoring (the independent monitor thread)
+    # ------------------------------------------------------------------
+
+    def prediction_error(self, predicted_s: float, actual_s: float) -> float:
+        """Absolute difference between predicted and actual durations."""
+        return abs(actual_s - predicted_s)
+
+    def error_exceeds_trigger(self, predicted_s: float, actual_s: float) -> bool:
+        """Whether the error crosses ``errorDifference.trigger``."""
+        return (
+            self.prediction_error(predicted_s, actual_s)
+            > self.properties.error_difference_trigger
+        )

@@ -1,0 +1,352 @@
+"""The Workload Prediction module (WP): Random Forest + Bayesian Optimizer.
+
+Section 3 of the paper: a decision-tree based Random Forest quantifies
+query completion time from the Table 3 features (Eq. 1), and a Bayesian
+Optimizer navigates the ``{nVM, nSL}`` search space by maximising
+``-(RF_t + delta)`` (Eq. 2) with a Gaussian Process surrogate and the
+Probability-of-Improvement acquisition, stopping when the estimate has not
+improved by 1 % for 10 consecutive searches.
+
+Every candidate the optimizer touches lands in the Estimated Time list
+(``ET_l``); when the cost-performance knob is set, Eq. 4 is solved over
+that list (:mod:`repro.core.tradeoff`).
+
+The module is deliberately self-contained -- it consumes only features and
+a price book -- so other SEDA systems can use it as an external prediction
+service (Section 5; see :mod:`repro.core.rpc`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import time
+
+import numpy as np
+
+from repro.cloud.pricing import PriceBook
+from repro.cloud.providers import ProviderProfile
+from repro.core.features import (
+    FEATURE_NAMES,
+    INTEGER_FEATURE_COLUMNS,
+    FeatureVector,
+)
+from repro.core.tradeoff import EstimatedTimeEntry, select_with_knob
+from repro.ml.acquisition import AcquisitionFunction, make_acquisition
+from repro.ml.bayesian_optimizer import BayesianOptimizer
+from repro.ml.dataset import DataBurstAugmenter, Dataset
+from repro.ml.random_forest import RandomForestRegressor
+
+__all__ = [
+    "PredictionRequest",
+    "ConfigDecision",
+    "WorkloadPredictor",
+    "EstimatedTimeEntry",
+]
+
+_MODES = ("hybrid", "vm-only", "sl-only")
+
+
+@dataclasses.dataclass(frozen=True)
+class PredictionRequest:
+    """Everything WP needs to size one incoming query.
+
+    ``historical_duration_s`` is the query-duration prior: for known
+    queries it comes straight from the History Server; for alien queries
+    the Similarity Checker substitutes the closest neighbour's value
+    (Section 4.2).
+    """
+
+    query_id: str
+    input_size_gb: float
+    start_time_epoch: float
+    historical_duration_s: float
+    num_waiting_apps: int = 0
+
+    def feature_vector(self, n_vm: int, n_sl: int) -> FeatureVector:
+        """The Table 3 features for one candidate configuration."""
+        return FeatureVector.build(
+            n_vm=n_vm,
+            n_sl=n_sl,
+            input_size_gb=self.input_size_gb,
+            start_time_epoch=self.start_time_epoch,
+            historical_duration_s=self.historical_duration_s,
+            num_waiting_apps=self.num_waiting_apps,
+        )
+
+
+@dataclasses.dataclass
+class ConfigDecision:
+    """The WP's answer: a configuration plus everything behind it."""
+
+    query_id: str
+    n_vm: int
+    n_sl: int
+    predicted_seconds: float
+    estimated_cost: float
+    knob: float
+    best_entry: EstimatedTimeEntry
+    chosen_entry: EstimatedTimeEntry
+    et_list: list[EstimatedTimeEntry]
+    n_evaluations: int
+    converged: bool
+    inference_seconds: float
+
+    @property
+    def config(self) -> tuple[int, int]:
+        return (self.n_vm, self.n_sl)
+
+    def summary(self) -> str:
+        return (
+            f"{self.query_id}: {self.n_vm} VM + {self.n_sl} SL, "
+            f"~{self.predicted_seconds:.1f}s, ~{self.estimated_cost * 100:.2f} cents "
+            f"(knob={self.knob:g}, {self.n_evaluations} probes)"
+        )
+
+
+class WorkloadPredictor:
+    """RF + BO workload prediction over the hybrid configuration space.
+
+    Parameters
+    ----------
+    provider, prices:
+        Target cloud profile and its price book (cost estimation for
+        Eq. 4 and reports).
+    relay:
+        Whether decisions assume the relay-instances mechanism; affects
+        the SL usage time in cost estimates (SLs retire at VM readiness).
+    max_vm, max_sl:
+        Bounds of the ``{nVM, nSL}`` search grid.
+    n_estimators, max_depth, min_samples_leaf:
+        Random Forest hyper-parameters.
+    acquisition:
+        BO acquisition short name (``pi`` default, per the paper).
+    burst_factor, burst_jitter:
+        Data-burst augmentation heuristic (Section 5: ~10x, +-5 %).
+    rng:
+        Seed or generator; all stochastic parts derive from it.
+    """
+
+    def __init__(
+        self,
+        provider: ProviderProfile,
+        prices: PriceBook,
+        relay: bool = True,
+        max_vm: int = 12,
+        max_sl: int = 12,
+        n_estimators: int = 100,
+        max_depth: int | None = 20,
+        min_samples_leaf: int = 2,
+        acquisition: str | AcquisitionFunction = "pi",
+        bo_patience: int = 10,
+        bo_improvement_threshold: float = 0.01,
+        burst_factor: int = 10,
+        burst_jitter: float = 0.05,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if max_vm < 0 or max_sl < 0 or max_vm + max_sl == 0:
+            raise ValueError("the search grid must contain a worker")
+        self.provider = provider
+        self.prices = prices
+        self.relay = relay
+        self.max_vm = max_vm
+        self.max_sl = max_sl
+        self.bo_patience = bo_patience
+        self.bo_improvement_threshold = bo_improvement_threshold
+        if isinstance(acquisition, str):
+            acquisition = make_acquisition(acquisition)
+        self.acquisition = acquisition
+        self._rng = np.random.default_rng(rng)
+        self._forest = RandomForestRegressor(
+            n_estimators=n_estimators,
+            max_depth=max_depth,
+            min_samples_leaf=min_samples_leaf,
+            max_features=1.0,
+            oob_score=True,
+            rng=self._rng,
+        )
+        self._augmenter = DataBurstAugmenter(
+            factor=burst_factor,
+            jitter=burst_jitter,
+            integer_columns=INTEGER_FEATURE_COLUMNS,
+            rng=self._rng,
+        )
+        self.known_queries: set[str] = set()
+        self.model_version = 0
+        self.training_set_size = 0
+
+    # ------------------------------------------------------------------
+    # Training
+    # ------------------------------------------------------------------
+
+    def fit(
+        self,
+        dataset: Dataset,
+        query_ids: tuple[str, ...] = (),
+        augment: bool = True,
+    ) -> Dataset:
+        """(Re)train the forest; returns the (augmented) training set.
+
+        With ``augment=True`` the Section 5 heuristic runs first: each
+        sample is varied by +-5 % into a ~10x burst, shuffled so later
+        splits stay unbiased.
+        """
+        if dataset.feature_names and dataset.feature_names != FEATURE_NAMES:
+            raise ValueError("dataset columns must follow FEATURE_NAMES")
+        training = self._augmenter.augment(dataset) if augment else dataset
+        self._forest.fit(training.features, training.targets)
+        self.known_queries.update(query_ids)
+        self.model_version += 1
+        self.training_set_size = len(training)
+        return training
+
+    def warm_update(self, dataset: Dataset, n_new_trees: int = 20) -> None:
+        """Incremental update: keep existing trees, add new ones.
+
+        This is the ``warm_start`` path of Section 5's background
+        retraining -- the new trees are fitted on the fresh data while the
+        old ensemble keeps its knowledge.
+        """
+        training = self._augmenter.augment(dataset)
+        self._forest.add_trees(training.features, training.targets, n_new_trees)
+        self.model_version += 1
+        self.training_set_size += len(training)
+
+    @property
+    def is_trained(self) -> bool:
+        return self._forest.n_trees > 0
+
+    @property
+    def forest(self) -> RandomForestRegressor:
+        return self._forest
+
+    def is_known(self, query_id: str) -> bool:
+        return query_id in self.known_queries
+
+    # ------------------------------------------------------------------
+    # Point prediction (Eq. 1)
+    # ------------------------------------------------------------------
+
+    def predict_duration(self, features: FeatureVector) -> float:
+        """``RF_t``: expected completion time for one configuration."""
+        if not self.is_trained:
+            raise RuntimeError("the prediction model has not been trained")
+        return float(self._forest.predict(features.as_array()[None, :])[0])
+
+    # ------------------------------------------------------------------
+    # Cost estimation (the Eq. 4 cost term)
+    # ------------------------------------------------------------------
+
+    def estimate_cost(self, t_est: float, n_vm: int, n_sl: int) -> float:
+        """``nVM * t_vm * C_vm + nSL * t_sl * C_sl`` plus the Redis host.
+
+        Under relay, SLs only run for the VM cold-boot window (their usage
+        time ``t_sl`` is capped at the boot latency whenever VMs are part
+        of the configuration).
+        """
+        prices = self.prices
+        vm_rate = (
+            prices.vm_per_second
+            + prices.vm_burst_per_second
+            + prices.vm_storage_per_second
+        )
+        t_vm = t_est
+        if self.relay and n_vm > 0:
+            t_sl = min(t_est, self.provider.vm_boot_seconds)
+        else:
+            t_sl = t_est
+        cost = n_vm * t_vm * vm_rate + n_sl * t_sl * prices.sl_per_second
+        if n_sl > 0:
+            cost += t_est * prices.redis_per_second
+        return cost
+
+    # ------------------------------------------------------------------
+    # Resource determination (Eq. 2 + Eq. 4)
+    # ------------------------------------------------------------------
+
+    def candidate_grid(self, mode: str = "hybrid") -> np.ndarray:
+        """The ``{nVM, nSL}`` search space for a determination mode."""
+        if mode not in _MODES:
+            raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
+        candidates = []
+        vm_range = range(self.max_vm + 1) if mode != "sl-only" else (0,)
+        sl_range = range(self.max_sl + 1) if mode != "vm-only" else (0,)
+        for n_vm in vm_range:
+            for n_sl in sl_range:
+                if n_vm + n_sl == 0:
+                    continue
+                candidates.append((float(n_vm), float(n_sl)))
+        return np.asarray(candidates)
+
+    def determine(
+        self,
+        request: PredictionRequest,
+        knob: float = 0.0,
+        mode: str = "hybrid",
+        max_iterations: int = 60,
+    ) -> ConfigDecision:
+        """Determine the (near-)optimal configuration for a query.
+
+        Runs the BO loop over the candidate grid against the RF model,
+        assembles the Estimated Time list from the probes, and applies the
+        tradeoff knob (Eq. 4) when requested.
+        """
+        if not self.is_trained:
+            raise RuntimeError("the prediction model has not been trained")
+        started = time.perf_counter()
+        candidates = self.candidate_grid(mode)
+
+        def objective(point: np.ndarray) -> float:
+            n_vm, n_sl = int(point[0]), int(point[1])
+            predicted = self.predict_duration(request.feature_vector(n_vm, n_sl))
+            # Eq. 2: maximise -(RF_t + delta), delta ~ N(0, sigma).
+            delta = self._rng.normal(0.0, 0.01 * max(predicted, 1.0))
+            return -(predicted + delta)
+
+        optimizer = BayesianOptimizer(
+            objective=objective,
+            candidates=candidates,
+            acquisition=self.acquisition,
+            n_initial=min(4, candidates.shape[0]),
+            improvement_threshold=self.bo_improvement_threshold,
+            patience=self.bo_patience,
+            rng=self._rng,
+        )
+        result = optimizer.maximize(max_iterations=max_iterations)
+
+        et_list = []
+        for probe in result.history:
+            n_vm, n_sl = int(probe.point[0]), int(probe.point[1])
+            t_est = self.predict_duration(request.feature_vector(n_vm, n_sl))
+            et_list.append(
+                EstimatedTimeEntry(
+                    n_vm=n_vm,
+                    n_sl=n_sl,
+                    estimated_seconds=t_est,
+                    estimated_cost=self.estimate_cost(t_est, n_vm, n_sl),
+                )
+            )
+
+        best_vm, best_sl = int(result.best_point[0]), int(result.best_point[1])
+        t_best = self.predict_duration(request.feature_vector(best_vm, best_sl))
+        best_entry = EstimatedTimeEntry(
+            n_vm=best_vm,
+            n_sl=best_sl,
+            estimated_seconds=t_best,
+            estimated_cost=self.estimate_cost(t_best, best_vm, best_sl),
+        )
+        chosen = select_with_knob(et_list, best_entry, knob)
+        elapsed = time.perf_counter() - started
+        return ConfigDecision(
+            query_id=request.query_id,
+            n_vm=chosen.n_vm,
+            n_sl=chosen.n_sl,
+            predicted_seconds=chosen.estimated_seconds,
+            estimated_cost=chosen.estimated_cost,
+            knob=knob,
+            best_entry=best_entry,
+            chosen_entry=chosen,
+            et_list=et_list,
+            n_evaluations=result.n_evaluations,
+            converged=result.converged,
+            inference_seconds=elapsed,
+        )

@@ -1,0 +1,203 @@
+"""Event-driven background retraining (Sections 4.2 and 5).
+
+When the gap between actual and predicted completion time exceeds the
+configured ``errorDifference.trigger``, Smartpick "spawns an asynchronous
+model re-training task that re-tunes the prediction models in background".
+The retrained model is built (with ``warm_start``) as a pickled object and
+atomically swapped in; users choose *where* retraining runs through
+``pref.sameInstance`` and ``min.ram.gb``, and an independent batch-based
+mode keeps the model incrementally up to date (``max.batch``).
+
+Offline, "background" asynchrony is modelled as an immediate retrain with
+the placement decision recorded -- the decision logic (same-instance vs a
+fresh instance, memory gating, batch windows) is exactly the paper's.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import pickle
+
+from repro.core.config import SmartpickProperties
+from repro.core.history import HistoryServer
+from repro.core.predictor import WorkloadPredictor
+
+__all__ = ["RetrainEvent", "ModelStore", "BackgroundRetrainer"]
+
+
+@dataclasses.dataclass(frozen=True)
+class RetrainEvent:
+    """One background retraining occurrence."""
+
+    trigger_query_id: str
+    predicted_s: float
+    actual_s: float
+    error_s: float
+    same_instance: bool
+    model_version: int
+    training_samples: int
+    incremental: bool
+
+
+@dataclasses.dataclass(frozen=True)
+class ModelSnapshot:
+    """A versioned, pickled model -- the prototype's model directory entry."""
+
+    version: int
+    payload: bytes
+    training_samples: int
+
+    def restore(self):
+        """Unpickle the stored forest."""
+        return pickle.loads(self.payload)
+
+
+class ModelStore:
+    """Versioned model registry with atomic current-pointer swaps.
+
+    The prototype writes the new model as a pickle object and, on
+    completion, "replaces this model in the referred directory" so all new
+    predictions point at it.  Here the directory is an in-memory dict, but
+    the same swap discipline applies: snapshots are immutable, and
+    ``current`` moves only after the new snapshot is fully stored.
+    """
+
+    def __init__(self) -> None:
+        self._snapshots: dict[int, ModelSnapshot] = {}
+        self._current_version: int | None = None
+
+    def publish(self, predictor: WorkloadPredictor) -> ModelSnapshot:
+        """Snapshot the predictor's forest and make it current."""
+        snapshot = ModelSnapshot(
+            version=predictor.model_version,
+            payload=pickle.dumps(predictor.forest),
+            training_samples=predictor.training_set_size,
+        )
+        self._snapshots[snapshot.version] = snapshot
+        self._current_version = snapshot.version
+        return snapshot
+
+    @property
+    def current(self) -> ModelSnapshot | None:
+        if self._current_version is None:
+            return None
+        return self._snapshots[self._current_version]
+
+    def get(self, version: int) -> ModelSnapshot:
+        return self._snapshots[version]
+
+    @property
+    def versions(self) -> tuple[int, ...]:
+        return tuple(sorted(self._snapshots))
+
+
+class BackgroundRetrainer:
+    """Decides when and where to retrain, and performs the retrain."""
+
+    def __init__(
+        self,
+        predictor: WorkloadPredictor,
+        history: HistoryServer,
+        properties: SmartpickProperties,
+        model_store: ModelStore | None = None,
+        available_ram_gb: float = 8.0,
+    ) -> None:
+        self.predictor = predictor
+        self.history = history
+        self.properties = properties
+        self.model_store = model_store or ModelStore()
+        self.available_ram_gb = available_ram_gb
+        self.events: list[RetrainEvent] = []
+        self._records_at_last_batch = 0
+
+    # ------------------------------------------------------------------
+    # Placement (pref.sameInstance / min.ram.gb)
+    # ------------------------------------------------------------------
+
+    def _retrain_placement(self) -> bool:
+        """``True`` = same instance, ``False`` = spawn a fresh instance."""
+        return (
+            self.properties.prefer_same_instance
+            and self.available_ram_gb >= self.properties.min_ram_gb
+        )
+
+    # ------------------------------------------------------------------
+    # Event-driven retraining
+    # ------------------------------------------------------------------
+
+    def observe(
+        self, query_id: str, predicted_s: float, actual_s: float
+    ) -> RetrainEvent | None:
+        """Check the error trigger; retrain if it fires.
+
+        Returns the :class:`RetrainEvent` when retraining happened, else
+        ``None``.  The retrain consumes the *entire* history (the new
+        workload's records included), so the model absorbs the dynamics
+        that caused the miss -- new queries and changed data sizes alike.
+        """
+        error = abs(actual_s - predicted_s)
+        if error <= self.properties.error_difference_trigger:
+            return None
+        return self._retrain(
+            trigger_query_id=query_id,
+            predicted_s=predicted_s,
+            actual_s=actual_s,
+            error_s=error,
+            incremental=False,
+        )
+
+    def _retrain(
+        self,
+        trigger_query_id: str,
+        predicted_s: float,
+        actual_s: float,
+        error_s: float,
+        incremental: bool,
+    ) -> RetrainEvent:
+        dataset = self.history.as_dataset()
+        query_ids = self.history.known_query_ids()
+        if incremental:
+            recent = self.history.recent_records(self.properties.max_batch)
+            wanted = tuple({record.query_id for record in recent})
+            dataset = self.history.as_dataset(wanted)
+            self.predictor.warm_update(dataset)
+            self.predictor.known_queries.update(wanted)
+        else:
+            self.predictor.fit(dataset, query_ids=query_ids, augment=True)
+        self.model_store.publish(self.predictor)
+        event = RetrainEvent(
+            trigger_query_id=trigger_query_id,
+            predicted_s=predicted_s,
+            actual_s=actual_s,
+            error_s=error_s,
+            same_instance=self._retrain_placement(),
+            model_version=self.predictor.model_version,
+            training_samples=self.predictor.training_set_size,
+            incremental=incremental,
+        )
+        self.events.append(event)
+        return event
+
+    # ------------------------------------------------------------------
+    # Batch-based incremental retraining (max.batch)
+    # ------------------------------------------------------------------
+
+    def batch_tick(self) -> RetrainEvent | None:
+        """Fire an incremental warm-start retrain per ``max.batch`` records.
+
+        "Smartpick also supports batch-based re-training that works
+        independently to keep the model incrementally up-to-date"
+        (Section 5).  Call this after recording executions; it retrains
+        once ``max.batch`` new records have accumulated.
+        """
+        new_records = len(self.history) - self._records_at_last_batch
+        if new_records < self.properties.max_batch:
+            return None
+        self._records_at_last_batch = len(self.history)
+        return self._retrain(
+            trigger_query_id="<batch>",
+            predicted_s=0.0,
+            actual_s=0.0,
+            error_s=0.0,
+            incremental=True,
+        )

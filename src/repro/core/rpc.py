@@ -1,0 +1,235 @@
+"""The standalone prediction service (Thrift-RPC substitute).
+
+"We designed and implemented the workload prediction module as a separate
+process (server) using Thrift RPC.  Thus, other SEDA systems can get
+benefits from Smartpick, i.e., workload prediction and the cost-performance
+tradeoff feature." (Section 5)
+
+Thrift is unavailable offline, so the service speaks length-prefixed JSON
+over TCP -- same architectural property, plain-library implementation:
+
+- :class:`PredictionServer` wraps a trained
+  :class:`~repro.core.predictor.WorkloadPredictor` and serves
+  ``determine`` / ``predict_duration`` / ``model_info`` / ``ping``.
+- :class:`PredictionClient` is the matching blocking client.
+
+Frames are ``4-byte big-endian length || UTF-8 JSON``.  Requests look like
+``{"method": "determine", "params": {...}}``; responses are
+``{"ok": true, "result": ...}`` or ``{"ok": false, "error": "..."}``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import socket
+import socketserver
+import struct
+import threading
+from typing import Any
+
+from repro.core.predictor import (
+    ConfigDecision,
+    PredictionRequest,
+    WorkloadPredictor,
+)
+
+__all__ = ["PredictionServer", "PredictionClient", "RpcError"]
+
+_LENGTH = struct.Struct(">I")
+_MAX_FRAME = 16 * 1024 * 1024
+
+
+class RpcError(RuntimeError):
+    """A remote call failed on the server side."""
+
+
+def _send_frame(sock: socket.socket, payload: dict) -> None:
+    body = json.dumps(payload).encode("utf-8")
+    sock.sendall(_LENGTH.pack(len(body)) + body)
+
+
+def _recv_exact(sock: socket.socket, size: int) -> bytes:
+    chunks = []
+    remaining = size
+    while remaining > 0:
+        chunk = sock.recv(remaining)
+        if not chunk:
+            raise ConnectionError("peer closed the connection mid-frame")
+        chunks.append(chunk)
+        remaining -= len(chunk)
+    return b"".join(chunks)
+
+
+def _recv_frame(sock: socket.socket) -> dict | None:
+    header = sock.recv(_LENGTH.size)
+    if not header:
+        return None
+    if len(header) < _LENGTH.size:
+        header += _recv_exact(sock, _LENGTH.size - len(header))
+    (length,) = _LENGTH.unpack(header)
+    if length > _MAX_FRAME:
+        raise ConnectionError(f"frame of {length} bytes exceeds the limit")
+    return json.loads(_recv_exact(sock, length).decode("utf-8"))
+
+
+def _decision_to_dict(decision: ConfigDecision) -> dict:
+    payload = dataclasses.asdict(decision)
+    payload["et_list"] = [dataclasses.asdict(e) for e in decision.et_list]
+    payload["best_entry"] = dataclasses.asdict(decision.best_entry)
+    payload["chosen_entry"] = dataclasses.asdict(decision.chosen_entry)
+    return payload
+
+
+class _Handler(socketserver.BaseRequestHandler):
+    """One connection; serves any number of sequential calls."""
+
+    def handle(self) -> None:
+        server: PredictionServer = self.server.prediction_server  # type: ignore[attr-defined]
+        while True:
+            try:
+                request = _recv_frame(self.request)
+            except (ConnectionError, json.JSONDecodeError):
+                return
+            if request is None:
+                return
+            try:
+                result = server.dispatch(
+                    request.get("method", ""), request.get("params", {}) or {}
+                )
+                response = {"ok": True, "result": result}
+            except Exception as exc:  # surface the failure to the caller
+                response = {"ok": False, "error": f"{type(exc).__name__}: {exc}"}
+            try:
+                _send_frame(self.request, response)
+            except OSError:
+                return
+
+
+class _ThreadingServer(socketserver.ThreadingTCPServer):
+    allow_reuse_address = True
+    daemon_threads = True
+
+
+class PredictionServer:
+    """Serves a :class:`WorkloadPredictor` to external SEDA systems."""
+
+    def __init__(self, predictor: WorkloadPredictor, host: str = "127.0.0.1",
+                 port: int = 0) -> None:
+        self.predictor = predictor
+        self._tcp = _ThreadingServer((host, port), _Handler)
+        self._tcp.prediction_server = self  # type: ignore[attr-defined]
+        self._thread: threading.Thread | None = None
+
+    @property
+    def address(self) -> tuple[str, int]:
+        """Actually bound ``(host, port)``."""
+        return self._tcp.server_address  # type: ignore[return-value]
+
+    def start(self) -> None:
+        if self._thread is not None:
+            raise RuntimeError("the server is already running")
+        self._thread = threading.Thread(
+            target=self._tcp.serve_forever, name="prediction-server", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._tcp.shutdown()
+        self._tcp.server_close()
+        self._thread.join(timeout=5)
+        self._thread = None
+
+    def __enter__(self) -> "PredictionServer":
+        self.start()
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.stop()
+
+    # ------------------------------------------------------------------
+    # Method dispatch
+    # ------------------------------------------------------------------
+
+    def dispatch(self, method: str, params: dict[str, Any]) -> Any:
+        if method == "ping":
+            return "pong"
+        if method == "model_info":
+            return {
+                "trained": self.predictor.is_trained,
+                "model_version": self.predictor.model_version,
+                "training_samples": self.predictor.training_set_size,
+                "known_queries": sorted(self.predictor.known_queries),
+                "relay": self.predictor.relay,
+                "provider": self.predictor.provider.name,
+            }
+        if method == "predict_duration":
+            request = PredictionRequest(**params["request"])
+            features = request.feature_vector(
+                int(params["n_vm"]), int(params["n_sl"])
+            )
+            return self.predictor.predict_duration(features)
+        if method == "determine":
+            request = PredictionRequest(**params["request"])
+            decision = self.predictor.determine(
+                request,
+                knob=float(params.get("knob", 0.0)),
+                mode=params.get("mode", "hybrid"),
+            )
+            return _decision_to_dict(decision)
+        raise ValueError(f"unknown RPC method {method!r}")
+
+
+class PredictionClient:
+    """Blocking client for :class:`PredictionServer`."""
+
+    def __init__(self, host: str, port: int, timeout_s: float = 30.0) -> None:
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+
+    def close(self) -> None:
+        self._sock.close()
+
+    def __enter__(self) -> "PredictionClient":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    def call(self, method: str, **params: Any) -> Any:
+        _send_frame(self._sock, {"method": method, "params": params})
+        response = _recv_frame(self._sock)
+        if response is None:
+            raise ConnectionError("the server closed the connection")
+        if not response.get("ok"):
+            raise RpcError(response.get("error", "unknown remote failure"))
+        return response["result"]
+
+    # Convenience wrappers -------------------------------------------------
+
+    def ping(self) -> str:
+        return self.call("ping")
+
+    def model_info(self) -> dict:
+        return self.call("model_info")
+
+    def predict_duration(
+        self, request: PredictionRequest, n_vm: int, n_sl: int
+    ) -> float:
+        return self.call(
+            "predict_duration",
+            request=dataclasses.asdict(request),
+            n_vm=n_vm,
+            n_sl=n_sl,
+        )
+
+    def determine(
+        self, request: PredictionRequest, knob: float = 0.0, mode: str = "hybrid"
+    ) -> dict:
+        return self.call(
+            "determine",
+            request=dataclasses.asdict(request),
+            knob=knob,
+            mode=mode,
+        )

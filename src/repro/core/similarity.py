@@ -1,0 +1,111 @@
+"""The Similarity Checker (SC).
+
+"Smartpick maintains the known queries' identifiers and their attributes,
+such as the number of tables, columns, subqueries, and map tasks.  When
+queries are sent, Smartpick extracts these attributes from the incoming
+queries and computes the spatial cosine similarity to search for the
+closest known-query identifier." (Section 4.2)
+
+Attributes are extracted with :mod:`repro.sqlmeta` (the ``sql-metadata``
+substitute).  Because map-task counts are two orders of magnitude larger
+than table counts, each dimension is normalised by its maximum over the
+known queries before the cosine is taken -- otherwise the map-task axis
+would dominate every comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.sqlmeta import extract_metadata
+
+__all__ = ["QueryAttributes", "SimilarityChecker", "SimilarityMatch"]
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryAttributes:
+    """The SC's 4-dimensional attribute list for one query."""
+
+    n_tables: int
+    n_columns: int
+    n_subqueries: int
+    n_map_tasks: int
+
+    def as_array(self) -> np.ndarray:
+        return np.array(
+            [self.n_tables, self.n_columns, self.n_subqueries, self.n_map_tasks],
+            dtype=np.float64,
+        )
+
+    @classmethod
+    def from_sql(cls, sql: str, n_map_tasks: int) -> "QueryAttributes":
+        """Parse ``sql`` and attach the map-task count."""
+        metadata = extract_metadata(sql)
+        return cls(
+            n_tables=metadata.n_tables,
+            n_columns=metadata.n_columns,
+            n_subqueries=metadata.n_subqueries,
+            n_map_tasks=n_map_tasks,
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class SimilarityMatch:
+    """Result of a closest-known-query search."""
+
+    query_id: str
+    similarity: float
+    scores: dict[str, float]
+
+
+class SimilarityChecker:
+    """Finds the known query most similar to an alien one."""
+
+    def __init__(self) -> None:
+        self._known: dict[str, QueryAttributes] = {}
+
+    def register(self, query_id: str, attributes: QueryAttributes) -> None:
+        """Add (or update) a known query's attributes."""
+        self._known[query_id] = attributes
+
+    def register_sql(self, query_id: str, sql: str, n_map_tasks: int) -> None:
+        """Parse and register in one step."""
+        self.register(query_id, QueryAttributes.from_sql(sql, n_map_tasks))
+
+    @property
+    def known_query_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self._known))
+
+    def __contains__(self, query_id: str) -> bool:
+        return query_id in self._known
+
+    def closest(self, attributes: QueryAttributes) -> SimilarityMatch:
+        """The known query with the highest normalised cosine similarity."""
+        if not self._known:
+            raise RuntimeError("no known queries registered")
+        scale = np.max(
+            np.stack([known.as_array() for known in self._known.values()]),
+            axis=0,
+        )
+        scale[scale == 0] = 1.0
+
+        candidate = attributes.as_array() / scale
+        candidate_norm = np.linalg.norm(candidate)
+        scores: dict[str, float] = {}
+        for query_id, known in self._known.items():
+            reference = known.as_array() / scale
+            denominator = candidate_norm * np.linalg.norm(reference)
+            if denominator == 0:
+                scores[query_id] = 0.0
+            else:
+                scores[query_id] = float(candidate @ reference / denominator)
+        best = max(scores, key=lambda query_id: scores[query_id])
+        return SimilarityMatch(
+            query_id=best, similarity=scores[best], scores=scores
+        )
+
+    def closest_for_sql(self, sql: str, n_map_tasks: int) -> SimilarityMatch:
+        """Parse an alien query and find its closest known neighbour."""
+        return self.closest(QueryAttributes.from_sql(sql, n_map_tasks))

@@ -1,0 +1,290 @@
+"""The :class:`Smartpick` facade -- the library's main entry point.
+
+Typical use::
+
+    from repro.core import Smartpick, SmartpickProperties
+    from repro.workloads import get_query
+
+    props = SmartpickProperties(provider="AWS", relay=True, knob=0.0)
+    system = Smartpick(properties=props, rng=7)
+    system.bootstrap([get_query(q) for q in (
+        "tpcds-q11", "tpcds-q49", "tpcds-q68", "tpcds-q74", "tpcds-q82",
+    )])
+    outcome = system.submit(get_query("tpcds-q11"))
+    print(outcome.summary())
+
+``bootstrap`` is the CLI initial-training step of Section 5: it runs a
+handful of random configurations per representational workload, applies
+the +-5 % / ~10x data-burst heuristic and fits the first model.  ``submit``
+then exercises the full Figure 3 workflow including similarity checking,
+knob application, relay execution and event-driven retraining.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+from repro.cloud.pricing import PriceBook, get_prices
+from repro.cloud.providers import ProviderProfile, get_provider
+from repro.core.config import SmartpickProperties
+from repro.core.history import ExecutionRecord, HistoryServer
+from repro.core.job import JobInitializer, SubmissionOutcome
+from repro.core.monitor import MonitorAndFeatureExtraction, map_task_count
+from repro.core.predictor import WorkloadPredictor
+from repro.core.retrain import BackgroundRetrainer, ModelStore
+from repro.core.similarity import SimilarityChecker
+from repro.engine.dag import QuerySpec
+from repro.engine.policies import NoEarlyTermination, RelayPolicy
+from repro.engine.runner import run_query
+
+__all__ = ["Smartpick", "BootstrapReport"]
+
+
+@dataclasses.dataclass
+class BootstrapReport:
+    """What initial training produced."""
+
+    query_ids: tuple[str, ...]
+    n_runs: int
+    n_training_samples: int
+    model_version: int
+    oob_rmse: float | None
+
+
+class Smartpick:
+    """Serverless-enabled data analytics with workload prediction.
+
+    Parameters
+    ----------
+    properties:
+        The Table 4 property set; defaults match the paper.
+    provider_profile / prices:
+        Optional overrides of the provider performance profile and price
+        book (the profile named in ``properties.provider`` otherwise).
+    max_vm, max_sl:
+        Search-grid bounds for resource determination.
+    rng:
+        Seed or generator from which every stochastic component derives.
+    """
+
+    def __init__(
+        self,
+        properties: SmartpickProperties | None = None,
+        provider_profile: ProviderProfile | None = None,
+        prices: PriceBook | None = None,
+        max_vm: int = 12,
+        max_sl: int = 12,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.properties = properties or SmartpickProperties()
+        self.provider = provider_profile or get_provider(self.properties.provider)
+        self.prices = prices or get_prices(self.provider.name)
+        # smartpick.cloud.compute.instanceFamily: larger families trade
+        # extra cost for memory locality and faster cores (Section 7).
+        from repro.cloud.families import apply_family
+
+        self.provider, self.prices = apply_family(
+            self.provider, self.prices, self.properties.instance_family
+        )
+        self._rng = np.random.default_rng(rng)
+
+        self.history = HistoryServer()
+        self.similarity = SimilarityChecker()
+        self.predictor = WorkloadPredictor(
+            provider=self.provider,
+            prices=self.prices,
+            relay=self.properties.relay,
+            max_vm=max_vm,
+            max_sl=max_sl,
+            rng=self._rng,
+        )
+        self.mfe = MonitorAndFeatureExtraction(
+            history=self.history,
+            similarity=self.similarity,
+            properties=self.properties,
+        )
+        self.model_store = ModelStore()
+        self.retrainer = BackgroundRetrainer(
+            predictor=self.predictor,
+            history=self.history,
+            properties=self.properties,
+            model_store=self.model_store,
+        )
+        self.job_initializer = JobInitializer(
+            predictor=self.predictor,
+            mfe=self.mfe,
+            similarity=self.similarity,
+            retrainer=self.retrainer,
+            properties=self.properties,
+            provider=self.provider,
+            prices=self.prices,
+            rng=self._rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Initial training (the Section 5 CLI step)
+    # ------------------------------------------------------------------
+
+    def bootstrap(
+        self,
+        queries: list[QuerySpec],
+        n_configs_per_query: int = 20,
+        min_workers: int = 4,
+    ) -> BootstrapReport:
+        """Run sample configurations and fit the first prediction model.
+
+        For each representational workload, ``n_configs_per_query`` random
+        ``{nVM, nSL}`` configurations are executed (the paper uses 20 per
+        query); the records seed the History Server, the Similarity
+        Checker learns each query's SQL attributes, and the Random Forest
+        is fitted on the data-burst-augmented sample set.
+        """
+        if not queries:
+            raise ValueError("bootstrap needs at least one query")
+        if n_configs_per_query < 1:
+            raise ValueError("n_configs_per_query must be at least 1")
+
+        n_runs = 0
+        for query in queries:
+            durations_costs = []
+            for n_vm, n_sl in self._sample_configs(
+                n_configs_per_query, min_workers
+            ):
+                result = self._execute(query, n_vm, n_sl)
+                durations_costs.append(result)
+                n_runs += 1
+            # The query's historical-duration anchor is the mean over its
+            # bootstrap runs; every record carries it so training features
+            # match what prediction-time features will look like.
+            mean_duration = float(
+                np.mean([r.completion_seconds for r in durations_costs])
+            )
+            for result in durations_costs:
+                features = self._bootstrap_features(
+                    query, result.n_vm, result.n_sl, mean_duration
+                )
+                self.history.record(
+                    ExecutionRecord(
+                        query_id=query.query_id,
+                        features=features,
+                        duration_s=result.completion_seconds,
+                        cost_dollars=result.cost_dollars,
+                        provider=result.provider,
+                        relay=self.properties.relay,
+                    )
+                )
+            self.similarity.register_sql(
+                query.query_id, query.sql, map_task_count(query)
+            )
+
+        query_ids = tuple(query.query_id for query in queries)
+        dataset = self.history.as_dataset(query_ids)
+        self.predictor.fit(dataset, query_ids=query_ids, augment=True)
+        self.model_store.publish(self.predictor)
+        return BootstrapReport(
+            query_ids=query_ids,
+            n_runs=n_runs,
+            n_training_samples=self.predictor.training_set_size,
+            model_version=self.predictor.model_version,
+            oob_rmse=self.predictor.forest.oob_rmse_,
+        )
+
+    def _sample_configs(
+        self, count: int, min_workers: int
+    ) -> list[tuple[int, int]]:
+        """Random configurations, stratified across the search grid.
+
+        A fifth of the samples are pure-VM and a fifth pure-SL so the model
+        sees the grid edges the VM-only / SL-only determinations search;
+        the rest are uniform mixed configurations.  ``min_workers`` keeps
+        degenerate near-empty clusters (whose extreme durations would
+        dominate the model's loss) out of the sample set.
+        """
+        max_vm, max_sl = self.predictor.max_vm, self.predictor.max_sl
+        min_workers = max(1, min(min_workers, max(max_vm, max_sl)))
+        configs: list[tuple[int, int]] = []
+        n_pure = max(count // 5, 1)
+        if max_vm >= min_workers:
+            for _ in range(n_pure):
+                configs.append(
+                    (int(self._rng.integers(min_workers, max_vm + 1)), 0)
+                )
+        if max_sl >= min_workers:
+            for _ in range(n_pure):
+                configs.append(
+                    (0, int(self._rng.integers(min_workers, max_sl + 1)))
+                )
+        while len(configs) < count:
+            n_vm = int(self._rng.integers(0, max_vm + 1))
+            n_sl = int(self._rng.integers(0, max_sl + 1))
+            if n_vm + n_sl < min_workers:
+                continue
+            configs.append((n_vm, n_sl))
+        return configs[:count]
+
+    def _bootstrap_features(self, query, n_vm, n_sl, mean_duration):
+        from repro.core.features import FeatureVector
+
+        return FeatureVector.build(
+            n_vm=n_vm,
+            n_sl=n_sl,
+            input_size_gb=query.input_gb,
+            start_time_epoch=self.history.next_epoch(),
+            historical_duration_s=mean_duration,
+        )
+
+    def _execute(self, query: QuerySpec, n_vm: int, n_sl: int):
+        if self.properties.relay and n_vm > 0 and n_sl > 0:
+            policy = RelayPolicy()
+        else:
+            policy = NoEarlyTermination()
+        return run_query(
+            query,
+            n_vm=n_vm,
+            n_sl=n_sl,
+            provider=self.provider,
+            prices=self.prices,
+            policy=policy,
+            rng=self._rng,
+        )
+
+    # ------------------------------------------------------------------
+    # Query submission (the Figure 3 workflow)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: QuerySpec,
+        knob: float | None = None,
+        mode: str = "hybrid",
+        num_waiting_apps: int = 0,
+    ) -> SubmissionOutcome:
+        """Predict, execute and learn from one incoming query.
+
+        ``knob`` overrides ``smartpick.cloud.compute.knob`` for this
+        submission; ``mode`` restricts the search space (``"vm-only"`` /
+        ``"sl-only"`` mimic the Section 6.3 baselines).
+        """
+        if not self.predictor.is_trained:
+            raise RuntimeError("bootstrap the system before submitting queries")
+        return self.job_initializer.submit(
+            query, knob=knob, mode=mode, num_waiting_apps=num_waiting_apps
+        )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def known_query_ids(self) -> tuple[str, ...]:
+        return tuple(sorted(self.predictor.known_queries))
+
+    def describe(self) -> str:
+        return (
+            f"Smartpick(provider={self.provider.name}, "
+            f"relay={self.properties.relay}, knob={self.properties.knob:g}, "
+            f"model_version={self.predictor.model_version}, "
+            f"history={len(self.history)} records)"
+        )

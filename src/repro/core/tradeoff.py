@@ -1,0 +1,110 @@
+"""The cost-performance tradeoff knob (Section 3.3, Eq. 4).
+
+With the knob (epsilon) set above zero, Smartpick no longer returns the
+best-performance configuration; it traverses the Estimated Time list
+(``ET_l``) of candidate solutions the optimizer explored and solves
+
+    max  T_est,          T_est in ET_l
+    s.t. nVM * t_vm * C_vm + nSL * t_sl * C_sl <= C_best
+         T_est <= T_best * (1 + epsilon)
+
+i.e. it admits up to ``epsilon`` extra latency and, within that budget,
+picks the candidate drawing minimum compute cost.  The naive alternative
+the paper rejects -- proportionally scaling the optimal configuration down
+-- is implemented too (:func:`naive_scale_down`) for the ablation bench.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+__all__ = ["EstimatedTimeEntry", "select_with_knob", "naive_scale_down"]
+
+
+@dataclasses.dataclass(frozen=True)
+class EstimatedTimeEntry:
+    """One candidate solution explored during resource determination.
+
+    ``estimated_seconds`` is the noise-free RF estimate (``T_est``);
+    ``estimated_cost`` is the Eq. 4 cost term for this configuration,
+    split into its VM and SL usage components by the caller.
+    """
+
+    n_vm: int
+    n_sl: int
+    estimated_seconds: float
+    estimated_cost: float
+
+    @property
+    def config(self) -> tuple[int, int]:
+        return (self.n_vm, self.n_sl)
+
+
+def select_with_knob(
+    et_list: list[EstimatedTimeEntry],
+    best: EstimatedTimeEntry,
+    epsilon: float,
+) -> EstimatedTimeEntry:
+    """Solve Eq. 4 over the Estimated Time list.
+
+    Parameters
+    ----------
+    et_list:
+        Candidate solutions explored for the final optimum (``ET_l``).
+    best:
+        The optimal entry (``T_best`` / ``C_best``).
+    epsilon:
+        The tolerance knob; 0 returns ``best`` unchanged.
+
+    Returns
+    -------
+    The admissible entry with the lowest estimated cost; ties break toward
+    the *larger* estimated time (the objective maximises ``T_est``).  The
+    paper notes the cost reduction "is not always guaranteed" -- when no
+    cheaper admissible candidate exists, ``best`` itself is returned.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    if epsilon == 0:
+        return best
+
+    latency_budget = best.estimated_seconds * (1.0 + epsilon)
+    admissible = [
+        entry
+        for entry in et_list
+        if entry.estimated_seconds <= latency_budget
+        and entry.estimated_cost <= best.estimated_cost
+    ]
+    if not admissible:
+        return best
+    # Minimum cost first; among equal costs prefer the higher T_est,
+    # matching the maximise-T_est objective under the cost constraint.
+    return min(
+        admissible,
+        key=lambda entry: (entry.estimated_cost, -entry.estimated_seconds),
+    )
+
+
+def naive_scale_down(
+    best: EstimatedTimeEntry,
+    epsilon: float,
+) -> tuple[int, int]:
+    """The rejected baseline: proportionally shrink the optimal config.
+
+    "Setting the epsilon value to 0.5 halves the numbers of SL and VM
+    instances from the optimal configurations" (Section 3.3).  Kept for the
+    knob ablation, which shows why Eq. 4's targeted search is smoother.
+    """
+    if epsilon < 0:
+        raise ValueError("epsilon must be non-negative")
+    scale = max(1.0 - epsilon, 0.0)
+    n_vm = int(round(best.n_vm * scale))
+    n_sl = int(round(best.n_sl * scale))
+    if n_vm + n_sl == 0:
+        # Never scale to an empty cluster; keep one worker of the majority
+        # kind from the optimal configuration.
+        if best.n_vm >= best.n_sl:
+            n_vm = 1
+        else:
+            n_sl = 1
+    return n_vm, n_sl

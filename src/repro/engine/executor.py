@@ -1,0 +1,66 @@
+"""Executors: task slots on top of cloud instances.
+
+One executor wraps one instance; it exposes as many concurrent task slots
+as the instance has vCPUs (both evaluation worker types offer 2).  The
+scheduler fills free slots from the ready-task queue, so execution proceeds
+in waves exactly like Spark's standalone scheduling.
+"""
+
+from __future__ import annotations
+
+from repro.cloud.instances import Instance, InstanceKind, InstanceState
+from repro.engine.task import Task
+
+__all__ = ["Executor"]
+
+
+class Executor:
+    """A task-running wrapper around a booted instance."""
+
+    def __init__(self, instance: Instance) -> None:
+        self.instance = instance
+        self.running: dict[str, Task] = {}
+
+    @property
+    def executor_id(self) -> str:
+        return self.instance.instance_id
+
+    @property
+    def kind(self) -> InstanceKind:
+        return self.instance.kind
+
+    @property
+    def slots(self) -> int:
+        return self.instance.vcpus
+
+    @property
+    def free_slots(self) -> int:
+        return max(self.slots - len(self.running), 0)
+
+    @property
+    def accepts_tasks(self) -> bool:
+        """Running instances accept tasks; draining/terminated ones do not."""
+        return self.instance.state is InstanceState.RUNNING and self.free_slots > 0
+
+    @property
+    def is_idle(self) -> bool:
+        return not self.running
+
+    def start_task(self, task: Task, now: float, duration: float) -> None:
+        """Occupy a slot with ``task`` for ``duration`` seconds."""
+        if self.free_slots == 0:
+            raise RuntimeError(f"{self.executor_id} has no free slot")
+        if task.task_id in self.running:
+            raise RuntimeError(f"{task.task_id} already running here")
+        task.started_at = now
+        task.finished_at = now + duration
+        task.executor_id = self.executor_id
+        task.kind = self.kind
+        self.running[task.task_id] = task
+        self.instance.mark_busy(duration)
+
+    def finish_task(self, task: Task) -> None:
+        """Release the slot held by ``task``."""
+        if task.task_id not in self.running:
+            raise RuntimeError(f"{task.task_id} is not running on {self.executor_id}")
+        del self.running[task.task_id]

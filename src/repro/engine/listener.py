@@ -1,0 +1,115 @@
+"""Spark-listener-style execution hooks.
+
+The prototype modifies "Spark's implementation of listener classes" so
+monitoring data flows to the History Server asynchronously with no overhead
+on the job (Section 5, "Metrics collection and history server").  The
+simulator offers the same hook surface: register
+:class:`ExecutionListener` subclasses with the scheduler and receive query,
+stage and task events.  :class:`MetricsListener` is the bundled listener
+that captures the Table 3 features.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cloud.instances import Instance, InstanceKind
+from repro.engine.dag import QuerySpec, StageSpec
+from repro.engine.task import Task
+
+__all__ = ["ExecutionListener", "MetricsListener", "QueryMetrics"]
+
+
+class ExecutionListener:
+    """Base listener; override any subset of the hooks."""
+
+    def on_query_start(self, query: QuerySpec, now: float) -> None:
+        """The query was submitted at simulated time ``now``."""
+
+    def on_instance_ready(self, instance: Instance, now: float) -> None:
+        """A worker finished booting."""
+
+    def on_task_start(self, task: Task, now: float) -> None:
+        """A task occupied an executor slot."""
+
+    def on_task_end(self, task: Task, now: float) -> None:
+        """A task released its slot."""
+
+    def on_stage_complete(self, stage: StageSpec, now: float) -> None:
+        """All tasks of a stage finished."""
+
+    def on_instance_terminated(self, instance: Instance, now: float) -> None:
+        """A worker was released (relay, segueing or query end)."""
+
+    def on_query_end(self, query: QuerySpec, now: float) -> None:
+        """The last stage completed."""
+
+
+@dataclasses.dataclass
+class QueryMetrics:
+    """Raw observations captured by :class:`MetricsListener`.
+
+    These are the inputs from which the History Server derives the Table 3
+    feature vector: instance counts, memory totals, core counts, timing.
+    """
+
+    query_id: str = ""
+    submit_time: float = 0.0
+    end_time: float | None = None
+    n_vm: int = 0
+    n_sl: int = 0
+    total_memory_gb: float = 0.0
+    memory_per_executor_gb: float = 0.0
+    total_cores: int = 0
+    tasks_completed: int = 0
+    tasks_on_sl: int = 0
+    stages_completed: int = 0
+    first_task_start: float | None = None
+
+    @property
+    def duration(self) -> float | None:
+        if self.end_time is None:
+            return None
+        return self.end_time - self.submit_time
+
+    @property
+    def startup_delay(self) -> float | None:
+        """Time from submission until the first task started."""
+        if self.first_task_start is None:
+            return None
+        return self.first_task_start - self.submit_time
+
+
+class MetricsListener(ExecutionListener):
+    """Collects one :class:`QueryMetrics` per run."""
+
+    def __init__(self) -> None:
+        self.metrics = QueryMetrics()
+
+    def on_query_start(self, query: QuerySpec, now: float) -> None:
+        self.metrics.query_id = query.query_id
+        self.metrics.submit_time = now
+
+    def on_instance_ready(self, instance: Instance, now: float) -> None:
+        if instance.kind is InstanceKind.VM:
+            self.metrics.n_vm += 1
+        else:
+            self.metrics.n_sl += 1
+        self.metrics.total_memory_gb += instance.memory_gb
+        self.metrics.total_cores += instance.vcpus
+        self.metrics.memory_per_executor_gb = instance.memory_gb
+
+    def on_task_start(self, task: Task, now: float) -> None:
+        if self.metrics.first_task_start is None:
+            self.metrics.first_task_start = now
+
+    def on_task_end(self, task: Task, now: float) -> None:
+        self.metrics.tasks_completed += 1
+        if task.kind is InstanceKind.SERVERLESS:
+            self.metrics.tasks_on_sl += 1
+
+    def on_stage_complete(self, stage: StageSpec, now: float) -> None:
+        self.metrics.stages_completed += 1
+
+    def on_query_end(self, query: QuerySpec, now: float) -> None:
+        self.metrics.end_time = now

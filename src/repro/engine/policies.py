@@ -1,0 +1,77 @@
+"""Serverless termination policies.
+
+Three policies cover the design space the paper compares (Section 4.3):
+
+- :class:`RelayPolicy` -- Smartpick's relay-instances: each SL is paired to
+  a VM and drained *the moment that VM finishes booting*; no idle SL time,
+  no static tuning.
+- :class:`SegueTimeoutPolicy` -- SplitServe's segueing: every SL is drained
+  after a *static* timeout, whether or not its VM is ready, so SLs can idle
+  (cost inflation) or retire too early (performance loss).
+- :class:`NoEarlyTermination` -- Cocoa-style run-to-completion: SLs live
+  until the query ends.
+"""
+
+from __future__ import annotations
+
+import abc
+
+__all__ = [
+    "TerminationPolicy",
+    "RelayPolicy",
+    "SegueTimeoutPolicy",
+    "NoEarlyTermination",
+]
+
+
+class TerminationPolicy(abc.ABC):
+    """When (if ever) serverless instances retire before query end."""
+
+    #: pair SLs to VMs at spawn time (consumed on VM readiness)
+    pairs_instances: bool = False
+    #: drain SLs after a fixed delay from spawn
+    static_timeout_seconds: float | None = None
+    #: keep drained SLs deployed (billed!) until the static timeout
+    holds_drained_instances: bool = False
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable policy name for reports."""
+
+
+class RelayPolicy(TerminationPolicy):
+    """Smartpick's relay-instances mechanism (Section 4.3)."""
+
+    pairs_instances = True
+
+    def describe(self) -> str:
+        return "relay-instances"
+
+
+class SegueTimeoutPolicy(TerminationPolicy):
+    """SplitServe-style segueing with a static SL timeout.
+
+    Work *segues* from SLs to VMs when the VMs become ready (like relay),
+    but the SL invocations are only torn down at the static timeout -- so
+    between VM readiness and the timeout the SLs sit idle while still
+    being billed, which is exactly the cost inflation the paper pins on
+    segueing ("SLs can be idle during the static timeout", Section 4.3).
+    """
+
+    pairs_instances = True
+    holds_drained_instances = True
+
+    def __init__(self, timeout_seconds: float) -> None:
+        if timeout_seconds <= 0:
+            raise ValueError("timeout_seconds must be positive")
+        self.static_timeout_seconds = timeout_seconds
+
+    def describe(self) -> str:
+        return f"segueing(timeout={self.static_timeout_seconds:g}s)"
+
+
+class NoEarlyTermination(TerminationPolicy):
+    """SLs run until the query completes (Cocoa and the SL-only extreme)."""
+
+    def describe(self) -> str:
+        return "run-to-completion"

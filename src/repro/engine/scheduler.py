@@ -1,0 +1,311 @@
+"""The wave-based task scheduler.
+
+Execution model (mirrors Spark standalone scheduling on a hybrid cluster):
+
+1. At submission the Resource Manager spawns the configured VMs and SLs;
+   each becomes ready after its provider boot latency.  Under the relay
+   policy, SL *i* is paired with VM *i* for the first ``min(nVM, nSL)``
+   instances (Section 4.3: the RM maps REQUEST IDs to INSTANCE IDs).
+2. Stages whose dependencies are satisfied contribute tasks to the ready
+   queue; free executor slots pull tasks FIFO.  VM slots are preferred when
+   both are free -- SL work costs more per second, and the task scheduler
+   "stops assigning tasks" to retiring SLs anyway.
+3. When a VM finishes booting under the relay policy, its paired SL is
+   drained: it accepts no new tasks and terminates once its running tasks
+   complete.  Under segueing, draining instead happens at a static timeout.
+4. The query completes when every stage has finished; all surviving
+   instances are then released.
+"""
+
+from __future__ import annotations
+
+import collections
+
+import numpy as np
+
+from repro.cloud.instances import (
+    Instance,
+    InstanceKind,
+    InstanceState,
+    ServerlessInstance,
+    VMInstance,
+)
+from repro.cloud.resource_manager import ResourceManager
+from repro.engine.dag import QuerySpec, StageSpec
+from repro.engine.executor import Executor
+from repro.engine.listener import ExecutionListener
+from repro.engine.policies import NoEarlyTermination, TerminationPolicy
+from repro.engine.simulator import Simulator
+from repro.engine.task import Task, TaskDurationModel
+
+__all__ = ["TaskScheduler"]
+
+
+class TaskScheduler:
+    """Runs one query on a hybrid VM/SL cluster inside a simulator.
+
+    Parameters
+    ----------
+    simulator:
+        The discrete-event core driving all timing.
+    resource_manager:
+        Owns instances, relay mapping and billing.
+    duration_model:
+        Samples realised task durations per worker kind.
+    policy:
+        Serverless termination policy (relay / segueing / run-to-end).
+    listeners:
+        Spark-listener-style observers.
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        resource_manager: ResourceManager,
+        duration_model: TaskDurationModel,
+        policy: TerminationPolicy | None = None,
+        listeners: tuple[ExecutionListener, ...] = (),
+    ) -> None:
+        self.simulator = simulator
+        self.resource_manager = resource_manager
+        self.duration_model = duration_model
+        self.policy = policy or NoEarlyTermination()
+        self.listeners = list(listeners)
+
+        self._query: QuerySpec | None = None
+        self._executors: dict[str, Executor] = {}
+        self._ready_tasks: collections.deque[Task] = collections.deque()
+        self._remaining_in_stage: dict[int, int] = {}
+        self._unmet_deps: dict[int, int] = {}
+        self._children: dict[int, list[StageSpec]] = {}
+        self._stages_left = 0
+        self._completed_at: float | None = None
+        self._vms_still_booting = 0
+        # Drained SLs that must stay deployed (billed) until their static
+        # timeout -- segueing semantics (SegueTimeoutPolicy).
+        self._held_instance_ids: set[str] = set()
+
+    # ------------------------------------------------------------------
+    # Submission
+    # ------------------------------------------------------------------
+
+    def submit(self, query: QuerySpec, n_vm: int, n_sl: int) -> None:
+        """Spawn the configuration and begin executing ``query``."""
+        if self._query is not None:
+            raise RuntimeError("this scheduler already ran a query")
+        if n_vm < 0 or n_sl < 0:
+            raise ValueError("instance counts must be non-negative")
+        if n_vm + n_sl == 0:
+            raise ValueError("at least one instance is required")
+        self._query = query
+        now = self.simulator.now
+        self._notify("on_query_start", query, now)
+
+        rm = self.resource_manager
+        vms = rm.spawn_vms(n_vm, now)
+        sls = rm.spawn_sls(n_sl, now)
+        self._vms_still_booting = len(vms)
+        if self.policy.pairs_instances and rm.relay_enabled:
+            for sl, vm in zip(sls, vms):
+                rm.pair_for_relay(sl, vm)
+        for instance in [*sls, *vms]:
+            self.simulator.schedule(
+                rm.boot_duration(instance),
+                lambda inst=instance: self._on_instance_ready(inst),
+            )
+        timeout = self.policy.static_timeout_seconds
+        if timeout is not None and n_vm > 0:
+            # Segueing: the static timeout finally tears each SL down, no
+            # matter whether its VM replacement is actually ready.
+            for sl in sls:
+                self.simulator.schedule(
+                    timeout, lambda inst=sl: self._on_static_timeout(inst)
+                )
+
+        self._initialise_stage_tracking(query)
+        for stage in query.topological_stages():
+            if self._unmet_deps[stage.stage_id] == 0:
+                self._enqueue_stage(stage, now)
+
+    def _initialise_stage_tracking(self, query: QuerySpec) -> None:
+        self._remaining_in_stage = {
+            stage.stage_id: stage.n_tasks for stage in query.stages
+        }
+        self._unmet_deps = {
+            stage.stage_id: len(stage.depends_on) for stage in query.stages
+        }
+        self._children = {stage.stage_id: [] for stage in query.stages}
+        for stage in query.stages:
+            for parent in stage.depends_on:
+                self._children[parent].append(stage)
+        self._stages_left = query.n_stages
+
+    def _enqueue_stage(self, stage: StageSpec, now: float) -> None:
+        for index in range(stage.n_tasks):
+            self._ready_tasks.append(Task(stage=stage, index=index, submitted_at=now))
+        self._dispatch()
+
+    # ------------------------------------------------------------------
+    # Instance lifecycle
+    # ------------------------------------------------------------------
+
+    def _on_instance_ready(self, instance: Instance) -> None:
+        now = self.simulator.now
+        if instance.state is not InstanceState.BOOTING:
+            return  # terminated before boot completed (query already done)
+        self.resource_manager.mark_ready(instance, now)
+        self._executors[instance.instance_id] = Executor(instance)
+        self._notify("on_instance_ready", instance, now)
+
+        if isinstance(instance, VMInstance):
+            self._vms_still_booting -= 1
+            if self.policy.pairs_instances and self.resource_manager.relay_enabled:
+                hold = self.policy.holds_drained_instances
+                partner = self.resource_manager.relay_partner(instance)
+                if partner is not None:
+                    self._drain_instance(partner, hold=hold)
+                if self._vms_still_booting == 0:
+                    # Hand-off complete: every VM is serving, so any
+                    # unpaired SLs (nSL > nVM configurations) retire too --
+                    # keeping them would only inflate cost (Section 4.3).
+                    for sl in list(self.resource_manager.sls):
+                        self._drain_instance(sl, hold=hold)
+        self._dispatch()
+
+    def _drain_instance(self, instance: Instance, hold: bool = False) -> None:
+        """Retire an instance: no new tasks; terminate when idle.
+
+        With ``hold=True`` (segueing) the instance is *not* terminated on
+        idleness -- it stays deployed, and billed, until its static
+        timeout fires.
+        """
+        now = self.simulator.now
+        if instance.state not in (InstanceState.RUNNING, InstanceState.BOOTING):
+            return
+        if instance.state is InstanceState.BOOTING:
+            # Drained before it even booted; just release it.
+            self._terminate_instance(instance)
+            return
+        self.resource_manager.drain(instance, now)
+        if hold:
+            self._held_instance_ids.add(instance.instance_id)
+            return
+        executor = self._executors.get(instance.instance_id)
+        if executor is None or executor.is_idle:
+            self._terminate_instance(instance)
+
+    def _on_static_timeout(self, instance: Instance) -> None:
+        """Segueing timeout: the SL may finally be torn down."""
+        self._held_instance_ids.discard(instance.instance_id)
+        if instance.state is InstanceState.DRAINING:
+            executor = self._executors.get(instance.instance_id)
+            if executor is None or executor.is_idle:
+                self._terminate_instance(instance)
+            return
+        self._drain_instance(instance)
+
+    def _terminate_instance(self, instance: Instance) -> None:
+        now = self.simulator.now
+        if instance.state is InstanceState.TERMINATED:
+            return
+        self.resource_manager.terminate(instance, now)
+        self._executors.pop(instance.instance_id, None)
+        self._notify("on_instance_terminated", instance, now)
+
+    # ------------------------------------------------------------------
+    # Task dispatch
+    # ------------------------------------------------------------------
+
+    def _dispatch(self) -> None:
+        """Fill free slots from the ready queue, preferring VM slots."""
+        if not self._ready_tasks:
+            return
+        while self._ready_tasks:
+            executor = self._pick_executor()
+            if executor is None:
+                return
+            task = self._ready_tasks.popleft()
+            self._start_task(task, executor)
+
+    def _pick_executor(self) -> Executor | None:
+        """The accepting executor with the most free slots; VMs first."""
+        best: Executor | None = None
+        for executor in self._executors.values():
+            if not executor.accepts_tasks:
+                continue
+            if best is None:
+                best = executor
+                continue
+            best_is_vm = best.kind is InstanceKind.VM
+            this_is_vm = executor.kind is InstanceKind.VM
+            if this_is_vm and not best_is_vm:
+                best = executor
+            elif this_is_vm == best_is_vm and (
+                executor.free_slots > best.free_slots
+            ):
+                best = executor
+        return best
+
+    def _start_task(self, task: Task, executor: Executor) -> None:
+        now = self.simulator.now
+        duration = self.duration_model.sample(task.stage, executor.kind)
+        executor.start_task(task, now, duration)
+        self._notify("on_task_start", task, now)
+        self.simulator.schedule(
+            duration, lambda: self._on_task_complete(task, executor)
+        )
+
+    def _on_task_complete(self, task: Task, executor: Executor) -> None:
+        now = self.simulator.now
+        executor.finish_task(task)
+        self._notify("on_task_end", task, now)
+
+        stage_id = task.stage.stage_id
+        self._remaining_in_stage[stage_id] -= 1
+        if self._remaining_in_stage[stage_id] == 0:
+            self._on_stage_complete(task.stage, now)
+
+        instance = executor.instance
+        if (
+            instance.state is InstanceState.DRAINING
+            and executor.is_idle
+            and instance.instance_id not in self._held_instance_ids
+        ):
+            self._terminate_instance(instance)
+        self._dispatch()
+
+    def _on_stage_complete(self, stage: StageSpec, now: float) -> None:
+        self._notify("on_stage_complete", stage, now)
+        self._stages_left -= 1
+        if self._stages_left == 0:
+            self._on_query_complete(now)
+            return
+        for child in self._children[stage.stage_id]:
+            self._unmet_deps[child.stage_id] -= 1
+            if self._unmet_deps[child.stage_id] == 0:
+                self._enqueue_stage(child, now)
+
+    def _on_query_complete(self, now: float) -> None:
+        assert self._query is not None
+        self._completed_at = now
+        self.resource_manager.terminate_all(now)
+        self._executors.clear()
+        self._notify("on_query_end", self._query, now)
+
+    # ------------------------------------------------------------------
+    # Results
+    # ------------------------------------------------------------------
+
+    @property
+    def completed(self) -> bool:
+        return self._completed_at is not None
+
+    @property
+    def completion_time(self) -> float:
+        if self._completed_at is None:
+            raise RuntimeError("the query has not completed")
+        return self._completed_at
+
+    def _notify(self, hook: str, *args: object) -> None:
+        for listener in self.listeners:
+            getattr(listener, hook)(*args)

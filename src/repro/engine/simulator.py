@@ -1,0 +1,84 @@
+"""Discrete-event simulation core.
+
+A minimal event-heap simulator: callbacks are scheduled at absolute
+simulated times and executed in time order (FIFO among equal times).  All
+higher layers -- instance boots, task completions, segueing timeouts --
+are expressed as events on this heap, so simulated results are completely
+deterministic for a given seed and independent of wall-clock time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable
+
+__all__ = ["Simulator"]
+
+
+class Simulator:
+    """An event heap with a simulated clock."""
+
+    def __init__(self) -> None:
+        self._now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._sequence = itertools.count()
+        self._events_processed = 0
+
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        return self._events_processed
+
+    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` after ``delay`` simulated seconds."""
+        if delay < 0:
+            raise ValueError("cannot schedule events in the past")
+        self.schedule_at(self._now + delay, callback)
+
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+        """Run ``callback`` at absolute simulated ``time``."""
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule at {time} (now is {self._now})"
+            )
+        heapq.heappush(self._heap, (time, next(self._sequence), callback))
+
+    def step(self) -> bool:
+        """Process the next event; return ``False`` if the heap is empty."""
+        if not self._heap:
+            return False
+        time, _, callback = heapq.heappop(self._heap)
+        self._now = time
+        self._events_processed += 1
+        callback()
+        return True
+
+    def run(self, max_events: int = 10_000_000) -> None:
+        """Drain the event heap (bounded by ``max_events`` as a fuse)."""
+        for _ in range(max_events):
+            if not self.step():
+                return
+        raise RuntimeError(
+            f"simulation did not quiesce within {max_events} events; "
+            "likely an event loop in the model"
+        )
+
+    def run_until(self, time: float, max_events: int = 10_000_000) -> None:
+        """Process events up to simulated ``time`` (inclusive)."""
+        if time < self._now:
+            raise ValueError("cannot run backwards in time")
+        for _ in range(max_events):
+            if not self._heap or self._heap[0][0] > time:
+                self._now = max(self._now, time)
+                return
+            self.step()
+        raise RuntimeError("simulation did not quiesce; likely an event loop")
+
+    @property
+    def pending_events(self) -> int:
+        return len(self._heap)

@@ -1,0 +1,204 @@
+"""Bayesian optimisation over a discrete candidate set.
+
+Smartpick's search space is the grid of ``{nVM, nSL}`` tuples; the objective
+is the (noisy) negated completion-time prediction of the Random Forest
+(Eq. 2: ``maximize -(RF_t + delta)``).  The optimizer conditions a Gaussian
+Process surrogate on every probe, picks the next candidate by acquisition
+score, and stops when the incumbent has not improved by
+``improvement_threshold`` (relatively) for ``patience`` consecutive probes --
+the paper's "1 % for 10 consecutive searches" rule (Section 3.1).
+
+The optimizer records every probe in :attr:`BOResult.history`; Smartpick's
+tradeoff knob later traverses that list (the paper's *Estimated Time list*,
+``ET_l``) to pick a cheaper configuration within the latency tolerance.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Sequence
+
+import numpy as np
+
+from repro.ml.acquisition import AcquisitionFunction, ProbabilityOfImprovement
+from repro.ml.gaussian_process import GaussianProcessRegressor
+from repro.ml.kernels import Matern52Kernel
+
+__all__ = ["BayesianOptimizer", "BOResult", "Probe"]
+
+
+@dataclasses.dataclass(frozen=True)
+class Probe:
+    """One objective evaluation: candidate point and observed value."""
+
+    point: tuple[float, ...]
+    value: float
+
+
+@dataclasses.dataclass
+class BOResult:
+    """Outcome of a :meth:`BayesianOptimizer.maximize` run."""
+
+    best_point: tuple[float, ...]
+    best_value: float
+    history: list[Probe]
+    n_evaluations: int
+    converged: bool
+
+    @property
+    def explored_points(self) -> list[tuple[float, ...]]:
+        return [probe.point for probe in self.history]
+
+    @property
+    def explored_values(self) -> list[float]:
+        return [probe.value for probe in self.history]
+
+
+class BayesianOptimizer:
+    """Maximise a black-box function over a finite candidate set.
+
+    Parameters
+    ----------
+    objective:
+        Callable mapping a candidate (1-D array) to a float score.  Smartpick
+        wires ``-(RF_t + delta)`` here; the BO-only baseline wires a live
+        execution instead.
+    candidates:
+        The finite search space, shape ``(n, d)``.
+    acquisition:
+        Scoring rule for unprobed candidates; defaults to the paper's PI.
+    n_initial:
+        Number of random candidates probed before the surrogate takes over.
+    improvement_threshold:
+        Relative improvement that counts as progress (paper: 1 %).
+    patience:
+        Consecutive non-improving probes tolerated before stopping
+        (paper: 10).
+    noise:
+        Observation-noise standard deviation given to the GP surrogate.
+    rng:
+        Seed or generator for the initial design and tie-breaking.
+    """
+
+    def __init__(
+        self,
+        objective: Callable[[np.ndarray], float],
+        candidates: Sequence[Sequence[float]] | np.ndarray,
+        acquisition: AcquisitionFunction | None = None,
+        n_initial: int = 3,
+        improvement_threshold: float = 0.01,
+        patience: int = 10,
+        noise: float = 1e-2,
+        length_scale: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        self.objective = objective
+        self.candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+        if self.candidates.shape[0] == 0:
+            raise ValueError("the candidate set must not be empty")
+        if n_initial < 1:
+            raise ValueError("n_initial must be at least 1")
+        if improvement_threshold < 0:
+            raise ValueError("improvement_threshold must be non-negative")
+        if patience < 1:
+            raise ValueError("patience must be at least 1")
+        self.acquisition = acquisition or ProbabilityOfImprovement()
+        self.n_initial = min(n_initial, self.candidates.shape[0])
+        self.improvement_threshold = improvement_threshold
+        self.patience = patience
+        self._rng = np.random.default_rng(rng)
+        if length_scale is None:
+            length_scale = self._default_length_scale(self.candidates)
+        self._surrogate = GaussianProcessRegressor(
+            kernel=Matern52Kernel(length_scale=length_scale), noise=noise
+        )
+
+    @staticmethod
+    def _default_length_scale(candidates: np.ndarray) -> float:
+        """A length scale proportional to the candidate cloud's extent."""
+        span = candidates.max(axis=0) - candidates.min(axis=0)
+        extent = float(np.linalg.norm(span))
+        return max(extent / 4.0, 1e-3)
+
+    # ------------------------------------------------------------------
+    # Main loop
+    # ------------------------------------------------------------------
+
+    def maximize(self, max_iterations: int = 100) -> BOResult:
+        """Run the BO loop for at most ``max_iterations`` probes."""
+        if max_iterations < 1:
+            raise ValueError("max_iterations must be at least 1")
+
+        n_candidates = self.candidates.shape[0]
+        unprobed = np.ones(n_candidates, dtype=bool)
+        history: list[Probe] = []
+        best_value = -np.inf
+        best_index = -1
+        stall = 0
+        converged = False
+
+        initial = self._rng.choice(
+            n_candidates, size=self.n_initial, replace=False
+        )
+        probe_queue = list(initial)
+
+        for _ in range(max_iterations):
+            if probe_queue:
+                index = int(probe_queue.pop(0))
+            else:
+                index = self._next_index(unprobed, best_value)
+                if index < 0:
+                    converged = True
+                    break
+            unprobed[index] = False
+            point = self.candidates[index]
+            value = float(self.objective(point))
+            history.append(Probe(tuple(point.tolist()), value))
+            self._surrogate.add_observation(point, value)
+
+            if self._improved(value, best_value):
+                best_value = value
+                best_index = index
+                stall = 0
+            else:
+                if value > best_value:
+                    # Better, but not by enough to reset the stall counter.
+                    best_value = value
+                    best_index = index
+                stall += 1
+            if stall >= self.patience:
+                converged = True
+                break
+            if not np.any(unprobed) and not probe_queue:
+                converged = True
+                break
+
+        if best_index < 0:
+            raise RuntimeError("the optimizer made no evaluations")
+        return BOResult(
+            best_point=tuple(self.candidates[best_index].tolist()),
+            best_value=best_value,
+            history=history,
+            n_evaluations=len(history),
+            converged=converged,
+        )
+
+    def _improved(self, value: float, best_value: float) -> bool:
+        if not np.isfinite(best_value):
+            return True
+        margin = self.improvement_threshold * max(abs(best_value), 1e-12)
+        return value > best_value + margin
+
+    def _next_index(self, unprobed: np.ndarray, best_value: float) -> int:
+        """Pick the unprobed candidate with the highest acquisition score."""
+        remaining = np.nonzero(unprobed)[0]
+        if remaining.size == 0:
+            return -1
+        mean, std = self._surrogate.predict(
+            self.candidates[remaining], return_std=True
+        )
+        scores = self.acquisition(mean, std, best_value)
+        # Randomised argmax so ties do not always resolve to the lowest index.
+        top = np.nonzero(scores == scores.max())[0]
+        choice = top[self._rng.integers(top.size)] if top.size > 1 else top[0]
+        return int(remaining[choice])

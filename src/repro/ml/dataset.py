@@ -1,0 +1,155 @@
+"""Dataset utilities: hold-out splits and data-burst augmentation.
+
+Section 5 of the paper ("Training prediction model"): to train from as few
+as ~100 representational workloads, Smartpick "varies each training sample in
+the range of +-5 % and creates a reasonable dataset comprising around 10x
+samples", with random shuffling before and after the burst so the 80:20
+hold-out split is unbiased.  :class:`DataBurstAugmenter` implements exactly
+that heuristic; :func:`train_test_split` implements the shuffled hold-out.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+import numpy as np
+
+__all__ = ["Dataset", "train_test_split", "DataBurstAugmenter"]
+
+
+@dataclasses.dataclass
+class Dataset:
+    """A features/targets pair with named feature columns."""
+
+    features: np.ndarray
+    targets: np.ndarray
+    feature_names: tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        self.features = np.atleast_2d(np.asarray(self.features, dtype=np.float64))
+        self.targets = np.asarray(self.targets, dtype=np.float64).ravel()
+        if self.features.shape[0] != self.targets.shape[0]:
+            raise ValueError("features and targets disagree on sample count")
+        if self.feature_names and len(self.feature_names) != self.features.shape[1]:
+            raise ValueError("feature_names length must match feature columns")
+        self.feature_names = tuple(self.feature_names)
+
+    def __len__(self) -> int:
+        return self.features.shape[0]
+
+    @property
+    def n_features(self) -> int:
+        return self.features.shape[1]
+
+    def column(self, name: str) -> np.ndarray:
+        """Feature column by name."""
+        try:
+            index = self.feature_names.index(name)
+        except ValueError:
+            raise KeyError(f"no feature named {name!r}") from None
+        return self.features[:, index]
+
+    def shuffled(self, rng: np.random.Generator | int | None = None) -> "Dataset":
+        """A row-permuted copy."""
+        generator = np.random.default_rng(rng)
+        order = generator.permutation(len(self))
+        return Dataset(self.features[order], self.targets[order], self.feature_names)
+
+    def concat(self, other: "Dataset") -> "Dataset":
+        """Row-wise concatenation with another dataset of the same schema."""
+        if self.n_features != other.n_features:
+            raise ValueError("datasets disagree on feature count")
+        if self.feature_names and other.feature_names and (
+            self.feature_names != other.feature_names
+        ):
+            raise ValueError("datasets disagree on feature names")
+        return Dataset(
+            np.vstack([self.features, other.features]),
+            np.concatenate([self.targets, other.targets]),
+            self.feature_names or other.feature_names,
+        )
+
+    def take(self, indices: np.ndarray) -> "Dataset":
+        """A copy restricted to ``indices``."""
+        indices = np.asarray(indices)
+        return Dataset(
+            self.features[indices], self.targets[indices], self.feature_names
+        )
+
+
+def train_test_split(
+    dataset: Dataset,
+    test_fraction: float = 0.2,
+    rng: np.random.Generator | int | None = None,
+) -> tuple[Dataset, Dataset]:
+    """Shuffled hold-out split; the paper uses an 80:20 split (Section 6.2)."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError("test_fraction must be strictly between 0 and 1")
+    generator = np.random.default_rng(rng)
+    n = len(dataset)
+    if n < 2:
+        raise ValueError("need at least two samples to split")
+    order = generator.permutation(n)
+    n_test = max(1, int(round(test_fraction * n)))
+    n_test = min(n_test, n - 1)
+    test_indices = order[:n_test]
+    train_indices = order[n_test:]
+    return dataset.take(train_indices), dataset.take(test_indices)
+
+
+class DataBurstAugmenter:
+    """The paper's +-5 %, ~10x data-burst augmentation heuristic.
+
+    Each original sample is replicated ``factor - 1`` times with every
+    feature independently jittered by a uniform relative perturbation in
+    ``[-jitter, +jitter]``; targets are kept exact by default (set
+    ``jitter_targets=True`` to perturb them too -- the ablation bench
+    compares both readings of the paper's heuristic).  Integer-like
+    columns (declared via ``integer_columns``) are rounded back and kept
+    at least at their original floor of 0.  The output is shuffled, as
+    Section 5 requires, so a subsequent hold-out split is unbiased.
+    """
+
+    def __init__(
+        self,
+        factor: int = 10,
+        jitter: float = 0.05,
+        integer_columns: tuple[int, ...] = (),
+        jitter_targets: bool = False,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if factor < 1:
+            raise ValueError("factor must be at least 1")
+        if not 0.0 <= jitter < 1.0:
+            raise ValueError("jitter must be in [0, 1)")
+        self.factor = factor
+        self.jitter = jitter
+        self.integer_columns = tuple(integer_columns)
+        self.jitter_targets = jitter_targets
+        self._rng = np.random.default_rng(rng)
+
+    def augment(self, dataset: Dataset) -> Dataset:
+        """Return the shuffled ~``factor``x augmented dataset."""
+        if len(dataset) == 0:
+            raise ValueError("cannot augment an empty dataset")
+        replicas = [dataset]
+        for _ in range(self.factor - 1):
+            replicas.append(self._jittered_copy(dataset))
+        combined = replicas[0]
+        for replica in replicas[1:]:
+            combined = combined.concat(replica)
+        return combined.shuffled(self._rng)
+
+    def _jittered_copy(self, dataset: Dataset) -> Dataset:
+        feature_noise = self._rng.uniform(
+            1.0 - self.jitter, 1.0 + self.jitter, size=dataset.features.shape
+        )
+        features = dataset.features * feature_noise
+        targets = dataset.targets.copy()
+        if self.jitter_targets:
+            targets *= self._rng.uniform(
+                1.0 - self.jitter, 1.0 + self.jitter, size=targets.shape
+            )
+        for column in self.integer_columns:
+            features[:, column] = np.maximum(np.rint(features[:, column]), 0)
+        return Dataset(features, targets, dataset.feature_names)

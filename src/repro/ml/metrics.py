@@ -1,0 +1,111 @@
+"""Regression metrics used by the evaluation (Section 6.2).
+
+The paper reports RMSE per model and defines prediction *accuracy* as the
+fraction of test samples whose predicted completion time lies within two
+standard errors of the truth ("we take 2 times the standard error as an
+accurate enough prediction, since it considers both the directions of
+error").  Figure 4 plots the frequency of test samples at varying distances
+from the truth; :func:`distance_histogram` reproduces that series.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = [
+    "rmse",
+    "mean_absolute_error",
+    "r2_score",
+    "standard_error_of_regression",
+    "accuracy_within",
+    "accuracy_within_two_standard_errors",
+    "distance_histogram",
+]
+
+
+def _pair(actual: np.ndarray, predicted: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+    actual = np.asarray(actual, dtype=np.float64).ravel()
+    predicted = np.asarray(predicted, dtype=np.float64).ravel()
+    if actual.shape != predicted.shape:
+        raise ValueError("actual and predicted must have the same length")
+    if actual.size == 0:
+        raise ValueError("metrics need at least one sample")
+    return actual, predicted
+
+
+def rmse(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Root mean squared error."""
+    actual, predicted = _pair(actual, predicted)
+    return float(np.sqrt(np.mean((actual - predicted) ** 2)))
+
+
+def mean_absolute_error(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Mean absolute error."""
+    actual, predicted = _pair(actual, predicted)
+    return float(np.mean(np.abs(actual - predicted)))
+
+
+def r2_score(actual: np.ndarray, predicted: np.ndarray) -> float:
+    """Coefficient of determination; 1.0 is a perfect fit."""
+    actual, predicted = _pair(actual, predicted)
+    residual = float(np.sum((actual - predicted) ** 2))
+    total = float(np.sum((actual - actual.mean()) ** 2))
+    if total == 0.0:
+        return 1.0 if residual == 0.0 else 0.0
+    return 1.0 - residual / total
+
+
+def standard_error_of_regression(
+    actual: np.ndarray, predicted: np.ndarray, n_parameters: int = 1
+) -> float:
+    """Standard error of the regression (residual standard error).
+
+    ``sqrt(SSE / (n - p))`` with ``p`` fitted parameters; for large n this
+    approaches the RMSE.  The paper's accuracy threshold is two of these.
+    """
+    actual, predicted = _pair(actual, predicted)
+    n = actual.size
+    dof = max(n - n_parameters, 1)
+    return float(np.sqrt(np.sum((actual - predicted) ** 2) / dof))
+
+
+def accuracy_within(
+    actual: np.ndarray, predicted: np.ndarray, tolerance: float
+) -> float:
+    """Fraction of samples with ``|actual - predicted| <= tolerance``."""
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    actual, predicted = _pair(actual, predicted)
+    return float(np.mean(np.abs(actual - predicted) <= tolerance))
+
+
+def accuracy_within_two_standard_errors(
+    actual: np.ndarray, predicted: np.ndarray
+) -> float:
+    """The paper's accuracy measure: within 2x the standard error."""
+    actual, predicted = _pair(actual, predicted)
+    threshold = 2.0 * standard_error_of_regression(actual, predicted)
+    return accuracy_within(actual, predicted, threshold)
+
+
+def distance_histogram(
+    actual: np.ndarray,
+    predicted: np.ndarray,
+    bin_width: float = 5.0,
+    max_distance: float | None = None,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Figure 4's series: test-sample frequency vs distance from truth.
+
+    Returns ``(bin_edges, counts)`` where ``counts[i]`` is the number of
+    samples with absolute error in ``[bin_edges[i], bin_edges[i + 1])``.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    actual, predicted = _pair(actual, predicted)
+    distances = np.abs(actual - predicted)
+    if max_distance is None:
+        max_distance = float(distances.max()) if distances.size else bin_width
+    n_bins = max(1, int(np.ceil(max_distance / bin_width)))
+    edges = np.arange(0.0, (n_bins + 1) * bin_width, bin_width)
+    counts, _ = np.histogram(distances, bins=edges)
+    return edges, counts

@@ -1,0 +1,24 @@
+"""Lightweight SQL metadata extraction.
+
+The prototype uses the ``sql-metadata`` PyPI library to parse alien queries
+and extract "meaningful information such as the number of tables, columns
+and subqueries inferred in the request" (Section 5, "Query similarity
+check").  That library is unavailable offline, so this package provides a
+small tokenizer + parser that recovers exactly those quantities:
+
+>>> from repro.sqlmeta import extract_metadata
+>>> meta = extract_metadata("SELECT a, b FROM t WHERE a > 1")
+>>> meta.tables, meta.columns, meta.n_subqueries
+(('t',), ('a', 'b'), 0)
+"""
+
+from repro.sqlmeta.parser import QueryMetadata, extract_metadata
+from repro.sqlmeta.tokenizer import SqlToken, TokenType, tokenize
+
+__all__ = [
+    "QueryMetadata",
+    "SqlToken",
+    "TokenType",
+    "extract_metadata",
+    "tokenize",
+]

@@ -1,0 +1,173 @@
+"""SQL metadata extraction (the ``sql-metadata`` substitute).
+
+Recovers the three quantities the Similarity Checker consumes -- tables,
+columns and subquery count -- with a single clause-tracking pass over the
+token stream.  Handles the constructs the benchmark SQL actually uses:
+comma-joins, explicit JOIN ... ON, derived tables (subqueries in FROM),
+IN (SELECT ...) predicates, aliases, qualified columns and aggregate
+function calls.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.sqlmeta.tokenizer import SqlToken, TokenType, tokenize
+
+__all__ = ["QueryMetadata", "extract_metadata"]
+
+# Clause contexts in which bare identifiers denote columns.
+_COLUMN_CLAUSES = {"select", "where", "groupby", "orderby", "having", "on"}
+
+
+@dataclasses.dataclass(frozen=True)
+class QueryMetadata:
+    """Structural metadata of one SQL query."""
+
+    tables: tuple[str, ...]
+    columns: tuple[str, ...]
+    n_subqueries: int
+
+    @property
+    def n_tables(self) -> int:
+        return len(self.tables)
+
+    @property
+    def n_columns(self) -> int:
+        return len(self.columns)
+
+
+class _ClauseState:
+    """Parser state for one parenthesis nesting level."""
+
+    def __init__(self) -> None:
+        self.clause = ""
+        # In FROM: the next identifier is a table (after FROM/JOIN/comma),
+        # an alias (directly after a table), or an alias of a derived table
+        # (after a closing parenthesis).
+        self.expect_table = False
+        self.expect_alias = False
+
+
+def _last_component(identifier: str) -> str:
+    """``t.col`` -> ``col``; bare names pass through."""
+    return identifier.rsplit(".", 1)[-1]
+
+
+def extract_metadata(sql: str) -> QueryMetadata:
+    """Extract tables, columns and subquery count from ``sql``."""
+    tokens = tokenize(sql)
+    if not tokens:
+        return QueryMetadata(tables=(), columns=(), n_subqueries=0)
+
+    tables: list[str] = []
+    columns: list[str] = []
+    aliases: set[str] = set()
+    n_selects = 0
+
+    stack: list[_ClauseState] = [_ClauseState()]
+
+    def seen(collection: list[str], name: str) -> bool:
+        return name in collection
+
+    for index, token in enumerate(tokens):
+        state = stack[-1]
+        next_token = tokens[index + 1] if index + 1 < len(tokens) else None
+
+        if token.type is TokenType.KEYWORD:
+            keyword = token.upper
+            if keyword == "SELECT":
+                n_selects += 1
+                state.clause = "select"
+            elif keyword == "FROM":
+                state.clause = "from"
+                state.expect_table = True
+            elif keyword == "WHERE":
+                state.clause = "where"
+            elif keyword == "GROUP":
+                state.clause = "groupby"
+            elif keyword == "ORDER":
+                state.clause = "orderby"
+            elif keyword == "HAVING":
+                state.clause = "having"
+            elif keyword == "ON":
+                state.clause = "on"
+            elif keyword in ("JOIN", "INNER", "LEFT", "RIGHT", "FULL",
+                             "OUTER", "CROSS"):
+                if keyword == "JOIN":
+                    state.clause = "from"
+                    state.expect_table = True
+            elif keyword == "AS":
+                if state.clause == "select" and next_token is not None and (
+                    next_token.type is TokenType.IDENTIFIER
+                ):
+                    aliases.add(_last_component(next_token.value).lower())
+            continue
+
+        if token.type is TokenType.LPAREN:
+            nested = _ClauseState()
+            # Parenthesised expressions inherit their clause context, so
+            # function arguments (``SUM(x)``) and IN-lists keep collecting
+            # columns; a nested SELECT will overwrite the clause anyway.
+            if state.clause in _COLUMN_CLAUSES or state.clause == "from":
+                nested.clause = state.clause
+            stack.append(nested)
+            continue
+
+        if token.type is TokenType.RPAREN:
+            if len(stack) > 1:
+                stack.pop()
+            state = stack[-1]
+            if state.clause == "from":
+                # A derived table just closed; its alias follows.
+                state.expect_alias = True
+                state.expect_table = False
+            continue
+
+        if token.type is TokenType.COMMA:
+            if state.clause == "from":
+                state.expect_table = True
+                state.expect_alias = False
+            continue
+
+        if token.type is not TokenType.IDENTIFIER:
+            continue
+
+        # --- identifier handling, clause dependent -----------------------
+        if state.clause == "from":
+            if state.expect_table:
+                name = _last_component(token.value)
+                if not seen(tables, name):
+                    tables.append(name)
+                state.expect_table = False
+                # A bare identifier right after a table is its alias.
+                state.expect_alias = True
+            elif state.expect_alias:
+                aliases.add(_last_component(token.value).lower())
+                state.expect_alias = False
+            continue
+
+        if state.clause in _COLUMN_CLAUSES:
+            if next_token is not None and next_token.type is TokenType.LPAREN:
+                continue  # function call, not a column
+            name = _last_component(token.value)
+            if not seen(columns, name):
+                columns.append(name)
+
+    # Aliases of derived tables / output expressions are not real columns;
+    # drop any column that is actually a table or alias name.
+    lowered_tables = {table.lower() for table in tables}
+    cleaned_columns = tuple(
+        column
+        for column in columns
+        if column.lower() not in aliases and column.lower() not in lowered_tables
+    )
+    # Derived-table aliases are not base tables either.
+    cleaned_tables = tuple(
+        table for table in tables if table.lower() not in aliases
+    )
+    return QueryMetadata(
+        tables=cleaned_tables,
+        columns=cleaned_columns,
+        n_subqueries=max(n_selects - 1, 0),
+    )

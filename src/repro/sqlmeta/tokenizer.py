@@ -1,0 +1,106 @@
+"""SQL tokenizer.
+
+Splits SQL text into a flat token stream: keywords, identifiers, literals,
+operators and punctuation.  The parser only needs structural tokens, so the
+tokenizer is deliberately simple -- but it does handle quoted strings,
+qualified identifiers (``table.column``), numeric literals and comments.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import re
+
+__all__ = ["TokenType", "SqlToken", "tokenize", "KEYWORDS"]
+
+# Keywords that matter structurally; anything else alphanumeric is an
+# identifier.  (Upper-cased comparison.)
+KEYWORDS = frozenset(
+    {
+        "SELECT", "FROM", "WHERE", "GROUP", "ORDER", "BY", "HAVING",
+        "JOIN", "INNER", "LEFT", "RIGHT", "FULL", "OUTER", "CROSS", "ON",
+        "AND", "OR", "NOT", "IN", "EXISTS", "BETWEEN", "LIKE", "IS",
+        "NULL", "AS", "DISTINCT", "UNION", "ALL", "CASE", "WHEN", "THEN",
+        "ELSE", "END", "LIMIT", "OFFSET", "WITH", "ASC", "DESC", "DATE",
+        "INTERVAL", "SUM", "COUNT", "AVG", "MIN", "MAX", "ROUND", "CAST",
+    }
+)
+
+
+class TokenType(enum.Enum):
+    KEYWORD = "keyword"
+    IDENTIFIER = "identifier"
+    NUMBER = "number"
+    STRING = "string"
+    OPERATOR = "operator"
+    LPAREN = "lparen"
+    RPAREN = "rparen"
+    COMMA = "comma"
+    STAR = "star"
+
+
+@dataclasses.dataclass(frozen=True)
+class SqlToken:
+    """One lexical token with its upper-cased convenience view."""
+
+    type: TokenType
+    value: str
+
+    @property
+    def upper(self) -> str:
+        return self.value.upper()
+
+
+_TOKEN_PATTERN = re.compile(
+    r"""
+    (?P<comment>--[^\n]*|/\*.*?\*/)
+  | (?P<string>'(?:[^']|'')*')
+  | (?P<number>\d+(?:\.\d+)?)
+  | (?P<identifier>[A-Za-z_][A-Za-z0-9_]*(?:\.[A-Za-z_][A-Za-z0-9_]*)*)
+  | (?P<operator><=|>=|<>|!=|=|<|>|\+|-|/|\|\|)
+  | (?P<lparen>\()
+  | (?P<rparen>\))
+  | (?P<comma>,)
+  | (?P<star>\*)
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def tokenize(sql: str) -> list[SqlToken]:
+    """Tokenize ``sql``; raises ``ValueError`` on unlexable input."""
+    tokens: list[SqlToken] = []
+    position = 0
+    while position < len(sql):
+        match = _TOKEN_PATTERN.match(sql, position)
+        if match is None:
+            snippet = sql[position : position + 20]
+            raise ValueError(f"cannot tokenize SQL at: {snippet!r}")
+        position = match.end()
+        kind = match.lastgroup
+        value = match.group()
+        if kind in ("ws", "comment"):
+            continue
+        if kind == "identifier":
+            token_type = (
+                TokenType.KEYWORD if value.upper() in KEYWORDS
+                else TokenType.IDENTIFIER
+            )
+            tokens.append(SqlToken(token_type, value))
+        elif kind == "string":
+            tokens.append(SqlToken(TokenType.STRING, value))
+        elif kind == "number":
+            tokens.append(SqlToken(TokenType.NUMBER, value))
+        elif kind == "operator":
+            tokens.append(SqlToken(TokenType.OPERATOR, value))
+        elif kind == "lparen":
+            tokens.append(SqlToken(TokenType.LPAREN, value))
+        elif kind == "rparen":
+            tokens.append(SqlToken(TokenType.RPAREN, value))
+        elif kind == "comma":
+            tokens.append(SqlToken(TokenType.COMMA, value))
+        elif kind == "star":
+            tokens.append(SqlToken(TokenType.STAR, value))
+    return tokens

@@ -1,0 +1,42 @@
+"""Benchmark workloads.
+
+Synthetic stand-ins for the three benchmarks of the evaluation
+(Section 6.1), built to the structural parameters the paper reports:
+
+- :mod:`repro.workloads.tpcds` -- TPC-DS-like suite: compute- and
+  I/O-intensive queries with 6-16 dependent map/shuffle stages.  Queries
+  11, 49, 68, 74 and 82 are the training workloads; queries 2, 4, 18, 55
+  and 62 are the "alien" queries of Section 6.5.1.
+- :mod:`repro.workloads.tpch` -- TPC-H-like suite: SQL-style queries with
+  2-6 stages (moderate compute and I/O); query 3 drives the data-growth
+  experiment of Section 6.5.2.
+- :mod:`repro.workloads.wordcount` -- the simple I/O-bound Word Count job
+  used as a brand-new workload in Section 6.5.2.
+- :mod:`repro.workloads.synthetic` -- parametric queries, including the
+  100/250/500-task short/mid/long examples of Figure 1.
+- :mod:`repro.workloads.catalog` -- a name-based registry over all suites.
+"""
+
+from repro.workloads.catalog import (
+    all_query_ids,
+    get_query,
+    queries_in_suite,
+    suites,
+)
+from repro.workloads.synthetic import make_random_query, make_uniform_query
+from repro.workloads.tpcds import TPCDS_ALIEN_QUERY_IDS, TPCDS_TRAINING_QUERY_IDS
+from repro.workloads.tpch import TPCH_QUERY_IDS
+from repro.workloads.wordcount import WORDCOUNT_QUERY_ID
+
+__all__ = [
+    "TPCDS_ALIEN_QUERY_IDS",
+    "TPCDS_TRAINING_QUERY_IDS",
+    "TPCH_QUERY_IDS",
+    "WORDCOUNT_QUERY_ID",
+    "all_query_ids",
+    "get_query",
+    "make_random_query",
+    "make_uniform_query",
+    "queries_in_suite",
+    "suites",
+]

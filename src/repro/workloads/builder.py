@@ -1,0 +1,120 @@
+"""Helpers for constructing query stage DAGs.
+
+Analytics queries share a common skeleton: parallel *scan* stages read base
+tables from object storage, *join* stages combine them pairwise, and a tail
+of *aggregate* stages funnels down to a small final stage.  The builders
+here assemble that skeleton from a compact description so each benchmark
+query stays readable.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.engine.dag import QuerySpec, StageSpec
+
+__all__ = ["ScanSpec", "DownstreamSpec", "build_query"]
+
+
+@dataclasses.dataclass(frozen=True)
+class ScanSpec:
+    """A leaf stage reading a slice of the base dataset.
+
+    ``data_fraction`` is the share of the query's total input this scan
+    reads; the per-task read volume follows from the query input size.
+    """
+
+    n_tasks: int
+    task_compute_seconds: float
+    data_fraction: float
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise ValueError("a scan needs at least one task")
+        if self.task_compute_seconds <= 0:
+            raise ValueError("task_compute_seconds must be positive")
+        if not 0.0 <= self.data_fraction <= 1.0:
+            raise ValueError("data_fraction must be in [0, 1]")
+
+
+@dataclasses.dataclass(frozen=True)
+class DownstreamSpec:
+    """A join/aggregate stage consuming earlier stages' shuffle output.
+
+    ``depends_on`` holds indices into the combined stage list (scans come
+    first, downstream stages after, in declaration order).
+    """
+
+    n_tasks: int
+    task_compute_seconds: float
+    task_shuffle_mb: float
+    depends_on: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if self.n_tasks < 1:
+            raise ValueError("a stage needs at least one task")
+        if self.task_compute_seconds <= 0:
+            raise ValueError("task_compute_seconds must be positive")
+        if self.task_shuffle_mb < 0:
+            raise ValueError("task_shuffle_mb must be non-negative")
+        if not self.depends_on:
+            raise ValueError("a downstream stage must depend on something")
+
+
+def build_query(
+    query_id: str,
+    suite: str,
+    input_gb: float,
+    scans: tuple[ScanSpec, ...],
+    downstream: tuple[DownstreamSpec, ...],
+    sql: str = "",
+) -> QuerySpec:
+    """Assemble a :class:`QuerySpec` from scan and downstream stage specs.
+
+    Scan stages receive ids ``0 .. len(scans)-1`` and split their share of
+    the input evenly across tasks; downstream stages follow in order.
+    """
+    if not scans:
+        raise ValueError("a query needs at least one scan stage")
+    total_fraction = sum(scan.data_fraction for scan in scans)
+    if total_fraction > 1.0 + 1e-9:
+        raise ValueError(
+            f"scan fractions of {query_id} sum to {total_fraction:.3f} > 1"
+        )
+
+    input_mb = input_gb * 1024.0
+    stages: list[StageSpec] = []
+    for index, scan in enumerate(scans):
+        per_task_mb = input_mb * scan.data_fraction / scan.n_tasks
+        stages.append(
+            StageSpec(
+                stage_id=index,
+                n_tasks=scan.n_tasks,
+                task_compute_seconds=scan.task_compute_seconds,
+                task_input_mb=per_task_mb,
+            )
+        )
+    offset = len(scans)
+    for index, stage in enumerate(downstream):
+        for parent in stage.depends_on:
+            if not 0 <= parent < offset + index:
+                raise ValueError(
+                    f"stage {offset + index} of {query_id} depends on "
+                    f"not-yet-defined stage {parent}"
+                )
+        stages.append(
+            StageSpec(
+                stage_id=offset + index,
+                n_tasks=stage.n_tasks,
+                task_compute_seconds=stage.task_compute_seconds,
+                task_shuffle_mb=stage.task_shuffle_mb,
+                depends_on=stage.depends_on,
+            )
+        )
+    return QuerySpec(
+        query_id=query_id,
+        suite=suite,
+        stages=tuple(stages),
+        input_gb=input_gb,
+        sql=sql,
+    )

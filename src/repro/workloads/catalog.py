@@ -1,0 +1,56 @@
+"""Name-based registry over all benchmark suites.
+
+Smartpick's components address workloads by query identifier (the History
+Server keys metrics on them, the Similarity Checker compares against the
+known-query list).  The catalog is the single lookup point:
+
+>>> from repro.workloads import get_query
+>>> query = get_query("tpcds-q11", input_gb=100)
+>>> query.n_stages
+14
+"""
+
+from __future__ import annotations
+
+from repro.engine.dag import QuerySpec
+from repro.workloads.tpcds import TPCDS_QUERY_IDS, tpcds_query
+from repro.workloads.tpch import TPCH_QUERY_IDS, tpch_query
+from repro.workloads.wordcount import WORDCOUNT_QUERY_ID, wordcount_query
+
+__all__ = ["get_query", "all_query_ids", "queries_in_suite", "suites"]
+
+_DEFAULT_INPUT_GB = 100.0
+
+
+def suites() -> tuple[str, ...]:
+    """Names of the available benchmark suites."""
+    return ("tpcds", "tpch", "wordcount")
+
+
+def all_query_ids() -> tuple[str, ...]:
+    """Every query identifier across all suites."""
+    return TPCDS_QUERY_IDS + TPCH_QUERY_IDS + (WORDCOUNT_QUERY_ID,)
+
+
+def queries_in_suite(suite: str) -> tuple[str, ...]:
+    """Query identifiers belonging to one suite."""
+    if suite == "tpcds":
+        return TPCDS_QUERY_IDS
+    if suite == "tpch":
+        return TPCH_QUERY_IDS
+    if suite == "wordcount":
+        return (WORDCOUNT_QUERY_ID,)
+    raise ValueError(f"unknown suite {suite!r}; choose from {suites()}")
+
+
+def get_query(query_id: str, input_gb: float = _DEFAULT_INPUT_GB) -> QuerySpec:
+    """Build the query named ``query_id`` against an ``input_gb`` dataset."""
+    if query_id in TPCDS_QUERY_IDS:
+        return tpcds_query(query_id, input_gb)
+    if query_id in TPCH_QUERY_IDS:
+        return tpch_query(query_id, input_gb)
+    if query_id == WORDCOUNT_QUERY_ID:
+        return wordcount_query(input_gb)
+    raise ValueError(
+        f"unknown query {query_id!r}; choose from {all_query_ids()}"
+    )

@@ -1,0 +1,101 @@
+"""Parametric synthetic queries.
+
+Two generators:
+
+- :func:`make_uniform_query` -- a single stage of ``n_tasks`` identical
+  tasks, exactly the shape of the illustrative example in Section 2.2
+  (100-, 250- and 500-task queries standing in for short-, mid- and
+  long-running workloads).
+- :func:`make_random_query` -- randomly structured multi-stage queries for
+  stress and property-based testing.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.engine.dag import QuerySpec, StageSpec
+
+__all__ = ["make_uniform_query", "make_random_query"]
+
+
+def make_uniform_query(
+    n_tasks: int,
+    task_seconds: float = 4.0,
+    query_id: str | None = None,
+    input_gb: float = 0.0,
+) -> QuerySpec:
+    """A single-stage query of ``n_tasks`` identical compute-bound tasks.
+
+    The Section 2.2 example assumes pure task execution (storage reads are
+    folded into the per-task time), so the default carries no input I/O.
+    """
+    if n_tasks < 1:
+        raise ValueError("n_tasks must be at least 1")
+    if task_seconds <= 0:
+        raise ValueError("task_seconds must be positive")
+    query_id = query_id or f"uniform-{n_tasks}x{task_seconds:g}s"
+    stage = StageSpec(
+        stage_id=0,
+        n_tasks=n_tasks,
+        task_compute_seconds=task_seconds,
+        task_input_mb=(input_gb * 1024.0 / n_tasks) if input_gb else 0.0,
+    )
+    return QuerySpec(
+        query_id=query_id,
+        suite="synthetic",
+        stages=(stage,),
+        input_gb=input_gb,
+    )
+
+
+def make_random_query(
+    rng: np.random.Generator | int | None = None,
+    max_stages: int = 12,
+    max_tasks_per_stage: int = 80,
+    input_gb: float = 50.0,
+    query_id: str | None = None,
+) -> QuerySpec:
+    """A random (but always valid) stage DAG.
+
+    Stage ``i`` depends on one or two uniformly chosen earlier stages, so
+    the result is connected and acyclic by construction.  Useful for
+    property-based tests of the scheduler's invariants.
+    """
+    generator = np.random.default_rng(rng)
+    n_stages = int(generator.integers(1, max_stages + 1))
+    stages: list[StageSpec] = []
+    for stage_id in range(n_stages):
+        n_tasks = int(generator.integers(1, max_tasks_per_stage + 1))
+        compute = float(generator.uniform(0.5, 4.0))
+        if stage_id == 0:
+            stages.append(
+                StageSpec(
+                    stage_id=stage_id,
+                    n_tasks=n_tasks,
+                    task_compute_seconds=compute,
+                    task_input_mb=float(generator.uniform(10.0, 200.0)),
+                )
+            )
+            continue
+        n_deps = int(generator.integers(1, min(2, stage_id) + 1))
+        deps = tuple(
+            int(d)
+            for d in generator.choice(stage_id, size=n_deps, replace=False)
+        )
+        stages.append(
+            StageSpec(
+                stage_id=stage_id,
+                n_tasks=n_tasks,
+                task_compute_seconds=compute,
+                task_shuffle_mb=float(generator.uniform(0.0, 80.0)),
+                depends_on=deps,
+            )
+        )
+    query_id = query_id or f"random-{generator.integers(1, 10**9)}"
+    return QuerySpec(
+        query_id=query_id,
+        suite="synthetic",
+        stages=tuple(stages),
+        input_gb=input_gb,
+    )

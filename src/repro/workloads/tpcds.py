@@ -1,0 +1,455 @@
+"""TPC-DS-like query suite.
+
+The evaluation trains Smartpick on five TPC-DS queries -- 11, 49, 68, 74
+and 82 -- "as representational workloads, short-, mid-, and long-running
+queries" (Section 6.1), and uses queries 2, 4, 18, 55 and 62 as *alien*
+queries for the Similarity Checker experiment (Section 6.5.1).  The paper
+characterises the suite as compute- and I/O-intensive with 6-16 dependent
+map and shuffle stages.
+
+The synthetic stand-ins below mirror those structural parameters: stage
+counts in 6-16, funnel-shaped task fans, scans reading slices of the
+100 GB dataset, and simplified-but-parsable SQL whose table / column /
+subquery counts pair each alien query with its closest training query:
+
+==========  ==========  ================
+alien       closest     workload class
+==========  ==========  ================
+q55         q82         short
+q62         q68         short-mid
+q2          q49         mid
+q18         q49         mid-long
+q4          q11         long
+==========  ==========  ================
+"""
+
+from __future__ import annotations
+
+from repro.engine.dag import QuerySpec
+from repro.workloads.builder import DownstreamSpec, ScanSpec, build_query
+
+__all__ = [
+    "TPCDS_TRAINING_QUERY_IDS",
+    "TPCDS_ALIEN_QUERY_IDS",
+    "TPCDS_QUERY_IDS",
+    "tpcds_query",
+]
+
+TPCDS_TRAINING_QUERY_IDS = (
+    "tpcds-q11",
+    "tpcds-q49",
+    "tpcds-q68",
+    "tpcds-q74",
+    "tpcds-q82",
+)
+TPCDS_ALIEN_QUERY_IDS = (
+    "tpcds-q2",
+    "tpcds-q4",
+    "tpcds-q18",
+    "tpcds-q55",
+    "tpcds-q62",
+)
+TPCDS_QUERY_IDS = TPCDS_TRAINING_QUERY_IDS + TPCDS_ALIEN_QUERY_IDS
+
+_DEFAULT_INPUT_GB = 100.0
+
+
+def _q82(input_gb: float) -> QuerySpec:
+    """Short-running: item/inventory availability report (6 stages)."""
+    sql = """
+        SELECT i_item_id, i_item_desc, i_current_price
+        FROM item, inventory, store_sales
+        WHERE i_current_price BETWEEN 30 AND 60
+          AND inv_item_sk = i_item_sk
+          AND ss_item_sk = i_item_sk
+          AND inv_quantity_on_hand BETWEEN 100 AND 500
+          AND i_manufact_id IN (SELECT i_manufact_id FROM item
+                                WHERE i_category = 'Home')
+        GROUP BY i_item_id, i_item_desc, i_current_price
+        ORDER BY i_item_id
+    """
+    return build_query(
+        query_id="tpcds-q82",
+        suite="tpcds",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=40, task_compute_seconds=2.0, data_fraction=0.05),
+            ScanSpec(n_tasks=32, task_compute_seconds=1.8, data_fraction=0.04),
+        ),
+        downstream=(
+            DownstreamSpec(24, 2.6, 40.0, depends_on=(0, 1)),
+            DownstreamSpec(16, 2.4, 30.0, depends_on=(2,)),
+            DownstreamSpec(8, 2.2, 20.0, depends_on=(3,)),
+            DownstreamSpec(4, 2.0, 10.0, depends_on=(4,)),
+        ),
+        sql=sql,
+    )
+
+
+def _q55(input_gb: float) -> QuerySpec:
+    """Short alien, closest to q82: brand revenue report (6 stages)."""
+    sql = """
+        SELECT i_brand_id, i_brand, SUM(ss_ext_sales_price) AS revenue
+        FROM item, store_sales, date_dim
+        WHERE d_moy = 11
+          AND ss_sold_date_sk = d_date_sk
+          AND ss_item_sk = i_item_sk
+          AND i_manager_id IN (SELECT i_manager_id FROM item
+                               WHERE i_category = 'Music')
+        GROUP BY i_brand_id, i_brand
+        ORDER BY revenue DESC
+    """
+    return build_query(
+        query_id="tpcds-q55",
+        suite="tpcds",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=36, task_compute_seconds=1.9, data_fraction=0.05),
+            ScanSpec(n_tasks=30, task_compute_seconds=1.8, data_fraction=0.04),
+        ),
+        downstream=(
+            DownstreamSpec(22, 2.5, 38.0, depends_on=(0, 1)),
+            DownstreamSpec(14, 2.3, 28.0, depends_on=(2,)),
+            DownstreamSpec(8, 2.2, 18.0, depends_on=(3,)),
+            DownstreamSpec(4, 2.0, 10.0, depends_on=(4,)),
+        ),
+        sql=sql,
+    )
+
+
+def _q68(input_gb: float) -> QuerySpec:
+    """Short-mid: store sales by city with customer join (8 stages)."""
+    sql = """
+        SELECT c_last_name, c_first_name, ca_city, ss_ticket_number,
+               extended_price, extended_tax, list_price
+        FROM store_sales, date_dim, store, household_demographics,
+             customer_address
+        WHERE ss_sold_date_sk = d_date_sk
+          AND ss_store_sk = s_store_sk
+          AND ss_hdemo_sk = hd_demo_sk
+          AND ss_addr_sk = ca_address_sk
+          AND hd_dep_count = 4
+        GROUP BY c_last_name, c_first_name, ca_city, ss_ticket_number
+        ORDER BY c_last_name
+    """
+    return build_query(
+        query_id="tpcds-q68",
+        suite="tpcds",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=56, task_compute_seconds=2.1, data_fraction=0.07),
+            ScanSpec(n_tasks=40, task_compute_seconds=1.9, data_fraction=0.05),
+            ScanSpec(n_tasks=24, task_compute_seconds=1.8, data_fraction=0.03),
+        ),
+        downstream=(
+            DownstreamSpec(36, 2.8, 50.0, depends_on=(0, 1)),
+            DownstreamSpec(24, 2.6, 40.0, depends_on=(3, 2)),
+            DownstreamSpec(16, 2.4, 30.0, depends_on=(4,)),
+            DownstreamSpec(8, 2.2, 20.0, depends_on=(5,)),
+            DownstreamSpec(4, 2.0, 10.0, depends_on=(6,)),
+        ),
+        sql=sql,
+    )
+
+
+def _q62(input_gb: float) -> QuerySpec:
+    """Short-mid alien, closest to q68: web shipping report (7 stages)."""
+    sql = """
+        SELECT warehouse_name, sm_type, web_name, shipping_days,
+               order_count, delivery_window
+        FROM web_sales, warehouse, ship_mode, web_site, date_dim
+        WHERE ws_ship_date_sk = d_date_sk
+          AND ws_warehouse_sk = w_warehouse_sk
+          AND ws_ship_mode_sk = sm_ship_mode_sk
+          AND ws_web_site_sk = web_site_sk
+        GROUP BY warehouse_name, sm_type, web_name
+        ORDER BY warehouse_name
+    """
+    return build_query(
+        query_id="tpcds-q62",
+        suite="tpcds",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=52, task_compute_seconds=2.0, data_fraction=0.06),
+            ScanSpec(n_tasks=38, task_compute_seconds=1.9, data_fraction=0.05),
+            ScanSpec(n_tasks=22, task_compute_seconds=1.8, data_fraction=0.03),
+        ),
+        downstream=(
+            DownstreamSpec(34, 2.7, 48.0, depends_on=(0, 1)),
+            DownstreamSpec(22, 2.5, 38.0, depends_on=(3, 2)),
+            DownstreamSpec(12, 2.3, 24.0, depends_on=(4,)),
+            DownstreamSpec(6, 2.1, 12.0, depends_on=(5,)),
+        ),
+        sql=sql,
+    )
+
+
+def _q49(input_gb: float) -> QuerySpec:
+    """Mid-running: worst return ratios across channels (10 stages)."""
+    sql = """
+        SELECT channel, item, return_ratio, return_rank, currency_rank
+        FROM (SELECT ws_item_sk AS item, ws_quantity, wr_return_quantity
+              FROM web_sales, web_returns, date_dim
+              WHERE wr_order_number = ws_order_number) web,
+             (SELECT cs_item_sk AS item, cs_quantity, cr_return_quantity
+              FROM catalog_sales, catalog_returns, date_dim
+              WHERE cr_order_number = cs_order_number) catalog
+        WHERE web.item = catalog.item
+        GROUP BY channel, item, return_ratio
+        ORDER BY return_rank, currency_rank
+    """
+    return build_query(
+        query_id="tpcds-q49",
+        suite="tpcds",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=64, task_compute_seconds=2.2, data_fraction=0.08),
+            ScanSpec(n_tasks=56, task_compute_seconds=2.0, data_fraction=0.06),
+            ScanSpec(n_tasks=40, task_compute_seconds=1.9, data_fraction=0.04),
+        ),
+        downstream=(
+            DownstreamSpec(48, 3.0, 60.0, depends_on=(0, 1)),
+            DownstreamSpec(36, 2.8, 50.0, depends_on=(2, 3)),
+            DownstreamSpec(28, 2.8, 45.0, depends_on=(4,)),
+            DownstreamSpec(20, 2.6, 35.0, depends_on=(5,)),
+            DownstreamSpec(12, 2.4, 25.0, depends_on=(6,)),
+            DownstreamSpec(8, 2.2, 15.0, depends_on=(7,)),
+            DownstreamSpec(4, 2.0, 8.0, depends_on=(8,)),
+        ),
+        sql=sql,
+    )
+
+
+def _q2(input_gb: float) -> QuerySpec:
+    """Mid alien, closest to q49: weekly sales comparison (10 stages)."""
+    sql = """
+        SELECT d_week_seq1, round_sun, round_mon, round_tue, round_wed,
+               round_thu, round_fri, round_sat
+        FROM (SELECT ws_sold_date_sk AS sold_date, ws_ext_sales_price
+              FROM web_sales, date_dim, warehouse
+              WHERE ws_sold_date_sk = d_date_sk
+                AND ws_warehouse_sk = w_warehouse_sk) wscs,
+             (SELECT cs_sold_date_sk AS sold_date, cs_ext_sales_price
+              FROM catalog_sales, date_dim
+              WHERE cs_sold_date_sk = d_date_sk) cscs
+        WHERE wscs.sold_date = cscs.sold_date
+        GROUP BY d_week_seq1
+        ORDER BY d_week_seq1
+    """
+    return build_query(
+        query_id="tpcds-q2",
+        suite="tpcds",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=60, task_compute_seconds=2.1, data_fraction=0.08),
+            ScanSpec(n_tasks=52, task_compute_seconds=2.0, data_fraction=0.06),
+            ScanSpec(n_tasks=38, task_compute_seconds=1.9, data_fraction=0.04),
+        ),
+        downstream=(
+            DownstreamSpec(46, 2.9, 58.0, depends_on=(0, 1)),
+            DownstreamSpec(34, 2.8, 48.0, depends_on=(2, 3)),
+            DownstreamSpec(26, 2.7, 42.0, depends_on=(4,)),
+            DownstreamSpec(18, 2.5, 32.0, depends_on=(5,)),
+            DownstreamSpec(12, 2.4, 24.0, depends_on=(6,)),
+            DownstreamSpec(6, 2.2, 14.0, depends_on=(7,)),
+            DownstreamSpec(4, 2.0, 8.0, depends_on=(8,)),
+        ),
+        sql=sql,
+    )
+
+
+def _q74(input_gb: float) -> QuerySpec:
+    """Mid-long: year-over-year customer growth (12 stages)."""
+    sql = """
+        SELECT customer_id, customer_first_name, customer_last_name, year_total
+        FROM (SELECT c_customer_id, SUM(ss_net_paid) AS year_total
+              FROM customer, store_sales, date_dim
+              WHERE c_customer_sk = ss_customer_sk
+              GROUP BY c_customer_id) year_store,
+             (SELECT c_customer_id, SUM(ws_net_paid) AS year_total
+              FROM customer, web_sales, date_dim
+              WHERE c_customer_sk = ws_bill_customer_sk
+              GROUP BY c_customer_id) year_web
+        WHERE year_store.customer_id = year_web.customer_id
+          AND year_store.year_total > year_web.year_total
+        ORDER BY customer_id, year_total
+    """
+    return build_query(
+        query_id="tpcds-q74",
+        suite="tpcds",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=80, task_compute_seconds=2.3, data_fraction=0.09),
+            ScanSpec(n_tasks=72, task_compute_seconds=2.1, data_fraction=0.08),
+            ScanSpec(n_tasks=48, task_compute_seconds=2.0, data_fraction=0.05),
+        ),
+        downstream=(
+            DownstreamSpec(56, 3.1, 65.0, depends_on=(0, 1)),
+            DownstreamSpec(48, 3.0, 60.0, depends_on=(1, 2)),
+            DownstreamSpec(36, 2.9, 50.0, depends_on=(3,)),
+            DownstreamSpec(32, 2.8, 45.0, depends_on=(4,)),
+            DownstreamSpec(24, 2.7, 38.0, depends_on=(5, 6)),
+            DownstreamSpec(16, 2.5, 28.0, depends_on=(7,)),
+            DownstreamSpec(12, 2.4, 20.0, depends_on=(8,)),
+            DownstreamSpec(8, 2.2, 14.0, depends_on=(9,)),
+            DownstreamSpec(4, 2.0, 8.0, depends_on=(10,)),
+        ),
+        sql=sql,
+    )
+
+
+def _q18(input_gb: float) -> QuerySpec:
+    """Mid-long alien, closest to q49: catalog demographics (11 stages)."""
+    sql = """
+        SELECT i_item_id, ca_country, ca_state, ca_county, agg1, agg2, agg3
+        FROM (SELECT cs_item_sk, cs_quantity, cs_list_price
+              FROM catalog_sales, customer_demographics, date_dim
+              WHERE cs_bill_cdemo_sk = cd_demo_sk
+              GROUP BY cs_item_sk) cs_agg,
+             (SELECT c_customer_sk, c_birth_year
+              FROM customer, customer_address
+              WHERE c_current_addr_sk = ca_address_sk
+              GROUP BY c_customer_sk) c_agg
+        WHERE cs_agg.cs_item_sk = c_agg.c_customer_sk
+        ORDER BY ca_country, ca_state
+    """
+    return build_query(
+        query_id="tpcds-q18",
+        suite="tpcds",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=76, task_compute_seconds=2.2, data_fraction=0.09),
+            ScanSpec(n_tasks=68, task_compute_seconds=2.1, data_fraction=0.07),
+            ScanSpec(n_tasks=44, task_compute_seconds=2.0, data_fraction=0.05),
+        ),
+        downstream=(
+            DownstreamSpec(52, 3.0, 62.0, depends_on=(0, 1)),
+            DownstreamSpec(44, 2.9, 56.0, depends_on=(1, 2)),
+            DownstreamSpec(34, 2.8, 48.0, depends_on=(3,)),
+            DownstreamSpec(28, 2.7, 42.0, depends_on=(4,)),
+            DownstreamSpec(20, 2.6, 34.0, depends_on=(5, 6)),
+            DownstreamSpec(14, 2.4, 24.0, depends_on=(7,)),
+            DownstreamSpec(8, 2.2, 14.0, depends_on=(8,)),
+            DownstreamSpec(4, 2.0, 8.0, depends_on=(9,)),
+        ),
+        sql=sql,
+    )
+
+
+def _q11(input_gb: float) -> QuerySpec:
+    """Long-running: store-vs-web yearly spend per customer (14 stages)."""
+    sql = """
+        SELECT customer_id, customer_first_name, customer_last_name,
+               customer_email_address, year_total, sale_type, dyear
+        FROM (SELECT c_customer_id, SUM(ss_ext_list_price - ss_ext_discount_amt)
+              FROM customer, store_sales, date_dim
+              WHERE c_customer_sk = ss_customer_sk GROUP BY c_customer_id) t_s_firstyear,
+             (SELECT c_customer_id, SUM(ss_ext_list_price - ss_ext_discount_amt)
+              FROM customer, store_sales, date_dim
+              WHERE c_customer_sk = ss_customer_sk GROUP BY c_customer_id) t_s_secyear,
+             (SELECT c_customer_id, SUM(ws_ext_list_price - ws_ext_discount_amt)
+              FROM customer, web_sales, date_dim
+              WHERE c_customer_sk = ws_bill_customer_sk GROUP BY c_customer_id) t_w_secyear
+        WHERE t_s_firstyear.customer_id = t_s_secyear.customer_id
+          AND t_s_firstyear.customer_id = t_w_secyear.customer_id
+        ORDER BY customer_id, year_total
+    """
+    return build_query(
+        query_id="tpcds-q11",
+        suite="tpcds",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=96, task_compute_seconds=2.4, data_fraction=0.10),
+            ScanSpec(n_tasks=88, task_compute_seconds=2.2, data_fraction=0.09),
+            ScanSpec(n_tasks=64, task_compute_seconds=2.1, data_fraction=0.06),
+        ),
+        downstream=(
+            DownstreamSpec(72, 3.2, 70.0, depends_on=(0, 1)),
+            DownstreamSpec(60, 3.1, 64.0, depends_on=(1, 2)),
+            DownstreamSpec(48, 3.0, 56.0, depends_on=(3,)),
+            DownstreamSpec(40, 2.9, 50.0, depends_on=(4,)),
+            DownstreamSpec(32, 2.8, 44.0, depends_on=(5, 6)),
+            DownstreamSpec(24, 2.7, 36.0, depends_on=(7,)),
+            DownstreamSpec(18, 2.6, 28.0, depends_on=(8,)),
+            DownstreamSpec(12, 2.4, 20.0, depends_on=(9,)),
+            DownstreamSpec(8, 2.2, 14.0, depends_on=(10,)),
+            DownstreamSpec(6, 2.1, 10.0, depends_on=(11,)),
+            DownstreamSpec(4, 2.0, 8.0, depends_on=(12,)),
+        ),
+        sql=sql,
+    )
+
+
+def _q4(input_gb: float) -> QuerySpec:
+    """Long alien, closest to q11: three-channel yearly spend (16 stages)."""
+    sql = """
+        SELECT customer_id, customer_first_name, customer_last_name,
+               customer_preferred_cust_flag, customer_birth_country,
+               customer_login, year_total, sale_type, dyear
+        FROM (SELECT c_customer_id, SUM(ss_ext_list_price) AS year_total
+              FROM customer, store_sales, date_dim
+              WHERE c_customer_sk = ss_customer_sk GROUP BY c_customer_id) t_s,
+             (SELECT c_customer_id, SUM(cs_ext_list_price) AS year_total
+              FROM customer, catalog_sales, date_dim
+              WHERE c_customer_sk = cs_bill_customer_sk GROUP BY c_customer_id) t_c,
+             (SELECT c_customer_id, SUM(ws_ext_list_price) AS year_total
+              FROM customer, web_sales, date_dim
+              WHERE c_customer_sk = ws_bill_customer_sk GROUP BY c_customer_id) t_w
+        WHERE t_s.customer_id = t_c.customer_id
+          AND t_s.customer_id = t_w.customer_id
+          AND t_c.year_total > t_w.year_total
+        ORDER BY customer_id, year_total
+    """
+    return build_query(
+        query_id="tpcds-q4",
+        suite="tpcds",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=100, task_compute_seconds=2.4, data_fraction=0.10),
+            ScanSpec(n_tasks=92, task_compute_seconds=2.3, data_fraction=0.09),
+            ScanSpec(n_tasks=72, task_compute_seconds=2.1, data_fraction=0.07),
+        ),
+        downstream=(
+            DownstreamSpec(80, 3.2, 72.0, depends_on=(0, 1)),
+            DownstreamSpec(68, 3.1, 66.0, depends_on=(1, 2)),
+            DownstreamSpec(56, 3.0, 60.0, depends_on=(3,)),
+            DownstreamSpec(48, 3.0, 54.0, depends_on=(4,)),
+            DownstreamSpec(40, 2.9, 48.0, depends_on=(5, 6)),
+            DownstreamSpec(32, 2.8, 42.0, depends_on=(7,)),
+            DownstreamSpec(26, 2.7, 36.0, depends_on=(8,)),
+            DownstreamSpec(20, 2.6, 30.0, depends_on=(9,)),
+            DownstreamSpec(14, 2.4, 22.0, depends_on=(10,)),
+            DownstreamSpec(10, 2.3, 16.0, depends_on=(11,)),
+            DownstreamSpec(6, 2.1, 10.0, depends_on=(12,)),
+            DownstreamSpec(4, 2.0, 8.0, depends_on=(13,)),
+            DownstreamSpec(2, 2.0, 4.0, depends_on=(14,)),
+        ),
+        sql=sql,
+    )
+
+
+_BUILDERS = {
+    "tpcds-q2": _q2,
+    "tpcds-q4": _q4,
+    "tpcds-q11": _q11,
+    "tpcds-q18": _q18,
+    "tpcds-q49": _q49,
+    "tpcds-q55": _q55,
+    "tpcds-q62": _q62,
+    "tpcds-q68": _q68,
+    "tpcds-q74": _q74,
+    "tpcds-q82": _q82,
+}
+
+
+def tpcds_query(query_id: str, input_gb: float = _DEFAULT_INPUT_GB) -> QuerySpec:
+    """Build one TPC-DS-like query against an ``input_gb`` dataset."""
+    try:
+        builder = _BUILDERS[query_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown TPC-DS query {query_id!r}; choose from {sorted(_BUILDERS)}"
+        ) from None
+    if input_gb <= 0:
+        raise ValueError("input_gb must be positive")
+    return builder(input_gb)

@@ -1,0 +1,151 @@
+"""TPC-H-like query suite.
+
+The paper describes TPC-H as "SQL-like query benchmarking (moderated
+compute and I/O) with a lesser sequence of stages (2-6)" and uses query 3
+as the alien workload for the data-growth experiment of Section 6.5.2.
+"""
+
+from __future__ import annotations
+
+from repro.engine.dag import QuerySpec
+from repro.workloads.builder import DownstreamSpec, ScanSpec, build_query
+
+__all__ = ["TPCH_QUERY_IDS", "tpch_query"]
+
+TPCH_QUERY_IDS = ("tpch-q1", "tpch-q3", "tpch-q5", "tpch-q10")
+
+_DEFAULT_INPUT_GB = 100.0
+
+
+def _q1(input_gb: float) -> QuerySpec:
+    """Pricing summary report: one big scan plus an aggregate (2 stages)."""
+    sql = """
+        SELECT l_returnflag, l_linestatus, SUM(l_quantity) AS sum_qty,
+               SUM(l_extendedprice) AS sum_base_price, AVG(l_discount)
+        FROM lineitem
+        WHERE l_shipdate <= DATE '1998-09-02'
+        GROUP BY l_returnflag, l_linestatus
+        ORDER BY l_returnflag, l_linestatus
+    """
+    return build_query(
+        query_id="tpch-q1",
+        suite="tpch",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=72, task_compute_seconds=2.0, data_fraction=0.12),
+        ),
+        downstream=(
+            DownstreamSpec(12, 2.2, 30.0, depends_on=(0,)),
+        ),
+        sql=sql,
+    )
+
+
+def _q3(input_gb: float) -> QuerySpec:
+    """Shipping priority: customer/orders/lineitem join (3 stages)."""
+    sql = """
+        SELECT l_orderkey, SUM(l_extendedprice * (1 - l_discount)) AS revenue,
+               o_orderdate, o_shippriority
+        FROM customer, orders, lineitem
+        WHERE c_mktsegment = 'BUILDING'
+          AND c_custkey = o_custkey
+          AND l_orderkey = o_orderkey
+        GROUP BY l_orderkey, o_orderdate, o_shippriority
+        ORDER BY revenue DESC, o_orderdate
+    """
+    return build_query(
+        query_id="tpch-q3",
+        suite="tpch",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=56, task_compute_seconds=2.1, data_fraction=0.09),
+            ScanSpec(n_tasks=36, task_compute_seconds=1.9, data_fraction=0.05),
+        ),
+        downstream=(
+            DownstreamSpec(20, 2.5, 40.0, depends_on=(0, 1)),
+        ),
+        sql=sql,
+    )
+
+
+def _q5(input_gb: float) -> QuerySpec:
+    """Local supplier volume: five-way join funnel (5 stages)."""
+    sql = """
+        SELECT n_name, SUM(l_extendedprice * (1 - l_discount)) AS revenue
+        FROM customer, orders, lineitem, supplier, nation, region
+        WHERE c_custkey = o_custkey
+          AND l_orderkey = o_orderkey
+          AND l_suppkey = s_suppkey
+          AND s_nationkey = n_nationkey
+          AND n_regionkey = r_regionkey
+          AND r_name = 'ASIA'
+        GROUP BY n_name
+        ORDER BY revenue DESC
+    """
+    return build_query(
+        query_id="tpch-q5",
+        suite="tpch",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=60, task_compute_seconds=2.1, data_fraction=0.10),
+            ScanSpec(n_tasks=40, task_compute_seconds=2.0, data_fraction=0.06),
+        ),
+        downstream=(
+            DownstreamSpec(28, 2.7, 44.0, depends_on=(0, 1)),
+            DownstreamSpec(16, 2.4, 30.0, depends_on=(2,)),
+            DownstreamSpec(6, 2.1, 12.0, depends_on=(3,)),
+        ),
+        sql=sql,
+    )
+
+
+def _q10(input_gb: float) -> QuerySpec:
+    """Returned item reporting: four-way join plus two aggregates (6 stages)."""
+    sql = """
+        SELECT c_custkey, c_name, SUM(l_extendedprice * (1 - l_discount)),
+               c_acctbal, n_name, c_address, c_phone, c_comment
+        FROM customer, orders, lineitem, nation
+        WHERE c_custkey = o_custkey
+          AND l_orderkey = o_orderkey
+          AND l_returnflag = 'R'
+          AND c_nationkey = n_nationkey
+        GROUP BY c_custkey, c_name, c_acctbal, c_phone, n_name
+        ORDER BY revenue DESC
+    """
+    return build_query(
+        query_id="tpch-q10",
+        suite="tpch",
+        input_gb=input_gb,
+        scans=(
+            ScanSpec(n_tasks=56, task_compute_seconds=2.1, data_fraction=0.09),
+            ScanSpec(n_tasks=44, task_compute_seconds=2.0, data_fraction=0.06),
+        ),
+        downstream=(
+            DownstreamSpec(32, 2.7, 46.0, depends_on=(0, 1)),
+            DownstreamSpec(20, 2.5, 34.0, depends_on=(2,)),
+            DownstreamSpec(10, 2.3, 20.0, depends_on=(3,)),
+            DownstreamSpec(4, 2.0, 8.0, depends_on=(4,)),
+        ),
+        sql=sql,
+    )
+
+
+_BUILDERS = {
+    "tpch-q1": _q1,
+    "tpch-q3": _q3,
+    "tpch-q5": _q5,
+    "tpch-q10": _q10,
+}
+
+
+def tpch_query(query_id: str, input_gb: float = _DEFAULT_INPUT_GB) -> QuerySpec:
+    """Build one TPC-H-like query against an ``input_gb`` dataset."""
+    try:
+        builder = _BUILDERS[query_id]
+    except KeyError:
+        raise ValueError(
+            f"unknown TPC-H query {query_id!r}; choose from {sorted(_BUILDERS)}"
+        ) from None
+    if input_gb <= 0:
+        raise ValueError("input_gb must be positive")
+    return builder(input_gb)

@@ -1,0 +1,170 @@
+"""Workload traces: sequences of dynamically arriving queries.
+
+The paper's system model (Section 2.1) distinguishes *static* recurring
+queries from *dynamic* ad-hoc ones that "may cause peak workloads".  A
+:class:`WorkloadTrace` is a time-ordered sequence of query arrivals;
+:class:`PoissonTraceGenerator` synthesises them with Poisson inter-arrival
+times, a weighted query mix, optional diurnal bursts and optional dataset
+growth over the trace -- everything needed to replay a realistic day of
+ad-hoc analytics against Smartpick (see :mod:`repro.core.serving`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+import numpy as np
+
+__all__ = ["TraceEvent", "WorkloadTrace", "PoissonTraceGenerator"]
+
+
+@dataclasses.dataclass(frozen=True)
+class TraceEvent:
+    """One query arrival."""
+
+    arrival_s: float
+    query_id: str
+    input_gb: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.arrival_s < 0:
+            raise ValueError("arrival_s must be non-negative")
+        if self.input_gb <= 0:
+            raise ValueError("input_gb must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class WorkloadTrace:
+    """A time-ordered sequence of query arrivals."""
+
+    events: tuple[TraceEvent, ...]
+
+    def __post_init__(self) -> None:
+        arrivals = [event.arrival_s for event in self.events]
+        if arrivals != sorted(arrivals):
+            raise ValueError("trace events must be ordered by arrival time")
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __iter__(self):
+        return iter(self.events)
+
+    @property
+    def duration_s(self) -> float:
+        """Time of the last arrival (0 for an empty trace)."""
+        if not self.events:
+            return 0.0
+        return self.events[-1].arrival_s
+
+    def query_counts(self) -> dict[str, int]:
+        """Arrivals per query identifier."""
+        counts: dict[str, int] = {}
+        for event in self.events:
+            counts[event.query_id] = counts.get(event.query_id, 0) + 1
+        return counts
+
+    def arrivals_in(self, start_s: float, end_s: float) -> tuple[TraceEvent, ...]:
+        """Events with ``start_s <= arrival < end_s``."""
+        if end_s < start_s:
+            raise ValueError("end_s must not precede start_s")
+        return tuple(
+            event for event in self.events
+            if start_s <= event.arrival_s < end_s
+        )
+
+    # ------------------------------------------------------------------
+    # JSON round trip (traces are experiment artifacts)
+    # ------------------------------------------------------------------
+
+    def dump_json(self, path: str | pathlib.Path) -> None:
+        payload = [dataclasses.asdict(event) for event in self.events]
+        pathlib.Path(path).write_text(json.dumps(payload, indent=2))
+
+    @classmethod
+    def load_json(cls, path: str | pathlib.Path) -> "WorkloadTrace":
+        payload = json.loads(pathlib.Path(path).read_text())
+        return cls(events=tuple(TraceEvent(**event) for event in payload))
+
+
+class PoissonTraceGenerator:
+    """Synthesises arrival traces with a Poisson process.
+
+    Parameters
+    ----------
+    query_mix:
+        ``{query_id: weight}``; arrival identities are drawn
+        proportionally to the weights.
+    rate_per_minute:
+        Mean arrival rate of the base Poisson process.
+    burst_factor / burst_fraction:
+        A fraction of the trace (in the middle) runs at
+        ``burst_factor x`` the base rate -- the "peak workloads caused by
+        dynamic queries" of Section 2.1.  ``burst_factor=1`` disables it.
+    input_gb / final_input_gb:
+        Dataset size at the start and end of the trace; sizes interpolate
+        linearly in between (Section 6.5.2's growth, made continuous).
+    """
+
+    def __init__(
+        self,
+        query_mix: dict[str, float],
+        rate_per_minute: float = 2.0,
+        burst_factor: float = 1.0,
+        burst_fraction: float = 0.2,
+        input_gb: float = 100.0,
+        final_input_gb: float | None = None,
+        rng: np.random.Generator | int | None = None,
+    ) -> None:
+        if not query_mix:
+            raise ValueError("query_mix must not be empty")
+        if any(weight <= 0 for weight in query_mix.values()):
+            raise ValueError("query weights must be positive")
+        if rate_per_minute <= 0:
+            raise ValueError("rate_per_minute must be positive")
+        if burst_factor < 1.0:
+            raise ValueError("burst_factor must be at least 1")
+        if not 0.0 < burst_fraction < 1.0:
+            raise ValueError("burst_fraction must be in (0, 1)")
+        if input_gb <= 0:
+            raise ValueError("input_gb must be positive")
+        self.query_mix = dict(query_mix)
+        self.rate_per_minute = rate_per_minute
+        self.burst_factor = burst_factor
+        self.burst_fraction = burst_fraction
+        self.input_gb = input_gb
+        self.final_input_gb = final_input_gb or input_gb
+        self._rng = np.random.default_rng(rng)
+
+    def generate(self, duration_minutes: float) -> WorkloadTrace:
+        """A trace covering ``duration_minutes`` of simulated time."""
+        if duration_minutes <= 0:
+            raise ValueError("duration_minutes must be positive")
+        duration_s = duration_minutes * 60.0
+        burst_start = duration_s * (0.5 - self.burst_fraction / 2.0)
+        burst_end = duration_s * (0.5 + self.burst_fraction / 2.0)
+
+        ids = list(self.query_mix)
+        weights = np.array([self.query_mix[q] for q in ids], dtype=float)
+        weights /= weights.sum()
+
+        events: list[TraceEvent] = []
+        now = 0.0
+        while True:
+            rate = self.rate_per_minute / 60.0
+            if burst_start <= now < burst_end:
+                rate *= self.burst_factor
+            now += float(self._rng.exponential(1.0 / rate))
+            if now >= duration_s:
+                break
+            progress = now / duration_s
+            size = self.input_gb + progress * (
+                self.final_input_gb - self.input_gb
+            )
+            query_id = ids[int(self._rng.choice(len(ids), p=weights))]
+            events.append(
+                TraceEvent(arrival_s=now, query_id=query_id, input_gb=size)
+            )
+        return WorkloadTrace(events=tuple(events))

@@ -1,0 +1,50 @@
+"""Word Count: the simple I/O-bound benchmark.
+
+Section 6.1 uses Word Count "as a simple query with I/O requirement", and
+Section 6.5.2 submits it as a workload Smartpick has never seen to exercise
+background retraining.  Structurally it is the classic two-stage job: a map
+stage that reads and tokenises the input, and a reduce stage that merges
+counts.
+"""
+
+from __future__ import annotations
+
+from repro.engine.dag import QuerySpec
+from repro.workloads.builder import DownstreamSpec, ScanSpec, build_query
+
+__all__ = ["WORDCOUNT_QUERY_ID", "wordcount_query"]
+
+WORDCOUNT_QUERY_ID = "wordcount"
+
+_DEFAULT_INPUT_GB = 100.0
+
+_SQL = """
+    SELECT word, COUNT(*) AS occurrences
+    FROM documents
+    GROUP BY word
+    ORDER BY occurrences DESC
+"""
+
+
+def wordcount_query(input_gb: float = _DEFAULT_INPUT_GB) -> QuerySpec:
+    """Build the Word Count job over an ``input_gb`` corpus.
+
+    The map stage is I/O-dominated: light per-task compute with a large
+    object-storage read; the reduce stage shuffles modest count maps.
+    """
+    if input_gb <= 0:
+        raise ValueError("input_gb must be positive")
+    return build_query(
+        query_id=WORDCOUNT_QUERY_ID,
+        suite="wordcount",
+        input_gb=input_gb,
+        scans=(
+            # Half the (compressed) corpus volume hits object storage;
+            # compute is just tokenising.
+            ScanSpec(n_tasks=96, task_compute_seconds=1.2, data_fraction=0.50),
+        ),
+        downstream=(
+            DownstreamSpec(24, 1.5, 25.0, depends_on=(0,)),
+        ),
+        sql=_SQL,
+    )

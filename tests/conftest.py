@@ -1,0 +1,50 @@
+"""Shared fixtures.
+
+The expensive fixture is a bootstrapped Smartpick system; it is
+session-scoped and deliberately small (two training queries, a reduced
+grid) so the whole suite stays fast while still exercising the full
+pipeline.  Benchmarks use the full-size setting instead.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import Smartpick, SmartpickProperties
+from repro.workloads import get_query
+
+
+@pytest.fixture(scope="session")
+def small_trained_smartpick() -> Smartpick:
+    """A bootstrapped AWS Smartpick with a reduced grid (shared, read-mostly).
+
+    Tests that mutate system state (submit queries, retrain) should use
+    the function-scoped :func:`fresh_smartpick` instead.
+    """
+    system = Smartpick(
+        SmartpickProperties(provider="AWS", relay=True),
+        max_vm=8,
+        max_sl=8,
+        rng=42,
+    )
+    system.bootstrap(
+        [get_query("tpcds-q82"), get_query("tpcds-q68")],
+        n_configs_per_query=10,
+        min_workers=3,
+    )
+    return system
+
+
+@pytest.fixture
+def fresh_smartpick() -> Smartpick:
+    """A freshly bootstrapped small system safe to mutate."""
+    system = Smartpick(
+        SmartpickProperties(provider="AWS", relay=True),
+        max_vm=8,
+        max_sl=8,
+        rng=43,
+    )
+    system.bootstrap(
+        [get_query("tpcds-q82")], n_configs_per_query=8, min_workers=3
+    )
+    return system

@@ -1,0 +1,112 @@
+"""Tests for the analysis helpers (PCr, statistics, reporting)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import (
+    format_series,
+    format_table,
+    mean_and_ci,
+    performance_cost_ratio,
+    scaled_pcr,
+)
+from repro.analysis.stats import confidence_interval
+
+
+class TestPcr:
+    def test_equation3(self):
+        # PCr = (1/Time) / (1 + cost)
+        assert performance_cost_ratio(2.0, 1.0) == pytest.approx(0.25)
+
+    def test_faster_is_better(self):
+        assert performance_cost_ratio(0.1, 0.0) > performance_cost_ratio(1.0, 0.0)
+
+    def test_cheaper_is_better(self):
+        assert performance_cost_ratio(1.0, 0.0) > performance_cost_ratio(1.0, 5.0)
+
+    def test_scaling(self):
+        assert scaled_pcr(1.0, 0.0) == pytest.approx(100.0)
+        assert scaled_pcr(1.0, 0.0, scale=1000.0) == pytest.approx(1000.0)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            performance_cost_ratio(0.0, 1.0)
+        with pytest.raises(ValueError):
+            performance_cost_ratio(1.0, -1.0)
+        with pytest.raises(ValueError):
+            scaled_pcr(1.0, 0.0, scale=0.0)
+
+
+class TestStats:
+    def test_mean_and_ci_basics(self):
+        summary = mean_and_ci(np.array([10.0, 12.0, 8.0, 10.0]), 0.90)
+        assert summary.mean == pytest.approx(10.0)
+        assert summary.half_width > 0
+        assert summary.low < summary.mean < summary.high
+        assert summary.n == 4
+
+    def test_single_sample_has_zero_width(self):
+        summary = mean_and_ci(np.array([5.0]))
+        assert summary.half_width == 0.0
+
+    def test_interval_contains_true_mean_mostly(self):
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(200):
+            samples = rng.normal(50.0, 5.0, size=10)
+            low, high = confidence_interval(samples, 0.90)
+            hits += low <= 50.0 <= high
+        assert hits >= 160  # ~90 % coverage, generous slack
+
+    def test_higher_confidence_wider(self):
+        samples = np.random.default_rng(1).normal(0, 1, 20)
+        narrow = mean_and_ci(samples, 0.80).half_width
+        wide = mean_and_ci(samples, 0.99).half_width
+        assert wide > narrow
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            mean_and_ci(np.array([]))
+        with pytest.raises(ValueError):
+            mean_and_ci(np.array([1.0]), confidence=1.5)
+
+    def test_str_format(self):
+        assert "+-" in str(mean_and_ci(np.array([1.0, 2.0])))
+
+
+class TestReporting:
+    def test_table_alignment(self):
+        table = format_table(
+            ("name", "value"), [("a", 1.0), ("long-name", 20.5)]
+        )
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert "long-name" in lines[3]
+        assert "20.50" in lines[3]
+
+    def test_table_title(self):
+        table = format_table(("x",), [(1,)], title="Table 1")
+        assert table.splitlines()[0] == "Table 1"
+
+    def test_row_width_checked(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1,)])
+
+    def test_series_layout(self):
+        text = format_series(
+            "knob", ("0.0", "0.2"),
+            {"time_s": (90.0, 100.0), "cost_c": (5.0, 4.5)},
+        )
+        lines = text.splitlines()
+        assert lines[0].startswith("knob")
+        assert "time_s" in lines[0]
+        assert "cost_c" in lines[0]
+        assert len(lines) == 4
+
+    def test_series_length_checked(self):
+        with pytest.raises(ValueError):
+            format_series("x", (1, 2), {"y": (1,)})
+
+    def test_empty_table(self):
+        table = format_table(("a", "b"), [])
+        assert "a" in table

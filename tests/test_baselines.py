@@ -1,0 +1,176 @@
+"""Tests for the baseline systems (Cocoa, SplitServe, RF-only, BO-only)."""
+
+import pytest
+
+from repro.baselines import (
+    CherryPickPlanner,
+    CocoaPlanner,
+    OptimusCloudPlanner,
+    SLOnlyPlanner,
+    SplitServePlanner,
+    VMOnlyPlanner,
+)
+from repro.workloads import get_query
+
+
+@pytest.fixture()
+def system(small_trained_smartpick):
+    return small_trained_smartpick
+
+
+def _request(system, query_id="tpcds-q82"):
+    return system.mfe.build_request(get_query(query_id), system.predictor).request
+
+
+class TestStaticPlanners:
+    def test_vm_only_stays_on_axis(self, system):
+        plan = VMOnlyPlanner(system.predictor).run(
+            get_query("tpcds-q82"), _request(system), rng=1
+        )
+        assert plan.decision.n_sl == 0
+        assert plan.result.n_sl == 0
+        assert plan.result.cost.sl_total == 0.0
+
+    def test_sl_only_stays_on_axis(self, system):
+        plan = SLOnlyPlanner(system.predictor).run(
+            get_query("tpcds-q82"), _request(system), rng=2
+        )
+        assert plan.decision.n_vm == 0
+        assert plan.result.cost.vm_total == 0.0
+        assert plan.result.cost.external_store > 0.0
+
+    def test_sl_only_starts_faster_than_vm_only(self, system):
+        query = get_query("tpcds-q82")
+        vm = VMOnlyPlanner(system.predictor).run(query, _request(system), rng=3)
+        sl = SLOnlyPlanner(system.predictor).run(query, _request(system), rng=3)
+        assert sl.result.metrics.startup_delay < vm.result.metrics.startup_delay
+
+
+class TestCocoa:
+    def test_favors_serverless(self, system):
+        decision = CocoaPlanner(system.predictor).decide(
+            get_query("tpcds-q82"), _request(system)
+        )
+        assert decision.n_sl > decision.n_vm
+
+    def test_vm_base_capped(self, system):
+        decision = CocoaPlanner(system.predictor, static_vm_base=2).decide(
+            get_query("tpcds-q82"), _request(system)
+        )
+        assert decision.n_vm <= 2
+
+    def test_static_estimate_drives_sizing(self, system):
+        query = get_query("tpcds-q82")
+        small = CocoaPlanner(system.predictor, assumed_task_seconds=2.0).decide(
+            query, _request(system)
+        )
+        large = CocoaPlanner(system.predictor, assumed_task_seconds=8.0).decide(
+            query, _request(system)
+        )
+        assert large.n_sl > small.n_sl
+
+    def test_run_executes_without_relay(self, system):
+        decision, result = CocoaPlanner(system.predictor).run(
+            get_query("tpcds-q82"), _request(system), rng=4
+        )
+        assert result.policy == "run-to-completion"
+        assert result.n_sl == decision.n_sl
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError):
+            CocoaPlanner(system.predictor, assumed_task_seconds=0.0)
+        with pytest.raises(ValueError):
+            CocoaPlanner(system.predictor, static_vm_base=-1)
+
+
+class TestSplitServe:
+    def test_equal_counts(self, system):
+        decision = SplitServePlanner(system.predictor).decide(_request(system))
+        assert decision.n_vm == decision.n_sl >= 1
+
+    def test_segueing_policy_used(self, system):
+        decision, result = SplitServePlanner(
+            system.predictor, segue_timeout_seconds=45.0
+        ).run(get_query("tpcds-q82"), _request(system), rng=5)
+        assert "segueing" in result.policy
+        assert decision.timeout_seconds == 45.0
+
+    def test_costs_more_than_smartpick_relay(self, system):
+        """The Fig. 7 headline: same ballpark latency, inflated cost."""
+        query = get_query("tpcds-q82")
+        smart = system.submit(query)
+        _, split = SplitServePlanner(system.predictor).run(
+            query, _request(system), rng=6
+        )
+        assert split.cost_dollars > smart.result.cost_dollars * 0.95
+        assert split.completion_seconds < smart.actual_seconds * 1.5
+
+    def test_knob_passthrough_shrinks_cluster(self, system):
+        tight = SplitServePlanner(system.predictor).decide(_request(system), knob=0.0)
+        relaxed = SplitServePlanner(system.predictor).decide(
+            _request(system), knob=0.8
+        )
+        assert relaxed.n_vm <= tight.n_vm
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError):
+            SplitServePlanner(system.predictor, segue_timeout_seconds=0.0)
+
+
+class TestOptimusCloudRfOnly:
+    def test_exhaustive_sweep_covers_grid(self, system):
+        planner = OptimusCloudPlanner(system.predictor, grid_refinement=1)
+        decision = planner.decide(_request(system))
+        grid_size = system.predictor.candidate_grid("hybrid").shape[0]
+        assert decision.cells_evaluated == grid_size
+
+    def test_refinement_multiplies_work(self, system):
+        base = OptimusCloudPlanner(system.predictor, grid_refinement=1).decide(
+            _request(system)
+        )
+        refined = OptimusCloudPlanner(system.predictor, grid_refinement=3).decide(
+            _request(system)
+        )
+        assert refined.cells_evaluated == 3 * base.cells_evaluated
+        assert refined.search_seconds > base.search_seconds
+
+    def test_finds_model_optimum(self, system):
+        decision = OptimusCloudPlanner(system.predictor, grid_refinement=1).decide(
+            _request(system)
+        )
+        # Exhaustive search is at least as good as Smartpick's BO result.
+        bo = system.predictor.determine(_request(system))
+        assert decision.predicted_seconds <= bo.predicted_seconds + 1e-9
+
+    def test_slower_than_smartpick_bo(self, system):
+        request = _request(system)
+        exhaustive = OptimusCloudPlanner(system.predictor).decide(request)
+        bo = system.predictor.determine(request)
+        assert exhaustive.search_seconds > bo.inference_seconds
+
+
+class TestCherryPickBoOnly:
+    def test_probes_cost_money(self, system):
+        result = CherryPickPlanner(system.predictor, rng=7).decide(
+            get_query("tpcds-q82"), _request(system)
+        )
+        assert result.n_probes >= 3
+        assert result.probes_cost_dollars > 0
+        assert result.probes_simulated_seconds > 0
+
+    def test_probe_budget_respected(self, system):
+        result = CherryPickPlanner(system.predictor, max_probes=5, rng=8).decide(
+            get_query("tpcds-q82"), _request(system)
+        )
+        assert result.n_probes <= 5
+
+    def test_finds_reasonable_config(self, system):
+        result = CherryPickPlanner(system.predictor, max_probes=20, rng=9).decide(
+            get_query("tpcds-q82"), _request(system)
+        )
+        assert result.n_vm + result.n_sl >= 1
+        assert result.observed_seconds > 0
+
+    def test_validation(self, system):
+        with pytest.raises(ValueError):
+            CherryPickPlanner(system.predictor, max_probes=0)

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_bootstrap_defaults(self):
+        args = build_parser().parse_args(["bootstrap"])
+        assert args.provider == "AWS"
+        assert args.configs == 20
+        assert "tpcds-q11" in args.queries
+
+    def test_submit_arguments(self):
+        args = build_parser().parse_args(
+            ["submit", "tpcds-q82", "--knob", "0.4", "--mode", "vm-only"]
+        )
+        assert args.query_id == "tpcds-q82"
+        assert args.knob == 0.4
+        assert args.mode == "vm-only"
+
+    def test_missing_command_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_unknown_mode_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["submit", "q", "--mode", "magic"])
+
+
+class TestCommands:
+    def test_workloads_lists_catalogue(self, capsys):
+        assert main(["workloads"]) == 0
+        out = capsys.readouterr().out
+        assert "tpcds-q11" in out
+        assert "wordcount" in out
+
+    def test_bootstrap_small_run(self, capsys, tmp_path):
+        history = tmp_path / "history.json"
+        code = main([
+            "bootstrap", "--queries", "tpcds-q82", "--configs", "4",
+            "--seed", "3", "--history", str(history),
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "trained model v1" in out
+        assert history.exists()
+
+    def test_bootstrap_empty_queries_fails(self, capsys):
+        assert main(["bootstrap", "--queries", " "]) == 2
+
+    def test_submit_end_to_end(self, capsys):
+        code = main([
+            "submit", "tpcds-q82", "--configs", "4", "--seed", "3",
+            "--knob", "0.2",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "tpcds-q82" in out
+        assert "configuration:" in out

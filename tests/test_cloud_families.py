@@ -1,0 +1,77 @@
+"""Tests for the instance-family extension (Section 7)."""
+
+import pytest
+
+from repro.cloud import get_provider
+from repro.cloud.families import FAMILIES, InstanceFamily, apply_family, get_family
+from repro.cloud.pricing import get_prices
+
+
+class TestFamilyCatalog:
+    def test_lookup(self):
+        assert get_family("T3").name == "t3"
+        assert get_family("c5").compute_speedup > 1.0
+        with pytest.raises(ValueError):
+            get_family("x1")
+
+    def test_t3_is_the_baseline(self):
+        t3 = FAMILIES["t3"]
+        assert t3.compute_speedup == 1.0
+        assert t3.burstable is True
+
+    def test_bigger_families_cost_more(self):
+        t3 = FAMILIES["t3"]
+        for name in ("m5", "c5"):
+            family = FAMILIES[name]
+            assert family.vm_hourly_aws > t3.vm_hourly_aws
+            assert family.vm_hourly_gcp > t3.vm_hourly_gcp
+            assert family.memory_gb > t3.memory_gb
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            InstanceFamily("bad", 0.0, 1.0, 2.0, 0.1, 0.1, False)
+        with pytest.raises(ValueError):
+            InstanceFamily("bad", 1.0, 1.0, -2.0, 0.1, 0.1, False)
+
+
+class TestApplyFamily:
+    def test_t3_is_identity(self):
+        profile, prices = get_provider("aws"), get_prices("aws")
+        assert apply_family(profile, prices, "t3") == (profile, prices)
+
+    def test_c5_speeds_up_and_costs_more(self):
+        base_profile, base_prices = get_provider("aws"), get_prices("aws")
+        profile, prices = apply_family(base_profile, base_prices, "c5")
+        assert profile.vm_compute_factor < base_profile.vm_compute_factor
+        assert prices.vm_hourly > base_prices.vm_hourly
+        assert prices.burstable_per_vcpu_hour == 0.0
+
+    def test_gcp_pricing_selected(self):
+        _, prices = apply_family(get_provider("gcp"), get_prices("gcp"), "m5")
+        assert prices.vm_hourly == pytest.approx(
+            FAMILIES["m5"].vm_hourly_gcp
+        )
+
+    def test_serverless_side_untouched(self):
+        base_profile, base_prices = get_provider("aws"), get_prices("aws")
+        profile, prices = apply_family(base_profile, base_prices, "c5")
+        assert profile.sl_cpu_events_per_s == base_profile.sl_cpu_events_per_s
+        assert prices.sl_gb_second == base_prices.sl_gb_second
+
+
+class TestPropertyIntegration:
+    def test_smartpick_applies_family(self):
+        from repro import Smartpick, SmartpickProperties
+
+        default = Smartpick(SmartpickProperties(provider="AWS"), rng=0)
+        fast = Smartpick(
+            SmartpickProperties(provider="AWS", instance_family="c5"), rng=0
+        )
+        assert fast.provider.vm_compute_factor < default.provider.vm_compute_factor
+        assert fast.prices.vm_hourly > default.prices.vm_hourly
+
+    def test_unknown_family_rejected(self):
+        from repro import SmartpickProperties
+
+        with pytest.raises(ValueError):
+            SmartpickProperties(instance_family="x1")

@@ -1,0 +1,122 @@
+"""Unit tests for Smartpick properties (Table 4) and features (Table 3)."""
+
+import numpy as np
+import pytest
+
+from repro.core import FEATURE_NAMES, FeatureVector, SmartpickProperties
+
+
+class TestSmartpickProperties:
+    def test_table4_defaults(self):
+        props = SmartpickProperties()
+        assert props.provider == "AWS"
+        assert props.instance_family == "t3"
+        assert props.relay is True
+        assert props.knob == 0
+        assert props.max_batch == 100
+        assert props.prefer_same_instance is False
+        assert props.min_ram_gb == 4
+        assert props.error_difference_trigger == 50
+
+    def test_from_properties_round_trip(self):
+        original = SmartpickProperties(
+            provider="GCP", relay=False, knob=0.4, max_batch=50
+        )
+        rebuilt = SmartpickProperties.from_properties(original.to_properties())
+        assert rebuilt == original
+
+    def test_from_properties_parses_strings(self):
+        props = SmartpickProperties.from_properties({
+            "smartpick.cloud.compute.relay": "false",
+            "smartpick.cloud.compute.knob": "0.2",
+            "smartpick.train.max.batch": "25",
+            "smartpick.train.pref.sameInstance": "yes",
+        })
+        assert props.relay is False
+        assert props.knob == 0.2
+        assert props.max_batch == 25
+        assert props.prefer_same_instance is True
+
+    def test_foreign_keys_ignored(self):
+        props = SmartpickProperties.from_properties({
+            "spark.executor.memory": "2g",
+            "smartpick.cloud.compute.provider": "GCP",
+        })
+        assert props.provider == "GCP"
+
+    def test_unknown_smartpick_key_rejected(self):
+        with pytest.raises(ValueError):
+            SmartpickProperties.from_properties({"smartpick.unknown.key": "1"})
+
+    def test_bad_boolean_rejected(self):
+        with pytest.raises(ValueError):
+            SmartpickProperties.from_properties(
+                {"smartpick.cloud.compute.relay": "maybe"}
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SmartpickProperties(provider="azure")
+        with pytest.raises(ValueError):
+            SmartpickProperties(knob=-0.1)
+        with pytest.raises(ValueError):
+            SmartpickProperties(max_batch=0)
+        with pytest.raises(ValueError):
+            SmartpickProperties(error_difference_trigger=0)
+
+    def test_with_knob_and_relay_copies(self):
+        props = SmartpickProperties()
+        assert props.with_knob(0.5).knob == 0.5
+        assert props.with_relay(False).relay is False
+        assert props.knob == 0  # original untouched
+
+
+class TestFeatureVector:
+    def test_schema_covers_table3(self):
+        # Table 3 feature list (instances realised as two columns).
+        assert "n_vm" in FEATURE_NAMES
+        assert "n_sl" in FEATURE_NAMES
+        assert "input_size_gb" in FEATURE_NAMES
+        assert "start_time_epoch" in FEATURE_NAMES
+        assert "total_memory_gb" in FEATURE_NAMES
+        assert "available_memory_gb" in FEATURE_NAMES
+        assert "memory_per_executor_gb" in FEATURE_NAMES
+        assert "num_waiting_apps" in FEATURE_NAMES
+        assert "total_available_cores" in FEATURE_NAMES
+        assert "historical_duration_s" in FEATURE_NAMES
+
+    def test_build_derives_cluster_shape(self):
+        features = FeatureVector.build(
+            n_vm=3, n_sl=2, input_size_gb=100.0,
+            start_time_epoch=1.7e9, historical_duration_s=120.0,
+        )
+        assert features.total_memory_gb == 10.0
+        assert features.total_available_cores == 10
+        assert features.memory_per_executor_gb == 2.0
+        assert features.available_memory_gb == 10.0
+
+    def test_waiting_apps_reduce_available_memory(self):
+        idle = FeatureVector.build(2, 2, 10.0, 0.0, 60.0, num_waiting_apps=0)
+        busy = FeatureVector.build(2, 2, 10.0, 0.0, 60.0, num_waiting_apps=4)
+        assert busy.available_memory_gb < idle.available_memory_gb
+
+    def test_array_order_matches_names(self):
+        features = FeatureVector.build(1, 2, 50.0, 123.0, 80.0)
+        array = features.as_array()
+        assert array.shape == (len(FEATURE_NAMES),)
+        assert array[FEATURE_NAMES.index("n_vm")] == 1.0
+        assert array[FEATURE_NAMES.index("n_sl")] == 2.0
+        assert array[FEATURE_NAMES.index("input_size_gb")] == 50.0
+        assert array[FEATURE_NAMES.index("historical_duration_s")] == 80.0
+
+    def test_empty_configuration_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureVector.build(0, 0, 10.0, 0.0, 60.0)
+
+    def test_negative_values_rejected(self):
+        with pytest.raises(ValueError):
+            FeatureVector.build(-1, 2, 10.0, 0.0, 60.0)
+        with pytest.raises(ValueError):
+            FeatureVector.build(1, 2, -10.0, 0.0, 60.0)
+        with pytest.raises(ValueError):
+            FeatureVector.build(1, 2, 10.0, 0.0, -60.0)

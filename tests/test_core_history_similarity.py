@@ -1,0 +1,145 @@
+"""Unit tests for the History Server and the Similarity Checker."""
+
+import numpy as np
+import pytest
+
+from repro.core import ExecutionRecord, FeatureVector, HistoryServer
+from repro.core.similarity import QueryAttributes, SimilarityChecker
+from repro.workloads import get_query
+from repro.workloads.tpcds import TPCDS_ALIEN_QUERY_IDS, TPCDS_TRAINING_QUERY_IDS
+
+
+def _record(query_id="q1", duration=100.0, cost=0.05):
+    features = FeatureVector.build(2, 2, 50.0, 1.7e9, duration)
+    return ExecutionRecord(
+        query_id=query_id,
+        features=features,
+        duration_s=duration,
+        cost_dollars=cost,
+        provider="aws",
+        relay=True,
+    )
+
+
+class TestHistoryServer:
+    def test_record_and_lookup(self):
+        server = HistoryServer()
+        server.record(_record("q1", 100.0))
+        server.record(_record("q1", 120.0))
+        server.record(_record("q2", 40.0))
+        assert len(server) == 3
+        assert server.known_query_ids() == ("q1", "q2")
+        assert len(server.records_for("q1")) == 2
+        assert server.records_for("missing") == ()
+
+    def test_historical_duration_is_mean(self):
+        server = HistoryServer()
+        server.record(_record("q1", 100.0))
+        server.record(_record("q1", 140.0))
+        assert server.historical_duration("q1") == pytest.approx(120.0)
+
+    def test_historical_duration_unknown_raises(self):
+        with pytest.raises(KeyError):
+            HistoryServer().historical_duration("nope")
+
+    def test_epochs_are_monotone(self):
+        server = HistoryServer()
+        epochs = [server.next_epoch() for _ in range(5)]
+        assert epochs == sorted(epochs)
+        assert len(set(epochs)) == 5
+
+    def test_dataset_assembly(self):
+        server = HistoryServer()
+        for duration in (100.0, 110.0, 90.0):
+            server.record(_record("q1", duration))
+        dataset = server.as_dataset()
+        assert len(dataset) == 3
+        assert set(dataset.targets) == {100.0, 110.0, 90.0}
+
+    def test_dataset_filters_queries(self):
+        server = HistoryServer()
+        server.record(_record("q1", 100.0))
+        server.record(_record("q2", 50.0))
+        dataset = server.as_dataset(("q2",))
+        assert len(dataset) == 1
+        with pytest.raises(ValueError):
+            server.as_dataset(("missing",))
+
+    def test_recent_records_window(self):
+        server = HistoryServer()
+        for i in range(10):
+            server.record(_record("q1", 100.0 + i))
+        recent = server.recent_records(3)
+        assert [r.duration_s for r in recent] == [107.0, 108.0, 109.0]
+
+    def test_invalid_duration_rejected(self):
+        with pytest.raises(ValueError):
+            HistoryServer().record(_record(duration=0.0))
+
+    def test_json_round_trip(self, tmp_path):
+        server = HistoryServer()
+        server.record(_record("q1", 100.0))
+        server.record(_record("q2", 55.5))
+        path = tmp_path / "history.json"
+        server.dump_json(path)
+        restored = HistoryServer.load_json(path)
+        assert len(restored) == 2
+        assert restored.historical_duration("q2") == pytest.approx(55.5)
+        assert restored.records[0].features == server.records[0].features
+
+
+class TestSimilarityChecker:
+    def test_exact_match_wins(self):
+        checker = SimilarityChecker()
+        attrs = QueryAttributes(3, 10, 1, 100)
+        checker.register("known", attrs)
+        checker.register("other", QueryAttributes(8, 30, 4, 500))
+        match = checker.closest(attrs)
+        assert match.query_id == "known"
+        assert match.similarity == pytest.approx(1.0)
+
+    def test_scores_for_all_known(self):
+        checker = SimilarityChecker()
+        checker.register("a", QueryAttributes(2, 5, 0, 50))
+        checker.register("b", QueryAttributes(6, 20, 3, 400))
+        match = checker.closest(QueryAttributes(2, 6, 0, 60))
+        assert set(match.scores) == {"a", "b"}
+        assert match.query_id == "a"
+
+    def test_no_known_queries_raises(self):
+        with pytest.raises(RuntimeError):
+            SimilarityChecker().closest(QueryAttributes(1, 1, 0, 1))
+
+    def test_contains_and_ids(self):
+        checker = SimilarityChecker()
+        checker.register("x", QueryAttributes(1, 2, 0, 10))
+        assert "x" in checker
+        assert "y" not in checker
+        assert checker.known_query_ids == ("x",)
+
+    def test_register_sql_parses(self):
+        checker = SimilarityChecker()
+        checker.register_sql("q", "SELECT a, b FROM t, u", n_map_tasks=40)
+        match = checker.closest(QueryAttributes(2, 2, 0, 40))
+        assert match.query_id == "q"
+
+    def test_paper_alien_mappings(self):
+        """Each Section 6.5.1 alien maps to its documented neighbour."""
+        from repro.core.monitor import map_task_count
+
+        checker = SimilarityChecker()
+        for query_id in TPCDS_TRAINING_QUERY_IDS:
+            query = get_query(query_id)
+            checker.register_sql(query_id, query.sql, map_task_count(query))
+        expected = {
+            "tpcds-q2": "tpcds-q49",
+            "tpcds-q4": "tpcds-q11",
+            "tpcds-q18": "tpcds-q49",
+            "tpcds-q55": "tpcds-q82",
+            "tpcds-q62": "tpcds-q68",
+        }
+        for alien_id in TPCDS_ALIEN_QUERY_IDS:
+            query = get_query(alien_id)
+            match = checker.closest_for_sql(query.sql, map_task_count(query))
+            assert match.query_id == expected[alien_id], alien_id
+            assert match.similarity > 0.9

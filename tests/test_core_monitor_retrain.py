@@ -1,0 +1,114 @@
+"""Tests for MFE monitoring and background retraining."""
+
+import numpy as np
+import pytest
+
+from repro.core import SmartpickProperties
+from repro.core.retrain import BackgroundRetrainer, ModelStore
+from repro.workloads import get_query
+
+
+class TestMonitorAndFeatureExtraction:
+    def test_known_query_skips_similarity(self, small_trained_smartpick):
+        system = small_trained_smartpick
+        context = system.mfe.build_request(
+            get_query("tpcds-q82"), system.predictor
+        )
+        assert not context.is_alien
+        assert context.similar_query_id is None
+        assert context.request.historical_duration_s > 0
+
+    def test_alien_query_uses_similarity(self, small_trained_smartpick):
+        system = small_trained_smartpick
+        context = system.mfe.build_request(
+            get_query("tpcds-q55"), system.predictor
+        )
+        assert context.is_alien
+        assert context.similar_query_id == "tpcds-q82"
+        # The neighbour's history stands in for the alien's.
+        assert context.request.historical_duration_s == pytest.approx(
+            system.history.historical_duration("tpcds-q82")
+        )
+
+    def test_error_trigger_threshold(self, small_trained_smartpick):
+        mfe = small_trained_smartpick.mfe
+        trigger = mfe.properties.error_difference_trigger
+        assert not mfe.error_exceeds_trigger(100.0, 100.0 + trigger)
+        assert mfe.error_exceeds_trigger(100.0, 100.0 + trigger + 1.0)
+        assert mfe.error_exceeds_trigger(100.0 + trigger + 1.0, 100.0)
+
+
+class TestModelStore:
+    def test_publish_and_restore(self, fresh_smartpick):
+        store = ModelStore()
+        snapshot = store.publish(fresh_smartpick.predictor)
+        assert store.current is snapshot
+        forest = snapshot.restore()
+        probe = fresh_smartpick.history.as_dataset().features[:3]
+        assert np.allclose(
+            forest.predict(probe), fresh_smartpick.predictor.forest.predict(probe)
+        )
+
+    def test_versions_accumulate(self, fresh_smartpick):
+        store = ModelStore()
+        store.publish(fresh_smartpick.predictor)
+        fresh_smartpick.predictor.model_version += 1
+        store.publish(fresh_smartpick.predictor)
+        assert len(store.versions) == 2
+        assert store.current.version == max(store.versions)
+
+    def test_empty_store(self):
+        assert ModelStore().current is None
+
+
+class TestBackgroundRetrainer:
+    def test_no_retrain_below_trigger(self, fresh_smartpick):
+        retrainer = fresh_smartpick.retrainer
+        event = retrainer.observe("tpcds-q82", predicted_s=100.0, actual_s=110.0)
+        assert event is None
+        assert retrainer.events == []
+
+    def test_retrain_fires_above_trigger(self, fresh_smartpick):
+        retrainer = fresh_smartpick.retrainer
+        version_before = fresh_smartpick.predictor.model_version
+        event = retrainer.observe("tpcds-q82", predicted_s=100.0, actual_s=400.0)
+        assert event is not None
+        assert event.error_s == pytest.approx(300.0)
+        assert fresh_smartpick.predictor.model_version == version_before + 1
+        assert retrainer.model_store.current.version == version_before + 1
+
+    def test_placement_respects_properties(self, fresh_smartpick):
+        props = SmartpickProperties(
+            prefer_same_instance=True, min_ram_gb=4.0
+        )
+        retrainer = BackgroundRetrainer(
+            predictor=fresh_smartpick.predictor,
+            history=fresh_smartpick.history,
+            properties=props,
+            available_ram_gb=8.0,
+        )
+        assert retrainer._retrain_placement() is True
+        starved = BackgroundRetrainer(
+            predictor=fresh_smartpick.predictor,
+            history=fresh_smartpick.history,
+            properties=props,
+            available_ram_gb=2.0,
+        )
+        assert starved._retrain_placement() is False
+
+    def test_default_placement_is_new_instance(self, fresh_smartpick):
+        event = fresh_smartpick.retrainer.observe("tpcds-q82", 10.0, 500.0)
+        assert event.same_instance is False
+
+    def test_batch_tick_waits_for_max_batch(self, fresh_smartpick):
+        props = fresh_smartpick.properties
+        props.max_batch = 10_000  # never reached in this test
+        assert fresh_smartpick.retrainer.batch_tick() is None
+
+    def test_batch_tick_fires_incrementally(self, fresh_smartpick):
+        fresh_smartpick.properties.max_batch = 4
+        trees_before = fresh_smartpick.predictor.forest.n_trees
+        event = fresh_smartpick.retrainer.batch_tick()
+        assert event is not None
+        assert event.incremental is True
+        assert fresh_smartpick.predictor.forest.n_trees > trees_before

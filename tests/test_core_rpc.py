@@ -1,0 +1,110 @@
+"""Tests for the standalone prediction service (RPC)."""
+
+import dataclasses
+
+import pytest
+
+from repro.core.predictor import PredictionRequest
+from repro.core.rpc import PredictionClient, PredictionServer, RpcError
+
+
+@pytest.fixture()
+def server(small_trained_smartpick):
+    with PredictionServer(small_trained_smartpick.predictor) as running:
+        yield running
+
+
+def _client(server):
+    host, port = server.address
+    return PredictionClient(host, port)
+
+
+def _request(system):
+    historical = system.history.historical_duration("tpcds-q82")
+    return PredictionRequest(
+        query_id="tpcds-q82",
+        input_size_gb=100.0,
+        start_time_epoch=1.7e9,
+        historical_duration_s=historical,
+    )
+
+
+class TestRpcService:
+    def test_ping(self, server):
+        with _client(server) as client:
+            assert client.ping() == "pong"
+
+    def test_model_info(self, server, small_trained_smartpick):
+        with _client(server) as client:
+            info = client.model_info()
+        assert info["trained"] is True
+        assert info["provider"] == "aws"
+        assert "tpcds-q82" in info["known_queries"]
+        assert info["training_samples"] == (
+            small_trained_smartpick.predictor.training_set_size
+        )
+
+    def test_predict_duration_matches_local(self, server, small_trained_smartpick):
+        request = _request(small_trained_smartpick)
+        with _client(server) as client:
+            remote = client.predict_duration(request, n_vm=4, n_sl=2)
+        local = small_trained_smartpick.predictor.predict_duration(
+            request.feature_vector(4, 2)
+        )
+        assert remote == pytest.approx(local)
+
+    def test_determine_returns_full_decision(self, server, small_trained_smartpick):
+        request = _request(small_trained_smartpick)
+        with _client(server) as client:
+            decision = client.determine(request, knob=0.2)
+        assert decision["query_id"] == "tpcds-q82"
+        assert decision["n_vm"] + decision["n_sl"] >= 1
+        assert decision["knob"] == 0.2
+        assert len(decision["et_list"]) == decision["n_evaluations"]
+
+    def test_external_seda_system_integration(self, server, small_trained_smartpick):
+        """A SplitServe-style consumer sizing itself over the wire."""
+        request = _request(small_trained_smartpick)
+        with _client(server) as client:
+            decision = client.determine(request, mode="vm-only")
+        n = max(decision["n_vm"], 1)
+        assert decision["n_sl"] == 0
+        assert n >= 1  # usable as SplitServe's equal-count n
+
+    def test_unknown_method_raises(self, server):
+        with _client(server) as client:
+            with pytest.raises(RpcError):
+                client.call("bogus")
+
+    def test_server_side_error_propagates(self, server):
+        with _client(server) as client:
+            with pytest.raises(RpcError):
+                client.call("determine", request={"query_id": "x"})  # bad args
+
+    def test_sequential_calls_on_one_connection(self, server):
+        with _client(server) as client:
+            for _ in range(5):
+                assert client.ping() == "pong"
+
+    def test_multiple_clients(self, server):
+        clients = [_client(server) for _ in range(3)]
+        try:
+            assert all(client.ping() == "pong" for client in clients)
+        finally:
+            for client in clients:
+                client.close()
+
+    def test_double_start_rejected(self, small_trained_smartpick):
+        server = PredictionServer(small_trained_smartpick.predictor)
+        server.start()
+        try:
+            with pytest.raises(RuntimeError):
+                server.start()
+        finally:
+            server.stop()
+
+    def test_stop_is_idempotent(self, small_trained_smartpick):
+        server = PredictionServer(small_trained_smartpick.predictor)
+        server.start()
+        server.stop()
+        server.stop()

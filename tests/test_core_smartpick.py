@@ -1,0 +1,123 @@
+"""Integration tests of the Smartpick facade (the Figure 3 workflow)."""
+
+import pytest
+
+from repro import Smartpick, SmartpickProperties
+from repro.workloads import get_query
+
+
+class TestBootstrap:
+    def test_bootstrap_report(self, fresh_smartpick):
+        # fresh_smartpick ran 8 configs for one query.
+        assert fresh_smartpick.predictor.is_trained
+        assert len(fresh_smartpick.history) == 8
+        assert fresh_smartpick.known_query_ids == ("tpcds-q82",)
+
+    def test_submit_before_bootstrap_rejected(self):
+        system = Smartpick(rng=0)
+        with pytest.raises(RuntimeError):
+            system.submit(get_query("tpcds-q82"))
+
+    def test_bootstrap_validation(self):
+        system = Smartpick(rng=0)
+        with pytest.raises(ValueError):
+            system.bootstrap([])
+        with pytest.raises(ValueError):
+            system.bootstrap([get_query("tpcds-q82")], n_configs_per_query=0)
+
+    def test_describe_mentions_state(self, fresh_smartpick):
+        text = fresh_smartpick.describe()
+        assert "aws" in text
+        assert "records" in text
+
+
+class TestSubmission:
+    def test_known_query_workflow(self, fresh_smartpick):
+        outcome = fresh_smartpick.submit(get_query("tpcds-q82"))
+        assert not outcome.is_alien
+        assert outcome.actual_seconds > 0
+        assert outcome.cost_dollars > 0
+        assert outcome.decision.n_vm + outcome.decision.n_sl >= 1
+        # The run landed in history.
+        assert len(fresh_smartpick.history.records_for("tpcds-q82")) == 9
+
+    def test_prediction_close_to_actual(self, fresh_smartpick):
+        outcome = fresh_smartpick.submit(get_query("tpcds-q82"))
+        assert outcome.error_seconds < 0.5 * outcome.actual_seconds
+
+    def test_alien_query_via_similarity(self, fresh_smartpick):
+        outcome = fresh_smartpick.submit(get_query("tpcds-q55"))
+        assert outcome.is_alien
+        assert outcome.similar_query_id == "tpcds-q82"
+        assert outcome.actual_seconds > 0
+
+    def test_outcome_summary_readable(self, fresh_smartpick):
+        outcome = fresh_smartpick.submit(get_query("tpcds-q55"))
+        text = outcome.summary()
+        assert "tpcds-q55" in text
+        assert "alien" in text
+
+    def test_modes_restrict_resources(self, fresh_smartpick):
+        vm_only = fresh_smartpick.submit(get_query("tpcds-q82"), mode="vm-only")
+        sl_only = fresh_smartpick.submit(get_query("tpcds-q82"), mode="sl-only")
+        assert vm_only.decision.n_sl == 0
+        assert sl_only.decision.n_vm == 0
+        assert vm_only.result.policy == "run-to-completion"
+
+    def test_hybrid_uses_relay_policy(self, fresh_smartpick):
+        outcome = fresh_smartpick.submit(get_query("tpcds-q82"))
+        if outcome.decision.n_vm > 0 and outcome.decision.n_sl > 0:
+            assert outcome.result.policy == "relay-instances"
+
+    def test_knob_override_per_submission(self, fresh_smartpick):
+        tight = fresh_smartpick.submit(get_query("tpcds-q82"), knob=0.0)
+        relaxed = fresh_smartpick.submit(get_query("tpcds-q82"), knob=0.8)
+        assert relaxed.decision.estimated_cost <= tight.decision.estimated_cost * 1.1
+
+
+class TestDynamics:
+    def test_new_workload_triggers_retraining(self):
+        system = Smartpick(
+            SmartpickProperties(
+                provider="AWS", error_difference_trigger=10.0
+            ),
+            max_vm=8, max_sl=8, rng=11,
+        )
+        system.bootstrap(
+            [get_query("tpcds-q82")], n_configs_per_query=8, min_workers=3
+        )
+        # Word Count is structurally different; the first submission should
+        # miss by more than 10 s and fire a retrain.
+        outcome = system.submit(get_query("wordcount"))
+        assert outcome.is_alien
+        assert outcome.retrain_event is not None
+        assert "wordcount" in system.predictor.known_queries
+        # After retraining, the model knows the workload.
+        second = system.submit(get_query("wordcount"))
+        assert not second.is_alien
+        assert second.error_seconds < outcome.error_seconds
+
+    def test_retrained_query_joins_similarity_corpus(self):
+        system = Smartpick(
+            SmartpickProperties(provider="AWS", error_difference_trigger=10.0),
+            max_vm=8, max_sl=8, rng=12,
+        )
+        system.bootstrap(
+            [get_query("tpcds-q82")], n_configs_per_query=8, min_workers=3
+        )
+        outcome = system.submit(get_query("wordcount"))
+        if outcome.retrain_event is not None:
+            assert "wordcount" in system.similarity
+
+
+class TestGcpVariant:
+    def test_gcp_system_works_end_to_end(self):
+        system = Smartpick(
+            SmartpickProperties(provider="GCP"), max_vm=6, max_sl=6, rng=13
+        )
+        system.bootstrap(
+            [get_query("tpcds-q82")], n_configs_per_query=6, min_workers=3
+        )
+        outcome = system.submit(get_query("tpcds-q82"))
+        assert outcome.result.provider == "gcp"
+        assert outcome.actual_seconds > 0

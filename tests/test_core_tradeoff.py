@@ -1,0 +1,94 @@
+"""Unit tests for the cost-performance tradeoff knob (Eq. 4)."""
+
+import pytest
+
+from repro.core import EstimatedTimeEntry, naive_scale_down, select_with_knob
+
+
+def _entry(n_vm, n_sl, seconds, cost):
+    return EstimatedTimeEntry(
+        n_vm=n_vm, n_sl=n_sl, estimated_seconds=seconds, estimated_cost=cost
+    )
+
+
+BEST = _entry(10, 10, 100.0, 0.050)
+ET_LIST = [
+    BEST,
+    _entry(8, 8, 110.0, 0.042),    # +10 % latency, cheaper
+    _entry(6, 6, 130.0, 0.034),    # +30 % latency, cheaper still
+    _entry(4, 4, 170.0, 0.026),    # +70 % latency
+    _entry(2, 2, 300.0, 0.020),    # way over any sane budget
+    _entry(12, 12, 95.0, 0.060),   # faster but over C_best
+]
+
+
+class TestSelectWithKnob:
+    def test_zero_knob_returns_best(self):
+        assert select_with_knob(ET_LIST, BEST, 0.0) is BEST
+
+    def test_small_knob_picks_cheaper_neighbour(self):
+        chosen = select_with_knob(ET_LIST, BEST, 0.2)
+        assert chosen.config == (8, 8)
+
+    def test_larger_knob_reaches_cheaper_entries(self):
+        chosen = select_with_knob(ET_LIST, BEST, 0.4)
+        assert chosen.config == (6, 6)
+
+    def test_cost_never_exceeds_best(self):
+        for epsilon in (0.1, 0.3, 0.5, 1.0, 3.0):
+            chosen = select_with_knob(ET_LIST, BEST, epsilon)
+            assert chosen.estimated_cost <= BEST.estimated_cost
+
+    def test_latency_within_tolerance(self):
+        for epsilon in (0.1, 0.3, 0.5, 1.0):
+            chosen = select_with_knob(ET_LIST, BEST, epsilon)
+            assert chosen.estimated_seconds <= BEST.estimated_seconds * (
+                1.0 + epsilon
+            )
+
+    def test_cost_monotone_in_epsilon(self):
+        costs = [
+            select_with_knob(ET_LIST, BEST, eps).estimated_cost
+            for eps in (0.0, 0.1, 0.3, 0.7, 2.0)
+        ]
+        assert costs == sorted(costs, reverse=True)
+
+    def test_faster_but_pricier_entry_never_chosen(self):
+        chosen = select_with_knob(ET_LIST, BEST, 0.5)
+        assert chosen.config != (12, 12)
+
+    def test_no_admissible_candidate_falls_back_to_best(self):
+        # Everything admissible is pricier than best.
+        et = [BEST, _entry(11, 11, 101.0, 0.09)]
+        assert select_with_knob(et, BEST, 0.2) is BEST
+
+    def test_tie_breaks_toward_larger_time(self):
+        cheap_fast = _entry(7, 7, 105.0, 0.03)
+        cheap_slow = _entry(5, 5, 118.0, 0.03)
+        chosen = select_with_knob([BEST, cheap_fast, cheap_slow], BEST, 0.2)
+        assert chosen is cheap_slow
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            select_with_knob(ET_LIST, BEST, -0.1)
+
+
+class TestNaiveScaleDown:
+    def test_half_knob_halves_counts(self):
+        # Section 3.3: epsilon = 0.5 halves the configuration.
+        assert naive_scale_down(BEST, 0.5) == (5, 5)
+
+    def test_zero_knob_is_identity(self):
+        assert naive_scale_down(BEST, 0.0) == (10, 10)
+
+    def test_never_empty(self):
+        assert sum(naive_scale_down(_entry(1, 0, 50.0, 0.01), 0.9)) >= 1
+        assert sum(naive_scale_down(_entry(0, 1, 50.0, 0.01), 1.0)) >= 1
+
+    def test_majority_kind_survives(self):
+        n_vm, n_sl = naive_scale_down(_entry(1, 3, 50.0, 0.01), 1.0)
+        assert (n_vm, n_sl) == (0, 1)
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            naive_scale_down(BEST, -0.5)

@@ -1,0 +1,191 @@
+"""Unit tests for the DES core and the query DAG model."""
+
+import numpy as np
+import pytest
+
+from repro.engine import QuerySpec, Simulator, StageSpec
+from repro.workloads import make_random_query, make_uniform_query
+
+
+class TestSimulator:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(5.0, lambda: seen.append("b"))
+        sim.schedule(1.0, lambda: seen.append("a"))
+        sim.schedule(9.0, lambda: seen.append("c"))
+        sim.run()
+        assert seen == ["a", "b", "c"]
+        assert sim.now == 9.0
+
+    def test_fifo_among_equal_times(self):
+        sim = Simulator()
+        seen = []
+        for tag in range(5):
+            sim.schedule(1.0, lambda t=tag: seen.append(t))
+        sim.run()
+        assert seen == [0, 1, 2, 3, 4]
+
+    def test_events_can_schedule_events(self):
+        sim = Simulator()
+        seen = []
+
+        def chain(n):
+            seen.append(sim.now)
+            if n > 0:
+                sim.schedule(1.0, lambda: chain(n - 1))
+
+        sim.schedule(0.0, lambda: chain(3))
+        sim.run()
+        assert seen == [0.0, 1.0, 2.0, 3.0]
+
+    def test_cannot_schedule_in_the_past(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.schedule_at(0.5, lambda: None)
+        with pytest.raises(ValueError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_run_until_stops_at_deadline(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(10))
+        sim.run_until(5.0)
+        assert seen == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+
+    def test_runaway_loop_detected(self):
+        sim = Simulator()
+
+        def forever():
+            sim.schedule(0.0, forever)
+
+        sim.schedule(0.0, forever)
+        with pytest.raises(RuntimeError):
+            sim.run(max_events=1000)
+
+    def test_event_counter(self):
+        sim = Simulator()
+        for _ in range(4):
+            sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.events_processed == 4
+
+
+class TestStageSpec:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            StageSpec(stage_id=0, n_tasks=0, task_compute_seconds=1.0)
+        with pytest.raises(ValueError):
+            StageSpec(stage_id=0, n_tasks=1, task_compute_seconds=0.0)
+        with pytest.raises(ValueError):
+            StageSpec(
+                stage_id=0, n_tasks=1, task_compute_seconds=1.0,
+                task_input_mb=-1.0,
+            )
+
+
+class TestQuerySpec:
+    def _chain(self):
+        return QuerySpec(
+            query_id="q",
+            suite="test",
+            stages=(
+                StageSpec(0, 4, 1.0, task_input_mb=10.0),
+                StageSpec(1, 2, 1.0, task_shuffle_mb=5.0, depends_on=(0,)),
+                StageSpec(2, 1, 1.0, depends_on=(1,)),
+            ),
+            input_gb=1.0,
+        )
+
+    def test_counts(self):
+        query = self._chain()
+        assert query.n_stages == 3
+        assert query.total_tasks == 7
+        assert query.total_compute_seconds == pytest.approx(7.0)
+        assert query.critical_path_length == 3
+
+    def test_topological_order_respects_deps(self):
+        query = self._chain()
+        order = [stage.stage_id for stage in query.topological_stages()]
+        assert order.index(0) < order.index(1) < order.index(2)
+
+    def test_cycle_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySpec(
+                query_id="cyclic",
+                suite="test",
+                stages=(
+                    StageSpec(0, 1, 1.0, depends_on=(1,)),
+                    StageSpec(1, 1, 1.0, depends_on=(0,)),
+                ),
+                input_gb=1.0,
+            )
+
+    def test_unknown_dependency_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySpec(
+                query_id="bad",
+                suite="test",
+                stages=(StageSpec(0, 1, 1.0, depends_on=(9,)),),
+                input_gb=1.0,
+            )
+
+    def test_duplicate_stage_ids_rejected(self):
+        with pytest.raises(ValueError):
+            QuerySpec(
+                query_id="dup",
+                suite="test",
+                stages=(StageSpec(0, 1, 1.0), StageSpec(0, 1, 1.0)),
+                input_gb=1.0,
+            )
+
+    def test_scaling_input_grows_volumes_not_tasks(self):
+        query = self._chain()
+        scaled = query.scaled_to_input(5.0)
+        assert scaled.total_tasks == query.total_tasks
+        assert scaled.input_gb == 5.0
+        assert scaled.stages[0].task_input_mb == pytest.approx(50.0)
+        assert scaled.stages[1].task_shuffle_mb == pytest.approx(25.0)
+        # Compute grows sub-linearly (fixed overhead + data share).
+        ratio = (
+            scaled.stages[0].task_compute_seconds
+            / query.stages[0].task_compute_seconds
+        )
+        assert 1.0 < ratio < 5.0
+
+    def test_scaling_validation(self):
+        query = self._chain()
+        with pytest.raises(ValueError):
+            query.scaled_to_input(0.0)
+
+
+class TestGenerators:
+    def test_uniform_query_shape(self):
+        query = make_uniform_query(100, task_seconds=4.0)
+        assert query.n_stages == 1
+        assert query.total_tasks == 100
+        assert query.stages[0].task_compute_seconds == 4.0
+
+    def test_uniform_query_validation(self):
+        with pytest.raises(ValueError):
+            make_uniform_query(0)
+        with pytest.raises(ValueError):
+            make_uniform_query(10, task_seconds=0.0)
+
+    def test_random_queries_are_always_valid(self):
+        rng = np.random.default_rng(0)
+        for _ in range(25):
+            query = make_random_query(rng)
+            assert query.n_stages >= 1
+            assert query.total_tasks >= 1
+            # QuerySpec construction already validated the DAG.
+
+    def test_random_query_deterministic_for_seed(self):
+        a = make_random_query(rng=5, query_id="fixed")
+        b = make_random_query(rng=5, query_id="fixed")
+        assert a == b

@@ -1,0 +1,185 @@
+"""Unit tests for dataset utilities and regression metrics."""
+
+import numpy as np
+import pytest
+
+from repro.ml import (
+    DataBurstAugmenter,
+    Dataset,
+    accuracy_within,
+    accuracy_within_two_standard_errors,
+    mean_absolute_error,
+    r2_score,
+    rmse,
+    standard_error_of_regression,
+    train_test_split,
+)
+from repro.ml.metrics import distance_histogram
+
+
+def _dataset(n=40, seed=0):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(1, 10, size=(n, 3))
+    targets = features[:, 0] * 10
+    return Dataset(features, targets, ("a", "b", "c"))
+
+
+class TestDataset:
+    def test_column_lookup(self):
+        ds = _dataset()
+        assert np.array_equal(ds.column("a"), ds.features[:, 0])
+        with pytest.raises(KeyError):
+            ds.column("missing")
+
+    def test_shuffle_preserves_pairs(self):
+        ds = _dataset()
+        shuffled = ds.shuffled(rng=1)
+        assert sorted(shuffled.targets) == sorted(ds.targets)
+        # Each row must keep its own target.
+        assert np.allclose(shuffled.features[:, 0] * 10, shuffled.targets)
+
+    def test_concat_checks_schema(self):
+        ds = _dataset()
+        other = Dataset(np.zeros((2, 2)), np.zeros(2), ("a", "b"))
+        with pytest.raises(ValueError):
+            ds.concat(other)
+
+    def test_concat_stacks_rows(self):
+        ds = _dataset(10)
+        combined = ds.concat(_dataset(5, seed=1))
+        assert len(combined) == 15
+
+    def test_mismatched_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(4))
+
+    def test_feature_names_length_checked(self):
+        with pytest.raises(ValueError):
+            Dataset(np.zeros((3, 2)), np.zeros(3), ("only-one",))
+
+
+class TestTrainTestSplit:
+    def test_split_sizes(self):
+        train, test = train_test_split(_dataset(100), 0.2, rng=2)
+        assert len(test) == 20
+        assert len(train) == 80
+
+    def test_split_is_a_partition(self):
+        ds = _dataset(50)
+        train, test = train_test_split(ds, 0.3, rng=3)
+        combined = sorted(np.concatenate([train.targets, test.targets]))
+        assert np.allclose(combined, sorted(ds.targets))
+
+    def test_invalid_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            train_test_split(_dataset(), 0.0)
+        with pytest.raises(ValueError):
+            train_test_split(_dataset(), 1.0)
+
+    def test_always_leaves_training_data(self):
+        tiny = _dataset(3)
+        train, test = train_test_split(tiny, 0.9, rng=4)
+        assert len(train) >= 1
+        assert len(test) >= 1
+
+
+class TestDataBurstAugmenter:
+    def test_tenfold_burst(self):
+        augmented = DataBurstAugmenter(factor=10, rng=5).augment(_dataset(100))
+        assert len(augmented) == 1000
+
+    def test_features_stay_within_five_percent(self):
+        ds = _dataset(50, seed=6)
+        augmented = DataBurstAugmenter(factor=10, jitter=0.05, rng=6).augment(ds)
+        # Every augmented feature must lie within 5 % of SOME original row.
+        lo = ds.features.min(axis=0) * 0.95 - 1e-9
+        hi = ds.features.max(axis=0) * 1.05 + 1e-9
+        assert (augmented.features >= lo).all()
+        assert (augmented.features <= hi).all()
+
+    def test_targets_exact_by_default(self):
+        ds = _dataset(20, seed=7)
+        augmented = DataBurstAugmenter(factor=5, rng=7).augment(ds)
+        assert set(np.round(augmented.targets, 9)) <= set(np.round(ds.targets, 9))
+
+    def test_target_jitter_optional(self):
+        ds = _dataset(20, seed=8)
+        augmented = DataBurstAugmenter(
+            factor=5, jitter_targets=True, rng=8
+        ).augment(ds)
+        assert len(set(np.round(augmented.targets, 9))) > len(ds)
+
+    def test_integer_columns_stay_integral(self):
+        features = np.array([[4.0, 2.5], [8.0, 1.5]])
+        ds = Dataset(features, np.array([1.0, 2.0]))
+        augmented = DataBurstAugmenter(
+            factor=20, integer_columns=(0,), rng=9
+        ).augment(ds)
+        assert np.allclose(augmented.features[:, 0],
+                           np.rint(augmented.features[:, 0]))
+
+    def test_factor_one_is_identity_size(self):
+        ds = _dataset(10)
+        assert len(DataBurstAugmenter(factor=1, rng=10).augment(ds)) == 10
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DataBurstAugmenter(factor=0)
+        with pytest.raises(ValueError):
+            DataBurstAugmenter(jitter=1.5)
+
+
+class TestMetrics:
+    def test_rmse_zero_for_perfect(self):
+        y = np.arange(5.0)
+        assert rmse(y, y) == 0.0
+
+    def test_rmse_known_value(self):
+        assert rmse(np.array([0.0, 0.0]), np.array([3.0, 4.0])) == pytest.approx(
+            np.sqrt(12.5)
+        )
+
+    def test_mae_known_value(self):
+        assert mean_absolute_error(
+            np.array([1.0, 2.0]), np.array([2.0, 4.0])
+        ) == pytest.approx(1.5)
+
+    def test_r2_perfect_and_mean_predictor(self):
+        y = np.array([1.0, 2.0, 3.0, 4.0])
+        assert r2_score(y, y) == 1.0
+        assert r2_score(y, np.full(4, y.mean())) == pytest.approx(0.0)
+
+    def test_standard_error_accounts_for_dof(self):
+        actual = np.array([1.0, 2.0, 3.0, 4.0])
+        predicted = actual + 1.0
+        se1 = standard_error_of_regression(actual, predicted, n_parameters=1)
+        se2 = standard_error_of_regression(actual, predicted, n_parameters=2)
+        assert se2 > se1
+
+    def test_accuracy_within_threshold(self):
+        actual = np.array([10.0, 20.0, 30.0])
+        predicted = np.array([11.0, 25.0, 30.0])
+        assert accuracy_within(actual, predicted, 1.0) == pytest.approx(2 / 3)
+
+    def test_accuracy_two_se_bounded(self):
+        rng = np.random.default_rng(11)
+        actual = rng.normal(100, 10, 500)
+        predicted = actual + rng.normal(0, 5, 500)
+        accuracy = accuracy_within_two_standard_errors(actual, predicted)
+        # Two standard errors should cover ~95 % of Gaussian residuals.
+        assert 0.90 <= accuracy <= 1.0
+
+    def test_distance_histogram_counts_all_samples(self):
+        actual = np.array([0.0, 0.0, 0.0, 0.0])
+        predicted = np.array([1.0, 6.0, 11.0, 2.0])
+        edges, counts = distance_histogram(actual, predicted, bin_width=5.0)
+        assert counts.sum() == 4
+        assert counts[0] == 2  # errors 1 and 2
+
+    def test_metrics_validate_inputs(self):
+        with pytest.raises(ValueError):
+            rmse(np.array([1.0]), np.array([1.0, 2.0]))
+        with pytest.raises(ValueError):
+            rmse(np.array([]), np.array([]))
+        with pytest.raises(ValueError):
+            accuracy_within(np.array([1.0]), np.array([1.0]), -1.0)

@@ -1,0 +1,138 @@
+"""Unit tests for the CART regression tree."""
+
+import numpy as np
+import pytest
+
+from repro.ml import DecisionTreeRegressor
+from repro.ml.metrics import rmse
+
+
+def _toy_step_data():
+    """A 1-D step function a depth-1 tree can fit exactly."""
+    x = np.arange(20, dtype=float)[:, None]
+    y = np.where(x[:, 0] < 10, 1.0, 5.0)
+    return x, y
+
+
+class TestFitBasics:
+    def test_fits_step_function_exactly(self):
+        x, y = _toy_step_data()
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert np.allclose(tree.predict(x), y)
+
+    def test_single_sample_is_a_leaf(self):
+        tree = DecisionTreeRegressor().fit([[1.0]], [3.0])
+        assert tree.node_count == 1
+        assert tree.predict([[99.0]])[0] == pytest.approx(3.0)
+
+    def test_constant_targets_yield_single_leaf(self):
+        x = np.random.default_rng(0).normal(size=(50, 3))
+        tree = DecisionTreeRegressor().fit(x, np.full(50, 7.0))
+        assert tree.n_leaves == 1
+        assert np.allclose(tree.predict(x), 7.0)
+
+    def test_prediction_is_mean_of_leaf(self):
+        # Two x values, two y values each; leaf prediction = group mean.
+        x = np.array([[0.0], [0.0], [1.0], [1.0]])
+        y = np.array([1.0, 3.0, 10.0, 14.0])
+        tree = DecisionTreeRegressor().fit(x, y)
+        assert tree.predict([[0.0]])[0] == pytest.approx(2.0)
+        assert tree.predict([[1.0]])[0] == pytest.approx(12.0)
+
+    def test_deeper_trees_fit_better(self):
+        rng = np.random.default_rng(1)
+        x = rng.uniform(0, 10, size=(300, 2))
+        y = np.sin(x[:, 0]) * 3 + x[:, 1]
+        shallow = DecisionTreeRegressor(max_depth=2).fit(x, y)
+        deep = DecisionTreeRegressor(max_depth=10).fit(x, y)
+        assert rmse(y, deep.predict(x)) < rmse(y, shallow.predict(x))
+
+
+class TestRegularisers:
+    def test_max_depth_is_respected(self):
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(200, 4))
+        y = rng.normal(size=200)
+        tree = DecisionTreeRegressor(max_depth=3).fit(x, y)
+        assert tree.depth <= 3
+
+    def test_min_samples_leaf_bounds_leaf_size(self):
+        rng = np.random.default_rng(3)
+        x = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        tree = DecisionTreeRegressor(min_samples_leaf=10).fit(x, y)
+        buffers = tree._require_fitted()
+        leaf_mask = buffers.left[: buffers.count] == -1
+        assert (buffers.n_samples[: buffers.count][leaf_mask] >= 10).all()
+
+    def test_min_samples_split_prevents_splitting(self):
+        x = np.arange(6, dtype=float)[:, None]
+        y = np.arange(6, dtype=float)
+        tree = DecisionTreeRegressor(min_samples_split=10).fit(x, y)
+        assert tree.node_count == 1
+
+    def test_max_features_subsampling_still_fits(self):
+        rng = np.random.default_rng(4)
+        x = rng.normal(size=(200, 6))
+        y = 2 * x[:, 0] + rng.normal(0, 0.1, 200)
+        tree = DecisionTreeRegressor(max_features="sqrt", rng=5).fit(x, y)
+        assert rmse(y, tree.predict(x)) < np.std(y)
+
+    @pytest.mark.parametrize("spec,expected", [
+        (None, 6), ("sqrt", 2), ("log2", 2), (3, 3), (0.5, 3),
+    ])
+    def test_max_features_specs(self, spec, expected):
+        tree = DecisionTreeRegressor(max_features=spec)
+        tree._n_features = 6
+        assert tree._n_split_candidates() == expected
+
+
+class TestValidation:
+    def test_rejects_bad_hyperparameters(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_split=1)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(min_samples_leaf=0)
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor(max_depth=0)
+
+    def test_rejects_mismatched_shapes(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((5, 2)), np.zeros(4))
+
+    def test_rejects_empty_fit(self):
+        with pytest.raises(ValueError):
+            DecisionTreeRegressor().fit(np.zeros((0, 2)), np.zeros(0))
+
+    def test_rejects_wrong_feature_count_at_predict(self):
+        tree = DecisionTreeRegressor().fit(np.zeros((4, 2)), np.arange(4.0))
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((1, 3)))
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            DecisionTreeRegressor().predict([[1.0]])
+
+
+class TestIntrospection:
+    def test_feature_importances_identify_signal(self):
+        rng = np.random.default_rng(6)
+        x = rng.normal(size=(400, 3))
+        y = 10 * x[:, 1] + rng.normal(0, 0.1, 400)
+        tree = DecisionTreeRegressor(max_depth=6).fit(x, y)
+        importances = tree.feature_importances()
+        assert importances[1] > 0.9
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_decision_path_length_matches_depth_bound(self):
+        rng = np.random.default_rng(7)
+        x = rng.normal(size=(100, 2))
+        y = rng.normal(size=100)
+        tree = DecisionTreeRegressor(max_depth=4).fit(x, y)
+        assert (tree.decision_path_length(x) <= 4).all()
+
+    def test_node_count_consistency(self):
+        x, y = _toy_step_data()
+        tree = DecisionTreeRegressor().fit(x, y)
+        # A binary tree with L leaves has 2L - 1 nodes.
+        assert tree.node_count == 2 * tree.n_leaves - 1

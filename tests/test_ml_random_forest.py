@@ -1,0 +1,144 @@
+"""Unit tests for the Random Forest regressor."""
+
+import numpy as np
+import pytest
+
+from repro.ml import RandomForestRegressor
+from repro.ml.metrics import rmse
+
+
+def _signal_data(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(0, 10, size=(n, 3))
+    y = 2 * x[:, 0] + np.sin(x[:, 1]) * 4 + rng.normal(0, 0.2, n)
+    return x, y
+
+
+class TestFitPredict:
+    def test_fits_smooth_signal(self):
+        x, y = _signal_data()
+        forest = RandomForestRegressor(n_estimators=30, rng=1).fit(x, y)
+        assert rmse(y, forest.predict(x)) < 0.5 * np.std(y)
+
+    def test_n_trees_matches_request(self):
+        x, y = _signal_data(100)
+        forest = RandomForestRegressor(n_estimators=7, rng=2).fit(x, y)
+        assert forest.n_trees == 7
+
+    def test_prediction_is_tree_average(self):
+        x, y = _signal_data(80)
+        forest = RandomForestRegressor(n_estimators=5, rng=3).fit(x, y)
+        manual = np.mean([tree.predict(x) for tree in forest.trees_], axis=0)
+        assert np.allclose(forest.predict(x), manual)
+
+    def test_spread_reflects_uncertainty(self):
+        x, y = _signal_data(200, seed=4)
+        forest = RandomForestRegressor(n_estimators=20, rng=4).fit(x, y)
+        _, in_range_spread = forest.predict_with_spread(x[:10])
+        _, far_spread = forest.predict_with_spread(np.full((1, 3), 50.0))
+        # Extrapolation cannot have smaller ensemble agreement on average
+        # than dense training regions do; mostly a smoke property.
+        assert far_spread[0] >= 0.0
+        assert in_range_spread.shape == (10,)
+
+    def test_deterministic_under_same_seed(self):
+        x, y = _signal_data(150, seed=5)
+        a = RandomForestRegressor(n_estimators=10, rng=99).fit(x, y).predict(x)
+        b = RandomForestRegressor(n_estimators=10, rng=99).fit(x, y).predict(x)
+        assert np.array_equal(a, b)
+
+
+class TestWarmStart:
+    def test_warm_start_keeps_existing_trees(self):
+        x, y = _signal_data(100, seed=6)
+        forest = RandomForestRegressor(
+            n_estimators=5, warm_start=True, rng=7
+        ).fit(x, y)
+        first_trees = list(forest.trees_)
+        forest.n_estimators = 9
+        forest.fit(x, y)
+        assert forest.n_trees == 9
+        assert forest.trees_[:5] == first_trees
+
+    def test_add_trees_grows_ensemble(self):
+        x, y = _signal_data(100, seed=8)
+        forest = RandomForestRegressor(n_estimators=6, rng=9).fit(x, y)
+        forest.add_trees(x, y, n_new=4)
+        assert forest.n_trees == 10
+
+    def test_add_trees_absorbs_new_data(self):
+        x, y = _signal_data(150, seed=10)
+        forest = RandomForestRegressor(n_estimators=10, rng=11).fit(x, y)
+        # A new regime: shifted target on shifted inputs.
+        x_new = x + 20.0
+        y_new = y + 100.0
+        before = rmse(y_new, forest.predict(x_new))
+        forest.add_trees(x_new, y_new, n_new=30)
+        after = rmse(y_new, forest.predict(x_new))
+        assert after < before
+
+    def test_cold_fit_resets_ensemble(self):
+        x, y = _signal_data(100, seed=12)
+        forest = RandomForestRegressor(n_estimators=5, rng=13).fit(x, y)
+        forest.fit(x, y)
+        assert forest.n_trees == 5
+
+    def test_warm_start_rejects_feature_count_change(self):
+        x, y = _signal_data(100, seed=14)
+        forest = RandomForestRegressor(
+            n_estimators=3, warm_start=True, rng=15
+        ).fit(x, y)
+        forest.n_estimators = 5
+        with pytest.raises(ValueError):
+            forest.fit(x[:, :2], y)
+
+
+class TestOOB:
+    def test_oob_rmse_available_when_enabled(self):
+        x, y = _signal_data(200, seed=16)
+        forest = RandomForestRegressor(
+            n_estimators=30, oob_score=True, rng=17
+        ).fit(x, y)
+        assert forest.oob_rmse_ is not None
+        assert forest.oob_rmse_ > 0
+
+    def test_oob_rmse_none_when_disabled(self):
+        x, y = _signal_data(100, seed=18)
+        forest = RandomForestRegressor(n_estimators=5, rng=19).fit(x, y)
+        assert forest.oob_rmse_ is None
+
+    def test_oob_is_pessimistic_versus_training_error(self):
+        x, y = _signal_data(300, seed=20)
+        forest = RandomForestRegressor(
+            n_estimators=40, oob_score=True, rng=21
+        ).fit(x, y)
+        assert forest.oob_rmse_ >= rmse(y, forest.predict(x))
+
+
+class TestValidationAndIntrospection:
+    def test_rejects_zero_estimators(self):
+        with pytest.raises(ValueError):
+            RandomForestRegressor(n_estimators=0)
+
+    def test_predict_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForestRegressor().predict([[1.0, 2.0]])
+
+    def test_importances_identify_signal_feature(self):
+        rng = np.random.default_rng(22)
+        x = rng.normal(size=(400, 4))
+        y = 5 * x[:, 2] + rng.normal(0, 0.1, 400)
+        forest = RandomForestRegressor(n_estimators=25, rng=23).fit(x, y)
+        importances = forest.feature_importances()
+        assert importances.argmax() == 2
+        assert importances.sum() == pytest.approx(1.0)
+
+    def test_no_bootstrap_mode(self):
+        x, y = _signal_data(100, seed=24)
+        forest = RandomForestRegressor(
+            n_estimators=5, bootstrap=False, max_features=None, rng=25
+        ).fit(x, y)
+        # Without bootstrap or feature sampling, all trees are identical.
+        preds = [tree.predict(x) for tree in forest.trees_]
+        for other in preds[1:]:
+            assert np.allclose(preds[0], other)

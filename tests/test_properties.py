@@ -1,0 +1,224 @@
+"""Property-based tests (hypothesis) on core data structures and invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import format_table
+from repro.cloud import get_provider
+from repro.core import EstimatedTimeEntry, select_with_knob
+from repro.engine import Simulator, run_query
+from repro.ml import DataBurstAugmenter, Dataset, DecisionTreeRegressor, rmse
+from repro.ml.metrics import accuracy_within
+from repro.sqlmeta import extract_metadata
+from repro.workloads import make_random_query, make_uniform_query
+
+AWS = get_provider("aws").with_noise_sigma(0.0)
+
+
+# ---------------------------------------------------------------------------
+# Simulator: events always fire in non-decreasing time order.
+# ---------------------------------------------------------------------------
+
+@given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=50))
+def test_simulator_time_is_monotone(delays):
+    sim = Simulator()
+    fired = []
+    for delay in delays:
+        sim.schedule(delay, lambda: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+
+
+# ---------------------------------------------------------------------------
+# Decision tree: predictions are bounded by the training-target range.
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=-100, max_value=100),
+            st.floats(min_value=-100, max_value=100),
+        ),
+        min_size=2,
+        max_size=60,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_tree_predictions_within_target_range(rows):
+    x = np.array([[a] for a, _ in rows])
+    y = np.array([b for _, b in rows])
+    tree = DecisionTreeRegressor(max_depth=6).fit(x, y)
+    probes = np.linspace(-200, 200, 17)[:, None]
+    predictions = tree.predict(probes)
+    assert predictions.min() >= y.min() - 1e-9
+    assert predictions.max() <= y.max() + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Data-burst augmentation: size, bounds and label preservation.
+# ---------------------------------------------------------------------------
+
+@given(
+    n_samples=st.integers(min_value=1, max_value=30),
+    factor=st.integers(min_value=1, max_value=12),
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+)
+@settings(max_examples=40, deadline=None)
+def test_burst_augmentation_invariants(n_samples, factor, seed):
+    rng = np.random.default_rng(seed)
+    features = rng.uniform(1.0, 100.0, size=(n_samples, 3))
+    targets = rng.uniform(10.0, 500.0, size=n_samples)
+    dataset = Dataset(features, targets)
+    augmented = DataBurstAugmenter(factor=factor, rng=seed).augment(dataset)
+    assert len(augmented) == n_samples * factor
+    # Labels are preserved exactly (multiset inclusion).
+    assert set(np.round(augmented.targets, 9)) <= set(np.round(targets, 9))
+    # Features stay within +-5 % of the original envelope.
+    assert (augmented.features >= features.min(axis=0) * 0.95 - 1e-9).all()
+    assert (augmented.features <= features.max(axis=0) * 1.05 + 1e-9).all()
+
+
+# ---------------------------------------------------------------------------
+# Scheduler: every task of every randomly shaped DAG completes exactly once,
+# and dependencies are never violated.
+# ---------------------------------------------------------------------------
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_vm=st.integers(min_value=0, max_value=4),
+    n_sl=st.integers(min_value=0, max_value=4),
+)
+@settings(max_examples=25, deadline=None)
+def test_random_dag_execution_completes(seed, n_vm, n_sl):
+    if n_vm + n_sl == 0:
+        n_vm = 1
+    query = make_random_query(rng=seed, max_stages=6, max_tasks_per_stage=20)
+    result = run_query(query, n_vm=n_vm, n_sl=n_sl, provider=AWS, rng=seed)
+    assert result.metrics.tasks_completed == query.total_tasks
+    assert result.metrics.stages_completed == query.n_stages
+    assert result.completion_seconds > 0
+
+
+# ---------------------------------------------------------------------------
+# Execution: adding workers never makes a single-stage query slower
+# (with noise disabled).
+# ---------------------------------------------------------------------------
+
+@given(
+    n_tasks=st.integers(min_value=1, max_value=60),
+    workers=st.integers(min_value=1, max_value=5),
+)
+@settings(max_examples=25, deadline=None)
+def test_more_vms_never_slower(n_tasks, workers):
+    query = make_uniform_query(n_tasks, task_seconds=2.0)
+    small = run_query(query, n_vm=workers, n_sl=0, provider=AWS, rng=0)
+    large = run_query(query, n_vm=workers + 1, n_sl=0, provider=AWS, rng=0)
+    assert large.completion_seconds <= small.completion_seconds + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Knob selection: the Eq. 4 solution always satisfies both constraints.
+# ---------------------------------------------------------------------------
+
+_entry_strategy = st.builds(
+    EstimatedTimeEntry,
+    n_vm=st.integers(min_value=0, max_value=12),
+    n_sl=st.integers(min_value=0, max_value=12),
+    estimated_seconds=st.floats(min_value=1.0, max_value=1000.0),
+    estimated_cost=st.floats(min_value=0.0, max_value=1.0),
+)
+
+
+@given(
+    entries=st.lists(_entry_strategy, min_size=1, max_size=30),
+    epsilon=st.floats(min_value=0.0, max_value=3.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_knob_selection_respects_constraints(entries, epsilon):
+    best = min(entries, key=lambda e: e.estimated_seconds)
+    chosen = select_with_knob(entries, best, epsilon)
+    assert chosen.estimated_cost <= best.estimated_cost or chosen is best
+    assert (
+        chosen.estimated_seconds <= best.estimated_seconds * (1.0 + epsilon)
+        or chosen is best
+    )
+
+
+@given(entries=st.lists(_entry_strategy, min_size=1, max_size=30))
+@settings(max_examples=30, deadline=None)
+def test_knob_cost_monotone_in_epsilon(entries):
+    best = min(entries, key=lambda e: e.estimated_seconds)
+    costs = [
+        select_with_knob(entries, best, eps).estimated_cost
+        for eps in (0.0, 0.25, 0.5, 1.0, 2.0)
+    ]
+    assert all(a >= b - 1e-12 for a, b in zip(costs, costs[1:]))
+
+
+# ---------------------------------------------------------------------------
+# SQL metadata: arbitrary identifier soup never crashes the parser, and
+# subquery counts equal SELECT occurrences minus one.
+# ---------------------------------------------------------------------------
+
+_ident = st.from_regex(r"[a-z][a-z0-9_]{0,8}", fullmatch=True)
+
+
+@given(
+    tables=st.lists(_ident, min_size=1, max_size=5, unique=True),
+    columns=st.lists(_ident, min_size=1, max_size=6, unique=True),
+)
+@settings(max_examples=40, deadline=None)
+def test_sqlmeta_generated_queries(tables, columns):
+    sql = f"SELECT {', '.join(columns)} FROM {', '.join(tables)}"
+    meta = extract_metadata(sql)
+    # Column names may collide with table names (then they're filtered),
+    # but table extraction must see every table not shadowed by a column.
+    assert set(meta.tables) <= set(tables)
+    assert meta.n_subqueries == 0
+    assert meta.n_tables >= 1
+
+
+# ---------------------------------------------------------------------------
+# Metrics: accuracy_within is monotone in the tolerance.
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=1000.0),
+            st.floats(min_value=0.0, max_value=1000.0),
+        ),
+        min_size=1,
+        max_size=50,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_accuracy_monotone_in_tolerance(pairs):
+    actual = np.array([a for a, _ in pairs])
+    predicted = np.array([p for _, p in pairs])
+    accuracies = [
+        accuracy_within(actual, predicted, tol) for tol in (0.0, 1.0, 10.0, 1e6)
+    ]
+    assert all(a <= b + 1e-12 for a, b in zip(accuracies, accuracies[1:]))
+    assert accuracies[-1] == 1.0
+
+
+# ---------------------------------------------------------------------------
+# Reporting: tables render any cell values without crashing.
+# ---------------------------------------------------------------------------
+
+@given(
+    st.lists(
+        st.tuples(st.text(max_size=10), st.floats(allow_nan=False,
+                                                  allow_infinity=False)),
+        min_size=0,
+        max_size=10,
+    )
+)
+@settings(max_examples=30, deadline=None)
+def test_format_table_total_function(rows):
+    text = format_table(("name", "value"), rows)
+    assert "name" in text
+    assert len(text.splitlines()) == 2 + len(rows)

@@ -1,0 +1,117 @@
+"""Unit tests for the SQL tokenizer and metadata parser."""
+
+import pytest
+
+from repro.sqlmeta import TokenType, extract_metadata, tokenize
+
+
+class TestTokenizer:
+    def test_basic_tokens(self):
+        tokens = tokenize("SELECT a FROM t WHERE a > 1")
+        types = [token.type for token in tokens]
+        assert types == [
+            TokenType.KEYWORD, TokenType.IDENTIFIER, TokenType.KEYWORD,
+            TokenType.IDENTIFIER, TokenType.KEYWORD, TokenType.IDENTIFIER,
+            TokenType.OPERATOR, TokenType.NUMBER,
+        ]
+
+    def test_strings_and_numbers(self):
+        tokens = tokenize("WHERE name = 'O''Brien' AND price >= 10.5")
+        values = [t.value for t in tokens if t.type is TokenType.STRING]
+        assert values == ["'O''Brien'"]
+        numbers = [t.value for t in tokens if t.type is TokenType.NUMBER]
+        assert numbers == ["10.5"]
+
+    def test_comments_skipped(self):
+        tokens = tokenize("SELECT a -- trailing\nFROM t /* block */ WHERE a=1")
+        assert all(t.type is not TokenType.IDENTIFIER or t.value in ("a", "t")
+                   for t in tokens)
+
+    def test_qualified_identifiers_are_single_tokens(self):
+        tokens = tokenize("SELECT t.a FROM s.t")
+        identifiers = [t.value for t in tokens if t.type is TokenType.IDENTIFIER]
+        assert identifiers == ["t.a", "s.t"]
+
+    def test_unlexable_input_raises(self):
+        with pytest.raises(ValueError):
+            tokenize("SELECT a FROM t WHERE a ~ 1 ;")
+
+    def test_keywords_case_insensitive(self):
+        tokens = tokenize("select A from T")
+        assert tokens[0].type is TokenType.KEYWORD
+        assert tokens[2].type is TokenType.KEYWORD
+
+
+class TestExtractMetadata:
+    def test_single_table(self):
+        meta = extract_metadata("SELECT a, b FROM t WHERE a > 1")
+        assert meta.tables == ("t",)
+        assert meta.columns == ("a", "b")
+        assert meta.n_subqueries == 0
+
+    def test_comma_join_tables(self):
+        meta = extract_metadata(
+            "SELECT x FROM alpha, beta, gamma WHERE alpha.id = beta.id"
+        )
+        assert meta.tables == ("alpha", "beta", "gamma")
+
+    def test_explicit_join(self):
+        meta = extract_metadata(
+            "SELECT a FROM t1 JOIN t2 ON t1.k = t2.k"
+        )
+        assert meta.tables == ("t1", "t2")
+        assert "k" in meta.columns
+
+    def test_subquery_counted_and_alias_not_a_table(self):
+        meta = extract_metadata(
+            "SELECT v FROM (SELECT v FROM inner_t) sub WHERE v > 0"
+        )
+        assert meta.n_subqueries == 1
+        assert "inner_t" in meta.tables
+        assert "sub" not in meta.tables
+
+    def test_in_select_predicate_is_subquery(self):
+        meta = extract_metadata(
+            "SELECT a FROM t WHERE a IN (SELECT b FROM u)"
+        )
+        assert meta.n_subqueries == 1
+        assert set(meta.tables) == {"t", "u"}
+
+    def test_qualified_columns_unqualified(self):
+        meta = extract_metadata("SELECT t.a, t.b FROM t WHERE t.c = 1")
+        assert set(meta.columns) == {"a", "b", "c"}
+
+    def test_function_calls_not_columns(self):
+        meta = extract_metadata("SELECT SUM(x), COUNT(y) FROM t GROUP BY z")
+        assert "sum" not in {c.lower() for c in meta.columns}
+        assert {"x", "y", "z"} <= set(meta.columns)
+
+    def test_as_aliases_excluded_from_columns(self):
+        meta = extract_metadata("SELECT price AS revenue FROM sales ORDER BY revenue")
+        assert "price" in meta.columns
+        assert "revenue" not in meta.columns
+
+    def test_columns_deduplicated(self):
+        meta = extract_metadata(
+            "SELECT a FROM t WHERE a > 1 GROUP BY a ORDER BY a"
+        )
+        assert meta.columns.count("a") == 1
+
+    def test_empty_input(self):
+        meta = extract_metadata("")
+        assert meta.tables == ()
+        assert meta.columns == ()
+        assert meta.n_subqueries == 0
+
+    def test_counts_properties(self):
+        meta = extract_metadata("SELECT a, b FROM t, u")
+        assert meta.n_tables == 2
+        assert meta.n_columns == 2
+
+    def test_catalogue_sql_parses(self):
+        from repro.workloads import all_query_ids, get_query
+
+        for query_id in all_query_ids():
+            meta = extract_metadata(get_query(query_id).sql)
+            assert meta.n_tables >= 1
+            assert meta.n_columns >= 1

@@ -1,0 +1,157 @@
+"""Tests for workload traces and trace-driven serving."""
+
+import numpy as np
+import pytest
+
+from repro.core.serving import ServingSimulator
+from repro.workloads.trace import (
+    PoissonTraceGenerator,
+    TraceEvent,
+    WorkloadTrace,
+)
+
+
+def _generator(**overrides):
+    defaults = dict(
+        query_mix={"tpcds-q82": 3.0, "tpcds-q68": 1.0},
+        rate_per_minute=4.0,
+        rng=5,
+    )
+    defaults.update(overrides)
+    return PoissonTraceGenerator(**defaults)
+
+
+class TestTraceEvents:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TraceEvent(arrival_s=-1.0, query_id="q")
+        with pytest.raises(ValueError):
+            TraceEvent(arrival_s=0.0, query_id="q", input_gb=0.0)
+
+    def test_trace_requires_order(self):
+        with pytest.raises(ValueError):
+            WorkloadTrace(events=(
+                TraceEvent(5.0, "a"), TraceEvent(1.0, "b"),
+            ))
+
+    def test_window_selection(self):
+        trace = WorkloadTrace(events=(
+            TraceEvent(1.0, "a"), TraceEvent(5.0, "b"), TraceEvent(9.0, "c"),
+        ))
+        assert [e.query_id for e in trace.arrivals_in(2.0, 9.0)] == ["b"]
+        with pytest.raises(ValueError):
+            trace.arrivals_in(5.0, 2.0)
+
+    def test_counts_and_duration(self):
+        trace = WorkloadTrace(events=(
+            TraceEvent(1.0, "a"), TraceEvent(2.0, "a"), TraceEvent(3.0, "b"),
+        ))
+        assert trace.query_counts() == {"a": 2, "b": 1}
+        assert trace.duration_s == 3.0
+        assert len(trace) == 3
+
+    def test_json_round_trip(self, tmp_path):
+        trace = _generator().generate(duration_minutes=5)
+        path = tmp_path / "trace.json"
+        trace.dump_json(path)
+        assert WorkloadTrace.load_json(path) == trace
+
+
+class TestPoissonGenerator:
+    def test_rate_approximately_respected(self):
+        trace = _generator(rate_per_minute=6.0, rng=0).generate(60)
+        # 6/min for 60 min => ~360 arrivals; allow wide Poisson slack.
+        assert 250 <= len(trace) <= 480
+
+    def test_mix_weights_respected(self):
+        trace = _generator(rng=1).generate(120)
+        counts = trace.query_counts()
+        # q82 weighted 3:1 over q68.
+        assert counts["tpcds-q82"] > 1.5 * counts["tpcds-q68"]
+
+    def test_burst_raises_local_rate(self):
+        gen = _generator(burst_factor=6.0, burst_fraction=0.2, rng=2)
+        trace = gen.generate(60)
+        duration = 3600.0
+        mid = trace.arrivals_in(duration * 0.4, duration * 0.6)
+        edge = trace.arrivals_in(0.0, duration * 0.2)
+        assert len(mid) > 1.5 * len(edge)
+
+    def test_data_growth_interpolates(self):
+        gen = _generator(input_gb=100.0, final_input_gb=500.0, rng=3)
+        trace = gen.generate(60)
+        sizes = [e.input_gb for e in trace]
+        assert sizes[0] < sizes[-1]
+        assert all(100.0 <= size <= 500.0 for size in sizes)
+
+    def test_deterministic_for_seed(self):
+        a = _generator(rng=9).generate(10)
+        b = _generator(rng=9).generate(10)
+        assert a == b
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            _generator(query_mix={})
+        with pytest.raises(ValueError):
+            _generator(rate_per_minute=0.0)
+        with pytest.raises(ValueError):
+            _generator(burst_factor=0.5)
+        with pytest.raises(ValueError):
+            _generator().generate(0.0)
+
+
+class TestServingSimulator:
+    def test_replay_produces_report(self, fresh_smartpick):
+        trace = WorkloadTrace(events=(
+            TraceEvent(0.0, "tpcds-q82"),
+            TraceEvent(10.0, "tpcds-q82"),
+            TraceEvent(600.0, "tpcds-q82"),
+        ))
+        report = ServingSimulator(fresh_smartpick, slo_seconds=200.0).replay(trace)
+        assert report.n_queries == 3
+        assert report.total_cost_dollars > 0
+        assert 0.0 <= report.slo_attainment <= 1.0
+        assert report.latency_percentile(50) > 0
+
+    def test_waiting_apps_counted(self, fresh_smartpick):
+        # The second arrival lands while the first is still running.
+        trace = WorkloadTrace(events=(
+            TraceEvent(0.0, "tpcds-q82"),
+            TraceEvent(1.0, "tpcds-q82"),
+        ))
+        report = ServingSimulator(fresh_smartpick).replay(trace)
+        assert report.served[0].waiting_apps_at_submit == 0
+        assert report.served[1].waiting_apps_at_submit == 1
+
+    def test_far_apart_arrivals_do_not_wait(self, fresh_smartpick):
+        trace = WorkloadTrace(events=(
+            TraceEvent(0.0, "tpcds-q82"),
+            TraceEvent(10_000.0, "tpcds-q82"),
+        ))
+        report = ServingSimulator(fresh_smartpick).replay(trace)
+        assert report.served[1].waiting_apps_at_submit == 0
+
+    def test_alien_arrivals_reported(self, fresh_smartpick):
+        trace = WorkloadTrace(events=(TraceEvent(0.0, "tpcds-q55"),))
+        report = ServingSimulator(fresh_smartpick).replay(trace)
+        assert report.n_aliens == 1
+
+    def test_untrained_system_rejected(self):
+        from repro import Smartpick
+
+        with pytest.raises(ValueError):
+            ServingSimulator(Smartpick(rng=0))
+
+    def test_summary_readable(self, fresh_smartpick):
+        trace = WorkloadTrace(events=(TraceEvent(0.0, "tpcds-q82"),))
+        report = ServingSimulator(fresh_smartpick).replay(trace)
+        assert "queries" in report.summary()
+        assert "SLO" in report.summary()
+
+    def test_empty_report_guards(self, fresh_smartpick):
+        report = ServingSimulator(fresh_smartpick).replay(
+            WorkloadTrace(events=())
+        )
+        assert report.n_queries == 0
+        with pytest.raises(ValueError):
+            _ = report.slo_attainment

@@ -1,0 +1,153 @@
+"""Unit tests for the benchmark workload suites."""
+
+import pytest
+
+from repro.workloads import (
+    all_query_ids,
+    get_query,
+    queries_in_suite,
+    suites,
+)
+from repro.workloads.builder import DownstreamSpec, ScanSpec, build_query
+from repro.workloads.tpcds import (
+    TPCDS_ALIEN_QUERY_IDS,
+    TPCDS_QUERY_IDS,
+    TPCDS_TRAINING_QUERY_IDS,
+    tpcds_query,
+)
+from repro.workloads.tpch import TPCH_QUERY_IDS, tpch_query
+from repro.workloads.wordcount import wordcount_query
+
+
+class TestCatalog:
+    def test_suites_and_ids_consistent(self):
+        assert set(suites()) == {"tpcds", "tpch", "wordcount"}
+        ids = all_query_ids()
+        assert len(ids) == len(set(ids))
+        for suite in suites():
+            for query_id in queries_in_suite(suite):
+                assert query_id in ids
+
+    def test_every_query_builds(self):
+        for query_id in all_query_ids():
+            query = get_query(query_id)
+            assert query.query_id == query_id
+            assert query.total_tasks > 0
+            assert query.sql.strip()
+
+    def test_unknown_lookups_rejected(self):
+        with pytest.raises(ValueError):
+            get_query("tpcds-q999")
+        with pytest.raises(ValueError):
+            queries_in_suite("nosuite")
+
+    def test_input_size_parameter(self):
+        small = get_query("tpch-q3", input_gb=10.0)
+        large = get_query("tpch-q3", input_gb=100.0)
+        assert large.stages[0].task_input_mb > small.stages[0].task_input_mb
+        with pytest.raises(ValueError):
+            get_query("tpch-q3", input_gb=0.0)
+
+
+class TestTpcds:
+    def test_training_and_alien_sets_match_paper(self):
+        assert set(TPCDS_TRAINING_QUERY_IDS) == {
+            "tpcds-q11", "tpcds-q49", "tpcds-q68", "tpcds-q74", "tpcds-q82",
+        }
+        assert set(TPCDS_ALIEN_QUERY_IDS) == {
+            "tpcds-q2", "tpcds-q4", "tpcds-q18", "tpcds-q55", "tpcds-q62",
+        }
+
+    def test_stage_counts_in_paper_range(self):
+        # Section 6.1: TPC-DS has 6-16 dependent stages.
+        for query_id in TPCDS_QUERY_IDS:
+            assert 6 <= get_query(query_id).n_stages <= 16
+
+    def test_workload_classes_ordered(self):
+        # short < mid < long total work, per the representational classes.
+        short = get_query("tpcds-q82").total_compute_seconds
+        mid = get_query("tpcds-q49").total_compute_seconds
+        long_ = get_query("tpcds-q11").total_compute_seconds
+        assert short < mid < long_
+
+    def test_queries_have_dependent_stages(self):
+        for query_id in TPCDS_QUERY_IDS:
+            query = get_query(query_id)
+            assert any(stage.depends_on for stage in query.stages)
+            assert query.critical_path_length >= 4
+
+    def test_unknown_tpcds_query(self):
+        with pytest.raises(ValueError):
+            tpcds_query("tpcds-q1")
+
+
+class TestTpch:
+    def test_stage_counts_in_paper_range(self):
+        # Section 6.1: TPC-H has 2-6 stages.
+        for query_id in TPCH_QUERY_IDS:
+            assert 2 <= get_query(query_id).n_stages <= 6
+
+    def test_lighter_than_tpcds(self):
+        heaviest_tpch = max(
+            get_query(q).total_compute_seconds for q in TPCH_QUERY_IDS
+        )
+        heaviest_tpcds = max(
+            get_query(q).total_compute_seconds for q in TPCDS_QUERY_IDS
+        )
+        assert heaviest_tpch < heaviest_tpcds
+
+    def test_unknown_tpch_query(self):
+        with pytest.raises(ValueError):
+            tpch_query("tpch-q99")
+
+
+class TestWordCount:
+    def test_two_stages_io_bound(self):
+        query = wordcount_query()
+        assert query.n_stages == 2
+        scan = query.stages[0]
+        # I/O-bound: the storage read dominates per-task compute.
+        io_mb = scan.task_input_mb
+        assert io_mb > 100.0
+        assert scan.task_compute_seconds < 2.0
+
+    def test_scales_with_corpus(self):
+        small = wordcount_query(input_gb=10.0)
+        large = wordcount_query(input_gb=100.0)
+        assert large.stages[0].task_input_mb == pytest.approx(
+            10 * small.stages[0].task_input_mb
+        )
+
+
+class TestBuilder:
+    def test_scan_fractions_capped(self):
+        with pytest.raises(ValueError):
+            build_query(
+                "q", "test", 10.0,
+                scans=(
+                    ScanSpec(2, 1.0, 0.7),
+                    ScanSpec(2, 1.0, 0.7),
+                ),
+                downstream=(),
+            )
+
+    def test_forward_dependencies_only(self):
+        with pytest.raises(ValueError):
+            build_query(
+                "q", "test", 10.0,
+                scans=(ScanSpec(2, 1.0, 0.5),),
+                downstream=(DownstreamSpec(1, 1.0, 5.0, depends_on=(5,)),),
+            )
+
+    def test_input_split_across_scan_tasks(self):
+        query = build_query(
+            "q", "test", 10.0,
+            scans=(ScanSpec(4, 1.0, 0.4),),
+            downstream=(),
+        )
+        per_task = query.stages[0].task_input_mb
+        assert per_task == pytest.approx(10.0 * 1024.0 * 0.4 / 4)
+
+    def test_needs_a_scan(self):
+        with pytest.raises(ValueError):
+            build_query("q", "test", 10.0, scans=(), downstream=())
