@@ -1,0 +1,169 @@
+"""Shared-cluster serving: cold pool vs warm pool on a bursty trace.
+
+The paper's serving model hands every arrival fresh instances, paying the
+full VM cold boot on each query.  This bench replays one bursty ad-hoc
+trace (Poisson arrivals with a mid-trace burst) through the same
+bootstrapped Smartpick under cold and warm shared pools.
+
+The headline comparison provisions VM clusters (``mode="vm-only"``):
+that is where keep-alive bites, because a reused VM skips the measured
+31.5 s cold boot entirely.  Expected shape: the warm pool shows a
+substantial warm-start rate and strictly lower latency and/or total cost
+than the cold pool (fewer billed boot seconds vs keep-alive spend).
+
+Two more rows give context:
+
+- **hybrid** determinations on a warm pool surface a real interaction:
+  the relay mechanism exists to bridge VM *cold* boots, so when VMs come
+  warm the paired SLs retire after ~2 s and hybrid configurations lose
+  the serverless agility their predictions assumed.  Warm pools make
+  serving VM-centric; re-learning that is the predictor's job (visible
+  as retrains in the report).
+- a **tight** warm pool (capacity-starved) converts overload into FIFO
+  queueing delay rather than lost queries.
+
+Methodology: every scenario replays the same trace on a *fresh*
+identically-seeded system, and event-driven retraining is damped (a very
+high ``errorDifference.trigger``) so scenarios differ only in the pool --
+a controlled comparison of the execution substrate, not of model drift.
+"""
+
+import numpy as np
+
+from benchmarks.conftest import banner
+from repro import Smartpick, SmartpickProperties
+from repro.analysis import format_table
+from repro.cloud.pool import DemandAutoscaler, PoolConfig
+from repro.core.serving import ServingSimulator
+from repro.workloads import get_query
+from repro.workloads.trace import PoissonTraceGenerator
+
+QUERY_MIX = {"tpcds-q82": 3.0, "tpcds-q68": 2.0, "tpcds-q49": 1.0}
+SLO_SECONDS = 150.0
+WIDE = dict(max_vms=24, max_sls=48)
+WARM = dict(vm_keep_alive_s=180.0, sl_keep_alive_s=30.0,
+            warm_vm_boot_s=2.0, warm_sl_boot_s=0.01)
+
+
+def _build_system(seed: int) -> Smartpick:
+    """A bootstrapped system sized for many replays (see Methodology)."""
+    system = Smartpick(
+        SmartpickProperties(
+            provider="AWS", relay=True, error_difference_trigger=1e9
+        ),
+        max_vm=12,
+        max_sl=12,
+        rng=seed,
+    )
+    system.bootstrap(
+        [get_query(query_id) for query_id in QUERY_MIX],
+        n_configs_per_query=12,
+    )
+    return system
+
+
+def _bursty_trace(duration_minutes: float = 20.0):
+    return PoissonTraceGenerator(
+        query_mix=QUERY_MIX,
+        rate_per_minute=2.0,
+        burst_factor=5.0,
+        burst_fraction=0.25,
+        input_gb=100.0,
+        rng=7,
+    ).generate(duration_minutes=duration_minutes)
+
+
+def _scenarios():
+    return (
+        ("cold-vm", "vm-only", PoolConfig(**WIDE), None),
+        ("warm-vm", "vm-only", PoolConfig(**WIDE, **WARM), None),
+        (
+            "demand-vm",
+            "vm-only",
+            PoolConfig(**WIDE, warm_vm_boot_s=2.0),
+            DemandAutoscaler(window_s=300.0, headroom=3.0,
+                             max_keep_alive_s=180.0),
+        ),
+        ("cold-hybrid", "hybrid", PoolConfig(**WIDE), None),
+        ("warm-hybrid", "hybrid", PoolConfig(**WIDE, **WARM), None),
+        (
+            "tight-warm-vm",
+            "vm-only",
+            PoolConfig(max_vms=6, max_sls=12, **WARM),
+            None,
+        ),
+    )
+
+
+def _replay(name, mode, config, autoscaler, trace):
+    system = _build_system(seed=105)
+    simulator = ServingSimulator(
+        system,
+        slo_seconds=SLO_SECONDS,
+        pool_config=config,
+        autoscaler=autoscaler,
+    )
+    return simulator.replay(trace, mode=mode)
+
+
+def test_pool_serving(benchmark):
+    trace = _bursty_trace()
+    banner(
+        f"Shared-cluster serving -- {len(trace)} bursty arrivals over "
+        f"{trace.duration_s / 60:.0f} min (AWS)"
+    )
+
+    reports = {}
+    for name, mode, config, autoscaler in _scenarios():
+        reports[name] = _replay(name, mode, config, autoscaler, trace)
+
+    rows = []
+    for name, report in reports.items():
+        rows.append((
+            name,
+            report.latency_percentile(50),
+            report.latency_percentile(95),
+            100 * report.slo_attainment,
+            100 * report.warm_start_rate,
+            report.queueing_delay_percentile(95),
+            100 * report.query_cost_dollars,
+            100 * report.keepalive_cost_dollars,
+            100 * report.total_cost_dollars,
+        ))
+    print(format_table(
+        ("pool", "p50_s", "p95_s", "slo_%", "warm_%", "queue_p95_s",
+         "query_cents", "idle_cents", "total_cents"),
+        rows,
+        title="\ncold vs warm shared-cluster serving",
+    ))
+
+    cold, warm = reports["cold-vm"], reports["warm-vm"]
+    # Cold pools never warm-start; keep-alive must produce reuse.
+    assert cold.warm_start_rate == 0.0
+    assert warm.warm_start_rate > 0.0
+    # The acceptance bar: warm strictly beats cold on cost or latency.
+    assert (
+        warm.total_cost_dollars < cold.total_cost_dollars
+        or warm.latency_percentile(95) < cold.latency_percentile(95)
+    )
+    # Reused VMs skip the 31.5 s boot, so the median moves too.
+    assert warm.latency_percentile(50) < cold.latency_percentile(50)
+    # Keep-alive is not free -- the report must account for it.
+    assert warm.keepalive_cost_dollars > 0.0
+    # Starving capacity surfaces as queueing delay, not lost queries.
+    tight = reports["tight-warm-vm"]
+    assert tight.n_queries == len(trace)
+    assert float(tight.queueing_delays.max()) > 0.0
+
+    # Time one warm replay end to end (prediction + shared simulation).
+    timed_system = _build_system(seed=106)
+    timed_trace = _bursty_trace(duration_minutes=5.0)
+    benchmark.pedantic(
+        lambda: ServingSimulator(
+            timed_system,
+            slo_seconds=SLO_SECONDS,
+            pool_config=PoolConfig(**WIDE, **WARM),
+        ).replay(timed_trace, mode="vm-only"),
+        rounds=1,
+        iterations=1,
+    )

@@ -13,9 +13,14 @@ measurements (Tables 1 and 5):
   external Redis host charged while serverless instances are alive.
 - :mod:`repro.cloud.instances` -- VM / serverless instance lifecycle state
   machines with billing accumulators.
-- :mod:`repro.cloud.resource_manager` -- the Resource Manager (RM): spawns
-  and tracks instances, maintains the REQUEST-ID to INSTANCE-ID relay
-  mapping, and produces per-query cost reports.
+- :mod:`repro.cloud.resource_manager` -- the paper's per-query Resource
+  Manager (RM): spawns and tracks instances, maintains the REQUEST-ID to
+  INSTANCE-ID relay mapping, and produces per-query cost reports.  The
+  engine now leases workers from the :class:`ClusterPool` instead; the RM
+  remains as the faithful standalone model of the paper's component.
+- :mod:`repro.cloud.pool` -- the shared-cluster :class:`ClusterPool`:
+  warm instances kept alive across query lifetimes, FIFO capacity
+  queueing and pluggable autoscaling.
 - :mod:`repro.cloud.storage` -- cloud object storage and external Redis
   bandwidth models.
 """
@@ -36,19 +41,37 @@ from repro.cloud.providers import (
     get_provider,
     run_microbenchmark,
 )
+from repro.cloud.pool import (
+    AutoscalerPolicy,
+    ClusterPool,
+    DemandAutoscaler,
+    FixedKeepAlive,
+    NoKeepAlive,
+    PoolConfig,
+    PoolLease,
+    PoolStats,
+)
 from repro.cloud.resource_manager import ResourceManager
 from repro.cloud.storage import ExternalStore, ObjectStore
 
 __all__ = [
     "AWS_PROFILE",
+    "AutoscalerPolicy",
+    "ClusterPool",
     "CostBreakdown",
+    "DemandAutoscaler",
     "ExternalStore",
+    "FixedKeepAlive",
     "GCP_PROFILE",
     "Instance",
     "InstanceKind",
     "InstanceState",
     "MicrobenchmarkReport",
+    "NoKeepAlive",
     "ObjectStore",
+    "PoolConfig",
+    "PoolLease",
+    "PoolStats",
     "PriceBook",
     "ProviderProfile",
     "ResourceManager",

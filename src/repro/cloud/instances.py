@@ -125,12 +125,7 @@ class VMInstance(Instance):
     """A worker VM, billed per deployed second plus storage and burst."""
 
     def cost(self, prices: PriceBook, now: float) -> CostBreakdown:
-        deployed = self.deployed_seconds(now)
-        return CostBreakdown(
-            vm_compute=deployed * prices.vm_per_second,
-            vm_burst=deployed * prices.vm_burst_per_second,
-            vm_storage=deployed * prices.vm_storage_per_second,
-        )
+        return prices.vm_breakdown(self.deployed_seconds(now))
 
     @classmethod
     def create(
@@ -160,10 +155,7 @@ class ServerlessInstance(Instance):
     relayed_vm_id: str | None = None
 
     def cost(self, prices: PriceBook, now: float) -> CostBreakdown:
-        return CostBreakdown(
-            sl_compute=self.deployed_seconds(now) * prices.sl_per_second,
-            sl_invocations=self.invocations * prices.sl_invocation,
-        )
+        return prices.sl_breakdown(self.deployed_seconds(now), self.invocations)
 
     @classmethod
     def create(

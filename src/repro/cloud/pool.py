@@ -1,0 +1,653 @@
+"""The shared-cluster pool: warm instances across query lifetimes.
+
+The paper's evaluation gives every query a throwaway set of workers, but a
+deployed Smartpick faces Section 2.1's stream of ad-hoc arrivals -- and
+there, warm serverless/VM instances are the single biggest latency and
+cost lever.  :class:`ClusterPool` owns VM and SL instances *across* query
+lifetimes:
+
+- A query **acquires** workers through a :class:`PoolLease`; warm
+  instances are handed over after a short warm-boot delay, the remainder
+  are spawned cold at the provider's full boot latency.
+- When capacity (``max_vms`` / ``max_sls``) is exhausted the request
+  queues FIFO and is granted as earlier leases release workers -- the
+  queueing delay is recorded on the lease.
+- **Released** instances stay warm for a keep-alive window decided by a
+  pluggable :class:`AutoscalerPolicy`; a reuse within the window cancels
+  the expiry timer (via :meth:`Simulator.cancel`), otherwise the instance
+  is terminated and its idle time is billed as keep-alive cost.
+- Billing is per-lease: each instance's leased interval is charged to the
+  query that held it, while idle warm time accrues to the pool's
+  keep-alive cost -- so shared-cluster bills stay itemised per query.
+"""
+
+from __future__ import annotations
+
+import abc
+import collections
+import dataclasses
+import itertools
+from typing import TYPE_CHECKING, Callable
+
+from repro.cloud.instances import (
+    Instance,
+    InstanceKind,
+    InstanceState,
+    ServerlessInstance,
+    VMInstance,
+)
+from repro.cloud.pricing import CostBreakdown, PriceBook
+from repro.cloud.providers import ProviderProfile
+
+if TYPE_CHECKING:  # avoid a runtime cloud <-> engine import cycle
+    from repro.engine.simulator import EventHandle, Simulator
+
+#: How long grant timestamps are retained for rate estimation; windows
+#: larger than this are silently truncated to it.
+_GRANT_HISTORY_RETENTION_S = 3600.0
+
+__all__ = [
+    "AutoscalerPolicy",
+    "ClusterPool",
+    "DemandAutoscaler",
+    "FixedKeepAlive",
+    "NoKeepAlive",
+    "PoolConfig",
+    "PoolLease",
+    "PoolStats",
+]
+
+
+@dataclasses.dataclass(frozen=True)
+class PoolConfig:
+    """Sizing and warm-start parameters of one shared cluster.
+
+    Attributes
+    ----------
+    max_vms / max_sls:
+        Hard capacity of the pool; acquire requests beyond it are clamped,
+        and requests that cannot be granted from free capacity queue FIFO.
+    vm_keep_alive_s / sl_keep_alive_s:
+        Keep-alive window applied by the default (fixed) autoscaler when a
+        worker is released.  ``0`` means terminate immediately (cold pool).
+    warm_vm_boot_s / warm_sl_boot_s:
+        Hand-over latency of a warm instance -- the executor re-attach
+        cost, orders of magnitude below the provider's cold boot.
+    """
+
+    max_vms: int = 64
+    max_sls: int = 256
+    vm_keep_alive_s: float = 0.0
+    sl_keep_alive_s: float = 0.0
+    warm_vm_boot_s: float = 2.0
+    warm_sl_boot_s: float = 0.01
+
+    def __post_init__(self) -> None:
+        if self.max_vms < 0 or self.max_sls < 0:
+            raise ValueError("pool capacities must be non-negative")
+        if self.max_vms + self.max_sls == 0:
+            raise ValueError("the pool must have capacity for some worker")
+        for name in ("vm_keep_alive_s", "sl_keep_alive_s",
+                     "warm_vm_boot_s", "warm_sl_boot_s"):
+            value = getattr(self, name)
+            if not value >= 0.0 or value == float("inf"):
+                raise ValueError(f"{name} must be finite and non-negative")
+
+
+class AutoscalerPolicy(abc.ABC):
+    """Decides how long a released worker stays warm."""
+
+    @abc.abstractmethod
+    def keep_alive(self, kind: InstanceKind, pool: "ClusterPool") -> float:
+        """Keep-alive seconds for a worker of ``kind`` released now."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable policy name for reports."""
+
+
+class FixedKeepAlive(AutoscalerPolicy):
+    """Static keep-alive windows per worker kind (the config default)."""
+
+    def __init__(self, vm_keep_alive_s: float, sl_keep_alive_s: float) -> None:
+        if vm_keep_alive_s < 0 or sl_keep_alive_s < 0:
+            raise ValueError("keep-alive windows must be non-negative")
+        self.vm_keep_alive_s = vm_keep_alive_s
+        self.sl_keep_alive_s = sl_keep_alive_s
+
+    def keep_alive(self, kind: InstanceKind, pool: "ClusterPool") -> float:
+        if kind is InstanceKind.VM:
+            return self.vm_keep_alive_s
+        return self.sl_keep_alive_s
+
+    def describe(self) -> str:
+        return (
+            f"fixed-keep-alive(vm={self.vm_keep_alive_s:g}s, "
+            f"sl={self.sl_keep_alive_s:g}s)"
+        )
+
+
+class NoKeepAlive(FixedKeepAlive):
+    """Cold pool: every release terminates immediately."""
+
+    def __init__(self) -> None:
+        super().__init__(0.0, 0.0)
+
+    def describe(self) -> str:
+        return "no-keep-alive"
+
+
+class DemandAutoscaler(AutoscalerPolicy):
+    """Keep-alive sized to the observed acquisition rate.
+
+    Estimates the lease arrival rate over a sliding ``window_s`` and keeps
+    released workers warm for ``headroom`` expected inter-arrival gaps
+    (capped at ``max_keep_alive_s``).  Under a burst the expected gap is
+    short, so instances are confidently retained for the next arrival;
+    when traffic dries up the expected gap -- and the cap -- bound the
+    idle spend.
+    """
+
+    def __init__(
+        self,
+        window_s: float = 600.0,
+        headroom: float = 3.0,
+        max_keep_alive_s: float = 300.0,
+    ) -> None:
+        if window_s <= 0 or headroom <= 0 or max_keep_alive_s < 0:
+            raise ValueError("autoscaler parameters must be positive")
+        if window_s > _GRANT_HISTORY_RETENTION_S:
+            raise ValueError(
+                f"window_s must not exceed the grant-history retention "
+                f"({_GRANT_HISTORY_RETENTION_S:g}s)"
+            )
+        self.window_s = window_s
+        self.headroom = headroom
+        self.max_keep_alive_s = max_keep_alive_s
+
+    def keep_alive(self, kind: InstanceKind, pool: "ClusterPool") -> float:
+        rate = pool.recent_acquire_rate(self.window_s)
+        if rate <= 0.0:
+            return 0.0
+        return min(self.max_keep_alive_s, self.headroom / rate)
+
+    def describe(self) -> str:
+        return (
+            f"demand-autoscaler(window={self.window_s:g}s, "
+            f"headroom={self.headroom:g}, max={self.max_keep_alive_s:g}s)"
+        )
+
+
+@dataclasses.dataclass
+class PoolStats:
+    """Aggregate pool behaviour over one simulation."""
+
+    cold_starts: int = 0
+    warm_starts: int = 0
+    expirations: int = 0
+    leases_granted: int = 0
+    leases_queued: int = 0
+    peak_leased_vms: int = 0
+    peak_leased_sls: int = 0
+
+    @property
+    def acquisitions(self) -> int:
+        return self.cold_starts + self.warm_starts
+
+    @property
+    def warm_start_rate(self) -> float:
+        """Fraction of worker acquisitions served from the warm set."""
+        if self.acquisitions == 0:
+            return 0.0
+        return self.warm_starts / self.acquisitions
+
+
+@dataclasses.dataclass(frozen=True)
+class BillingSegment:
+    """One instance's leased interval, attributed to one query."""
+
+    kind: InstanceKind
+    start: float
+    end: float
+    cold: bool
+    tasks_executed: int
+
+    @property
+    def seconds(self) -> float:
+        return self.end - self.start
+
+
+@dataclasses.dataclass
+class _OpenSegment:
+    instance: Instance
+    start: float
+    cold: bool
+    tasks_at_open: int
+    boot_handle: EventHandle | None = None
+
+
+class PoolLease:
+    """One query's tenancy in the pool.
+
+    Created by :meth:`ClusterPool.acquire`; the pool fills in instances at
+    grant time (which may be later than the request under saturation) and
+    closes billing segments as workers are released.
+    """
+
+    _ids = itertools.count(1)
+
+    def __init__(
+        self,
+        n_vm: int,
+        n_sl: int,
+        requested_at: float,
+        on_instance_ready: Callable[[Instance, bool], None],
+        on_granted: Callable[["PoolLease"], None] | None = None,
+        requested_vm: int | None = None,
+        requested_sl: int | None = None,
+    ) -> None:
+        self.lease_id = f"lease-{next(self._ids):06d}"
+        self.n_vm = n_vm
+        self.n_sl = n_sl
+        self.requested_vm = n_vm if requested_vm is None else requested_vm
+        self.requested_sl = n_sl if requested_sl is None else requested_sl
+        self.requested_at = requested_at
+        self.granted_at: float | None = None
+        self.on_instance_ready = on_instance_ready
+        self.on_granted = on_granted
+        self.vms: list[VMInstance] = []
+        self.sls: list[ServerlessInstance] = []
+        self._open: dict[str, _OpenSegment] = {}
+        self.segments: list[BillingSegment] = []
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def is_granted(self) -> bool:
+        return self.granted_at is not None
+
+    @property
+    def was_clamped(self) -> bool:
+        """Whether the pool granted fewer workers than were requested.
+
+        A clamped query executed a *different* configuration from the one
+        the caller (e.g. the predictor) asked for -- consumers comparing
+        predictions to outcomes should check this flag.
+        """
+        return (self.n_vm, self.n_sl) != (self.requested_vm, self.requested_sl)
+
+    @property
+    def queueing_delay_s(self) -> float:
+        """Seconds the request waited for pool capacity (0 when instant)."""
+        if self.granted_at is None:
+            return 0.0
+        return self.granted_at - self.requested_at
+
+    @property
+    def active_instances(self) -> list[Instance]:
+        return [segment.instance for segment in self._open.values()]
+
+    def is_active(self, instance: Instance) -> bool:
+        return instance.instance_id in self._open
+
+    @property
+    def warm_acquisitions(self) -> int:
+        warm_open = sum(1 for s in self._open.values() if not s.cold)
+        return warm_open + sum(1 for s in self.segments if not s.cold)
+
+    @property
+    def cold_acquisitions(self) -> int:
+        cold_open = sum(1 for s in self._open.values() if s.cold)
+        return cold_open + sum(1 for s in self.segments if s.cold)
+
+    # ------------------------------------------------------------------
+    # Billing
+    # ------------------------------------------------------------------
+
+    def used_serverless(self) -> bool:
+        """Whether any SL executed work during this lease."""
+        return any(
+            segment.kind is InstanceKind.SERVERLESS
+            and segment.tasks_executed > 0
+            for segment in self.segments
+        )
+
+    def cost_report(
+        self, query_duration: float, prices: PriceBook
+    ) -> CostBreakdown:
+        """Itemised bill for this lease (Section 5, "Cost estimation").
+
+        VM intervals bill per leased second (compute + burst + storage);
+        SL intervals bill per second plus the invocation fee for cold
+        spawns; the external Redis host bills for the query duration when
+        at least one SL served it.  Warm hand-overs carry no invocation
+        fee -- the original long-running invocation simply continues.
+        """
+        report = CostBreakdown()
+        for segment in self.segments:
+            if segment.kind is InstanceKind.VM:
+                report = report + prices.vm_breakdown(segment.seconds)
+            else:
+                report = report + prices.sl_breakdown(
+                    segment.seconds, invocations=1 if segment.cold else 0
+                )
+        if self.used_serverless():
+            report.external_store += prices.redis_charge(query_duration)
+        return report
+
+
+class ClusterPool:
+    """Owns VM/SL instances across query lifetimes.
+
+    Parameters
+    ----------
+    simulator:
+        The (possibly shared) discrete-event core; boots, keep-alive
+        expiries and queued grants are all events on its heap.
+    provider / prices:
+        Cold-boot latencies and billing rates.
+    config:
+        Capacity and warm-start parameters.
+    autoscaler:
+        Keep-alive policy; defaults to :class:`FixedKeepAlive` built from
+        the config's windows (i.e. a cold pool with the default config).
+    """
+
+    def __init__(
+        self,
+        simulator: Simulator,
+        provider: ProviderProfile,
+        prices: PriceBook,
+        config: PoolConfig | None = None,
+        autoscaler: AutoscalerPolicy | None = None,
+    ) -> None:
+        self.simulator = simulator
+        self.provider = provider
+        self.prices = prices
+        self.config = config or PoolConfig()
+        self.autoscaler = autoscaler or FixedKeepAlive(
+            self.config.vm_keep_alive_s, self.config.sl_keep_alive_s
+        )
+        self.stats = PoolStats()
+        self.keepalive_cost = CostBreakdown()
+        # Warm sets keyed by instance id; dict order gives LIFO reuse
+        # (warmest first) via popitem() and O(1) expiry removal.
+        self._warm: dict[InstanceKind, dict[str, Instance]] = {
+            InstanceKind.VM: {},
+            InstanceKind.SERVERLESS: {},
+        }
+        self._idle_since: dict[str, float] = {}
+        self._expiry_handles: dict[str, EventHandle] = {}
+        self._leased_vms = 0
+        self._leased_sls = 0
+        self._queue: collections.deque[PoolLease] = collections.deque()
+        self._grant_times: collections.deque[float] = collections.deque()
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def leased_vms(self) -> int:
+        return self._leased_vms
+
+    @property
+    def leased_sls(self) -> int:
+        return self._leased_sls
+
+    @property
+    def warm_vms(self) -> int:
+        return len(self._warm[InstanceKind.VM])
+
+    @property
+    def warm_sls(self) -> int:
+        return len(self._warm[InstanceKind.SERVERLESS])
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self._queue)
+
+    @property
+    def keepalive_cost_dollars(self) -> float:
+        return self.keepalive_cost.total
+
+    def recent_acquire_rate(self, window_s: float) -> float:
+        """Lease grants per second over the trailing ``window_s``.
+
+        Non-destructive: the grant history is only pruned beyond a fixed
+        retention horizon, so introspection calls with a small window
+        cannot perturb an autoscaler watching a larger one.
+        """
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        retention = self.simulator.now - _GRANT_HISTORY_RETENTION_S
+        while self._grant_times and self._grant_times[0] < retention:
+            self._grant_times.popleft()
+        horizon = self.simulator.now - window_s
+        count = sum(1 for t in self._grant_times if t >= horizon)
+        return count / window_s
+
+    def describe(self) -> str:
+        return (
+            f"ClusterPool(max={self.config.max_vms}VM+{self.config.max_sls}SL, "
+            f"{self.autoscaler.describe()})"
+        )
+
+    # ------------------------------------------------------------------
+    # Acquire
+    # ------------------------------------------------------------------
+
+    def acquire(
+        self,
+        n_vm: int,
+        n_sl: int,
+        on_instance_ready: Callable[[Instance, bool], None],
+        on_granted: Callable[[PoolLease], None] | None = None,
+    ) -> PoolLease:
+        """Request ``n_vm`` VMs plus ``n_sl`` SLs for one query.
+
+        Requests are clamped to the pool's capacity.  When enough free
+        capacity exists (and no earlier request is waiting) the lease is
+        granted synchronously; otherwise it queues FIFO.  Per ready
+        worker, ``on_instance_ready(instance, warm)`` fires after the
+        (warm or cold) boot; ``on_granted(lease)`` fires once at grant
+        time, after the lease's instance lists are filled.
+        """
+        if n_vm < 0 or n_sl < 0:
+            raise ValueError("instance counts must be non-negative")
+        if n_vm + n_sl == 0:
+            raise ValueError("at least one instance is required")
+        clamped_vm = min(n_vm, self.config.max_vms)
+        clamped_sl = min(n_sl, self.config.max_sls)
+        if clamped_vm + clamped_sl == 0:
+            raise ValueError(
+                f"the pool has no capacity for a ({n_vm} VM, {n_sl} SL) "
+                f"request (max {self.config.max_vms} VM, "
+                f"{self.config.max_sls} SL)"
+            )
+        lease = PoolLease(
+            n_vm=clamped_vm,
+            n_sl=clamped_sl,
+            requested_at=self.simulator.now,
+            on_instance_ready=on_instance_ready,
+            on_granted=on_granted,
+            requested_vm=n_vm,
+            requested_sl=n_sl,
+        )
+        if not self._queue and self._grantable(lease):
+            self._grant(lease)
+        else:
+            self._queue.append(lease)
+            self.stats.leases_queued += 1
+        return lease
+
+    def _grantable(self, lease: PoolLease) -> bool:
+        return (
+            lease.n_vm <= self.config.max_vms - self._leased_vms
+            and lease.n_sl <= self.config.max_sls - self._leased_sls
+        )
+
+    def _grant(self, lease: PoolLease) -> None:
+        now = self.simulator.now
+        lease.granted_at = now
+        self.stats.leases_granted += 1
+        self._grant_times.append(now)
+        for _ in range(lease.n_vm):
+            lease.vms.append(self._hand_over(lease, InstanceKind.VM))
+        for _ in range(lease.n_sl):
+            lease.sls.append(self._hand_over(lease, InstanceKind.SERVERLESS))
+        self._leased_vms += lease.n_vm
+        self._leased_sls += lease.n_sl
+        self.stats.peak_leased_vms = max(
+            self.stats.peak_leased_vms, self._leased_vms
+        )
+        self.stats.peak_leased_sls = max(
+            self.stats.peak_leased_sls, self._leased_sls
+        )
+        if lease.on_granted is not None:
+            lease.on_granted(lease)
+
+    def _hand_over(self, lease: PoolLease, kind: InstanceKind) -> Instance:
+        """Reuse a warm instance (LIFO, warmest first) or spawn cold."""
+        now = self.simulator.now
+        warm_set = self._warm[kind]
+        if warm_set:
+            _, instance = warm_set.popitem()
+            self._end_idle(instance, now)
+            self.stats.warm_starts += 1
+            cold = False
+            boot = (
+                self.config.warm_vm_boot_s
+                if kind is InstanceKind.VM
+                else self.config.warm_sl_boot_s
+            )
+        else:
+            if kind is InstanceKind.VM:
+                instance = VMInstance.create(spawn_time=now)
+                boot = self.provider.vm_boot_seconds
+            else:
+                instance = ServerlessInstance.create(spawn_time=now)
+                boot = self.provider.sl_boot_seconds
+            instance.transition(InstanceState.BOOTING, now)
+            self.stats.cold_starts += 1
+            cold = True
+        segment = _OpenSegment(
+            instance=instance,
+            start=now,
+            cold=cold,
+            tasks_at_open=instance.tasks_executed,
+        )
+        lease._open[instance.instance_id] = segment
+        segment.boot_handle = self.simulator.schedule(
+            boot, lambda: self._finish_boot(lease, segment)
+        )
+        return instance
+
+    def _finish_boot(self, lease: PoolLease, segment: _OpenSegment) -> None:
+        instance = segment.instance
+        if not lease.is_active(instance):
+            return  # released (or the query completed) before hand-over
+        if instance.state is InstanceState.BOOTING:
+            instance.transition(InstanceState.RUNNING, self.simulator.now)
+        lease.on_instance_ready(instance, not segment.cold)
+
+    # ------------------------------------------------------------------
+    # Release
+    # ------------------------------------------------------------------
+
+    def release_instance(self, lease: PoolLease, instance: Instance) -> None:
+        """Return one worker to the pool and close its billing segment."""
+        segment = lease._open.pop(instance.instance_id, None)
+        if segment is None:
+            raise ValueError(
+                f"{instance.instance_id} is not leased by {lease.lease_id}"
+            )
+        now = self.simulator.now
+        if segment.boot_handle is not None:
+            self.simulator.cancel(segment.boot_handle)
+        lease.segments.append(
+            BillingSegment(
+                kind=instance.kind,
+                start=segment.start,
+                end=now,
+                cold=segment.cold,
+                tasks_executed=instance.tasks_executed - segment.tasks_at_open,
+            )
+        )
+        if instance.kind is InstanceKind.VM:
+            self._leased_vms -= 1
+        else:
+            self._leased_sls -= 1
+
+        if instance.state is InstanceState.BOOTING:
+            # Released before the cold boot completed -- a half-booted
+            # executor cannot be parked.  (A *warm* instance released
+            # mid-re-attach is RUNNING and stays eligible for parking;
+            # its stale hand-over event no-ops via the lease guard.)
+            self._terminate(instance, now)
+        else:
+            keep_alive = self.autoscaler.keep_alive(instance.kind, self)
+            if keep_alive > 0.0:
+                self._park(instance, keep_alive, now)
+            else:
+                self._terminate(instance, now)
+        self._pump()
+
+    def release(self, lease: PoolLease) -> None:
+        """Release every worker the lease still holds."""
+        for instance in list(lease.active_instances):
+            self.release_instance(lease, instance)
+
+    def _park(self, instance: Instance, keep_alive: float, now: float) -> None:
+        self._warm[instance.kind][instance.instance_id] = instance
+        self._idle_since[instance.instance_id] = now
+        self._expiry_handles[instance.instance_id] = self.simulator.schedule(
+            keep_alive, lambda: self._expire(instance)
+        )
+
+    def _expire(self, instance: Instance) -> None:
+        if self._warm[instance.kind].pop(instance.instance_id, None) is None:
+            return  # reused before the (stale) expiry fired
+        now = self.simulator.now
+        self._end_idle(instance, now)
+        self._terminate(instance, now)
+        self.stats.expirations += 1
+
+    def _end_idle(self, instance: Instance, now: float) -> None:
+        """Close an idle interval, accruing its keep-alive cost."""
+        handle = self._expiry_handles.pop(instance.instance_id, None)
+        if handle is not None:
+            self.simulator.cancel(handle)
+        idle_since = self._idle_since.pop(instance.instance_id, None)
+        if idle_since is None:
+            return
+        idle = max(now - idle_since, 0.0)
+        if instance.kind is InstanceKind.VM:
+            idle_cost = self.prices.vm_breakdown(idle)
+        else:
+            idle_cost = self.prices.sl_breakdown(idle, invocations=0)
+        self.keepalive_cost = self.keepalive_cost + idle_cost
+
+    def _terminate(self, instance: Instance, now: float) -> None:
+        if instance.state is not InstanceState.TERMINATED:
+            instance.transition(InstanceState.TERMINATED, now)
+
+    def _pump(self) -> None:
+        """Grant queued requests FIFO while capacity allows."""
+        while self._queue and self._grantable(self._queue[0]):
+            self._grant(self._queue.popleft())
+
+    # ------------------------------------------------------------------
+    # Shutdown
+    # ------------------------------------------------------------------
+
+    def shutdown(self) -> None:
+        """Terminate all warm instances (end of the serving day)."""
+        now = self.simulator.now
+        for warm_set in self._warm.values():
+            for instance in list(warm_set.values()):
+                self._end_idle(instance, now)
+                self._terminate(instance, now)
+            warm_set.clear()

@@ -121,18 +121,39 @@ class PriceBook:
 
     def vm_charge(self, deployed_seconds: float) -> float:
         """Total charge for one VM deployed for ``deployed_seconds``."""
-        if deployed_seconds < 0:
-            raise ValueError("deployed_seconds must be non-negative")
-        rate = self.vm_per_second + self.vm_burst_per_second + self.vm_storage_per_second
-        return deployed_seconds * rate
+        return self.vm_breakdown(deployed_seconds).total
 
     def sl_charge(self, busy_seconds: float, invocations: int = 1) -> float:
         """Total charge for one SL instance busy for ``busy_seconds``."""
+        return self.sl_breakdown(busy_seconds, invocations).total
+
+    def vm_breakdown(self, deployed_seconds: float) -> "CostBreakdown":
+        """Itemised charge for one VM deployed for ``deployed_seconds``.
+
+        The single source of the VM rate model: per-query bills, pool
+        keep-alive accounting and instance-level cost reports all route
+        through here.
+        """
+        if deployed_seconds < 0:
+            raise ValueError("deployed_seconds must be non-negative")
+        return CostBreakdown(
+            vm_compute=deployed_seconds * self.vm_per_second,
+            vm_burst=deployed_seconds * self.vm_burst_per_second,
+            vm_storage=deployed_seconds * self.vm_storage_per_second,
+        )
+
+    def sl_breakdown(
+        self, busy_seconds: float, invocations: int = 1
+    ) -> "CostBreakdown":
+        """Itemised charge for one SL busy for ``busy_seconds``."""
         if busy_seconds < 0:
             raise ValueError("busy_seconds must be non-negative")
         if invocations < 0:
             raise ValueError("invocations must be non-negative")
-        return busy_seconds * self.sl_per_second + invocations * self.sl_invocation
+        return CostBreakdown(
+            sl_compute=busy_seconds * self.sl_per_second,
+            sl_invocations=invocations * self.sl_invocation,
+        )
 
     def redis_charge(self, duration_seconds: float) -> float:
         """External-store charge for a query of ``duration_seconds``."""

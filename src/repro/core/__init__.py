@@ -30,6 +30,7 @@ from repro.core.predictor import (
     WorkloadPredictor,
 )
 from repro.core.retrain import BackgroundRetrainer, ModelStore, RetrainEvent
+from repro.core.serving import ServedQuery, ServingReport, ServingSimulator
 from repro.core.similarity import SimilarityChecker
 from repro.core.smartpick import Smartpick
 from repro.core.tradeoff import naive_scale_down, select_with_knob
@@ -47,6 +48,9 @@ __all__ = [
     "MonitorAndFeatureExtraction",
     "PredictionRequest",
     "RetrainEvent",
+    "ServedQuery",
+    "ServingReport",
+    "ServingSimulator",
     "SimilarityChecker",
     "Smartpick",
     "SmartpickProperties",

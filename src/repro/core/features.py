@@ -101,6 +101,56 @@ class FeatureVector:
         )
 
     @classmethod
+    def build_matrix(
+        cls,
+        n_vm: np.ndarray,
+        n_sl: np.ndarray,
+        input_size_gb: float,
+        start_time_epoch: float,
+        historical_duration_s: float,
+        num_waiting_apps: int = 0,
+        memory_per_executor_gb: float = _WORKER_MEMORY_GB,
+        worker_vcpus: int = _WORKER_VCPUS,
+    ) -> np.ndarray:
+        """Vectorised :meth:`build`: arrays of ``{nVM, nSL}`` candidates
+        become one ``(n, len(FEATURE_NAMES))`` model-input matrix.
+
+        Used by the predictor's grid search so a whole candidate grid (or
+        several queued queries' grids) feeds the Random Forest in a single
+        ``predict`` call instead of one call per configuration.
+        """
+        n_vm = np.asarray(n_vm, dtype=np.float64)
+        n_sl = np.asarray(n_sl, dtype=np.float64)
+        if n_vm.shape != n_sl.shape:
+            raise ValueError("n_vm and n_sl must have matching shapes")
+        if np.any(n_vm < 0) or np.any(n_sl < 0):
+            raise ValueError("instance counts must be non-negative")
+        n_workers = n_vm + n_sl
+        if np.any(n_workers <= 0):
+            raise ValueError("every configuration needs at least one instance")
+        if input_size_gb < 0:
+            raise ValueError("input_size_gb must be non-negative")
+        if historical_duration_s < 0:
+            raise ValueError("historical_duration_s must be non-negative")
+        total_memory = n_workers * memory_per_executor_gb
+        available = total_memory * max(1.0 - 0.05 * num_waiting_apps, 0.0)
+        count = n_vm.shape[0]
+        return np.column_stack(
+            [
+                n_vm,
+                n_sl,
+                np.full(count, input_size_gb, dtype=np.float64),
+                np.full(count, start_time_epoch, dtype=np.float64),
+                total_memory,
+                available,
+                np.full(count, memory_per_executor_gb, dtype=np.float64),
+                np.full(count, float(num_waiting_apps), dtype=np.float64),
+                n_workers * float(worker_vcpus),
+                np.full(count, historical_duration_s, dtype=np.float64),
+            ]
+        )
+
+    @classmethod
     def build(
         cls,
         n_vm: int,

@@ -7,6 +7,14 @@ Step 6: WP returns the configuration (knob applied).  Steps 7-8: the
 Resource Manager spawns the instances and the query executes.  Step 9: MFE
 examines the prediction error on completion and Background Re-train fires
 when it exceeds the trigger.
+
+The workflow is exposed in two granularities: :meth:`JobInitializer.submit`
+runs steps 1-9 synchronously on a private cluster (the paper's model),
+while :meth:`decide` / :meth:`finalize` split the pre-execution and
+post-execution halves so trace serving can run many queries *concurrently*
+on a shared pool -- decide at arrival, execute as interleaved simulator
+events, finalize at completion.  :meth:`submit_many` batches queued
+arrivals through one vectorized grid search.
 """
 
 from __future__ import annotations
@@ -19,7 +27,11 @@ from repro.cloud.pricing import PriceBook
 from repro.cloud.providers import ProviderProfile
 from repro.core.config import SmartpickProperties
 from repro.core.history import ExecutionRecord
-from repro.core.monitor import MonitorAndFeatureExtraction, map_task_count
+from repro.core.monitor import (
+    MonitorAndFeatureExtraction,
+    RequestContext,
+    map_task_count,
+)
 from repro.core.predictor import ConfigDecision, WorkloadPredictor
 from repro.core.retrain import BackgroundRetrainer, RetrainEvent
 from repro.core.similarity import SimilarityChecker
@@ -89,51 +101,57 @@ class JobInitializer:
         self.prices = prices
         self._rng = np.random.default_rng(rng)
 
-    def _execution_policy(self, n_vm: int, n_sl: int) -> TerminationPolicy:
+    def execution_policy(self, n_vm: int, n_sl: int) -> TerminationPolicy:
+        """The termination policy a configuration executes under."""
         if self.properties.relay and n_vm > 0 and n_sl > 0:
             return RelayPolicy()
         return NoEarlyTermination()
 
-    def submit(
+    # ------------------------------------------------------------------
+    # Workflow halves (steps 1-6 and step 9)
+    # ------------------------------------------------------------------
+
+    def decide(
         self,
         query: QuerySpec,
         knob: float | None = None,
         mode: str = "hybrid",
         num_waiting_apps: int = 0,
-    ) -> SubmissionOutcome:
-        """Run the full workflow for one incoming query."""
+    ) -> tuple[RequestContext, ConfigDecision]:
+        """Steps 1-6: assemble inputs (Similarity Checker for aliens) and
+        determine the configuration."""
         if knob is None:
             knob = self.properties.knob
-
-        # Steps 1-5: assemble inputs (Similarity Checker for aliens) and
-        # determine the configuration.
         context = self.mfe.build_request(
             query, self.predictor, num_waiting_apps=num_waiting_apps
         )
         decision = self.predictor.determine(context.request, knob=knob, mode=mode)
+        return context, decision
 
-        # Steps 7-8: spawn and execute.
-        policy = self._execution_policy(decision.n_vm, decision.n_sl)
-        result = run_query(
-            query,
-            n_vm=decision.n_vm,
-            n_sl=decision.n_sl,
-            provider=self.provider,
-            prices=self.prices,
-            policy=policy,
-            rng=self._rng,
-        )
+    def finalize(
+        self,
+        query: QuerySpec,
+        context: RequestContext,
+        decision: ConfigDecision,
+        result: QueryRunResult,
+        observe_error: bool = True,
+    ) -> SubmissionOutcome:
+        """Step 9: record the run, monitor the error, maybe retrain.
 
-        # Step 9: record, monitor the error, maybe retrain.
+        ``observe_error=False`` records the run for training but skips the
+        retrain trigger -- used when the executed configuration differs
+        from the predicted one (a pool clamped the request), where the
+        prediction error says nothing about model quality.
+        """
         record = self.mfe.record_run(query, context, result)
-        retrain_event = self.retrainer.observe(
-            query.query_id,
-            predicted_s=decision.predicted_seconds,
-            actual_s=result.completion_seconds,
-        )
-        if retrain_event is not None and not self.similarity.__contains__(
-            query.query_id
-        ):
+        retrain_event = None
+        if observe_error:
+            retrain_event = self.retrainer.observe(
+                query.query_id,
+                predicted_s=decision.predicted_seconds,
+                actual_s=result.completion_seconds,
+            )
+        if retrain_event is not None and query.query_id not in self.similarity:
             # The model now knows this workload; future similarity searches
             # may return it as a neighbour.
             self.similarity.register_sql(
@@ -150,3 +168,79 @@ class JobInitializer:
             similar_query_id=context.similar_query_id,
             retrain_event=retrain_event,
         )
+
+    # ------------------------------------------------------------------
+    # One-call submission (steps 1-9 on a private cluster)
+    # ------------------------------------------------------------------
+
+    def submit(
+        self,
+        query: QuerySpec,
+        knob: float | None = None,
+        mode: str = "hybrid",
+        num_waiting_apps: int = 0,
+    ) -> SubmissionOutcome:
+        """Run the full workflow for one incoming query."""
+        context, decision = self.decide(
+            query, knob=knob, mode=mode, num_waiting_apps=num_waiting_apps
+        )
+
+        # Steps 7-8: spawn and execute.
+        policy = self.execution_policy(decision.n_vm, decision.n_sl)
+        result = run_query(
+            query,
+            n_vm=decision.n_vm,
+            n_sl=decision.n_sl,
+            provider=self.provider,
+            prices=self.prices,
+            policy=policy,
+            rng=self._rng,
+        )
+        return self.finalize(query, context, decision, result)
+
+    # ------------------------------------------------------------------
+    # Batched submission (vectorized grid search)
+    # ------------------------------------------------------------------
+
+    def submit_many(
+        self,
+        queries: list[QuerySpec],
+        knob: float | None = None,
+        mode: str = "hybrid",
+    ) -> list[SubmissionOutcome]:
+        """Size a batch of queued arrivals with ONE vectorized grid search.
+
+        All pending queries' feature grids are stacked into a single
+        Random Forest ``predict`` call (exhaustive over the candidate
+        grid, so it is at least as accurate as the per-query BO loop),
+        then each query executes in arrival order.  Queries later in the
+        batch see the earlier ones as waiting applications, matching the
+        ``num-waiting-apps`` feature of Table 3.
+        """
+        if not queries:
+            return []
+        if knob is None:
+            knob = self.properties.knob
+        contexts = [
+            self.mfe.build_request(
+                query, self.predictor, num_waiting_apps=index
+            )
+            for index, query in enumerate(queries)
+        ]
+        decisions = self.predictor.determine_batch(
+            [context.request for context in contexts], knob=knob, mode=mode
+        )
+        outcomes = []
+        for query, context, decision in zip(queries, contexts, decisions):
+            policy = self.execution_policy(decision.n_vm, decision.n_sl)
+            result = run_query(
+                query,
+                n_vm=decision.n_vm,
+                n_sl=decision.n_sl,
+                provider=self.provider,
+                prices=self.prices,
+                policy=policy,
+                rng=self._rng,
+            )
+            outcomes.append(self.finalize(query, context, decision, result))
+        return outcomes

@@ -73,6 +73,18 @@ class PredictionRequest:
             num_waiting_apps=self.num_waiting_apps,
         )
 
+    def feature_matrix(self, candidates: np.ndarray) -> np.ndarray:
+        """The Table 3 features for a whole ``(n, 2)`` candidate grid."""
+        candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+        return FeatureVector.build_matrix(
+            n_vm=candidates[:, 0],
+            n_sl=candidates[:, 1],
+            input_size_gb=self.input_size_gb,
+            start_time_epoch=self.start_time_epoch,
+            historical_duration_s=self.historical_duration_s,
+            num_waiting_apps=self.num_waiting_apps,
+        )
+
 
 @dataclasses.dataclass
 class ConfigDecision:
@@ -232,6 +244,17 @@ class WorkloadPredictor:
             raise RuntimeError("the prediction model has not been trained")
         return float(self._forest.predict(features.as_array()[None, :])[0])
 
+    def predict_durations(self, features: np.ndarray) -> np.ndarray:
+        """Batched ``RF_t``: one forest pass over ``(n, d)`` feature rows.
+
+        One ensemble traversal for the whole batch is how the grid search
+        stays cheap: a 13x13 candidate grid (or several queued queries'
+        grids stacked) costs one ``predict`` call, not hundreds.
+        """
+        if not self.is_trained:
+            raise RuntimeError("the prediction model has not been trained")
+        return self._forest.predict(np.atleast_2d(features))
+
     # ------------------------------------------------------------------
     # Cost estimation (the Eq. 4 cost term)
     # ------------------------------------------------------------------
@@ -313,21 +336,26 @@ class WorkloadPredictor:
         )
         result = optimizer.maximize(max_iterations=max_iterations)
 
+        # One batched forest pass covers every probe plus the winner --
+        # the noise-free counterpart of the noisy Eq. 2 objective values.
+        probe_points = np.array(
+            [probe.point for probe in result.history] + [result.best_point]
+        )
+        estimates = self.predict_durations(request.feature_matrix(probe_points))
         et_list = []
-        for probe in result.history:
-            n_vm, n_sl = int(probe.point[0]), int(probe.point[1])
-            t_est = self.predict_duration(request.feature_vector(n_vm, n_sl))
+        for point, t_est in zip(probe_points[:-1], estimates[:-1]):
+            n_vm, n_sl = int(point[0]), int(point[1])
             et_list.append(
                 EstimatedTimeEntry(
                     n_vm=n_vm,
                     n_sl=n_sl,
-                    estimated_seconds=t_est,
-                    estimated_cost=self.estimate_cost(t_est, n_vm, n_sl),
+                    estimated_seconds=float(t_est),
+                    estimated_cost=self.estimate_cost(float(t_est), n_vm, n_sl),
                 )
             )
 
         best_vm, best_sl = int(result.best_point[0]), int(result.best_point[1])
-        t_best = self.predict_duration(request.feature_vector(best_vm, best_sl))
+        t_best = float(estimates[-1])
         best_entry = EstimatedTimeEntry(
             n_vm=best_vm,
             n_sl=best_sl,
@@ -350,3 +378,66 @@ class WorkloadPredictor:
             converged=result.converged,
             inference_seconds=elapsed,
         )
+
+    def determine_batch(
+        self,
+        requests: list[PredictionRequest],
+        knob: float = 0.0,
+        mode: str = "hybrid",
+    ) -> list[ConfigDecision]:
+        """Size a whole batch of queued queries with ONE forest pass.
+
+        Every request's full candidate grid is stacked into a single
+        Random Forest ``predict`` call -- the batched counterpart of the
+        per-query BO loop in :meth:`determine`.  Because the search is
+        exhaustive over the grid, each decision is the true RF optimum
+        (the BO loop merely approximates it with fewer probes), so the
+        resulting Estimated Time lists cover the entire grid and the Eq. 4
+        knob selection applies unchanged.
+        """
+        if not self.is_trained:
+            raise RuntimeError("the prediction model has not been trained")
+        if not requests:
+            return []
+        started = time.perf_counter()
+        candidates = self.candidate_grid(mode)
+        grid_size = candidates.shape[0]
+        stacked = np.vstack(
+            [request.feature_matrix(candidates) for request in requests]
+        )
+        estimates = self.predict_durations(stacked)
+        elapsed = time.perf_counter() - started
+
+        decisions = []
+        for index, request in enumerate(requests):
+            block = estimates[index * grid_size : (index + 1) * grid_size]
+            et_list = [
+                EstimatedTimeEntry(
+                    n_vm=int(point[0]),
+                    n_sl=int(point[1]),
+                    estimated_seconds=float(t_est),
+                    estimated_cost=self.estimate_cost(
+                        float(t_est), int(point[0]), int(point[1])
+                    ),
+                )
+                for point, t_est in zip(candidates, block)
+            ]
+            best_entry = min(et_list, key=lambda e: e.estimated_seconds)
+            chosen = select_with_knob(et_list, best_entry, knob)
+            decisions.append(
+                ConfigDecision(
+                    query_id=request.query_id,
+                    n_vm=chosen.n_vm,
+                    n_sl=chosen.n_sl,
+                    predicted_seconds=chosen.estimated_seconds,
+                    estimated_cost=chosen.estimated_cost,
+                    knob=knob,
+                    best_entry=best_entry,
+                    chosen_entry=chosen,
+                    et_list=et_list,
+                    n_evaluations=grid_size,
+                    converged=True,
+                    inference_seconds=elapsed / len(requests),
+                )
+            )
+        return decisions

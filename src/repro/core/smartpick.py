@@ -273,9 +273,32 @@ class Smartpick:
             query, knob=knob, mode=mode, num_waiting_apps=num_waiting_apps
         )
 
+    def submit_many(
+        self,
+        queries: list[QuerySpec],
+        knob: float | None = None,
+        mode: str = "hybrid",
+    ) -> list[SubmissionOutcome]:
+        """Predict and execute a batch of queued arrivals.
+
+        The predictor's grid search is vectorized across the whole batch:
+        every query's candidate grid goes through one Random Forest
+        ``predict`` call instead of a per-query BO loop, then the queries
+        execute in order (each seeing the earlier ones as waiting
+        applications).
+        """
+        if not self.predictor.is_trained:
+            raise RuntimeError("bootstrap the system before submitting queries")
+        return self.job_initializer.submit_many(queries, knob=knob, mode=mode)
+
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
+
+    @property
+    def rng(self) -> np.random.Generator:
+        """The master generator every stochastic component derives from."""
+        return self._rng
 
     @property
     def known_query_ids(self) -> tuple[str, ...]:

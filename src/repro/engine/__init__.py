@@ -28,16 +28,23 @@ from repro.engine.policies import (
     SegueTimeoutPolicy,
     TerminationPolicy,
 )
-from repro.engine.runner import QueryRunResult, run_query
+from repro.engine.runner import (
+    QueryExecution,
+    QueryRunResult,
+    launch_query,
+    run_query,
+)
 from repro.engine.scheduler import TaskScheduler
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import EventHandle, Simulator
 from repro.engine.task import Task
 
 __all__ = [
+    "EventHandle",
     "ExecutionListener",
     "Executor",
     "MetricsListener",
     "NoEarlyTermination",
+    "QueryExecution",
     "QueryMetrics",
     "QueryRunResult",
     "QuerySpec",
@@ -48,5 +55,6 @@ __all__ = [
     "Task",
     "TaskScheduler",
     "TerminationPolicy",
+    "launch_query",
     "run_query",
 ]

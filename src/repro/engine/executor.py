@@ -20,6 +20,11 @@ class Executor:
     def __init__(self, instance: Instance) -> None:
         self.instance = instance
         self.running: dict[str, Task] = {}
+        # Set by the scheduler when this worker is retired from the query
+        # (relay hand-off / segueing): no new tasks, finish current ones.
+        # It is a per-query view -- the underlying instance may stay
+        # RUNNING and return to a shared pool for the next query.
+        self.retiring = False
 
     @property
     def executor_id(self) -> str:
@@ -39,8 +44,12 @@ class Executor:
 
     @property
     def accepts_tasks(self) -> bool:
-        """Running instances accept tasks; draining/terminated ones do not."""
-        return self.instance.state is InstanceState.RUNNING and self.free_slots > 0
+        """Running, non-retiring instances with a free slot accept tasks."""
+        return (
+            self.instance.state is InstanceState.RUNNING
+            and not self.retiring
+            and self.free_slots > 0
+        )
 
     @property
     def is_idle(self) -> bool:

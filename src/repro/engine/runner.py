@@ -1,21 +1,29 @@
-"""One-call query execution: :func:`run_query`.
+"""Query execution entry points: :func:`run_query` and :func:`launch_query`.
 
-Wires the simulator, resource manager, duration model, policy and metrics
-listener together, runs the query to completion and returns a
-:class:`QueryRunResult` with the two quantities every experiment in the
-paper reports -- completion time and dollar cost -- plus the raw metrics
-and itemised cost breakdown.
+:func:`run_query` is the one-call API every experiment in the paper uses:
+it wires a private simulator, a single-use cluster pool, the duration
+model, policy and metrics listener together, runs the query to completion
+and returns a :class:`QueryRunResult` with completion time and dollar cost
+plus the raw metrics and itemised cost breakdown.
+
+:func:`launch_query` is the shared-cluster building block underneath: it
+starts a query inside an *existing* simulator against an *existing*
+:class:`~repro.cloud.pool.ClusterPool` and returns a
+:class:`QueryExecution` handle without advancing simulated time.  Trace
+serving launches one execution per arrival so overlapping queries contend
+for the same warm pool.
 """
 
 from __future__ import annotations
 
 import dataclasses
+from typing import Callable
 
 import numpy as np
 
+from repro.cloud.pool import ClusterPool, PoolConfig, PoolLease
 from repro.cloud.pricing import CostBreakdown, PriceBook, get_prices
 from repro.cloud.providers import ProviderProfile, get_provider
-from repro.cloud.resource_manager import ResourceManager
 from repro.engine.dag import QuerySpec
 from repro.engine.listener import ExecutionListener, MetricsListener, QueryMetrics
 from repro.engine.policies import (
@@ -27,7 +35,9 @@ from repro.engine.scheduler import TaskScheduler
 from repro.engine.simulator import Simulator
 from repro.engine.task import TaskDurationModel
 
-__all__ = ["QueryRunResult", "run_query"]
+__all__ = ["QueryExecution", "QueryRunResult", "launch_query", "run_query"]
+
+_MAX_EVENTS = 10_000_000
 
 
 @dataclasses.dataclass
@@ -39,9 +49,20 @@ class QueryRunResult:
     n_vm: int
     n_sl: int
     policy: str
+    #: Execution duration: from the moment workers were assigned to the
+    #: last stage's completion.  Pool queueing time is *not* included --
+    #: it is reported separately so the model feedback loop (history,
+    #: retrain triggers) learns configuration behaviour, not congestion.
     completion_seconds: float
     cost: CostBreakdown
     metrics: QueryMetrics
+    #: Time the query waited for pool capacity before its workers were
+    #: assigned (always 0 for a private single-use pool).
+    queueing_delay_s: float = 0.0
+    #: How many of the query's workers came warm from the pool vs were
+    #: spawned cold at the provider's full boot latency.
+    warm_acquisitions: int = 0
+    cold_acquisitions: int = 0
 
     @property
     def cost_dollars(self) -> float:
@@ -59,6 +80,113 @@ class QueryRunResult:
         )
 
 
+class QueryExecution:
+    """Handle for one query running inside a (possibly shared) simulator."""
+
+    def __init__(
+        self,
+        query: QuerySpec,
+        pool: ClusterPool,
+        scheduler: TaskScheduler,
+        metrics_listener: MetricsListener,
+        policy: TerminationPolicy,
+        on_complete: Callable[["QueryExecution"], None] | None = None,
+    ) -> None:
+        self.query = query
+        self.pool = pool
+        self.scheduler = scheduler
+        self.metrics_listener = metrics_listener
+        self.policy = policy
+        self.result: QueryRunResult | None = None
+        self._user_on_complete = on_complete
+        scheduler.on_complete = self._finish
+
+    @property
+    def completed(self) -> bool:
+        return self.result is not None
+
+    @property
+    def lease(self) -> PoolLease:
+        return self.scheduler.lease
+
+    def _finish(self, scheduler: TaskScheduler) -> None:
+        lease = scheduler.lease
+        duration = scheduler.completion_seconds - lease.queueing_delay_s
+        cost = lease.cost_report(
+            query_duration=duration, prices=self.pool.prices
+        )
+        self.result = QueryRunResult(
+            query_id=self.query.query_id,
+            provider=self.pool.provider.name,
+            n_vm=lease.n_vm,
+            n_sl=lease.n_sl,
+            policy=self.policy.describe(),
+            completion_seconds=duration,
+            cost=cost,
+            metrics=self.metrics_listener.metrics,
+            queueing_delay_s=lease.queueing_delay_s,
+            warm_acquisitions=lease.warm_acquisitions,
+            cold_acquisitions=lease.cold_acquisitions,
+        )
+        if self._user_on_complete is not None:
+            self._user_on_complete(self)
+
+
+def _resolve_policy(
+    policy: TerminationPolicy | None,
+    relay: bool | None,
+    n_vm: int,
+    n_sl: int,
+) -> TerminationPolicy:
+    if policy is not None:
+        return policy
+    if relay is None:
+        relay = n_vm > 0 and n_sl > 0
+    return RelayPolicy() if relay else NoEarlyTermination()
+
+
+def launch_query(
+    query: QuerySpec,
+    n_vm: int,
+    n_sl: int,
+    pool: ClusterPool,
+    policy: TerminationPolicy | None = None,
+    relay: bool | None = None,
+    listeners: tuple[ExecutionListener, ...] = (),
+    duration_model: TaskDurationModel | None = None,
+    rng: np.random.Generator | int | None = None,
+    on_complete: Callable[[QueryExecution], None] | None = None,
+) -> QueryExecution:
+    """Start ``query`` against ``pool`` without advancing simulated time.
+
+    The query's workers are leased from the pool (queueing FIFO when the
+    pool is saturated) and the execution unfolds as events on the pool's
+    simulator; the caller decides when to advance it.  ``on_complete``
+    fires -- inside the completing event -- once the result is available.
+    """
+    policy = _resolve_policy(policy, relay, n_vm, n_sl)
+    if duration_model is None:
+        duration_model = TaskDurationModel(provider=pool.provider, rng=rng)
+    metrics_listener = MetricsListener()
+    scheduler = TaskScheduler(
+        simulator=pool.simulator,
+        pool=pool,
+        duration_model=duration_model,
+        policy=policy,
+        listeners=(metrics_listener, *listeners),
+    )
+    execution = QueryExecution(
+        query=query,
+        pool=pool,
+        scheduler=scheduler,
+        metrics_listener=metrics_listener,
+        policy=policy,
+        on_complete=on_complete,
+    )
+    scheduler.submit(query, n_vm=n_vm, n_sl=n_sl)
+    return execution
+
+
 def run_query(
     query: QuerySpec,
     n_vm: int,
@@ -69,6 +197,7 @@ def run_query(
     relay: bool | None = None,
     listeners: tuple[ExecutionListener, ...] = (),
     rng: np.random.Generator | int | None = None,
+    pool: ClusterPool | None = None,
 ) -> QueryRunResult:
     """Execute ``query`` on ``n_vm`` VMs plus ``n_sl`` SLs and bill it.
 
@@ -93,47 +222,51 @@ def run_query(
         Extra execution listeners (a metrics listener is always attached).
     rng:
         Seed or generator for task-duration noise.
+    pool:
+        A shared :class:`~repro.cloud.pool.ClusterPool` to lease workers
+        from (its provider and prices take precedence); sequential calls
+        against the same pool reuse warm instances.  Defaults to a
+        private single-use cold pool sized exactly to the request, which
+        reproduces the paper's fresh-instances-per-query model.
     """
-    if isinstance(provider, str):
-        provider = get_provider(provider)
-    if prices is None:
-        prices = get_prices(provider.name)
-    if policy is None:
-        if relay is None:
-            relay = n_vm > 0 and n_sl > 0
-        policy = RelayPolicy() if relay else NoEarlyTermination()
+    if pool is None:
+        if isinstance(provider, str):
+            provider = get_provider(provider)
+        if prices is None:
+            prices = get_prices(provider.name)
+        simulator = Simulator()
+        pool = ClusterPool(
+            simulator,
+            provider=provider,
+            prices=prices,
+            config=PoolConfig(max_vms=n_vm, max_sls=n_sl),
+        )
 
-    simulator = Simulator()
-    resource_manager = ResourceManager(
-        provider=provider, prices=prices, relay_enabled=policy.pairs_instances
-    )
-    duration_model = TaskDurationModel(provider=provider, rng=rng)
-    metrics_listener = MetricsListener()
-    scheduler = TaskScheduler(
-        simulator=simulator,
-        resource_manager=resource_manager,
-        duration_model=duration_model,
+    execution = launch_query(
+        query,
+        n_vm=n_vm,
+        n_sl=n_sl,
+        pool=pool,
         policy=policy,
-        listeners=(metrics_listener, *listeners),
+        relay=relay,
+        listeners=listeners,
+        rng=rng,
     )
-    scheduler.submit(query, n_vm=n_vm, n_sl=n_sl)
-    simulator.run()
-    if not scheduler.completed:
+    # Step rather than drain: with a shared pool, pending keep-alive
+    # timers must survive for the *next* query's warm starts.
+    simulator = pool.simulator
+    for _ in range(_MAX_EVENTS):
+        if execution.completed:
+            break
+        if not simulator.step():
+            break
+    else:
+        raise RuntimeError(
+            f"simulation processed {_MAX_EVENTS} events without completing "
+            f"{query.query_id}; likely an event loop in the model"
+        )
+    if execution.result is None:
         raise RuntimeError(
             f"{query.query_id} did not complete with {n_vm} VMs + {n_sl} SLs"
         )
-
-    completion = scheduler.completion_time
-    cost = resource_manager.cost_report(
-        query_duration=completion, now=simulator.now
-    )
-    return QueryRunResult(
-        query_id=query.query_id,
-        provider=provider.name,
-        n_vm=n_vm,
-        n_sl=n_sl,
-        policy=policy.describe(),
-        completion_seconds=completion,
-        cost=cost,
-        metrics=metrics_listener.metrics,
-    )
+    return execution.result

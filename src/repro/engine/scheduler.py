@@ -2,35 +2,40 @@
 
 Execution model (mirrors Spark standalone scheduling on a hybrid cluster):
 
-1. At submission the Resource Manager spawns the configured VMs and SLs;
-   each becomes ready after its provider boot latency.  Under the relay
-   policy, SL *i* is paired with VM *i* for the first ``min(nVM, nSL)``
-   instances (Section 4.3: the RM maps REQUEST IDs to INSTANCE IDs).
+1. At submission the scheduler acquires the configured VMs and SLs from a
+   :class:`~repro.cloud.pool.ClusterPool`.  Warm pool instances are handed
+   over after a short re-attach delay; the remainder are spawned cold at
+   the provider boot latency.  Under the relay policy, SL *i* is paired
+   with VM *i* for the first ``min(nVM, nSL)`` instances (Section 4.3: the
+   RM maps REQUEST IDs to INSTANCE IDs).
 2. Stages whose dependencies are satisfied contribute tasks to the ready
    queue; free executor slots pull tasks FIFO.  VM slots are preferred when
    both are free -- SL work costs more per second, and the task scheduler
    "stops assigning tasks" to retiring SLs anyway.
 3. When a VM finishes booting under the relay policy, its paired SL is
-   drained: it accepts no new tasks and terminates once its running tasks
-   complete.  Under segueing, draining instead happens at a static timeout.
+   retired: it accepts no new tasks and is released back to the pool once
+   its running tasks complete.  Under segueing, retirement instead happens
+   at a static timeout.
 4. The query completes when every stage has finished; all surviving
-   instances are then released.
+   workers are then released to the pool, which decides -- per its
+   autoscaler policy -- whether they stay warm for the next query or
+   terminate.
+
+The scheduler runs exactly one query, but many schedulers can share one
+simulator and one pool: that is how :class:`~repro.core.serving.ServingSimulator`
+replays concurrent trace arrivals against a shared cluster.
 """
 
 from __future__ import annotations
 
 import collections
-
-import numpy as np
+from typing import TYPE_CHECKING, Callable
 
 from repro.cloud.instances import (
     Instance,
     InstanceKind,
-    InstanceState,
-    ServerlessInstance,
     VMInstance,
 )
-from repro.cloud.resource_manager import ResourceManager
 from repro.engine.dag import QuerySpec, StageSpec
 from repro.engine.executor import Executor
 from repro.engine.listener import ExecutionListener
@@ -38,50 +43,66 @@ from repro.engine.policies import NoEarlyTermination, TerminationPolicy
 from repro.engine.simulator import Simulator
 from repro.engine.task import Task, TaskDurationModel
 
+if TYPE_CHECKING:
+    from repro.cloud.pool import ClusterPool, PoolLease
+
 __all__ = ["TaskScheduler"]
 
 
 class TaskScheduler:
-    """Runs one query on a hybrid VM/SL cluster inside a simulator.
+    """Runs one query on workers leased from a shared cluster pool.
 
     Parameters
     ----------
     simulator:
-        The discrete-event core driving all timing.
-    resource_manager:
-        Owns instances, relay mapping and billing.
+        The discrete-event core driving all timing (possibly shared with
+        other in-flight queries).
+    pool:
+        The :class:`~repro.cloud.pool.ClusterPool` workers are leased
+        from.  A private single-use pool reproduces the paper's
+        fresh-instances-per-query model; a shared pool adds warm starts,
+        contention and queueing.
     duration_model:
         Samples realised task durations per worker kind.
     policy:
         Serverless termination policy (relay / segueing / run-to-end).
     listeners:
         Spark-listener-style observers.
+    on_complete:
+        Optional callback invoked with this scheduler when the query's
+        last stage finishes (used by trace serving).
     """
 
     def __init__(
         self,
         simulator: Simulator,
-        resource_manager: ResourceManager,
+        pool: "ClusterPool",
         duration_model: TaskDurationModel,
         policy: TerminationPolicy | None = None,
         listeners: tuple[ExecutionListener, ...] = (),
+        on_complete: Callable[["TaskScheduler"], None] | None = None,
     ) -> None:
         self.simulator = simulator
-        self.resource_manager = resource_manager
+        self.pool = pool
         self.duration_model = duration_model
         self.policy = policy or NoEarlyTermination()
         self.listeners = list(listeners)
+        self.on_complete = on_complete
 
         self._query: QuerySpec | None = None
+        self._lease: "PoolLease | None" = None
         self._executors: dict[str, Executor] = {}
         self._ready_tasks: collections.deque[Task] = collections.deque()
         self._remaining_in_stage: dict[int, int] = {}
         self._unmet_deps: dict[int, int] = {}
         self._children: dict[int, list[StageSpec]] = {}
         self._stages_left = 0
+        self._submitted_at: float | None = None
         self._completed_at: float | None = None
         self._vms_still_booting = 0
-        # Drained SLs that must stay deployed (billed) until their static
+        # VM INSTANCE ID -> paired SL, consumed on VM readiness (relay).
+        self._relay_partner: dict[str, Instance] = {}
+        # Retired SLs that must stay leased (billed) until their static
         # timeout -- segueing semantics (SegueTimeoutPolicy).
         self._held_instance_ids: set[str] = set()
 
@@ -90,7 +111,7 @@ class TaskScheduler:
     # ------------------------------------------------------------------
 
     def submit(self, query: QuerySpec, n_vm: int, n_sl: int) -> None:
-        """Spawn the configuration and begin executing ``query``."""
+        """Lease the configuration and begin executing ``query``."""
         if self._query is not None:
             raise RuntimeError("this scheduler already ran a query")
         if n_vm < 0 or n_sl < 0:
@@ -99,33 +120,35 @@ class TaskScheduler:
             raise ValueError("at least one instance is required")
         self._query = query
         now = self.simulator.now
+        self._submitted_at = now
         self._notify("on_query_start", query, now)
 
-        rm = self.resource_manager
-        vms = rm.spawn_vms(n_vm, now)
-        sls = rm.spawn_sls(n_sl, now)
-        self._vms_still_booting = len(vms)
-        if self.policy.pairs_instances and rm.relay_enabled:
-            for sl, vm in zip(sls, vms):
-                rm.pair_for_relay(sl, vm)
-        for instance in [*sls, *vms]:
-            self.simulator.schedule(
-                rm.boot_duration(instance),
-                lambda inst=instance: self._on_instance_ready(inst),
-            )
-        timeout = self.policy.static_timeout_seconds
-        if timeout is not None and n_vm > 0:
-            # Segueing: the static timeout finally tears each SL down, no
-            # matter whether its VM replacement is actually ready.
-            for sl in sls:
-                self.simulator.schedule(
-                    timeout, lambda inst=sl: self._on_static_timeout(inst)
-                )
+        self._lease = self.pool.acquire(
+            n_vm,
+            n_sl,
+            on_instance_ready=self._on_instance_ready,
+            on_granted=self._on_lease_granted,
+        )
 
         self._initialise_stage_tracking(query)
         for stage in query.topological_stages():
             if self._unmet_deps[stage.stage_id] == 0:
                 self._enqueue_stage(stage, now)
+
+    def _on_lease_granted(self, lease: "PoolLease") -> None:
+        """Workers assigned (instantly, or after queueing under load)."""
+        self._vms_still_booting = len(lease.vms)
+        if self.policy.pairs_instances:
+            for sl, vm in zip(lease.sls, lease.vms):
+                self._relay_partner[vm.instance_id] = sl
+        timeout = self.policy.static_timeout_seconds
+        if timeout is not None and lease.vms:
+            # Segueing: the static timeout finally tears each SL down, no
+            # matter whether its VM replacement is actually ready.
+            for sl in lease.sls:
+                self.simulator.schedule(
+                    timeout, lambda inst=sl: self._on_static_timeout(inst)
+                )
 
     def _initialise_stage_tracking(self, query: QuerySpec) -> None:
         self._remaining_in_stage = {
@@ -149,68 +172,74 @@ class TaskScheduler:
     # Instance lifecycle
     # ------------------------------------------------------------------
 
-    def _on_instance_ready(self, instance: Instance) -> None:
+    def _on_instance_ready(self, instance: Instance, warm: bool) -> None:
         now = self.simulator.now
-        if instance.state is not InstanceState.BOOTING:
-            return  # terminated before boot completed (query already done)
-        self.resource_manager.mark_ready(instance, now)
         self._executors[instance.instance_id] = Executor(instance)
         self._notify("on_instance_ready", instance, now)
 
         if isinstance(instance, VMInstance):
             self._vms_still_booting -= 1
-            if self.policy.pairs_instances and self.resource_manager.relay_enabled:
+            if self.policy.pairs_instances:
                 hold = self.policy.holds_drained_instances
-                partner = self.resource_manager.relay_partner(instance)
+                partner = self._relay_partner.pop(instance.instance_id, None)
                 if partner is not None:
-                    self._drain_instance(partner, hold=hold)
+                    self._retire_instance(partner, hold=hold)
                 if self._vms_still_booting == 0:
                     # Hand-off complete: every VM is serving, so any
                     # unpaired SLs (nSL > nVM configurations) retire too --
                     # keeping them would only inflate cost (Section 4.3).
-                    for sl in list(self.resource_manager.sls):
-                        self._drain_instance(sl, hold=hold)
+                    assert self._lease is not None
+                    for sl in self._lease.sls:
+                        if self._lease.is_active(sl):
+                            self._retire_instance(sl, hold=hold)
         self._dispatch()
 
-    def _drain_instance(self, instance: Instance, hold: bool = False) -> None:
-        """Retire an instance: no new tasks; terminate when idle.
+    def _retire_instance(self, instance: Instance, hold: bool = False) -> None:
+        """Retire a worker from this query: no new tasks; release when idle.
 
-        With ``hold=True`` (segueing) the instance is *not* terminated on
-        idleness -- it stays deployed, and billed, until its static
-        timeout fires.
+        With ``hold=True`` (segueing) the worker is *not* released on
+        idleness -- it stays leased, and billed, until its static timeout
+        fires.
         """
-        now = self.simulator.now
-        if instance.state not in (InstanceState.RUNNING, InstanceState.BOOTING):
+        assert self._lease is not None
+        if not self._lease.is_active(instance):
+            return  # already released back to the pool
+        executor = self._executors.get(instance.instance_id)
+        if executor is None:
+            # Retired before its hand-over completed; release it straight
+            # back (a half-booted worker has run nothing).
+            self.pool.release_instance(self._lease, instance)
             return
-        if instance.state is InstanceState.BOOTING:
-            # Drained before it even booted; just release it.
-            self._terminate_instance(instance)
+        if executor.retiring:
             return
-        self.resource_manager.drain(instance, now)
+        executor.retiring = True
         if hold:
             self._held_instance_ids.add(instance.instance_id)
             return
-        executor = self._executors.get(instance.instance_id)
-        if executor is None or executor.is_idle:
-            self._terminate_instance(instance)
+        if executor.is_idle:
+            self._release_executor(executor)
 
     def _on_static_timeout(self, instance: Instance) -> None:
-        """Segueing timeout: the SL may finally be torn down."""
+        """Segueing timeout: the SL may finally be released."""
         self._held_instance_ids.discard(instance.instance_id)
-        if instance.state is InstanceState.DRAINING:
-            executor = self._executors.get(instance.instance_id)
-            if executor is None or executor.is_idle:
-                self._terminate_instance(instance)
+        assert self._lease is not None
+        if not self._lease.is_active(instance):
             return
-        self._drain_instance(instance)
+        executor = self._executors.get(instance.instance_id)
+        if executor is None:
+            self.pool.release_instance(self._lease, instance)
+            return
+        executor.retiring = True
+        if executor.is_idle:
+            self._release_executor(executor)
 
-    def _terminate_instance(self, instance: Instance) -> None:
-        now = self.simulator.now
-        if instance.state is InstanceState.TERMINATED:
-            return
-        self.resource_manager.terminate(instance, now)
+    def _release_executor(self, executor: Executor) -> None:
+        """Hand a worker back to the pool (it may stay warm there)."""
+        assert self._lease is not None
+        instance = executor.instance
         self._executors.pop(instance.instance_id, None)
-        self._notify("on_instance_terminated", instance, now)
+        self._notify("on_instance_terminated", instance, self.simulator.now)
+        self.pool.release_instance(self._lease, instance)
 
     # ------------------------------------------------------------------
     # Task dispatch
@@ -265,13 +294,13 @@ class TaskScheduler:
         if self._remaining_in_stage[stage_id] == 0:
             self._on_stage_complete(task.stage, now)
 
-        instance = executor.instance
         if (
-            instance.state is InstanceState.DRAINING
+            executor.retiring
             and executor.is_idle
-            and instance.instance_id not in self._held_instance_ids
+            and executor.instance.instance_id not in self._held_instance_ids
+            and self._completed_at is None
         ):
-            self._terminate_instance(instance)
+            self._release_executor(executor)
         self._dispatch()
 
     def _on_stage_complete(self, stage: StageSpec, now: float) -> None:
@@ -286,15 +315,23 @@ class TaskScheduler:
                 self._enqueue_stage(child, now)
 
     def _on_query_complete(self, now: float) -> None:
-        assert self._query is not None
+        assert self._query is not None and self._lease is not None
         self._completed_at = now
-        self.resource_manager.terminate_all(now)
         self._executors.clear()
+        self.pool.release(self._lease)
         self._notify("on_query_end", self._query, now)
+        if self.on_complete is not None:
+            self.on_complete(self)
 
     # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
+
+    @property
+    def lease(self) -> "PoolLease":
+        if self._lease is None:
+            raise RuntimeError("no query has been submitted")
+        return self._lease
 
     @property
     def completed(self) -> bool:
@@ -302,9 +339,17 @@ class TaskScheduler:
 
     @property
     def completion_time(self) -> float:
+        """Absolute simulated time the query finished at."""
         if self._completed_at is None:
             raise RuntimeError("the query has not completed")
         return self._completed_at
+
+    @property
+    def completion_seconds(self) -> float:
+        """Query duration from submission to the last stage's completion."""
+        if self._completed_at is None or self._submitted_at is None:
+            raise RuntimeError("the query has not completed")
+        return self._completed_at - self._submitted_at
 
     def _notify(self, hook: str, *args: object) -> None:
         for listener in self.listeners:

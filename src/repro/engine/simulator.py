@@ -5,6 +5,12 @@ simulated times and executed in time order (FIFO among equal times).  All
 higher layers -- instance boots, task completions, segueing timeouts --
 are expressed as events on this heap, so simulated results are completely
 deterministic for a given seed and independent of wall-clock time.
+
+``schedule`` / ``schedule_at`` return an :class:`EventHandle` that can be
+passed to :meth:`Simulator.cancel`.  Cancellation is lazy: the entry stays
+on the heap but is skipped (and not counted) when its time comes.  This is
+what keep-alive timers need -- a warm instance that gets reused cancels
+its pending expiry and schedules a fresh one on the next release.
 """
 
 from __future__ import annotations
@@ -13,7 +19,22 @@ import heapq
 import itertools
 from typing import Callable
 
-__all__ = ["Simulator"]
+__all__ = ["EventHandle", "Simulator"]
+
+
+class EventHandle:
+    """A cancellation token for one scheduled event."""
+
+    __slots__ = ("time", "callback", "cancelled")
+
+    def __init__(self, time: float, callback: Callable[[], None]) -> None:
+        self.time = time
+        self.callback = callback
+        self.cancelled = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"EventHandle(t={self.time:g}, {state})"
 
 
 class Simulator:
@@ -21,7 +42,7 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, EventHandle]] = []
         self._sequence = itertools.count()
         self._events_processed = 0
 
@@ -34,29 +55,45 @@ class Simulator:
     def events_processed(self) -> int:
         return self._events_processed
 
-    def schedule(self, delay: float, callback: Callable[[], None]) -> None:
+    def schedule(self, delay: float, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` after ``delay`` simulated seconds."""
         if delay < 0:
             raise ValueError("cannot schedule events in the past")
-        self.schedule_at(self._now + delay, callback)
+        return self.schedule_at(self._now + delay, callback)
 
-    def schedule_at(self, time: float, callback: Callable[[], None]) -> None:
+    def schedule_at(self, time: float, callback: Callable[[], None]) -> EventHandle:
         """Run ``callback`` at absolute simulated ``time``."""
         if time < self._now:
             raise ValueError(
                 f"cannot schedule at {time} (now is {self._now})"
             )
-        heapq.heappush(self._heap, (time, next(self._sequence), callback))
+        handle = EventHandle(time, callback)
+        heapq.heappush(self._heap, (time, next(self._sequence), handle))
+        return handle
+
+    def cancel(self, handle: EventHandle) -> bool:
+        """Cancel a scheduled event; returns whether it was still pending.
+
+        Cancelling an already-fired or already-cancelled handle is a no-op
+        (returns ``False``), so callers may cancel defensively.
+        """
+        if handle.cancelled:
+            return False
+        handle.cancelled = True
+        return True
 
     def step(self) -> bool:
-        """Process the next event; return ``False`` if the heap is empty."""
-        if not self._heap:
-            return False
-        time, _, callback = heapq.heappop(self._heap)
-        self._now = time
-        self._events_processed += 1
-        callback()
-        return True
+        """Process the next live event; return ``False`` if none remain."""
+        while self._heap:
+            time, _, handle = heapq.heappop(self._heap)
+            if handle.cancelled:
+                continue
+            self._now = time
+            self._events_processed += 1
+            handle.cancelled = True  # fired events cannot be cancelled
+            handle.callback()
+            return True
+        return False
 
     def run(self, max_events: int = 10_000_000) -> None:
         """Drain the event heap (bounded by ``max_events`` as a fuse)."""
@@ -69,16 +106,29 @@ class Simulator:
         )
 
     def run_until(self, time: float, max_events: int = 10_000_000) -> None:
-        """Process events up to simulated ``time`` (inclusive)."""
+        """Process events up to simulated ``time`` (inclusive).
+
+        Repeated calls with the same ``time`` are idempotent no-ops: the
+        first call drains every event at or before ``time`` and advances
+        the clock, so subsequent calls find nothing to do and return
+        immediately.  Only strictly earlier times are rejected.
+        """
         if time < self._now:
             raise ValueError("cannot run backwards in time")
         for _ in range(max_events):
-            if not self._heap or self._heap[0][0] > time:
+            if not self._peek_live() or self._heap[0][0] > time:
                 self._now = max(self._now, time)
                 return
             self.step()
         raise RuntimeError("simulation did not quiesce; likely an event loop")
 
+    def _peek_live(self) -> bool:
+        """Drop cancelled entries from the heap top; report liveness."""
+        while self._heap and self._heap[0][2].cancelled:
+            heapq.heappop(self._heap)
+        return bool(self._heap)
+
     @property
     def pending_events(self) -> int:
-        return len(self._heap)
+        """Number of live (non-cancelled) events still on the heap."""
+        return sum(1 for _, _, handle in self._heap if not handle.cancelled)

@@ -1,0 +1,273 @@
+"""Tests for the shared-cluster pool: warm reuse, keep-alive, queueing."""
+
+import numpy as np
+import pytest
+
+from repro.cloud import get_provider
+from repro.cloud.instances import InstanceKind, InstanceState
+from repro.cloud.pool import (
+    ClusterPool,
+    DemandAutoscaler,
+    FixedKeepAlive,
+    NoKeepAlive,
+    PoolConfig,
+)
+from repro.cloud.pricing import get_prices
+from repro.engine import Simulator, run_query
+from repro.workloads import make_uniform_query
+
+AWS = get_provider("aws").with_noise_sigma(0.0)
+AWS55 = AWS.with_boot_seconds(55.0)
+PRICES = get_prices("aws")
+
+
+def make_pool(simulator=None, **config_overrides):
+    defaults = dict(max_vms=4, max_sls=4)
+    defaults.update(config_overrides)
+    return ClusterPool(
+        simulator or Simulator(),
+        provider=AWS55,
+        prices=PRICES,
+        config=PoolConfig(**defaults),
+    )
+
+
+class Collector:
+    """Records instance hand-overs for assertions."""
+
+    def __init__(self):
+        self.ready = []
+
+    def __call__(self, instance, warm):
+        self.ready.append((instance, warm))
+
+
+class TestPoolConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PoolConfig(max_vms=-1)
+        with pytest.raises(ValueError):
+            PoolConfig(max_vms=0, max_sls=0)
+        with pytest.raises(ValueError):
+            PoolConfig(vm_keep_alive_s=-1.0)
+        with pytest.raises(ValueError):
+            PoolConfig(vm_keep_alive_s=float("inf"))
+
+
+class TestAcquireRelease:
+    def test_cold_acquire_boots_at_provider_latency(self):
+        sim = Simulator()
+        pool = make_pool(sim)
+        collector = Collector()
+        lease = pool.acquire(1, 1, on_instance_ready=collector)
+        assert lease.is_granted and lease.queueing_delay_s == 0.0
+        sim.run()
+        kinds = {inst.kind: warm for inst, warm in collector.ready}
+        assert kinds == {InstanceKind.VM: False, InstanceKind.SERVERLESS: False}
+        assert sim.now == pytest.approx(55.0)  # the VM boot dominates
+        assert pool.stats.cold_starts == 2 and pool.stats.warm_starts == 0
+
+    def test_release_without_keep_alive_terminates(self):
+        sim = Simulator()
+        pool = make_pool(sim)
+        collector = Collector()
+        lease = pool.acquire(1, 0, on_instance_ready=collector)
+        sim.run()
+        vm = lease.vms[0]
+        pool.release(lease)
+        assert vm.state is InstanceState.TERMINATED
+        assert pool.warm_vms == 0
+        assert lease.segments[0].seconds == pytest.approx(55.0)
+
+    def test_warm_reuse_within_keep_alive(self):
+        sim = Simulator()
+        pool = make_pool(sim, vm_keep_alive_s=120.0, warm_vm_boot_s=2.0)
+        first = pool.acquire(1, 0, on_instance_ready=Collector())
+        sim.run()
+        pool.release(first)
+        assert pool.warm_vms == 1
+
+        collector = Collector()
+        second = pool.acquire(1, 0, on_instance_ready=collector)
+        handed_at = sim.now
+        sim.run_until(handed_at + 2.0)
+        assert collector.ready and collector.ready[0][1] is True  # warm
+        assert second.vms[0] is first.vms[0]  # the same physical instance
+        assert pool.stats.warm_starts == 1
+        pool.release(second)
+
+    def test_keep_alive_expiry_terminates_and_bills(self):
+        sim = Simulator()
+        pool = make_pool(sim, vm_keep_alive_s=60.0)
+        lease = pool.acquire(1, 0, on_instance_ready=Collector())
+        sim.run()
+        released_at = sim.now
+        pool.release(lease)
+        sim.run()  # the expiry timer fires
+        vm = lease.vms[0]
+        assert vm.state is InstanceState.TERMINATED
+        assert sim.now == pytest.approx(released_at + 60.0)
+        assert pool.stats.expirations == 1
+        expected = 60.0 * (
+            PRICES.vm_per_second
+            + PRICES.vm_burst_per_second
+            + PRICES.vm_storage_per_second
+        )
+        assert pool.keepalive_cost_dollars == pytest.approx(expected)
+
+    def test_reuse_cancels_expiry_timer(self):
+        sim = Simulator()
+        pool = make_pool(sim, vm_keep_alive_s=60.0, warm_vm_boot_s=0.0)
+        first = pool.acquire(1, 0, on_instance_ready=Collector())
+        sim.run()
+        pool.release(first)
+        # Reacquire well within the window, hold past the original expiry.
+        second = pool.acquire(1, 0, on_instance_ready=Collector())
+        sim.run_until(sim.now + 300.0)
+        assert second.vms[0].state is InstanceState.RUNNING
+        assert pool.stats.expirations == 0
+        pool.release(second)
+
+    def test_release_during_warm_reattach_reparks(self):
+        # A warm instance released before its re-attach window elapses is
+        # RUNNING, not half-booted: it must return to the warm set instead
+        # of being terminated (terminating would waste paid keep-alive).
+        sim = Simulator()
+        pool = make_pool(sim, vm_keep_alive_s=600.0, warm_vm_boot_s=5.0)
+        first = pool.acquire(1, 0, on_instance_ready=Collector())
+        sim.run()
+        pool.release(first)
+        second = pool.acquire(1, 0, on_instance_ready=Collector())
+        pool.release(second)  # released mid-re-attach
+        vm = second.vms[0]
+        assert vm.state is InstanceState.RUNNING
+        assert pool.warm_vms == 1
+        third = pool.acquire(1, 0, on_instance_ready=Collector())
+        assert third.vms[0] is vm
+        assert pool.stats.warm_starts == 2
+        pool.release(third)
+
+    def test_idle_cost_accrues_on_reuse(self):
+        sim = Simulator()
+        pool = make_pool(sim, vm_keep_alive_s=100.0, warm_vm_boot_s=0.0)
+        first = pool.acquire(1, 0, on_instance_ready=Collector())
+        sim.run()
+        pool.release(first)
+        sim.run_until(sim.now + 40.0)
+        pool.acquire(1, 0, on_instance_ready=Collector())
+        expected = 40.0 * (
+            PRICES.vm_per_second
+            + PRICES.vm_burst_per_second
+            + PRICES.vm_storage_per_second
+        )
+        assert pool.keepalive_cost_dollars == pytest.approx(expected)
+
+    def test_validation(self):
+        pool = make_pool()
+        with pytest.raises(ValueError):
+            pool.acquire(-1, 0, on_instance_ready=Collector())
+        with pytest.raises(ValueError):
+            pool.acquire(0, 0, on_instance_ready=Collector())
+
+    def test_unsatisfiable_kind_rejected(self):
+        pool = make_pool(max_vms=0, max_sls=4)
+        with pytest.raises(ValueError):
+            pool.acquire(2, 0, on_instance_ready=Collector())
+
+
+class TestSaturationQueueing:
+    def test_requests_queue_fifo_when_saturated(self):
+        sim = Simulator()
+        pool = make_pool(sim, max_vms=2)
+        first = pool.acquire(2, 0, on_instance_ready=Collector())
+        second = pool.acquire(2, 0, on_instance_ready=Collector())
+        assert first.is_granted and not second.is_granted
+        assert pool.pending_requests == 1
+        sim.run()
+        pool.release(first)
+        assert second.is_granted
+        assert second.queueing_delay_s == pytest.approx(sim.now)
+        assert pool.stats.leases_queued == 1
+
+    def test_clamped_to_capacity(self):
+        pool = make_pool(max_vms=2, max_sls=1)
+        lease = pool.acquire(8, 8, on_instance_ready=Collector())
+        assert (lease.n_vm, lease.n_sl) == (2, 1)
+
+
+class TestAutoscalers:
+    def test_no_keep_alive_describe(self):
+        assert "no-keep-alive" in NoKeepAlive().describe()
+        assert NoKeepAlive().keep_alive(InstanceKind.VM, make_pool()) == 0.0
+
+    def test_fixed_keep_alive_per_kind(self):
+        policy = FixedKeepAlive(vm_keep_alive_s=60.0, sl_keep_alive_s=5.0)
+        pool = make_pool()
+        assert policy.keep_alive(InstanceKind.VM, pool) == 60.0
+        assert policy.keep_alive(InstanceKind.SERVERLESS, pool) == 5.0
+
+    def test_demand_autoscaler_scales_with_rate(self):
+        sim = Simulator()
+        pool = ClusterPool(
+            sim,
+            provider=AWS55,
+            prices=PRICES,
+            config=PoolConfig(max_vms=16, max_sls=16),
+            autoscaler=DemandAutoscaler(
+                window_s=100.0, headroom=2.0, max_keep_alive_s=500.0
+            ),
+        )
+        policy = pool.autoscaler
+        # No demand yet: nothing is kept warm.
+        assert policy.keep_alive(InstanceKind.VM, pool) == 0.0
+        for _ in range(10):
+            pool.acquire(1, 0, on_instance_ready=Collector())
+        # 10 grants in the window => rate 0.1/s => keep-alive 2/0.1 = 20 s.
+        assert policy.keep_alive(InstanceKind.VM, pool) == pytest.approx(20.0)
+
+    def test_demand_autoscaler_validation(self):
+        with pytest.raises(ValueError):
+            DemandAutoscaler(window_s=0.0)
+
+
+class TestSharedPoolQueries:
+    def test_sequential_run_query_reuses_warm_vms(self):
+        sim = Simulator()
+        pool = ClusterPool(
+            sim,
+            provider=AWS55,
+            prices=PRICES,
+            config=PoolConfig(
+                max_vms=4, max_sls=4, vm_keep_alive_s=600.0, warm_vm_boot_s=2.0
+            ),
+        )
+        query = make_uniform_query(20, 4.0)
+        cold = run_query(query, 2, 0, rng=0, pool=pool)
+        warm = run_query(query, 2, 0, rng=0, pool=pool)
+        assert cold.cold_acquisitions == 2 and cold.warm_acquisitions == 0
+        assert warm.warm_acquisitions == 2 and warm.cold_acquisitions == 0
+        # Warm starts skip the 55 s cold boot and bill fewer seconds.
+        assert warm.completion_seconds < cold.completion_seconds - 50.0
+        assert warm.cost_dollars < cold.cost_dollars
+
+    def test_private_pool_cost_matches_lease_accounting(self):
+        query = make_uniform_query(40, 2.0)
+        result = run_query(query, 2, 2, provider=AWS, rng=3)
+        c = result.cost
+        assert c.total == pytest.approx(c.vm_total + c.sl_total)
+        assert result.queueing_delay_s == 0.0
+        assert result.warm_acquisitions == 0
+        assert result.cold_acquisitions == 4
+
+    def test_shutdown_terminates_warm_instances(self):
+        sim = Simulator()
+        pool = make_pool(sim, vm_keep_alive_s=600.0)
+        lease = pool.acquire(2, 0, on_instance_ready=Collector())
+        sim.run()
+        pool.release(lease)
+        assert pool.warm_vms == 2
+        pool.shutdown()
+        assert pool.warm_vms == 0
+        assert all(
+            vm.state is InstanceState.TERMINATED for vm in lease.vms
+        )

@@ -120,3 +120,58 @@ class TestFeatureVector:
             FeatureVector.build(1, 2, -10.0, 0.0, 60.0)
         with pytest.raises(ValueError):
             FeatureVector.build(1, 2, 10.0, 0.0, -60.0)
+
+
+class TestFeatureMatrixConsistency:
+    def test_build_matrix_rows_equal_build(self):
+        """build_matrix must agree with build exactly, column for column.
+
+        Training rows come from build().as_array(); batched inference
+        rows come from build_matrix().  Any drift between the two skews
+        every batched prediction relative to the training distribution.
+        """
+        import numpy as np
+
+        from repro.core.features import FeatureVector
+
+        configs = [(0, 5), (3, 0), (2, 7), (12, 12)]
+        matrix = FeatureVector.build_matrix(
+            n_vm=np.array([c[0] for c in configs], dtype=float),
+            n_sl=np.array([c[1] for c in configs], dtype=float),
+            input_size_gb=123.0,
+            start_time_epoch=900.0,
+            historical_duration_s=77.5,
+            num_waiting_apps=3,
+        )
+        for row, (n_vm, n_sl) in zip(matrix, configs):
+            single = FeatureVector.build(
+                n_vm=n_vm,
+                n_sl=n_sl,
+                input_size_gb=123.0,
+                start_time_epoch=900.0,
+                historical_duration_s=77.5,
+                num_waiting_apps=3,
+            ).as_array()
+            assert np.array_equal(row, single)
+
+    def test_build_matrix_validation(self):
+        import numpy as np
+
+        from repro.core.features import FeatureVector
+
+        with pytest.raises(ValueError):
+            FeatureVector.build_matrix(
+                n_vm=np.array([0.0]),
+                n_sl=np.array([0.0]),
+                input_size_gb=1.0,
+                start_time_epoch=0.0,
+                historical_duration_s=1.0,
+            )
+        with pytest.raises(ValueError):
+            FeatureVector.build_matrix(
+                n_vm=np.array([1.0, 2.0]),
+                n_sl=np.array([1.0]),
+                input_size_gb=1.0,
+                start_time_epoch=0.0,
+                historical_duration_s=1.0,
+            )

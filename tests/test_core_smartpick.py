@@ -121,3 +121,51 @@ class TestGcpVariant:
         outcome = system.submit(get_query("tpcds-q82"))
         assert outcome.result.provider == "gcp"
         assert outcome.actual_seconds > 0
+
+
+class TestSubmitMany:
+    def test_batch_outcomes_match_queries(self, fresh_smartpick):
+        queries = [
+            get_query("tpcds-q82"),
+            get_query("tpcds-q82", input_gb=150.0),
+            get_query("tpcds-q68"),
+        ]
+        outcomes = fresh_smartpick.submit_many(queries)
+        assert [o.query_id for o in outcomes] == [q.query_id for q in queries]
+        for outcome in outcomes:
+            assert outcome.actual_seconds > 0
+            assert outcome.result.cost_dollars > 0
+            # The vectorized search is exhaustive over the grid.
+            assert outcome.decision.converged
+            assert outcome.decision.n_evaluations == len(
+                fresh_smartpick.predictor.candidate_grid("hybrid")
+            )
+
+    def test_later_arrivals_see_earlier_ones_waiting(self, fresh_smartpick):
+        queries = [get_query("tpcds-q82"), get_query("tpcds-q82")]
+        outcomes = fresh_smartpick.submit_many(queries)
+        waits = [o.record.features.num_waiting_apps for o in outcomes]
+        assert waits == [0, 1]
+
+    def test_empty_batch(self, fresh_smartpick):
+        assert fresh_smartpick.submit_many([]) == []
+
+    def test_batch_requires_bootstrap(self):
+        system = Smartpick(rng=0)
+        with pytest.raises(RuntimeError):
+            system.submit_many([get_query("tpcds-q82")])
+
+    def test_batch_decision_is_grid_optimum(self, fresh_smartpick):
+        # The batched exhaustive search must pick the grid's RF optimum.
+        predictor = fresh_smartpick.predictor
+        context = fresh_smartpick.mfe.build_request(
+            get_query("tpcds-q82"), predictor
+        )
+        (decision,) = predictor.determine_batch([context.request])
+        grid = predictor.candidate_grid("hybrid")
+        preds = predictor.predict_durations(
+            context.request.feature_matrix(grid)
+        )
+        assert decision.best_entry.estimated_seconds == pytest.approx(
+            float(preds.min())
+        )

@@ -85,35 +85,31 @@ class TestSchedulerEdges:
         result = run_query(query, 1, 0, provider=AWS, rng=2)
         assert result.metrics.stages_completed == 20
 
-    def test_double_submit_rejected(self):
+    @staticmethod
+    def _pool_scheduler():
+        from repro.cloud.pool import ClusterPool, PoolConfig
         from repro.cloud.pricing import get_prices
-        from repro.cloud.resource_manager import ResourceManager
         from repro.engine.scheduler import TaskScheduler
         from repro.engine.simulator import Simulator
         from repro.engine.task import TaskDurationModel
 
         sim = Simulator()
-        rm = ResourceManager(AWS, get_prices("aws"), relay_enabled=False)
-        scheduler = TaskScheduler(
-            sim, rm, TaskDurationModel(AWS, rng=0), NoEarlyTermination()
+        pool = ClusterPool(
+            sim, AWS, get_prices("aws"), config=PoolConfig(max_vms=2, max_sls=2)
         )
+        return TaskScheduler(
+            sim, pool, TaskDurationModel(AWS, rng=0), NoEarlyTermination()
+        )
+
+    def test_double_submit_rejected(self):
+        scheduler = self._pool_scheduler()
         query = make_uniform_query(2, 1.0)
         scheduler.submit(query, 1, 0)
         with pytest.raises(RuntimeError):
             scheduler.submit(query, 1, 0)
 
     def test_completion_time_before_done_raises(self):
-        from repro.cloud.pricing import get_prices
-        from repro.cloud.resource_manager import ResourceManager
-        from repro.engine.scheduler import TaskScheduler
-        from repro.engine.simulator import Simulator
-        from repro.engine.task import TaskDurationModel
-
-        sim = Simulator()
-        rm = ResourceManager(AWS, get_prices("aws"), relay_enabled=False)
-        scheduler = TaskScheduler(
-            sim, rm, TaskDurationModel(AWS, rng=0), NoEarlyTermination()
-        )
+        scheduler = self._pool_scheduler()
         scheduler.submit(make_uniform_query(2, 1.0), 1, 0)
         with pytest.raises(RuntimeError):
             _ = scheduler.completion_time

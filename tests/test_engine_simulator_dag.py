@@ -75,6 +75,58 @@ class TestSimulator:
         sim.run()
         assert sim.events_processed == 4
 
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        seen = []
+        keep = sim.schedule(1.0, lambda: seen.append("keep"))
+        drop = sim.schedule(2.0, lambda: seen.append("drop"))
+        assert sim.cancel(drop) is True
+        sim.run()
+        assert seen == ["keep"]
+        assert sim.events_processed == 1
+        assert keep is not None
+
+    def test_cancel_is_idempotent_and_post_fire_safe(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None)
+        sim.run()
+        assert sim.cancel(handle) is False  # already fired
+        other = sim.schedule(1.0, lambda: None)
+        assert sim.cancel(other) is True
+        assert sim.cancel(other) is False  # second cancel is a no-op
+
+    def test_cancelled_events_excluded_from_pending(self):
+        sim = Simulator()
+        sim.schedule(5.0, lambda: None)
+        handle = sim.schedule(6.0, lambda: None)
+        sim.cancel(handle)
+        assert sim.pending_events == 1
+
+    def test_timer_refresh_pattern(self):
+        # The keep-alive idiom: cancel the pending expiry, schedule anew.
+        sim = Simulator()
+        fired = []
+        handle = sim.schedule(10.0, lambda: fired.append("stale"))
+        sim.run_until(5.0)
+        sim.cancel(handle)
+        sim.schedule(10.0, lambda: fired.append("fresh"))
+        sim.run()
+        assert fired == ["fresh"]
+        assert sim.now == 15.0
+
+    def test_run_until_same_time_is_idempotent(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.0, lambda: seen.append(1))
+        sim.schedule(10.0, lambda: seen.append(10))
+        sim.run_until(5.0)
+        sim.run_until(5.0)  # a repeated call must be a no-op
+        assert seen == [1]
+        assert sim.now == 5.0
+        assert sim.pending_events == 1
+        with pytest.raises(ValueError):
+            sim.run_until(4.0)  # strictly earlier is still rejected
+
 
 class TestStageSpec:
     def test_validation(self):

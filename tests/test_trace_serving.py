@@ -3,12 +3,28 @@
 import numpy as np
 import pytest
 
+from repro import Smartpick, SmartpickProperties
+from repro.cloud.pool import PoolConfig
 from repro.core.serving import ServingSimulator
+from repro.workloads import get_query
 from repro.workloads.trace import (
     PoissonTraceGenerator,
     TraceEvent,
     WorkloadTrace,
 )
+
+
+def _small_system(seed: int = 43) -> Smartpick:
+    system = Smartpick(
+        SmartpickProperties(provider="AWS", relay=True),
+        max_vm=8,
+        max_sl=8,
+        rng=seed,
+    )
+    system.bootstrap(
+        [get_query("tpcds-q82")], n_configs_per_query=8, min_workers=3
+    )
+    return system
 
 
 def _generator(**overrides):
@@ -155,3 +171,86 @@ class TestServingSimulator:
         assert report.n_queries == 0
         with pytest.raises(ValueError):
             _ = report.slo_attainment
+
+
+def _bursty_trace(n: int = 6, spacing_s: float = 5.0) -> WorkloadTrace:
+    """Arrivals far denser than any query's completion time."""
+    return WorkloadTrace(events=tuple(
+        TraceEvent(i * spacing_s, "tpcds-q82") for i in range(n)
+    ))
+
+
+class TestSharedClusterServing:
+    def test_same_seed_gives_identical_reports(self):
+        trace = _bursty_trace(5, spacing_s=30.0)
+        config = PoolConfig(
+            max_vms=8, max_sls=8, vm_keep_alive_s=120.0, sl_keep_alive_s=30.0
+        )
+        reports = []
+        for _ in range(2):
+            system = _small_system(seed=77)
+            simulator = ServingSimulator(system, pool_config=config)
+            reports.append(simulator.replay(trace))
+        a, b = reports
+        assert list(a.latencies) == list(b.latencies)
+        assert list(a.queueing_delays) == list(b.queueing_delays)
+        assert a.total_cost_dollars == b.total_cost_dollars
+        assert a.keepalive_cost_dollars == b.keepalive_cost_dollars
+        assert a.pool_stats == b.pool_stats
+
+    def test_keep_alive_produces_warm_starts(self):
+        trace = _bursty_trace(6, spacing_s=5.0)
+        system = _small_system()
+        warm = ServingSimulator(
+            system,
+            pool_config=PoolConfig(
+                max_vms=16, max_sls=16,
+                vm_keep_alive_s=600.0, sl_keep_alive_s=600.0,
+            ),
+        ).replay(trace)
+        assert warm.warm_start_rate > 0.0
+        assert warm.pool_stats.warm_starts > 0
+        assert warm.keepalive_cost_dollars > 0.0
+
+    def test_cold_pool_never_warm_starts(self, fresh_smartpick):
+        trace = _bursty_trace(4, spacing_s=5.0)
+        report = ServingSimulator(fresh_smartpick).replay(trace)
+        assert report.warm_start_rate == 0.0
+        assert report.pool_stats.cold_starts > 0
+        assert report.keepalive_cost_dollars == 0.0
+
+    def test_saturation_grows_queueing_delay(self):
+        trace = _bursty_trace(6, spacing_s=2.0)
+        wide = ServingSimulator(
+            _small_system(seed=91),
+            pool_config=PoolConfig(max_vms=64, max_sls=64),
+        ).replay(trace)
+        tight = ServingSimulator(
+            _small_system(seed=91),
+            pool_config=PoolConfig(max_vms=2, max_sls=2),
+        ).replay(trace)
+        assert float(wide.queueing_delays.max()) == 0.0
+        assert float(tight.queueing_delays.max()) > 0.0
+        # Later arrivals wait behind earlier ones: delays are monotone
+        # non-decreasing once the pool saturates.
+        delays = list(tight.queueing_delays)
+        assert delays[-1] >= delays[1] > 0.0
+        assert tight.latency_percentile(95) > wide.latency_percentile(95)
+        assert tight.pool_stats.leases_queued > 0
+
+    def test_concurrent_arrivals_counted_as_waiting(self):
+        trace = _bursty_trace(3, spacing_s=1.0)
+        report = ServingSimulator(_small_system(seed=55)).replay(trace)
+        waits = [s.waiting_apps_at_submit for s in report.served]
+        assert waits == [0, 1, 2]
+
+    def test_summary_includes_pool_line(self):
+        trace = _bursty_trace(3, spacing_s=5.0)
+        report = ServingSimulator(
+            _small_system(seed=58),
+            pool_config=PoolConfig(
+                max_vms=16, max_sls=16, vm_keep_alive_s=300.0
+            ),
+        ).replay(trace)
+        assert "warm starts" in report.summary()
+        assert "queue p95" in report.summary()
