@@ -1,0 +1,365 @@
+"""Prediction hot-path benchmark: packed-forest engine + incremental GP.
+
+The Workload Predictor sits inline on every query arrival, so its
+RF + BO decision latency bounds serving throughput.  This bench measures
+the three inference shapes that dominate serving -- a single predict, a
+full 13x13 grid sizing, and ``submit_many`` over a bursty arrival batch
+-- comparing the packed-forest engine against the seed's per-tree Python
+loop (kept as ``RandomForestRegressor._tree_matrix_loop``), plus the
+Gaussian Process rank-1 Cholesky update against full refits.
+
+Results are printed and written to ``BENCH_inference.json`` (repo root
+by default) so future PRs have a perf trajectory to regress against; see
+the README "Performance" section for the schema.
+
+Run it standalone (the CI smoke job uses ``--quick``, which shrinks the
+workload and skips the perf assertions while keeping every correctness
+assertion)::
+
+    PYTHONPATH=src python benchmarks/bench_inference.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+import numpy as np
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro import Smartpick, SmartpickProperties  # noqa: E402
+from repro.cloud.pricing import get_prices  # noqa: E402
+from repro.cloud.providers import get_provider  # noqa: E402
+from repro.core.features import FEATURE_NAMES, FeatureVector  # noqa: E402
+from repro.core.predictor import PredictionRequest, WorkloadPredictor  # noqa: E402
+from repro.ml.dataset import Dataset  # noqa: E402
+from repro.ml.forest_native import kernel_name  # noqa: E402
+from repro.ml.gaussian_process import GaussianProcessRegressor  # noqa: E402
+from repro.ml.kernels import Matern52Kernel  # noqa: E402
+from repro.ml.random_forest import RandomForestRegressor  # noqa: E402
+from repro.workloads import get_query  # noqa: E402
+from repro.workloads.trace import PoissonTraceGenerator  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_inference.json"
+)
+
+
+def best_of(function, repeats: int) -> float:
+    """Minimum wall seconds over ``repeats`` calls (noise-robust)."""
+    samples = []
+    for _ in range(repeats):
+        started = time.perf_counter()
+        function()
+        samples.append(time.perf_counter() - started)
+    return min(samples)
+
+
+def build_predictor(n_trees: int, rng_seed: int = 11) -> WorkloadPredictor:
+    """A trained predictor shaped like the paper's (100 trees, 13x13 grid).
+
+    The training set mimics bootstrap output: random ``{nVM, nSL}``
+    configurations with a parallelism-curve duration law, run through the
+    usual ~10x data-burst augmentation.
+    """
+    rng = np.random.default_rng(rng_seed)
+    predictor = WorkloadPredictor(
+        provider=get_provider("AWS"),
+        prices=get_prices("AWS"),
+        max_vm=12,
+        max_sl=12,
+        n_estimators=n_trees,
+        rng=rng_seed,
+    )
+    n_samples = 120
+    n_vm = rng.integers(0, 13, n_samples)
+    n_sl = rng.integers(0, 13, n_samples)
+    n_vm = np.where(n_vm + n_sl == 0, 1, n_vm)
+    workers = n_vm + n_sl
+    durations = 900.0 / workers + 25.0 + rng.normal(0.0, 4.0, n_samples)
+    features = FeatureVector.build_matrix(
+        n_vm=n_vm.astype(np.float64),
+        n_sl=n_sl.astype(np.float64),
+        input_size_gb=100.0,
+        start_time_epoch=1000.0,
+        historical_duration_s=120.0,
+    )
+    dataset = Dataset(features, durations, feature_names=FEATURE_NAMES)
+    predictor.fit(dataset, augment=True)
+    return predictor
+
+
+def bench_forest(predictor: WorkloadPredictor, n_queries: int, repeats: int) -> dict:
+    """Single / grid / batched forest predict: packed vs per-tree loop."""
+    forest = predictor.forest
+    grid = predictor.candidate_grid("hybrid")
+    requests = [
+        PredictionRequest(
+            query_id=f"q{i}",
+            input_size_gb=80.0 + 5.0 * i,
+            start_time_epoch=2000.0 + i,
+            historical_duration_s=110.0 + i,
+            num_waiting_apps=i,
+        )
+        for i in range(n_queries)
+    ]
+    single = requests[0].feature_matrix(grid[:1])
+    one_grid = requests[0].feature_matrix(grid)
+    stacked = np.vstack([request.feature_matrix(grid) for request in requests])
+
+    def loop_predict(matrix):
+        return forest._tree_matrix_loop(matrix).mean(axis=0)
+
+    sections = {}
+    for name, matrix, reps in (
+        ("single_predict", single, repeats * 10),
+        ("grid_sizing", one_grid, repeats * 2),
+        ("batched_predict", stacked, repeats),
+    ):
+        packed = forest.predict(matrix)
+        loop = loop_predict(matrix)
+        identical = bool(np.array_equal(packed, loop))
+        assert identical, f"{name}: packed and per-tree predictions diverge"
+        packed_s = best_of(lambda m=matrix: forest.predict(m), reps)
+        loop_s = best_of(lambda m=matrix: loop_predict(m), max(reps // 2, 2))
+        sections[name] = {
+            "rows": int(matrix.shape[0]),
+            "loop_ms": loop_s * 1e3,
+            "packed_ms": packed_s * 1e3,
+            "speedup": loop_s / packed_s,
+            "identical": identical,
+        }
+    return sections
+
+
+class _FullRefitGP(GaussianProcessRegressor):
+    """The seed behaviour: every new observation refactors from scratch."""
+
+    def add_observation(self, point, target):  # noqa: D102
+        point = np.atleast_2d(np.asarray(point, dtype=np.float64))
+        if self._train_points is None:
+            self.fit(point, np.array([target]))
+            return
+        self._train_points = np.vstack([self._train_points, point])
+        self._train_targets = np.append(self._train_targets, float(target))
+        if self.normalize_targets:
+            self._target_mean = float(self._train_targets.mean())
+            std = float(self._train_targets.std())
+            self._target_std = std if std > 1e-12 else 1.0
+        self._refactor()
+
+
+def bench_gp(n_points: int) -> dict:
+    """Rank-1 Cholesky extension vs full refits over a BO-like run."""
+    rng = np.random.default_rng(5)
+    points = rng.uniform(0.0, 12.0, size=(n_points, 2))
+    values = -(900.0 / (1.0 + points.sum(axis=1))) + rng.normal(0.0, 1.0, n_points)
+    probes = rng.uniform(0.0, 12.0, size=(64, 2))
+
+    def run(gp_class):
+        gp = gp_class(kernel=Matern52Kernel(length_scale=4.0), noise=1e-2)
+        started = time.perf_counter()
+        for point, value in zip(points, values):
+            gp.add_observation(point, value)
+        elapsed = time.perf_counter() - started
+        mean, std = gp.predict(probes, return_std=True)
+        return elapsed, mean, std
+
+    rank1_s, rank1_mean, rank1_std = run(GaussianProcessRegressor)
+    full_s, full_mean, full_std = run(_FullRefitGP)
+    max_diff = float(
+        max(np.abs(rank1_mean - full_mean).max(), np.abs(rank1_std - full_std).max())
+    )
+    assert max_diff < 1e-8, f"rank-1 GP drifted from full refits: {max_diff:.2e}"
+    return {
+        "n_observations": n_points,
+        "full_refit_ms": full_s * 1e3,
+        "rank1_ms": rank1_s * 1e3,
+        "speedup": full_s / rank1_s,
+        "max_abs_diff": max_diff,
+    }
+
+
+def bench_submit_many(n_arrivals: int, quick: bool) -> dict:
+    """End-to-end ``submit_many`` on a bursty arrival batch.
+
+    Two identically-seeded systems serve the same queued batch; one has
+    the forest's packed engine swapped back to the per-tree loop.  The
+    engines predict bitwise-identically, so the decisions and simulated
+    executions match exactly and the measured difference is pure
+    inference time.
+    """
+    trace = PoissonTraceGenerator(
+        query_mix={"tpcds-q82": 3.0, "tpcds-q68": 2.0, "tpcds-q49": 1.0},
+        rate_per_minute=4.0,
+        burst_factor=5.0,
+        burst_fraction=0.3,
+        input_gb=100.0,
+        rng=7,
+    ).generate(duration_minutes=60.0)
+    queued = [
+        get_query(event.query_id, input_gb=event.input_gb)
+        for event in trace.events[:n_arrivals]
+    ]
+
+    def build_system() -> Smartpick:
+        system = Smartpick(
+            SmartpickProperties(
+                provider="AWS", relay=True, error_difference_trigger=1e9
+            ),
+            max_vm=12,
+            max_sl=12,
+            rng=303,
+        )
+        system.bootstrap(
+            [get_query(query_id) for query_id in ("tpcds-q82", "tpcds-q68")],
+            n_configs_per_query=6 if quick else 10,
+        )
+        return system
+
+    def serve(system: Smartpick, n_batches: int = 3):
+        """Serve the batch repeatedly; per-batch minima damp timer noise.
+
+        Both engines predict bitwise-identically, so the systems evolve
+        through identical states batch after batch and stay comparable.
+        """
+        walls, decides, predicted = [], [], []
+        for _ in range(n_batches):
+            started = time.perf_counter()
+            outcomes = system.submit_many(queued)
+            walls.append(time.perf_counter() - started)
+            decides.append(
+                sum(outcome.decision.inference_seconds for outcome in outcomes)
+            )
+            predicted.append(
+                [outcome.predicted_seconds for outcome in outcomes]
+            )
+        return min(walls), min(decides), predicted
+
+    packed_wall, packed_decide, packed_predicted = serve(build_system())
+    original = RandomForestRegressor._tree_matrix
+    RandomForestRegressor._tree_matrix = RandomForestRegressor._tree_matrix_loop
+    try:
+        loop_wall, loop_decide, loop_predicted = serve(build_system())
+    finally:
+        RandomForestRegressor._tree_matrix = original
+    assert packed_predicted == loop_predicted, "engines disagreed end-to-end"
+
+    return {
+        "n_arrivals": len(queued),
+        "loop_wall_ms": loop_wall * 1e3,
+        "packed_wall_ms": packed_wall * 1e3,
+        "loop_decision_ms": loop_decide * 1e3,
+        "packed_decision_ms": packed_decide * 1e3,
+        "decision_speedup": loop_decide / packed_decide,
+        "identical_decisions": True,
+    }
+
+
+def bench_decision_cache(
+    predictor: WorkloadPredictor, n_queries: int, repeats: int
+) -> dict:
+    """Repeated identical batches: cold grid pass vs memoized decisions."""
+    requests = [
+        PredictionRequest(
+            query_id=f"q{i}",
+            input_size_gb=80.0 + 5.0 * i,
+            start_time_epoch=2000.0 + i,
+            historical_duration_s=110.0 + i,
+            num_waiting_apps=i,
+        )
+        for i in range(n_queries)
+    ]
+    predictor._decision_cache.clear()
+    predictor._decision_probation.clear()
+    started = time.perf_counter()
+    cold = predictor.determine_batch(requests)
+    cold_s = time.perf_counter() - started
+    warm_s = best_of(lambda: predictor.determine_batch(requests), repeats)
+    warm = predictor.determine_batch(requests)
+    assert [decision.config for decision in warm] == [
+        decision.config for decision in cold
+    ], "cached decisions diverged from the cold pass"
+    return {
+        "n_requests": n_queries,
+        "cold_ms": cold_s * 1e3,
+        "cached_ms": warm_s * 1e3,
+        "speedup": cold_s / warm_s,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="small workload, correctness assertions only (CI smoke mode)",
+    )
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    args = parser.parse_args(argv)
+
+    n_trees = 25 if args.quick else 100
+    n_queries = 8 if args.quick else 32
+    repeats = 3 if args.quick else 7
+    # Rank-1 GP updates win asymptotically (O(n^2) vs O(n^3)); below
+    # ~60 observations LAPACK call overhead hides the difference, so the
+    # bench sizes the run where the scaling is visible.
+    gp_points = 120 if args.quick else 240
+    engine = kernel_name()
+
+    print(f"packed-forest inference bench (engine={engine}, quick={args.quick})")
+    print(f"forest: {n_trees} trees, grid 13x13, batch {n_queries} queries")
+
+    predictor = build_predictor(n_trees)
+    results = bench_forest(predictor, n_queries, repeats)
+    results["gp_update"] = bench_gp(gp_points)
+    results["decision_cache"] = bench_decision_cache(predictor, n_queries, repeats)
+    results["submit_many"] = bench_submit_many(n_queries, args.quick)
+
+    for name, row in results.items():
+        metrics = ", ".join(
+            f"{key}={value:.3f}" if isinstance(value, float) else f"{key}={value}"
+            for key, value in row.items()
+        )
+        print(f"  {name}: {metrics}")
+
+    if not args.quick:
+        batched = results["batched_predict"]
+        assert batched["speedup"] >= 5.0, (
+            "acceptance: packed batched predict must be >= 5x the per-tree "
+            f"loop, measured {batched['speedup']:.1f}x"
+        )
+        print(
+            f"acceptance ok: batched predict {batched['speedup']:.1f}x "
+            f"(>= 5x), predictions bitwise identical"
+        )
+
+    payload = {
+        "schema_version": 1,
+        "bench": "inference",
+        "engine": engine,
+        "quick": args.quick,
+        "config": {
+            "n_trees": n_trees,
+            "grid": "13x13",
+            "n_queries": n_queries,
+            "gp_points": gp_points,
+        },
+        "results": results,
+    }
+    output = os.path.abspath(args.output)
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -45,6 +45,9 @@ __all__ = [
 
 _MODES = ("hybrid", "vm-only", "sl-only")
 
+#: Upper bound on memoized grid decisions kept per predictor (FIFO eviction).
+_DECISION_CACHE_LIMIT = 1024
+
 
 @dataclasses.dataclass(frozen=True)
 class PredictionRequest:
@@ -157,8 +160,8 @@ class WorkloadPredictor:
     ) -> None:
         if max_vm < 0 or max_sl < 0 or max_vm + max_sl == 0:
             raise ValueError("the search grid must contain a worker")
-        self.provider = provider
-        self.prices = prices
+        self._provider = provider
+        self._prices = prices
         self.relay = relay
         self.max_vm = max_vm
         self.max_sl = max_sl
@@ -185,6 +188,35 @@ class WorkloadPredictor:
         self.known_queries: set[str] = set()
         self.model_version = 0
         self.training_set_size = 0
+        # Hot-path caches: the candidate grid per mode, the Eq. 4 rate
+        # constants (the price book is fixed at construction -- `prices`
+        # is a read-only property so the hoist cannot silently go stale),
+        # and the per-model-version decision memo used by determine_batch
+        # (two-touch admission: a key is memoized on its second miss, so
+        # never-repeated requests cannot pollute the cache).
+        self._grid_cache: dict[tuple[str, int, int], np.ndarray] = {}
+        self._vm_rate = (
+            prices.vm_per_second
+            + prices.vm_burst_per_second
+            + prices.vm_storage_per_second
+        )
+        self._sl_rate = prices.sl_per_second
+        self._redis_rate = prices.redis_per_second
+        self._decision_cache: dict[
+            tuple,
+            tuple[list[EstimatedTimeEntry], EstimatedTimeEntry, EstimatedTimeEntry],
+        ] = {}
+        self._decision_probation: dict[tuple, None] = {}
+
+    @property
+    def provider(self) -> ProviderProfile:
+        """The target cloud profile (read-only after construction)."""
+        return self._provider
+
+    @property
+    def prices(self) -> PriceBook:
+        """The price book (read-only: the Eq. 4 rates are hoisted)."""
+        return self._prices
 
     # ------------------------------------------------------------------
     # Training
@@ -264,41 +296,77 @@ class WorkloadPredictor:
 
         Under relay, SLs only run for the VM cold-boot window (their usage
         time ``t_sl`` is capped at the boot latency whenever VMs are part
-        of the configuration).
+        of the configuration).  The per-second rates are hoisted to
+        construction time (``_vm_rate`` etc.); the price book never
+        changes after that.
         """
-        prices = self.prices
-        vm_rate = (
-            prices.vm_per_second
-            + prices.vm_burst_per_second
-            + prices.vm_storage_per_second
-        )
         t_vm = t_est
         if self.relay and n_vm > 0:
             t_sl = min(t_est, self.provider.vm_boot_seconds)
         else:
             t_sl = t_est
-        cost = n_vm * t_vm * vm_rate + n_sl * t_sl * prices.sl_per_second
+        cost = n_vm * t_vm * self._vm_rate + n_sl * t_sl * self._sl_rate
         if n_sl > 0:
-            cost += t_est * prices.redis_per_second
+            cost += t_est * self._redis_rate
         return cost
+
+    def estimate_costs(
+        self, t_est: np.ndarray, candidates: np.ndarray
+    ) -> np.ndarray:
+        """Batched :meth:`estimate_cost` over a whole Estimated Time list.
+
+        ``t_est`` holds one duration estimate per ``(nVM, nSL)`` row of
+        ``candidates``; the result is bitwise equal to calling
+        :meth:`estimate_cost` per entry (same operations in the same
+        order), just as one array expression.
+        """
+        t_est = np.asarray(t_est, dtype=np.float64)
+        candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
+        if candidates.shape[0] != t_est.shape[0]:
+            raise ValueError("t_est and candidates disagree on entry count")
+        n_vm = candidates[:, 0]
+        n_sl = candidates[:, 1]
+        if self.relay:
+            t_sl = np.where(
+                n_vm > 0,
+                np.minimum(t_est, self.provider.vm_boot_seconds),
+                t_est,
+            )
+        else:
+            t_sl = t_est
+        costs = n_vm * t_est * self._vm_rate + n_sl * t_sl * self._sl_rate
+        return costs + np.where(n_sl > 0, t_est * self._redis_rate, 0.0)
 
     # ------------------------------------------------------------------
     # Resource determination (Eq. 2 + Eq. 4)
     # ------------------------------------------------------------------
 
     def candidate_grid(self, mode: str = "hybrid") -> np.ndarray:
-        """The ``{nVM, nSL}`` search space for a determination mode."""
+        """The ``{nVM, nSL}`` search space for a determination mode.
+
+        Built once per ``(mode, max_vm, max_sl)`` and memoized; the
+        returned array is marked read-only because every caller shares
+        the same instance.
+        """
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
-        candidates = []
-        vm_range = range(self.max_vm + 1) if mode != "sl-only" else (0,)
-        sl_range = range(self.max_sl + 1) if mode != "vm-only" else (0,)
-        for n_vm in vm_range:
-            for n_sl in sl_range:
-                if n_vm + n_sl == 0:
-                    continue
-                candidates.append((float(n_vm), float(n_sl)))
-        return np.asarray(candidates)
+        key = (mode, self.max_vm, self.max_sl)
+        grid = self._grid_cache.get(key)
+        if grid is None:
+            vm_range = (
+                np.arange(self.max_vm + 1) if mode != "sl-only" else np.zeros(1)
+            )
+            sl_range = (
+                np.arange(self.max_sl + 1) if mode != "vm-only" else np.zeros(1)
+            )
+            # indexing="ij" + ravel keeps the nested-loop order: nVM is
+            # the slow axis, nSL the fast one.
+            vm, sl = np.meshgrid(vm_range, sl_range, indexing="ij")
+            grid = np.column_stack((vm.ravel(), sl.ravel())).astype(np.float64)
+            grid = grid[grid.sum(axis=1) > 0]
+            grid.setflags(write=False)
+            self._grid_cache[key] = grid
+        return grid
 
     def determine(
         self,
@@ -337,30 +405,30 @@ class WorkloadPredictor:
         result = optimizer.maximize(max_iterations=max_iterations)
 
         # One batched forest pass covers every probe plus the winner --
-        # the noise-free counterpart of the noisy Eq. 2 objective values.
+        # the noise-free counterpart of the noisy Eq. 2 objective values --
+        # and one batched cost pass prices the whole Estimated Time list.
         probe_points = np.array(
             [probe.point for probe in result.history] + [result.best_point]
         )
         estimates = self.predict_durations(request.feature_matrix(probe_points))
-        et_list = []
-        for point, t_est in zip(probe_points[:-1], estimates[:-1]):
-            n_vm, n_sl = int(point[0]), int(point[1])
-            et_list.append(
-                EstimatedTimeEntry(
-                    n_vm=n_vm,
-                    n_sl=n_sl,
-                    estimated_seconds=float(t_est),
-                    estimated_cost=self.estimate_cost(float(t_est), n_vm, n_sl),
-                )
+        costs = self.estimate_costs(estimates, probe_points)
+        et_list = [
+            EstimatedTimeEntry(
+                n_vm=int(point[0]),
+                n_sl=int(point[1]),
+                estimated_seconds=float(t_est),
+                estimated_cost=float(cost),
             )
+            for point, t_est, cost in zip(
+                probe_points[:-1], estimates[:-1], costs[:-1]
+            )
+        ]
 
-        best_vm, best_sl = int(result.best_point[0]), int(result.best_point[1])
-        t_best = float(estimates[-1])
         best_entry = EstimatedTimeEntry(
-            n_vm=best_vm,
-            n_sl=best_sl,
-            estimated_seconds=t_best,
-            estimated_cost=self.estimate_cost(t_best, best_vm, best_sl),
+            n_vm=int(result.best_point[0]),
+            n_sl=int(result.best_point[1]),
+            estimated_seconds=float(estimates[-1]),
+            estimated_cost=float(costs[-1]),
         )
         chosen = select_with_knob(et_list, best_entry, knob)
         elapsed = time.perf_counter() - started
@@ -394,6 +462,14 @@ class WorkloadPredictor:
         (the BO loop merely approximates it with fewer probes), so the
         resulting Estimated Time lists cover the entire grid and the Eq. 4
         knob selection applies unchanged.
+
+        Decisions are memoized per model version: requests with identical
+        ``(query class, features, knob, mode)`` reuse the cached grid
+        decision instead of re-running the forest, both within one batch
+        and across successive calls.  Admission is two-touch -- a key is
+        memoized from its second miss onward -- so never-repeated
+        requests leave only a lightweight probation marker instead of
+        filling the cache with dead Estimated Time lists.
         """
         if not self.is_trained:
             raise RuntimeError("the prediction model has not been trained")
@@ -402,28 +478,71 @@ class WorkloadPredictor:
         started = time.perf_counter()
         candidates = self.candidate_grid(mode)
         grid_size = candidates.shape[0]
-        stacked = np.vstack(
-            [request.feature_matrix(candidates) for request in requests]
-        )
-        estimates = self.predict_durations(stacked)
+
+        # Identical (query class, features, knob, mode) requests under the
+        # current model resolve to identical grid decisions, so each unique
+        # key is sized once -- within this batch and across calls (memoized
+        # per model_version with FIFO eviction).
+        keys = [self._decision_key(request, knob, mode) for request in requests]
+        # Resolve into a batch-local map first: FIFO eviction below must
+        # never drop an entry this batch still needs.
+        resolved: dict[
+            tuple,
+            tuple[list[EstimatedTimeEntry], EstimatedTimeEntry, EstimatedTimeEntry],
+        ] = {}
+        fresh_seen: set[tuple] = set()
+        fresh_keys: list[tuple] = []
+        fresh_requests: list[PredictionRequest] = []
+        for key, request in zip(keys, requests):
+            if key in resolved or key in fresh_seen:
+                continue
+            cached = self._decision_cache.get(key)
+            if cached is not None:
+                resolved[key] = cached
+            else:
+                fresh_seen.add(key)
+                fresh_keys.append(key)
+                fresh_requests.append(request)
+
+        if fresh_requests:
+            stacked = np.vstack(
+                [request.feature_matrix(candidates) for request in fresh_requests]
+            )
+            estimates = self.predict_durations(stacked)
+            for index, key in enumerate(fresh_keys):
+                block = estimates[index * grid_size : (index + 1) * grid_size]
+                costs = self.estimate_costs(block, candidates)
+                et_list = [
+                    EstimatedTimeEntry(
+                        n_vm=int(point[0]),
+                        n_sl=int(point[1]),
+                        estimated_seconds=float(t_est),
+                        estimated_cost=float(cost),
+                    )
+                    for point, t_est, cost in zip(candidates, block, costs)
+                ]
+                best_entry = min(et_list, key=lambda e: e.estimated_seconds)
+                chosen = select_with_knob(et_list, best_entry, knob)
+                resolved[key] = (et_list, best_entry, chosen)
+                # Two-touch admission: memoize the (heavy) decision only
+                # once the key has repeated, so one-shot requests leave a
+                # bare key in probation instead of a 169-entry ET list.
+                if key in self._decision_probation:
+                    del self._decision_probation[key]
+                    while len(self._decision_cache) >= _DECISION_CACHE_LIMIT:
+                        self._decision_cache.pop(next(iter(self._decision_cache)))
+                    self._decision_cache[key] = resolved[key]
+                else:
+                    while len(self._decision_probation) >= 4 * _DECISION_CACHE_LIMIT:
+                        self._decision_probation.pop(
+                            next(iter(self._decision_probation))
+                        )
+                    self._decision_probation[key] = None
         elapsed = time.perf_counter() - started
 
         decisions = []
-        for index, request in enumerate(requests):
-            block = estimates[index * grid_size : (index + 1) * grid_size]
-            et_list = [
-                EstimatedTimeEntry(
-                    n_vm=int(point[0]),
-                    n_sl=int(point[1]),
-                    estimated_seconds=float(t_est),
-                    estimated_cost=self.estimate_cost(
-                        float(t_est), int(point[0]), int(point[1])
-                    ),
-                )
-                for point, t_est in zip(candidates, block)
-            ]
-            best_entry = min(et_list, key=lambda e: e.estimated_seconds)
-            chosen = select_with_knob(et_list, best_entry, knob)
+        for key, request in zip(keys, requests):
+            et_list, best_entry, chosen = resolved[key]
             decisions.append(
                 ConfigDecision(
                     query_id=request.query_id,
@@ -434,10 +553,35 @@ class WorkloadPredictor:
                     knob=knob,
                     best_entry=best_entry,
                     chosen_entry=chosen,
-                    et_list=et_list,
+                    # Entries are frozen, but the list itself is mutable --
+                    # hand each decision its own copy.
+                    et_list=list(et_list),
                     n_evaluations=grid_size,
                     converged=True,
                     inference_seconds=elapsed / len(requests),
                 )
             )
         return decisions
+
+    def _decision_key(
+        self, request: PredictionRequest, knob: float, mode: str
+    ) -> tuple:
+        """Everything a batched grid decision depends on.
+
+        ``max_vm`` / ``max_sl`` / ``relay`` are public mutable attributes
+        (the grid cache keys on the bounds for the same reason), so they
+        are part of the key even though they rarely change.
+        """
+        return (
+            self.model_version,
+            mode,
+            float(knob),
+            self.max_vm,
+            self.max_sl,
+            self.relay,
+            request.query_id,
+            request.input_size_gb,
+            request.start_time_epoch,
+            request.historical_duration_s,
+            request.num_waiting_apps,
+        )

@@ -107,6 +107,31 @@ class ServingReport:
         return self.pool_stats.warm_start_rate
 
     @property
+    def decision_seconds(self) -> np.ndarray:
+        """Per-query Workload Predictor decision latency (inference time).
+
+        The predictor sits inline on every arrival, so this is the
+        serving-side overhead the packed-forest inference engine exists
+        to shrink; track it per replay to catch hot-path regressions.
+        Serving decides per arrival, so each value is a real per-query
+        measurement; decisions that came from one ``determine_batch``
+        call instead carry the batch mean.
+        """
+        return np.array(
+            [s.outcome.decision.inference_seconds for s in self.served]
+        )
+
+    def decision_latency_percentile(self, percentile: float) -> float:
+        if not self.served:
+            raise ValueError("the report is empty")
+        return float(np.percentile(self.decision_seconds, percentile))
+
+    @property
+    def total_decision_seconds(self) -> float:
+        """Cumulative time spent inside resource determination."""
+        return float(self.decision_seconds.sum())
+
+    @property
     def n_aliens(self) -> int:
         return sum(1 for s in self.served if s.outcome.is_alien)
 

@@ -7,6 +7,9 @@ No ML library is available offline, so this package implements the full stack:
 
 - :mod:`repro.ml.decision_tree` -- CART regression trees.
 - :mod:`repro.ml.random_forest` -- bagging ensembles with ``warm_start``.
+- :mod:`repro.ml.forest_inference` -- the packed-forest inference engine
+  (one lock-step descent for the whole ensemble, optionally through a
+  compiled kernel from :mod:`repro.ml.forest_native`).
 - :mod:`repro.ml.kernels` -- covariance kernels for Gaussian Processes.
 - :mod:`repro.ml.gaussian_process` -- exact GP regression via Cholesky.
 - :mod:`repro.ml.acquisition` -- PI, EI and UCB acquisition functions.
@@ -27,6 +30,7 @@ from repro.ml.acquisition import (
 from repro.ml.bayesian_optimizer import BayesianOptimizer, BOResult
 from repro.ml.dataset import DataBurstAugmenter, Dataset, train_test_split
 from repro.ml.decision_tree import DecisionTreeRegressor
+from repro.ml.forest_inference import PackedForest
 from repro.ml.gaussian_process import GaussianProcessRegressor
 from repro.ml.kernels import Kernel, Matern52Kernel, RBFKernel, WhiteKernel
 from repro.ml.metrics import (
@@ -50,6 +54,7 @@ __all__ = [
     "GaussianProcessRegressor",
     "Kernel",
     "Matern52Kernel",
+    "PackedForest",
     "ProbabilityOfImprovement",
     "RBFKernel",
     "RandomForestRegressor",

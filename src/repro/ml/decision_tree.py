@@ -304,18 +304,28 @@ class DecisionTreeRegressor:
         return out
 
     def decision_path_length(self, features: np.ndarray) -> np.ndarray:
-        """Depth of the leaf each row lands in (root = 0)."""
+        """Depth of the leaf each row lands in (root = 0).
+
+        Same vectorised lock-step descent as :meth:`predict`: all rows
+        advance one level per iteration, and rows that reach a leaf drop
+        out of the active set.
+        """
         buffers = self._require_fitted()
         features = np.atleast_2d(np.asarray(features, dtype=np.float64))
         depths = np.zeros(features.shape[0], dtype=np.int64)
-        for row in range(features.shape[0]):
-            node = 0
-            while buffers.left[node] != _NO_CHILD:
-                if features[row, buffers.feature[node]] <= buffers.threshold[node]:
-                    node = int(buffers.left[node])
-                else:
-                    node = int(buffers.right[node])
-                depths[row] += 1
+        node_of_row = np.zeros(features.shape[0], dtype=np.int64)
+        active = buffers.left[node_of_row] != _NO_CHILD
+        while np.any(active):
+            rows = np.nonzero(active)[0]
+            nodes = node_of_row[rows]
+            go_left = (
+                features[rows, buffers.feature[nodes]] <= buffers.threshold[nodes]
+            )
+            node_of_row[rows] = np.where(
+                go_left, buffers.left[nodes], buffers.right[nodes]
+            )
+            depths[rows] += 1
+            active[rows] = buffers.left[node_of_row[rows]] != _NO_CHILD
         return depths
 
     def feature_importances(self) -> np.ndarray:

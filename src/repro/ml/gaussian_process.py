@@ -77,11 +77,17 @@ class GaussianProcessRegressor:
         return self
 
     def add_observation(self, point: np.ndarray, target: float) -> None:
-        """Add one observation, re-conditioning the posterior.
+        """Add one observation, re-conditioning the posterior in O(n^2).
 
-        Re-normalisation means the full factorisation is redone; with the BO
-        loop's tens of points this costs microseconds and keeps the maths
-        simple and numerically safe.
+        The Cholesky factor depends only on the kernel matrix, never on
+        the targets, so it is *extended* by one rank-1 row (a triangular
+        solve for the new column plus a scalar Schur complement) instead
+        of being refactored from scratch.  Target re-normalisation only
+        requires re-solving for ``alpha`` against the existing factor --
+        also O(n^2) -- which takes the BO loop's per-probe cost from
+        O(n^3) to O(n^2).  A full refactorisation only happens when the
+        extension is numerically unsafe (non-positive Schur complement
+        from a near-duplicate point at tiny noise).
         """
         point = np.atleast_2d(np.asarray(point, dtype=np.float64))
         if point.shape[0] != 1:
@@ -90,21 +96,53 @@ class GaussianProcessRegressor:
             self.fit(point, np.array([target]))
             return
         assert self._train_targets is not None
+        extended = self._extend_cholesky(point)
         self._train_points = np.vstack([self._train_points, point])
         self._train_targets = np.append(self._train_targets, float(target))
         if self.normalize_targets:
             self._target_mean = float(self._train_targets.mean())
             std = float(self._train_targets.std())
             self._target_std = std if std > 1e-12 else 1.0
-        self._refactor()
+        if extended:
+            self._resolve_alpha()
+        else:
+            self._refactor()
+
+    def _extend_cholesky(self, point: np.ndarray) -> bool:
+        """Grow the factor by one row for ``point``; ``False`` = unsafe.
+
+        With ``K_new = [[K, k], [k^T, kappa]]`` the new factor is
+        ``[[L, 0], [c^T, sqrt(kappa - c^T c)]]`` where ``L c = k`` -- the
+        last step of the standard Cholesky algorithm, so the result is
+        identical to refactoring from scratch.
+        """
+        if self._cholesky is None or self._train_points is None:
+            return False
+        cross = self.kernel(self._train_points, point).ravel()
+        kappa = float(self.kernel(point, point)[0, 0]) + self.noise**2 + 1e-10
+        column = scipy.linalg.solve_triangular(self._cholesky, cross, lower=True)
+        schur = kappa - float(column @ column)
+        if schur <= 1e-12:
+            return False
+        n = self._cholesky.shape[0]
+        grown = np.zeros((n + 1, n + 1))
+        grown[:n, :n] = self._cholesky
+        grown[n, :n] = column
+        grown[n, n] = np.sqrt(schur)
+        self._cholesky = grown
+        return True
+
+    def _resolve_alpha(self) -> None:
+        assert self._train_targets is not None and self._cholesky is not None
+        normalized = (self._train_targets - self._target_mean) / self._target_std
+        self._alpha = scipy.linalg.cho_solve((self._cholesky, True), normalized)
 
     def _refactor(self) -> None:
         assert self._train_points is not None and self._train_targets is not None
-        normalized = (self._train_targets - self._target_mean) / self._target_std
         gram = self.kernel(self._train_points, self._train_points)
         gram = gram + (self.noise**2 + 1e-10) * np.eye(gram.shape[0])
         self._cholesky = scipy.linalg.cholesky(gram, lower=True)
-        self._alpha = scipy.linalg.cho_solve((self._cholesky, True), normalized)
+        self._resolve_alpha()
 
     # ------------------------------------------------------------------
     # Posterior queries

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.ml.decision_tree import DecisionTreeRegressor
+from repro.ml.forest_inference import PackedForest
 
 __all__ = ["RandomForestRegressor"]
 
@@ -75,6 +76,7 @@ class RandomForestRegressor:
         self._oob_masks: list[np.ndarray] = []
         self._train_shape: tuple[int, int] | None = None
         self.oob_rmse_: float | None = None
+        self._pack: PackedForest | None = None
 
     # ------------------------------------------------------------------
     # Fitting
@@ -121,6 +123,8 @@ class RandomForestRegressor:
                 mask = np.ones(n_samples, dtype=bool)
                 mask[np.unique(sample_indices)] = False
                 self._oob_masks.append(mask)
+        if shortfall > 0 or not self.warm_start:
+            self._pack = None  # the ensemble changed; recompile lazily
 
         if self.oob_score:
             self._compute_oob(features, targets)
@@ -148,10 +152,13 @@ class RandomForestRegressor:
         n_samples = features.shape[0]
         totals = np.zeros(n_samples)
         counts = np.zeros(n_samples)
-        for tree, mask in zip(self.trees_, self._oob_masks):
+        # One packed descent yields every tree's row predictions; the OOB
+        # masks then pick each tree's held-out rows from its matrix row.
+        matrix = self.packed().tree_matrix(features)
+        for tree_index, mask in enumerate(self._oob_masks):
             if mask.shape[0] != n_samples or not np.any(mask):
                 continue
-            totals[mask] += tree.predict(features[mask])
+            totals[mask] += matrix[tree_index, mask]
             counts[mask] += 1
         covered = counts > 0
         if not np.any(covered):
@@ -179,7 +186,29 @@ class RandomForestRegressor:
         matrix = self._tree_matrix(features)
         return matrix.mean(axis=0), matrix.std(axis=0)
 
+    def packed(self) -> PackedForest:
+        """The compiled :class:`PackedForest` for the current ensemble.
+
+        Compiled lazily and cached; ``fit`` / ``add_trees`` invalidate it
+        whenever the tree list changes, so the pack always mirrors
+        ``trees_`` exactly.
+        """
+        if not self.trees_:
+            raise RuntimeError("this forest has not been fitted yet")
+        if self._pack is None or self._pack.n_trees != len(self.trees_):
+            self._pack = PackedForest.from_trees(self.trees_)
+        return self._pack
+
     def _tree_matrix(self, features: np.ndarray) -> np.ndarray:
+        return self.packed().tree_matrix(features)
+
+    def _tree_matrix_loop(self, features: np.ndarray) -> np.ndarray:
+        """Reference per-tree walk (the pre-pack implementation).
+
+        Kept so equivalence tests and ``benchmarks/bench_inference.py``
+        can assert the packed engine is bitwise identical to -- and
+        measure its speedup over -- the straightforward loop.
+        """
         if not self.trees_:
             raise RuntimeError("this forest has not been fitted yet")
         features = np.atleast_2d(np.asarray(features, dtype=np.float64))

@@ -8,7 +8,13 @@ from repro.analysis import format_table
 from repro.cloud import get_provider
 from repro.core import EstimatedTimeEntry, select_with_knob
 from repro.engine import Simulator, run_query
-from repro.ml import DataBurstAugmenter, Dataset, DecisionTreeRegressor, rmse
+from repro.ml import (
+    DataBurstAugmenter,
+    Dataset,
+    DecisionTreeRegressor,
+    RandomForestRegressor,
+    rmse,
+)
 from repro.ml.metrics import accuracy_within
 from repro.sqlmeta import extract_metadata
 from repro.workloads import make_random_query, make_uniform_query
@@ -54,6 +60,36 @@ def test_tree_predictions_within_target_range(rows):
     predictions = tree.predict(probes)
     assert predictions.min() >= y.min() - 1e-9
     assert predictions.max() <= y.max() + 1e-9
+
+
+# ---------------------------------------------------------------------------
+# Packed-forest inference: for any forest and any finite input batch, the
+# packed engine (whichever descent backend is active, plus the explicit
+# numpy fallback) is EXACTLY equal to the per-tree prediction loop --
+# bitwise, not merely within tolerance.
+# ---------------------------------------------------------------------------
+
+@given(
+    seed=st.integers(min_value=0, max_value=2**31 - 1),
+    n_samples=st.integers(min_value=2, max_value=80),
+    n_features=st.integers(min_value=1, max_value=6),
+    n_trees=st.integers(min_value=1, max_value=12),
+    n_queries=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=25, deadline=None)
+def test_packed_forest_exactly_matches_per_tree_loop(
+    seed, n_samples, n_features, n_trees, n_queries
+):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1e3, 1e3, size=(n_samples, n_features))
+    y = rng.uniform(-1e3, 1e3, size=n_samples)
+    forest = RandomForestRegressor(n_estimators=n_trees, rng=seed).fit(x, y)
+    queries = rng.uniform(-2e3, 2e3, size=(n_queries, n_features))
+    reference = forest._tree_matrix_loop(queries)
+    pack = forest.packed()
+    assert np.array_equal(pack.tree_matrix(queries), reference)
+    assert np.array_equal(pack._descend_numpy(queries), reference)
+    assert np.array_equal(forest.predict(queries), reference.mean(axis=0))
 
 
 # ---------------------------------------------------------------------------

@@ -128,6 +128,13 @@ class TestServingSimulator:
         assert report.total_cost_dollars > 0
         assert 0.0 <= report.slo_attainment <= 1.0
         assert report.latency_percentile(50) > 0
+        # Inline prediction latency is accounted per query.
+        assert report.decision_seconds.shape == (3,)
+        assert report.total_decision_seconds > 0.0
+        assert (
+            report.decision_latency_percentile(95)
+            >= report.decision_latency_percentile(50)
+        )
 
     def test_waiting_apps_counted(self, fresh_smartpick):
         # The second arrival lands while the first is still running.
