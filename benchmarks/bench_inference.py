@@ -1,16 +1,20 @@
-"""Prediction hot-path benchmark: packed-forest engine + incremental GP.
+"""Prediction hot-path benchmark: array-native decisions + micro-batching.
 
 The Workload Predictor sits inline on every query arrival, so its
 RF + BO decision latency bounds serving throughput.  This bench measures
-the three inference shapes that dominate serving -- a single predict, a
-full 13x13 grid sizing, and ``submit_many`` over a bursty arrival batch
--- comparing the packed-forest engine against the seed's per-tree Python
-loop (kept as ``RandomForestRegressor._tree_matrix_loop``), plus the
-Gaussian Process rank-1 Cholesky update against full refits.
+the inference shapes that dominate serving -- a single predict, a full
+13x13 grid sizing, ``submit_many`` over a bursty arrival batch, the
+fresh-request ``determine_batch`` decision pipeline (grid-compiled
+descent + array-form Eq. 4 against the PR 2 object pipeline), and
+micro-batched trace serving -- plus the Gaussian Process rank-1 Cholesky
+update against full refits and the fused Matern 5/2 kernel build.
 
-Results are printed and written to ``BENCH_inference.json`` (repo root
-by default) so future PRs have a perf trajectory to regress against; see
-the README "Performance" section for the schema.
+Results are printed and merged into ``BENCH_inference.json`` (repo root
+by default) under a per-``(engine, mode)`` slot, so the committed file
+carries the native and numpy-fallback trajectories for both full and
+``--quick`` workloads; see the README "Performance" section for the
+schema.  ``benchmarks/check_bench_regression.py`` compares a fresh run
+against the committed slots in CI.
 
 Run it standalone (the CI smoke job uses ``--quick``, which shrinks the
 workload and skips the perf assertions while keeping every correctness
@@ -23,6 +27,7 @@ from __future__ import annotations
 
 import argparse
 import json
+import math
 import os
 import sys
 import time
@@ -38,13 +43,20 @@ from repro.cloud.pricing import get_prices  # noqa: E402
 from repro.cloud.providers import get_provider  # noqa: E402
 from repro.core.features import FEATURE_NAMES, FeatureVector  # noqa: E402
 from repro.core.predictor import PredictionRequest, WorkloadPredictor  # noqa: E402
+from repro.cloud.pool import PoolConfig  # noqa: E402
+from repro.core.serving import ServingSimulator  # noqa: E402
+from repro.core.tradeoff import EstimatedTimeEntry, select_with_knob  # noqa: E402
 from repro.ml.dataset import Dataset  # noqa: E402
 from repro.ml.forest_native import kernel_name  # noqa: E402
 from repro.ml.gaussian_process import GaussianProcessRegressor  # noqa: E402
 from repro.ml.kernels import Matern52Kernel  # noqa: E402
 from repro.ml.random_forest import RandomForestRegressor  # noqa: E402
 from repro.workloads import get_query  # noqa: E402
-from repro.workloads.trace import PoissonTraceGenerator  # noqa: E402
+from repro.workloads.trace import (  # noqa: E402
+    PoissonTraceGenerator,
+    TraceEvent,
+    WorkloadTrace,
+)
 
 DEFAULT_OUTPUT = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_inference.json"
@@ -243,12 +255,20 @@ def bench_submit_many(n_arrivals: int, quick: bool) -> dict:
         return min(walls), min(decides), predicted
 
     packed_wall, packed_decide, packed_predicted = serve(build_system())
+    # The loop leg must take the seed path end to end: per-tree Python
+    # descent AND no grid-compiled engine (determine_batch would
+    # otherwise bypass _tree_matrix entirely).
+    from repro.ml.grid_inference import GridPack
+
     original = RandomForestRegressor._tree_matrix
+    original_available = GridPack.available
     RandomForestRegressor._tree_matrix = RandomForestRegressor._tree_matrix_loop
+    GridPack.available = staticmethod(lambda: False)
     try:
         loop_wall, loop_decide, loop_predicted = serve(build_system())
     finally:
         RandomForestRegressor._tree_matrix = original
+        GridPack.available = staticmethod(original_available)
     assert packed_predicted == loop_predicted, "engines disagreed end-to-end"
 
     return {
@@ -294,6 +314,268 @@ def bench_decision_cache(
     }
 
 
+def _object_path_decisions(
+    predictor: WorkloadPredictor,
+    requests: list[PredictionRequest],
+    knob: float = 0.0,
+) -> list[tuple[int, int]]:
+    """The PR 2 fresh-request pipeline: stacked descent + ET objects.
+
+    Kept verbatim as the reference the array-native ``determine_batch``
+    must match decision-for-decision: one stacked forest pass, then a
+    169-object Estimated Time list, ``min``-scan and object-list Eq. 4
+    per request.
+    """
+    candidates = predictor.candidate_grid("hybrid")
+    grid_size = candidates.shape[0]
+    stacked = np.vstack(
+        [request.feature_matrix(candidates) for request in requests]
+    )
+    estimates = predictor.predict_durations(stacked)
+    decisions = []
+    for index in range(len(requests)):
+        block = estimates[index * grid_size : (index + 1) * grid_size]
+        costs = predictor.estimate_costs(block, candidates)
+        et_list = [
+            EstimatedTimeEntry(
+                n_vm=int(point[0]),
+                n_sl=int(point[1]),
+                estimated_seconds=float(t_est),
+                estimated_cost=float(cost),
+            )
+            for point, t_est, cost in zip(candidates, block, costs)
+        ]
+        best = min(et_list, key=lambda e: e.estimated_seconds)
+        chosen = select_with_knob(et_list, best, knob)
+        decisions.append(chosen.config)
+    return decisions
+
+
+def bench_decision_pipeline(
+    predictor: WorkloadPredictor,
+    n_queries: int,
+    repeats: int,
+    previous: dict | None,
+    forest_reference_ms: float,
+    strict: bool,
+) -> dict:
+    """Fresh-request ``determine_batch``: array-native vs object pipeline.
+
+    Cold decisions only -- the decision cache is cleared before every
+    measurement, so this is the path a never-seen query pays at arrival.
+
+    The trajectory against the committed baseline is a ratio of
+    *same-machine* ratios: each run's cold time is first normalised by
+    its own batched forest-pass time (``batched_predict.packed_ms``, the
+    same 32x168 workload), because raw milliseconds do not transfer
+    across machines but ratios do.
+    """
+    requests = [
+        PredictionRequest(
+            query_id=f"q{i}",
+            input_size_gb=80.0 + 5.0 * i,
+            start_time_epoch=2000.0 + i,
+            historical_duration_s=110.0 + i,
+            num_waiting_apps=i,
+        )
+        for i in range(n_queries)
+    ]
+
+    def cold_batch(knob: float = 0.0):
+        predictor._decision_cache.clear()
+        predictor._decision_probation.clear()
+        return predictor.determine_batch(requests, knob=knob)
+
+    for knob in (0.0, 0.3):
+        array_configs = [d.config for d in cold_batch(knob)]
+        object_configs = _object_path_decisions(predictor, requests, knob)
+        assert array_configs == object_configs, (
+            f"decision_pipeline: array-native and object decisions "
+            f"diverged at knob={knob}"
+        )
+
+    array_s = best_of(lambda: cold_batch(), repeats)
+    object_s = best_of(
+        lambda: _object_path_decisions(predictor, requests), repeats
+    )
+    section = {
+        "n_requests": n_queries,
+        "object_path_ms": object_s * 1e3,
+        "cold_ms": array_s * 1e3,
+        "speedup": object_s / array_s,
+        "identical_decisions": True,
+    }
+    previous_results = (previous or {}).get("results", {})
+    previous_cold = previous_results.get("decision_cache", {}).get("cold_ms")
+    previous_cold = previous_results.get("decision_pipeline", {}).get(
+        "cold_ms", previous_cold
+    )
+    previous_forest = previous_results.get("batched_predict", {}).get(
+        "packed_ms"
+    )
+    if previous_cold is not None and previous_forest:
+        section["previous_cold_ms"] = previous_cold
+        section["previous_forest_pass_ms"] = previous_forest
+        section["speedup_vs_previous"] = (previous_cold / previous_forest) / (
+            section["cold_ms"] / forest_reference_ms
+        )
+    if strict:
+        assert section["speedup"] >= 3.0, (
+            "acceptance: the array-native fresh-request determine_batch "
+            "path must be >= 3x the object pipeline, measured "
+            f"{section['speedup']:.1f}x"
+        )
+    return section
+
+
+def bench_matern_build(n_points: int, repeats: int) -> dict:
+    """Vectorised (fused, in-place) Matern 5/2 Gram build vs scalar loop."""
+    rng = np.random.default_rng(12)
+    points = rng.uniform(0.0, 12.0, size=(n_points, 2))
+    kernel = Matern52Kernel(length_scale=4.0)
+
+    vectorized = kernel(points, points)
+    # Bitwise check against the naive (temporary-per-step) expression the
+    # fused evaluation replaced.
+    a_sq = np.sum(points * points, axis=1)[:, None]
+    distances = a_sq + a_sq.T - 2.0 * (points @ points.T)
+    np.maximum(distances, 0.0, out=distances)
+    scaled = np.sqrt(5.0) * np.sqrt(distances) / kernel.length_scale
+    naive = (1.0 + scaled + scaled**2 / 3.0) * np.exp(-scaled)
+    assert np.array_equal(vectorized, naive), (
+        "fused Matern build drifted from the naive expression"
+    )
+
+    def scalar_loop():
+        out = np.empty((n_points, n_points))
+        root5 = math.sqrt(5.0)
+        for i in range(n_points):
+            for j in range(n_points):
+                distance = math.dist(points[i], points[j])
+                s = root5 * distance / kernel.length_scale
+                out[i, j] = (1.0 + s + s * s / 3.0) * math.exp(-s)
+        return out
+
+    loop = scalar_loop()
+    max_diff = float(np.abs(vectorized - naive).max())
+    loop_diff = float(np.abs(vectorized - loop).max())
+    assert loop_diff < 1e-9, f"vectorised Matern drifted from scalars: {loop_diff:.2e}"
+    vector_s = best_of(lambda: kernel(points, points), repeats * 2)
+    loop_s = best_of(scalar_loop, 2)
+    return {
+        "n_points": n_points,
+        "scalar_loop_ms": loop_s * 1e3,
+        "vectorized_ms": vector_s * 1e3,
+        "speedup": loop_s / vector_s,
+        "max_abs_diff_naive": max_diff,
+        "max_abs_diff_scalar": loop_diff,
+    }
+
+
+def bench_batched_serving(quick: bool) -> dict:
+    """Micro-batched trace serving: coalesced sizing vs solo decisions.
+
+    A bursty trace is replayed twice through identically-seeded systems:
+    once with a coalescing window (nearby arrivals share one vectorized
+    ``determine_batch`` pass) and once with coalescing disabled (every
+    arrival decided alone through the BO path).  The execution outcomes
+    legitimately differ -- coalesced groups get the exhaustive grid
+    optimum -- so the comparison is decision *time*; outcome identity is
+    asserted separately where it must hold (window 0, no same-tick
+    arrivals).
+    """
+    n_minutes = 6.0 if quick else 12.0
+
+    def build_system() -> Smartpick:
+        system = Smartpick(
+            SmartpickProperties(
+                provider="AWS", relay=True, error_difference_trigger=1e9
+            ),
+            max_vm=12,
+            max_sl=12,
+            rng=404,
+        )
+        system.bootstrap(
+            [get_query(query_id) for query_id in ("tpcds-q82", "tpcds-q68")],
+            n_configs_per_query=6 if quick else 10,
+        )
+        return system
+
+    trace = PoissonTraceGenerator(
+        query_mix={"tpcds-q82": 3.0, "tpcds-q68": 1.0},
+        rate_per_minute=20.0,
+        burst_factor=4.0,
+        burst_fraction=0.4,
+        input_gb=100.0,
+        rng=17,
+    ).generate(duration_minutes=n_minutes)
+
+    # The bursty trace overlaps hundreds of queries; size the shared
+    # pool explicitly so capacity queueing does not blur decision time.
+    pool = PoolConfig(max_vms=4096, max_sls=8192)
+    batched = ServingSimulator(
+        build_system(), pool_config=pool, batch_window_s=5.0
+    ).replay(trace)
+    solo = ServingSimulator(
+        build_system(), pool_config=pool, batch_window_s=None
+    ).replay(trace)
+    assert batched.batched_decision_rate > 0.0, (
+        "acceptance: the bursty replay must coalesce some arrivals"
+    )
+
+    # Acceptance: with window 0 and no same-tick arrivals, outcomes are
+    # identical to the unbatched replay.
+    sparse = WorkloadTrace(
+        events=tuple(
+            TraceEvent(40.0 * index, "tpcds-q82") for index in range(6)
+        )
+    )
+    exact = ServingSimulator(build_system(), batch_window_s=0.0).replay(sparse)
+    none = ServingSimulator(build_system(), batch_window_s=None).replay(sparse)
+    identical = (
+        list(exact.latencies) == list(none.latencies)
+        and [s.outcome.decision.config for s in exact.served]
+        == [s.outcome.decision.config for s in none.served]
+        and exact.total_cost_dollars == none.total_cost_dollars
+    )
+    assert identical, "window-0 replay diverged from the unbatched replay"
+
+    return {
+        "n_arrivals": batched.n_queries,
+        "batched_decision_rate": batched.batched_decision_rate,
+        "batched_decision_ms": batched.total_decision_seconds * 1e3,
+        "solo_decision_ms": solo.total_decision_seconds * 1e3,
+        "decision_speedup": (
+            solo.total_decision_seconds / batched.total_decision_seconds
+        ),
+        "solo_replay_identical_at_window0": identical,
+    }
+
+
+def _load_json(path: str) -> dict | None:
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            return json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        return None
+
+
+def _baseline_slot(committed: dict | None, engine: str, quick: bool) -> dict | None:
+    """The committed slot comparable to this run (same engine + mode)."""
+    if committed is None:
+        return None
+    if committed.get("schema_version", 1) >= 2:
+        mode = "quick" if quick else "full"
+        return committed.get("engines", {}).get(engine, {}).get(mode)
+    # Schema v1 (PR 2): one flat slot, engine/quick at the top level.
+    if committed.get("engine") == engine and committed.get("quick") == quick:
+        return {
+            "config": committed.get("config"),
+            "results": committed.get("results"),
+        }
+    return None
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -302,6 +584,17 @@ def main(argv: list[str] | None = None) -> int:
         help="small workload, correctness assertions only (CI smoke mode)",
     )
     parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--baseline",
+        default=DEFAULT_OUTPUT,
+        help="committed BENCH file to report the perf trajectory against",
+    )
+    parser.add_argument(
+        "--expect-engine",
+        choices=("native-c", "numpy"),
+        help="fail unless inference runs on this engine (CI uses it so a "
+        "silently broken native build cannot masquerade as a numpy run)",
+    )
     args = parser.parse_args(argv)
 
     n_trees = 25 if args.quick else 100
@@ -312,39 +605,83 @@ def main(argv: list[str] | None = None) -> int:
     # bench sizes the run where the scaling is visible.
     gp_points = 120 if args.quick else 240
     engine = kernel_name()
+    if args.expect_engine is not None and engine != args.expect_engine:
+        print(
+            f"expected engine {args.expect_engine!r} but inference would "
+            f"run on {engine!r} (native kernel build failed?)"
+        )
+        return 1
+    baseline = _baseline_slot(
+        _load_json(os.path.abspath(args.baseline)), engine, args.quick
+    )
 
-    print(f"packed-forest inference bench (engine={engine}, quick={args.quick})")
+    print(f"inference bench (engine={engine}, quick={args.quick})")
     print(f"forest: {n_trees} trees, grid 13x13, batch {n_queries} queries")
 
     predictor = build_predictor(n_trees)
     results = bench_forest(predictor, n_queries, repeats)
     results["gp_update"] = bench_gp(gp_points)
+    results["gp_update"]["matern_build"] = bench_matern_build(
+        gp_points, repeats
+    )
+    results["decision_pipeline"] = bench_decision_pipeline(
+        predictor,
+        n_queries,
+        repeats,
+        baseline,
+        forest_reference_ms=results["batched_predict"]["packed_ms"],
+        strict=not args.quick and engine == "native-c",
+    )
     results["decision_cache"] = bench_decision_cache(predictor, n_queries, repeats)
     results["submit_many"] = bench_submit_many(n_queries, args.quick)
+    results["batched_serving"] = bench_batched_serving(args.quick)
 
     for name, row in results.items():
         metrics = ", ".join(
             f"{key}={value:.3f}" if isinstance(value, float) else f"{key}={value}"
             for key, value in row.items()
+            if not isinstance(value, dict)
         )
         print(f"  {name}: {metrics}")
+        for sub_name, sub_row in row.items():
+            if isinstance(sub_row, dict):
+                metrics = ", ".join(
+                    f"{key}={value:.3f}"
+                    if isinstance(value, float)
+                    else f"{key}={value}"
+                    for key, value in sub_row.items()
+                )
+                print(f"    {name}.{sub_name}: {metrics}")
 
-    if not args.quick:
+    if not args.quick and engine == "native-c":
         batched = results["batched_predict"]
         assert batched["speedup"] >= 5.0, (
             "acceptance: packed batched predict must be >= 5x the per-tree "
             f"loop, measured {batched['speedup']:.1f}x"
         )
+        pipeline = results["decision_pipeline"]
         print(
             f"acceptance ok: batched predict {batched['speedup']:.1f}x "
-            f"(>= 5x), predictions bitwise identical"
+            f"(>= 5x, bitwise identical); fresh-request decisions "
+            f"{pipeline['speedup']:.1f}x the object pipeline"
+            + (
+                f", {pipeline['speedup_vs_previous']:.1f}x the committed "
+                "cold path (normalised by each run's forest pass)"
+                if "speedup_vs_previous" in pipeline
+                else ""
+            )
         )
 
-    payload = {
-        "schema_version": 1,
-        "bench": "inference",
-        "engine": engine,
-        "quick": args.quick,
+    # Merge this run into its (engine, mode) slot so the committed file
+    # accumulates all four trajectories.
+    output = os.path.abspath(args.output)
+    existing = _load_json(output)
+    engines = (
+        dict(existing.get("engines", {}))
+        if existing and existing.get("schema_version", 1) >= 2
+        else {}
+    )
+    engines.setdefault(engine, {})["quick" if args.quick else "full"] = {
         "config": {
             "n_trees": n_trees,
             "grid": "13x13",
@@ -353,7 +690,11 @@ def main(argv: list[str] | None = None) -> int:
         },
         "results": results,
     }
-    output = os.path.abspath(args.output)
+    payload = {
+        "schema_version": 2,
+        "bench": "inference",
+        "engines": engines,
+    }
     with open(output, "w", encoding="utf-8") as handle:
         json.dump(payload, handle, indent=2, sort_keys=True)
         handle.write("\n")

@@ -33,11 +33,12 @@ from repro.core.retrain import BackgroundRetrainer, ModelStore, RetrainEvent
 from repro.core.serving import ServedQuery, ServingReport, ServingSimulator
 from repro.core.similarity import SimilarityChecker
 from repro.core.smartpick import Smartpick
-from repro.core.tradeoff import naive_scale_down, select_with_knob
+from repro.core.tradeoff import DecisionGrid, naive_scale_down, select_with_knob
 
 __all__ = [
     "BackgroundRetrainer",
     "ConfigDecision",
+    "DecisionGrid",
     "EstimatedTimeEntry",
     "ExecutionRecord",
     "FEATURE_NAMES",

@@ -133,7 +133,7 @@ class FeatureVector:
         if historical_duration_s < 0:
             raise ValueError("historical_duration_s must be non-negative")
         total_memory = n_workers * memory_per_executor_gb
-        available = total_memory * max(1.0 - 0.05 * num_waiting_apps, 0.0)
+        available = total_memory * cls.available_memory_scale(num_waiting_apps)
         count = n_vm.shape[0]
         return np.column_stack(
             [
@@ -149,6 +149,83 @@ class FeatureVector:
                 np.full(count, historical_duration_s, dtype=np.float64),
             ]
         )
+
+    @staticmethod
+    def available_memory_scale(num_waiting_apps: int) -> float:
+        """The available-memory shrink factor for a waiting-app count.
+
+        Shared by :meth:`build` / :meth:`build_matrix` and the
+        grid-compiled inference path
+        (:class:`~repro.ml.grid_inference.GridPack`), which relies on the
+        ``available_memory_gb`` column being exactly
+        ``total_memory * scale`` -- keep the expression in one place so
+        the two can never drift.
+        """
+        return max(1.0 - 0.05 * num_waiting_apps, 0.0)
+
+    @classmethod
+    def grid_columns(
+        cls,
+        n_vm: np.ndarray,
+        n_sl: np.ndarray,
+        memory_per_executor_gb: float = _WORKER_MEMORY_GB,
+        worker_vcpus: int = _WORKER_VCPUS,
+    ) -> tuple[dict[int, np.ndarray], dict[int, np.ndarray]]:
+        """How a fixed candidate grid occupies the feature columns.
+
+        Returns ``(column_values, scaled_columns)`` describing the
+        :meth:`build_matrix` output for a grid of ``{nVM, nSL}``
+        candidates: ``column_values`` maps the request-independent
+        varying columns to their exact per-row float64 values, and
+        ``scaled_columns`` maps the available-memory column to its base
+        (the cell value is ``base * available_memory_scale(request)``).
+        Every other column is a per-request constant.  The values are
+        computed with the same operations as :meth:`build_matrix`, so
+        they are bitwise equal to the matrix it would build.
+        """
+        n_vm = np.asarray(n_vm, dtype=np.float64)
+        n_sl = np.asarray(n_sl, dtype=np.float64)
+        n_workers = n_vm + n_sl
+        total_memory = n_workers * memory_per_executor_gb
+        column_values = {
+            FEATURE_NAMES.index("n_vm"): n_vm,
+            FEATURE_NAMES.index("n_sl"): n_sl,
+            FEATURE_NAMES.index("total_memory_gb"): total_memory,
+            FEATURE_NAMES.index("total_available_cores"): n_workers
+            * float(worker_vcpus),
+        }
+        scaled_columns = {
+            FEATURE_NAMES.index("available_memory_gb"): total_memory
+        }
+        return column_values, scaled_columns
+
+    @classmethod
+    def request_constant_row(
+        cls,
+        input_size_gb: float,
+        start_time_epoch: float,
+        historical_duration_s: float,
+        num_waiting_apps: int = 0,
+        memory_per_executor_gb: float = _WORKER_MEMORY_GB,
+    ) -> np.ndarray:
+        """The per-request constant cells of a grid feature matrix.
+
+        Grid-varying and scaled slots are left zero -- grid-compiled
+        inference reads only the constant columns (the complement of
+        :meth:`grid_columns`), with the exact float64 values
+        :meth:`build_matrix` would have placed in them.
+        """
+        row = np.zeros(len(FEATURE_NAMES), dtype=np.float64)
+        row[FEATURE_NAMES.index("input_size_gb")] = input_size_gb
+        row[FEATURE_NAMES.index("start_time_epoch")] = start_time_epoch
+        row[FEATURE_NAMES.index("memory_per_executor_gb")] = (
+            memory_per_executor_gb
+        )
+        row[FEATURE_NAMES.index("num_waiting_apps")] = float(num_waiting_apps)
+        row[FEATURE_NAMES.index("historical_duration_s")] = (
+            historical_duration_s
+        )
+        return row
 
     @classmethod
     def build(
@@ -170,7 +247,7 @@ class FeatureVector:
         """
         n_workers = n_vm + n_sl
         total_memory = n_workers * memory_per_executor_gb
-        available = total_memory * max(1.0 - 0.05 * num_waiting_apps, 0.0)
+        available = total_memory * cls.available_memory_scale(num_waiting_apps)
         return cls(
             n_vm=n_vm,
             n_sl=n_sl,

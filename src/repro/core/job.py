@@ -128,6 +128,35 @@ class JobInitializer:
         decision = self.predictor.determine(context.request, knob=knob, mode=mode)
         return context, decision
 
+    def decide_many(
+        self,
+        queries: list[QuerySpec],
+        knob: float | None = None,
+        mode: str = "hybrid",
+        num_waiting_apps: int = 0,
+    ) -> list[tuple[RequestContext, ConfigDecision]]:
+        """Steps 1-6 for a whole group of queued arrivals at once.
+
+        All queries are sized through one vectorized grid search
+        (:meth:`WorkloadPredictor.determine_batch`); query ``i`` sees the
+        ``num_waiting_apps`` baseline plus the ``i`` group members ahead
+        of it as waiting applications, exactly as if the group had been
+        decided one arrival at a time.  Each returned decision carries
+        the group's decision latency amortised equally across members.
+        """
+        if knob is None:
+            knob = self.properties.knob
+        contexts = [
+            self.mfe.build_request(
+                query, self.predictor, num_waiting_apps=num_waiting_apps + index
+            )
+            for index, query in enumerate(queries)
+        ]
+        decisions = self.predictor.determine_batch(
+            [context.request for context in contexts], knob=knob, mode=mode
+        )
+        return list(zip(contexts, decisions))
+
     def finalize(
         self,
         query: QuerySpec,
@@ -219,19 +248,9 @@ class JobInitializer:
         """
         if not queries:
             return []
-        if knob is None:
-            knob = self.properties.knob
-        contexts = [
-            self.mfe.build_request(
-                query, self.predictor, num_waiting_apps=index
-            )
-            for index, query in enumerate(queries)
-        ]
-        decisions = self.predictor.determine_batch(
-            [context.request for context in contexts], knob=knob, mode=mode
-        )
+        decided = self.decide_many(queries, knob=knob, mode=mode)
         outcomes = []
-        for query, context, decision in zip(queries, contexts, decisions):
+        for query, (context, decision) in zip(queries, decided):
             policy = self.execution_policy(decision.n_vm, decision.n_sl)
             result = run_query(
                 query,

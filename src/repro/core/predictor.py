@@ -19,6 +19,7 @@ service (Section 5; see :mod:`repro.core.rpc`).
 from __future__ import annotations
 
 import dataclasses
+import functools
 import time
 
 import numpy as np
@@ -30,10 +31,11 @@ from repro.core.features import (
     INTEGER_FEATURE_COLUMNS,
     FeatureVector,
 )
-from repro.core.tradeoff import EstimatedTimeEntry, select_with_knob
+from repro.core.tradeoff import DecisionGrid, EstimatedTimeEntry
 from repro.ml.acquisition import AcquisitionFunction, make_acquisition
 from repro.ml.bayesian_optimizer import BayesianOptimizer
 from repro.ml.dataset import DataBurstAugmenter, Dataset
+from repro.ml.grid_inference import GridPack
 from repro.ml.random_forest import RandomForestRegressor
 
 __all__ = [
@@ -41,6 +43,7 @@ __all__ = [
     "ConfigDecision",
     "WorkloadPredictor",
     "EstimatedTimeEntry",
+    "DecisionGrid",
 ]
 
 _MODES = ("hybrid", "vm-only", "sl-only")
@@ -91,7 +94,14 @@ class PredictionRequest:
 
 @dataclasses.dataclass
 class ConfigDecision:
-    """The WP's answer: a configuration plus everything behind it."""
+    """The WP's answer: a configuration plus everything behind it.
+
+    The Estimated Time list travels in array form (:class:`DecisionGrid`,
+    the ``grid`` field); :attr:`et_list` materialises the familiar
+    ``list[EstimatedTimeEntry]`` view lazily on first access, so callers
+    that never inspect the list (the entire serving hot path) never pay
+    for building hundreds of entry objects per decision.
+    """
 
     query_id: str
     n_vm: int
@@ -101,7 +111,7 @@ class ConfigDecision:
     knob: float
     best_entry: EstimatedTimeEntry
     chosen_entry: EstimatedTimeEntry
-    et_list: list[EstimatedTimeEntry]
+    grid: DecisionGrid
     n_evaluations: int
     converged: bool
     inference_seconds: float
@@ -109,6 +119,16 @@ class ConfigDecision:
     @property
     def config(self) -> tuple[int, int]:
         return (self.n_vm, self.n_sl)
+
+    @functools.cached_property
+    def et_list(self) -> list[EstimatedTimeEntry]:
+        """The Estimated Time list, materialised from :attr:`grid`.
+
+        Built on first access and cached on the decision; the entries
+        round-trip exactly (``int`` / ``float`` of the same array cells
+        the eager construction used).
+        """
+        return self.grid.entries()
 
     def summary(self) -> str:
         return (
@@ -202,11 +222,17 @@ class WorkloadPredictor:
         )
         self._sl_rate = prices.sl_per_second
         self._redis_rate = prices.redis_per_second
+        # Cached decisions store the array-form grid plus the best/chosen
+        # indices -- a fraction of the footprint of the materialised
+        # entry lists they replaced, and decisions reconstruct lazily.
         self._decision_cache: dict[
-            tuple,
-            tuple[list[EstimatedTimeEntry], EstimatedTimeEntry, EstimatedTimeEntry],
+            tuple, tuple[DecisionGrid, int, int]
         ] = {}
         self._decision_probation: dict[tuple, None] = {}
+        # Grid-compiled inference engines (one per mode/bounds, rebuilt
+        # when the model version moves); None is memoized too so a grid
+        # the kernel cannot take is not re-attempted every batch.
+        self._grid_engine_cache: dict[tuple, tuple[GridPack | None, int]] = {}
 
     @property
     def provider(self) -> ProviderProfile:
@@ -316,13 +342,15 @@ class WorkloadPredictor:
         """Batched :meth:`estimate_cost` over a whole Estimated Time list.
 
         ``t_est`` holds one duration estimate per ``(nVM, nSL)`` row of
-        ``candidates``; the result is bitwise equal to calling
-        :meth:`estimate_cost` per entry (same operations in the same
-        order), just as one array expression.
+        ``candidates`` -- or, as a ``(batch, n)`` matrix, one estimate
+        row per queued request over the shared candidate grid.  Either
+        way the result is bitwise equal to calling :meth:`estimate_cost`
+        per entry (same operations in the same order), just as one array
+        expression.
         """
         t_est = np.asarray(t_est, dtype=np.float64)
         candidates = np.atleast_2d(np.asarray(candidates, dtype=np.float64))
-        if candidates.shape[0] != t_est.shape[0]:
+        if candidates.shape[0] != t_est.shape[-1]:
             raise ValueError("t_est and candidates disagree on entry count")
         n_vm = candidates[:, 0]
         n_sl = candidates[:, 1]
@@ -406,23 +434,16 @@ class WorkloadPredictor:
 
         # One batched forest pass covers every probe plus the winner --
         # the noise-free counterpart of the noisy Eq. 2 objective values --
-        # and one batched cost pass prices the whole Estimated Time list.
+        # and one batched cost pass prices the whole Estimated Time list,
+        # which stays in array form end to end.
         probe_points = np.array(
             [probe.point for probe in result.history] + [result.best_point]
         )
         estimates = self.predict_durations(request.feature_matrix(probe_points))
         costs = self.estimate_costs(estimates, probe_points)
-        et_list = [
-            EstimatedTimeEntry(
-                n_vm=int(point[0]),
-                n_sl=int(point[1]),
-                estimated_seconds=float(t_est),
-                estimated_cost=float(cost),
-            )
-            for point, t_est, cost in zip(
-                probe_points[:-1], estimates[:-1], costs[:-1]
-            )
-        ]
+        decision_grid = DecisionGrid(
+            probe_points[:-1], estimates[:-1], costs[:-1]
+        )
 
         best_entry = EstimatedTimeEntry(
             n_vm=int(result.best_point[0]),
@@ -430,7 +451,14 @@ class WorkloadPredictor:
             estimated_seconds=float(estimates[-1]),
             estimated_cost=float(costs[-1]),
         )
-        chosen = select_with_knob(et_list, best_entry, knob)
+        chosen_index = decision_grid.select_index_with_knob(
+            best_entry.estimated_seconds, best_entry.estimated_cost, knob
+        )
+        chosen = (
+            best_entry
+            if chosen_index is None
+            else decision_grid.entry(chosen_index)
+        )
         elapsed = time.perf_counter() - started
         return ConfigDecision(
             query_id=request.query_id,
@@ -441,7 +469,7 @@ class WorkloadPredictor:
             knob=knob,
             best_entry=best_entry,
             chosen_entry=chosen,
-            et_list=et_list,
+            grid=decision_grid,
             n_evaluations=result.n_evaluations,
             converged=result.converged,
             inference_seconds=elapsed,
@@ -469,7 +497,19 @@ class WorkloadPredictor:
         and across successive calls.  Admission is two-touch -- a key is
         memoized from its second miss onward -- so never-repeated
         requests leave only a lightweight probation marker instead of
-        filling the cache with dead Estimated Time lists.
+        filling the cache with dead Estimated Time data.
+
+        The whole pipeline is array-native: estimates come from the
+        grid-compiled engine (or one stacked forest pass), costs from one
+        broadcast :meth:`estimate_costs` call, and Eq. 4 from the
+        vectorised :meth:`DecisionGrid.select_index_with_knob` --
+        ``EstimatedTimeEntry`` objects only materialise if a caller reads
+        ``decision.et_list``.
+
+        ``inference_seconds`` on every returned decision is the batch's
+        decision time *amortised equally* across its requests (cache hits
+        included), so summing it over the batch recovers the true elapsed
+        wall time of this call.
         """
         if not self.is_trained:
             raise RuntimeError("the prediction model has not been trained")
@@ -486,10 +526,7 @@ class WorkloadPredictor:
         keys = [self._decision_key(request, knob, mode) for request in requests]
         # Resolve into a batch-local map first: FIFO eviction below must
         # never drop an entry this batch still needs.
-        resolved: dict[
-            tuple,
-            tuple[list[EstimatedTimeEntry], EstimatedTimeEntry, EstimatedTimeEntry],
-        ] = {}
+        resolved: dict[tuple, tuple[DecisionGrid, int, int]] = {}
         fresh_seen: set[tuple] = set()
         fresh_keys: list[tuple] = []
         fresh_requests: list[PredictionRequest] = []
@@ -505,28 +542,30 @@ class WorkloadPredictor:
                 fresh_requests.append(request)
 
         if fresh_requests:
-            stacked = np.vstack(
-                [request.feature_matrix(candidates) for request in fresh_requests]
+            estimates = self._grid_estimates(fresh_requests, mode, candidates)
+            cost_matrix = self.estimate_costs(
+                estimates.reshape(len(fresh_requests), grid_size), candidates
             )
-            estimates = self.predict_durations(stacked)
             for index, key in enumerate(fresh_keys):
-                block = estimates[index * grid_size : (index + 1) * grid_size]
-                costs = self.estimate_costs(block, candidates)
-                et_list = [
-                    EstimatedTimeEntry(
-                        n_vm=int(point[0]),
-                        n_sl=int(point[1]),
-                        estimated_seconds=float(t_est),
-                        estimated_cost=float(cost),
-                    )
-                    for point, t_est, cost in zip(candidates, block, costs)
-                ]
-                best_entry = min(et_list, key=lambda e: e.estimated_seconds)
-                chosen = select_with_knob(et_list, best_entry, knob)
-                resolved[key] = (et_list, best_entry, chosen)
-                # Two-touch admission: memoize the (heavy) decision only
-                # once the key has repeated, so one-shot requests leave a
-                # bare key in probation instead of a 169-entry ET list.
+                # Copies, not views: a cached grid must not pin the whole
+                # batch's estimate matrix in memory.
+                decision_grid = DecisionGrid(
+                    candidates,
+                    estimates[index * grid_size : (index + 1) * grid_size].copy(),
+                    cost_matrix[index].copy(),
+                )
+                best_index = decision_grid.best_index()
+                chosen_index = decision_grid.select_index_with_knob(
+                    float(decision_grid.seconds[best_index]),
+                    float(decision_grid.costs[best_index]),
+                    knob,
+                )
+                if chosen_index is None:
+                    chosen_index = best_index
+                resolved[key] = (decision_grid, best_index, chosen_index)
+                # Two-touch admission: memoize the decision only once the
+                # key has repeated, so one-shot requests leave a bare key
+                # in probation instead of a full grid.
                 if key in self._decision_probation:
                     del self._decision_probation[key]
                     while len(self._decision_cache) >= _DECISION_CACHE_LIMIT:
@@ -542,7 +581,9 @@ class WorkloadPredictor:
 
         decisions = []
         for key, request in zip(keys, requests):
-            et_list, best_entry, chosen = resolved[key]
+            decision_grid, best_index, chosen_index = resolved[key]
+            best_entry = decision_grid.entry(best_index)
+            chosen = decision_grid.entry(chosen_index)
             decisions.append(
                 ConfigDecision(
                     query_id=request.query_id,
@@ -553,15 +594,77 @@ class WorkloadPredictor:
                     knob=knob,
                     best_entry=best_entry,
                     chosen_entry=chosen,
-                    # Entries are frozen, but the list itself is mutable --
-                    # hand each decision its own copy.
-                    et_list=list(et_list),
+                    # Decisions share the read-only grid; each one
+                    # materialises (and caches) its own et_list lazily.
+                    grid=decision_grid,
                     n_evaluations=grid_size,
                     converged=True,
                     inference_seconds=elapsed / len(requests),
                 )
             )
         return decisions
+
+    def _grid_estimates(
+        self,
+        requests: list[PredictionRequest],
+        mode: str,
+        candidates: np.ndarray,
+    ) -> np.ndarray:
+        """Grid duration estimates for fresh requests, request-major.
+
+        Uses the grid-compiled engine (set-partition descent over masks
+        precompiled against the fixed candidate grid) when the native
+        kernel is available; otherwise one stacked forest pass.  Both
+        produce bitwise-identical estimates.
+        """
+        engine = self._grid_engine(mode)
+        if engine is not None:
+            constants = np.empty(
+                (len(requests), len(FEATURE_NAMES)), dtype=np.float64
+            )
+            alphas = np.empty(len(requests), dtype=np.float64)
+            for index, request in enumerate(requests):
+                constants[index] = FeatureVector.request_constant_row(
+                    input_size_gb=request.input_size_gb,
+                    start_time_epoch=request.start_time_epoch,
+                    historical_duration_s=request.historical_duration_s,
+                    num_waiting_apps=request.num_waiting_apps,
+                )
+                alphas[index] = FeatureVector.available_memory_scale(
+                    request.num_waiting_apps
+                )
+            return engine.predict(constants, alphas)
+        stacked = np.vstack(
+            [request.feature_matrix(candidates) for request in requests]
+        )
+        return self.predict_durations(stacked)
+
+    def _grid_engine(self, mode: str) -> GridPack | None:
+        """The grid-compiled engine for a mode, or ``None`` without one.
+
+        Compiled lazily per ``(mode, bounds)`` against the current model
+        version; a grid too wide for the kernel (or a missing native
+        kernel) memoizes ``None`` so the fallback is not re-probed on
+        every batch.
+        """
+        if not GridPack.available():
+            return None
+        key = (mode, self.max_vm, self.max_sl)
+        cached = self._grid_engine_cache.get(key)
+        if cached is not None and cached[1] == self.model_version:
+            return cached[0]
+        candidates = self.candidate_grid(mode)
+        try:
+            column_values, scaled_columns = FeatureVector.grid_columns(
+                candidates[:, 0], candidates[:, 1]
+            )
+            engine = GridPack(
+                self._forest.packed(), column_values, scaled_columns
+            )
+        except ValueError:
+            engine = None
+        self._grid_engine_cache[key] = (engine, self.model_version)
+        return engine
 
     def _decision_key(
         self, request: PredictionRequest, knob: float, mode: str

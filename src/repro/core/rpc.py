@@ -74,7 +74,14 @@ def _recv_frame(sock: socket.socket) -> dict | None:
 
 
 def _decision_to_dict(decision: ConfigDecision) -> dict:
-    payload = dataclasses.asdict(decision)
+    # The decision carries its Estimated Time list as a DecisionGrid
+    # (arrays); the wire format keeps the list-of-entries shape, so this
+    # is the one place the serving path materialises entry objects.
+    payload = {
+        field.name: getattr(decision, field.name)
+        for field in dataclasses.fields(decision)
+        if field.name != "grid"
+    }
     payload["et_list"] = [dataclasses.asdict(e) for e in decision.et_list]
     payload["best_entry"] = dataclasses.asdict(decision.best_entry)
     payload["chosen_entry"] = dataclasses.asdict(decision.chosen_entry)

@@ -57,11 +57,22 @@ class ServedQuery:
     #: The outcome's actual duration is pure execution time, so the
     #: user-visible latency is the sum of the two.
     queueing_delay_s: float = 0.0
+    #: How many arrivals shared this query's sizing pass -- 1 when the
+    #: query was decided alone, >= 2 when the arrival coalescer routed it
+    #: through one ``determine_batch`` forest pass with its neighbours.
+    decision_batch_size: int = 1
+    #: Time the arrival waited for its coalescing window to close before
+    #: sizing began (0 outside micro-batched serving).
+    batching_delay_s: float = 0.0
 
     @property
     def latency_s(self) -> float:
-        """Arrival-to-completion latency (queueing + execution)."""
-        return self.queueing_delay_s + self.outcome.actual_seconds
+        """Arrival-to-completion latency (batching + queueing + execution)."""
+        return (
+            self.batching_delay_s
+            + self.queueing_delay_s
+            + self.outcome.actual_seconds
+        )
 
     @property
     def completion_s(self) -> float:
@@ -111,14 +122,27 @@ class ServingReport:
         """Per-query Workload Predictor decision latency (inference time).
 
         The predictor sits inline on every arrival, so this is the
-        serving-side overhead the packed-forest inference engine exists
-        to shrink; track it per replay to catch hot-path regressions.
-        Serving decides per arrival, so each value is a real per-query
-        measurement; decisions that came from one ``determine_batch``
-        call instead carry the batch mean.
+        serving-side overhead the inference engines exist to shrink;
+        track it per replay to catch hot-path regressions.
+
+        Attribution semantics: an arrival decided alone carries its own
+        measured decision time; an arrival sized in a coalesced group
+        (``decision_batch_size >= 2``) carries the group's shared
+        ``determine_batch`` time *amortised equally* across the group,
+        so :attr:`total_decision_seconds` always equals the wall time
+        the replay actually spent deciding.
         """
         return np.array(
             [s.outcome.decision.inference_seconds for s in self.served]
+        )
+
+    @property
+    def batched_decision_rate(self) -> float:
+        """Fraction of queries sized through a shared forest pass."""
+        if not self.served:
+            return 0.0
+        return float(
+            np.mean([s.decision_batch_size >= 2 for s in self.served])
         )
 
     def decision_latency_percentile(self, percentile: float) -> float:
@@ -170,6 +194,10 @@ class ServingReport:
                 f"queue p95 {self.queueing_delay_percentile(95):.1f}s, "
                 f"keep-alive {100 * self.keepalive_cost_dollars:.2f} cents"
             )
+        if self.batched_decision_rate > 0:
+            text += (
+                f", {100 * self.batched_decision_rate:.0f}% batched decisions"
+            )
         return text
 
 
@@ -188,6 +216,16 @@ class ServingSimulator:
         paper's serving model.
     autoscaler:
         Optional keep-alive policy overriding the config's fixed windows.
+    batch_window_s:
+        Arrival coalescing window for micro-batched sizing.  Arrivals
+        landing within ``batch_window_s`` of a group's first member are
+        sized together through one vectorized ``determine_batch`` forest
+        pass when the group closes (its last member's arrival time); the
+        wait for the window is accounted per query as
+        ``batching_delay_s``.  The default ``0.0`` only coalesces
+        *exact-tick* arrivals, which wait for nothing; ``None`` disables
+        coalescing entirely (every arrival decided alone through the BO
+        path, the pre-coalescer behaviour, bit for bit).
     """
 
     def __init__(
@@ -196,9 +234,12 @@ class ServingSimulator:
         slo_seconds: float = 120.0,
         pool_config: PoolConfig | None = None,
         autoscaler: AutoscalerPolicy | None = None,
+        batch_window_s: float | None = 0.0,
     ) -> None:
         if slo_seconds <= 0:
             raise ValueError("slo_seconds must be positive")
+        if batch_window_s is not None and batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative (or None)")
         if not system.predictor.is_trained:
             raise ValueError("bootstrap the system before serving a trace")
         self.system = system
@@ -206,6 +247,28 @@ class ServingSimulator:
         self._default_pool = pool_config is None
         self.pool_config = pool_config or PoolConfig()
         self.autoscaler = autoscaler
+        self.batch_window_s = batch_window_s
+
+    def _coalesce(self, trace: WorkloadTrace) -> list[list[tuple[int, TraceEvent]]]:
+        """Group trace arrivals into sizing batches.
+
+        A group collects consecutive arrivals within ``batch_window_s``
+        of its *first* member (so windows never chain unboundedly); with
+        the default window of 0 only exact-tick arrivals share a group,
+        and with ``batch_window_s=None`` every arrival stands alone.
+        """
+        groups: list[list[tuple[int, TraceEvent]]] = []
+        for index, event in enumerate(trace):
+            if (
+                self.batch_window_s is not None
+                and groups
+                and event.arrival_s - groups[-1][0][1].arrival_s
+                <= self.batch_window_s
+            ):
+                groups[-1].append((index, event))
+            else:
+                groups.append([(index, event)])
+        return groups
 
     def replay(
         self,
@@ -217,7 +280,10 @@ class ServingSimulator:
 
         Arrivals are interleaved events on a single simulator: a query
         submitted while earlier ones are still running contends with them
-        for pool capacity instead of executing in a vacuum.
+        for pool capacity instead of executing in a vacuum.  Arrivals
+        coalesced into one sizing group (see ``batch_window_s``) share a
+        single vectorized forest pass; a solo arrival goes through the
+        per-query BO determination exactly as before.
         """
         simulator = Simulator()
         pool = ClusterPool(
@@ -236,15 +302,17 @@ class ServingSimulator:
         served: list[ServedQuery | None] = [None] * len(trace)
         in_flight = 0
 
-        def submit(index: int, event: TraceEvent) -> None:
+        def launch(
+            index: int,
+            event: TraceEvent,
+            query,
+            context,
+            decision,
+            waiting: int,
+            batch_size: int,
+            batching_delay: float,
+        ) -> None:
             nonlocal in_flight
-            # Queries still queued or running when this one arrives are
-            # "waiting applications" from the new query's point of view.
-            waiting = in_flight
-            query = get_query(event.query_id, input_gb=event.input_gb)
-            context, decision = initializer.decide(
-                query, knob=knob, mode=mode, num_waiting_apps=waiting
-            )
             policy = initializer.execution_policy(decision.n_vm, decision.n_sl)
 
             def complete(execution: QueryExecution) -> None:
@@ -266,6 +334,8 @@ class ServingSimulator:
                     outcome=outcome,
                     waiting_apps_at_submit=waiting,
                     queueing_delay_s=execution.result.queueing_delay_s,
+                    decision_batch_size=batch_size,
+                    batching_delay_s=batching_delay,
                 )
 
             in_flight += 1
@@ -279,10 +349,54 @@ class ServingSimulator:
                 on_complete=complete,
             )
 
-        for index, event in enumerate(trace):
+        def submit_group(group: list[tuple[int, TraceEvent]]) -> None:
+            # Queries still queued or running when this group decides are
+            # "waiting applications"; members of the group additionally
+            # see the members ahead of them, exactly as if they had been
+            # submitted one after another at the same instant.
+            waiting_base = in_flight
+            queries = [
+                get_query(event.query_id, input_gb=event.input_gb)
+                for _, event in group
+            ]
+            if len(group) == 1:
+                decided = [
+                    initializer.decide(
+                        queries[0],
+                        knob=knob,
+                        mode=mode,
+                        num_waiting_apps=waiting_base,
+                    )
+                ]
+            else:
+                decided = initializer.decide_many(
+                    queries,
+                    knob=knob,
+                    mode=mode,
+                    num_waiting_apps=waiting_base,
+                )
+            group_time = group[-1][1].arrival_s
+            for offset, ((index, event), query, (context, decision)) in enumerate(
+                zip(group, queries, decided)
+            ):
+                launch(
+                    index,
+                    event,
+                    query,
+                    context,
+                    decision,
+                    waiting=waiting_base + offset,
+                    batch_size=len(group),
+                    batching_delay=group_time - event.arrival_s,
+                )
+
+        for group in self._coalesce(trace):
+            # The group decides when its window closes: the last member's
+            # arrival.  Solo groups (the default-window common case) fire
+            # at their own arrival time, exactly as before.
             simulator.schedule_at(
-                event.arrival_s,
-                lambda index=index, event=event: submit(index, event),
+                group[-1][1].arrival_s,
+                lambda group=group: submit_group(group),
             )
         simulator.run()
         pool.shutdown()

@@ -281,11 +281,14 @@ class Smartpick:
     ) -> list[SubmissionOutcome]:
         """Predict and execute a batch of queued arrivals.
 
-        The predictor's grid search is vectorized across the whole batch:
-        every query's candidate grid goes through one Random Forest
-        ``predict`` call instead of a per-query BO loop, then the queries
-        execute in order (each seeing the earlier ones as waiting
-        applications).
+        The predictor's grid search is vectorized across the whole batch
+        (one forest pass -- through the grid-compiled engine when the
+        native kernel is available -- sizes every query's candidate grid
+        instead of a per-query BO loop), then the queries execute in
+        order, each seeing the earlier ones as waiting applications.
+        :class:`~repro.core.serving.ServingSimulator` routes coalesced
+        arrival groups through the same path via
+        :meth:`~repro.core.job.JobInitializer.decide_many`.
         """
         if not self.predictor.is_trained:
             raise RuntimeError("bootstrap the system before submitting queries")

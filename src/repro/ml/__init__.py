@@ -31,6 +31,7 @@ from repro.ml.bayesian_optimizer import BayesianOptimizer, BOResult
 from repro.ml.dataset import DataBurstAugmenter, Dataset, train_test_split
 from repro.ml.decision_tree import DecisionTreeRegressor
 from repro.ml.forest_inference import PackedForest
+from repro.ml.grid_inference import GridPack
 from repro.ml.gaussian_process import GaussianProcessRegressor
 from repro.ml.kernels import Kernel, Matern52Kernel, RBFKernel, WhiteKernel
 from repro.ml.metrics import (
@@ -52,6 +53,7 @@ __all__ = [
     "DecisionTreeRegressor",
     "ExpectedImprovement",
     "GaussianProcessRegressor",
+    "GridPack",
     "Kernel",
     "Matern52Kernel",
     "PackedForest",

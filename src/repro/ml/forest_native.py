@@ -22,6 +22,14 @@ Children are adjacent after the pack's BFS renumbering (``right ==
 left + 1``) and leaves self-loop (``left == self``, ``threshold ==
 +inf``), so one branch-free update per level advances a row:
 ``node = left + (x[feature] > threshold)``.
+
+The library carries a second entry point, ``forest_grid_matrix``, used by
+:mod:`repro.ml.grid_inference`: instead of descending row by row it walks
+each tree once per request with a *set* of candidate-grid rows encoded as
+a bitmask, consuming per-node masks precompiled on the Python side.  See
+that module for the compilation scheme; the kernel itself only does mask
+intersections, precomputed-branch lookups and an upper-bound binary
+search for the one request-scaled column.
 """
 
 from __future__ import annotations
@@ -34,7 +42,13 @@ import tempfile
 
 import numpy as np
 
-__all__ = ["NODE_DTYPE", "load_kernel", "kernel_name"]
+__all__ = [
+    "NODE_DTYPE",
+    "GRID_NODE_DTYPE",
+    "GRID_MAX_WORDS",
+    "load_kernel",
+    "kernel_name",
+]
 
 #: Mirror of ``struct Node`` -- keep in sync with :data:`_SOURCE`.
 NODE_DTYPE = np.dtype(
@@ -93,7 +107,165 @@ void forest_tree_matrix(
         }
     }
 }
+
+/* ------------------------------------------------------------------ */
+/* Grid-compiled descent (repro.ml.grid_inference)                     */
+/* ------------------------------------------------------------------ */
+
+/* Candidate-grid rows travel as bitmask sets (64 rows per word).  Each
+ * node is one 16-byte record so a visit touches a single cache line
+ * besides its mask:
+ *
+ *     struct GridNode { int32 lk; int32 aux; double thr; }
+ *
+ * ``lk`` packs the left-child index with the node kind in the low two
+ * bits; the right child is always ``left + 1`` after the pack's BFS
+ * renumbering.  Kinds, assigned at compile time on the Python side:
+ *   0  leaf    -- ``thr`` holds the leaf value; scatter it to the set
+ *   1  static  -- grid-varying feature; ``aux`` is the (premultiplied)
+ *                 word offset of the precompiled partition mask
+ *   2  branch  -- request-constant feature; ``go_left[aux]`` decides
+ *                 for the whole set
+ *   3  scaled  -- column = base[row] * alpha(request); ``thr`` is upper-
+ *                 bound searched in the request's ascending ladder and
+ *                 the matching prefix mask partitions the set          */
+#define GRID_MAX_WORDS 64
+
+typedef struct { int32_t lk; int32_t aux; double thr; } GridNode;
+
+static int grid_ctz64(uint64_t bits)
+{
+#if defined(__GNUC__) || defined(__clang__)
+    return __builtin_ctzll(bits);
+#else
+    int count = 0;
+    while (!(bits & 1u)) { bits >>= 1; ++count; }
+    return count;
+#endif
+}
+
+static inline void grid_walk(
+    const int64_t n_words, const GridNode *nodes,
+    const uint64_t *static_masks, const int64_t *roots, int64_t n_trees,
+    int64_t n_rows, const uint64_t *full_set,
+    const unsigned char *go_left, int64_t n_branch,
+    const double *scaled_vals, int64_t n_scaled_levels,
+    const uint64_t *prefix_masks, int64_t n_req,
+    int64_t *node_stack, uint64_t *set_stack, double *out)
+{
+    uint64_t cur[GRID_MAX_WORDS];
+    /* Tree-outer: one tree's nodes stay cache-hot across every request,
+     * and the per-tree output block is written front to back. */
+    for (int64_t t = 0; t < n_trees; ++t) {
+        for (int64_t q = 0; q < n_req; ++q) {
+            const unsigned char *gl = go_left + q * n_branch;
+            const double *vals = scaled_vals + q * n_scaled_levels;
+            double *row_out = out + (t * n_req + q) * n_rows;
+            int64_t sp = 0;
+            int64_t node = roots[t];
+            for (int64_t w = 0; w < n_words; ++w) cur[w] = full_set[w];
+            for (;;) {
+                const GridNode nd = nodes[node];
+                const int kind = nd.lk & 3;
+                const int64_t child = nd.lk >> 2;
+#if defined(__GNUC__) || defined(__clang__)
+                /* Both children are adjacent; pulling their line in now
+                 * overlaps the fetch with the mask/ladder work below. */
+                __builtin_prefetch(&nodes[child]);
+#endif
+                if (kind == 2) {
+                    node = child + !gl[nd.aux];
+                    continue;
+                }
+                if (kind != 0) {
+                    const uint64_t *mask;
+                    if (kind == 1) {
+                        mask = static_masks + nd.aux;
+                    } else {
+                        /* #{i : vals[i] <= thr} via upper bound. */
+                        int64_t lo = 0, hi = n_scaled_levels;
+                        while (lo < hi) {
+                            const int64_t mid = (lo + hi) >> 1;
+                            if (vals[mid] <= nd.thr) lo = mid + 1; else hi = mid;
+                        }
+                        mask = prefix_masks + lo * n_words;
+                    }
+                    uint64_t split[GRID_MAX_WORDS];
+                    uint64_t any_left = 0, any_right = 0;
+                    for (int64_t w = 0; w < n_words; ++w) {
+                        const uint64_t l = cur[w] & mask[w];
+                        split[w] = l;
+                        any_left |= l;
+                        any_right |= cur[w] ^ l;
+                    }
+                    if (!any_right) { node = child; continue; }
+                    if (!any_left) { node = child + 1; continue; }
+                    uint64_t *spill = set_stack + sp * n_words;
+                    for (int64_t w = 0; w < n_words; ++w) {
+                        spill[w] = cur[w] ^ split[w];
+                        cur[w] = split[w];
+                    }
+                    node_stack[sp++] = child + 1;
+                    node = child;
+                    continue;
+                }
+                /* Leaf: write the shared value to every row still here. */
+                const double v = nd.thr;
+                for (int64_t w = 0; w < n_words; ++w) {
+                    uint64_t bits = cur[w];
+                    const int64_t base = w << 6;
+                    while (bits) {
+                        row_out[base + grid_ctz64(bits)] = v;
+                        bits &= bits - 1;
+                    }
+                }
+                if (sp == 0) break;
+                --sp;
+                node = node_stack[sp];
+                const uint64_t *spill = set_stack + sp * n_words;
+                for (int64_t w = 0; w < n_words; ++w) cur[w] = spill[w];
+            }
+        }
+    }
+}
+
+/* The word count is 3 for the default 13x13 grid; dispatching on small
+ * constants lets the compiler clone grid_walk with every set loop fully
+ * unrolled and the current set held in registers. */
+#define GRID_DISPATCH(NW) \
+    grid_walk((NW), nodes, static_masks, roots, n_trees, n_rows, \
+              full_set, go_left, n_branch, scaled_vals, n_scaled_levels, \
+              prefix_masks, n_req, node_stack, set_stack, out)
+
+void forest_grid_matrix(
+    const GridNode *nodes,
+    const uint64_t *static_masks,
+    const int64_t *roots, int64_t n_trees,
+    int64_t n_words, int64_t n_rows,
+    const uint64_t *full_set,
+    const unsigned char *go_left, int64_t n_branch,
+    const double *scaled_vals, int64_t n_scaled_levels,
+    const uint64_t *prefix_masks,
+    int64_t n_req,
+    int64_t *node_stack, uint64_t *set_stack,
+    double *out)
+{
+    switch (n_words) {
+    case 1: GRID_DISPATCH(1); break;
+    case 2: GRID_DISPATCH(2); break;
+    case 3: GRID_DISPATCH(3); break;
+    case 4: GRID_DISPATCH(4); break;
+    default: GRID_DISPATCH(n_words); break;
+    }
+}
 """
+
+#: Row capacity of the grid kernel's set representation (64-bit words).
+GRID_MAX_WORDS = 64
+
+#: Mirror of ``struct GridNode`` -- keep in sync with :data:`_SOURCE`.
+#: ``lk`` packs ``left << 2 | kind``; ``thr`` doubles as the leaf value.
+GRID_NODE_DTYPE = np.dtype([("lk", "<i4"), ("aux", "<i4"), ("thr", "<f8")])
 
 _CACHE: dict[str, ctypes.CDLL | None] = {}
 
@@ -150,8 +322,12 @@ def load_kernel() -> ctypes.CDLL | None:
     if "kernel" in _CACHE:
         return _CACHE["kernel"]
     kernel = None
-    # The struct must be exactly 16 packed bytes for the layouts to agree.
-    if not os.environ.get("REPRO_DISABLE_NATIVE") and NODE_DTYPE.itemsize == 16:
+    # The structs must be exactly 16 packed bytes for the layouts to agree.
+    if (
+        not os.environ.get("REPRO_DISABLE_NATIVE")
+        and NODE_DTYPE.itemsize == 16
+        and GRID_NODE_DTYPE.itemsize == 16
+    ):
         library = _library_path()
         if not os.path.exists(library):
             compiler = _compiler()
@@ -162,6 +338,8 @@ def load_kernel() -> ctypes.CDLL | None:
                 lib = ctypes.CDLL(library)
                 index_array = np.ctypeslib.ndpointer(np.int64, flags="C")
                 float_array = np.ctypeslib.ndpointer(np.float64, flags="C")
+                word_array = np.ctypeslib.ndpointer(np.uint64, flags="C")
+                byte_array = np.ctypeslib.ndpointer(np.uint8, flags="C")
                 lib.forest_tree_matrix.argtypes = [
                     ctypes.c_void_p,  # Node table
                     float_array,      # leaf values
@@ -174,6 +352,25 @@ def load_kernel() -> ctypes.CDLL | None:
                     float_array,      # out (n_trees * n_rows)
                 ]
                 lib.forest_tree_matrix.restype = None
+                lib.forest_grid_matrix.argtypes = [
+                    ctypes.c_void_p,  # GridNode table
+                    word_array,       # static masks
+                    index_array,      # roots
+                    ctypes.c_int64,   # n_trees
+                    ctypes.c_int64,   # n_words
+                    ctypes.c_int64,   # n_rows
+                    word_array,       # full row set
+                    byte_array,       # go_left (n_req, n_branch)
+                    ctypes.c_int64,   # n_branch
+                    float_array,      # scaled ladders (n_req, n_levels)
+                    ctypes.c_int64,   # n_scaled_levels
+                    word_array,       # prefix masks
+                    ctypes.c_int64,   # n_req
+                    index_array,      # node stack scratch
+                    word_array,       # set stack scratch
+                    float_array,      # out (n_trees * n_req * n_rows)
+                ]
+                lib.forest_grid_matrix.restype = None
                 kernel = lib
             except (OSError, AttributeError):
                 kernel = None

@@ -31,11 +31,18 @@ def _as_matrix(points: np.ndarray) -> np.ndarray:
 
 
 def _squared_distances(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Pairwise squared Euclidean distances between row sets ``a`` and ``b``."""
+    """Pairwise squared Euclidean distances between row sets ``a`` and ``b``.
+
+    One BLAS cross product plus in-place combination: the only full
+    ``(n, m)`` temporaries are the cross matrix itself (reused as the
+    result) and the broadcast norm sum.  The arithmetic (and therefore
+    the bits) matches the textbook ``a_sq + b_sq - 2 * cross`` exactly.
+    """
     a_sq = np.sum(a * a, axis=1)[:, None]
     b_sq = np.sum(b * b, axis=1)[None, :]
     cross = a @ b.T
-    distances = a_sq + b_sq - 2.0 * cross
+    np.multiply(cross, 2.0, out=cross)
+    distances = np.subtract(a_sq + b_sq, cross, out=cross)
     np.maximum(distances, 0.0, out=distances)
     return distances
 
@@ -93,10 +100,27 @@ class Matern52Kernel(Kernel):
         self.length_scale = float(length_scale)
 
     def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        # Fused in-place evaluation: one Gram-shaped scratch (``scaled``)
+        # plus the polynomial accumulator, instead of a fresh temporary
+        # per arithmetic step.  Every operation keeps the operand order
+        # of the textbook expression
+        #     (1 + s + s^2 / 3) * exp(-s),  s = sqrt(5) * d / l,
+        # so the result is bitwise identical to the naive evaluation
+        # (multiplication commutes exactly in IEEE-754; see the kernel
+        # regression tests).
         a, b = _as_matrix(a), _as_matrix(b)
-        distances = np.sqrt(_squared_distances(a, b))
-        scaled = np.sqrt(5.0) * distances / self.length_scale
-        return (1.0 + scaled + scaled**2 / 3.0) * np.exp(-scaled)
+        scaled = _squared_distances(a, b)
+        np.sqrt(scaled, out=scaled)
+        np.multiply(scaled, np.sqrt(5.0), out=scaled)
+        np.divide(scaled, self.length_scale, out=scaled)
+        poly = 1.0 + scaled
+        square = scaled * scaled
+        np.divide(square, 3.0, out=square)
+        np.add(poly, square, out=poly)
+        np.negative(scaled, out=scaled)
+        np.exp(scaled, out=scaled)
+        np.multiply(poly, scaled, out=poly)
+        return poly
 
     def diagonal(self, a: np.ndarray) -> np.ndarray:
         return np.ones(_as_matrix(a).shape[0])

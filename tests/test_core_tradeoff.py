@@ -1,13 +1,27 @@
 """Unit tests for the cost-performance tradeoff knob (Eq. 4)."""
 
+import numpy as np
 import pytest
 
-from repro.core import EstimatedTimeEntry, naive_scale_down, select_with_knob
+from repro.core import (
+    DecisionGrid,
+    EstimatedTimeEntry,
+    naive_scale_down,
+    select_with_knob,
+)
 
 
 def _entry(n_vm, n_sl, seconds, cost):
     return EstimatedTimeEntry(
         n_vm=n_vm, n_sl=n_sl, estimated_seconds=seconds, estimated_cost=cost
+    )
+
+
+def _grid(entries):
+    return DecisionGrid(
+        candidates=np.array([[e.n_vm, e.n_sl] for e in entries], dtype=float),
+        seconds=np.array([e.estimated_seconds for e in entries]),
+        costs=np.array([e.estimated_cost for e in entries]),
     )
 
 
@@ -71,6 +85,97 @@ class TestSelectWithKnob:
     def test_negative_epsilon_rejected(self):
         with pytest.raises(ValueError):
             select_with_knob(ET_LIST, BEST, -0.1)
+
+
+class TestDecisionGrid:
+    def test_entries_round_trip(self):
+        grid = _grid(ET_LIST)
+        assert grid.entries() == ET_LIST
+        assert [grid.entry(i) for i in range(len(grid))] == ET_LIST
+        assert len(grid) == len(ET_LIST)
+
+    def test_arrays_read_only(self):
+        grid = _grid(ET_LIST)
+        for array in (grid.candidates, grid.seconds, grid.costs):
+            assert not array.flags.writeable
+        with pytest.raises(ValueError):
+            grid.seconds[0] = 1.0
+
+    def test_best_index_is_first_minimum(self):
+        entries = [
+            _entry(1, 1, 50.0, 0.1),
+            _entry(2, 2, 40.0, 0.2),
+            _entry(3, 3, 40.0, 0.3),  # tie on seconds: first wins
+        ]
+        grid = _grid(entries)
+        assert grid.best_index() == 1
+        assert grid.entry(grid.best_index()) == min(
+            entries, key=lambda e: e.estimated_seconds
+        )
+
+    def test_select_matches_reference_on_fixture(self):
+        grid = _grid(ET_LIST)
+        for epsilon in (0.0, 0.1, 0.2, 0.3, 0.4, 0.5, 1.0, 3.0):
+            reference = select_with_knob(ET_LIST, BEST, epsilon)
+            index = grid.select_index_with_knob(
+                BEST.estimated_seconds, BEST.estimated_cost, epsilon
+            )
+            chosen = BEST if index is None else grid.entry(index)
+            assert chosen == reference
+
+    def test_select_ties_break_to_first_entry(self):
+        # Two entries with identical (cost, seconds): the stable object
+        # reference keeps the first, and so must the vectorised path.
+        tied = [
+            BEST,
+            _entry(7, 7, 105.0, 0.03),
+            _entry(5, 5, 105.0, 0.03),
+        ]
+        grid = _grid(tied)
+        index = grid.select_index_with_knob(
+            BEST.estimated_seconds, BEST.estimated_cost, 0.2
+        )
+        assert index == 1
+        assert grid.entry(index) is not tied[1]
+        assert grid.entry(index) == select_with_knob(tied, BEST, 0.2)
+
+    def test_zero_knob_and_no_admissible_return_none(self):
+        grid = _grid(ET_LIST)
+        assert (
+            grid.select_index_with_knob(
+                BEST.estimated_seconds, BEST.estimated_cost, 0.0
+            )
+            is None
+        )
+        pricier = _grid([_entry(11, 11, 101.0, 0.09)])
+        assert (
+            pricier.select_index_with_knob(
+                BEST.estimated_seconds, BEST.estimated_cost, 0.2
+            )
+            is None
+        )
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(ValueError):
+            _grid(ET_LIST).select_index_with_knob(100.0, 0.05, -0.1)
+
+    def test_empty_grid(self):
+        grid = DecisionGrid(
+            np.empty((0, 2)), np.empty(0), np.empty(0)
+        )
+        assert len(grid) == 0
+        assert grid.entries() == []
+        assert grid.select_index_with_knob(1.0, 1.0, 0.5) is None
+        with pytest.raises(ValueError):
+            grid.best_index()
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            DecisionGrid(np.zeros((3, 3)), np.zeros(3), np.zeros(3))
+        with pytest.raises(ValueError):
+            DecisionGrid(np.zeros((3, 2)), np.zeros(2), np.zeros(3))
+        with pytest.raises(ValueError):
+            DecisionGrid(np.zeros((3, 2)), np.zeros(3), np.zeros(2))
 
 
 class TestNaiveScaleDown:

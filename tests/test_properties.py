@@ -6,7 +6,7 @@ from hypothesis import strategies as st
 
 from repro.analysis import format_table
 from repro.cloud import get_provider
-from repro.core import EstimatedTimeEntry, select_with_knob
+from repro.core import DecisionGrid, EstimatedTimeEntry, select_with_knob
 from repro.engine import Simulator, run_query
 from repro.ml import (
     DataBurstAugmenter,
@@ -191,6 +191,89 @@ def test_knob_cost_monotone_in_epsilon(entries):
         for eps in (0.0, 0.25, 0.5, 1.0, 2.0)
     ]
     assert all(a >= b - 1e-12 for a, b in zip(costs, costs[1:]))
+
+
+# ---------------------------------------------------------------------------
+# Array-native knob selection: for ANY grid, knob and tie pattern, the
+# vectorised DecisionGrid path picks the bitwise-identical winner to the
+# object-list reference, and the lazy entries round-trip exactly.  Values
+# are drawn from small discrete pools so exact ties on seconds, costs, or
+# both are common rather than measure-zero.
+# ---------------------------------------------------------------------------
+
+_tied_value = st.sampled_from(
+    [0.0, 0.25, 0.5, 1.0, 2.0, 3.5, 7.0, 10.0, 100.0]
+)
+_tied_entry = st.builds(
+    EstimatedTimeEntry,
+    n_vm=st.integers(min_value=0, max_value=12),
+    n_sl=st.integers(min_value=0, max_value=12),
+    estimated_seconds=st.one_of(
+        _tied_value, st.floats(min_value=0.001, max_value=1000.0)
+    ),
+    estimated_cost=st.one_of(
+        _tied_value, st.floats(min_value=0.0, max_value=1.0)
+    ),
+)
+
+
+def _grid_from_entries(entries):
+    return DecisionGrid(
+        candidates=np.array(
+            [[e.n_vm, e.n_sl] for e in entries], dtype=np.float64
+        ),
+        seconds=np.array([e.estimated_seconds for e in entries]),
+        costs=np.array([e.estimated_cost for e in entries]),
+    )
+
+
+@given(
+    entries=st.lists(_tied_entry, min_size=1, max_size=40),
+    epsilon=st.one_of(
+        st.sampled_from([0.0, 0.25, 0.5, 1.0]),
+        st.floats(min_value=0.0, max_value=3.0),
+    ),
+)
+@settings(max_examples=120, deadline=None)
+def test_grid_select_bitwise_matches_object_reference(entries, epsilon):
+    grid = _grid_from_entries(entries)
+    # Lazy materialisation must reproduce the object list exactly.
+    assert grid.entries() == entries
+
+    best = min(entries, key=lambda e: e.estimated_seconds)
+    assert grid.entry(grid.best_index()) == best
+
+    reference = select_with_knob(entries, best, epsilon)
+    index = grid.select_index_with_knob(
+        best.estimated_seconds, best.estimated_cost, epsilon
+    )
+    chosen = best if index is None else grid.entry(index)
+    # Bitwise-identical winner: same entry values AND, when the reference
+    # picked a list member, the same position (stable tie-breaking; the
+    # identity check distinguishes equal-valued duplicates).
+    assert chosen == reference
+    if index is not None:
+        assert entries[index] is reference
+
+
+@given(
+    entries=st.lists(_tied_entry, min_size=2, max_size=25),
+    epsilon=st.floats(min_value=0.0, max_value=2.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_grid_select_with_external_best(entries, epsilon):
+    # The BO path's best entry is NOT a grid row; the vectorised solver
+    # must agree with the reference there too.
+    best = EstimatedTimeEntry(
+        n_vm=1, n_sl=1, estimated_seconds=0.75, estimated_cost=0.125
+    )
+    grid = _grid_from_entries(entries)
+    reference = select_with_knob(entries, best, epsilon)
+    index = grid.select_index_with_knob(
+        best.estimated_seconds, best.estimated_cost, epsilon
+    )
+    chosen = best if index is None else grid.entry(index)
+    assert chosen == reference
 
 
 # ---------------------------------------------------------------------------

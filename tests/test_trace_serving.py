@@ -261,3 +261,119 @@ class TestSharedClusterServing:
         ).replay(trace)
         assert "warm starts" in report.summary()
         assert "queue p95" in report.summary()
+
+
+def _same_tick_trace():
+    return WorkloadTrace(events=(
+        TraceEvent(0.0, "tpcds-q82"),
+        TraceEvent(0.0, "tpcds-q82", input_gb=120.0),
+        TraceEvent(0.0, "tpcds-q68"),
+        TraceEvent(900.0, "tpcds-q82"),
+    ))
+
+
+class TestArrivalCoalescer:
+    def test_exact_tick_arrivals_share_one_sizing_pass(self):
+        report = ServingSimulator(_small_system()).replay(_same_tick_trace())
+        assert [s.decision_batch_size for s in report.served] == [3, 3, 3, 1]
+        assert report.batched_decision_rate == pytest.approx(0.75)
+        # Same-tick groups wait for nothing.
+        assert all(s.batching_delay_s == 0.0 for s in report.served)
+        # Group members see the members ahead of them as waiting apps.
+        assert [s.waiting_apps_at_submit for s in report.served[:3]] == [0, 1, 2]
+        assert "batched decisions" in report.summary()
+
+    def test_batched_groups_decide_through_decide_many(self, monkeypatch):
+        system = _small_system()
+        simulator = ServingSimulator(system)
+
+        def explode(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("solo decide called for a batched group")
+
+        monkeypatch.setattr(system.job_initializer, "decide", explode)
+        trace = WorkloadTrace(events=(
+            TraceEvent(5.0, "tpcds-q82"), TraceEvent(5.0, "tpcds-q82"),
+        ))
+        report = simulator.replay(trace)
+        assert report.batched_decision_rate == 1.0
+        # Batched decisions are exhaustive over the candidate grid.
+        grid_size = system.predictor.candidate_grid("hybrid").shape[0]
+        assert all(
+            s.outcome.decision.n_evaluations == grid_size
+            for s in report.served
+        )
+
+    def test_solo_arrivals_keep_the_bo_path(self, monkeypatch):
+        system = _small_system()
+        simulator = ServingSimulator(system)  # default window: exact tick
+
+        def explode(*args, **kwargs):  # pragma: no cover - guard
+            raise AssertionError("decide_many called without coalescing")
+
+        monkeypatch.setattr(system.job_initializer, "decide_many", explode)
+        trace = WorkloadTrace(events=(
+            TraceEvent(0.0, "tpcds-q82"), TraceEvent(60.0, "tpcds-q82"),
+        ))
+        report = simulator.replay(trace)
+        assert report.batched_decision_rate == 0.0
+        assert [s.decision_batch_size for s in report.served] == [1, 1]
+
+    def test_disabled_coalescer_equals_exact_tick_without_ties(self):
+        # Acceptance: at batch_window_s=0 with no same-tick arrivals the
+        # replay is identical to the unbatched (window=None) replay.
+        trace = _bursty_trace(5, spacing_s=45.0)
+        unbatched = ServingSimulator(
+            _small_system(seed=77), batch_window_s=None
+        ).replay(trace)
+        exact_tick = ServingSimulator(
+            _small_system(seed=77), batch_window_s=0.0
+        ).replay(trace)
+        assert list(unbatched.latencies) == list(exact_tick.latencies)
+        assert [s.outcome.decision.config for s in unbatched.served] == [
+            s.outcome.decision.config for s in exact_tick.served
+        ]
+        assert unbatched.total_cost_dollars == exact_tick.total_cost_dollars
+        assert exact_tick.batched_decision_rate == 0.0
+
+    def test_window_groups_nearby_arrivals_and_accounts_delay(self):
+        trace = WorkloadTrace(events=(
+            TraceEvent(0.0, "tpcds-q82"),
+            TraceEvent(2.0, "tpcds-q82"),
+            TraceEvent(3.0, "tpcds-q82"),
+            TraceEvent(30.0, "tpcds-q82"),
+        ))
+        report = ServingSimulator(
+            _small_system(seed=81), batch_window_s=4.0
+        ).replay(trace)
+        assert [s.decision_batch_size for s in report.served] == [3, 3, 3, 1]
+        # Members wait until the group's window closes (last arrival).
+        assert [s.batching_delay_s for s in report.served] == [3.0, 1.0, 0.0, 0.0]
+        # The wait is user-visible latency.
+        first = report.served[0]
+        assert first.latency_s == pytest.approx(
+            first.batching_delay_s
+            + first.queueing_delay_s
+            + first.outcome.actual_seconds
+        )
+
+    def test_window_anchored_at_first_member(self):
+        # 0, 4, 8, 12 with a 5s window: groups must not chain unboundedly.
+        trace = WorkloadTrace(events=tuple(
+            TraceEvent(4.0 * i, "tpcds-q82") for i in range(4)
+        ))
+        simulator = ServingSimulator(_small_system(seed=82), batch_window_s=5.0)
+        groups = simulator._coalesce(trace)
+        assert [len(group) for group in groups] == [2, 2]
+
+    def test_amortised_decision_latency_sums_to_batch_time(self):
+        report = ServingSimulator(_small_system(seed=84)).replay(
+            _same_tick_trace()
+        )
+        batched = [s for s in report.served if s.decision_batch_size == 3]
+        times = {s.outcome.decision.inference_seconds for s in batched}
+        assert len(times) == 1  # equal amortised shares
+        assert report.total_decision_seconds > 0.0
+
+    def test_negative_window_rejected(self):
+        with pytest.raises(ValueError):
+            ServingSimulator(_small_system(seed=85), batch_window_s=-1.0)
