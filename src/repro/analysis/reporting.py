@@ -24,20 +24,37 @@ def format_table(
     headers: Sequence[str],
     rows: Sequence[Sequence[object]],
     title: str = "",
+    footer: Sequence[object] | None = None,
 ) -> str:
     """A fixed-width ASCII table.
+
+    ``footer`` renders one extra row below a second separator -- the
+    conventional place for totals (e.g. a chargeback table whose tenant
+    bills must sum to the pool bill).
 
     >>> print(format_table(("a", "b"), [(1, 2.5)]))
     a | b
     --+-----
     1 | 2.50
+    >>> print(format_table(("a", "b"), [(1, 2.5)], footer=(1, 2.5)))
+    a | b
+    --+-----
+    1 | 2.50
+    --+-----
+    1 | 2.50
     """
     rendered = [[_render_cell(cell) for cell in row] for row in rows]
-    for row in rendered:
+    rendered_footer = (
+        [_render_cell(cell) for cell in footer] if footer is not None else None
+    )
+    measured = rendered + (
+        [rendered_footer] if rendered_footer is not None else []
+    )
+    for row in measured:
         if len(row) != len(headers):
             raise ValueError("row width does not match the header count")
     widths = [
-        max(len(header), *(len(row[i]) for row in rendered)) if rendered
+        max(len(header), *(len(row[i]) for row in measured)) if measured
         else len(header)
         for i, header in enumerate(headers)
     ]
@@ -47,10 +64,18 @@ def format_table(
     lines.append(
         " | ".join(header.ljust(widths[i]) for i, header in enumerate(headers))
     )
-    lines.append("-+-".join("-" * width for width in widths))
+    separator = "-+-".join("-" * width for width in widths)
+    lines.append(separator)
     for row in rendered:
         lines.append(
             " | ".join(cell.rjust(widths[i]) for i, cell in enumerate(row))
+        )
+    if rendered_footer is not None:
+        lines.append(separator)
+        lines.append(
+            " | ".join(
+                cell.rjust(widths[i]) for i, cell in enumerate(rendered_footer)
+            )
         )
     return "\n".join(line.rstrip() for line in lines)
 

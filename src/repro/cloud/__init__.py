@@ -45,11 +45,19 @@ from repro.cloud.pool import (
     AutoscalerPolicy,
     ClusterPool,
     DemandAutoscaler,
+    FifoGrant,
     FixedKeepAlive,
+    GrantPolicy,
+    LeastLoadedRouter,
     NoKeepAlive,
     PoolConfig,
     PoolLease,
     PoolStats,
+    ShardRouter,
+    TenantAffinityRouter,
+    TenantRegistry,
+    TenantSpec,
+    WeightedFairGrant,
 )
 from repro.cloud.resource_manager import ResourceManager
 from repro.cloud.storage import ExternalStore, ObjectStore
@@ -61,8 +69,11 @@ __all__ = [
     "CostBreakdown",
     "DemandAutoscaler",
     "ExternalStore",
+    "FifoGrant",
     "FixedKeepAlive",
     "GCP_PROFILE",
+    "GrantPolicy",
+    "LeastLoadedRouter",
     "Instance",
     "InstanceKind",
     "InstanceState",
@@ -76,7 +87,12 @@ __all__ = [
     "ProviderProfile",
     "ResourceManager",
     "ServerlessInstance",
+    "ShardRouter",
+    "TenantAffinityRouter",
+    "TenantRegistry",
+    "TenantSpec",
     "VMInstance",
+    "WeightedFairGrant",
     "get_provider",
     "run_microbenchmark",
 ]

@@ -9,16 +9,29 @@ lifetimes:
 - A query **acquires** workers through a :class:`PoolLease`; warm
   instances are handed over after a short warm-boot delay, the remainder
   are spawned cold at the provider's full boot latency.
-- When capacity (``max_vms`` / ``max_sls``) is exhausted the request
-  queues FIFO and is granted as earlier leases release workers -- the
-  queueing delay is recorded on the lease.
+- Capacity is partitioned into named **shards** (per instance family, AZ,
+  ...), each with its own warm set and grant queue; a pluggable
+  :class:`ShardRouter` places each request, and idle shards **steal**
+  queued requests from saturated ones so the pool stays work-conserving.
+- When a shard's capacity is exhausted the request queues and is granted
+  as earlier leases release workers.  Grant *ordering* is a pluggable
+  :class:`GrantPolicy`: the default :class:`WeightedFairGrant` serves the
+  tenant with the least weight-normalised service first (degenerating to
+  exact FIFO with a single tenant), while :class:`FifoGrant` keeps the
+  plain arrival-order queue for comparison.
+- Pools are **multi-tenant**: every lease belongs to a tenant, and a
+  :class:`TenantRegistry` assigns per-tenant fair-share weights and hard
+  quotas (max concurrently leased VMs / SLs).  A quota-blocked request
+  waits without blocking other tenants; the wait is recorded on the lease
+  as ``quota_delay_s``.
 - **Released** instances stay warm for a keep-alive window decided by a
   pluggable :class:`AutoscalerPolicy`; a reuse within the window cancels
   the expiry timer (via :meth:`Simulator.cancel`), otherwise the instance
   is terminated and its idle time is billed as keep-alive cost.
 - Billing is per-lease: each instance's leased interval is charged to the
   query that held it, while idle warm time accrues to the pool's
-  keep-alive cost -- so shared-cluster bills stay itemised per query.
+  keep-alive cost -- so shared-cluster bills stay itemised per query (and
+  therefore per tenant: chargeback is bookkeeping on top of the leases).
 """
 
 from __future__ import annotations
@@ -27,7 +40,8 @@ import abc
 import collections
 import dataclasses
 import itertools
-from typing import TYPE_CHECKING, Callable
+import zlib
+from typing import TYPE_CHECKING, Callable, Iterable
 
 from repro.cloud.instances import (
     Instance,
@@ -46,27 +60,39 @@ if TYPE_CHECKING:  # avoid a runtime cloud <-> engine import cycle
 #: larger than this are silently truncated to it.
 _GRANT_HISTORY_RETENTION_S = 3600.0
 
+#: The tenant every unattributed request bills to.
+DEFAULT_TENANT = "default"
+
 __all__ = [
     "AutoscalerPolicy",
     "ClusterPool",
+    "DEFAULT_TENANT",
     "DemandAutoscaler",
+    "FifoGrant",
     "FixedKeepAlive",
+    "GrantPolicy",
+    "LeastLoadedRouter",
     "NoKeepAlive",
     "PoolConfig",
     "PoolLease",
     "PoolStats",
+    "ShardRouter",
+    "TenantAffinityRouter",
+    "TenantRegistry",
+    "TenantSpec",
+    "WeightedFairGrant",
 ]
 
 
 @dataclasses.dataclass(frozen=True)
 class PoolConfig:
-    """Sizing and warm-start parameters of one shared cluster.
+    """Sizing and warm-start parameters of one shared cluster (or shard).
 
     Attributes
     ----------
     max_vms / max_sls:
         Hard capacity of the pool; acquire requests beyond it are clamped,
-        and requests that cannot be granted from free capacity queue FIFO.
+        and requests that cannot be granted from free capacity queue.
     vm_keep_alive_s / sl_keep_alive_s:
         Keep-alive window applied by the default (fixed) autoscaler when a
         worker is released.  ``0`` means terminate immediately (cold pool).
@@ -92,6 +118,100 @@ class PoolConfig:
             value = getattr(self, name)
             if not value >= 0.0 or value == float("inf"):
                 raise ValueError(f"{name} must be finite and non-negative")
+
+
+# ---------------------------------------------------------------------------
+# Tenancy
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class TenantSpec:
+    """One tenant's fair-share weight and hard quotas.
+
+    Attributes
+    ----------
+    weight:
+        Fair-share weight used by :class:`WeightedFairGrant`; a tenant
+        with twice the weight is entitled to twice the service before it
+        yields the grant queue.
+    max_leased_vms / max_leased_sls:
+        Hard cap on the tenant's *concurrently leased* workers across the
+        whole pool (``None`` = unlimited).  Single requests larger than
+        the quota are clamped to it, like pool-capacity clamping.
+    max_in_flight:
+        Cap on the tenant's concurrently in-flight queries.  The pool does
+        not see queries, so this quota is enforced by the admission layer
+        (:class:`~repro.core.serving.ServingSimulator`), not here.
+    """
+
+    name: str
+    weight: float = 1.0
+    max_leased_vms: int | None = None
+    max_leased_sls: int | None = None
+    max_in_flight: int | None = None
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("tenant name must be non-empty")
+        if not self.weight > 0.0 or self.weight == float("inf"):
+            raise ValueError("tenant weight must be finite and positive")
+        for field_name in ("max_leased_vms", "max_leased_sls"):
+            value = getattr(self, field_name)
+            if value is not None and value < 0:
+                raise ValueError(f"{field_name} must be non-negative")
+        if self.max_in_flight is not None and self.max_in_flight < 1:
+            raise ValueError("max_in_flight must be at least 1")
+
+
+class TenantRegistry:
+    """The known tenants, their weights and their quotas.
+
+    Unknown tenants resolve to an unlimited weight-1 spec, so a registry
+    is never required for single-tenant use; pass ``strict=True`` to
+    reject unregistered tenant names instead (a closed platform).
+    """
+
+    def __init__(
+        self, tenants: Iterable[TenantSpec] = (), strict: bool = False
+    ) -> None:
+        self._specs: dict[str, TenantSpec] = {}
+        self.strict = strict
+        for spec in tenants:
+            self.register(spec)
+
+    def register(self, spec: TenantSpec) -> TenantSpec:
+        self._specs[spec.name] = spec
+        return spec
+
+    def get(self, name: str) -> TenantSpec:
+        spec = self._specs.get(name)
+        if spec is None:
+            if self.strict:
+                raise KeyError(f"unknown tenant {name!r}")
+            return TenantSpec(name=name)
+        return spec
+
+    def weight(self, name: str) -> float:
+        return self.get(name).weight
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return tuple(self._specs)
+
+    def __contains__(self, name: object) -> bool:
+        return name in self._specs
+
+    def __iter__(self):
+        return iter(self._specs.values())
+
+    def __len__(self) -> int:
+        return len(self._specs)
+
+
+# ---------------------------------------------------------------------------
+# Autoscaling
+# ---------------------------------------------------------------------------
 
 
 class AutoscalerPolicy(abc.ABC):
@@ -189,6 +309,12 @@ class PoolStats:
     leases_queued: int = 0
     peak_leased_vms: int = 0
     peak_leased_sls: int = 0
+    #: Queued requests granted by a shard other than the one they were
+    #: routed to (work stealing keeps sharded pools work-conserving).
+    work_steals: int = 0
+    #: Leases that at least once waited on a tenant quota while shard
+    #: capacity was otherwise available.
+    quota_deferrals: int = 0
 
     @property
     def acquisitions(self) -> int:
@@ -245,14 +371,31 @@ class PoolLease:
         on_granted: Callable[["PoolLease"], None] | None = None,
         requested_vm: int | None = None,
         requested_sl: int | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
-        self.lease_id = f"lease-{next(self._ids):06d}"
+        self.seq = next(self._ids)
+        self.lease_id = f"lease-{self.seq:06d}"
         self.n_vm = n_vm
         self.n_sl = n_sl
         self.requested_vm = n_vm if requested_vm is None else requested_vm
         self.requested_sl = n_sl if requested_sl is None else requested_sl
         self.requested_at = requested_at
         self.granted_at: float | None = None
+        self.tenant = tenant
+        #: Name of the shard serving the lease; routed at request time,
+        #: reassigned if another shard steals the queued request.
+        self.shard: str | None = None
+        #: Start of the lease's *current* quota-blocked interval: it was
+        #: last evaluated with shard capacity available but its tenant
+        #: over quota (None = not currently quota-blocked).
+        self.quota_blocked_since: float | None = None
+        #: Seconds of the queueing delay attributable to tenant quotas
+        #: rather than raw capacity.  Accumulated per quota-blocked
+        #: interval: an interval closes when the lease is next found
+        #: capacity-blocked instead (the wait is the pool's fault again)
+        #: or when it is granted.
+        self.quota_delay_s: float = 0.0
+        self._quota_ever_blocked = False
         self.on_instance_ready = on_instance_ready
         self.on_granted = on_granted
         self.vms: list[VMInstance] = []
@@ -338,6 +481,208 @@ class PoolLease:
         return report
 
 
+# ---------------------------------------------------------------------------
+# Shards
+# ---------------------------------------------------------------------------
+
+
+class PoolShard:
+    """One named partition of the pool: capacity, warm set, grant queue."""
+
+    __slots__ = ("name", "config", "warm", "leased_vms", "leased_sls", "queue")
+
+    def __init__(self, name: str, config: PoolConfig) -> None:
+        self.name = name
+        self.config = config
+        self.warm: dict[InstanceKind, dict[str, Instance]] = {
+            InstanceKind.VM: {},
+            InstanceKind.SERVERLESS: {},
+        }
+        self.leased_vms = 0
+        self.leased_sls = 0
+        self.queue: list[PoolLease] = []
+
+    @property
+    def free_vms(self) -> int:
+        return self.config.max_vms - self.leased_vms
+
+    @property
+    def free_sls(self) -> int:
+        return self.config.max_sls - self.leased_sls
+
+    @property
+    def warm_vms(self) -> int:
+        return len(self.warm[InstanceKind.VM])
+
+    @property
+    def warm_sls(self) -> int:
+        return len(self.warm[InstanceKind.SERVERLESS])
+
+    @property
+    def pending_requests(self) -> int:
+        return len(self.queue)
+
+    def fits(self, lease: PoolLease) -> bool:
+        """Whether the lease can be granted from this shard's free capacity."""
+        return lease.n_vm <= self.free_vms and lease.n_sl <= self.free_sls
+
+
+class ShardRouter(abc.ABC):
+    """Places an acquire request onto one of the pool's shards."""
+
+    @abc.abstractmethod
+    def route(
+        self, n_vm: int, n_sl: int, tenant: str, pool: "ClusterPool"
+    ) -> str:
+        """Name of the shard the request should home on."""
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable router name for reports."""
+
+
+class LeastLoadedRouter(ShardRouter):
+    """Route to the shard that can serve the most of the request, freest
+    first.
+
+    Shards are scored by how much of the (possibly capacity-clamped)
+    request they could ever hold, then by current free slots; ties keep
+    declaration order, so a single-shard pool routes trivially.
+    """
+
+    def route(
+        self, n_vm: int, n_sl: int, tenant: str, pool: "ClusterPool"
+    ) -> str:
+        best_name: str | None = None
+        best_key: tuple[int, int] | None = None
+        for shard in pool.shards:
+            coverage = (
+                min(n_vm, shard.config.max_vms)
+                + min(n_sl, shard.config.max_sls)
+            )
+            key = (coverage, shard.free_vms + shard.free_sls)
+            if best_key is None or key > best_key:
+                best_name, best_key = shard.name, key
+        assert best_name is not None  # pools always have >= 1 shard
+        return best_name
+
+    def describe(self) -> str:
+        return "least-loaded"
+
+
+class TenantAffinityRouter(ShardRouter):
+    """Pin each tenant to one shard (stable hash of the tenant name).
+
+    Affinity concentrates a tenant's warm instances on one shard, raising
+    its warm-start rate; work stealing still drains the queue when the
+    home shard saturates.  With *heterogeneous* shards, affinity only
+    applies among the shards that can serve the most of the request
+    (capacity-wise) -- pinning a VM+SL request to an SL-only shard would
+    silently drop the VMs, so incapable shards are excluded first.
+    """
+
+    def route(
+        self, n_vm: int, n_sl: int, tenant: str, pool: "ClusterPool"
+    ) -> str:
+        def coverage(shard: PoolShard) -> int:
+            return (
+                min(n_vm, shard.config.max_vms)
+                + min(n_sl, shard.config.max_sls)
+            )
+
+        shards = pool.shards
+        best = max(coverage(shard) for shard in shards)
+        capable = [s.name for s in shards if coverage(s) == best]
+        index = zlib.crc32(tenant.encode("utf-8")) % len(capable)
+        return capable[index]
+
+    def describe(self) -> str:
+        return "tenant-affinity"
+
+
+# ---------------------------------------------------------------------------
+# Grant ordering
+# ---------------------------------------------------------------------------
+
+
+class GrantPolicy(abc.ABC):
+    """Chooses which queued request a shard grants next."""
+
+    @abc.abstractmethod
+    def candidates(
+        self, shard: PoolShard, pool: "ClusterPool"
+    ) -> list[PoolLease]:
+        """The shard's grant-eligible queued leases, in preference order.
+
+        Only these leases may be granted next -- by the shard itself or
+        by a stealing shard -- so the ordering guarantees a policy makes
+        (e.g. FIFO's arrival order) survive work stealing.
+        """
+
+    @abc.abstractmethod
+    def describe(self) -> str:
+        """Human-readable policy name for reports."""
+
+    def select(self, shard: PoolShard, pool: "ClusterPool") -> PoolLease | None:
+        """The next queued lease grantable on ``shard`` (None when stuck)."""
+        for lease in self.candidates(shard, pool):
+            if not shard.fits(lease):
+                pool._note_capacity_block(lease)
+                continue
+            if not pool.quota_allows(lease):
+                pool._note_quota_block(lease)
+                continue
+            return lease
+        return None
+
+
+class FifoGrant(GrantPolicy):
+    """Plain arrival order with head-of-line blocking (the classic queue).
+
+    The head request blocks everything behind it -- including other
+    tenants -- until capacity *and* its tenant's quota allow the grant.
+    This is the pre-multi-tenant behaviour and the noisy-neighbour
+    baseline the fair policy is measured against.
+    """
+
+    def candidates(
+        self, shard: PoolShard, pool: "ClusterPool"
+    ) -> list[PoolLease]:
+        return shard.queue[:1]
+
+    def describe(self) -> str:
+        return "fifo"
+
+
+class WeightedFairGrant(GrantPolicy):
+    """Least weight-normalised service first (start-time fair queueing).
+
+    Each tenant's candidate is its earliest queued request (FIFO *within*
+    a tenant, so a single-tenant pool behaves exactly like
+    :class:`FifoGrant`); among tenants whose candidate fits the shard and
+    clears its quota, the one that has consumed the least service per
+    unit weight wins, ties broken by arrival order.  Service is the
+    worker count granted so far, so a hot tenant that just burned through
+    the pool yields to a quiet one even under a standing backlog.
+    """
+
+    def candidates(
+        self, shard: PoolShard, pool: "ClusterPool"
+    ) -> list[PoolLease]:
+        heads: dict[str, PoolLease] = {}
+        for lease in shard.queue:  # arrival order => first seen is the head
+            heads.setdefault(lease.tenant, lease)
+        return sorted(
+            heads.values(),
+            key=lambda lease: (
+                pool.normalized_service(lease.tenant), lease.seq
+            ),
+        )
+
+    def describe(self) -> str:
+        return "weighted-fair"
+
+
 class ClusterPool:
     """Owns VM/SL instances across query lifetimes.
 
@@ -349,10 +694,26 @@ class ClusterPool:
     provider / prices:
         Cold-boot latencies and billing rates.
     config:
-        Capacity and warm-start parameters.
+        Capacity and warm-start parameters of the (single) default shard.
     autoscaler:
         Keep-alive policy; defaults to :class:`FixedKeepAlive` built from
         the config's windows (i.e. a cold pool with the default config).
+    shards:
+        Optional explicit partitioning: ``{shard_name: PoolConfig}``.
+        When given, per-shard configs govern capacity and warm-boot
+        latencies and ``config`` only seeds the default autoscaler
+        windows; when omitted the pool is one shard named ``"default"``.
+    router:
+        Shard placement policy (default :class:`LeastLoadedRouter`, which
+        is trivial for a single shard).
+    tenants:
+        Quota/weight registry; defaults to a permissive registry where
+        every tenant is unlimited with weight 1.
+    grant_policy:
+        Queue ordering (default :class:`WeightedFairGrant`, which is
+        exactly FIFO while only one tenant is active).
+    work_stealing:
+        Whether idle shards may grant requests queued on other shards.
     """
 
     def __init__(
@@ -362,6 +723,11 @@ class ClusterPool:
         prices: PriceBook,
         config: PoolConfig | None = None,
         autoscaler: AutoscalerPolicy | None = None,
+        shards: dict[str, PoolConfig] | None = None,
+        router: ShardRouter | None = None,
+        tenants: TenantRegistry | None = None,
+        grant_policy: GrantPolicy | None = None,
+        work_stealing: bool = True,
     ) -> None:
         self.simulator = simulator
         self.provider = provider
@@ -370,48 +736,101 @@ class ClusterPool:
         self.autoscaler = autoscaler or FixedKeepAlive(
             self.config.vm_keep_alive_s, self.config.sl_keep_alive_s
         )
+        if shards:
+            self._shards = {
+                name: PoolShard(name, shard_config)
+                for name, shard_config in shards.items()
+            }
+        else:
+            self._shards = {"default": PoolShard("default", self.config)}
+        self.router = router or LeastLoadedRouter()
+        self.tenants = tenants or TenantRegistry()
+        self.grant_policy = grant_policy or WeightedFairGrant()
+        self.work_stealing = work_stealing
         self.stats = PoolStats()
         self.keepalive_cost = CostBreakdown()
-        # Warm sets keyed by instance id; dict order gives LIFO reuse
-        # (warmest first) via popitem() and O(1) expiry removal.
-        self._warm: dict[InstanceKind, dict[str, Instance]] = {
-            InstanceKind.VM: {},
-            InstanceKind.SERVERLESS: {},
-        }
         self._idle_since: dict[str, float] = {}
         self._expiry_handles: dict[str, EventHandle] = {}
-        self._leased_vms = 0
-        self._leased_sls = 0
-        self._queue: collections.deque[PoolLease] = collections.deque()
         self._grant_times: collections.deque[float] = collections.deque()
+        # Per-tenant accounting: currently leased (vms, sls), the peak of
+        # that pair over the simulation, and total workers granted (the
+        # service the fair policy normalises by weight).
+        self._tenant_leased: dict[str, tuple[int, int]] = {}
+        self._tenant_peaks: dict[str, tuple[int, int]] = {}
+        self._tenant_service: dict[str, float] = {}
 
     # ------------------------------------------------------------------
     # Introspection
     # ------------------------------------------------------------------
 
     @property
+    def shards(self) -> tuple[PoolShard, ...]:
+        return tuple(self._shards.values())
+
+    @property
+    def shard_names(self) -> tuple[str, ...]:
+        return tuple(self._shards)
+
+    def shard(self, name: str) -> PoolShard:
+        return self._shards[name]
+
+    @property
     def leased_vms(self) -> int:
-        return self._leased_vms
+        return sum(shard.leased_vms for shard in self._shards.values())
 
     @property
     def leased_sls(self) -> int:
-        return self._leased_sls
+        return sum(shard.leased_sls for shard in self._shards.values())
 
     @property
     def warm_vms(self) -> int:
-        return len(self._warm[InstanceKind.VM])
+        return sum(shard.warm_vms for shard in self._shards.values())
 
     @property
     def warm_sls(self) -> int:
-        return len(self._warm[InstanceKind.SERVERLESS])
+        return sum(shard.warm_sls for shard in self._shards.values())
 
     @property
     def pending_requests(self) -> int:
-        return len(self._queue)
+        return sum(len(shard.queue) for shard in self._shards.values())
 
     @property
     def keepalive_cost_dollars(self) -> float:
         return self.keepalive_cost.total
+
+    def tenant_leased(self, tenant: str) -> tuple[int, int]:
+        """The tenant's currently leased ``(vms, sls)``."""
+        return self._tenant_leased.get(tenant, (0, 0))
+
+    @property
+    def tenant_peaks(self) -> dict[str, tuple[int, int]]:
+        """Peak concurrently leased ``(vms, sls)`` seen per tenant."""
+        return dict(self._tenant_peaks)
+
+    def normalized_service(self, tenant: str) -> float:
+        """Workers granted to the tenant so far, divided by its weight."""
+        return (
+            self._tenant_service.get(tenant, 0.0)
+            / self.tenants.weight(tenant)
+        )
+
+    def quota_allows(self, lease: PoolLease) -> bool:
+        """Whether granting the lease keeps its tenant within quota."""
+        spec = self.tenants.get(lease.tenant)
+        if spec.max_leased_vms is None and spec.max_leased_sls is None:
+            return True
+        vm_used, sl_used = self.tenant_leased(lease.tenant)
+        if (
+            spec.max_leased_vms is not None
+            and vm_used + lease.n_vm > spec.max_leased_vms
+        ):
+            return False
+        if (
+            spec.max_leased_sls is not None
+            and sl_used + lease.n_sl > spec.max_leased_sls
+        ):
+            return False
+        return True
 
     def recent_acquire_rate(self, window_s: float) -> float:
         """Lease grants per second over the trailing ``window_s``.
@@ -430,8 +849,16 @@ class ClusterPool:
         return count / window_s
 
     def describe(self) -> str:
+        if len(self._shards) == 1:
+            shard = next(iter(self._shards.values()))
+            capacity = f"max={shard.config.max_vms}VM+{shard.config.max_sls}SL"
+        else:
+            capacity = (
+                f"{len(self._shards)} shards "
+                f"[{', '.join(self._shards)}], {self.router.describe()}"
+            )
         return (
-            f"ClusterPool(max={self.config.max_vms}VM+{self.config.max_sls}SL, "
+            f"ClusterPool({capacity}, {self.grant_policy.describe()} grants, "
             f"{self.autoscaler.describe()})"
         )
 
@@ -445,27 +872,38 @@ class ClusterPool:
         n_sl: int,
         on_instance_ready: Callable[[Instance, bool], None],
         on_granted: Callable[[PoolLease], None] | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> PoolLease:
         """Request ``n_vm`` VMs plus ``n_sl`` SLs for one query.
 
-        Requests are clamped to the pool's capacity.  When enough free
-        capacity exists (and no earlier request is waiting) the lease is
-        granted synchronously; otherwise it queues FIFO.  Per ready
-        worker, ``on_instance_ready(instance, warm)`` fires after the
-        (warm or cold) boot; ``on_granted(lease)`` fires once at grant
-        time, after the lease's instance lists are filled.
+        The request is routed to a shard and clamped to the smaller of
+        the shard's capacity and the tenant's quota.  When the shard has
+        no backlog, free capacity and quota headroom, the lease is
+        granted synchronously; otherwise it queues on the shard and is
+        granted by the pool's :class:`GrantPolicy` (or stolen by an idle
+        shard) as capacity frees up.  Per ready worker,
+        ``on_instance_ready(instance, warm)`` fires after the (warm or
+        cold) boot; ``on_granted(lease)`` fires once at grant time, after
+        the lease's instance lists are filled.
         """
         if n_vm < 0 or n_sl < 0:
             raise ValueError("instance counts must be non-negative")
         if n_vm + n_sl == 0:
             raise ValueError("at least one instance is required")
-        clamped_vm = min(n_vm, self.config.max_vms)
-        clamped_sl = min(n_sl, self.config.max_sls)
+        spec = self.tenants.get(tenant)
+        shard = self._shards[self.router.route(n_vm, n_sl, tenant, self)]
+        clamped_vm = min(n_vm, shard.config.max_vms)
+        clamped_sl = min(n_sl, shard.config.max_sls)
+        if spec.max_leased_vms is not None:
+            clamped_vm = min(clamped_vm, spec.max_leased_vms)
+        if spec.max_leased_sls is not None:
+            clamped_sl = min(clamped_sl, spec.max_leased_sls)
         if clamped_vm + clamped_sl == 0:
             raise ValueError(
-                f"the pool has no capacity for a ({n_vm} VM, {n_sl} SL) "
-                f"request (max {self.config.max_vms} VM, "
-                f"{self.config.max_sls} SL)"
+                f"shard {shard.name!r} has no capacity (or tenant "
+                f"{tenant!r} no quota) for a ({n_vm} VM, {n_sl} SL) "
+                f"request (shard max {shard.config.max_vms} VM, "
+                f"{shard.config.max_sls} SL)"
             )
         lease = PoolLease(
             n_vm=clamped_vm,
@@ -475,53 +913,95 @@ class ClusterPool:
             on_granted=on_granted,
             requested_vm=n_vm,
             requested_sl=n_sl,
+            tenant=tenant,
         )
-        if not self._queue and self._grantable(lease):
-            self._grant(lease)
+        lease.shard = shard.name
+        if not shard.queue and shard.fits(lease) and self.quota_allows(lease):
+            self._grant(lease, shard)
         else:
-            self._queue.append(lease)
-            self.stats.leases_queued += 1
+            if shard.fits(lease) and not self.quota_allows(lease):
+                self._note_quota_block(lease)
+            shard.queue.append(lease)
+            # Another shard may be able to serve the request right away
+            # (work stealing); only count the lease as queued when it is
+            # still waiting after that, so leases_queued keeps meaning
+            # "waited for a later event".
+            self._pump()
+            if not lease.is_granted:
+                self.stats.leases_queued += 1
         return lease
 
-    def _grantable(self, lease: PoolLease) -> bool:
-        return (
-            lease.n_vm <= self.config.max_vms - self._leased_vms
-            and lease.n_sl <= self.config.max_sls - self._leased_sls
-        )
+    def _note_quota_block(self, lease: PoolLease) -> None:
+        """Record that the lease is waiting on quota, not capacity."""
+        if lease.quota_blocked_since is None:
+            lease.quota_blocked_since = self.simulator.now
+        if not lease._quota_ever_blocked:
+            lease._quota_ever_blocked = True
+            self.stats.quota_deferrals += 1
 
-    def _grant(self, lease: PoolLease) -> None:
+    def _note_capacity_block(self, lease: PoolLease) -> None:
+        """Close an open quota-blocked interval: capacity ran out again,
+        so the wait from here on is contention, not the quota."""
+        if lease.quota_blocked_since is not None:
+            lease.quota_delay_s += (
+                self.simulator.now - lease.quota_blocked_since
+            )
+            lease.quota_blocked_since = None
+
+    def _grant(self, lease: PoolLease, shard: PoolShard) -> None:
         now = self.simulator.now
         lease.granted_at = now
+        lease.shard = shard.name
+        if lease.quota_blocked_since is not None:
+            lease.quota_delay_s += now - lease.quota_blocked_since
+            lease.quota_blocked_since = None
         self.stats.leases_granted += 1
         self._grant_times.append(now)
         for _ in range(lease.n_vm):
-            lease.vms.append(self._hand_over(lease, InstanceKind.VM))
+            lease.vms.append(self._hand_over(lease, InstanceKind.VM, shard))
         for _ in range(lease.n_sl):
-            lease.sls.append(self._hand_over(lease, InstanceKind.SERVERLESS))
-        self._leased_vms += lease.n_vm
-        self._leased_sls += lease.n_sl
+            lease.sls.append(
+                self._hand_over(lease, InstanceKind.SERVERLESS, shard)
+            )
+        shard.leased_vms += lease.n_vm
+        shard.leased_sls += lease.n_sl
+        vm_used, sl_used = self.tenant_leased(lease.tenant)
+        vm_used += lease.n_vm
+        sl_used += lease.n_sl
+        self._tenant_leased[lease.tenant] = (vm_used, sl_used)
+        peak_vm, peak_sl = self._tenant_peaks.get(lease.tenant, (0, 0))
+        self._tenant_peaks[lease.tenant] = (
+            max(peak_vm, vm_used), max(peak_sl, sl_used)
+        )
+        self._tenant_service[lease.tenant] = (
+            self._tenant_service.get(lease.tenant, 0.0)
+            + lease.n_vm
+            + lease.n_sl
+        )
         self.stats.peak_leased_vms = max(
-            self.stats.peak_leased_vms, self._leased_vms
+            self.stats.peak_leased_vms, self.leased_vms
         )
         self.stats.peak_leased_sls = max(
-            self.stats.peak_leased_sls, self._leased_sls
+            self.stats.peak_leased_sls, self.leased_sls
         )
         if lease.on_granted is not None:
             lease.on_granted(lease)
 
-    def _hand_over(self, lease: PoolLease, kind: InstanceKind) -> Instance:
+    def _hand_over(
+        self, lease: PoolLease, kind: InstanceKind, shard: PoolShard
+    ) -> Instance:
         """Reuse a warm instance (LIFO, warmest first) or spawn cold."""
         now = self.simulator.now
-        warm_set = self._warm[kind]
+        warm_set = shard.warm[kind]
         if warm_set:
             _, instance = warm_set.popitem()
             self._end_idle(instance, now)
             self.stats.warm_starts += 1
             cold = False
             boot = (
-                self.config.warm_vm_boot_s
+                shard.config.warm_vm_boot_s
                 if kind is InstanceKind.VM
-                else self.config.warm_sl_boot_s
+                else shard.config.warm_sl_boot_s
             )
         else:
             if kind is InstanceKind.VM:
@@ -564,6 +1044,8 @@ class ClusterPool:
             raise ValueError(
                 f"{instance.instance_id} is not leased by {lease.lease_id}"
             )
+        assert lease.shard is not None
+        shard = self._shards[lease.shard]
         now = self.simulator.now
         if segment.boot_handle is not None:
             self.simulator.cancel(segment.boot_handle)
@@ -576,10 +1058,14 @@ class ClusterPool:
                 tasks_executed=instance.tasks_executed - segment.tasks_at_open,
             )
         )
+        vm_used, sl_used = self.tenant_leased(lease.tenant)
         if instance.kind is InstanceKind.VM:
-            self._leased_vms -= 1
+            shard.leased_vms -= 1
+            vm_used -= 1
         else:
-            self._leased_sls -= 1
+            shard.leased_sls -= 1
+            sl_used -= 1
+        self._tenant_leased[lease.tenant] = (vm_used, sl_used)
 
         if instance.state is InstanceState.BOOTING:
             # Released before the cold boot completed -- a half-booted
@@ -590,7 +1076,7 @@ class ClusterPool:
         else:
             keep_alive = self.autoscaler.keep_alive(instance.kind, self)
             if keep_alive > 0.0:
-                self._park(instance, keep_alive, now)
+                self._park(instance, keep_alive, now, shard)
             else:
                 self._terminate(instance, now)
         self._pump()
@@ -600,15 +1086,21 @@ class ClusterPool:
         for instance in list(lease.active_instances):
             self.release_instance(lease, instance)
 
-    def _park(self, instance: Instance, keep_alive: float, now: float) -> None:
-        self._warm[instance.kind][instance.instance_id] = instance
+    def _park(
+        self,
+        instance: Instance,
+        keep_alive: float,
+        now: float,
+        shard: PoolShard,
+    ) -> None:
+        shard.warm[instance.kind][instance.instance_id] = instance
         self._idle_since[instance.instance_id] = now
         self._expiry_handles[instance.instance_id] = self.simulator.schedule(
-            keep_alive, lambda: self._expire(instance)
+            keep_alive, lambda: self._expire(instance, shard)
         )
 
-    def _expire(self, instance: Instance) -> None:
-        if self._warm[instance.kind].pop(instance.instance_id, None) is None:
+    def _expire(self, instance: Instance, shard: PoolShard) -> None:
+        if shard.warm[instance.kind].pop(instance.instance_id, None) is None:
             return  # reused before the (stale) expiry fired
         now = self.simulator.now
         self._end_idle(instance, now)
@@ -635,9 +1127,56 @@ class ClusterPool:
             instance.transition(InstanceState.TERMINATED, now)
 
     def _pump(self) -> None:
-        """Grant queued requests FIFO while capacity allows."""
-        while self._queue and self._grantable(self._queue[0]):
-            self._grant(self._queue.popleft())
+        """Grant queued requests while any shard can make progress.
+
+        Each round serves every shard's own queue through the grant
+        policy, then lets shards with leftover free capacity steal queued
+        requests homed elsewhere; rounds repeat until a full pass grants
+        nothing.  Every grant consumes capacity, so the loop terminates.
+        """
+        progressed = True
+        while progressed:
+            progressed = False
+            for shard in self._shards.values():
+                while True:
+                    lease = self.grant_policy.select(shard, self)
+                    if lease is None:
+                        break
+                    shard.queue.remove(lease)
+                    self._grant(lease, shard)
+                    progressed = True
+            if not self.work_stealing:
+                continue
+            for thief in self._shards.values():
+                if thief.free_vms <= 0 and thief.free_sls <= 0:
+                    continue
+                lease = self._steal_candidate(thief)
+                if lease is not None:
+                    assert lease.shard is not None
+                    self._shards[lease.shard].queue.remove(lease)
+                    self.stats.work_steals += 1
+                    self._grant(lease, thief)
+                    progressed = True
+
+    def _steal_candidate(self, thief: PoolShard) -> PoolLease | None:
+        """A grant-eligible request another shard holds that fits here.
+
+        Only the victim's *policy candidates* may be stolen -- under
+        FIFO that is its queue head alone -- so the grant ordering each
+        policy guarantees survives work stealing instead of letting
+        small late requests overtake a blocked head forever.
+        """
+        for shard in self._shards.values():
+            if shard is thief:
+                continue
+            for lease in self.grant_policy.candidates(shard, self):
+                if not thief.fits(lease):
+                    continue
+                if not self.quota_allows(lease):
+                    self._note_quota_block(lease)
+                    continue
+                return lease
+        return None
 
     # ------------------------------------------------------------------
     # Shutdown
@@ -646,8 +1185,9 @@ class ClusterPool:
     def shutdown(self) -> None:
         """Terminate all warm instances (end of the serving day)."""
         now = self.simulator.now
-        for warm_set in self._warm.values():
-            for instance in list(warm_set.values()):
-                self._end_idle(instance, now)
-                self._terminate(instance, now)
-            warm_set.clear()
+        for shard in self._shards.values():
+            for warm_set in shard.warm.values():
+                for instance in list(warm_set.values()):
+                    self._end_idle(instance, now)
+                    self._terminate(instance, now)
+                warm_set.clear()

@@ -10,8 +10,16 @@ over TCP -- same architectural property, plain-library implementation:
 
 - :class:`PredictionServer` wraps a trained
   :class:`~repro.core.predictor.WorkloadPredictor` and serves
-  ``determine`` / ``predict_duration`` / ``model_info`` / ``ping``.
+  ``determine`` / ``predict_duration`` / ``model_info`` / ``tenant_info``
+  / ``ping``.
 - :class:`PredictionClient` is the matching blocking client.
+
+The service is tenant-aware: callers may tag ``determine`` and
+``predict_duration`` with a ``tenant`` name, which is validated against
+an optional :class:`~repro.cloud.pool.TenantRegistry` (strict registries
+reject unknown names) and metered per tenant so prediction-service usage
+can be charged back alongside pool usage; ``tenant_info`` exposes the
+registered specs and the per-tenant request counts.
 
 Frames are ``4-byte big-endian length || UTF-8 JSON``.  Requests look like
 ``{"method": "determine", "params": {...}}``; responses are
@@ -20,6 +28,7 @@ Frames are ``4-byte big-endian length || UTF-8 JSON``.  Requests look like
 
 from __future__ import annotations
 
+import collections
 import dataclasses
 import json
 import socket
@@ -28,6 +37,7 @@ import struct
 import threading
 from typing import Any
 
+from repro.cloud.pool import DEFAULT_TENANT, TenantRegistry
 from repro.core.predictor import (
     ConfigDecision,
     PredictionRequest,
@@ -119,11 +129,20 @@ class _ThreadingServer(socketserver.ThreadingTCPServer):
 
 
 class PredictionServer:
-    """Serves a :class:`WorkloadPredictor` to external SEDA systems."""
+    """Serves a :class:`WorkloadPredictor` to external SEDA systems.
+
+    ``tenants`` optionally attaches a registry: prediction calls tagged
+    with a tenant are validated against it (strict registries reject
+    unknown names) and counted per tenant for chargeback.
+    """
 
     def __init__(self, predictor: WorkloadPredictor, host: str = "127.0.0.1",
-                 port: int = 0) -> None:
+                 port: int = 0,
+                 tenants: TenantRegistry | None = None) -> None:
         self.predictor = predictor
+        self.tenants = tenants
+        self._tenant_requests: collections.Counter[str] = collections.Counter()
+        self._tenant_lock = threading.Lock()
         self._tcp = _ThreadingServer((host, port), _Handler)
         self._tcp.prediction_server = self  # type: ignore[attr-defined]
         self._thread: threading.Thread | None = None
@@ -160,6 +179,31 @@ class PredictionServer:
     # Method dispatch
     # ------------------------------------------------------------------
 
+    def _meter_tenant(self, params: dict[str, Any]) -> str:
+        """Validate and count the calling tenant; returns its name."""
+        tenant = params.get("tenant")
+        if tenant is None:
+            tenant = DEFAULT_TENANT
+        if not isinstance(tenant, str) or not tenant:
+            # An explicit empty name is a caller bug (e.g. an unset
+            # config value), not a request to bill the default tenant.
+            raise ValueError("tenant must be a non-empty string")
+        if (
+            self.tenants is not None
+            and self.tenants.strict
+            and tenant not in self.tenants
+        ):
+            raise KeyError(f"unknown tenant {tenant!r}")
+        with self._tenant_lock:
+            self._tenant_requests[tenant] += 1
+        return tenant
+
+    @property
+    def tenant_requests(self) -> dict[str, int]:
+        """Prediction calls served per tenant (for usage chargeback)."""
+        with self._tenant_lock:
+            return dict(self._tenant_requests)
+
     def dispatch(self, method: str, params: dict[str, Any]) -> Any:
         if method == "ping":
             return "pong"
@@ -172,20 +216,45 @@ class PredictionServer:
                 "relay": self.predictor.relay,
                 "provider": self.predictor.provider.name,
             }
+        if method == "tenant_info":
+            registered = {}
+            if self.tenants is not None:
+                registered = {
+                    spec.name: {
+                        "weight": spec.weight,
+                        "max_leased_vms": spec.max_leased_vms,
+                        "max_leased_sls": spec.max_leased_sls,
+                        "max_in_flight": spec.max_in_flight,
+                    }
+                    for spec in self.tenants
+                }
+            return {
+                # `is not None`: an empty strict registry is falsy but
+                # its strictness is very much in force.
+                "strict": (
+                    self.tenants.strict if self.tenants is not None else False
+                ),
+                "tenants": registered,
+                "requests": self.tenant_requests,
+            }
         if method == "predict_duration":
+            self._meter_tenant(params)
             request = PredictionRequest(**params["request"])
             features = request.feature_vector(
                 int(params["n_vm"]), int(params["n_sl"])
             )
             return self.predictor.predict_duration(features)
         if method == "determine":
+            tenant = self._meter_tenant(params)
             request = PredictionRequest(**params["request"])
             decision = self.predictor.determine(
                 request,
                 knob=float(params.get("knob", 0.0)),
                 mode=params.get("mode", "hybrid"),
             )
-            return _decision_to_dict(decision)
+            payload = _decision_to_dict(decision)
+            payload["tenant"] = tenant
+            return payload
         raise ValueError(f"unknown RPC method {method!r}")
 
 
@@ -221,22 +290,33 @@ class PredictionClient:
     def model_info(self) -> dict:
         return self.call("model_info")
 
+    def tenant_info(self) -> dict:
+        return self.call("tenant_info")
+
     def predict_duration(
-        self, request: PredictionRequest, n_vm: int, n_sl: int
+        self,
+        request: PredictionRequest,
+        n_vm: int,
+        n_sl: int,
+        tenant: str | None = None,
     ) -> float:
-        return self.call(
-            "predict_duration",
-            request=dataclasses.asdict(request),
-            n_vm=n_vm,
-            n_sl=n_sl,
+        params: dict[str, Any] = dict(
+            request=dataclasses.asdict(request), n_vm=n_vm, n_sl=n_sl
         )
+        if tenant is not None:
+            params["tenant"] = tenant
+        return self.call("predict_duration", **params)
 
     def determine(
-        self, request: PredictionRequest, knob: float = 0.0, mode: str = "hybrid"
+        self,
+        request: PredictionRequest,
+        knob: float = 0.0,
+        mode: str = "hybrid",
+        tenant: str | None = None,
     ) -> dict:
-        return self.call(
-            "determine",
-            request=dataclasses.asdict(request),
-            knob=knob,
-            mode=mode,
+        params: dict[str, Any] = dict(
+            request=dataclasses.asdict(request), knob=knob, mode=mode
         )
+        if tenant is not None:
+            params["tenant"] = tenant
+        return self.call("determine", **params)

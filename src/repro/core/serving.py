@@ -2,22 +2,34 @@
 
 The evaluation exercises queries one at a time; a deployed data analytics
 system instead faces a *stream* of ad-hoc arrivals (Section 2.1).  The
-:class:`ServingSimulator` replays a :class:`~repro.workloads.trace.WorkloadTrace`
-through a bootstrapped Smartpick **inside one shared discrete-event
-simulation**:
+:class:`ServingSimulator` replays one or many workload traces through a
+bootstrapped Smartpick **inside one shared discrete-event simulation**:
 
 - every arrival is scheduled as an event at its trace time and submitted
   through the full Figure 3 workflow when it fires,
 - all queries execute concurrently against one shared
   :class:`~repro.cloud.pool.ClusterPool` -- overlapping arrivals contend
-  for pool capacity, queue FIFO when it saturates, and (with keep-alive
-  enabled) inherit each other's still-warm workers,
+  for pool capacity, queue under the pool's grant policy when it
+  saturates, and (with keep-alive enabled) inherit each other's
+  still-warm workers,
 - the number of still-in-flight earlier queries feeds the
   ``num-waiting-apps`` feature of Table 3,
 - aliens, retrains, per-query bills, queueing delays and the pool's
   warm-start behaviour are accounted into a :class:`ServingReport` with
   latency percentiles, total cost (including keep-alive spend) and SLO
   attainment.
+
+**Multi-tenant serving** (:meth:`ServingSimulator.replay_multi`) replays
+several ``(tenant, trace)`` pairs as one interleaved event stream over
+the same shared pool.  A :class:`~repro.cloud.pool.TenantRegistry`
+supplies per-tenant fair-share weights and quotas: concurrently-leased
+worker caps are enforced by the pool, while ``max_in_flight`` query caps
+are enforced here by an admission gate (an arrival past the cap waits,
+and the wait is accounted as ``admission_delay_s``).  The report then
+carries per-tenant slices (:meth:`ServingReport.for_tenant`), a Jain
+fairness index, quota-throttle delays, and a chargeback table that
+partitions the pool's total bill -- keep-alive included -- across
+tenants.
 
 The default pool is cold (no keep-alive) and wide enough that typical
 traces do not contend, which reproduces the paper's
@@ -29,12 +41,24 @@ starts and saturation deliberately.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
+import math
 import warnings
+from typing import Iterable, Mapping, NamedTuple
 
 import numpy as np
 
-from repro.cloud.pool import AutoscalerPolicy, ClusterPool, PoolConfig, PoolStats
+from repro.cloud.pool import (
+    DEFAULT_TENANT,
+    AutoscalerPolicy,
+    ClusterPool,
+    GrantPolicy,
+    PoolConfig,
+    PoolStats,
+    ShardRouter,
+    TenantRegistry,
+)
 from repro.core.job import SubmissionOutcome
 from repro.core.smartpick import Smartpick
 from repro.engine.runner import QueryExecution, launch_query
@@ -64,12 +88,22 @@ class ServedQuery:
     #: Time the arrival waited for its coalescing window to close before
     #: sizing began (0 outside micro-batched serving).
     batching_delay_s: float = 0.0
+    #: The tenant the arrival belongs to (and its lease billed to).
+    tenant: str = DEFAULT_TENANT
+    #: Time the arrival waited at the admission gate because its tenant
+    #: was at ``max_in_flight`` (0 outside multi-tenant quotas).
+    admission_delay_s: float = 0.0
+    #: Portion of ``queueing_delay_s`` spent waiting on the tenant's
+    #: leased-worker quota while shard capacity was otherwise available.
+    quota_delay_s: float = 0.0
 
     @property
     def latency_s(self) -> float:
-        """Arrival-to-completion latency (batching + queueing + execution)."""
+        """Arrival-to-completion latency (admission + batching + queueing
+        + execution)."""
         return (
-            self.batching_delay_s
+            self.admission_delay_s
+            + self.batching_delay_s
             + self.queueing_delay_s
             + self.outcome.actual_seconds
         )
@@ -77,6 +111,11 @@ class ServedQuery:
     @property
     def completion_s(self) -> float:
         return self.arrival_s + self.latency_s
+
+    @property
+    def quota_throttle_delay_s(self) -> float:
+        """Total delay attributable to tenant quotas (admission + lease)."""
+        return self.admission_delay_s + self.quota_delay_s
 
 
 @dataclasses.dataclass
@@ -87,6 +126,14 @@ class ServingReport:
     slo_seconds: float
     pool_stats: PoolStats | None = None
     keepalive_cost_dollars: float = 0.0
+    #: Fair-share weight per tenant at replay time (single-tenant replays
+    #: record the default tenant at weight 1).
+    tenant_weights: dict[str, float] = dataclasses.field(default_factory=dict)
+    #: Peak concurrently leased ``(vms, sls)`` the pool saw per tenant --
+    #: the observable the leased-worker quotas bound.
+    tenant_peaks: dict[str, tuple[int, int]] = dataclasses.field(
+        default_factory=dict
+    )
 
     @property
     def n_queries(self) -> int:
@@ -99,6 +146,20 @@ class ServingReport:
     @property
     def queueing_delays(self) -> np.ndarray:
         return np.array([s.queueing_delay_s for s in self.served])
+
+    @property
+    def admission_delays(self) -> np.ndarray:
+        return np.array([s.admission_delay_s for s in self.served])
+
+    @property
+    def quota_throttle_delays(self) -> np.ndarray:
+        """Per-query delay attributable to tenant quotas.
+
+        The sum of the admission-gate wait (``max_in_flight``) and the
+        in-pool quota wait (``max_leased_vms`` / ``max_leased_sls``);
+        zero everywhere when no quotas are configured.
+        """
+        return np.array([s.quota_throttle_delay_s for s in self.served])
 
     @property
     def query_cost_dollars(self) -> float:
@@ -173,6 +234,11 @@ class ServingReport:
             raise ValueError("the report is empty")
         return float(np.percentile(self.queueing_delays, percentile))
 
+    def quota_throttle_delay_percentile(self, percentile: float) -> float:
+        if not self.served:
+            raise ValueError("the report is empty")
+        return float(np.percentile(self.quota_throttle_delays, percentile))
+
     @property
     def slo_attainment(self) -> float:
         """Fraction of queries finishing within the SLO."""
@@ -180,29 +246,189 @@ class ServingReport:
             raise ValueError("the report is empty")
         return float(np.mean(self.latencies <= self.slo_seconds))
 
+    # ------------------------------------------------------------------
+    # Tenancy: slices, fairness, chargeback
+    # ------------------------------------------------------------------
+
+    @property
+    def tenants(self) -> tuple[str, ...]:
+        """Tenants of this replay, in replay order.
+
+        Tenants registered at replay time come first (even if they served
+        nothing); tenants only observed on queries follow.
+        """
+        ordered = dict.fromkeys(self.tenant_weights)
+        for query in self.served:
+            ordered.setdefault(query.tenant, None)
+        return tuple(ordered)
+
+    def for_tenant(self, tenant: str) -> "ServingReport":
+        """This report restricted to one tenant's queries.
+
+        The slice keeps the replay-wide SLO, carries the tenant's
+        keep-alive chargeback share as its keep-alive cost (so the
+        slice's ``total_cost_dollars`` is the tenant's bill), and drops
+        the pool stats, which are not attributable to a single tenant.
+        """
+        if tenant not in self.tenants:
+            raise KeyError(f"unknown tenant {tenant!r}")
+        weight = self.tenant_weights.get(tenant, 1.0)
+        peaks = {}
+        if tenant in self.tenant_peaks:
+            peaks[tenant] = self.tenant_peaks[tenant]
+        return ServingReport(
+            served=[s for s in self.served if s.tenant == tenant],
+            slo_seconds=self.slo_seconds,
+            pool_stats=None,
+            keepalive_cost_dollars=self.keepalive_shares().get(tenant, 0.0),
+            tenant_weights={tenant: weight},
+            tenant_peaks=peaks,
+        )
+
+    @property
+    def jain_fairness_index(self) -> float:
+        """Jain's index over weight-normalised per-tenant spend.
+
+        ``(sum x)^2 / (n * sum x^2)`` with ``x_t = query_cost_t /
+        weight_t``: 1 when every tenant consumed service exactly in
+        proportion to its weight, ``1/n`` when one tenant consumed
+        everything.  Trivially 1 for a single tenant (or no spend).
+        """
+        shares = []
+        costs = self._tenant_query_costs()
+        for tenant in self.tenants:
+            weight = self.tenant_weights.get(tenant, 1.0)
+            shares.append(costs.get(tenant, 0.0) / weight)
+        if len(shares) <= 1:
+            return 1.0
+        total = math.fsum(shares)
+        if total == 0.0:
+            return 1.0
+        return total * total / (
+            len(shares) * math.fsum(x * x for x in shares)
+        )
+
+    def _tenant_query_costs(self) -> dict[str, float]:
+        costs = {tenant: 0.0 for tenant in self.tenants}
+        for query in self.served:
+            costs[query.tenant] += query.outcome.cost_dollars
+        return costs
+
+    def keepalive_shares(self) -> dict[str, float]:
+        """Keep-alive spend apportioned pro rata to per-tenant query cost.
+
+        Idle warm time is a shared amenity with no single owner; billing
+        it in proportion to metered usage is the standard chargeback
+        convention.  When nothing was metered (an idle day) the spend is
+        split equally instead.
+        """
+        return self._keepalive_shares(self._tenant_query_costs())
+
+    def _keepalive_shares(self, costs: dict[str, float]) -> dict[str, float]:
+        if not costs:
+            return {}
+        keepalive = self.keepalive_cost_dollars
+        total = math.fsum(costs.values())
+        if total > 0.0:
+            return {t: keepalive * (c / total) for t, c in costs.items()}
+        return {t: keepalive / len(costs) for t in costs}
+
+    def chargeback(self) -> dict[str, float]:
+        """Per-tenant bills that partition the pool's total cost.
+
+        Each tenant is billed its metered query cost plus its
+        :meth:`keepalive_shares` portion; the floating-point residual of
+        the pro-rata split is folded into the largest bill (ties broken
+        by tenant name) so the bills sum to :attr:`total_cost_dollars`
+        to the last bit.
+        """
+        costs = self._tenant_query_costs()
+        return self._bills(costs, self._keepalive_shares(costs))
+
+    def _bills(
+        self, costs: dict[str, float], shares: dict[str, float]
+    ) -> dict[str, float]:
+        bills = {t: costs[t] + shares.get(t, 0.0) for t in costs}
+        if bills:
+            residual = self.total_cost_dollars - math.fsum(bills.values())
+            anchor = max(bills, key=lambda t: (bills[t], t))
+            bills[anchor] += residual
+        return bills
+
+    def chargeback_table(self) -> str:
+        """The chargeback as an ASCII table with a pool-total footer."""
+        from repro.analysis.reporting import format_table
+
+        costs = self._tenant_query_costs()
+        shares = self._keepalive_shares(costs)
+        bills = self._bills(costs, shares)
+        counts = collections.Counter(s.tenant for s in self.served)
+        rows = []
+        for tenant in self.tenants:
+            rows.append((
+                tenant,
+                counts.get(tenant, 0),
+                100.0 * costs.get(tenant, 0.0),
+                100.0 * shares.get(tenant, 0.0),
+                100.0 * bills.get(tenant, 0.0),
+            ))
+        footer = (
+            "pool total",
+            self.n_queries,
+            100.0 * self.query_cost_dollars,
+            100.0 * self.keepalive_cost_dollars,
+            100.0 * math.fsum(bills.values()),
+        )
+        return format_table(
+            ("tenant", "queries", "query_cents", "keepalive_cents",
+             "total_cents"),
+            rows,
+            footer=footer,
+            title="chargeback",
+        )
+
     def summary(self) -> str:
+        cost = (
+            f"cost {100 * self.query_cost_dollars:.1f}"
+            f" + keep-alive {100 * self.keepalive_cost_dollars:.2f}"
+            f" = {100 * self.total_cost_dollars:.1f} cents"
+        )
+        if not self.served:
+            return f"0 queries, {cost}"
         text = (
             f"{self.n_queries} queries: p50 {self.latency_percentile(50):.1f}s, "
             f"p95 {self.latency_percentile(95):.1f}s, "
             f"SLO({self.slo_seconds:.0f}s) {100 * self.slo_attainment:.0f}%, "
-            f"total {100 * self.total_cost_dollars:.1f} cents, "
+            f"{cost}, "
             f"{self.n_aliens} aliens, {self.n_retrains} retrains"
         )
         if self.pool_stats is not None and self.pool_stats.acquisitions:
             text += (
                 f", {100 * self.warm_start_rate:.0f}% warm starts, "
-                f"queue p95 {self.queueing_delay_percentile(95):.1f}s, "
-                f"keep-alive {100 * self.keepalive_cost_dollars:.2f} cents"
+                f"queue p95 {self.queueing_delay_percentile(95):.1f}s"
             )
         if self.batched_decision_rate > 0:
             text += (
                 f", {100 * self.batched_decision_rate:.0f}% batched decisions"
             )
+        if len(self.tenants) > 1:
+            text += (
+                f", {len(self.tenants)} tenants, "
+                f"Jain {self.jain_fairness_index:.2f}"
+            )
         return text
 
 
+class _Arrival(NamedTuple):
+    """One event of the merged multi-trace stream."""
+
+    index: int
+    tenant: str
+    event: TraceEvent
+
+
 class ServingSimulator:
-    """Replays a workload trace through a bootstrapped Smartpick.
+    """Replays workload traces through a bootstrapped Smartpick.
 
     Parameters
     ----------
@@ -226,6 +452,12 @@ class ServingSimulator:
         *exact-tick* arrivals, which wait for nothing; ``None`` disables
         coalescing entirely (every arrival decided alone through the BO
         path, the pre-coalescer behaviour, bit for bit).
+    tenants:
+        Quota/weight registry for multi-tenant replays; defaults to the
+        system's registry (if any), else a permissive one.
+    shards / router / grant_policy:
+        Forwarded to every replay's :class:`~repro.cloud.pool.ClusterPool`
+        (named capacity partitions, placement policy, queue ordering).
     """
 
     def __init__(
@@ -235,6 +467,10 @@ class ServingSimulator:
         pool_config: PoolConfig | None = None,
         autoscaler: AutoscalerPolicy | None = None,
         batch_window_s: float | None = 0.0,
+        tenants: TenantRegistry | None = None,
+        shards: dict[str, PoolConfig] | None = None,
+        router: ShardRouter | None = None,
+        grant_policy: GrantPolicy | None = None,
     ) -> None:
         if slo_seconds <= 0:
             raise ValueError("slo_seconds must be positive")
@@ -244,30 +480,38 @@ class ServingSimulator:
             raise ValueError("bootstrap the system before serving a trace")
         self.system = system
         self.slo_seconds = slo_seconds
-        self._default_pool = pool_config is None
+        self._default_pool = pool_config is None and shards is None
         self.pool_config = pool_config or PoolConfig()
         self.autoscaler = autoscaler
         self.batch_window_s = batch_window_s
+        self.tenants = tenants if tenants is not None else system.tenants
+        self.shards = shards
+        self.router = router
+        self.grant_policy = grant_policy
 
-    def _coalesce(self, trace: WorkloadTrace) -> list[list[tuple[int, TraceEvent]]]:
-        """Group trace arrivals into sizing batches.
+    def _coalesce(
+        self, arrivals: Iterable[_Arrival]
+    ) -> list[list[_Arrival]]:
+        """Group stream arrivals into sizing batches.
 
         A group collects consecutive arrivals within ``batch_window_s``
         of its *first* member (so windows never chain unboundedly); with
         the default window of 0 only exact-tick arrivals share a group,
         and with ``batch_window_s=None`` every arrival stands alone.
+        Groups may span tenants: coalescing shares a forest pass, not a
+        bill.
         """
-        groups: list[list[tuple[int, TraceEvent]]] = []
-        for index, event in enumerate(trace):
+        groups: list[list[_Arrival]] = []
+        for arrival in arrivals:
             if (
                 self.batch_window_s is not None
                 and groups
-                and event.arrival_s - groups[-1][0][1].arrival_s
+                and arrival.event.arrival_s - groups[-1][0].event.arrival_s
                 <= self.batch_window_s
             ):
-                groups[-1].append((index, event))
+                groups[-1].append(arrival)
             else:
-                groups.append([(index, event)])
+                groups.append([arrival])
         return groups
 
     def replay(
@@ -285,6 +529,51 @@ class ServingSimulator:
         single vectorized forest pass; a solo arrival goes through the
         per-query BO determination exactly as before.
         """
+        return self._replay([(DEFAULT_TENANT, trace)], knob=knob, mode=mode)
+
+    def replay_multi(
+        self,
+        traces: Mapping[str, WorkloadTrace]
+        | Iterable[tuple[str, WorkloadTrace]],
+        knob: float | None = None,
+        mode: str = "hybrid",
+    ) -> ServingReport:
+        """Serve several tenants' traces as one interleaved event stream.
+
+        Every ``(tenant, trace)`` pair is merged into a single
+        time-ordered arrival stream (ties broken by pair order) replayed
+        over ONE shared simulator and pool, so tenants genuinely contend:
+        the pool's grant policy arbitrates saturation, leased-worker
+        quotas throttle greedy tenants, and ``max_in_flight`` quotas gate
+        admission here.  The report carries per-tenant slices, fairness
+        and chargeback; with a single pair it is field-for-field the
+        :meth:`replay` report (modulo the tenant name).
+        """
+        pairs = (
+            list(traces.items())
+            if isinstance(traces, Mapping)
+            else list(traces)
+        )
+        seen: set[str] = set()
+        for tenant, _ in pairs:
+            if not tenant:
+                raise ValueError("tenant names must be non-empty")
+            if tenant in seen:
+                raise ValueError(f"duplicate tenant {tenant!r}")
+            seen.add(tenant)
+        return self._replay(pairs, knob=knob, mode=mode)
+
+    def _replay(
+        self,
+        pairs: list[tuple[str, WorkloadTrace]],
+        knob: float | None,
+        mode: str,
+    ) -> ServingReport:
+        # `is not None`, not truthiness: an *empty* strict registry is
+        # falsy (len 0) but must still reject unknown tenants.
+        registry = (
+            self.tenants if self.tenants is not None else TenantRegistry()
+        )
         simulator = Simulator()
         pool = ClusterPool(
             simulator,
@@ -292,6 +581,10 @@ class ServingSimulator:
             prices=self.system.prices,
             config=self.pool_config,
             autoscaler=self.autoscaler,
+            shards=self.shards,
+            router=self.router,
+            tenants=registry,
+            grant_policy=self.grant_policy,
         )
         # One duration model, seeded from the system's master generator,
         # keeps the whole replay deterministic for a given seed.
@@ -299,25 +592,46 @@ class ServingSimulator:
             provider=self.system.provider, rng=self.system.rng
         )
         initializer = self.system.job_initializer
-        served: list[ServedQuery | None] = [None] * len(trace)
-        in_flight = 0
+
+        # Merge the per-tenant traces into one time-ordered stream; the
+        # sort is stable, so equal arrival times keep pair order and a
+        # single-trace replay preserves its exact trace order.
+        arrivals: list[_Arrival] = []
+        for pair_index, (tenant, trace) in enumerate(pairs):
+            for event_index, event in enumerate(trace):
+                arrivals.append(
+                    (event.arrival_s, pair_index, event_index, tenant, event)
+                )
+        arrivals.sort(key=lambda record: record[:3])
+        stream = [
+            _Arrival(index=index, tenant=record[3], event=record[4])
+            for index, record in enumerate(arrivals)
+        ]
+
+        served: list[ServedQuery | None] = [None] * len(stream)
+        in_flight_total = 0
+        tenant_in_flight: collections.Counter[str] = collections.Counter()
+        pending_admission: dict[str, collections.deque[_Arrival]] = (
+            collections.defaultdict(collections.deque)
+        )
 
         def launch(
-            index: int,
-            event: TraceEvent,
+            arrival: _Arrival,
             query,
             context,
             decision,
             waiting: int,
             batch_size: int,
             batching_delay: float,
+            admission_delay: float,
         ) -> None:
-            nonlocal in_flight
+            nonlocal in_flight_total
             policy = initializer.execution_policy(decision.n_vm, decision.n_sl)
 
             def complete(execution: QueryExecution) -> None:
-                nonlocal in_flight
-                in_flight -= 1
+                nonlocal in_flight_total
+                in_flight_total -= 1
+                tenant_in_flight[arrival.tenant] -= 1
                 assert execution.result is not None
                 outcome = initializer.finalize(
                     query,
@@ -329,16 +643,21 @@ class ServingSimulator:
                     # model (the run itself still feeds the history).
                     observe_error=not execution.lease.was_clamped,
                 )
-                served[index] = ServedQuery(
-                    arrival_s=event.arrival_s,
+                served[arrival.index] = ServedQuery(
+                    arrival_s=arrival.event.arrival_s,
                     outcome=outcome,
                     waiting_apps_at_submit=waiting,
                     queueing_delay_s=execution.result.queueing_delay_s,
                     decision_batch_size=batch_size,
                     batching_delay_s=batching_delay,
+                    tenant=arrival.tenant,
+                    admission_delay_s=admission_delay,
+                    quota_delay_s=execution.result.quota_delay_s,
                 )
+                admit_next(arrival.tenant)
 
-            in_flight += 1
+            in_flight_total += 1
+            tenant_in_flight[arrival.tenant] += 1
             launch_query(
                 query,
                 n_vm=decision.n_vm,
@@ -347,19 +666,20 @@ class ServingSimulator:
                 policy=policy,
                 duration_model=duration_model,
                 on_complete=complete,
+                tenant=arrival.tenant,
             )
 
-        def submit_group(group: list[tuple[int, TraceEvent]]) -> None:
-            # Queries still queued or running when this group decides are
-            # "waiting applications"; members of the group additionally
+        def submit_batch(batch: list[_Arrival], decide_time: float) -> None:
+            # Queries still queued or running when this batch decides are
+            # "waiting applications"; members of the batch additionally
             # see the members ahead of them, exactly as if they had been
             # submitted one after another at the same instant.
-            waiting_base = in_flight
+            waiting_base = in_flight_total
             queries = [
-                get_query(event.query_id, input_gb=event.input_gb)
-                for _, event in group
+                get_query(a.event.query_id, input_gb=a.event.input_gb)
+                for a in batch
             ]
-            if len(group) == 1:
+            if len(batch) == 1:
                 decided = [
                     initializer.decide(
                         queries[0],
@@ -375,27 +695,61 @@ class ServingSimulator:
                     mode=mode,
                     num_waiting_apps=waiting_base,
                 )
-            group_time = group[-1][1].arrival_s
-            for offset, ((index, event), query, (context, decision)) in enumerate(
-                zip(group, queries, decided)
+            for offset, (arrival, query, (context, decision)) in enumerate(
+                zip(batch, queries, decided)
             ):
+                batching_delay = decide_time - arrival.event.arrival_s
+                admission_delay = 0.0
+                if simulator.now > decide_time:
+                    # Re-submitted through the admission gate: the wait
+                    # past the group's window close is admission delay.
+                    admission_delay = simulator.now - decide_time
                 launch(
-                    index,
-                    event,
+                    arrival,
                     query,
                     context,
                     decision,
                     waiting=waiting_base + offset,
-                    batch_size=len(group),
-                    batching_delay=group_time - event.arrival_s,
+                    batch_size=len(batch),
+                    batching_delay=batching_delay,
+                    admission_delay=admission_delay,
                 )
 
-        for group in self._coalesce(trace):
+        def admits(arrival: _Arrival, admitted_ahead: int) -> bool:
+            cap = registry.get(arrival.tenant).max_in_flight
+            if cap is None:
+                return True
+            return tenant_in_flight[arrival.tenant] + admitted_ahead < cap
+
+        def admit_next(tenant: str) -> None:
+            """A completion freed an in-flight slot; admit one waiter."""
+            queue = pending_admission.get(tenant)
+            if not queue or not admits(queue[0], 0):
+                return
+            arrival = queue.popleft()
+            submit_batch([arrival], decide_time=arrival.event.arrival_s)
+
+        def submit_group(group: list[_Arrival]) -> None:
+            admitted: list[_Arrival] = []
+            for arrival in group:
+                ahead = sum(
+                    1 for a in admitted if a.tenant == arrival.tenant
+                )
+                if admits(arrival, ahead):
+                    admitted.append(arrival)
+                else:
+                    pending_admission[arrival.tenant].append(arrival)
+            if admitted:
+                # The group decided when its window closed: the last
+                # member's arrival, which is "now" for on-time groups.
+                submit_batch(admitted, decide_time=group[-1].event.arrival_s)
+
+        for group in self._coalesce(stream):
             # The group decides when its window closes: the last member's
             # arrival.  Solo groups (the default-window common case) fire
             # at their own arrival time, exactly as before.
             simulator.schedule_at(
-                group[-1][1].arrival_s,
+                group[-1].event.arrival_s,
                 lambda group=group: submit_group(group),
             )
         simulator.run()
@@ -413,11 +767,15 @@ class ServingSimulator:
                 "PoolConfig sized for this trace (or expect queueing "
                 "delays in the report)",
                 RuntimeWarning,
-                stacklevel=2,
+                stacklevel=3,
             )
         return ServingReport(
             served=[record for record in served if record is not None],
             slo_seconds=self.slo_seconds,
             pool_stats=pool.stats,
             keepalive_cost_dollars=pool.keepalive_cost_dollars,
+            tenant_weights={
+                tenant: registry.weight(tenant) for tenant, _ in pairs
+            },
+            tenant_peaks=pool.tenant_peaks,
         )

@@ -26,6 +26,7 @@ import dataclasses
 
 import numpy as np
 
+from repro.cloud.pool import TenantRegistry
 from repro.cloud.pricing import PriceBook, get_prices
 from repro.cloud.providers import ProviderProfile, get_provider
 from repro.core.config import SmartpickProperties
@@ -67,6 +68,10 @@ class Smartpick:
         Search-grid bounds for resource determination.
     rng:
         Seed or generator from which every stochastic component derives.
+    tenants:
+        Optional multi-tenant registry (quotas, fair-share weights) the
+        serving layer defaults to; ``None`` keeps the system effectively
+        single-tenant.
     """
 
     def __init__(
@@ -77,10 +82,12 @@ class Smartpick:
         max_vm: int = 12,
         max_sl: int = 12,
         rng: np.random.Generator | int | None = None,
+        tenants: "TenantRegistry | None" = None,
     ) -> None:
         self.properties = properties or SmartpickProperties()
         self.provider = provider_profile or get_provider(self.properties.provider)
         self.prices = prices or get_prices(self.provider.name)
+        self.tenants = tenants
         # smartpick.cloud.compute.instanceFamily: larger families trade
         # extra cost for memory locality and faster cores (Section 7).
         from repro.cloud.families import apply_family

@@ -21,7 +21,12 @@ from typing import Callable
 
 import numpy as np
 
-from repro.cloud.pool import ClusterPool, PoolConfig, PoolLease
+from repro.cloud.pool import (
+    DEFAULT_TENANT,
+    ClusterPool,
+    PoolConfig,
+    PoolLease,
+)
 from repro.cloud.pricing import CostBreakdown, PriceBook, get_prices
 from repro.cloud.providers import ProviderProfile, get_provider
 from repro.engine.dag import QuerySpec
@@ -59,10 +64,15 @@ class QueryRunResult:
     #: Time the query waited for pool capacity before its workers were
     #: assigned (always 0 for a private single-use pool).
     queueing_delay_s: float = 0.0
+    #: Portion of the queueing delay spent waiting on the tenant's quota
+    #: while shard capacity was otherwise available.
+    quota_delay_s: float = 0.0
     #: How many of the query's workers came warm from the pool vs were
     #: spawned cold at the provider's full boot latency.
     warm_acquisitions: int = 0
     cold_acquisitions: int = 0
+    #: The tenant the lease billed to (DEFAULT_TENANT outside multi-tenancy).
+    tenant: str = DEFAULT_TENANT
 
     @property
     def cost_dollars(self) -> float:
@@ -125,8 +135,10 @@ class QueryExecution:
             cost=cost,
             metrics=self.metrics_listener.metrics,
             queueing_delay_s=lease.queueing_delay_s,
+            quota_delay_s=lease.quota_delay_s,
             warm_acquisitions=lease.warm_acquisitions,
             cold_acquisitions=lease.cold_acquisitions,
+            tenant=lease.tenant,
         )
         if self._user_on_complete is not None:
             self._user_on_complete(self)
@@ -156,13 +168,15 @@ def launch_query(
     duration_model: TaskDurationModel | None = None,
     rng: np.random.Generator | int | None = None,
     on_complete: Callable[[QueryExecution], None] | None = None,
+    tenant: str = DEFAULT_TENANT,
 ) -> QueryExecution:
     """Start ``query`` against ``pool`` without advancing simulated time.
 
-    The query's workers are leased from the pool (queueing FIFO when the
-    pool is saturated) and the execution unfolds as events on the pool's
-    simulator; the caller decides when to advance it.  ``on_complete``
-    fires -- inside the completing event -- once the result is available.
+    The query's workers are leased from the pool on behalf of ``tenant``
+    (queueing under the pool's grant policy when the shard is saturated)
+    and the execution unfolds as events on the pool's simulator; the
+    caller decides when to advance it.  ``on_complete`` fires -- inside
+    the completing event -- once the result is available.
     """
     policy = _resolve_policy(policy, relay, n_vm, n_sl)
     if duration_model is None:
@@ -174,6 +188,7 @@ def launch_query(
         duration_model=duration_model,
         policy=policy,
         listeners=(metrics_listener, *listeners),
+        tenant=tenant,
     )
     execution = QueryExecution(
         query=query,

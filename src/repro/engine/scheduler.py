@@ -36,6 +36,7 @@ from repro.cloud.instances import (
     InstanceKind,
     VMInstance,
 )
+from repro.cloud.pool import DEFAULT_TENANT
 from repro.engine.dag import QuerySpec, StageSpec
 from repro.engine.executor import Executor
 from repro.engine.listener import ExecutionListener
@@ -71,6 +72,9 @@ class TaskScheduler:
     on_complete:
         Optional callback invoked with this scheduler when the query's
         last stage finishes (used by trace serving).
+    tenant:
+        The tenant the query's pool lease bills to (multi-tenant serving
+        attributes quotas, fairness and chargeback through this).
     """
 
     def __init__(
@@ -81,6 +85,7 @@ class TaskScheduler:
         policy: TerminationPolicy | None = None,
         listeners: tuple[ExecutionListener, ...] = (),
         on_complete: Callable[["TaskScheduler"], None] | None = None,
+        tenant: str = DEFAULT_TENANT,
     ) -> None:
         self.simulator = simulator
         self.pool = pool
@@ -88,6 +93,7 @@ class TaskScheduler:
         self.policy = policy or NoEarlyTermination()
         self.listeners = list(listeners)
         self.on_complete = on_complete
+        self.tenant = tenant
 
         self._query: QuerySpec | None = None
         self._lease: "PoolLease | None" = None
@@ -128,6 +134,7 @@ class TaskScheduler:
             n_sl,
             on_instance_ready=self._on_instance_ready,
             on_granted=self._on_lease_granted,
+            tenant=self.tenant,
         )
 
         self._initialise_stage_tracking(query)

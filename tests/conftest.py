@@ -1,9 +1,16 @@
-"""Shared fixtures.
+"""Shared fixtures and scenario factories.
 
 The expensive fixture is a bootstrapped Smartpick system; it is
 session-scoped and deliberately small (two training queries, a reduced
 grid) so the whole suite stays fast while still exercising the full
 pipeline.  Benchmarks use the full-size setting instead.
+
+Beyond the bootstrapped systems, this module centralises the scenario
+building blocks that used to be copy-pasted across the pool, serving and
+facade suites: a pool factory (noise-free AWS, slow 55 s boots so boot
+effects are unmissable), an instance-hand-over collector, and dense
+"bursty" traces.  They are exposed as factory *fixtures* (callables), so
+tests parameterise them per case instead of sharing mutable state.
 """
 
 from __future__ import annotations
@@ -11,7 +18,109 @@ from __future__ import annotations
 import pytest
 
 from repro import Smartpick, SmartpickProperties
+from repro.cloud import get_provider
+from repro.cloud.pool import ClusterPool, PoolConfig
+from repro.cloud.pricing import get_prices
+from repro.engine import Simulator
 from repro.workloads import get_query
+from repro.workloads.trace import TraceEvent, WorkloadTrace
+
+#: Noise-free AWS profile: deterministic task durations for exact asserts.
+AWS_NOISELESS = get_provider("aws").with_noise_sigma(0.0)
+#: The same profile with an exaggerated 55 s VM boot, so warm-vs-cold
+#: effects dominate any other timing in pool tests.
+AWS_SLOW_BOOT = AWS_NOISELESS.with_boot_seconds(55.0)
+AWS_PRICES = get_prices("aws")
+
+
+class InstanceCollector:
+    """Records pool instance hand-overs for assertions."""
+
+    def __init__(self) -> None:
+        self.ready: list[tuple[object, bool]] = []
+
+    def __call__(self, instance, warm) -> None:
+        self.ready.append((instance, warm))
+
+
+def build_small_system(
+    seed: int = 43,
+    *,
+    provider: str = "AWS",
+    relay: bool = True,
+    queries: tuple[str, ...] = ("tpcds-q82",),
+    n_configs_per_query: int = 8,
+    min_workers: int = 3,
+    max_vm: int = 8,
+    max_sl: int = 8,
+    tenants=None,
+    **property_overrides,
+) -> Smartpick:
+    """A freshly bootstrapped small Smartpick (the suite's workhorse).
+
+    Keyword overrides cover every knob the suites vary: provider, the
+    retrain trigger (``error_difference_trigger=...``), grid bounds, the
+    training queries and a tenant registry for multi-tenant serving.
+    """
+    system = Smartpick(
+        SmartpickProperties(
+            provider=provider, relay=relay, **property_overrides
+        ),
+        max_vm=max_vm,
+        max_sl=max_sl,
+        rng=seed,
+        tenants=tenants,
+    )
+    system.bootstrap(
+        [get_query(query_id) for query_id in queries],
+        n_configs_per_query=n_configs_per_query,
+        min_workers=min_workers,
+    )
+    return system
+
+
+def build_pool(
+    simulator: Simulator | None = None,
+    *,
+    provider=AWS_SLOW_BOOT,
+    prices=AWS_PRICES,
+    autoscaler=None,
+    shards: dict[str, PoolConfig] | None = None,
+    router=None,
+    tenants=None,
+    grant_policy=None,
+    work_stealing: bool = True,
+    **config_overrides,
+) -> ClusterPool:
+    """A small deterministic :class:`ClusterPool` (4 VM + 4 SL default)."""
+    defaults = dict(max_vms=4, max_sls=4)
+    defaults.update(config_overrides)
+    return ClusterPool(
+        simulator or Simulator(),
+        provider=provider,
+        prices=prices,
+        config=PoolConfig(**defaults),
+        autoscaler=autoscaler,
+        shards=shards,
+        router=router,
+        tenants=tenants,
+        grant_policy=grant_policy,
+        work_stealing=work_stealing,
+    )
+
+
+def build_bursty_trace(
+    n: int = 6,
+    spacing_s: float = 5.0,
+    query_id: str = "tpcds-q82",
+    start_s: float = 0.0,
+    input_gb: float = 100.0,
+) -> WorkloadTrace:
+    """Arrivals far denser than any query's completion time."""
+    return WorkloadTrace(events=tuple(
+        TraceEvent(start_s + i * spacing_s, query_id, input_gb=input_gb)
+        for i in range(n)
+    ))
 
 
 @pytest.fixture(scope="session")
@@ -21,30 +130,38 @@ def small_trained_smartpick() -> Smartpick:
     Tests that mutate system state (submit queries, retrain) should use
     the function-scoped :func:`fresh_smartpick` instead.
     """
-    system = Smartpick(
-        SmartpickProperties(provider="AWS", relay=True),
-        max_vm=8,
-        max_sl=8,
-        rng=42,
-    )
-    system.bootstrap(
-        [get_query("tpcds-q82"), get_query("tpcds-q68")],
+    return build_small_system(
+        seed=42,
+        queries=("tpcds-q82", "tpcds-q68"),
         n_configs_per_query=10,
-        min_workers=3,
     )
-    return system
 
 
 @pytest.fixture
 def fresh_smartpick() -> Smartpick:
     """A freshly bootstrapped small system safe to mutate."""
-    system = Smartpick(
-        SmartpickProperties(provider="AWS", relay=True),
-        max_vm=8,
-        max_sl=8,
-        rng=43,
-    )
-    system.bootstrap(
-        [get_query("tpcds-q82")], n_configs_per_query=8, min_workers=3
-    )
-    return system
+    return build_small_system()
+
+
+@pytest.fixture
+def small_system_factory():
+    """The :func:`build_small_system` factory, for parameterised systems."""
+    return build_small_system
+
+
+@pytest.fixture
+def pool_factory():
+    """The :func:`build_pool` factory, for parameterised cluster pools."""
+    return build_pool
+
+
+@pytest.fixture
+def collector_factory():
+    """The :class:`InstanceCollector` class (call it per acquisition)."""
+    return InstanceCollector
+
+
+@pytest.fixture
+def bursty_trace_factory():
+    """The :func:`build_bursty_trace` factory for dense arrival streams."""
+    return build_bursty_trace

@@ -110,3 +110,26 @@ class TestReporting:
     def test_empty_table(self):
         table = format_table(("a", "b"), [])
         assert "a" in table
+
+    def test_footer_renders_below_second_separator(self):
+        table = format_table(
+            ("tenant", "cents"),
+            [("hot", 10.0), ("quiet", 2.5)],
+            footer=("total", 12.5),
+        )
+        lines = table.splitlines()
+        assert len(lines) == 6
+        separator = lines[1]
+        assert lines[4] == separator  # totals sit below a second rule
+        assert "total" in lines[5] and "12.50" in lines[5]
+
+    def test_footer_width_checked_and_sized(self):
+        with pytest.raises(ValueError):
+            format_table(("a", "b"), [(1, 2)], footer=(1,))
+        # A footer wider than every row must still align the columns.
+        table = format_table(
+            ("a", "b"), [(1, 2)], footer=("grand total", 3)
+        )
+        header = table.splitlines()[0]
+        assert header.startswith("a")
+        assert len(header.rstrip()) >= len("grand total")

@@ -1,9 +1,7 @@
 """Tests for the shared-cluster pool: warm reuse, keep-alive, queueing."""
 
-import numpy as np
 import pytest
 
-from repro.cloud import get_provider
 from repro.cloud.instances import InstanceKind, InstanceState
 from repro.cloud.pool import (
     ClusterPool,
@@ -12,34 +10,16 @@ from repro.cloud.pool import (
     NoKeepAlive,
     PoolConfig,
 )
-from repro.cloud.pricing import get_prices
 from repro.engine import Simulator, run_query
 from repro.workloads import make_uniform_query
 
-AWS = get_provider("aws").with_noise_sigma(0.0)
-AWS55 = AWS.with_boot_seconds(55.0)
-PRICES = get_prices("aws")
+from conftest import AWS_NOISELESS, AWS_PRICES, AWS_SLOW_BOOT, build_pool
 
-
-def make_pool(simulator=None, **config_overrides):
-    defaults = dict(max_vms=4, max_sls=4)
-    defaults.update(config_overrides)
-    return ClusterPool(
-        simulator or Simulator(),
-        provider=AWS55,
-        prices=PRICES,
-        config=PoolConfig(**defaults),
-    )
-
-
-class Collector:
-    """Records instance hand-overs for assertions."""
-
-    def __init__(self):
-        self.ready = []
-
-    def __call__(self, instance, warm):
-        self.ready.append((instance, warm))
+VM_IDLE_RATE = (
+    AWS_PRICES.vm_per_second
+    + AWS_PRICES.vm_burst_per_second
+    + AWS_PRICES.vm_storage_per_second
+)
 
 
 class TestPoolConfig:
@@ -55,10 +35,12 @@ class TestPoolConfig:
 
 
 class TestAcquireRelease:
-    def test_cold_acquire_boots_at_provider_latency(self):
+    def test_cold_acquire_boots_at_provider_latency(
+        self, pool_factory, collector_factory
+    ):
         sim = Simulator()
-        pool = make_pool(sim)
-        collector = Collector()
+        pool = pool_factory(sim)
+        collector = collector_factory()
         lease = pool.acquire(1, 1, on_instance_ready=collector)
         assert lease.is_granted and lease.queueing_delay_s == 0.0
         sim.run()
@@ -67,10 +49,12 @@ class TestAcquireRelease:
         assert sim.now == pytest.approx(55.0)  # the VM boot dominates
         assert pool.stats.cold_starts == 2 and pool.stats.warm_starts == 0
 
-    def test_release_without_keep_alive_terminates(self):
+    def test_release_without_keep_alive_terminates(
+        self, pool_factory, collector_factory
+    ):
         sim = Simulator()
-        pool = make_pool(sim)
-        collector = Collector()
+        pool = pool_factory(sim)
+        collector = collector_factory()
         lease = pool.acquire(1, 0, on_instance_ready=collector)
         sim.run()
         vm = lease.vms[0]
@@ -79,15 +63,17 @@ class TestAcquireRelease:
         assert pool.warm_vms == 0
         assert lease.segments[0].seconds == pytest.approx(55.0)
 
-    def test_warm_reuse_within_keep_alive(self):
+    def test_warm_reuse_within_keep_alive(
+        self, pool_factory, collector_factory
+    ):
         sim = Simulator()
-        pool = make_pool(sim, vm_keep_alive_s=120.0, warm_vm_boot_s=2.0)
-        first = pool.acquire(1, 0, on_instance_ready=Collector())
+        pool = pool_factory(sim, vm_keep_alive_s=120.0, warm_vm_boot_s=2.0)
+        first = pool.acquire(1, 0, on_instance_ready=collector_factory())
         sim.run()
         pool.release(first)
         assert pool.warm_vms == 1
 
-        collector = Collector()
+        collector = collector_factory()
         second = pool.acquire(1, 0, on_instance_ready=collector)
         handed_at = sim.now
         sim.run_until(handed_at + 2.0)
@@ -96,10 +82,12 @@ class TestAcquireRelease:
         assert pool.stats.warm_starts == 1
         pool.release(second)
 
-    def test_keep_alive_expiry_terminates_and_bills(self):
+    def test_keep_alive_expiry_terminates_and_bills(
+        self, pool_factory, collector_factory
+    ):
         sim = Simulator()
-        pool = make_pool(sim, vm_keep_alive_s=60.0)
-        lease = pool.acquire(1, 0, on_instance_ready=Collector())
+        pool = pool_factory(sim, vm_keep_alive_s=60.0)
+        lease = pool.acquire(1, 0, on_instance_ready=collector_factory())
         sim.run()
         released_at = sim.now
         pool.release(lease)
@@ -108,79 +96,73 @@ class TestAcquireRelease:
         assert vm.state is InstanceState.TERMINATED
         assert sim.now == pytest.approx(released_at + 60.0)
         assert pool.stats.expirations == 1
-        expected = 60.0 * (
-            PRICES.vm_per_second
-            + PRICES.vm_burst_per_second
-            + PRICES.vm_storage_per_second
-        )
-        assert pool.keepalive_cost_dollars == pytest.approx(expected)
+        assert pool.keepalive_cost_dollars == pytest.approx(60.0 * VM_IDLE_RATE)
 
-    def test_reuse_cancels_expiry_timer(self):
+    def test_reuse_cancels_expiry_timer(self, pool_factory, collector_factory):
         sim = Simulator()
-        pool = make_pool(sim, vm_keep_alive_s=60.0, warm_vm_boot_s=0.0)
-        first = pool.acquire(1, 0, on_instance_ready=Collector())
+        pool = pool_factory(sim, vm_keep_alive_s=60.0, warm_vm_boot_s=0.0)
+        first = pool.acquire(1, 0, on_instance_ready=collector_factory())
         sim.run()
         pool.release(first)
         # Reacquire well within the window, hold past the original expiry.
-        second = pool.acquire(1, 0, on_instance_ready=Collector())
+        second = pool.acquire(1, 0, on_instance_ready=collector_factory())
         sim.run_until(sim.now + 300.0)
         assert second.vms[0].state is InstanceState.RUNNING
         assert pool.stats.expirations == 0
         pool.release(second)
 
-    def test_release_during_warm_reattach_reparks(self):
+    def test_release_during_warm_reattach_reparks(
+        self, pool_factory, collector_factory
+    ):
         # A warm instance released before its re-attach window elapses is
         # RUNNING, not half-booted: it must return to the warm set instead
         # of being terminated (terminating would waste paid keep-alive).
         sim = Simulator()
-        pool = make_pool(sim, vm_keep_alive_s=600.0, warm_vm_boot_s=5.0)
-        first = pool.acquire(1, 0, on_instance_ready=Collector())
+        pool = pool_factory(sim, vm_keep_alive_s=600.0, warm_vm_boot_s=5.0)
+        first = pool.acquire(1, 0, on_instance_ready=collector_factory())
         sim.run()
         pool.release(first)
-        second = pool.acquire(1, 0, on_instance_ready=Collector())
+        second = pool.acquire(1, 0, on_instance_ready=collector_factory())
         pool.release(second)  # released mid-re-attach
         vm = second.vms[0]
         assert vm.state is InstanceState.RUNNING
         assert pool.warm_vms == 1
-        third = pool.acquire(1, 0, on_instance_ready=Collector())
+        third = pool.acquire(1, 0, on_instance_ready=collector_factory())
         assert third.vms[0] is vm
         assert pool.stats.warm_starts == 2
         pool.release(third)
 
-    def test_idle_cost_accrues_on_reuse(self):
+    def test_idle_cost_accrues_on_reuse(self, pool_factory, collector_factory):
         sim = Simulator()
-        pool = make_pool(sim, vm_keep_alive_s=100.0, warm_vm_boot_s=0.0)
-        first = pool.acquire(1, 0, on_instance_ready=Collector())
+        pool = pool_factory(sim, vm_keep_alive_s=100.0, warm_vm_boot_s=0.0)
+        first = pool.acquire(1, 0, on_instance_ready=collector_factory())
         sim.run()
         pool.release(first)
         sim.run_until(sim.now + 40.0)
-        pool.acquire(1, 0, on_instance_ready=Collector())
-        expected = 40.0 * (
-            PRICES.vm_per_second
-            + PRICES.vm_burst_per_second
-            + PRICES.vm_storage_per_second
-        )
-        assert pool.keepalive_cost_dollars == pytest.approx(expected)
+        pool.acquire(1, 0, on_instance_ready=collector_factory())
+        assert pool.keepalive_cost_dollars == pytest.approx(40.0 * VM_IDLE_RATE)
 
-    def test_validation(self):
-        pool = make_pool()
+    def test_validation(self, pool_factory, collector_factory):
+        pool = pool_factory()
         with pytest.raises(ValueError):
-            pool.acquire(-1, 0, on_instance_ready=Collector())
+            pool.acquire(-1, 0, on_instance_ready=collector_factory())
         with pytest.raises(ValueError):
-            pool.acquire(0, 0, on_instance_ready=Collector())
+            pool.acquire(0, 0, on_instance_ready=collector_factory())
 
-    def test_unsatisfiable_kind_rejected(self):
-        pool = make_pool(max_vms=0, max_sls=4)
+    def test_unsatisfiable_kind_rejected(self, pool_factory, collector_factory):
+        pool = pool_factory(max_vms=0, max_sls=4)
         with pytest.raises(ValueError):
-            pool.acquire(2, 0, on_instance_ready=Collector())
+            pool.acquire(2, 0, on_instance_ready=collector_factory())
 
 
 class TestSaturationQueueing:
-    def test_requests_queue_fifo_when_saturated(self):
+    def test_requests_queue_fifo_when_saturated(
+        self, pool_factory, collector_factory
+    ):
         sim = Simulator()
-        pool = make_pool(sim, max_vms=2)
-        first = pool.acquire(2, 0, on_instance_ready=Collector())
-        second = pool.acquire(2, 0, on_instance_ready=Collector())
+        pool = pool_factory(sim, max_vms=2)
+        first = pool.acquire(2, 0, on_instance_ready=collector_factory())
+        second = pool.acquire(2, 0, on_instance_ready=collector_factory())
         assert first.is_granted and not second.is_granted
         assert pool.pending_requests == 1
         sim.run()
@@ -189,30 +171,29 @@ class TestSaturationQueueing:
         assert second.queueing_delay_s == pytest.approx(sim.now)
         assert pool.stats.leases_queued == 1
 
-    def test_clamped_to_capacity(self):
-        pool = make_pool(max_vms=2, max_sls=1)
-        lease = pool.acquire(8, 8, on_instance_ready=Collector())
+    def test_clamped_to_capacity(self, pool_factory, collector_factory):
+        pool = pool_factory(max_vms=2, max_sls=1)
+        lease = pool.acquire(8, 8, on_instance_ready=collector_factory())
         assert (lease.n_vm, lease.n_sl) == (2, 1)
 
 
 class TestAutoscalers:
-    def test_no_keep_alive_describe(self):
+    def test_no_keep_alive_describe(self, pool_factory):
         assert "no-keep-alive" in NoKeepAlive().describe()
-        assert NoKeepAlive().keep_alive(InstanceKind.VM, make_pool()) == 0.0
+        assert NoKeepAlive().keep_alive(InstanceKind.VM, pool_factory()) == 0.0
 
-    def test_fixed_keep_alive_per_kind(self):
+    def test_fixed_keep_alive_per_kind(self, pool_factory):
         policy = FixedKeepAlive(vm_keep_alive_s=60.0, sl_keep_alive_s=5.0)
-        pool = make_pool()
+        pool = pool_factory()
         assert policy.keep_alive(InstanceKind.VM, pool) == 60.0
         assert policy.keep_alive(InstanceKind.SERVERLESS, pool) == 5.0
 
-    def test_demand_autoscaler_scales_with_rate(self):
-        sim = Simulator()
-        pool = ClusterPool(
-            sim,
-            provider=AWS55,
-            prices=PRICES,
-            config=PoolConfig(max_vms=16, max_sls=16),
+    def test_demand_autoscaler_scales_with_rate(
+        self, pool_factory, collector_factory
+    ):
+        pool = pool_factory(
+            max_vms=16,
+            max_sls=16,
             autoscaler=DemandAutoscaler(
                 window_s=100.0, headroom=2.0, max_keep_alive_s=500.0
             ),
@@ -221,7 +202,7 @@ class TestAutoscalers:
         # No demand yet: nothing is kept warm.
         assert policy.keep_alive(InstanceKind.VM, pool) == 0.0
         for _ in range(10):
-            pool.acquire(1, 0, on_instance_ready=Collector())
+            pool.acquire(1, 0, on_instance_ready=collector_factory())
         # 10 grants in the window => rate 0.1/s => keep-alive 2/0.1 = 20 s.
         assert policy.keep_alive(InstanceKind.VM, pool) == pytest.approx(20.0)
 
@@ -231,15 +212,10 @@ class TestAutoscalers:
 
 
 class TestSharedPoolQueries:
-    def test_sequential_run_query_reuses_warm_vms(self):
+    def test_sequential_run_query_reuses_warm_vms(self, pool_factory):
         sim = Simulator()
-        pool = ClusterPool(
-            sim,
-            provider=AWS55,
-            prices=PRICES,
-            config=PoolConfig(
-                max_vms=4, max_sls=4, vm_keep_alive_s=600.0, warm_vm_boot_s=2.0
-            ),
+        pool = pool_factory(
+            sim, vm_keep_alive_s=600.0, warm_vm_boot_s=2.0
         )
         query = make_uniform_query(20, 4.0)
         cold = run_query(query, 2, 0, rng=0, pool=pool)
@@ -252,17 +228,19 @@ class TestSharedPoolQueries:
 
     def test_private_pool_cost_matches_lease_accounting(self):
         query = make_uniform_query(40, 2.0)
-        result = run_query(query, 2, 2, provider=AWS, rng=3)
+        result = run_query(query, 2, 2, provider=AWS_NOISELESS, rng=3)
         c = result.cost
         assert c.total == pytest.approx(c.vm_total + c.sl_total)
         assert result.queueing_delay_s == 0.0
         assert result.warm_acquisitions == 0
         assert result.cold_acquisitions == 4
 
-    def test_shutdown_terminates_warm_instances(self):
+    def test_shutdown_terminates_warm_instances(
+        self, pool_factory, collector_factory
+    ):
         sim = Simulator()
-        pool = make_pool(sim, vm_keep_alive_s=600.0)
-        lease = pool.acquire(2, 0, on_instance_ready=Collector())
+        pool = pool_factory(sim, vm_keep_alive_s=600.0)
+        lease = pool.acquire(2, 0, on_instance_ready=collector_factory())
         sim.run()
         pool.release(lease)
         assert pool.warm_vms == 2
@@ -271,3 +249,14 @@ class TestSharedPoolQueries:
         assert all(
             vm.state is InstanceState.TERMINATED for vm in lease.vms
         )
+
+
+class TestBuildPoolHelper:
+    def test_module_level_factory_matches_fixture(self, pool_factory):
+        # The conftest helper is importable directly (property suites use
+        # it outside fixture scope) and is the same object the fixture
+        # returns.
+        assert pool_factory is build_pool
+        pool = build_pool()
+        assert isinstance(pool, ClusterPool)
+        assert pool.provider is AWS_SLOW_BOOT

@@ -4,6 +4,7 @@ import dataclasses
 
 import pytest
 
+from repro.cloud.pool import TenantRegistry, TenantSpec
 from repro.core.predictor import PredictionRequest
 from repro.core.rpc import PredictionClient, PredictionServer, RpcError
 
@@ -108,3 +109,71 @@ class TestRpcService:
         server.start()
         server.stop()
         server.stop()
+
+
+class TestTenantAwareRpc:
+    def test_determine_echoes_and_meters_tenant(self, small_trained_smartpick):
+        registry = TenantRegistry([TenantSpec("seda-1", weight=2.0)])
+        with PredictionServer(
+            small_trained_smartpick.predictor, tenants=registry
+        ) as server:
+            with _client(server) as client:
+                request = _request(small_trained_smartpick)
+                decision = client.determine(request, tenant="seda-1")
+                assert decision["tenant"] == "seda-1"
+                client.predict_duration(request, 4, 2, tenant="seda-1")
+                info = client.tenant_info()
+        assert info["requests"] == {"seda-1": 2}
+        assert info["tenants"]["seda-1"]["weight"] == 2.0
+        assert info["strict"] is False
+
+    def test_untagged_calls_bill_the_default_tenant(
+        self, server, small_trained_smartpick
+    ):
+        with _client(server) as client:
+            client.determine(_request(small_trained_smartpick))
+            info = client.tenant_info()
+        assert info["requests"].get("default", 0) >= 1
+        assert info["tenants"] == {}  # no registry attached
+
+    def test_empty_strict_registry_reported_strict(
+        self, small_trained_smartpick
+    ):
+        # Regression: a strict registry with no specs yet is falsy, but
+        # tenant_info must still report strict=true (it IS enforced).
+        registry = TenantRegistry(strict=True)
+        with PredictionServer(
+            small_trained_smartpick.predictor, tenants=registry
+        ) as server:
+            with _client(server) as client:
+                with pytest.raises(RpcError):
+                    client.determine(
+                        _request(small_trained_smartpick), tenant="anyone"
+                    )
+                assert client.tenant_info()["strict"] is True
+
+    def test_empty_tenant_name_rejected(self, server, small_trained_smartpick):
+        # An explicit empty tenant is a caller bug, not the default
+        # tenant -- it must not silently bypass strict validation.
+        with _client(server) as client:
+            with pytest.raises(RpcError):
+                client.determine(_request(small_trained_smartpick), tenant="")
+
+    def test_strict_registry_rejects_unknown_tenant(
+        self, small_trained_smartpick
+    ):
+        registry = TenantRegistry([TenantSpec("seda-1")], strict=True)
+        with PredictionServer(
+            small_trained_smartpick.predictor, tenants=registry
+        ) as server:
+            with _client(server) as client:
+                with pytest.raises(RpcError):
+                    client.determine(
+                        _request(small_trained_smartpick), tenant="stranger"
+                    )
+                # Registered tenants pass.
+                decision = client.determine(
+                    _request(small_trained_smartpick), tenant="seda-1"
+                )
+        assert decision["tenant"] == "seda-1"
+        assert server.tenant_requests == {"seda-1": 1}

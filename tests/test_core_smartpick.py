@@ -76,16 +76,8 @@ class TestSubmission:
 
 
 class TestDynamics:
-    def test_new_workload_triggers_retraining(self):
-        system = Smartpick(
-            SmartpickProperties(
-                provider="AWS", error_difference_trigger=10.0
-            ),
-            max_vm=8, max_sl=8, rng=11,
-        )
-        system.bootstrap(
-            [get_query("tpcds-q82")], n_configs_per_query=8, min_workers=3
-        )
+    def test_new_workload_triggers_retraining(self, small_system_factory):
+        system = small_system_factory(seed=11, error_difference_trigger=10.0)
         # Word Count is structurally different; the first submission should
         # miss by more than 10 s and fire a retrain.
         outcome = system.submit(get_query("wordcount"))
@@ -97,26 +89,23 @@ class TestDynamics:
         assert not second.is_alien
         assert second.error_seconds < outcome.error_seconds
 
-    def test_retrained_query_joins_similarity_corpus(self):
-        system = Smartpick(
-            SmartpickProperties(provider="AWS", error_difference_trigger=10.0),
-            max_vm=8, max_sl=8, rng=12,
-        )
-        system.bootstrap(
-            [get_query("tpcds-q82")], n_configs_per_query=8, min_workers=3
-        )
+    def test_retrained_query_joins_similarity_corpus(
+        self, small_system_factory
+    ):
+        system = small_system_factory(seed=12, error_difference_trigger=10.0)
         outcome = system.submit(get_query("wordcount"))
         if outcome.retrain_event is not None:
             assert "wordcount" in system.similarity
 
 
 class TestGcpVariant:
-    def test_gcp_system_works_end_to_end(self):
-        system = Smartpick(
-            SmartpickProperties(provider="GCP"), max_vm=6, max_sl=6, rng=13
-        )
-        system.bootstrap(
-            [get_query("tpcds-q82")], n_configs_per_query=6, min_workers=3
+    def test_gcp_system_works_end_to_end(self, small_system_factory):
+        system = small_system_factory(
+            seed=13,
+            provider="GCP",
+            n_configs_per_query=6,
+            max_vm=6,
+            max_sl=6,
         )
         outcome = system.submit(get_query("tpcds-q82"))
         assert outcome.result.provider == "gcp"

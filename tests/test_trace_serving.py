@@ -1,30 +1,14 @@
 """Tests for workload traces and trace-driven serving."""
 
-import numpy as np
 import pytest
 
-from repro import Smartpick, SmartpickProperties
 from repro.cloud.pool import PoolConfig
-from repro.core.serving import ServingSimulator
-from repro.workloads import get_query
+from repro.core.serving import ServingSimulator, _Arrival
 from repro.workloads.trace import (
     PoissonTraceGenerator,
     TraceEvent,
     WorkloadTrace,
 )
-
-
-def _small_system(seed: int = 43) -> Smartpick:
-    system = Smartpick(
-        SmartpickProperties(provider="AWS", relay=True),
-        max_vm=8,
-        max_sl=8,
-        rng=seed,
-    )
-    system.bootstrap(
-        [get_query("tpcds-q82")], n_configs_per_query=8, min_workers=3
-    )
-    return system
 
 
 def _generator(**overrides):
@@ -179,23 +163,40 @@ class TestServingSimulator:
         with pytest.raises(ValueError):
             _ = report.slo_attainment
 
+    def test_empty_report_summary_still_prints_costs(self, fresh_smartpick):
+        # Regression: summary() used to raise on an empty replay and to
+        # hide the keep-alive spend whenever no query was served -- an
+        # idle day with warm instances still costs money.
+        report = ServingSimulator(fresh_smartpick).replay(
+            WorkloadTrace(events=())
+        )
+        text = report.summary()
+        assert "0 queries" in text
+        assert "keep-alive" in text
 
-def _bursty_trace(n: int = 6, spacing_s: float = 5.0) -> WorkloadTrace:
-    """Arrivals far denser than any query's completion time."""
-    return WorkloadTrace(events=tuple(
-        TraceEvent(i * spacing_s, "tpcds-q82") for i in range(n)
-    ))
+    def test_summary_shows_idle_spend_with_zero_queries(self):
+        from repro.core.serving import ServingReport
+
+        report = ServingReport(
+            served=[], slo_seconds=120.0, keepalive_cost_dollars=0.05
+        )
+        text = report.summary()
+        assert "0 queries" in text
+        assert "keep-alive 5.00" in text
+        assert "= 5.0 cents" in text
 
 
 class TestSharedClusterServing:
-    def test_same_seed_gives_identical_reports(self):
-        trace = _bursty_trace(5, spacing_s=30.0)
+    def test_same_seed_gives_identical_reports(
+        self, small_system_factory, bursty_trace_factory
+    ):
+        trace = bursty_trace_factory(5, spacing_s=30.0)
         config = PoolConfig(
             max_vms=8, max_sls=8, vm_keep_alive_s=120.0, sl_keep_alive_s=30.0
         )
         reports = []
         for _ in range(2):
-            system = _small_system(seed=77)
+            system = small_system_factory(seed=77)
             simulator = ServingSimulator(system, pool_config=config)
             reports.append(simulator.replay(trace))
         a, b = reports
@@ -205,9 +206,11 @@ class TestSharedClusterServing:
         assert a.keepalive_cost_dollars == b.keepalive_cost_dollars
         assert a.pool_stats == b.pool_stats
 
-    def test_keep_alive_produces_warm_starts(self):
-        trace = _bursty_trace(6, spacing_s=5.0)
-        system = _small_system()
+    def test_keep_alive_produces_warm_starts(
+        self, small_system_factory, bursty_trace_factory
+    ):
+        trace = bursty_trace_factory(6, spacing_s=5.0)
+        system = small_system_factory()
         warm = ServingSimulator(
             system,
             pool_config=PoolConfig(
@@ -219,21 +222,25 @@ class TestSharedClusterServing:
         assert warm.pool_stats.warm_starts > 0
         assert warm.keepalive_cost_dollars > 0.0
 
-    def test_cold_pool_never_warm_starts(self, fresh_smartpick):
-        trace = _bursty_trace(4, spacing_s=5.0)
+    def test_cold_pool_never_warm_starts(
+        self, fresh_smartpick, bursty_trace_factory
+    ):
+        trace = bursty_trace_factory(4, spacing_s=5.0)
         report = ServingSimulator(fresh_smartpick).replay(trace)
         assert report.warm_start_rate == 0.0
         assert report.pool_stats.cold_starts > 0
         assert report.keepalive_cost_dollars == 0.0
 
-    def test_saturation_grows_queueing_delay(self):
-        trace = _bursty_trace(6, spacing_s=2.0)
+    def test_saturation_grows_queueing_delay(
+        self, small_system_factory, bursty_trace_factory
+    ):
+        trace = bursty_trace_factory(6, spacing_s=2.0)
         wide = ServingSimulator(
-            _small_system(seed=91),
+            small_system_factory(seed=91),
             pool_config=PoolConfig(max_vms=64, max_sls=64),
         ).replay(trace)
         tight = ServingSimulator(
-            _small_system(seed=91),
+            small_system_factory(seed=91),
             pool_config=PoolConfig(max_vms=2, max_sls=2),
         ).replay(trace)
         assert float(wide.queueing_delays.max()) == 0.0
@@ -245,22 +252,27 @@ class TestSharedClusterServing:
         assert tight.latency_percentile(95) > wide.latency_percentile(95)
         assert tight.pool_stats.leases_queued > 0
 
-    def test_concurrent_arrivals_counted_as_waiting(self):
-        trace = _bursty_trace(3, spacing_s=1.0)
-        report = ServingSimulator(_small_system(seed=55)).replay(trace)
+    def test_concurrent_arrivals_counted_as_waiting(
+        self, small_system_factory, bursty_trace_factory
+    ):
+        trace = bursty_trace_factory(3, spacing_s=1.0)
+        report = ServingSimulator(small_system_factory(seed=55)).replay(trace)
         waits = [s.waiting_apps_at_submit for s in report.served]
         assert waits == [0, 1, 2]
 
-    def test_summary_includes_pool_line(self):
-        trace = _bursty_trace(3, spacing_s=5.0)
+    def test_summary_includes_pool_line(
+        self, small_system_factory, bursty_trace_factory
+    ):
+        trace = bursty_trace_factory(3, spacing_s=5.0)
         report = ServingSimulator(
-            _small_system(seed=58),
+            small_system_factory(seed=58),
             pool_config=PoolConfig(
                 max_vms=16, max_sls=16, vm_keep_alive_s=300.0
             ),
         ).replay(trace)
         assert "warm starts" in report.summary()
         assert "queue p95" in report.summary()
+        assert "keep-alive" in report.summary()
 
 
 def _same_tick_trace():
@@ -273,8 +285,12 @@ def _same_tick_trace():
 
 
 class TestArrivalCoalescer:
-    def test_exact_tick_arrivals_share_one_sizing_pass(self):
-        report = ServingSimulator(_small_system()).replay(_same_tick_trace())
+    def test_exact_tick_arrivals_share_one_sizing_pass(
+        self, small_system_factory
+    ):
+        report = ServingSimulator(small_system_factory()).replay(
+            _same_tick_trace()
+        )
         assert [s.decision_batch_size for s in report.served] == [3, 3, 3, 1]
         assert report.batched_decision_rate == pytest.approx(0.75)
         # Same-tick groups wait for nothing.
@@ -283,8 +299,10 @@ class TestArrivalCoalescer:
         assert [s.waiting_apps_at_submit for s in report.served[:3]] == [0, 1, 2]
         assert "batched decisions" in report.summary()
 
-    def test_batched_groups_decide_through_decide_many(self, monkeypatch):
-        system = _small_system()
+    def test_batched_groups_decide_through_decide_many(
+        self, small_system_factory, monkeypatch
+    ):
+        system = small_system_factory()
         simulator = ServingSimulator(system)
 
         def explode(*args, **kwargs):  # pragma: no cover - guard
@@ -303,8 +321,10 @@ class TestArrivalCoalescer:
             for s in report.served
         )
 
-    def test_solo_arrivals_keep_the_bo_path(self, monkeypatch):
-        system = _small_system()
+    def test_solo_arrivals_keep_the_bo_path(
+        self, small_system_factory, monkeypatch
+    ):
+        system = small_system_factory()
         simulator = ServingSimulator(system)  # default window: exact tick
 
         def explode(*args, **kwargs):  # pragma: no cover - guard
@@ -318,15 +338,17 @@ class TestArrivalCoalescer:
         assert report.batched_decision_rate == 0.0
         assert [s.decision_batch_size for s in report.served] == [1, 1]
 
-    def test_disabled_coalescer_equals_exact_tick_without_ties(self):
+    def test_disabled_coalescer_equals_exact_tick_without_ties(
+        self, small_system_factory, bursty_trace_factory
+    ):
         # Acceptance: at batch_window_s=0 with no same-tick arrivals the
         # replay is identical to the unbatched (window=None) replay.
-        trace = _bursty_trace(5, spacing_s=45.0)
+        trace = bursty_trace_factory(5, spacing_s=45.0)
         unbatched = ServingSimulator(
-            _small_system(seed=77), batch_window_s=None
+            small_system_factory(seed=77), batch_window_s=None
         ).replay(trace)
         exact_tick = ServingSimulator(
-            _small_system(seed=77), batch_window_s=0.0
+            small_system_factory(seed=77), batch_window_s=0.0
         ).replay(trace)
         assert list(unbatched.latencies) == list(exact_tick.latencies)
         assert [s.outcome.decision.config for s in unbatched.served] == [
@@ -335,7 +357,9 @@ class TestArrivalCoalescer:
         assert unbatched.total_cost_dollars == exact_tick.total_cost_dollars
         assert exact_tick.batched_decision_rate == 0.0
 
-    def test_window_groups_nearby_arrivals_and_accounts_delay(self):
+    def test_window_groups_nearby_arrivals_and_accounts_delay(
+        self, small_system_factory
+    ):
         trace = WorkloadTrace(events=(
             TraceEvent(0.0, "tpcds-q82"),
             TraceEvent(2.0, "tpcds-q82"),
@@ -343,7 +367,7 @@ class TestArrivalCoalescer:
             TraceEvent(30.0, "tpcds-q82"),
         ))
         report = ServingSimulator(
-            _small_system(seed=81), batch_window_s=4.0
+            small_system_factory(seed=81), batch_window_s=4.0
         ).replay(trace)
         assert [s.decision_batch_size for s in report.served] == [3, 3, 3, 1]
         # Members wait until the group's window closes (last arrival).
@@ -356,17 +380,25 @@ class TestArrivalCoalescer:
             + first.outcome.actual_seconds
         )
 
-    def test_window_anchored_at_first_member(self):
+    def test_window_anchored_at_first_member(self, small_system_factory):
         # 0, 4, 8, 12 with a 5s window: groups must not chain unboundedly.
         trace = WorkloadTrace(events=tuple(
             TraceEvent(4.0 * i, "tpcds-q82") for i in range(4)
         ))
-        simulator = ServingSimulator(_small_system(seed=82), batch_window_s=5.0)
-        groups = simulator._coalesce(trace)
+        simulator = ServingSimulator(
+            small_system_factory(seed=82), batch_window_s=5.0
+        )
+        stream = [
+            _Arrival(index, "default", event)
+            for index, event in enumerate(trace)
+        ]
+        groups = simulator._coalesce(stream)
         assert [len(group) for group in groups] == [2, 2]
 
-    def test_amortised_decision_latency_sums_to_batch_time(self):
-        report = ServingSimulator(_small_system(seed=84)).replay(
+    def test_amortised_decision_latency_sums_to_batch_time(
+        self, small_system_factory
+    ):
+        report = ServingSimulator(small_system_factory(seed=84)).replay(
             _same_tick_trace()
         )
         batched = [s for s in report.served if s.decision_batch_size == 3]
@@ -374,6 +406,6 @@ class TestArrivalCoalescer:
         assert len(times) == 1  # equal amortised shares
         assert report.total_decision_seconds > 0.0
 
-    def test_negative_window_rejected(self):
+    def test_negative_window_rejected(self, small_system_factory):
         with pytest.raises(ValueError):
-            ServingSimulator(_small_system(seed=85), batch_window_s=-1.0)
+            ServingSimulator(small_system_factory(seed=85), batch_window_s=-1.0)
