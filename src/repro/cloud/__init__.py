@@ -19,8 +19,13 @@ measurements (Tables 1 and 5):
   engine now leases workers from the :class:`ClusterPool` instead; the RM
   remains as the faithful standalone model of the paper's component.
 - :mod:`repro.cloud.pool` -- the shared-cluster :class:`ClusterPool`:
-  warm instances kept alive across query lifetimes, FIFO capacity
-  queueing and pluggable autoscaling.
+  warm instances kept alive across query lifetimes, capacity queueing
+  under pluggable grant policies, and pluggable autoscaling run *per
+  shard* (each :class:`PoolShard` owns its arrival meter, optional
+  policy override and keep-alive cost ledger).  The forecast-driven
+  :class:`~repro.core.forecast.PredictiveKeepAlive` policy lives in
+  :mod:`repro.core.forecast`, next to the arrival forecaster that
+  feeds it.
 - :mod:`repro.cloud.storage` -- cloud object storage and external Redis
   bandwidth models.
 """
@@ -52,6 +57,7 @@ from repro.cloud.pool import (
     NoKeepAlive,
     PoolConfig,
     PoolLease,
+    PoolShard,
     PoolStats,
     ShardRouter,
     TenantAffinityRouter,
@@ -82,6 +88,7 @@ __all__ = [
     "ObjectStore",
     "PoolConfig",
     "PoolLease",
+    "PoolShard",
     "PoolStats",
     "PriceBook",
     "ProviderProfile",

@@ -28,6 +28,10 @@ lifetimes:
   pluggable :class:`AutoscalerPolicy`; a reuse within the window cancels
   the expiry timer (via :meth:`Simulator.cancel`), otherwise the instance
   is terminated and its idle time is billed as keep-alive cost.
+  Autoscaling is **per shard**: every shard carries its own arrival
+  meter and may carry its own policy (``shard_autoscalers``), so a hot
+  shard keeps workers warm while a drained shard terminates on release
+  -- keep-alive cost is likewise accounted per shard.
 - Billing is per-lease: each instance's leased interval is charged to the
   query that held it, while idle warm time accrues to the pool's
   keep-alive cost -- so shared-cluster bills stay itemised per query (and
@@ -75,6 +79,7 @@ __all__ = [
     "NoKeepAlive",
     "PoolConfig",
     "PoolLease",
+    "PoolShard",
     "PoolStats",
     "ShardRouter",
     "TenantAffinityRouter",
@@ -215,11 +220,22 @@ class TenantRegistry:
 
 
 class AutoscalerPolicy(abc.ABC):
-    """Decides how long a released worker stays warm."""
+    """Decides how long a released worker stays warm.
+
+    The pool invokes :meth:`keep_alive` with the :class:`PoolShard` the
+    worker is returning to, so policies can scale each shard on its own
+    signal (arrival meter, warm set, config); ``shard`` stays optional
+    so policies remain directly callable without one (pool-global view).
+    """
 
     @abc.abstractmethod
-    def keep_alive(self, kind: InstanceKind, pool: "ClusterPool") -> float:
-        """Keep-alive seconds for a worker of ``kind`` released now."""
+    def keep_alive(
+        self,
+        kind: InstanceKind,
+        pool: "ClusterPool",
+        shard: "PoolShard | None" = None,
+    ) -> float:
+        """Keep-alive seconds for a ``kind`` worker released to ``shard``."""
 
     @abc.abstractmethod
     def describe(self) -> str:
@@ -235,7 +251,12 @@ class FixedKeepAlive(AutoscalerPolicy):
         self.vm_keep_alive_s = vm_keep_alive_s
         self.sl_keep_alive_s = sl_keep_alive_s
 
-    def keep_alive(self, kind: InstanceKind, pool: "ClusterPool") -> float:
+    def keep_alive(
+        self,
+        kind: InstanceKind,
+        pool: "ClusterPool",
+        shard: "PoolShard | None" = None,
+    ) -> float:
         if kind is InstanceKind.VM:
             return self.vm_keep_alive_s
         return self.sl_keep_alive_s
@@ -266,6 +287,12 @@ class DemandAutoscaler(AutoscalerPolicy):
     short, so instances are confidently retained for the next arrival;
     when traffic dries up the expected gap -- and the cap -- bound the
     idle spend.
+
+    The rate is metered **per shard** when the pool supplies one: a
+    worker released to a shard whose own grant stream dried up terminates
+    immediately, even while another shard's burst keeps the pool-global
+    rate high (the pre-per-shard behaviour, still available by calling
+    the policy without a shard).
     """
 
     def __init__(
@@ -285,8 +312,15 @@ class DemandAutoscaler(AutoscalerPolicy):
         self.headroom = headroom
         self.max_keep_alive_s = max_keep_alive_s
 
-    def keep_alive(self, kind: InstanceKind, pool: "ClusterPool") -> float:
-        rate = pool.recent_acquire_rate(self.window_s)
+    def keep_alive(
+        self,
+        kind: InstanceKind,
+        pool: "ClusterPool",
+        shard: "PoolShard | None" = None,
+    ) -> float:
+        rate = pool.recent_acquire_rate(
+            self.window_s, shard=None if shard is None else shard.name
+        )
         if rate <= 0.0:
             return 0.0
         return min(self.max_keep_alive_s, self.headroom / rate)
@@ -315,6 +349,14 @@ class PoolStats:
     #: Leases that at least once waited on a tenant quota while shard
     #: capacity was otherwise available.
     quota_deferrals: int = 0
+    #: Exact time conservation ledger: every second of a pooled
+    #: instance's life (spawn to termination) is either *leased* to a
+    #: query or *idle* in a warm set, so ``instance_seconds`` equals
+    #: ``leased_seconds + idle_seconds`` (up to float interval
+    #: arithmetic) once the pool has shut down.
+    leased_seconds: float = 0.0
+    idle_seconds: float = 0.0
+    instance_seconds: float = 0.0
 
     @property
     def acquisitions(self) -> int:
@@ -487,11 +529,26 @@ class PoolLease:
 
 
 class PoolShard:
-    """One named partition of the pool: capacity, warm set, grant queue."""
+    """One named partition of the pool: capacity, warm set, grant queue.
 
-    __slots__ = ("name", "config", "warm", "leased_vms", "leased_sls", "queue")
+    Each shard additionally owns the state per-shard autoscaling runs
+    on: its own grant-time meter (``grant_times``), an optional policy
+    override (``autoscaler``, ``None`` = the pool default) and its own
+    keep-alive cost ledger -- so a drained shard's idle spend is
+    observable in isolation from a hot one's.
+    """
 
-    def __init__(self, name: str, config: PoolConfig) -> None:
+    __slots__ = (
+        "name", "config", "warm", "leased_vms", "leased_sls", "queue",
+        "autoscaler", "grant_times", "keepalive_cost",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        config: PoolConfig,
+        autoscaler: "AutoscalerPolicy | None" = None,
+    ) -> None:
         self.name = name
         self.config = config
         self.warm: dict[InstanceKind, dict[str, Instance]] = {
@@ -501,6 +558,12 @@ class PoolShard:
         self.leased_vms = 0
         self.leased_sls = 0
         self.queue: list[PoolLease] = []
+        #: Keep-alive policy override for this shard (None = pool default).
+        self.autoscaler = autoscaler
+        #: Grant timestamps on THIS shard (the per-shard arrival meter).
+        self.grant_times: collections.deque[float] = collections.deque()
+        #: Idle warm spend accrued by workers parked on this shard.
+        self.keepalive_cost = CostBreakdown()
 
     @property
     def free_vms(self) -> int:
@@ -698,6 +761,11 @@ class ClusterPool:
     autoscaler:
         Keep-alive policy; defaults to :class:`FixedKeepAlive` built from
         the config's windows (i.e. a cold pool with the default config).
+    shard_autoscalers:
+        Optional per-shard policy overrides ``{shard_name: policy}``;
+        shards not named fall back to ``autoscaler``.  This is how a hot
+        family's shard can run a predictive policy while a batch shard
+        stays cold, each driven by its own arrival meter.
     shards:
         Optional explicit partitioning: ``{shard_name: PoolConfig}``.
         When given, per-shard configs govern capacity and warm-boot
@@ -728,6 +796,7 @@ class ClusterPool:
         tenants: TenantRegistry | None = None,
         grant_policy: GrantPolicy | None = None,
         work_stealing: bool = True,
+        shard_autoscalers: dict[str, AutoscalerPolicy] | None = None,
     ) -> None:
         self.simulator = simulator
         self.provider = provider
@@ -743,6 +812,13 @@ class ClusterPool:
             }
         else:
             self._shards = {"default": PoolShard("default", self.config)}
+        for name, policy in (shard_autoscalers or {}).items():
+            if name not in self._shards:
+                raise ValueError(
+                    f"shard_autoscalers names unknown shard {name!r} "
+                    f"(shards: {', '.join(self._shards)})"
+                )
+            self._shards[name].autoscaler = policy
         self.router = router or LeastLoadedRouter()
         self.tenants = tenants or TenantRegistry()
         self.grant_policy = grant_policy or WeightedFairGrant()
@@ -798,6 +874,18 @@ class ClusterPool:
     def keepalive_cost_dollars(self) -> float:
         return self.keepalive_cost.total
 
+    @property
+    def keepalive_cost_by_shard(self) -> dict[str, float]:
+        """Idle warm spend per shard (sums to the pool's keep-alive cost)."""
+        return {
+            name: shard.keepalive_cost.total
+            for name, shard in self._shards.items()
+        }
+
+    def autoscaler_for(self, shard: PoolShard) -> AutoscalerPolicy:
+        """The keep-alive policy governing one shard's releases."""
+        return shard.autoscaler or self.autoscaler
+
     def tenant_leased(self, tenant: str) -> tuple[int, int]:
         """The tenant's currently leased ``(vms, sls)``."""
         return self._tenant_leased.get(tenant, (0, 0))
@@ -832,20 +920,33 @@ class ClusterPool:
             return False
         return True
 
-    def recent_acquire_rate(self, window_s: float) -> float:
+    def recent_acquire_rate(
+        self, window_s: float, shard: str | None = None
+    ) -> float:
         """Lease grants per second over the trailing ``window_s``.
 
+        With ``shard`` given, only grants served *by that shard* count --
+        the per-shard arrival meter autoscalers scale each shard on.
         Non-destructive: the grant history is only pruned beyond a fixed
         retention horizon, so introspection calls with a small window
         cannot perturb an autoscaler watching a larger one.
         """
         if window_s <= 0:
             raise ValueError("window_s must be positive")
+        if shard is None:
+            times = self._grant_times
+        else:
+            if shard not in self._shards:
+                raise ValueError(
+                    f"unknown shard {shard!r} "
+                    f"(shards: {', '.join(self._shards)})"
+                )
+            times = self._shards[shard].grant_times
         retention = self.simulator.now - _GRANT_HISTORY_RETENTION_S
-        while self._grant_times and self._grant_times[0] < retention:
-            self._grant_times.popleft()
+        while times and times[0] < retention:
+            times.popleft()
         horizon = self.simulator.now - window_s
-        count = sum(1 for t in self._grant_times if t >= horizon)
+        count = sum(1 for t in times if t >= horizon)
         return count / window_s
 
     def describe(self) -> str:
@@ -857,9 +958,17 @@ class ClusterPool:
                 f"{len(self._shards)} shards "
                 f"[{', '.join(self._shards)}], {self.router.describe()}"
             )
+        autoscaling = self.autoscaler.describe()
+        overridden = [
+            shard.name
+            for shard in self._shards.values()
+            if shard.autoscaler is not None
+        ]
+        if overridden:
+            autoscaling += f" + per-shard overrides [{', '.join(overridden)}]"
         return (
             f"ClusterPool({capacity}, {self.grant_policy.describe()} grants, "
-            f"{self.autoscaler.describe()})"
+            f"{autoscaling})"
         )
 
     # ------------------------------------------------------------------
@@ -956,7 +1065,13 @@ class ClusterPool:
             lease.quota_delay_s += now - lease.quota_blocked_since
             lease.quota_blocked_since = None
         self.stats.leases_granted += 1
-        self._grant_times.append(now)
+        # Append-side pruning keeps the meters bounded even under
+        # policies that never read the rate (fixed, predictive).
+        retention = now - _GRANT_HISTORY_RETENTION_S
+        for times in (self._grant_times, shard.grant_times):
+            while times and times[0] < retention:
+                times.popleft()
+            times.append(now)
         for _ in range(lease.n_vm):
             lease.vms.append(self._hand_over(lease, InstanceKind.VM, shard))
         for _ in range(lease.n_sl):
@@ -995,7 +1110,7 @@ class ClusterPool:
         warm_set = shard.warm[kind]
         if warm_set:
             _, instance = warm_set.popitem()
-            self._end_idle(instance, now)
+            self._end_idle(instance, now, shard)
             self.stats.warm_starts += 1
             cold = False
             boot = (
@@ -1058,6 +1173,7 @@ class ClusterPool:
                 tasks_executed=instance.tasks_executed - segment.tasks_at_open,
             )
         )
+        self.stats.leased_seconds += now - segment.start
         vm_used, sl_used = self.tenant_leased(lease.tenant)
         if instance.kind is InstanceKind.VM:
             shard.leased_vms -= 1
@@ -1074,7 +1190,8 @@ class ClusterPool:
             # its stale hand-over event no-ops via the lease guard.)
             self._terminate(instance, now)
         else:
-            keep_alive = self.autoscaler.keep_alive(instance.kind, self)
+            policy = self.autoscaler_for(shard)
+            keep_alive = policy.keep_alive(instance.kind, self, shard)
             if keep_alive > 0.0:
                 self._park(instance, keep_alive, now, shard)
             else:
@@ -1103,12 +1220,17 @@ class ClusterPool:
         if shard.warm[instance.kind].pop(instance.instance_id, None) is None:
             return  # reused before the (stale) expiry fired
         now = self.simulator.now
-        self._end_idle(instance, now)
+        self._end_idle(instance, now, shard)
         self._terminate(instance, now)
         self.stats.expirations += 1
 
-    def _end_idle(self, instance: Instance, now: float) -> None:
-        """Close an idle interval, accruing its keep-alive cost."""
+    def _end_idle(self, instance: Instance, now: float, shard: PoolShard) -> None:
+        """Close an idle interval, accruing its keep-alive cost.
+
+        The spend lands both on the pool total and on the shard the
+        worker was parked on, so drained shards are auditable in
+        isolation.
+        """
         handle = self._expiry_handles.pop(instance.instance_id, None)
         if handle is not None:
             self.simulator.cancel(handle)
@@ -1121,10 +1243,15 @@ class ClusterPool:
         else:
             idle_cost = self.prices.sl_breakdown(idle, invocations=0)
         self.keepalive_cost = self.keepalive_cost + idle_cost
+        shard.keepalive_cost = shard.keepalive_cost + idle_cost
+        self.stats.idle_seconds += idle
 
     def _terminate(self, instance: Instance, now: float) -> None:
         if instance.state is not InstanceState.TERMINATED:
             instance.transition(InstanceState.TERMINATED, now)
+            self.stats.instance_seconds += max(
+                now - instance.spawn_time, 0.0
+            )
 
     def _pump(self) -> None:
         """Grant queued requests while any shard can make progress.
@@ -1188,6 +1315,6 @@ class ClusterPool:
         for shard in self._shards.values():
             for warm_set in shard.warm.values():
                 for instance in list(warm_set.values()):
-                    self._end_idle(instance, now)
+                    self._end_idle(instance, now, shard)
                     self._terminate(instance, now)
                 warm_set.clear()

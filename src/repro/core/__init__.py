@@ -10,6 +10,9 @@ The architecture follows Figure 3 of the paper:
 - :mod:`repro.core.predictor` -- the Workload Prediction module (WP):
   Random Forest + Bayesian Optimizer.
 - :mod:`repro.core.tradeoff` -- the cost-performance knob (Eq. 4).
+- :mod:`repro.core.forecast` -- arrival forecasting for resource
+  management: per-query-class next-arrival forecasts, the break-even
+  predictive keep-alive policy and the adaptive batch-window tuner.
 - :mod:`repro.core.retrain` -- event-driven Background Re-training.
 - :mod:`repro.core.job` -- the Job Initializer (JI).
 - :mod:`repro.core.smartpick` -- the :class:`~repro.core.smartpick.Smartpick`
@@ -20,6 +23,11 @@ The architecture follows Figure 3 of the paper:
 
 from repro.core.config import SmartpickProperties
 from repro.core.features import FEATURE_NAMES, FeatureVector
+from repro.core.forecast import (
+    AdaptiveBatchWindow,
+    ArrivalForecaster,
+    PredictiveKeepAlive,
+)
 from repro.core.history import ExecutionRecord, HistoryServer
 from repro.core.job import JobInitializer, SubmissionOutcome
 from repro.core.monitor import MonitorAndFeatureExtraction
@@ -36,6 +44,8 @@ from repro.core.smartpick import Smartpick
 from repro.core.tradeoff import DecisionGrid, naive_scale_down, select_with_knob
 
 __all__ = [
+    "AdaptiveBatchWindow",
+    "ArrivalForecaster",
     "BackgroundRetrainer",
     "ConfigDecision",
     "DecisionGrid",
@@ -48,6 +58,7 @@ __all__ = [
     "ModelStore",
     "MonitorAndFeatureExtraction",
     "PredictionRequest",
+    "PredictiveKeepAlive",
     "RetrainEvent",
     "ServedQuery",
     "ServingReport",

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import dataclasses
 import functools
+import math
 import time
 
 import numpy as np
@@ -291,6 +292,22 @@ class WorkloadPredictor:
 
     def is_known(self, query_id: str) -> bool:
         return query_id in self.known_queries
+
+    def query_class(
+        self, query_id: str, input_size_gb: float
+    ) -> tuple[str, int]:
+        """The arrival-forecast stream key for one query.
+
+        Resource management forecasts arrivals *per query class*, and
+        the class follows the predictor's own feature schema: the query
+        identity plus the input size bucketed in octaves (durations and
+        costs scale smoothly with size, so same-octave arrivals are one
+        workload for forecasting even though their feature vectors --
+        and therefore their sizing decisions -- differ slightly).
+        """
+        if input_size_gb <= 0.0:
+            raise ValueError("input_size_gb must be positive")
+        return (query_id, round(math.log2(input_size_gb)))
 
     # ------------------------------------------------------------------
     # Point prediction (Eq. 1)

@@ -31,6 +31,15 @@ fairness index, quota-throttle delays, and a chargeback table that
 partitions the pool's total bill -- keep-alive included -- across
 tenants.
 
+**Prediction-driven resource management** closes the serving ->
+forecaster -> pool loop: every arrival's query class (from
+:meth:`~repro.core.predictor.WorkloadPredictor.query_class`) and routed
+shard are fed to forecast-aware autoscalers such as
+:class:`~repro.core.forecast.PredictiveKeepAlive` -- per-shard policies
+go in ``shard_autoscalers`` -- and ``batch_window_s="auto"`` lets an
+:class:`~repro.core.forecast.AdaptiveBatchWindow` tune the coalescing
+window from the observed arrival rate and measured decision latency.
+
 The default pool is cold (no keep-alive) and wide enough that typical
 traces do not contend, which reproduces the paper's
 fresh-instances-per-query serving model; a ``RuntimeWarning`` fires if a
@@ -59,6 +68,7 @@ from repro.cloud.pool import (
     ShardRouter,
     TenantRegistry,
 )
+from repro.core.forecast import AdaptiveBatchWindow
 from repro.core.job import SubmissionOutcome
 from repro.core.smartpick import Smartpick
 from repro.engine.runner import QueryExecution, launch_query
@@ -126,6 +136,13 @@ class ServingReport:
     slo_seconds: float
     pool_stats: PoolStats | None = None
     keepalive_cost_dollars: float = 0.0
+    #: Idle warm spend per shard; the values sum to
+    #: :attr:`keepalive_cost_dollars`, so a drained shard's share is
+    #: directly observable (empty for tenant slices, which cannot own
+    #: shard-level spend).
+    keepalive_cost_by_shard: dict[str, float] = dataclasses.field(
+        default_factory=dict
+    )
     #: Fair-share weight per tenant at replay time (single-tenant replays
     #: record the default tenant at weight 1).
     tenant_weights: dict[str, float] = dataclasses.field(default_factory=dict)
@@ -442,6 +459,16 @@ class ServingSimulator:
         paper's serving model.
     autoscaler:
         Optional keep-alive policy overriding the config's fixed windows.
+        Forecast-driven policies (anything exposing ``observe_arrival``,
+        e.g. :class:`~repro.core.forecast.PredictiveKeepAlive`) are fed
+        every arrival's query class -- via
+        :meth:`~repro.core.predictor.WorkloadPredictor.query_class` --
+        and the shard it was routed to, closing the serving ->
+        forecaster -> pool feedback loop.
+    shard_autoscalers:
+        Optional per-shard keep-alive overrides forwarded to the pool
+        (``{shard_name: policy}``); forecast-driven entries receive the
+        same arrival observations as ``autoscaler``.
     batch_window_s:
         Arrival coalescing window for micro-batched sizing.  Arrivals
         landing within ``batch_window_s`` of a group's first member are
@@ -451,7 +478,17 @@ class ServingSimulator:
         ``batching_delay_s``.  The default ``0.0`` only coalesces
         *exact-tick* arrivals, which wait for nothing; ``None`` disables
         coalescing entirely (every arrival decided alone through the BO
-        path, the pre-coalescer behaviour, bit for bit).
+        path, the pre-coalescer behaviour, bit for bit).  Pass ``"auto"``
+        (or an :class:`~repro.core.forecast.AdaptiveBatchWindow`
+        instance) to let the window auto-tune per group from the
+        observed arrival rate and the measured per-pass decision
+        latency: each group then opens at its first arrival and closes
+        after the tuner's current window (0 decides solo immediately).
+        Note the tuner deliberately mixes clocks -- arrival gaps are
+        simulated seconds, decision latency is *measured wall time*
+        (in a live deployment both are wall-clock) -- so ``"auto"``
+        replays may group differently across hosts; the numeric and
+        ``None`` paths stay fully deterministic.
     tenants:
         Quota/weight registry for multi-tenant replays; defaults to the
         system's registry (if any), else a permissive one.
@@ -466,15 +503,26 @@ class ServingSimulator:
         slo_seconds: float = 120.0,
         pool_config: PoolConfig | None = None,
         autoscaler: AutoscalerPolicy | None = None,
-        batch_window_s: float | None = 0.0,
+        batch_window_s: float | None | str | AdaptiveBatchWindow = 0.0,
         tenants: TenantRegistry | None = None,
         shards: dict[str, PoolConfig] | None = None,
         router: ShardRouter | None = None,
         grant_policy: GrantPolicy | None = None,
+        shard_autoscalers: dict[str, AutoscalerPolicy] | None = None,
     ) -> None:
         if slo_seconds <= 0:
             raise ValueError("slo_seconds must be positive")
-        if batch_window_s is not None and batch_window_s < 0:
+        if isinstance(batch_window_s, str):
+            if batch_window_s != "auto":
+                raise ValueError(
+                    "batch_window_s accepts a number, None, 'auto' or an "
+                    f"AdaptiveBatchWindow, not {batch_window_s!r}"
+                )
+        elif (
+            not isinstance(batch_window_s, AdaptiveBatchWindow)
+            and batch_window_s is not None
+            and batch_window_s < 0
+        ):
             raise ValueError("batch_window_s must be non-negative (or None)")
         if not system.predictor.is_trained:
             raise ValueError("bootstrap the system before serving a trace")
@@ -488,6 +536,20 @@ class ServingSimulator:
         self.shards = shards
         self.router = router
         self.grant_policy = grant_policy
+        self.shard_autoscalers = shard_autoscalers
+
+    def _batch_tuner(self) -> AdaptiveBatchWindow | None:
+        """The adaptive-window tuner for one replay (None = static path).
+
+        ``"auto"`` builds a fresh default tuner per replay so successive
+        replays do not leak each other's observed state; a caller-made
+        instance is used as-is (the caller owns warm-starting it).
+        """
+        if self.batch_window_s == "auto":
+            return AdaptiveBatchWindow()
+        if isinstance(self.batch_window_s, AdaptiveBatchWindow):
+            return self.batch_window_s
+        return None
 
     def _coalesce(
         self, arrivals: Iterable[_Arrival]
@@ -585,7 +647,39 @@ class ServingSimulator:
             router=self.router,
             tenants=registry,
             grant_policy=self.grant_policy,
+            shard_autoscalers=self.shard_autoscalers,
         )
+        # Forecast-driven autoscalers duck-type on `observe_arrival`;
+        # they receive every arrival's query class and routed shard.
+        # Dedup keys on the observation SINK (the forecaster when the
+        # policy exposes one), so per-shard policies sharing one
+        # forecaster do not double-feed it -- duplicate same-timestamp
+        # observations would floor the gap EWMA to min_gap_s.
+        forecast_observers = []
+        seen_sinks: set[int] = set()
+        for policy in (
+            self.autoscaler,
+            *(self.shard_autoscalers or {}).values(),
+        ):
+            if policy is None or not hasattr(policy, "observe_arrival"):
+                continue
+            sink = getattr(policy, "forecaster", policy)
+            if id(sink) in seen_sinks:
+                continue
+            seen_sinks.add(id(sink))
+            forecast_observers.append(policy)
+        # Serving feeds scopes actively, so pin every shard's scope up
+        # front: a shard that never receives a routed arrival then
+        # forecasts "drained" instead of falling back to the global
+        # stream (the fallback exists for direct pool users who never
+        # feed scopes at all).
+        for observer in forecast_observers:
+            forecaster = getattr(observer, "forecaster", None)
+            ensure_scope = getattr(forecaster, "ensure_scope", None)
+            if ensure_scope is not None:
+                for shard_name in pool.shard_names:
+                    ensure_scope(shard_name)
+        tuner = self._batch_tuner()
         # One duration model, seeded from the system's master generator,
         # keeps the whole replay deterministic for a given seed.
         duration_model = TaskDurationModel(
@@ -658,7 +752,7 @@ class ServingSimulator:
 
             in_flight_total += 1
             tenant_in_flight[arrival.tenant] += 1
-            launch_query(
+            execution = launch_query(
                 query,
                 n_vm=decision.n_vm,
                 n_sl=decision.n_sl,
@@ -668,6 +762,22 @@ class ServingSimulator:
                 on_complete=complete,
                 tenant=arrival.tenant,
             )
+            if forecast_observers:
+                # The lease is routed (and, when capacity allows --
+                # stealing included -- granted) synchronously inside
+                # launch_query, so lease.shard is the serving shard for
+                # every immediate grant.  A lease that *queues* and is
+                # later stolen observes its routed home instead: the
+                # shard the affinity policy wanted its warmth on.
+                class_key = self.system.predictor.query_class(
+                    arrival.event.query_id, arrival.event.input_gb
+                )
+                for observer in forecast_observers:
+                    observer.observe_arrival(
+                        class_key,
+                        arrival.event.arrival_s,
+                        scope=execution.lease.shard,
+                    )
 
         def submit_batch(batch: list[_Arrival], decide_time: float) -> None:
             # Queries still queued or running when this batch decides are
@@ -694,6 +804,12 @@ class ServingSimulator:
                     knob=knob,
                     mode=mode,
                     num_waiting_apps=waiting_base,
+                )
+            if tuner is not None:
+                # Per-query inference_seconds amortise one pass equally,
+                # so their sum is the measured wall time of this pass.
+                tuner.observe_decision(
+                    sum(decision.inference_seconds for _, decision in decided)
                 )
             for offset, (arrival, query, (context, decision)) in enumerate(
                 zip(batch, queries, decided)
@@ -729,7 +845,7 @@ class ServingSimulator:
             arrival = queue.popleft()
             submit_batch([arrival], decide_time=arrival.event.arrival_s)
 
-        def submit_group(group: list[_Arrival]) -> None:
+        def submit_group(group: list[_Arrival], decide_time: float) -> None:
             admitted: list[_Arrival] = []
             for arrival in group:
                 ahead = sum(
@@ -740,18 +856,50 @@ class ServingSimulator:
                 else:
                     pending_admission[arrival.tenant].append(arrival)
             if admitted:
-                # The group decided when its window closed: the last
-                # member's arrival, which is "now" for on-time groups.
-                submit_batch(admitted, decide_time=group[-1].event.arrival_s)
+                submit_batch(admitted, decide_time=decide_time)
 
-        for group in self._coalesce(stream):
-            # The group decides when its window closes: the last member's
-            # arrival.  Solo groups (the default-window common case) fire
-            # at their own arrival time, exactly as before.
-            simulator.schedule_at(
-                group[-1].event.arrival_s,
-                lambda group=group: submit_group(group),
-            )
+        if tuner is None:
+            for group in self._coalesce(stream):
+                # The group decides when its window closes: the last
+                # member's arrival.  Solo groups (the default-window
+                # common case) fire at their own arrival time, exactly
+                # as before.
+                simulator.schedule_at(
+                    group[-1].event.arrival_s,
+                    lambda group=group: submit_group(
+                        group, group[-1].event.arrival_s
+                    ),
+                )
+        else:
+            # Adaptive coalescing is event-driven: each arrival either
+            # joins the open group, opens a new one that closes after
+            # the tuner's *current* window, or -- when the window is 0
+            # -- decides solo immediately (the break-even says a wait
+            # is not worth a shared pass right now).
+            open_group: list[_Arrival] = []
+
+            def close_group() -> None:
+                group = list(open_group)
+                open_group.clear()
+                submit_group(group, decide_time=simulator.now)
+
+            def on_arrival(arrival: _Arrival) -> None:
+                tuner.observe_arrival(arrival.event.arrival_s)
+                if open_group:
+                    open_group.append(arrival)
+                    return
+                window = tuner.window()
+                if window <= 0.0:
+                    submit_group([arrival], decide_time=simulator.now)
+                    return
+                open_group.append(arrival)
+                simulator.schedule(window, close_group)
+
+            for arrival in stream:
+                simulator.schedule_at(
+                    arrival.event.arrival_s,
+                    lambda arrival=arrival: on_arrival(arrival),
+                )
         simulator.run()
         pool.shutdown()
         if any(record is None for record in served):
@@ -774,6 +922,7 @@ class ServingSimulator:
             slo_seconds=self.slo_seconds,
             pool_stats=pool.stats,
             keepalive_cost_dollars=pool.keepalive_cost_dollars,
+            keepalive_cost_by_shard=pool.keepalive_cost_by_shard,
             tenant_weights={
                 tenant: registry.weight(tenant) for tenant, _ in pairs
             },

@@ -15,7 +15,10 @@ tests parameterise them per case instead of sharing mutable state.
 
 from __future__ import annotations
 
+import os
+
 import pytest
+from hypothesis import settings as hypothesis_settings
 
 from repro import Smartpick, SmartpickProperties
 from repro.cloud import get_provider
@@ -24,6 +27,19 @@ from repro.cloud.pricing import get_prices
 from repro.engine import Simulator
 from repro.workloads import get_query
 from repro.workloads.trace import TraceEvent, WorkloadTrace
+
+# Hypothesis profiles: "dev" (the default) runs each property at its
+# library-default example count; "ci" caps the count so the growing
+# property suites keep tier-1 wall time flat on shared runners (select
+# with HYPOTHESIS_PROFILE=ci).  Tests that pin max_examples inline --
+# the expensive replay-based properties already do -- keep their pinned
+# budget under either profile; profile-governed suites should simply
+# not pin one.
+hypothesis_settings.register_profile("dev", deadline=None)
+hypothesis_settings.register_profile(
+    "ci", deadline=None, max_examples=25, derandomize=True
+)
+hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 #: Noise-free AWS profile: deterministic task durations for exact asserts.
 AWS_NOISELESS = get_provider("aws").with_noise_sigma(0.0)
@@ -90,6 +106,7 @@ def build_pool(
     tenants=None,
     grant_policy=None,
     work_stealing: bool = True,
+    shard_autoscalers=None,
     **config_overrides,
 ) -> ClusterPool:
     """A small deterministic :class:`ClusterPool` (4 VM + 4 SL default)."""
@@ -106,6 +123,7 @@ def build_pool(
         tenants=tenants,
         grant_policy=grant_policy,
         work_stealing=work_stealing,
+        shard_autoscalers=shard_autoscalers,
     )
 
 

@@ -1,5 +1,7 @@
 """Tests for the shared-cluster pool: warm reuse, keep-alive, queueing."""
 
+import zlib
+
 import pytest
 
 from repro.cloud.instances import InstanceKind, InstanceState
@@ -9,6 +11,7 @@ from repro.cloud.pool import (
     FixedKeepAlive,
     NoKeepAlive,
     PoolConfig,
+    TenantAffinityRouter,
 )
 from repro.engine import Simulator, run_query
 from repro.workloads import make_uniform_query
@@ -209,6 +212,141 @@ class TestAutoscalers:
     def test_demand_autoscaler_validation(self):
         with pytest.raises(ValueError):
             DemandAutoscaler(window_s=0.0)
+
+
+class TestPerShardAutoscaling:
+    """Each shard scales on its own arrival meter and (optionally) policy."""
+
+    def _pinned_pool(self, sim, autoscaler=None, shard_autoscalers=None):
+        """Two identical shards behind tenant affinity, plus the tenant
+        names that pin to each ("hot" hashes to shard index 1, "quiet"
+        to index 0 -- pinned in a test below so a hash change is loud)."""
+        shards = {
+            "shard-0": PoolConfig(max_vms=4, max_sls=4),
+            "shard-1": PoolConfig(max_vms=4, max_sls=4),
+        }
+        pool = build_pool(
+            sim,
+            shards=shards,
+            router=TenantAffinityRouter(),
+            autoscaler=autoscaler,
+            shard_autoscalers=shard_autoscalers,
+        )
+        return pool, "hot", "quiet"  # pinned to shard-1 / shard-0
+
+    def test_tenant_hash_pinning_assumption(self):
+        # Tenant names the affinity-pinning tests and scenarios rely on
+        # hashing to opposite shards of a two-shard pool.
+        assert zlib.crc32(b"hot") % 2 == 1
+        assert zlib.crc32(b"bursty") % 2 == 1
+        assert zlib.crc32(b"quiet") % 2 == 0
+
+    def test_per_shard_arrival_meter(self, collector_factory):
+        sim = Simulator()
+        pool, hot, quiet = self._pinned_pool(sim)
+        for _ in range(4):
+            lease = pool.acquire(1, 0, on_instance_ready=collector_factory(),
+                                 tenant=hot)
+            sim.run()
+            pool.release(lease)
+        # The pool-global meter sees the traffic; the quiet shard's own
+        # meter does not -- this is the signal per-shard scaling runs on.
+        assert pool.recent_acquire_rate(100.0) > 0.0
+        assert pool.recent_acquire_rate(100.0, shard="shard-1") > 0.0
+        assert pool.recent_acquire_rate(100.0, shard="shard-0") == 0.0
+
+    def test_drained_shard_keepalive_cost_goes_to_zero(
+        self, collector_factory
+    ):
+        """Regression (pool-global demand metering): one hot shard must
+        not keep a drained shard's released workers warm -- and billed."""
+        sim = Simulator()
+        pool, hot, quiet = self._pinned_pool(
+            sim,
+            autoscaler=DemandAutoscaler(
+                window_s=60.0, headroom=2.0, max_keep_alive_s=300.0
+            ),
+        )
+        quiet_lease = pool.acquire(
+            1, 0, on_instance_ready=collector_factory(), tenant=quiet
+        )
+        hot_leases = [
+            pool.acquire(1, 0, on_instance_ready=collector_factory(),
+                         tenant=hot)
+            for _ in range(3)  # within shard capacity: no work stealing
+        ]
+        sim.run()  # boots complete
+        # Long after the quiet shard's only grant left its rate window...
+        sim.run_until(sim.now + 200.0)
+        for lease in hot_leases[:2]:  # keep the hot shard's meter hot
+            pool.release(lease)
+            pool.acquire(1, 0, on_instance_ready=collector_factory(),
+                         tenant=hot)
+        # ...a release on the drained shard terminates immediately: the
+        # hot burst elsewhere no longer props up its keep-alive.
+        pool.release(quiet_lease)
+        assert quiet_lease.vms[0].state is InstanceState.TERMINATED
+        assert pool.shard("shard-0").warm_vms == 0
+        # The hot shard *does* park its releases (its own rate is high).
+        pool.release(hot_leases[2])
+        assert pool.shard("shard-1").warm_vms >= 1
+        sim.run()  # expire the hot shard's parked workers
+        pool.shutdown()
+        assert pool.keepalive_cost_by_shard["shard-0"] == 0.0
+        assert pool.keepalive_cost_by_shard["shard-1"] > 0.0
+        assert sum(pool.keepalive_cost_by_shard.values()) == pytest.approx(
+            pool.keepalive_cost_dollars, rel=1e-12
+        )
+
+    def test_shard_autoscaler_overrides(self, collector_factory):
+        sim = Simulator()
+        pool, hot, quiet = self._pinned_pool(
+            sim,
+            autoscaler=NoKeepAlive(),
+            shard_autoscalers={"shard-1": FixedKeepAlive(600.0, 600.0)},
+        )
+        quiet_lease = pool.acquire(
+            1, 0, on_instance_ready=collector_factory(), tenant=quiet
+        )
+        hot_lease = pool.acquire(
+            1, 0, on_instance_ready=collector_factory(), tenant=hot
+        )
+        sim.run()
+        pool.release(quiet_lease)  # pool default: terminate
+        pool.release(hot_lease)    # shard override: park
+        assert quiet_lease.vms[0].state is InstanceState.TERMINATED
+        assert pool.shard("shard-0").warm_vms == 0
+        assert pool.shard("shard-1").warm_vms == 1
+        assert "per-shard overrides [shard-1]" in pool.describe()
+        pool.shutdown()
+
+    def test_unknown_shard_autoscaler_rejected(self):
+        with pytest.raises(ValueError):
+            build_pool(shard_autoscalers={"nope": NoKeepAlive()})
+
+
+class TestTimeConservation:
+    def test_instance_lifetimes_partition_into_leased_and_idle(
+        self, pool_factory, collector_factory
+    ):
+        """Every second of a pooled instance's life is either leased or
+        warm-idle: the PoolStats ledger must balance after shutdown."""
+        sim = Simulator()
+        pool = pool_factory(sim, vm_keep_alive_s=80.0, warm_vm_boot_s=2.0)
+        first = pool.acquire(2, 1, on_instance_ready=collector_factory())
+        sim.run()
+        pool.release(first)
+        sim.run_until(sim.now + 30.0)  # part of the window idles away
+        second = pool.acquire(1, 0, on_instance_ready=collector_factory())
+        sim.run()
+        pool.release(second)
+        sim.run()  # remaining expiries fire
+        pool.shutdown()
+        stats = pool.stats
+        assert stats.leased_seconds > 0.0 and stats.idle_seconds > 0.0
+        assert stats.instance_seconds == pytest.approx(
+            stats.leased_seconds + stats.idle_seconds, rel=1e-9, abs=1e-6
+        )
 
 
 class TestSharedPoolQueries:

@@ -19,7 +19,10 @@ import pytest
 
 from repro.cloud.pool import (
     DEFAULT_TENANT,
+    AutoscalerPolicy,
+    DemandAutoscaler,
     FifoGrant,
+    FixedKeepAlive,
     GrantPolicy,
     LeastLoadedRouter,
     PoolConfig,
@@ -29,6 +32,7 @@ from repro.cloud.pool import (
     TenantSpec,
     WeightedFairGrant,
 )
+from repro.core.forecast import PredictiveKeepAlive
 from repro.core.serving import ServingSimulator
 from repro.engine import Simulator
 from repro.workloads.trace import TraceEvent, WorkloadTrace
@@ -528,6 +532,14 @@ class Scenario:
     grant_policy: GrantPolicy | None = None
     #: Tenants that have any leased-worker quota configured.
     quota_tenants: tuple[str, ...] = ()
+    #: Keep-alive policy (None = the pool config's fixed windows).
+    #: Stateful policies (forecasters) are fine here: each scenario row
+    #: runs exactly once per session.
+    autoscaler: AutoscalerPolicy | None = None
+    #: Per-shard keep-alive overrides forwarded to the pool.
+    shard_autoscalers: dict[str, AutoscalerPolicy] | None = None
+    #: Arrival-coalescing window forwarded to the simulator.
+    batch_window_s: object = 0.0
 
 
 def _scenarios() -> tuple[Scenario, ...]:
@@ -598,6 +610,83 @@ def _scenarios() -> tuple[Scenario, ...]:
             traces={"solo": build_bursty_trace(3, spacing_s=15.0)},
             pool_config=wide,
         ),
+        # ----- autoscaler rows: prediction-driven resource management --
+        Scenario(
+            name="autoscaler-predictive-pinned-drain",
+            seed=217,
+            # "bursty" crc32-hashes to shard index 1 and "quiet" to 0,
+            # so affinity genuinely separates them (pinned in
+            # test_cluster_pool.py's hash-assumption test).
+            traces={
+                "bursty": build_bursty_trace(8, spacing_s=10.0),
+                "quiet": build_bursty_trace(
+                    2, spacing_s=120.0, start_s=4.0, query_id="tpcds-q68"
+                ),
+            },
+            tenants=TenantRegistry(
+                [TenantSpec("bursty"), TenantSpec("quiet")]
+            ),
+            shards={
+                "m5": PoolConfig(max_vms=8, max_sls=8),
+                "c5": PoolConfig(max_vms=8, max_sls=8),
+            },
+            router=TenantAffinityRouter(),
+            shard_autoscalers={
+                "m5": PredictiveKeepAlive(headroom=3.0),
+                "c5": PredictiveKeepAlive(headroom=3.0),
+            },
+        ),
+        Scenario(
+            name="autoscaler-demand-per-shard",
+            seed=218,
+            traces=_two_tenant_traces(n_hot=4, n_quiet=2),
+            tenants=TenantRegistry(
+                [TenantSpec("hot"), TenantSpec("quiet")]
+            ),
+            shards={
+                "m5": PoolConfig(max_vms=6, max_sls=8),
+                "c5": PoolConfig(max_vms=6, max_sls=8),
+            },
+            router=TenantAffinityRouter(),
+            autoscaler=DemandAutoscaler(
+                window_s=120.0, headroom=2.0, max_keep_alive_s=120.0
+            ),
+        ),
+        Scenario(
+            name="autoscaler-fixed-vs-quota",
+            seed=219,
+            traces={
+                "paid": build_bursty_trace(3, spacing_s=12.0),
+                "free": build_bursty_trace(2, spacing_s=30.0, start_s=6.0),
+            },
+            tenants=TenantRegistry(
+                [
+                    TenantSpec("paid", weight=4.0),
+                    TenantSpec("free", max_leased_vms=2, max_in_flight=1),
+                ]
+            ),
+            pool_config=PoolConfig(max_vms=6, max_sls=8),
+            autoscaler=FixedKeepAlive(
+                vm_keep_alive_s=90.0, sl_keep_alive_s=20.0
+            ),
+            quota_tenants=("free",),
+        ),
+        Scenario(
+            name="autoscaler-predictive-auto-window",
+            seed=220,
+            traces={
+                "bursty": build_bursty_trace(6, spacing_s=2.0),
+                "steady": build_bursty_trace(
+                    2, spacing_s=45.0, start_s=1.0, query_id="tpcds-q68"
+                ),
+            },
+            tenants=TenantRegistry(
+                [TenantSpec("bursty"), TenantSpec("steady")]
+            ),
+            pool_config=PoolConfig(max_vms=10, max_sls=12),
+            autoscaler=PredictiveKeepAlive(headroom=2.0),
+            batch_window_s="auto",
+        ),
     )
 
 
@@ -615,6 +704,9 @@ def test_scenario_invariants(scenario: Scenario):
         shards=scenario.shards,
         router=scenario.router,
         grant_policy=scenario.grant_policy,
+        autoscaler=scenario.autoscaler,
+        shard_autoscalers=scenario.shard_autoscalers,
+        batch_window_s=scenario.batch_window_s,
     )
     report = simulator.replay_multi(scenario.traces)
 
@@ -662,6 +754,27 @@ def test_scenario_invariants(scenario: Scenario):
     # Fairness metrics are well-formed.
     n = len(report.tenants)
     assert 1.0 / n - 1e-12 <= report.jain_fairness_index <= 1.0 + 1e-12
+
+    # Resource-management invariants (hold under EVERY autoscaler):
+    # the bill is exactly query spend plus keep-alive spend, keep-alive
+    # spend partitions across shards, the warm-start rate is a rate, and
+    # every instance-second is either leased or warm-idle.
+    assert report.total_cost_dollars == pytest.approx(
+        report.query_cost_dollars + report.keepalive_cost_dollars,
+        rel=1e-12, abs=1e-15,
+    )
+    assert math.fsum(report.keepalive_cost_by_shard.values()) == pytest.approx(
+        report.keepalive_cost_dollars, rel=1e-12, abs=1e-15
+    )
+    assert all(
+        cost >= 0.0 for cost in report.keepalive_cost_by_shard.values()
+    )
+    stats = report.pool_stats
+    assert 0.0 <= stats.warm_start_rate <= 1.0
+    assert stats.warm_starts + stats.cold_starts == stats.acquisitions
+    assert stats.instance_seconds == pytest.approx(
+        stats.leased_seconds + stats.idle_seconds, rel=1e-9, abs=1e-6
+    )
 
 
 def test_fair_policy_shields_quiet_tenant_vs_fifo():
