@@ -126,6 +126,7 @@ def row(report) -> dict:
         "warm_start_rate": report.warm_start_rate,
         "p95_latency_s": report.latency_percentile(95),
         "expirations": stats.expirations,
+        "idle_fraction": stats.idle_fraction,
     }
 
 
@@ -172,6 +173,7 @@ def main(argv: list[str] | None = None) -> int:
             f"(query {metrics['query_cents']:.2f} + "
             f"keep-alive {metrics['keepalive_cents']:.2f}) "
             f"warm {100 * metrics['warm_start_rate']:5.1f}%  "
+            f"idle {100 * metrics['idle_fraction']:5.1f}%  "
             f"p95 {metrics['p95_latency_s']:6.1f}s  [{shard_text}]"
         )
 
@@ -222,6 +224,19 @@ def main(argv: list[str] | None = None) -> int:
             f"fixed-{window:g} ({predictive_quiet:.3f}c vs "
             f"{fixed_quiet:.3f}c)"
         )
+
+    # Idle time is what keep-alive spend buys; the forecast-gated policy
+    # must not hold workers idle longer (as a fraction of instance time)
+    # than the most generous fixed window, or its cost win is luck.
+    widest_fixed = rows[f"fixed-{max(FIXED_SWEEP):g}"]
+    assert (
+        predictive["idle_fraction"] <= widest_fixed["idle_fraction"]
+    ), (
+        "acceptance: predictive idle fraction "
+        f"({100 * predictive['idle_fraction']:.1f}%) must not exceed the "
+        f"widest fixed window's "
+        f"({100 * widest_fixed['idle_fraction']:.1f}%)"
+    )
 
     cost_ratio = best_fixed["total_cents"] / predictive["total_cents"]
     demand_ratio = rows["demand"]["total_cents"] / predictive["total_cents"]

@@ -1,0 +1,379 @@
+"""Million-arrival trace replay: columnar engine + streaming reports.
+
+A day-long multi-tenant trace at population scale (one million arrivals
+in full mode) is generated in columns by
+:func:`repro.workloads.synthetic.make_scale_trace` and replayed through
+the :class:`ServingSimulator`'s columnar engine with streaming reports
+(``keep_queries=False``) and class-level decision reuse -- the serving
+stack this PR adds for traces that would drown the per-event engine in
+Python objects.
+
+Measured (and merged into ``BENCH_scale.json``, schema v2, one slot per
+``(engine, mode)`` like the other bench files):
+
+- **columnar replay rate** (arrivals per wall second) over the full
+  trace, plus the peak RSS sampled right after the replay;
+- an **event-engine baseline** (pre-PR serving: per-arrival events,
+  ``keep_queries=True``, no decision reuse) on a short prefix of the
+  same trace.  The prefix rate flatters the baseline -- per-event replay
+  only gets slower as the trace grows -- so the reported ``speedup`` is
+  a conservative floor, and it is a same-machine ratio that transfers
+  across hardware for ``benchmarks/check_bench_regression.py`` to band;
+- **streaming report merge** time (sharded replays fold their
+  accumulators together with :meth:`ServingReport.merge`).
+
+Asserted in every mode (CI runs ``--quick`` on both inference engines):
+
+- the columnar engine reproduces the event engine's report on the
+  baseline prefix field for field (decision reuse off for the check);
+- peak RSS stays under a mode-sized ceiling -- the streaming report and
+  the bounded history window keep replay memory flat in trace length;
+- the streaming report's multi-tenant invariants hold at scale:
+  chargeback partitions the total bill, the Jain index is in (0, 1],
+  and the pool's instance-second ledger balances;
+- full mode only: the columnar rate is >= 10x the event baseline.
+
+Run standalone (the CI smoke job uses ``--quick``)::
+
+    PYTHONPATH=src python benchmarks/bench_scale.py [--quick]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import math
+import os
+import resource
+import sys
+import time
+
+sys.path.insert(
+    0, os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", "src")
+)
+
+from repro import Smartpick, SmartpickProperties  # noqa: E402
+from repro.cloud.pool import FixedKeepAlive, PoolConfig  # noqa: E402
+from repro.core.serving import ServingReport, ServingSimulator  # noqa: E402
+from repro.ml.forest_native import kernel_name  # noqa: E402
+from repro.workloads import get_query  # noqa: E402
+from repro.workloads.synthetic import make_scale_trace  # noqa: E402
+from repro.workloads.trace import ColumnarTrace  # noqa: E402
+
+DEFAULT_OUTPUT = os.path.join(
+    os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_scale.json"
+)
+
+SLO_SECONDS = 300.0
+#: Eq. 4 cost knob: short single-stage queries gain nothing from extra
+#: workers, so the knob settles on small cheap configurations -- the
+#: realistic operating point for an interactive population, and one
+#: that keeps the simulated pool (not the decision path) light.
+KNOB = 0.3
+#: Short interactive queries, weighted toward the smallest -- the
+#: population-scale regime where per-arrival engine overhead (not query
+#: runtime) bounds replay throughput.
+QUERY_CLASSES = (
+    "uniform-1x1s",
+    "uniform-2x1s",
+    "uniform-2x2s",
+    "uniform-4x1s",
+)
+CLASS_WEIGHTS = (4.0, 3.0, 2.0, 1.0)
+INPUT_GB_OCTAVES = (8.0, 16.0, 32.0)
+#: Arrivals in the event-engine baseline prefix; large enough that the
+#: per-arrival rate stabilises, small enough that the pre-PR engine
+#: finishes in seconds.
+BASELINE_ARRIVALS = {"quick": 1_000, "full": 5_000}
+#: Peak-RSS ceilings (MB).  The numpy fallback descends trees in Python
+#: with bigger transients; full mode carries a 1M-arrival trace.  The
+#: streaming report itself is O(sketch capacity), so these are flat in
+#: trace length -- a leak back to per-query lists blows straight
+#: through them.
+RSS_CEILING_MB = {
+    ("native-c", "quick"): 900.0,
+    ("native-c", "full"): 1400.0,
+    ("numpy", "quick"): 900.0,
+    ("numpy", "full"): 1400.0,
+}
+
+
+def peak_rss_mb() -> float:
+    """High-water RSS of this process in MB (Linux reports KB)."""
+    return resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024.0
+
+
+def build_system(seed: int = 1207) -> Smartpick:
+    """A Smartpick bootstrapped on the synthetic query classes.
+
+    Retraining is damped (the scale run measures serving throughput,
+    not model churn) and the history window bounds the History Server:
+    without it a million completions would accumulate a million records.
+    """
+    system = Smartpick(
+        SmartpickProperties(
+            provider="AWS",
+            relay=True,
+            error_difference_trigger=1e9,
+            history_window=256,
+        ),
+        max_vm=8,
+        max_sl=8,
+        rng=seed,
+    )
+    system.bootstrap(
+        [get_query(query_id, input_gb=16.0) for query_id in QUERY_CLASSES],
+        n_configs_per_query=4,
+    )
+    return system
+
+
+def build_simulator(
+    engine: str, keep_queries: bool, decision_reuse: bool | None = None
+) -> ServingSimulator:
+    return ServingSimulator(
+        build_system(),
+        slo_seconds=SLO_SECONDS,
+        # Sized for the trace's burst peaks: the bench measures engine
+        # throughput, not capacity queueing (vm-only serving keeps the
+        # warm-start economics simple, as in bench_autoscaler).
+        pool_config=PoolConfig(max_vms=4096, max_sls=0),
+        autoscaler=FixedKeepAlive(30.0, 7.5),
+        engine=engine,
+        keep_queries=keep_queries,
+        decision_reuse=decision_reuse,
+    )
+
+
+def prefix_pairs(
+    pairs: list[tuple[str, ColumnarTrace]], n_arrivals: int
+) -> list[tuple[str, ColumnarTrace]]:
+    """The first ``n_arrivals`` of the merged trace, split per tenant."""
+    cutoffs = sorted(
+        arrival
+        for _, trace in pairs
+        for arrival in trace.arrival_s.tolist()
+    )[:n_arrivals]
+    cutoff = cutoffs[-1]
+    prefixed = []
+    for tenant, trace in pairs:
+        keep = int((trace.arrival_s <= cutoff).sum())
+        if keep:
+            prefixed.append((tenant, trace.head(keep)))
+    return prefixed
+
+
+def check_invariants(report: ServingReport, label: str) -> None:
+    """Multi-tenant and ledger properties, on the *streaming* report."""
+    bills = report.chargeback()
+    total = report.total_cost_dollars
+    partitioned = math.fsum(bills.values())
+    assert abs(partitioned - total) <= 1e-9 * max(total, 1.0), (
+        f"{label}: chargeback does not partition the bill "
+        f"({partitioned} vs {total})"
+    )
+    jain = report.jain_fairness_index
+    assert 0.0 < jain <= 1.0 + 1e-12, f"{label}: Jain index {jain} out of range"
+    stats = report.pool_stats
+    assert abs(
+        stats.instance_seconds - (stats.leased_seconds + stats.idle_seconds)
+    ) <= 1e-6 + 1e-9 * stats.instance_seconds, (
+        f"{label}: instance-second ledger does not balance"
+    )
+    assert 0.0 <= stats.idle_fraction <= 1.0, label
+    assert report.n_queries == sum(
+        report.for_tenant(tenant).n_queries for tenant in report.tenants
+    ), f"{label}: tenant slices do not partition the query count"
+
+
+def report_signature(report: ServingReport) -> dict:
+    """Engine-independent report fields (wall-clock timings excluded)."""
+    return {
+        "n_queries": report.n_queries,
+        "query_cost_dollars": report.query_cost_dollars,
+        "latency_p50": report.latency_percentile(50),
+        "latency_p99": report.latency_percentile(99),
+        "queueing_p50": report.queueing_delay_percentile(50),
+        "slo_attainment": report.slo_attainment,
+        "batched_rate": report.batched_decision_rate,
+        "n_aliens": report.n_aliens,
+        "n_retrains": report.n_retrains,
+        "warm_start_rate": report.warm_start_rate,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="50k arrivals and no 10x assertion (CI smoke mode); "
+        "correctness and RSS-ceiling assertions still run",
+    )
+    parser.add_argument("--output", default=DEFAULT_OUTPUT)
+    parser.add_argument(
+        "--expect-engine",
+        choices=("native-c", "numpy"),
+        help="fail unless inference runs on this engine",
+    )
+    args = parser.parse_args(argv)
+
+    engine = kernel_name()
+    if args.expect_engine is not None and engine != args.expect_engine:
+        print(
+            f"expected engine {args.expect_engine!r} but inference would "
+            f"run on {engine!r} (native kernel build failed?)"
+        )
+        return 1
+    mode = "quick" if args.quick else "full"
+    n_arrivals = 50_000 if args.quick else 1_000_000
+    n_baseline = BASELINE_ARRIVALS[mode]
+
+    started = time.perf_counter()
+    pairs = make_scale_trace(
+        n_arrivals,
+        query_classes=QUERY_CLASSES,
+        class_weights=CLASS_WEIGHTS,
+        input_gb_octaves=INPUT_GB_OCTAVES,
+        rng=97,
+    )
+    generate_s = time.perf_counter() - started
+    print(
+        f"scale bench (engine={engine}, quick={args.quick}): "
+        f"{n_arrivals} arrivals / {len(pairs)} tenants generated "
+        f"in {generate_s:.2f}s"
+    )
+
+    # Columnar engine first: ru_maxrss is a high-water mark, so the peak
+    # must be sampled before the event baseline materialises its (small)
+    # per-arrival objects and before any keep_queries run.
+    simulator = build_simulator("columnar", keep_queries=False)
+    started = time.perf_counter()
+    streaming = simulator.replay_multi(pairs, knob=KNOB, mode="vm-only")
+    columnar_s = time.perf_counter() - started
+    rss_mb = peak_rss_mb()
+    assert streaming.is_streaming and not streaming.served
+    assert streaming.n_queries == n_arrivals
+    check_invariants(streaming, "columnar streaming report")
+    columnar_rate = n_arrivals / columnar_s
+    print(
+        f"  columnar: {n_arrivals} arrivals in {columnar_s:.2f}s "
+        f"({columnar_rate:,.0f} arrivals/s), peak RSS {rss_mb:.0f} MB"
+    )
+    print(f"  {streaming.summary()}")
+
+    ceiling = RSS_CEILING_MB[(engine, mode)]
+    assert rss_mb <= ceiling, (
+        f"acceptance: peak RSS {rss_mb:.0f} MB exceeds the "
+        f"{ceiling:.0f} MB ceiling for {engine}/{mode} -- streaming "
+        "replay memory must stay flat in trace length"
+    )
+
+    # Streaming report merge: sharded replays fold partial reports into
+    # one; fold this report into itself repeatedly and time the folds.
+    merges = 64
+    merged = streaming
+    started = time.perf_counter()
+    for _ in range(merges):
+        merged = merged.merge(streaming)
+    merge_s = time.perf_counter() - started
+    assert merged.n_queries == (merges + 1) * n_arrivals
+    merge_ms = merge_s / merges * 1e3
+    print(f"  report merge: {merge_ms:.2f} ms per fold ({merges} folds)")
+
+    # Event-engine baseline (the pre-PR serving path) on a prefix.
+    baseline_pairs = prefix_pairs(pairs, n_baseline)
+    n_prefix = sum(len(trace) for _, trace in baseline_pairs)
+    simulator = build_simulator(
+        "event", keep_queries=True, decision_reuse=False
+    )
+    started = time.perf_counter()
+    event_report = simulator.replay_multi(
+        baseline_pairs, knob=KNOB, mode="vm-only"
+    )
+    event_s = time.perf_counter() - started
+    event_rate = n_prefix / event_s
+    speedup = columnar_rate / event_rate
+    print(
+        f"  event baseline: {n_prefix} arrivals in {event_s:.2f}s "
+        f"({event_rate:,.0f} arrivals/s) -> columnar speedup "
+        f"{speedup:.1f}x (floor: prefix rate flatters the baseline)"
+    )
+
+    # Equivalence: with reuse off, the columnar engine must reproduce
+    # the event engine's report on the same prefix field for field.
+    exact = build_simulator(
+        "columnar", keep_queries=True, decision_reuse=False
+    ).replay_multi(baseline_pairs, knob=KNOB, mode="vm-only")
+    event_signature = report_signature(event_report)
+    assert report_signature(exact) == event_signature, (
+        "columnar engine diverged from the event engine on the prefix"
+    )
+    print("  equivalence ok: columnar == event on the baseline prefix")
+
+    if not args.quick:
+        assert speedup >= 10.0, (
+            "acceptance: the columnar streaming replay must be >= 10x "
+            f"the per-event baseline rate, measured {speedup:.1f}x"
+        )
+
+    results = {
+        "columnar": {
+            "n_arrivals": n_arrivals,
+            "n_tenants": len(pairs),
+            "generate_s": generate_s,
+            "wall_s": columnar_s,
+            "arrivals_per_sec": columnar_rate,
+            "peak_rss_mb": rss_mb,
+            "rss_ceiling_mb": ceiling,
+        },
+        "event_baseline": {
+            "n_arrivals": n_prefix,
+            "wall_s": event_s,
+            "arrivals_per_sec": event_rate,
+        },
+        "columnar_vs_event": {
+            "speedup": speedup,
+            "equivalent_on_prefix": True,
+        },
+        "report_merge": {
+            "merges": merges,
+            "ms_per_merge": merge_ms,
+        },
+    }
+
+    output = os.path.abspath(args.output)
+    try:
+        with open(output, "r", encoding="utf-8") as handle:
+            existing = json.load(handle)
+    except (OSError, json.JSONDecodeError):
+        existing = None
+    engines = (
+        dict(existing.get("engines", {}))
+        if existing and existing.get("schema_version", 1) >= 2
+        else {}
+    )
+    engines.setdefault(engine, {})[mode] = {
+        "config": {
+            "n_arrivals": n_arrivals,
+            "query_classes": list(QUERY_CLASSES),
+            "baseline_arrivals": n_baseline,
+            "slo_seconds": SLO_SECONDS,
+            "history_window": 256,
+        },
+        "results": results,
+    }
+    payload = {
+        "schema_version": 2,
+        "bench": "scale",
+        "engines": engines,
+    }
+    with open(output, "w", encoding="utf-8") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    print(f"wrote {output}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -5,13 +5,18 @@
   (the paper plots averages of 10 runs with 90 % CIs).
 - :mod:`repro.analysis.reporting` -- ASCII tables and series so every
   bench prints the same rows/series its paper figure shows.
+- :mod:`repro.analysis.sketches` -- mergeable streaming accumulators
+  (reservoir percentiles, exactly-rounded sums) for scale replay.
 """
 
 from repro.analysis.pcr import performance_cost_ratio, scaled_pcr
 from repro.analysis.reporting import format_series, format_table
+from repro.analysis.sketches import ExactSum, ReservoirQuantiles
 from repro.analysis.stats import confidence_interval, mean_and_ci
 
 __all__ = [
+    "ExactSum",
+    "ReservoirQuantiles",
     "confidence_interval",
     "format_series",
     "format_table",

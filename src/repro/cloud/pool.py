@@ -369,6 +369,18 @@ class PoolStats:
             return 0.0
         return self.warm_starts / self.acquisitions
 
+    @property
+    def idle_fraction(self) -> float:
+        """Fraction of instance lifetime spent idle in a warm set.
+
+        ``idle_seconds / instance_seconds`` from the time-conservation
+        ledger -- the keep-alive waste a predictive policy exists to
+        shrink.  0 when no instance ever ran.
+        """
+        if self.instance_seconds <= 0.0:
+            return 0.0
+        return self.idle_seconds / self.instance_seconds
+
 
 @dataclasses.dataclass(frozen=True)
 class BillingSegment:

@@ -34,6 +34,7 @@ _KEY_TO_FIELD = {
     "smartpick.train.pref.sameInstance": "prefer_same_instance",
     "smartpick.train.min.ram.gb": "min_ram_gb",
     "smartpick.train.errorDifference.trigger": "error_difference_trigger",
+    "smartpick.history.window": "history_window",
 }
 _FIELD_TO_KEY = {field: key for key, field in _KEY_TO_FIELD.items()}
 
@@ -81,6 +82,11 @@ class SmartpickProperties:
     error_difference_trigger:
         Retrain when ``|actual - predicted|`` exceeds this many seconds
         (``smartpick.train.errorDifference.trigger``).
+    history_window:
+        Keep only this many execution records per query in the History
+        Server (``smartpick.history.window``); ``None`` (the default)
+        keeps the full unbounded log.  Million-arrival replays set a
+        window so history memory and duration lookups stay bounded.
     """
 
     provider: str = "AWS"
@@ -91,6 +97,7 @@ class SmartpickProperties:
     prefer_same_instance: bool = False
     min_ram_gb: float = 4.0
     error_difference_trigger: float = 50.0
+    history_window: int | None = None
 
     def __post_init__(self) -> None:
         self.validate()
@@ -113,6 +120,8 @@ class SmartpickProperties:
             raise ValueError("min_ram_gb must be positive")
         if self.error_difference_trigger <= 0:
             raise ValueError("error_difference_trigger must be positive")
+        if self.history_window is not None and self.history_window < 1:
+            raise ValueError("history_window must be at least 1 (or None)")
 
     # ------------------------------------------------------------------
     # Property-file style round trip
@@ -144,6 +153,12 @@ class SmartpickProperties:
                 kwargs[numeric] = float(kwargs[numeric])
         if "max_batch" in kwargs:
             kwargs["max_batch"] = int(kwargs["max_batch"])
+        if "history_window" in kwargs:
+            raw = kwargs["history_window"]
+            if raw is None or str(raw).strip().lower() in ("", "none"):
+                kwargs["history_window"] = None
+            else:
+                kwargs["history_window"] = int(raw)
         return cls(**kwargs)
 
     def to_properties(self) -> dict[str, str]:

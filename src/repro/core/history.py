@@ -59,11 +59,22 @@ class ExecutionRecord:
 
 
 class HistoryServer:
-    """Append-only store of execution records with training-set assembly."""
+    """Append-only store of execution records with training-set assembly.
 
-    def __init__(self) -> None:
+    ``max_records_per_query`` turns the store into a sliding window: each
+    query keeps only its most recent executions and the global log is
+    compacted to match.  Million-arrival replays need this -- an unbounded
+    log is both O(n) memory and O(n) per :meth:`historical_duration` call.
+    The default (``None``) keeps today's unbounded behaviour exactly.
+    """
+
+    def __init__(self, max_records_per_query: int | None = None) -> None:
+        if max_records_per_query is not None and max_records_per_query < 1:
+            raise ValueError("max_records_per_query must be at least 1")
+        self.max_records_per_query = max_records_per_query
         self._records: list[ExecutionRecord] = []
         self._by_query: dict[str, list[ExecutionRecord]] = {}
+        self._evicted = 0
         # A logical clock standing in for wall-clock submit epochs; each
         # record advances it so start-time-epoch features are monotone.
         self._logical_epoch = 1_700_000_000.0
@@ -77,7 +88,26 @@ class HistoryServer:
         if record.duration_s <= 0:
             raise ValueError("duration_s must be positive")
         self._records.append(record)
-        self._by_query.setdefault(record.query_id, []).append(record)
+        per_query = self._by_query.setdefault(record.query_id, [])
+        per_query.append(record)
+        cap = self.max_records_per_query
+        if cap is not None and len(per_query) > cap:
+            del per_query[0]
+            self._evicted += 1
+            # Amortised O(1): rebuild the global log once evictions make
+            # up half of it, preserving append order of the survivors.
+            if self._evicted * 2 > len(self._records):
+                self._compact()
+
+    def _compact(self) -> None:
+        """Drop evicted records from the global log (order-preserving)."""
+        if not self._evicted:
+            return
+        kept = {
+            id(r) for records in self._by_query.values() for r in records
+        }
+        self._records = [r for r in self._records if id(r) in kept]
+        self._evicted = 0
 
     def next_epoch(self, spacing_s: float = 300.0) -> float:
         """Monotone submit-time epochs for successive jobs."""
@@ -89,10 +119,12 @@ class HistoryServer:
     # ------------------------------------------------------------------
 
     def __len__(self) -> int:
+        self._compact()
         return len(self._records)
 
     @property
     def records(self) -> tuple[ExecutionRecord, ...]:
+        self._compact()
         return tuple(self._records)
 
     def known_query_ids(self) -> tuple[str, ...]:
@@ -117,6 +149,7 @@ class HistoryServer:
         """The ``limit`` most recent executions (batch retraining input)."""
         if limit < 1:
             raise ValueError("limit must be at least 1")
+        self._compact()
         return tuple(self._records[-limit:])
 
     # ------------------------------------------------------------------
@@ -127,6 +160,7 @@ class HistoryServer:
         self, query_ids: tuple[str, ...] | None = None
     ) -> Dataset:
         """Features/targets of all (or the selected queries') records."""
+        self._compact()
         if query_ids is None:
             selected = self._records
         else:
@@ -144,6 +178,7 @@ class HistoryServer:
 
     def dump_json(self, path: str | pathlib.Path) -> None:
         """Write the full history to a JSON file."""
+        self._compact()
         payload = {
             "logical_epoch": self._logical_epoch,
             "records": [record.to_json_dict() for record in self._records],
@@ -151,10 +186,14 @@ class HistoryServer:
         pathlib.Path(path).write_text(json.dumps(payload, indent=2))
 
     @classmethod
-    def load_json(cls, path: str | pathlib.Path) -> "HistoryServer":
+    def load_json(
+        cls,
+        path: str | pathlib.Path,
+        max_records_per_query: int | None = None,
+    ) -> "HistoryServer":
         """Rebuild a history server from :meth:`dump_json` output."""
         payload = json.loads(pathlib.Path(path).read_text())
-        server = cls()
+        server = cls(max_records_per_query)
         server._logical_epoch = float(payload["logical_epoch"])
         for entry in payload["records"]:
             server.record(ExecutionRecord.from_json_dict(entry))

@@ -223,11 +223,15 @@ class WorkloadPredictor:
         )
         self._sl_rate = prices.sl_per_second
         self._redis_rate = prices.redis_per_second
-        # Cached decisions store the array-form grid plus the best/chosen
-        # indices -- a fraction of the footprint of the materialised
-        # entry lists they replaced, and decisions reconstruct lazily.
+        # Cached decisions store the knob-independent array-form grid and
+        # best index plus a small per-knob map of chosen indices -- a
+        # fraction of the footprint of the materialised entry lists they
+        # replaced.  Keying the heavy part (one forest pass worth of
+        # ``(seconds, costs)``) without the knob means knob sweeps over a
+        # repeated query class reuse one grid pass and only re-run the
+        # cheap Eq. 4 selection.
         self._decision_cache: dict[
-            tuple, tuple[DecisionGrid, int, int]
+            tuple, tuple[DecisionGrid, int, dict[float, int]]
         ] = {}
         self._decision_probation: dict[tuple, None] = {}
         # Grid-compiled inference engines (one per mode/bounds, rebuilt
@@ -509,9 +513,13 @@ class WorkloadPredictor:
         knob selection applies unchanged.
 
         Decisions are memoized per model version: requests with identical
-        ``(query class, features, knob, mode)`` reuse the cached grid
-        decision instead of re-running the forest, both within one batch
-        and across successive calls.  Admission is two-touch -- a key is
+        ``(query class, features, mode)`` reuse the cached grid decision
+        instead of re-running the forest, both within one batch and
+        across successive calls.  The knob is *not* part of the heavy
+        key -- the ``(seconds, costs)`` grid does not depend on it -- so
+        a knob sweep over the same request reuses one forest pass and
+        only re-runs the cheap Eq. 4 index selection (memoized per knob
+        alongside the grid).  Admission is two-touch -- a key is
         memoized from its second miss onward -- so never-repeated
         requests leave only a lightweight probation marker instead of
         filling the cache with dead Estimated Time data.
@@ -536,11 +544,13 @@ class WorkloadPredictor:
         candidates = self.candidate_grid(mode)
         grid_size = candidates.shape[0]
 
-        # Identical (query class, features, knob, mode) requests under the
-        # current model resolve to identical grid decisions, so each unique
-        # key is sized once -- within this batch and across calls (memoized
-        # per model_version with FIFO eviction).
-        keys = [self._decision_key(request, knob, mode) for request in requests]
+        # Identical (query class, features, mode) requests under the
+        # current model resolve to identical grids, so each unique key is
+        # sized once -- within this batch and across calls (memoized per
+        # model_version with FIFO eviction).  The chosen index for the
+        # requested knob is resolved per cached grid (and memoized on it).
+        knob_key = float(knob)
+        keys = [self._decision_key(request, mode) for request in requests]
         # Resolve into a batch-local map first: FIFO eviction below must
         # never drop an entry this batch still needs.
         resolved: dict[tuple, tuple[DecisionGrid, int, int]] = {}
@@ -552,7 +562,18 @@ class WorkloadPredictor:
                 continue
             cached = self._decision_cache.get(key)
             if cached is not None:
-                resolved[key] = cached
+                decision_grid, best_index, selections = cached
+                chosen_index = selections.get(knob_key)
+                if chosen_index is None:
+                    chosen_index = decision_grid.select_index_with_knob(
+                        float(decision_grid.seconds[best_index]),
+                        float(decision_grid.costs[best_index]),
+                        knob,
+                    )
+                    if chosen_index is None:
+                        chosen_index = best_index
+                    selections[knob_key] = chosen_index
+                resolved[key] = (decision_grid, best_index, chosen_index)
             else:
                 fresh_seen.add(key)
                 fresh_keys.append(key)
@@ -587,7 +608,11 @@ class WorkloadPredictor:
                     del self._decision_probation[key]
                     while len(self._decision_cache) >= _DECISION_CACHE_LIMIT:
                         self._decision_cache.pop(next(iter(self._decision_cache)))
-                    self._decision_cache[key] = resolved[key]
+                    self._decision_cache[key] = (
+                        decision_grid,
+                        best_index,
+                        {knob_key: chosen_index},
+                    )
                 else:
                     while len(self._decision_probation) >= 4 * _DECISION_CACHE_LIMIT:
                         self._decision_probation.pop(
@@ -683,11 +708,11 @@ class WorkloadPredictor:
         self._grid_engine_cache[key] = (engine, self.model_version)
         return engine
 
-    def _decision_key(
-        self, request: PredictionRequest, knob: float, mode: str
-    ) -> tuple:
-        """Everything a batched grid decision depends on.
+    def _decision_key(self, request: PredictionRequest, mode: str) -> tuple:
+        """Everything a batched grid's ``(seconds, costs)`` depends on.
 
+        Deliberately knob-free: the knob only affects the Eq. 4 index
+        selection, which is memoized per knob next to the cached grid.
         ``max_vm`` / ``max_sl`` / ``relay`` are public mutable attributes
         (the grid cache keys on the bounds for the same reason), so they
         are part of the key even though they rarely change.
@@ -695,7 +720,6 @@ class WorkloadPredictor:
         return (
             self.model_version,
             mode,
-            float(knob),
             self.max_vm,
             self.max_sl,
             self.relay,

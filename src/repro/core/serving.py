@@ -53,11 +53,13 @@ from __future__ import annotations
 import collections
 import dataclasses
 import math
+import time
 import warnings
 from typing import Iterable, Mapping, NamedTuple
 
 import numpy as np
 
+from repro.analysis.sketches import ExactSum, ReservoirQuantiles
 from repro.cloud.pool import (
     DEFAULT_TENANT,
     AutoscalerPolicy,
@@ -75,9 +77,19 @@ from repro.engine.runner import QueryExecution, launch_query
 from repro.engine.simulator import Simulator
 from repro.engine.task import TaskDurationModel
 from repro.workloads import get_query
-from repro.workloads.trace import TraceEvent, WorkloadTrace
+from repro.workloads.trace import ColumnarTrace, TraceEvent, WorkloadTrace
 
-__all__ = ["ServedQuery", "ServingReport", "ServingSimulator"]
+__all__ = [
+    "ServedQuery",
+    "ServingStream",
+    "ServingReport",
+    "ServingSimulator",
+]
+
+#: Reservoir size of every streaming-report sketch: percentiles are exact
+#: up to this many observations and carry ~1/sqrt(capacity) rank error
+#: beyond (see :mod:`repro.analysis.sketches`).
+_SKETCH_CAPACITY = 4096
 
 
 @dataclasses.dataclass(frozen=True)
@@ -128,6 +140,118 @@ class ServedQuery:
         return self.admission_delay_s + self.quota_delay_s
 
 
+class ServingStream:
+    """Mergeable online accumulators over a replay's served queries.
+
+    The streaming counterpart of a :class:`ServingReport`'s per-query
+    list: O(sketch capacity) memory regardless of trace length.  Every
+    replay folds each completion into one of these (per tenant too, one
+    level deep); with ``keep_queries=False`` the stream is all the
+    report keeps.  Percentiles come from deterministic reservoir
+    sketches -- exact while a replay fits in the reservoir -- and cost /
+    decision-time totals from exactly-rounded online sums, so the
+    chargeback-conservation, Jain-index and time-ledger properties hold
+    against streaming reports unchanged.
+    """
+
+    __slots__ = (
+        "slo_seconds", "n", "latency", "queueing", "admission",
+        "quota_throttle", "decision", "query_cost",
+        "decision_seconds_total", "n_slo_hits", "n_batched", "n_aliens",
+        "n_retrains", "tenant_streams",
+    )
+
+    def __init__(
+        self,
+        slo_seconds: float,
+        sketch_capacity: int = _SKETCH_CAPACITY,
+        _track_tenants: bool = True,
+    ) -> None:
+        self.slo_seconds = slo_seconds
+        self.n = 0
+        self.latency = ReservoirQuantiles(sketch_capacity, seed=1)
+        self.queueing = ReservoirQuantiles(sketch_capacity, seed=2)
+        self.admission = ReservoirQuantiles(sketch_capacity, seed=3)
+        self.quota_throttle = ReservoirQuantiles(sketch_capacity, seed=4)
+        self.decision = ReservoirQuantiles(sketch_capacity, seed=5)
+        self.query_cost = ExactSum()
+        self.decision_seconds_total = ExactSum()
+        self.n_slo_hits = 0
+        self.n_batched = 0
+        self.n_aliens = 0
+        self.n_retrains = 0
+        #: Per-tenant sub-streams (one level deep: sub-streams track no
+        #: tenants of their own); ``None`` marks a tenant slice.
+        self.tenant_streams: dict[str, ServingStream] | None = (
+            {} if _track_tenants else None
+        )
+
+    def ensure_tenant(self, tenant: str) -> "ServingStream":
+        """Register a tenant's sub-stream (idempotent, ordered)."""
+        if self.tenant_streams is None:
+            raise ValueError("tenant slices do not track sub-tenants")
+        stream = self.tenant_streams.get(tenant)
+        if stream is None:
+            stream = ServingStream(
+                self.slo_seconds,
+                sketch_capacity=self.latency.capacity,
+                _track_tenants=False,
+            )
+            self.tenant_streams[tenant] = stream
+        return stream
+
+    def observe(self, query: ServedQuery) -> None:
+        """Fold one completion into the accumulators (and its tenant's)."""
+        self._observe_one(query)
+        if self.tenant_streams is not None:
+            self.ensure_tenant(query.tenant)._observe_one(query)
+
+    def _observe_one(self, query: ServedQuery) -> None:
+        latency = query.latency_s
+        self.n += 1
+        self.latency.observe(latency)
+        self.queueing.observe(query.queueing_delay_s)
+        self.admission.observe(query.admission_delay_s)
+        self.quota_throttle.observe(query.quota_throttle_delay_s)
+        self.decision.observe(query.outcome.decision.inference_seconds)
+        self.query_cost.add(query.outcome.cost_dollars)
+        self.decision_seconds_total.add(
+            query.outcome.decision.inference_seconds
+        )
+        if latency <= self.slo_seconds:
+            self.n_slo_hits += 1
+        if query.decision_batch_size >= 2:
+            self.n_batched += 1
+        if query.outcome.is_alien:
+            self.n_aliens += 1
+        if query.outcome.retrain_event:
+            self.n_retrains += 1
+
+    def merge(self, other: "ServingStream") -> None:
+        """Fold another replay segment's stream into this one."""
+        if other.slo_seconds != self.slo_seconds:
+            raise ValueError("cannot merge streams with different SLOs")
+        self.n += other.n
+        self.latency.merge(other.latency)
+        self.queueing.merge(other.queueing)
+        self.admission.merge(other.admission)
+        self.quota_throttle.merge(other.quota_throttle)
+        self.decision.merge(other.decision)
+        self.query_cost.merge(other.query_cost)
+        self.decision_seconds_total.merge(other.decision_seconds_total)
+        self.n_slo_hits += other.n_slo_hits
+        self.n_batched += other.n_batched
+        self.n_aliens += other.n_aliens
+        self.n_retrains += other.n_retrains
+        if self.tenant_streams is not None and other.tenant_streams:
+            for tenant, theirs in other.tenant_streams.items():
+                mine = self.tenant_streams.get(tenant)
+                if mine is None:
+                    self.ensure_tenant(tenant).merge(theirs)
+                else:
+                    mine.merge(theirs)
+
+
 @dataclasses.dataclass
 class ServingReport:
     """Aggregate view of one trace replay."""
@@ -151,21 +275,53 @@ class ServingReport:
     tenant_peaks: dict[str, tuple[int, int]] = dataclasses.field(
         default_factory=dict
     )
+    #: Streaming accumulators over the same completions.  Replays always
+    #: fill one; with ``keep_queries=False`` (million-arrival mode) the
+    #: per-query ``served`` list stays empty and every aggregate below
+    #: routes through the stream instead.  Reports built by hand from a
+    #: ``served`` list (no stream) behave exactly as before.
+    stream: ServingStream | None = None
+
+    @property
+    def is_streaming(self) -> bool:
+        """True when aggregates come from the stream, not ``served``.
+
+        An empty report (no completions at all) stays on the legacy
+        paths either way -- they already define the empty behaviour.
+        """
+        return (
+            self.stream is not None
+            and self.stream.n > 0
+            and not self.served
+        )
+
+    def _require_queries(self, what: str) -> None:
+        if self.is_streaming:
+            raise ValueError(
+                f"per-query {what} are not retained in streaming mode "
+                "(keep_queries=False); use the percentile/aggregate "
+                "accessors instead"
+            )
 
     @property
     def n_queries(self) -> int:
+        if self.is_streaming:
+            return self.stream.n
         return len(self.served)
 
     @property
     def latencies(self) -> np.ndarray:
+        self._require_queries("latencies")
         return np.array([s.latency_s for s in self.served])
 
     @property
     def queueing_delays(self) -> np.ndarray:
+        self._require_queries("queueing delays")
         return np.array([s.queueing_delay_s for s in self.served])
 
     @property
     def admission_delays(self) -> np.ndarray:
+        self._require_queries("admission delays")
         return np.array([s.admission_delay_s for s in self.served])
 
     @property
@@ -176,11 +332,14 @@ class ServingReport:
         in-pool quota wait (``max_leased_vms`` / ``max_leased_sls``);
         zero everywhere when no quotas are configured.
         """
+        self._require_queries("quota throttle delays")
         return np.array([s.quota_throttle_delay_s for s in self.served])
 
     @property
     def query_cost_dollars(self) -> float:
         """Sum of the per-query bills (excluding keep-alive spend)."""
+        if self.is_streaming:
+            return self.stream.query_cost.value
         return float(sum(s.outcome.cost_dollars for s in self.served))
 
     @property
@@ -210,6 +369,7 @@ class ServingReport:
         so :attr:`total_decision_seconds` always equals the wall time
         the replay actually spent deciding.
         """
+        self._require_queries("decision times")
         return np.array(
             [s.outcome.decision.inference_seconds for s in self.served]
         )
@@ -217,6 +377,8 @@ class ServingReport:
     @property
     def batched_decision_rate(self) -> float:
         """Fraction of queries sized through a shared forest pass."""
+        if self.is_streaming:
+            return self.stream.n_batched / self.stream.n
         if not self.served:
             return 0.0
         return float(
@@ -224,6 +386,8 @@ class ServingReport:
         )
 
     def decision_latency_percentile(self, percentile: float) -> float:
+        if self.is_streaming:
+            return self.stream.decision.percentile(percentile)
         if not self.served:
             raise ValueError("the report is empty")
         return float(np.percentile(self.decision_seconds, percentile))
@@ -231,27 +395,46 @@ class ServingReport:
     @property
     def total_decision_seconds(self) -> float:
         """Cumulative time spent inside resource determination."""
+        if self.is_streaming:
+            return self.stream.decision_seconds_total.value
         return float(self.decision_seconds.sum())
 
     @property
     def n_aliens(self) -> int:
+        if self.is_streaming:
+            return self.stream.n_aliens
         return sum(1 for s in self.served if s.outcome.is_alien)
 
     @property
     def n_retrains(self) -> int:
+        if self.is_streaming:
+            return self.stream.n_retrains
         return sum(1 for s in self.served if s.outcome.retrain_event)
 
     def latency_percentile(self, percentile: float) -> float:
+        if self.is_streaming:
+            return self.stream.latency.percentile(percentile)
         if not self.served:
             raise ValueError("the report is empty")
         return float(np.percentile(self.latencies, percentile))
 
     def queueing_delay_percentile(self, percentile: float) -> float:
+        if self.is_streaming:
+            return self.stream.queueing.percentile(percentile)
         if not self.served:
             raise ValueError("the report is empty")
         return float(np.percentile(self.queueing_delays, percentile))
 
+    def admission_delay_percentile(self, percentile: float) -> float:
+        if self.is_streaming:
+            return self.stream.admission.percentile(percentile)
+        if not self.served:
+            raise ValueError("the report is empty")
+        return float(np.percentile(self.admission_delays, percentile))
+
     def quota_throttle_delay_percentile(self, percentile: float) -> float:
+        if self.is_streaming:
+            return self.stream.quota_throttle.percentile(percentile)
         if not self.served:
             raise ValueError("the report is empty")
         return float(np.percentile(self.quota_throttle_delays, percentile))
@@ -259,6 +442,8 @@ class ServingReport:
     @property
     def slo_attainment(self) -> float:
         """Fraction of queries finishing within the SLO."""
+        if self.is_streaming:
+            return self.stream.n_slo_hits / self.stream.n
         if not self.served:
             raise ValueError("the report is empty")
         return float(np.mean(self.latencies <= self.slo_seconds))
@@ -275,8 +460,12 @@ class ServingReport:
         nothing); tenants only observed on queries follow.
         """
         ordered = dict.fromkeys(self.tenant_weights)
-        for query in self.served:
-            ordered.setdefault(query.tenant, None)
+        if self.is_streaming:
+            for tenant in self.stream.tenant_streams or ():
+                ordered.setdefault(tenant, None)
+        else:
+            for query in self.served:
+                ordered.setdefault(query.tenant, None)
         return tuple(ordered)
 
     def for_tenant(self, tenant: str) -> "ServingReport":
@@ -286,6 +475,7 @@ class ServingReport:
         keep-alive chargeback share as its keep-alive cost (so the
         slice's ``total_cost_dollars`` is the tenant's bill), and drops
         the pool stats, which are not attributable to a single tenant.
+        A streaming report slices to the tenant's sub-stream.
         """
         if tenant not in self.tenants:
             raise KeyError(f"unknown tenant {tenant!r}")
@@ -293,6 +483,14 @@ class ServingReport:
         peaks = {}
         if tenant in self.tenant_peaks:
             peaks[tenant] = self.tenant_peaks[tenant]
+        stream = None
+        if self.is_streaming:
+            stream = (self.stream.tenant_streams or {}).get(tenant)
+            if stream is None:
+                # Registered but never served: an empty slice.
+                stream = ServingStream(
+                    self.slo_seconds, _track_tenants=False
+                )
         return ServingReport(
             served=[s for s in self.served if s.tenant == tenant],
             slo_seconds=self.slo_seconds,
@@ -300,6 +498,7 @@ class ServingReport:
             keepalive_cost_dollars=self.keepalive_shares().get(tenant, 0.0),
             tenant_weights={tenant: weight},
             tenant_peaks=peaks,
+            stream=stream,
         )
 
     @property
@@ -327,6 +526,15 @@ class ServingReport:
 
     def _tenant_query_costs(self) -> dict[str, float]:
         costs = {tenant: 0.0 for tenant in self.tenants}
+        if self.is_streaming:
+            substreams = self.stream.tenant_streams
+            for tenant in costs:
+                if substreams is not None and tenant in substreams:
+                    costs[tenant] = substreams[tenant].query_cost.value
+                elif substreams is None and len(costs) == 1:
+                    # A tenant slice: the stream itself is the tenant's.
+                    costs[tenant] = self.stream.query_cost.value
+            return costs
         for query in self.served:
             costs[query.tenant] += query.outcome.cost_dollars
         return costs
@@ -379,7 +587,13 @@ class ServingReport:
         costs = self._tenant_query_costs()
         shares = self._keepalive_shares(costs)
         bills = self._bills(costs, shares)
-        counts = collections.Counter(s.tenant for s in self.served)
+        if self.is_streaming:
+            counts = {
+                tenant: stream.n
+                for tenant, stream in (self.stream.tenant_streams or {}).items()
+            }
+        else:
+            counts = collections.Counter(s.tenant for s in self.served)
         rows = []
         for tenant in self.tenants:
             rows.append((
@@ -410,7 +624,7 @@ class ServingReport:
             f" + keep-alive {100 * self.keepalive_cost_dollars:.2f}"
             f" = {100 * self.total_cost_dollars:.1f} cents"
         )
-        if not self.served:
+        if not self.n_queries:
             return f"0 queries, {cost}"
         text = (
             f"{self.n_queries} queries: p50 {self.latency_percentile(50):.1f}s, "
@@ -424,6 +638,16 @@ class ServingReport:
                 f", {100 * self.warm_start_rate:.0f}% warm starts, "
                 f"queue p95 {self.queueing_delay_percentile(95):.1f}s"
             )
+        if self.pool_stats is not None and self.pool_stats.instance_seconds:
+            # The time-conservation ledger: every instance-second is
+            # either leased to a query or idle in a warm set.
+            stats = self.pool_stats
+            text += (
+                f", {stats.instance_seconds:.0f} instance-s "
+                f"({stats.leased_seconds:.0f} leased + "
+                f"{stats.idle_seconds:.0f} idle, "
+                f"{100 * stats.idle_fraction:.0f}% idle)"
+            )
         if self.batched_decision_rate > 0:
             text += (
                 f", {100 * self.batched_decision_rate:.0f}% batched decisions"
@@ -435,6 +659,71 @@ class ServingReport:
             )
         return text
 
+    def merge(self, other: "ServingReport") -> "ServingReport":
+        """Combine two replay segments' reports into one.
+
+        Streams merge via their sketches, per-query lists concatenate
+        when both sides kept them (otherwise the merged report is
+        streaming-only), pool stats add counter-wise (peaks take the
+        max), and keep-alive / weight / peak tables combine key-wise.
+        Both sides must agree on the SLO and on the weight of any tenant
+        they share.
+        """
+        if other.slo_seconds != self.slo_seconds:
+            raise ValueError("cannot merge reports with different SLOs")
+        for tenant, weight in other.tenant_weights.items():
+            if self.tenant_weights.get(tenant, weight) != weight:
+                raise ValueError(
+                    f"tenant {tenant!r} has conflicting weights"
+                )
+        if self.stream is None or other.stream is None:
+            raise ValueError(
+                "merge requires replay-produced reports (with streams)"
+            )
+        stream = ServingStream(
+            self.slo_seconds, sketch_capacity=self.stream.latency.capacity
+        )
+        stream.merge(self.stream)
+        stream.merge(other.stream)
+        served: list[ServedQuery] = []
+        if self.served and other.served:
+            served = [*self.served, *other.served]
+        keepalive_by_shard = dict(self.keepalive_cost_by_shard)
+        for shard, cost in other.keepalive_cost_by_shard.items():
+            keepalive_by_shard[shard] = keepalive_by_shard.get(shard, 0.0) + cost
+        peaks = dict(self.tenant_peaks)
+        for tenant, (vms, sls) in other.tenant_peaks.items():
+            mine = peaks.get(tenant, (0, 0))
+            peaks[tenant] = (max(mine[0], vms), max(mine[1], sls))
+        return ServingReport(
+            served=served,
+            slo_seconds=self.slo_seconds,
+            pool_stats=_merge_pool_stats(self.pool_stats, other.pool_stats),
+            keepalive_cost_dollars=(
+                self.keepalive_cost_dollars + other.keepalive_cost_dollars
+            ),
+            keepalive_cost_by_shard=keepalive_by_shard,
+            tenant_weights={**self.tenant_weights, **other.tenant_weights},
+            tenant_peaks=peaks,
+            stream=stream,
+        )
+
+
+#: PoolStats fields that combine by max (every other field is additive).
+_POOL_STAT_PEAKS = frozenset({"peak_leased_vms", "peak_leased_sls"})
+
+
+def _merge_pool_stats(
+    left: PoolStats | None, right: PoolStats | None
+) -> PoolStats | None:
+    if left is None or right is None:
+        return left if right is None else right
+    merged = {}
+    for field in dataclasses.fields(PoolStats):
+        a, b = getattr(left, field.name), getattr(right, field.name)
+        merged[field.name] = max(a, b) if field.name in _POOL_STAT_PEAKS else a + b
+    return PoolStats(**merged)
+
 
 class _Arrival(NamedTuple):
     """One event of the merged multi-trace stream."""
@@ -442,6 +731,102 @@ class _Arrival(NamedTuple):
     index: int
     tenant: str
     event: TraceEvent
+
+
+def _merge_arrival_columns(
+    pairs: list[tuple[str, WorkloadTrace | ColumnarTrace]],
+) -> tuple[np.ndarray, tuple[str, ...], np.ndarray, np.ndarray, np.ndarray]:
+    """Merge per-tenant traces into one time-ordered column set.
+
+    Returns ``(times, query_ids, query_index, input_gb, tenant_index)``
+    with ``query_index`` into the deduplicated ``query_ids`` table and
+    ``tenant_index`` into ``pairs`` order.  The sort is stable, so equal
+    arrival times keep pair order (and, within a pair, trace order) --
+    the tie-break the event engine's upfront scheduling produced.
+    """
+    id_table: dict[str, int] = {}
+    times_parts: list[np.ndarray] = []
+    index_parts: list[np.ndarray] = []
+    size_parts: list[np.ndarray] = []
+    tenant_parts: list[np.ndarray] = []
+    for pair_index, (_, trace) in enumerate(pairs):
+        if isinstance(trace, ColumnarTrace):
+            remap = np.array(
+                [
+                    id_table.setdefault(query_id, len(id_table))
+                    for query_id in trace.query_ids
+                ],
+                dtype=np.int32,
+            )
+            times_parts.append(trace.arrival_s)
+            index_parts.append(
+                remap[trace.query_index]
+                if len(remap)
+                else trace.query_index
+            )
+            size_parts.append(trace.input_gb)
+        else:
+            times_parts.append(np.array(
+                [event.arrival_s for event in trace.events],
+                dtype=np.float64,
+            ))
+            index_parts.append(np.array(
+                [
+                    id_table.setdefault(event.query_id, len(id_table))
+                    for event in trace.events
+                ],
+                dtype=np.int32,
+            ))
+            size_parts.append(np.array(
+                [event.input_gb for event in trace.events],
+                dtype=np.float64,
+            ))
+        tenant_parts.append(
+            np.full(len(times_parts[-1]), pair_index, dtype=np.int32)
+        )
+    if not times_parts:
+        return (
+            np.empty(0, dtype=np.float64),
+            (),
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int32),
+        )
+    times = np.concatenate(times_parts)
+    order = np.argsort(times, kind="stable")
+    return (
+        times[order],
+        tuple(id_table),
+        np.concatenate(index_parts)[order],
+        np.concatenate(size_parts)[order],
+        np.concatenate(tenant_parts)[order],
+    )
+
+
+def _group_bounds(
+    times: np.ndarray, window: float | None
+) -> Iterable[tuple[int, int]]:
+    """Yield ``[start, end)`` index runs of one sizing group each.
+
+    Mirrors :meth:`ServingSimulator._coalesce` exactly: a group collects
+    consecutive arrivals within ``window`` of its *first* member (so
+    windows never chain), ``window=0`` groups exact ties only, and
+    ``window=None`` keeps every arrival solo.
+    """
+    n = len(times)
+    if n == 0:
+        return
+    if window is None:
+        for position in range(n):
+            yield position, position + 1
+        return
+    ticks = times.tolist()
+    start = 0
+    for position in range(1, n):
+        if ticks[position] - ticks[start] > window:
+            yield start, position
+            start = position
+    yield start, n
 
 
 class ServingSimulator:
@@ -495,6 +880,35 @@ class ServingSimulator:
     shards / router / grant_policy:
         Forwarded to every replay's :class:`~repro.cloud.pool.ClusterPool`
         (named capacity partitions, placement policy, queue ordering).
+    engine:
+        ``"event"`` (default) schedules one heap event per sizing group,
+        exactly as before.  ``"columnar"`` drains the merged arrival
+        columns directly against the event heap
+        (:meth:`Simulator.run_before <repro.engine.simulator.Simulator>`
+        between groups), skipping the per-arrival event objects and
+        closures; the interleaving with pool events is event-exact, so
+        with ``decision_reuse=False`` the two engines produce identical
+        reports.  The columnar engine accepts :class:`ColumnarTrace`
+        inputs natively (a million arrivals are ~20 MB of columns) and
+        requires a static ``batch_window_s`` (not ``"auto"``).
+    keep_queries:
+        ``True`` (default) retains the full per-query ``served`` list --
+        field-for-field today's report.  ``False`` folds every
+        completion into the report's :class:`ServingStream` only, so
+        replay memory stays O(sketch capacity) instead of O(arrivals):
+        the million-arrival mode.  Both modes fill the stream.
+    decision_reuse:
+        Reuse sizing decisions across arrivals of the same query class
+        (identity + input-size octave + waiting-apps octave) under an
+        unchanged model version.  This is the serving-style approximation
+        that makes million-arrival replay tractable -- repeated classes
+        skip feature building and the forest pass entirely; reused
+        decisions carry ``inference_seconds=0`` (a cache lookup), and
+        fresh sizings always go through the batched grid path (never the
+        per-query BO loop).  Decision *features* (submit epoch, history
+        mean, exact waiting count) may therefore be slightly stale for
+        reused arrivals.  Default ``None``: enabled for the columnar
+        engine, disabled for the event engine (which stays bit-exact).
     """
 
     def __init__(
@@ -509,9 +923,16 @@ class ServingSimulator:
         router: ShardRouter | None = None,
         grant_policy: GrantPolicy | None = None,
         shard_autoscalers: dict[str, AutoscalerPolicy] | None = None,
+        engine: str = "event",
+        keep_queries: bool = True,
+        decision_reuse: bool | None = None,
     ) -> None:
         if slo_seconds <= 0:
             raise ValueError("slo_seconds must be positive")
+        if engine not in ("event", "columnar"):
+            raise ValueError(
+                f"unknown engine {engine!r}; choose 'event' or 'columnar'"
+            )
         if isinstance(batch_window_s, str):
             if batch_window_s != "auto":
                 raise ValueError(
@@ -537,6 +958,11 @@ class ServingSimulator:
         self.router = router
         self.grant_policy = grant_policy
         self.shard_autoscalers = shard_autoscalers
+        self.engine = engine
+        self.keep_queries = keep_queries
+        self.decision_reuse = (
+            engine == "columnar" if decision_reuse is None else decision_reuse
+        )
 
     def _batch_tuner(self) -> AdaptiveBatchWindow | None:
         """The adaptive-window tuner for one replay (None = static path).
@@ -578,7 +1004,7 @@ class ServingSimulator:
 
     def replay(
         self,
-        trace: WorkloadTrace,
+        trace: WorkloadTrace | ColumnarTrace,
         knob: float | None = None,
         mode: str = "hybrid",
     ) -> ServingReport:
@@ -589,14 +1015,16 @@ class ServingSimulator:
         for pool capacity instead of executing in a vacuum.  Arrivals
         coalesced into one sizing group (see ``batch_window_s``) share a
         single vectorized forest pass; a solo arrival goes through the
-        per-query BO determination exactly as before.
+        per-query BO determination exactly as before.  Traces may be
+        event-object (:class:`WorkloadTrace`) or columnar
+        (:class:`ColumnarTrace`); either engine accepts both.
         """
         return self._replay([(DEFAULT_TENANT, trace)], knob=knob, mode=mode)
 
     def replay_multi(
         self,
-        traces: Mapping[str, WorkloadTrace]
-        | Iterable[tuple[str, WorkloadTrace]],
+        traces: Mapping[str, WorkloadTrace | ColumnarTrace]
+        | Iterable[tuple[str, WorkloadTrace | ColumnarTrace]],
         knob: float | None = None,
         mode: str = "hybrid",
     ) -> ServingReport:
@@ -680,34 +1108,58 @@ class ServingSimulator:
                 for shard_name in pool.shard_names:
                     ensure_scope(shard_name)
         tuner = self._batch_tuner()
+        if self.engine == "columnar" and tuner is not None:
+            raise ValueError(
+                "the columnar engine requires a static batch window "
+                "(a number or None, not 'auto'/AdaptiveBatchWindow)"
+            )
         # One duration model, seeded from the system's master generator,
         # keeps the whole replay deterministic for a given seed.
         duration_model = TaskDurationModel(
             provider=self.system.provider, rng=self.system.rng
         )
         initializer = self.system.job_initializer
+        predictor = self.system.predictor
 
-        # Merge the per-tenant traces into one time-ordered stream; the
-        # sort is stable, so equal arrival times keep pair order and a
-        # single-trace replay preserves its exact trace order.
-        arrivals: list[_Arrival] = []
-        for pair_index, (tenant, trace) in enumerate(pairs):
-            for event_index, event in enumerate(trace):
-                arrivals.append(
-                    (event.arrival_s, pair_index, event_index, tenant, event)
-                )
-        arrivals.sort(key=lambda record: record[:3])
-        stream = [
-            _Arrival(index=index, tenant=record[3], event=record[4])
-            for index, record in enumerate(arrivals)
-        ]
+        # Merge the per-tenant traces into one time-ordered column set;
+        # the sort is stable, so equal arrival times keep pair order and
+        # a single-trace replay preserves its exact trace order.  Both
+        # engines drain these columns -- the event engine materialises
+        # every arrival upfront, the columnar engine in batches.
+        tenant_names = [tenant for tenant, _ in pairs]
+        times, query_ids, query_index, input_gbs, tenant_index = (
+            _merge_arrival_columns(pairs)
+        )
+        n_arrivals = len(times)
 
-        served: list[ServedQuery | None] = [None] * len(stream)
+        def make_arrival(position: int) -> _Arrival:
+            return _Arrival(
+                index=position,
+                tenant=tenant_names[tenant_index[position]],
+                event=TraceEvent(
+                    arrival_s=float(times[position]),
+                    query_id=query_ids[query_index[position]],
+                    input_gb=float(input_gbs[position]),
+                ),
+            )
+
+        # Streaming accumulators always run (they are O(capacity));
+        # the per-query list is what keep_queries toggles.
+        report_stream = ServingStream(self.slo_seconds)
+        for tenant in tenant_names:
+            report_stream.ensure_tenant(tenant)
+        served: list[ServedQuery | None] | None = (
+            [None] * n_arrivals if self.keep_queries else None
+        )
+        n_completed = 0
         in_flight_total = 0
         tenant_in_flight: collections.Counter[str] = collections.Counter()
         pending_admission: dict[str, collections.deque[_Arrival]] = (
             collections.defaultdict(collections.deque)
         )
+        # Class-level decision reuse (see ``decision_reuse``): one cache
+        # per replay, invalidated entry-wise when the model retrains.
+        decision_cache: dict[tuple, tuple[int, object, object]] = {}
 
         def launch(
             arrival: _Arrival,
@@ -723,7 +1175,7 @@ class ServingSimulator:
             policy = initializer.execution_policy(decision.n_vm, decision.n_sl)
 
             def complete(execution: QueryExecution) -> None:
-                nonlocal in_flight_total
+                nonlocal in_flight_total, n_completed
                 in_flight_total -= 1
                 tenant_in_flight[arrival.tenant] -= 1
                 assert execution.result is not None
@@ -737,7 +1189,7 @@ class ServingSimulator:
                     # model (the run itself still feeds the history).
                     observe_error=not execution.lease.was_clamped,
                 )
-                served[arrival.index] = ServedQuery(
+                record = ServedQuery(
                     arrival_s=arrival.event.arrival_s,
                     outcome=outcome,
                     waiting_apps_at_submit=waiting,
@@ -748,6 +1200,10 @@ class ServingSimulator:
                     admission_delay_s=admission_delay,
                     quota_delay_s=execution.result.quota_delay_s,
                 )
+                report_stream.observe(record)
+                n_completed += 1
+                if served is not None:
+                    served[arrival.index] = record
                 admit_next(arrival.tenant)
 
             in_flight_total += 1
@@ -789,7 +1245,51 @@ class ServingSimulator:
                 get_query(a.event.query_id, input_gb=a.event.input_gb)
                 for a in batch
             ]
-            if len(batch) == 1:
+            if self.decision_reuse:
+                # Class-level reuse: arrivals of the same query class
+                # under a similar load octave share one grid decision
+                # until the model retrains.  Hits cost no forest pass
+                # (inference_seconds=0); misses batch through one
+                # vectorised decide_many call.
+                version = predictor.model_version
+                keys: list[tuple] = []
+                slots: list[tuple | None] = [None] * len(batch)
+                misses: list[int] = []
+                for position, arrival in enumerate(batch):
+                    key = (
+                        predictor.query_class(
+                            arrival.event.query_id, arrival.event.input_gb
+                        ),
+                        (waiting_base + position).bit_length(),
+                        mode,
+                    )
+                    keys.append(key)
+                    hit = decision_cache.get(key)
+                    if hit is not None and hit[0] == version:
+                        slots[position] = (
+                            hit[1],
+                            dataclasses.replace(
+                                hit[2], inference_seconds=0.0
+                            ),
+                        )
+                    else:
+                        misses.append(position)
+                if misses:
+                    fresh = initializer.decide_many(
+                        [queries[p] for p in misses],
+                        knob=knob,
+                        mode=mode,
+                        num_waiting_apps=waiting_base,
+                    )
+                    for p, (context, decision) in zip(misses, fresh):
+                        slots[p] = (context, decision)
+                        # Re-read the version: a retrain during decide
+                        # (alien-triggered) must not resurrect entries.
+                        decision_cache[keys[p]] = (
+                            predictor.model_version, context, decision
+                        )
+                decided = slots
+            elif len(batch) == 1:
                 decided = [
                     initializer.decide(
                         queries[0],
@@ -858,7 +1358,25 @@ class ServingSimulator:
             if admitted:
                 submit_batch(admitted, decide_time=decide_time)
 
-        if tuner is None:
+        if self.engine == "columnar":
+            # Drain the columns group by group instead of scheduling one
+            # EventHandle per arrival.  ``run_before(fire)`` drains every
+            # pending event strictly before the group's decide time, and
+            # the group then fires synchronously -- the same ordering the
+            # event engine produces, where upfront-scheduled groups have
+            # smaller sequence numbers than any runtime event at the same
+            # timestamp and therefore fire first.
+            fuse = max(10_000_000, 64 * n_arrivals)
+            for start, end in _group_bounds(times, self.batch_window_s):
+                fire = float(times[end - 1])
+                simulator.run_before(fire, max_events=fuse)
+                submit_group(
+                    [make_arrival(i) for i in range(start, end)],
+                    decide_time=fire,
+                )
+            simulator.run(max_events=fuse)
+        elif tuner is None:
+            stream = [make_arrival(i) for i in range(n_arrivals)]
             for group in self._coalesce(stream):
                 # The group decides when its window closes: the last
                 # member's arrival.  Solo groups (the default-window
@@ -870,6 +1388,7 @@ class ServingSimulator:
                         group, group[-1].event.arrival_s
                     ),
                 )
+            simulator.run()
         else:
             # Adaptive coalescing is event-driven: each arrival either
             # joins the open group, opens a new one that closes after
@@ -895,14 +1414,15 @@ class ServingSimulator:
                 open_group.append(arrival)
                 simulator.schedule(window, close_group)
 
-            for arrival in stream:
+            for position in range(n_arrivals):
+                arrival = make_arrival(position)
                 simulator.schedule_at(
                     arrival.event.arrival_s,
                     lambda arrival=arrival: on_arrival(arrival),
                 )
-        simulator.run()
+            simulator.run()
         pool.shutdown()
-        if any(record is None for record in served):
+        if n_completed != n_arrivals:
             raise RuntimeError("some trace arrivals never completed")
         if self._default_pool and pool.stats.leases_queued > 0:
             # The default pool is wide, but any finite cap can contend.
@@ -918,7 +1438,11 @@ class ServingSimulator:
                 stacklevel=3,
             )
         return ServingReport(
-            served=[record for record in served if record is not None],
+            served=(
+                [record for record in served if record is not None]
+                if served is not None
+                else []
+            ),
             slo_seconds=self.slo_seconds,
             pool_stats=pool.stats,
             keepalive_cost_dollars=pool.keepalive_cost_dollars,
@@ -927,4 +1451,5 @@ class ServingSimulator:
                 tenant: registry.weight(tenant) for tenant, _ in pairs
             },
             tenant_peaks=pool.tenant_peaks,
+            stream=report_stream,
         )

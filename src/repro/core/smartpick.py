@@ -97,7 +97,9 @@ class Smartpick:
         )
         self._rng = np.random.default_rng(rng)
 
-        self.history = HistoryServer()
+        self.history = HistoryServer(
+            max_records_per_query=self.properties.history_window
+        )
         self.similarity = SimilarityChecker()
         self.predictor = WorkloadPredictor(
             provider=self.provider,

@@ -122,6 +122,25 @@ class Simulator:
             self.step()
         raise RuntimeError("simulation did not quiesce; likely an event loop")
 
+    def run_before(self, time: float, max_events: int = 10_000_000) -> None:
+        """Process events *strictly* before simulated ``time``.
+
+        The columnar replay drain uses this to reproduce the event
+        engine's ordering exactly: pool events earlier than the next
+        arrival group fire first, the clock lands on ``time``, and the
+        group's events (which the event engine scheduled upfront, i.e.
+        with smaller sequence numbers than any runtime-scheduled event at
+        the same timestamp) run before same-time pool events.
+        """
+        if time < self._now:
+            raise ValueError("cannot run backwards in time")
+        for _ in range(max_events):
+            if not self._peek_live() or self._heap[0][0] >= time:
+                self._now = max(self._now, time)
+                return
+            self.step()
+        raise RuntimeError("simulation did not quiesce; likely an event loop")
+
     def _peek_live(self) -> bool:
         """Drop cancelled entries from the heap top; report liveness."""
         while self._heap and self._heap[0][2].cancelled:

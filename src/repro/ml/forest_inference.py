@@ -39,6 +39,14 @@ import numpy as np
 from repro.ml.decision_tree import _NO_CHILD, DecisionTreeRegressor
 from repro.ml import forest_native
 
+#: ``(tree, row)`` lanes per numpy-fallback descent chunk.  Each lane
+#: carries ~40 bytes of int64/float64 state, so 256k lanes keep one
+#: chunk's working set around 10 MB (resident in a typical L2+L3) and
+#: bound the per-level compaction scans; measured ~10x faster than
+#: whole-batch descent at 200k rows x 40 trees, and the best of the
+#: 64k..1M settings tried.
+_NUMPY_CHUNK_LANES = 262_144
+
 __all__ = ["PackedForest"]
 
 
@@ -216,7 +224,28 @@ class PackedForest:
         return out.reshape(self.n_trees, n_rows)
 
     def _descend_numpy(self, features: np.ndarray) -> np.ndarray:
-        """Vectorized fallback descent with finished-pair compaction."""
+        """Vectorized fallback descent, chunked over rows.
+
+        Each ``(tree, row)`` lane carries several int64 state arrays;
+        descending a huge batch in one go spills them out of cache, so
+        rows are processed in chunks sized to keep the lane working set
+        cache-resident (about ``_NUMPY_CHUNK_LANES`` lanes each).  Rows
+        descend independently, so chunking is bitwise-invisible.
+        """
+        n_rows = features.shape[0]
+        per_chunk = max(1, _NUMPY_CHUNK_LANES // self.n_trees)
+        if n_rows <= per_chunk:
+            return self._descend_numpy_block(features)
+        out = np.empty((self.n_trees, n_rows), dtype=np.float64)
+        for start in range(0, n_rows, per_chunk):
+            stop = min(start + per_chunk, n_rows)
+            out[:, start:stop] = self._descend_numpy_block(
+                features[start:stop]
+            )
+        return out
+
+    def _descend_numpy_block(self, features: np.ndarray) -> np.ndarray:
+        """One chunk's descent with finished-pair compaction."""
         n_rows = features.shape[0]
         flat = features.ravel()
         out = np.empty(self.n_trees * n_rows, dtype=np.float64)

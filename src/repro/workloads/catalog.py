@@ -12,6 +12,9 @@ known-query list).  The catalog is the single lookup point:
 
 from __future__ import annotations
 
+import functools
+import re
+
 from repro.engine.dag import QuerySpec
 from repro.workloads.tpcds import TPCDS_QUERY_IDS, tpcds_query
 from repro.workloads.tpch import TPCH_QUERY_IDS, tpch_query
@@ -20,6 +23,10 @@ from repro.workloads.wordcount import WORDCOUNT_QUERY_ID, wordcount_query
 __all__ = ["get_query", "all_query_ids", "queries_in_suite", "suites"]
 
 _DEFAULT_INPUT_GB = 100.0
+
+#: Synthetic uniform-query identifiers (``make_uniform_query`` naming):
+#: ``uniform-{n_tasks}x{task_seconds}s``, e.g. ``uniform-4x2s``.
+_UNIFORM_ID = re.compile(r"uniform-(\d+)x((?:\d+)(?:\.\d+)?)s$")
 
 
 def suites() -> tuple[str, ...]:
@@ -44,13 +51,37 @@ def queries_in_suite(suite: str) -> tuple[str, ...]:
 
 
 def get_query(query_id: str, input_gb: float = _DEFAULT_INPUT_GB) -> QuerySpec:
-    """Build the query named ``query_id`` against an ``input_gb`` dataset."""
+    """Build the query named ``query_id`` against an ``input_gb`` dataset.
+
+    Besides the benchmark suites, self-describing synthetic identifiers
+    (``uniform-{n}x{t}s``, the :func:`make_uniform_query` naming) resolve
+    here too, so traces over synthetic query populations replay through
+    the same catalog lookup as TPC ones.  Specs are memoized per
+    ``(query_id, input_gb)``: they are frozen, and million-arrival replay
+    would otherwise rebuild an identical spec per arrival.
+    """
+    return _build_query(query_id, float(input_gb))
+
+
+@functools.lru_cache(maxsize=1024)
+def _build_query(query_id: str, input_gb: float) -> QuerySpec:
     if query_id in TPCDS_QUERY_IDS:
         return tpcds_query(query_id, input_gb)
     if query_id in TPCH_QUERY_IDS:
         return tpch_query(query_id, input_gb)
     if query_id == WORDCOUNT_QUERY_ID:
         return wordcount_query(input_gb)
+    match = _UNIFORM_ID.match(query_id)
+    if match:
+        from repro.workloads.synthetic import make_uniform_query
+
+        return make_uniform_query(
+            n_tasks=int(match.group(1)),
+            task_seconds=float(match.group(2)),
+            query_id=query_id,
+            input_gb=input_gb,
+        )
     raise ValueError(
-        f"unknown query {query_id!r}; choose from {all_query_ids()}"
+        f"unknown query {query_id!r}; choose from {all_query_ids()} "
+        "or a synthetic 'uniform-{n}x{t}s' identifier"
     )

@@ -17,7 +17,12 @@ import pathlib
 
 import numpy as np
 
-__all__ = ["TraceEvent", "WorkloadTrace", "PoissonTraceGenerator"]
+__all__ = [
+    "TraceEvent",
+    "WorkloadTrace",
+    "ColumnarTrace",
+    "PoissonTraceGenerator",
+]
 
 
 @dataclasses.dataclass(frozen=True)
@@ -87,6 +92,110 @@ class WorkloadTrace:
     def load_json(cls, path: str | pathlib.Path) -> "WorkloadTrace":
         payload = json.loads(pathlib.Path(path).read_text())
         return cls(events=tuple(TraceEvent(**event) for event in payload))
+
+
+@dataclasses.dataclass(frozen=True, eq=False)
+class ColumnarTrace:
+    """Column-array form of an arrival trace, for million-arrival replay.
+
+    Semantically a :class:`WorkloadTrace`, but stored as three parallel
+    numpy columns plus a small distinct-identifier table instead of one
+    :class:`TraceEvent` object per arrival -- tens of bytes per arrival
+    instead of hundreds, and O(1) Python objects regardless of length.
+    :meth:`ServingSimulator.replay <repro.core.serving.ServingSimulator>`
+    accepts either form; the columnar engine drains this one directly.
+    """
+
+    arrival_s: np.ndarray
+    query_index: np.ndarray
+    input_gb: np.ndarray
+    query_ids: tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        arrival_s = np.ascontiguousarray(self.arrival_s, dtype=np.float64)
+        query_index = np.ascontiguousarray(self.query_index, dtype=np.int32)
+        input_gb = np.ascontiguousarray(self.input_gb, dtype=np.float64)
+        if not (len(arrival_s) == len(query_index) == len(input_gb)):
+            raise ValueError("trace columns must have equal length")
+        if len(arrival_s):
+            if arrival_s[0] < 0:
+                raise ValueError("arrival_s must be non-negative")
+            if np.any(np.diff(arrival_s) < 0):
+                raise ValueError(
+                    "trace events must be ordered by arrival time"
+                )
+            if np.any(input_gb <= 0):
+                raise ValueError("input_gb must be positive")
+            if query_index.min() < 0 or query_index.max() >= len(self.query_ids):
+                raise ValueError("query_index out of range of query_ids")
+        for column in (arrival_s, query_index, input_gb):
+            column.setflags(write=False)
+        object.__setattr__(self, "arrival_s", arrival_s)
+        object.__setattr__(self, "query_index", query_index)
+        object.__setattr__(self, "input_gb", input_gb)
+        object.__setattr__(self, "query_ids", tuple(self.query_ids))
+
+    def __len__(self) -> int:
+        return len(self.arrival_s)
+
+    @property
+    def duration_s(self) -> float:
+        """Time of the last arrival (0 for an empty trace)."""
+        if not len(self.arrival_s):
+            return 0.0
+        return float(self.arrival_s[-1])
+
+    def query_counts(self) -> dict[str, int]:
+        """Arrivals per query identifier."""
+        counts = np.bincount(self.query_index, minlength=len(self.query_ids))
+        return {
+            query_id: int(count)
+            for query_id, count in zip(self.query_ids, counts)
+            if count
+        }
+
+    def event(self, index: int) -> TraceEvent:
+        """Materialise arrival ``index`` as a :class:`TraceEvent`."""
+        return TraceEvent(
+            arrival_s=float(self.arrival_s[index]),
+            query_id=self.query_ids[int(self.query_index[index])],
+            input_gb=float(self.input_gb[index]),
+        )
+
+    def head(self, n: int) -> "ColumnarTrace":
+        """The first ``n`` arrivals (baseline subsampling in benches)."""
+        if n < 0:
+            raise ValueError("n must be non-negative")
+        return ColumnarTrace(
+            arrival_s=self.arrival_s[:n].copy(),
+            query_index=self.query_index[:n].copy(),
+            input_gb=self.input_gb[:n].copy(),
+            query_ids=self.query_ids,
+        )
+
+    @classmethod
+    def from_trace(cls, trace: WorkloadTrace) -> "ColumnarTrace":
+        """Columnise an event-object trace (identifiers deduplicated)."""
+        ids: dict[str, int] = {}
+        index = np.empty(len(trace.events), dtype=np.int32)
+        for position, event in enumerate(trace.events):
+            index[position] = ids.setdefault(event.query_id, len(ids))
+        return cls(
+            arrival_s=np.array(
+                [event.arrival_s for event in trace.events], dtype=np.float64
+            ),
+            query_index=index,
+            input_gb=np.array(
+                [event.input_gb for event in trace.events], dtype=np.float64
+            ),
+            query_ids=tuple(ids),
+        )
+
+    def to_trace(self) -> WorkloadTrace:
+        """Materialise every arrival (small traces / debugging only)."""
+        return WorkloadTrace(
+            events=tuple(self.event(i) for i in range(len(self)))
+        )
 
 
 class PoissonTraceGenerator:

@@ -1,0 +1,398 @@
+"""Columnar replay engine + streaming reports: equivalence and scale.
+
+Three layers pin the million-arrival serving stack:
+
+- **Engine equivalence**: with decision reuse off, the columnar engine
+  must reproduce the event engine's replay field for field (it is the
+  same submission workflow, drained from columns instead of one
+  scheduled event per arrival), for both trace representations.
+- **Streaming reports**: ``keep_queries=False`` drops the per-query
+  list; every metric the streaming accumulators carry must agree with
+  the ``keep_queries=True`` report of the same replay, and the
+  list-backed accessors must refuse loudly rather than silently return
+  nothing.
+- **A 50k-arrival multi-tenant scenario** replays a generated
+  population trace through the columnar streaming path and asserts the
+  same cross-cutting invariants the scenario matrix in
+  ``test_multitenant_serving.py`` pins at small scale: every arrival
+  served, chargeback conservation, slice partition, quota peaks,
+  fairness bounds and the instance-second ledger.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.cloud.pool import (
+    FixedKeepAlive,
+    PoolConfig,
+    TenantRegistry,
+    TenantSpec,
+)
+from repro.core.serving import ServingSimulator, ServingStream
+from repro.workloads.synthetic import make_scale_trace
+from repro.workloads.trace import (
+    ColumnarTrace,
+    PoissonTraceGenerator,
+    WorkloadTrace,
+)
+
+from conftest import build_small_system
+
+QUERIES = ("uniform-2x1s", "uniform-4x1s")
+
+
+def build_uniform_system(seed: int = 47, **overrides):
+    # Retraining is off by default: the 16 GB trace inputs sit far from
+    # the bootstrap profile, so the default trigger would retrain the
+    # forest every few arrivals and dominate the suite's wall time.  The
+    # dedicated retrain test below turns it back on.
+    overrides.setdefault("error_difference_trigger", 1e9)
+    return build_small_system(seed=seed, queries=QUERIES, **overrides)
+
+
+def make_trace(n_minutes: float = 10.0, rng: int = 7) -> WorkloadTrace:
+    return PoissonTraceGenerator(
+        query_mix={QUERIES[0]: 2.0, QUERIES[1]: 1.0},
+        rate_per_minute=6.0,
+        burst_factor=3.0,
+        input_gb=16.0,
+        rng=rng,
+    ).generate(duration_minutes=n_minutes)
+
+
+def replay(
+    engine: str,
+    trace,
+    keep_queries: bool = True,
+    decision_reuse: bool | None = None,
+    seed: int = 47,
+    system_overrides: dict | None = None,
+    **kwargs,
+):
+    simulator = ServingSimulator(
+        build_uniform_system(seed, **(system_overrides or {})),
+        slo_seconds=60.0,
+        pool_config=PoolConfig(max_vms=256, max_sls=256),
+        engine=engine,
+        keep_queries=keep_queries,
+        decision_reuse=decision_reuse,
+        **kwargs,
+    )
+    return simulator.replay(trace)
+
+
+def report_signature(report) -> dict:
+    """Engine-independent fields (measured wall-clock timings excluded:
+    ``inference_seconds`` is host time, not simulated time)."""
+    return {
+        "n_queries": report.n_queries,
+        "query_cost_dollars": report.query_cost_dollars,
+        "p50": report.latency_percentile(50),
+        "p99": report.latency_percentile(99),
+        "queueing_p50": report.queueing_delay_percentile(50),
+        "slo": report.slo_attainment,
+        "batched": report.batched_decision_rate,
+        "aliens": report.n_aliens,
+        "retrains": report.n_retrains,
+        "warm": report.warm_start_rate,
+    }
+
+
+def served_signature(query) -> tuple:
+    return (
+        query.arrival_s,
+        query.tenant,
+        query.waiting_apps_at_submit,
+        query.queueing_delay_s,
+        query.decision_batch_size,
+        query.batching_delay_s,
+        query.admission_delay_s,
+        query.quota_delay_s,
+        query.outcome.decision.config,
+        query.outcome.cost_dollars,
+        query.latency_s,
+    )
+
+
+class TestEngineEquivalence:
+    """Columnar drain == per-arrival events, decision for decision."""
+
+    def test_reports_and_queries_match(self):
+        trace = make_trace()
+        event = replay("event", trace)
+        columnar = replay("columnar", trace, decision_reuse=False)
+        assert report_signature(event) == report_signature(columnar)
+        assert len(event.served) == len(columnar.served) == len(trace)
+        for a, b in zip(event.served, columnar.served):
+            assert served_signature(a) == served_signature(b)
+
+    def test_trace_representation_is_irrelevant(self):
+        trace = make_trace()
+        from_events = replay("columnar", trace, decision_reuse=False)
+        from_columns = replay(
+            "columnar", ColumnarTrace.from_trace(trace), decision_reuse=False
+        )
+        assert report_signature(from_events) == report_signature(from_columns)
+
+    def test_batch_window_groups_match(self):
+        trace = make_trace(n_minutes=6.0)
+        event = replay("event", trace, batch_window_s=5.0)
+        columnar = replay(
+            "columnar", trace, decision_reuse=False, batch_window_s=5.0
+        )
+        assert event.batched_decision_rate > 0.0
+        assert report_signature(event) == report_signature(columnar)
+
+    def test_columnar_rejects_adaptive_window(self):
+        with pytest.raises(ValueError, match="static batch window"):
+            replay("columnar", make_trace(2.0), batch_window_s="auto")
+
+    def test_unknown_engine_rejected(self):
+        with pytest.raises(ValueError, match="engine"):
+            ServingSimulator(build_uniform_system(), engine="quantum")
+
+    def test_retrains_preserve_equivalence_and_invalidate_cache(self):
+        # Default retrain trigger: the 16 GB inputs sit far from the
+        # bootstrap profile, so this short trace retrains mid-replay.
+        # Both engines must agree through the model-version bumps, and
+        # the reuse cache (keyed by model version) must keep serving.
+        trace = make_trace(n_minutes=1.5)
+        # A small bootstrap grid keeps each retrain's forest fit cheap
+        # (fit cost scales with the profiled training set) without
+        # changing what is under test: version bumps mid-replay.
+        overrides = {"error_difference_trigger": 50.0, "n_configs_per_query": 3}
+        event = replay("event", trace, system_overrides=overrides)
+        columnar = replay(
+            "columnar",
+            trace,
+            decision_reuse=False,
+            system_overrides=overrides,
+        )
+        assert event.n_retrains > 0
+        assert report_signature(event) == report_signature(columnar)
+        reused = replay(
+            "columnar", trace, decision_reuse=True, system_overrides=overrides
+        )
+        assert reused.n_queries == len(trace)
+        assert reused.n_retrains > 0
+
+    def test_decision_reuse_skips_forest_passes(self):
+        trace = make_trace()
+        cold = replay("columnar", trace, decision_reuse=False)
+        reused = replay("columnar", trace, decision_reuse=True)
+        assert reused.n_queries == cold.n_queries
+        # Reused decisions carry inference_seconds=0, so the total is
+        # well below the every-arrival-decides baseline.
+        assert reused.total_decision_seconds < 0.5 * cold.total_decision_seconds
+
+
+class TestStreamingReports:
+    """keep_queries=False must change memory, not metrics."""
+
+    def test_shared_fields_equal(self):
+        trace = make_trace()
+        kept = replay("columnar", trace, keep_queries=True)
+        streamed = replay("columnar", trace, keep_queries=False)
+        assert streamed.is_streaming and not kept.is_streaming
+        assert not streamed.served
+        kept_sig, streamed_sig = report_signature(kept), report_signature(
+            streamed
+        )
+        # The stream's cost total is exactly rounded (Shewchuk partials)
+        # while the kept list sums naively, so the two may differ in the
+        # last ulp; everything else must match bit for bit.
+        assert streamed_sig.pop("query_cost_dollars") == pytest.approx(
+            kept_sig.pop("query_cost_dollars"), rel=1e-13
+        )
+        assert kept_sig == streamed_sig
+        for q in (0, 10, 50, 90, 100):
+            assert streamed.latency_percentile(q) == kept.latency_percentile(q)
+            assert streamed.queueing_delay_percentile(
+                q
+            ) == kept.queueing_delay_percentile(q)
+            assert streamed.admission_delay_percentile(
+                q
+            ) == kept.admission_delay_percentile(q)
+        # Decision timings are measured host wall-clock, so two replays
+        # never agree exactly; the streaming accessors just have to work.
+        assert streamed.total_decision_seconds > 0.0
+        assert 0.0 <= streamed.decision_latency_percentile(50)
+        assert streamed.decision_latency_percentile(
+            100
+        ) <= streamed.total_decision_seconds
+
+    def test_array_accessors_refuse(self):
+        streamed = replay("columnar", make_trace(3.0), keep_queries=False)
+        for accessor in (
+            "latencies",
+            "queueing_delays",
+            "admission_delays",
+            "quota_throttle_delays",
+            "decision_seconds",
+        ):
+            with pytest.raises(ValueError, match="keep_queries"):
+                getattr(streamed, accessor)
+
+    def test_summary_has_time_ledger(self):
+        report = replay("columnar", make_trace(3.0), keep_queries=False)
+        summary = report.summary()
+        assert "instance-s" in summary and "idle" in summary
+
+    def test_merge_streaming_reports(self):
+        trace = make_trace(4.0)
+        left = replay("columnar", trace, keep_queries=False)
+        right = replay("columnar", make_trace(4.0, rng=9), keep_queries=False)
+        merged = left.merge(right)
+        assert merged.n_queries == left.n_queries + right.n_queries
+        assert merged.query_cost_dollars == pytest.approx(
+            left.query_cost_dollars + right.query_cost_dollars
+        )
+        assert merged.latency_percentile(0) == min(
+            left.latency_percentile(0), right.latency_percentile(0)
+        )
+        assert merged.latency_percentile(100) == max(
+            left.latency_percentile(100), right.latency_percentile(100)
+        )
+        stats = merged.pool_stats
+        assert stats.instance_seconds == pytest.approx(
+            left.pool_stats.instance_seconds
+            + right.pool_stats.instance_seconds
+        )
+        assert stats.peak_leased_vms == max(
+            left.pool_stats.peak_leased_vms,
+            right.pool_stats.peak_leased_vms,
+        )
+
+    def test_merge_slo_mismatch_rejected(self):
+        stream_a = ServingStream(60.0)
+        stream_b = ServingStream(120.0)
+        with pytest.raises(ValueError):
+            stream_a.merge(stream_b)
+
+
+class TestScaleScenario:
+    """The 50k-arrival multi-tenant row: matrix invariants at scale."""
+
+    N_ARRIVALS = 50_000
+
+    @pytest.fixture(scope="class")
+    def report(self):
+        pairs = make_scale_trace(
+            self.N_ARRIVALS,
+            duration_s=43_200.0,
+            query_classes=QUERIES,
+            input_gb_octaves=(8.0, 16.0),
+            n_tenants=4,
+            rng=23,
+        )
+        registry = TenantRegistry(
+            [TenantSpec(tenant, weight=1.0 + index) for index, (tenant, _)
+             in enumerate(pairs)]
+        )
+        simulator = ServingSimulator(
+            build_uniform_system(
+                seed=51,
+                tenants=registry,
+                n_configs_per_query=4,
+                history_window=256,
+            ),
+            slo_seconds=120.0,
+            pool_config=PoolConfig(max_vms=2048, max_sls=2048),
+            autoscaler=FixedKeepAlive(30.0, 7.5),
+            engine="columnar",
+            keep_queries=False,
+        )
+        # knob=0.3 (the Eq. 4 cost knob) sizes these short single-stage
+        # queries onto small cheap configs, as in benchmarks/bench_scale.py.
+        report = simulator.replay_multi(pairs, knob=0.3, mode="vm-only")
+        return pairs, report
+
+    def test_every_arrival_served(self, report):
+        pairs, report = report
+        assert report.is_streaming
+        assert report.n_queries == self.N_ARRIVALS
+        assert set(report.tenants) == {tenant for tenant, _ in pairs}
+
+    def test_chargeback_partitions_bill(self, report):
+        _, report = report
+        bills = report.chargeback()
+        assert math.fsum(bills.values()) == pytest.approx(
+            report.total_cost_dollars, rel=1e-12, abs=1e-15
+        )
+        assert all(bill >= 0.0 for bill in bills.values())
+
+    def test_slices_partition_stream(self, report):
+        pairs, report = report
+        sliced = {
+            tenant: report.for_tenant(tenant) for tenant in report.tenants
+        }
+        assert sum(s.n_queries for s in sliced.values()) == report.n_queries
+        for tenant, trace in pairs:
+            assert sliced[tenant].n_queries == len(trace)
+            assert sliced[tenant].query_cost_dollars >= 0.0
+
+    def test_fairness_and_ledger(self, report):
+        _, report = report
+        n = len(report.tenants)
+        assert 1.0 / n - 1e-12 <= report.jain_fairness_index <= 1.0 + 1e-12
+        stats = report.pool_stats
+        assert stats.instance_seconds == pytest.approx(
+            stats.leased_seconds + stats.idle_seconds, rel=1e-9, abs=1e-6
+        )
+        assert 0.0 <= stats.idle_fraction <= 1.0
+        assert stats.warm_starts + stats.cold_starts == stats.acquisitions
+
+    def test_percentiles_well_formed(self, report):
+        _, report = report
+        quantiles = [
+            report.latency_percentile(q) for q in (0, 25, 50, 75, 95, 100)
+        ]
+        assert quantiles == sorted(quantiles)
+        assert quantiles[0] > 0.0
+        assert 0.0 <= report.slo_attainment <= 1.0
+        assert np.isfinite(report.query_cost_dollars)
+
+
+class TestScaleTraceGenerator:
+    def test_columns_and_determinism(self):
+        pairs_a = make_scale_trace(5_000, n_tenants=3, rng=5)
+        pairs_b = make_scale_trace(5_000, n_tenants=3, rng=5)
+        assert len(pairs_a) == len(pairs_b) <= 3
+        total = 0
+        for (tenant_a, trace_a), (tenant_b, trace_b) in zip(pairs_a, pairs_b):
+            assert tenant_a == tenant_b
+            assert np.array_equal(trace_a.arrival_s, trace_b.arrival_s)
+            assert np.array_equal(trace_a.query_index, trace_b.query_index)
+            assert np.all(np.diff(trace_a.arrival_s) >= 0)
+            assert trace_a.duration_s <= 86_400.0
+            total += len(trace_a)
+        assert total == 5_000
+
+    def test_class_mix_respects_weights(self):
+        pairs = make_scale_trace(
+            20_000,
+            query_classes=("uniform-2x1s", "uniform-4x1s"),
+            class_weights=(9.0, 1.0),
+            rng=6,
+        )
+        counts: dict[str, int] = {}
+        for _, trace in pairs:
+            for query_id, count in trace.query_counts().items():
+                counts[query_id] = counts.get(query_id, 0) + count
+        assert counts["uniform-2x1s"] > 5 * counts["uniform-4x1s"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_scale_trace(0)
+        with pytest.raises(ValueError):
+            make_scale_trace(10, query_classes=())
+        with pytest.raises(ValueError):
+            make_scale_trace(10, class_weights=(1.0,))
+        with pytest.raises(ValueError):
+            make_scale_trace(10, diurnal_amplitude=1.5)
+        with pytest.raises(ValueError):
+            make_scale_trace(10, input_gb_octaves=())

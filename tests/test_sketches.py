@@ -1,0 +1,177 @@
+"""Streaming accumulator tests: exact sums and reservoir percentiles.
+
+The million-arrival replay folds every served query into these sketches
+instead of keeping a list, so their guarantees carry the streaming
+report's: :class:`ExactSum` must round exactly and order-independently,
+and :class:`ReservoirQuantiles` must be bit-exact while the stream fits
+in the reservoir and rank-error-bounded past it (hypothesis property).
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import ExactSum, ReservoirQuantiles
+
+
+class TestExactSum:
+    def test_matches_fsum(self):
+        values = [1e16, 1.0, -1e16, 1e-8, 3.0, -2.0]
+        acc = ExactSum()
+        acc.add_many(values)
+        assert acc.value == math.fsum(values)
+
+    def test_order_independent(self):
+        rng = np.random.default_rng(3)
+        values = (rng.uniform(-1.0, 1.0, 500) * 10.0 ** rng.integers(
+            -8, 9, 500
+        )).tolist()
+        forward, backward = ExactSum(), ExactSum()
+        forward.add_many(values)
+        backward.add_many(values[::-1])
+        assert forward.value == backward.value == math.fsum(values)
+
+    def test_merge_equals_single_pass(self):
+        rng = np.random.default_rng(4)
+        values = rng.normal(0.0, 1e6, 1000).tolist()
+        whole = ExactSum()
+        whole.add_many(values)
+        left, right = ExactSum(), ExactSum()
+        left.add_many(values[:400])
+        right.add_many(values[400:])
+        left.merge(right)
+        assert left.value == whole.value
+
+    def test_empty(self):
+        assert ExactSum().value == 0.0
+
+    @given(st.lists(st.floats(-1e12, 1e12), max_size=60))
+    def test_property_matches_fsum(self, values):
+        acc = ExactSum()
+        acc.add_many(values)
+        assert acc.value == math.fsum(values)
+
+
+class TestReservoirExactRegime:
+    def test_is_np_percentile_while_small(self):
+        rng = np.random.default_rng(5)
+        values = rng.lognormal(1.0, 1.0, 200)
+        sketch = ReservoirQuantiles(capacity=256)
+        sketch.observe_many(values)
+        assert sketch.is_exact
+        for q in (0, 10, 50, 90, 99, 100):
+            assert sketch.percentile(q) == float(np.percentile(values, q))
+
+    def test_extremes_always_exact(self):
+        rng = np.random.default_rng(6)
+        values = rng.normal(0.0, 10.0, 50_000)
+        sketch = ReservoirQuantiles(capacity=64)
+        sketch.observe_many(values)
+        assert not sketch.is_exact
+        assert sketch.percentile(0) == values.min()
+        assert sketch.percentile(100) == values.max()
+        assert sketch.minimum == values.min()
+        assert sketch.maximum == values.max()
+
+    def test_empty_raises(self):
+        sketch = ReservoirQuantiles()
+        with pytest.raises(ValueError):
+            sketch.percentile(50)
+        with pytest.raises(ValueError):
+            sketch.minimum
+
+    def test_deterministic(self):
+        values = np.random.default_rng(7).uniform(0.0, 1.0, 10_000)
+        runs = []
+        for _ in range(2):
+            sketch = ReservoirQuantiles(capacity=128, seed=9)
+            sketch.observe_many(values)
+            runs.append([sketch.percentile(q) for q in range(0, 101, 5)])
+        assert runs[0] == runs[1]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ReservoirQuantiles(capacity=1)
+
+
+def rank_error(sketch: ReservoirQuantiles, values: np.ndarray, q: float) -> float:
+    """|empirical CDF(estimate) - q/100| over the true stream."""
+    estimate = sketch.percentile(q)
+    return abs(float(np.mean(values <= estimate)) - q / 100.0)
+
+
+class TestReservoirSampledRegime:
+    #: ~4.5 sigma of the binomial rank deviation plus a 2/capacity
+    #: discretisation term -- loose enough to be deterministic-stable,
+    #: tight enough that a biased sampler fails instantly.
+    @staticmethod
+    def bound(q: float, capacity: int) -> float:
+        p = q / 100.0
+        return 4.5 * math.sqrt(p * (1.0 - p) / capacity) + 2.0 / capacity
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        seed=st.integers(0, 2**32 - 1),
+        distribution=st.sampled_from(["uniform", "lognormal", "bimodal"]),
+    )
+    def test_rank_error_bounded(self, seed, distribution):
+        rng = np.random.default_rng(seed)
+        n = 50_000
+        if distribution == "uniform":
+            values = rng.uniform(0.0, 100.0, n)
+        elif distribution == "lognormal":
+            values = rng.lognormal(2.0, 1.5, n)
+        else:
+            values = np.concatenate([
+                rng.normal(5.0, 1.0, n // 2), rng.normal(500.0, 10.0, n // 2)
+            ])
+        capacity = 1024
+        sketch = ReservoirQuantiles(capacity=capacity, seed=seed)
+        sketch.observe_many(values)
+        assert sketch.count == n
+        for q in (5.0, 25.0, 50.0, 75.0, 95.0, 99.0):
+            assert rank_error(sketch, values, q) <= self.bound(q, capacity)
+
+    def test_merge_rank_error_bounded(self):
+        rng = np.random.default_rng(11)
+        capacity = 1024
+        segments = [
+            rng.lognormal(1.0, 1.0, 30_000),
+            rng.uniform(50.0, 60.0, 10_000),
+            rng.normal(5.0, 1.0, 20_000),
+        ]
+        merged = ReservoirQuantiles(capacity=capacity, seed=0)
+        for index, segment in enumerate(segments):
+            sketch = ReservoirQuantiles(capacity=capacity, seed=index + 1)
+            sketch.observe_many(segment)
+            merged.merge(sketch)
+        values = np.concatenate(segments)
+        assert merged.count == len(values)
+        assert merged.percentile(0) == values.min()
+        assert merged.percentile(100) == values.max()
+        for q in (10.0, 50.0, 90.0):
+            assert rank_error(merged, values, q) <= self.bound(q, capacity)
+
+    def test_merge_exact_when_both_small(self):
+        left = ReservoirQuantiles(capacity=256)
+        right = ReservoirQuantiles(capacity=256)
+        left.observe_many([1.0, 5.0, 9.0])
+        right.observe_many([2.0, 4.0])
+        left.merge(right)
+        assert left.is_exact
+        assert left.percentile(50) == float(
+            np.percentile([1.0, 5.0, 9.0, 2.0, 4.0], 50)
+        )
+
+    def test_merge_empty_is_noop(self):
+        sketch = ReservoirQuantiles(capacity=16)
+        sketch.observe_many([3.0, 1.0])
+        before = sketch.percentile(50)
+        sketch.merge(ReservoirQuantiles(capacity=16))
+        assert sketch.percentile(50) == before
+        assert sketch.count == 2
