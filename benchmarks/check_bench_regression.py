@@ -31,8 +31,16 @@ DEFAULT_COMMITTED = os.path.join(
     os.path.dirname(os.path.abspath(__file__)), "..", "BENCH_inference.json"
 )
 
-#: Metric keys treated as higher-is-better speedup ratios.
-_SPEEDUP_KEYS = ("speedup", "decision_speedup")
+#: Metric keys treated as higher-is-better speedup ratios.  The chaos
+#: bench's reliability metrics (availability in [0, 1], cost_efficiency
+#: as baseline-over-retry cost) band the same way: simulation-
+#: deterministic, so they transfer across runners exactly.
+_SPEEDUP_KEYS = (
+    "speedup",
+    "decision_speedup",
+    "availability",
+    "cost_efficiency",
+)
 
 
 def _load(path: str) -> dict:

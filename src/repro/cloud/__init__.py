@@ -28,8 +28,14 @@ measurements (Tables 1 and 5):
   feeds it.
 - :mod:`repro.cloud.storage` -- cloud object storage and external Redis
   bandwidth models.
+- :mod:`repro.cloud.faults` -- deterministic, seeded fault injection
+  (:class:`FaultPlan` / :class:`FaultInjector`): SL invocation failures
+  and timeouts, spot-style VM preemptions, boot failures and
+  stragglers, threaded through the pool as lease revocations with a
+  ``wasted_cost`` ledger and per-shard health meters.
 """
 
+from repro.cloud.faults import FaultInjector, FaultPlan
 from repro.cloud.instances import (
     Instance,
     InstanceKind,
@@ -53,6 +59,7 @@ from repro.cloud.pool import (
     FifoGrant,
     FixedKeepAlive,
     GrantPolicy,
+    HealthAwareRouter,
     LeastLoadedRouter,
     NoKeepAlive,
     PoolConfig,
@@ -75,10 +82,13 @@ __all__ = [
     "CostBreakdown",
     "DemandAutoscaler",
     "ExternalStore",
+    "FaultInjector",
+    "FaultPlan",
     "FifoGrant",
     "FixedKeepAlive",
     "GCP_PROFILE",
     "GrantPolicy",
+    "HealthAwareRouter",
     "LeastLoadedRouter",
     "Instance",
     "InstanceKind",

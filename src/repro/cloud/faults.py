@@ -1,0 +1,308 @@
+"""Deterministic, seeded fault injection for the shared-cluster pool.
+
+The simulated cloud was a fault-free fantasy: every boot succeeded and
+every lease ran to completion.  Real serverless-enabled analytics lives
+with transient invocation failures, spot/preemptible VM kills, boot
+failures and stragglers -- the reliability tradeoff ServerMix calls out
+as first-order for SL-heavy mixes.  This module supplies the substrate
+the failure-aware layers above (lease revocation, retries, shard
+health, load shedding) are built on.
+
+Design constraints, in order:
+
+1. **Determinism.**  Every fault decision is a pure hash of the plan's
+   seed and *replay-local* entity identifiers -- the injector numbers
+   instances in first-hand-over order and counts each instance's
+   hand-overs, both deterministic functions of the replayed event
+   sequence.  Raw instance ids and lease sequence numbers are
+   deliberately NOT used: those come from process-global counters, so
+   keying on them would make the second replay in a process draw a
+   different fault schedule than the first.  Two replays of the same
+   trace under the same plan inject byte-identical fault schedules, on
+   either serving engine, in the same process or across processes.
+2. **Zero-fault transparency.**  A plan with all rates at zero
+   (:attr:`FaultPlan.is_zero`) schedules no events and draws no numbers,
+   so a pool built without an injector -- or with a zero plan -- replays
+   *bit-for-bit* identically to the pre-fault code.  Callers gate on
+   ``is_zero`` and pass ``fault_injector=None`` through.
+3. **Stale events must be inert.**  Kill events are scheduled at
+   hand-over time but fire much later; by then the instance may have
+   been released, re-leased, or terminated.  Per-lease faults guard on
+   ``lease.is_active(instance)``; per-instance kills no-op on
+   ``TERMINATED`` instances, and the pool cancels pending kill handles
+   at termination via :meth:`FaultInjector.forget`.
+
+The fault model:
+
+==================  =====================================================
+Fault               Behaviour
+==================  =====================================================
+SL failure          A handed-over SL dies mid-lease after a deterministic
+                    fraction of ``sl_failure_delay_s`` -- the transient
+                    invocation crash.  Probability ``sl_failure_rate``
+                    per hand-over.
+SL timeout          A handed-over SL is killed at ``sl_timeout_s`` into
+                    the lease -- the provider's invocation time limit.
+                    Probability ``sl_timeout_rate`` per hand-over.
+VM preemption       A cold-spawned VM gets a spot-style TTL drawn from an
+                    exponential with rate ``vm_preemptions_per_hour``;
+                    armed once per instance lifetime, it can strike
+                    mid-lease (revocation) or while parked warm (a
+                    ``warm_kill``).
+Boot failure        A cold spawn dies partway through its boot window.
+                    Probability ``boot_failure_rate`` per cold spawn.
+Straggler           A worker runs every task ``straggler_factor`` times
+                    slower -- no kill, just inflation.  Probability
+                    ``straggler_rate`` per instance.
+==================  =====================================================
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import zlib
+from typing import TYPE_CHECKING
+
+from repro.cloud.instances import Instance, InstanceKind, InstanceState
+
+if TYPE_CHECKING:  # avoid a runtime cloud <-> engine import cycle
+    from repro.cloud.pool import ClusterPool, PoolLease, PoolShard
+    from repro.engine.simulator import EventHandle
+
+__all__ = ["FaultInjector", "FaultPlan"]
+
+#: A boot failure strikes between 10% and 90% of the way through the
+#: boot window -- never at the exact boundary, where it would race the
+#: boot-completion event's ordering.
+_BOOT_KILL_SPAN = (0.1, 0.8)
+
+
+def _uniform(seed: int, *parts: object) -> float:
+    """A deterministic uniform in (0, 1) keyed by seed and identifiers.
+
+    CRC32 of the joined key, centred into the open interval -- stateless,
+    so fault decisions do not depend on evaluation order and identical
+    entities get identical draws across engines and replays.
+    """
+    key = f"{seed}|" + "|".join(str(part) for part in parts)
+    return (zlib.crc32(key.encode("utf-8")) + 0.5) / 2**32
+
+
+@dataclasses.dataclass(frozen=True)
+class FaultPlan:
+    """One seeded fault schedule (all rates default to zero = no faults).
+
+    Attributes
+    ----------
+    seed:
+        Hash seed; two plans differing only in seed inject independent
+        fault schedules over the same trace.
+    sl_failure_rate / sl_failure_delay_s:
+        Per-hand-over probability that an SL dies mid-lease, and the
+        window the death lands in (a deterministic fraction of it).
+    sl_timeout_rate / sl_timeout_s:
+        Per-hand-over probability that an SL hits the provider's
+        invocation time limit, and that limit.
+    vm_preemptions_per_hour:
+        Exponential hazard of a spot-style VM kill, armed at cold spawn.
+    boot_failure_rate:
+        Per-cold-spawn probability the boot dies partway through.
+    straggler_rate / straggler_factor:
+        Per-instance probability of runtime inflation, and the factor.
+    """
+
+    seed: int = 0
+    sl_failure_rate: float = 0.0
+    sl_failure_delay_s: float = 10.0
+    sl_timeout_rate: float = 0.0
+    sl_timeout_s: float = 300.0
+    vm_preemptions_per_hour: float = 0.0
+    boot_failure_rate: float = 0.0
+    straggler_rate: float = 0.0
+    straggler_factor: float = 4.0
+
+    def __post_init__(self) -> None:
+        for name in ("sl_failure_rate", "sl_timeout_rate",
+                     "boot_failure_rate", "straggler_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.sl_failure_rate + self.sl_timeout_rate > 1.0:
+            raise ValueError(
+                "sl_failure_rate + sl_timeout_rate must not exceed 1"
+            )
+        for name in ("sl_failure_delay_s", "sl_timeout_s",
+                     "vm_preemptions_per_hour"):
+            value = getattr(self, name)
+            if not value >= 0.0 or value == float("inf"):
+                raise ValueError(f"{name} must be finite and non-negative")
+        if not self.straggler_factor >= 1.0:
+            raise ValueError("straggler_factor must be >= 1")
+
+    @property
+    def is_zero(self) -> bool:
+        """Whether this plan can never inject anything."""
+        return (
+            self.sl_failure_rate == 0.0
+            and self.sl_timeout_rate == 0.0
+            and self.vm_preemptions_per_hour == 0.0
+            and self.boot_failure_rate == 0.0
+            and self.straggler_rate == 0.0
+        )
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        if self.sl_failure_rate:
+            parts.append(f"sl_fail={self.sl_failure_rate:g}")
+        if self.sl_timeout_rate:
+            parts.append(f"sl_timeout={self.sl_timeout_rate:g}")
+        if self.vm_preemptions_per_hour:
+            parts.append(f"preempt/h={self.vm_preemptions_per_hour:g}")
+        if self.boot_failure_rate:
+            parts.append(f"boot_fail={self.boot_failure_rate:g}")
+        if self.straggler_rate:
+            parts.append(
+                f"stragglers={self.straggler_rate:g}"
+                f"x{self.straggler_factor:g}"
+            )
+        return f"FaultPlan({', '.join(parts)})"
+
+
+class FaultInjector:
+    """Schedules a :class:`FaultPlan`'s kills against one pool's clock.
+
+    The pool calls :meth:`on_hand_over` whenever a worker is handed to a
+    lease and :meth:`runtime_factor` when a task starts; kills flow back
+    through :meth:`ClusterPool.kill_instance`, which classifies them as
+    lease revocations or warm-set kills.
+    """
+
+    def __init__(self, plan: FaultPlan) -> None:
+        self.plan = plan
+        self._simulator: "object | None" = None  # bound at first arm
+        #: Instances whose preemption TTL is already armed (armed once
+        #: per lifetime, at cold spawn).
+        self._preemption_armed: set[str] = set()
+        #: Pending kill handles per instance, cancelled at termination
+        #: so long-TTL preemptions do not linger as heap tombstones.
+        self._kill_handles: dict[str, list[EventHandle]] = {}
+        #: Replay-local identity: instances numbered in first-hand-over
+        #: order, and a per-instance hand-over count.  Hashing on these
+        #: (never on the process-global instance/lease counters) keeps
+        #: the fault schedule identical across replays in one process.
+        self._ordinals: dict[str, int] = {}
+        self._hand_overs: dict[str, int] = {}
+
+    @property
+    def active(self) -> bool:
+        return not self.plan.is_zero
+
+    def _ordinal(self, iid: str) -> int:
+        ordinal = self._ordinals.get(iid)
+        if ordinal is None:
+            ordinal = len(self._ordinals)
+            self._ordinals[iid] = ordinal
+        return ordinal
+
+    # ------------------------------------------------------------------
+    # Hooks the pool calls
+    # ------------------------------------------------------------------
+
+    def on_hand_over(
+        self,
+        pool: "ClusterPool",
+        lease: "PoolLease",
+        shard: "PoolShard",
+        instance: Instance,
+        cold: bool,
+        boot_s: float,
+    ) -> None:
+        """Arm this hand-over's faults (called by ``ClusterPool._hand_over``)."""
+        plan = self.plan
+        seed = plan.seed
+        iid = instance.instance_id
+        ordinal = self._ordinal(iid)
+        hand_over = self._hand_overs.get(iid, 0)
+        self._hand_overs[iid] = hand_over + 1
+        if cold and plan.boot_failure_rate > 0.0:
+            if _uniform(seed, "boot-fail", ordinal) < plan.boot_failure_rate:
+                low, span = _BOOT_KILL_SPAN
+                frac = low + span * _uniform(seed, "boot-when", ordinal)
+                self._arm_kill(pool, instance, boot_s * frac, "boot-failure")
+                # A dead boot needs no further faults.
+                return
+        if (
+            instance.kind is InstanceKind.VM
+            and cold
+            and plan.vm_preemptions_per_hour > 0.0
+            and iid not in self._preemption_armed
+        ):
+            self._preemption_armed.add(iid)
+            hazard = plan.vm_preemptions_per_hour / 3600.0
+            u = _uniform(seed, "preempt", ordinal)
+            ttl = -math.log(1.0 - u) / hazard
+            self._arm_kill(pool, instance, ttl, "preempted", lease=None)
+        if instance.kind is InstanceKind.SERVERLESS:
+            # Per hand-over, not per lifetime: a warm SL that served ten
+            # leases had ten invocation opportunities to fail.
+            u = _uniform(seed, "sl-fate", ordinal, hand_over)
+            if plan.sl_failure_rate > 0.0 and u < plan.sl_failure_rate:
+                delay = plan.sl_failure_delay_s * _uniform(
+                    seed, "sl-when", ordinal, hand_over
+                )
+                self._arm_kill(pool, instance, delay, "sl-fault", lease=lease)
+            elif (
+                plan.sl_timeout_rate > 0.0
+                and u < plan.sl_failure_rate + plan.sl_timeout_rate
+            ):
+                self._arm_kill(
+                    pool, instance, plan.sl_timeout_s, "sl-timeout",
+                    lease=lease,
+                )
+
+    def runtime_factor(self, instance: Instance) -> float:
+        """Task-duration multiplier for ``instance`` (1.0 = healthy)."""
+        plan = self.plan
+        if plan.straggler_rate <= 0.0:
+            return 1.0
+        u = _uniform(
+            plan.seed, "straggler", self._ordinal(instance.instance_id)
+        )
+        return plan.straggler_factor if u < plan.straggler_rate else 1.0
+
+    def forget(self, instance: Instance) -> None:
+        """Cancel the instance's pending kills (called at termination)."""
+        handles = self._kill_handles.pop(instance.instance_id, None)
+        if handles is None:
+            return
+        for handle in handles:
+            self._simulator.cancel(handle)  # keeps the heap's dead count exact
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+
+    def _arm_kill(
+        self,
+        pool: "ClusterPool",
+        instance: Instance,
+        delay: float,
+        reason: str,
+        lease: "PoolLease | None" = None,
+    ) -> None:
+        def fire() -> None:
+            handles = self._kill_handles.get(instance.instance_id)
+            if handles is not None and handle in handles:
+                handles.remove(handle)
+                if not handles:
+                    del self._kill_handles[instance.instance_id]
+            if instance.state is InstanceState.TERMINATED:
+                return  # already gone; stale kill
+            if lease is not None and not lease.is_active(instance):
+                return  # per-lease fault outlived the lease
+            pool.kill_instance(instance, reason)
+
+        self._simulator = pool.simulator
+        handle = pool.simulator.schedule(max(delay, 0.0), fire)
+        self._kill_handles.setdefault(instance.instance_id, []).append(handle)

@@ -58,6 +58,7 @@ from repro.cloud.pricing import CostBreakdown, PriceBook
 from repro.cloud.providers import ProviderProfile
 
 if TYPE_CHECKING:  # avoid a runtime cloud <-> engine import cycle
+    from repro.cloud.faults import FaultInjector
     from repro.engine.simulator import EventHandle, Simulator
 
 #: How long grant timestamps are retained for rate estimation; windows
@@ -75,6 +76,7 @@ __all__ = [
     "FifoGrant",
     "FixedKeepAlive",
     "GrantPolicy",
+    "HealthAwareRouter",
     "LeastLoadedRouter",
     "NoKeepAlive",
     "PoolConfig",
@@ -349,6 +351,15 @@ class PoolStats:
     #: Leases that at least once waited on a tenant quota while shard
     #: capacity was otherwise available.
     quota_deferrals: int = 0
+    #: Fault-injection outcomes (all zero without a fault plan): kills
+    #: by cause, leases revoked mid-flight, and warm-parked workers
+    #: killed outside any lease.
+    preemptions: int = 0
+    sl_faults: int = 0
+    sl_timeouts: int = 0
+    boot_failures: int = 0
+    warm_kills: int = 0
+    leases_revoked: int = 0
     #: Exact time conservation ledger: every second of a pooled
     #: instance's life (spawn to termination) is either *leased* to a
     #: query or *idle* in a warm set, so ``instance_seconds`` equals
@@ -357,6 +368,10 @@ class PoolStats:
     leased_seconds: float = 0.0
     idle_seconds: float = 0.0
     instance_seconds: float = 0.0
+    #: Leased seconds forfeited by revocations (a subset of
+    #: ``leased_seconds`` -- the time ledger still balances; this
+    #: measures how much of it bought nothing).
+    wasted_seconds: float = 0.0
 
     @property
     def acquisitions(self) -> int:
@@ -452,6 +467,14 @@ class PoolLease:
         self._quota_ever_blocked = False
         self.on_instance_ready = on_instance_ready
         self.on_granted = on_granted
+        #: Set by the holder (e.g. the task scheduler) to be told when a
+        #: fault revokes the lease mid-flight; receives the kill reason.
+        self.on_revoked: Callable[[str], None] | None = None
+        #: Whether a fault revoked this lease before it released cleanly.
+        self.revoked = False
+        #: Itemised cost of the revoked attempt (forfeited into the
+        #: pool's wasted-cost ledger; zero unless ``revoked``).
+        self.revoked_cost = CostBreakdown()
         self.vms: list[VMInstance] = []
         self.sls: list[ServerlessInstance] = []
         self._open: dict[str, _OpenSegment] = {}
@@ -552,7 +575,8 @@ class PoolShard:
 
     __slots__ = (
         "name", "config", "warm", "leased_vms", "leased_sls", "queue",
-        "autoscaler", "grant_times", "keepalive_cost",
+        "autoscaler", "grant_times", "keepalive_cost", "fault_times",
+        "wasted_cost",
     )
 
     def __init__(
@@ -576,6 +600,11 @@ class PoolShard:
         self.grant_times: collections.deque[float] = collections.deque()
         #: Idle warm spend accrued by workers parked on this shard.
         self.keepalive_cost = CostBreakdown()
+        #: Timestamps of injected kills on this shard (the health meter
+        #: :class:`HealthAwareRouter` circuit-breaks on).
+        self.fault_times: collections.deque[float] = collections.deque()
+        #: Leased spend forfeited by revocations on this shard.
+        self.wasted_cost = CostBreakdown()
 
     @property
     def free_vms(self) -> int:
@@ -673,6 +702,65 @@ class TenantAffinityRouter(ShardRouter):
 
     def describe(self) -> str:
         return "tenant-affinity"
+
+
+class HealthAwareRouter(ShardRouter):
+    """Route away from shards that have been killing workers recently.
+
+    Shards are first filtered to those that can serve the most of the
+    request (like the other routers); among them, any shard whose
+    injected-kill count over the trailing ``window_s`` reaches
+    ``trip_threshold`` is *circuit-broken* -- excluded from routing --
+    unless every capable shard is tripped, in which case the router
+    degrades to the least-faulty one rather than deadlocking.  Healthy
+    candidates are ranked fewest-recent-faults first, then freest.
+    """
+
+    def __init__(
+        self, window_s: float = 300.0, trip_threshold: int = 3
+    ) -> None:
+        if window_s <= 0 or window_s > _GRANT_HISTORY_RETENTION_S:
+            raise ValueError(
+                "window_s must be positive and within the "
+                f"{_GRANT_HISTORY_RETENTION_S:g}s fault-history retention"
+            )
+        if trip_threshold < 1:
+            raise ValueError("trip_threshold must be at least 1")
+        self.window_s = window_s
+        self.trip_threshold = trip_threshold
+
+    def route(
+        self, n_vm: int, n_sl: int, tenant: str, pool: "ClusterPool"
+    ) -> str:
+        horizon = pool.simulator.now - self.window_s
+
+        def coverage(shard: PoolShard) -> int:
+            return (
+                min(n_vm, shard.config.max_vms)
+                + min(n_sl, shard.config.max_sls)
+            )
+
+        def recent_faults(shard: PoolShard) -> int:
+            return sum(1 for t in shard.fault_times if t >= horizon)
+
+        shards = pool.shards
+        best = max(coverage(shard) for shard in shards)
+        capable = [s for s in shards if coverage(s) == best]
+        healthy = [s for s in capable if recent_faults(s) < self.trip_threshold]
+        best_name: str | None = None
+        best_key: tuple[int, int] | None = None
+        for shard in healthy or capable:
+            key = (-recent_faults(shard), shard.free_vms + shard.free_sls)
+            if best_key is None or key > best_key:
+                best_name, best_key = shard.name, key
+        assert best_name is not None  # pools always have >= 1 shard
+        return best_name
+
+    def describe(self) -> str:
+        return (
+            f"health-aware(window={self.window_s:g}s, "
+            f"trip>={self.trip_threshold})"
+        )
 
 
 # ---------------------------------------------------------------------------
@@ -794,6 +882,12 @@ class ClusterPool:
         exactly FIFO while only one tenant is active).
     work_stealing:
         Whether idle shards may grant requests queued on other shards.
+    fault_injector:
+        Optional seeded :class:`~repro.cloud.faults.FaultInjector`; when
+        given, hand-overs arm its fault schedule and injected kills flow
+        back through :meth:`kill_instance`.  ``None`` (the default) is
+        the fault-free pool, bit-for-bit identical to pre-fault
+        behaviour.
     """
 
     def __init__(
@@ -809,6 +903,7 @@ class ClusterPool:
         grant_policy: GrantPolicy | None = None,
         work_stealing: bool = True,
         shard_autoscalers: dict[str, AutoscalerPolicy] | None = None,
+        fault_injector: "FaultInjector | None" = None,
     ) -> None:
         self.simulator = simulator
         self.provider = provider
@@ -835,8 +930,12 @@ class ClusterPool:
         self.tenants = tenants or TenantRegistry()
         self.grant_policy = grant_policy or WeightedFairGrant()
         self.work_stealing = work_stealing
+        self.fault_injector = fault_injector
         self.stats = PoolStats()
         self.keepalive_cost = CostBreakdown()
+        self.wasted_cost = CostBreakdown()
+        #: Live reverse map: instance id -> the lease holding it.
+        self._lease_by_instance: dict[str, PoolLease] = {}
         self._idle_since: dict[str, float] = {}
         self._expiry_handles: dict[str, EventHandle] = {}
         self._grant_times: collections.deque[float] = collections.deque()
@@ -893,6 +992,35 @@ class ClusterPool:
             name: shard.keepalive_cost.total
             for name, shard in self._shards.items()
         }
+
+    @property
+    def wasted_cost_dollars(self) -> float:
+        """Leased spend forfeited by fault revocations (0 without faults)."""
+        return self.wasted_cost.total
+
+    @property
+    def wasted_cost_by_shard(self) -> dict[str, float]:
+        """Forfeited spend per shard (sums to the pool's wasted cost)."""
+        return {
+            name: shard.wasted_cost.total
+            for name, shard in self._shards.items()
+        }
+
+    def recent_shard_faults(self, window_s: float) -> dict[str, int]:
+        """Injected kills per shard over the trailing ``window_s``."""
+        if window_s <= 0:
+            raise ValueError("window_s must be positive")
+        horizon = self.simulator.now - window_s
+        return {
+            name: sum(1 for t in shard.fault_times if t >= horizon)
+            for name, shard in self._shards.items()
+        }
+
+    def runtime_factor(self, instance: Instance) -> float:
+        """Task-duration multiplier for ``instance`` (straggler model)."""
+        if self.fault_injector is None:
+            return 1.0
+        return self.fault_injector.runtime_factor(instance)
 
     def autoscaler_for(self, shard: PoolShard) -> AutoscalerPolicy:
         """The keep-alive policy governing one shard's releases."""
@@ -1147,9 +1275,14 @@ class ClusterPool:
             tasks_at_open=instance.tasks_executed,
         )
         lease._open[instance.instance_id] = segment
+        self._lease_by_instance[instance.instance_id] = lease
         segment.boot_handle = self.simulator.schedule(
             boot, lambda: self._finish_boot(lease, segment)
         )
+        if self.fault_injector is not None and self.fault_injector.active:
+            self.fault_injector.on_hand_over(
+                self, lease, shard, instance, cold, boot
+            )
         return instance
 
     def _finish_boot(self, lease: PoolLease, segment: _OpenSegment) -> None:
@@ -1174,6 +1307,7 @@ class ClusterPool:
         assert lease.shard is not None
         shard = self._shards[lease.shard]
         now = self.simulator.now
+        self._lease_by_instance.pop(instance.instance_id, None)
         if segment.boot_handle is not None:
             self.simulator.cancel(segment.boot_handle)
         lease.segments.append(
@@ -1214,6 +1348,147 @@ class ClusterPool:
         """Release every worker the lease still holds."""
         for instance in list(lease.active_instances):
             self.release_instance(lease, instance)
+
+    # ------------------------------------------------------------------
+    # Fault handling
+    # ------------------------------------------------------------------
+
+    _FAULT_COUNTERS = {
+        "preempted": "preemptions",
+        "sl-fault": "sl_faults",
+        "sl-timeout": "sl_timeouts",
+        "boot-failure": "boot_failures",
+    }
+
+    def kill_instance(self, instance: Instance, reason: str) -> None:
+        """An injected fault killed ``instance``; classify and account.
+
+        A leased worker's death revokes the whole lease (the query
+        attempt cannot complete on a partial worker set); a warm-parked
+        worker is simply removed and terminated (a ``warm_kill``).
+        Already-terminated instances are ignored, so stale kill events
+        are harmless.
+        """
+        if instance.state is InstanceState.TERMINATED:
+            return
+        lease = self._lease_by_instance.get(instance.instance_id)
+        if lease is not None and lease.is_active(instance):
+            self.revoke_lease(lease, reason, dead_instance=instance)
+            return
+        now = self.simulator.now
+        for shard in self._shards.values():
+            if shard.warm[instance.kind].pop(
+                instance.instance_id, None
+            ) is not None:
+                self._end_idle(instance, now, shard)
+                self._terminate(instance, now)
+                self.stats.warm_kills += 1
+                self._count_fault(reason)
+                self._note_shard_fault(shard)
+                return
+        # Neither leased nor warm (e.g. mid-release edge): terminate only.
+        self._terminate(instance, now)
+        self._count_fault(reason)
+
+    def revoke_lease(
+        self,
+        lease: PoolLease,
+        reason: str,
+        dead_instance: Instance | None = None,
+    ) -> None:
+        """Tear a lease down mid-flight, forfeiting its spend.
+
+        Every billing segment the attempt accumulated -- closed ones and
+        the open partials cut at *now* -- moves into the pool's (and
+        shard's) ``wasted_cost`` ledger instead of ever reaching a query
+        bill; the time-conservation ledger still holds because the open
+        partials accrue ``leased_seconds`` exactly as a clean release
+        would.  ``dead_instance`` (the fault's victim) is terminated;
+        surviving workers go back through the autoscaler like a normal
+        release (the *workers* are fine -- the attempt is not).  The
+        holder is told last, via ``lease.on_revoked(reason)``, after all
+        pool state is consistent.
+        """
+        if not lease.is_granted or lease.revoked:
+            return
+        assert lease.shard is not None
+        shard = self._shards[lease.shard]
+        now = self.simulator.now
+        lease.revoked = True
+        forfeited = CostBreakdown()
+        wasted_seconds = 0.0
+        for segment in lease.segments:
+            forfeited = forfeited + self._segment_cost(
+                segment.kind, segment.seconds, segment.cold
+            )
+            wasted_seconds += segment.seconds
+        lease.segments.clear()
+        vm_used, sl_used = self.tenant_leased(lease.tenant)
+        for open_segment in list(lease._open.values()):
+            instance = open_segment.instance
+            lease._open.pop(instance.instance_id, None)
+            self._lease_by_instance.pop(instance.instance_id, None)
+            if open_segment.boot_handle is not None:
+                self.simulator.cancel(open_segment.boot_handle)
+            held = now - open_segment.start
+            self.stats.leased_seconds += held
+            wasted_seconds += held
+            forfeited = forfeited + self._segment_cost(
+                instance.kind, held, open_segment.cold
+            )
+            if instance.kind is InstanceKind.VM:
+                shard.leased_vms -= 1
+                vm_used -= 1
+            else:
+                shard.leased_sls -= 1
+                sl_used -= 1
+            if (
+                instance is dead_instance
+                or instance.state is InstanceState.BOOTING
+            ):
+                # The victim, and any half-booted survivor (which cannot
+                # be parked), terminate.
+                self._terminate(instance, now)
+            else:
+                policy = self.autoscaler_for(shard)
+                keep_alive = policy.keep_alive(instance.kind, self, shard)
+                if keep_alive > 0.0:
+                    self._park(instance, keep_alive, now, shard)
+                else:
+                    self._terminate(instance, now)
+        self._tenant_leased[lease.tenant] = (vm_used, sl_used)
+        lease.revoked_cost = forfeited
+        self.wasted_cost = self.wasted_cost + forfeited
+        shard.wasted_cost = shard.wasted_cost + forfeited
+        self.stats.wasted_seconds += wasted_seconds
+        self.stats.leases_revoked += 1
+        self._count_fault(reason)
+        self._note_shard_fault(shard)
+        if lease.on_revoked is not None:
+            lease.on_revoked(reason)
+        self._pump()
+
+    def _segment_cost(
+        self, kind: InstanceKind, seconds: float, cold: bool
+    ) -> CostBreakdown:
+        if kind is InstanceKind.VM:
+            return self.prices.vm_breakdown(seconds)
+        return self.prices.sl_breakdown(
+            seconds, invocations=1 if cold else 0
+        )
+
+    def _count_fault(self, reason: str) -> None:
+        counter = self._FAULT_COUNTERS.get(reason)
+        if counter is not None:
+            setattr(self.stats, counter, getattr(self.stats, counter) + 1)
+
+    def _note_shard_fault(self, shard: PoolShard) -> None:
+        now = self.simulator.now
+        times = shard.fault_times
+        retention = now - _GRANT_HISTORY_RETENTION_S
+        while times and times[0] < retention:
+            times.popleft()
+        times.append(now)
 
     def _park(
         self,
@@ -1264,6 +1539,8 @@ class ClusterPool:
             self.stats.instance_seconds += max(
                 now - instance.spawn_time, 0.0
             )
+            if self.fault_injector is not None:
+                self.fault_injector.forget(instance)
 
     def _pump(self) -> None:
         """Grant queued requests while any shard can make progress.

@@ -55,11 +55,13 @@ import dataclasses
 import math
 import time
 import warnings
+import zlib
 from typing import Iterable, Mapping, NamedTuple
 
 import numpy as np
 
 from repro.analysis.sketches import ExactSum, ReservoirQuantiles
+from repro.cloud.faults import FaultInjector, FaultPlan
 from repro.cloud.pool import (
     DEFAULT_TENANT,
     AutoscalerPolicy,
@@ -73,13 +75,14 @@ from repro.cloud.pool import (
 from repro.core.forecast import AdaptiveBatchWindow
 from repro.core.job import SubmissionOutcome
 from repro.core.smartpick import Smartpick
-from repro.engine.runner import QueryExecution, launch_query
+from repro.engine.runner import QueryExecution, RetryPolicy, launch_query
 from repro.engine.simulator import Simulator
 from repro.engine.task import TaskDurationModel
 from repro.workloads import get_query
 from repro.workloads.trace import ColumnarTrace, TraceEvent, WorkloadTrace
 
 __all__ = [
+    "DroppedQuery",
     "ServedQuery",
     "ServingStream",
     "ServingReport",
@@ -118,14 +121,25 @@ class ServedQuery:
     #: Portion of ``queueing_delay_s`` spent waiting on the tenant's
     #: leased-worker quota while shard capacity was otherwise available.
     quota_delay_s: float = 0.0
+    #: How many times the query was resubmitted after a fault revoked an
+    #: attempt's lease (0 outside fault injection).
+    n_retries: int = 0
+    #: Spend the query's *failed* attempts forfeited into the pool's
+    #: wasted-cost ledger; the outcome's cost covers only the successful
+    #: attempt.
+    wasted_cost_dollars: float = 0.0
+    #: Time lost to failed attempts: from each failure's submission to
+    #: the next resubmission (runtime of the dead attempt plus backoff).
+    retry_delay_s: float = 0.0
 
     @property
     def latency_s(self) -> float:
-        """Arrival-to-completion latency (admission + batching + queueing
-        + execution)."""
+        """Arrival-to-completion latency (admission + batching + retries
+        + queueing + execution)."""
         return (
             self.admission_delay_s
             + self.batching_delay_s
+            + self.retry_delay_s
             + self.queueing_delay_s
             + self.outcome.actual_seconds
         )
@@ -138,6 +152,23 @@ class ServedQuery:
     def quota_throttle_delay_s(self) -> float:
         """Total delay attributable to tenant quotas (admission + lease)."""
         return self.admission_delay_s + self.quota_delay_s
+
+
+@dataclasses.dataclass(frozen=True)
+class DroppedQuery:
+    """One arrival that terminated without completing.
+
+    ``reason`` is ``"failed"`` (faults exhausted the retry budget) or
+    ``"shed"`` (the admission backlog exceeded ``max_pending_admission``
+    and the load-shedder rejected the work instead of queueing forever).
+    """
+
+    arrival_s: float
+    query_id: str
+    tenant: str
+    reason: str
+    n_retries: int = 0
+    wasted_cost_dollars: float = 0.0
 
 
 class ServingStream:
@@ -158,7 +189,8 @@ class ServingStream:
         "slo_seconds", "n", "latency", "queueing", "admission",
         "quota_throttle", "decision", "query_cost",
         "decision_seconds_total", "n_slo_hits", "n_batched", "n_aliens",
-        "n_retrains", "tenant_streams",
+        "n_retrains", "n_failed", "n_shed", "n_retries", "wasted_cost",
+        "tenant_streams",
     )
 
     def __init__(
@@ -180,6 +212,14 @@ class ServingStream:
         self.n_batched = 0
         self.n_aliens = 0
         self.n_retrains = 0
+        #: Reliability accumulators (all zero outside fault injection):
+        #: arrivals dropped after exhausting their retry budget, arrivals
+        #: shed at the admission gate, total resubmissions, and the
+        #: spend failed attempts forfeited.
+        self.n_failed = 0
+        self.n_shed = 0
+        self.n_retries = 0
+        self.wasted_cost = ExactSum()
         #: Per-tenant sub-streams (one level deep: sub-streams track no
         #: tenants of their own); ``None`` marks a tenant slice.
         self.tenant_streams: dict[str, ServingStream] | None = (
@@ -226,6 +266,22 @@ class ServingStream:
             self.n_aliens += 1
         if query.outcome.retrain_event:
             self.n_retrains += 1
+        self.n_retries += query.n_retries
+        self.wasted_cost.add(query.wasted_cost_dollars)
+
+    def observe_drop(self, drop: DroppedQuery) -> None:
+        """Fold one non-completion into the accumulators (and tenant's)."""
+        self._observe_drop_one(drop)
+        if self.tenant_streams is not None:
+            self.ensure_tenant(drop.tenant)._observe_drop_one(drop)
+
+    def _observe_drop_one(self, drop: DroppedQuery) -> None:
+        if drop.reason == "shed":
+            self.n_shed += 1
+        else:
+            self.n_failed += 1
+        self.n_retries += drop.n_retries
+        self.wasted_cost.add(drop.wasted_cost_dollars)
 
     def merge(self, other: "ServingStream") -> None:
         """Fold another replay segment's stream into this one."""
@@ -243,6 +299,10 @@ class ServingStream:
         self.n_batched += other.n_batched
         self.n_aliens += other.n_aliens
         self.n_retrains += other.n_retrains
+        self.n_failed += other.n_failed
+        self.n_shed += other.n_shed
+        self.n_retries += other.n_retries
+        self.wasted_cost.merge(other.wasted_cost)
         if self.tenant_streams is not None and other.tenant_streams:
             for tenant, theirs in other.tenant_streams.items():
                 mine = self.tenant_streams.get(tenant)
@@ -275,6 +335,26 @@ class ServingReport:
     tenant_peaks: dict[str, tuple[int, int]] = dataclasses.field(
         default_factory=dict
     )
+    #: Arrivals that never completed: dropped after exhausting their
+    #: retry budget ("failed") or shed at the admission gate ("shed").
+    #: Empty outside fault injection, and empty in streaming mode (the
+    #: stream's counters carry the tally instead).
+    dropped: list[DroppedQuery] = dataclasses.field(default_factory=list)
+    #: Spend forfeited to revoked leases (the pool's ``wasted_cost``
+    #: ledger): partial work billed but thrown away when an instance
+    #: died mid-query.  Zero outside fault injection.
+    wasted_cost_dollars: float = 0.0
+    #: The wasted spend per shard; values sum to
+    #: :attr:`wasted_cost_dollars` (empty for tenant slices).
+    wasted_cost_by_shard: dict[str, float] = dataclasses.field(
+        default_factory=dict
+    )
+    #: Peak concurrently in-flight arrivals per tenant, *including*
+    #: retry resubmissions -- the observable proving ``max_in_flight``
+    #: admission quotas hold even while retries re-enter the gate.
+    tenant_in_flight_peaks: dict[str, int] = dataclasses.field(
+        default_factory=dict
+    )
     #: Streaming accumulators over the same completions.  Replays always
     #: fill one; with ``keep_queries=False`` (million-arrival mode) the
     #: per-query ``served`` list stays empty and every aggregate below
@@ -291,8 +371,9 @@ class ServingReport:
         """
         return (
             self.stream is not None
-            and self.stream.n > 0
+            and (self.stream.n + self.stream.n_failed + self.stream.n_shed) > 0
             and not self.served
+            and not self.dropped
         )
 
     def _require_queries(self, what: str) -> None:
@@ -344,8 +425,77 @@ class ServingReport:
 
     @property
     def total_cost_dollars(self) -> float:
-        """The full bill: per-query charges plus pool keep-alive cost."""
-        return self.query_cost_dollars + self.keepalive_cost_dollars
+        """The full bill: per-query charges, keep-alive, and wasted spend."""
+        return (
+            self.query_cost_dollars
+            + self.keepalive_cost_dollars
+            + self.wasted_cost_dollars
+        )
+
+    # ------------------------------------------------------------------
+    # Reliability
+    # ------------------------------------------------------------------
+
+    @property
+    def n_failed(self) -> int:
+        """Arrivals dropped after exhausting their retry budget."""
+        if self.is_streaming:
+            return self.stream.n_failed
+        return sum(1 for d in self.dropped if d.reason != "shed")
+
+    @property
+    def n_shed(self) -> int:
+        """Arrivals rejected at the admission gate under overload."""
+        if self.is_streaming:
+            return self.stream.n_shed
+        return sum(1 for d in self.dropped if d.reason == "shed")
+
+    @property
+    def n_arrivals(self) -> int:
+        """Every trace arrival, however it terminated."""
+        return self.n_queries + self.n_failed + self.n_shed
+
+    @property
+    def n_retries_total(self) -> int:
+        """Resubmissions across all arrivals (served and dropped)."""
+        if self.is_streaming:
+            return self.stream.n_retries
+        return (
+            sum(s.n_retries for s in self.served)
+            + sum(d.n_retries for d in self.dropped)
+        )
+
+    @property
+    def availability(self) -> float:
+        """Fraction of arrivals that completed (1.0 for an empty report)."""
+        arrivals = self.n_arrivals
+        if arrivals == 0:
+            return 1.0
+        return self.n_queries / arrivals
+
+    @property
+    def retry_rate(self) -> float:
+        """Resubmissions per arrival (can exceed 1 under heavy faults)."""
+        arrivals = self.n_arrivals
+        if arrivals == 0:
+            return 0.0
+        return self.n_retries_total / arrivals
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of arrivals rejected at the admission gate."""
+        arrivals = self.n_arrivals
+        if arrivals == 0:
+            return 0.0
+        return self.n_shed / arrivals
+
+    @property
+    def wasted_cost_share(self) -> float:
+        """Wasted spend as a fraction of the total bill."""
+        total = self.total_cost_dollars
+        if total == 0.0:
+            return 0.0
+        return self.wasted_cost_dollars / total
 
     @property
     def warm_start_rate(self) -> float:
@@ -483,6 +633,9 @@ class ServingReport:
         peaks = {}
         if tenant in self.tenant_peaks:
             peaks[tenant] = self.tenant_peaks[tenant]
+        in_flight_peaks = {}
+        if tenant in self.tenant_in_flight_peaks:
+            in_flight_peaks[tenant] = self.tenant_in_flight_peaks[tenant]
         stream = None
         if self.is_streaming:
             stream = (self.stream.tenant_streams or {}).get(tenant)
@@ -498,6 +651,9 @@ class ServingReport:
             keepalive_cost_dollars=self.keepalive_shares().get(tenant, 0.0),
             tenant_weights={tenant: weight},
             tenant_peaks=peaks,
+            dropped=[d for d in self.dropped if d.tenant == tenant],
+            wasted_cost_dollars=self._tenant_wasted_costs().get(tenant, 0.0),
+            tenant_in_flight_peaks=in_flight_peaks,
             stream=stream,
         )
 
@@ -539,6 +695,29 @@ class ServingReport:
             costs[query.tenant] += query.outcome.cost_dollars
         return costs
 
+    def _tenant_wasted_costs(self) -> dict[str, float]:
+        """Per-tenant forfeited spend (failed attempts' partial bills).
+
+        Unlike keep-alive, wasted spend *is* attributable: the revoked
+        lease belonged to one tenant's query, so that tenant's bill
+        carries it directly.
+        """
+        wasted = {tenant: 0.0 for tenant in self.tenants}
+        if self.is_streaming:
+            substreams = self.stream.tenant_streams
+            for tenant in wasted:
+                if substreams is not None and tenant in substreams:
+                    wasted[tenant] = substreams[tenant].wasted_cost.value
+                elif substreams is None and len(wasted) == 1:
+                    # A tenant slice: the stream itself is the tenant's.
+                    wasted[tenant] = self.stream.wasted_cost.value
+            return wasted
+        for query in self.served:
+            wasted[query.tenant] += query.wasted_cost_dollars
+        for drop in self.dropped:
+            wasted[drop.tenant] += drop.wasted_cost_dollars
+        return wasted
+
     def keepalive_shares(self) -> dict[str, float]:
         """Keep-alive spend apportioned pro rata to per-tenant query cost.
 
@@ -561,11 +740,11 @@ class ServingReport:
     def chargeback(self) -> dict[str, float]:
         """Per-tenant bills that partition the pool's total cost.
 
-        Each tenant is billed its metered query cost plus its
-        :meth:`keepalive_shares` portion; the floating-point residual of
-        the pro-rata split is folded into the largest bill (ties broken
-        by tenant name) so the bills sum to :attr:`total_cost_dollars`
-        to the last bit.
+        Each tenant is billed its metered query cost, the spend its
+        failed attempts forfeited, and its :meth:`keepalive_shares`
+        portion; the floating-point residual of the pro-rata split is
+        folded into the largest bill (ties broken by tenant name) so the
+        bills sum to :attr:`total_cost_dollars` to the last bit.
         """
         costs = self._tenant_query_costs()
         return self._bills(costs, self._keepalive_shares(costs))
@@ -573,7 +752,11 @@ class ServingReport:
     def _bills(
         self, costs: dict[str, float], shares: dict[str, float]
     ) -> dict[str, float]:
-        bills = {t: costs[t] + shares.get(t, 0.0) for t in costs}
+        wasted = self._tenant_wasted_costs()
+        bills = {
+            t: costs[t] + wasted.get(t, 0.0) + shares.get(t, 0.0)
+            for t in costs
+        }
         if bills:
             residual = self.total_cost_dollars - math.fsum(bills.values())
             anchor = max(bills, key=lambda t: (bills[t], t))
@@ -622,8 +805,10 @@ class ServingReport:
         cost = (
             f"cost {100 * self.query_cost_dollars:.1f}"
             f" + keep-alive {100 * self.keepalive_cost_dollars:.2f}"
-            f" = {100 * self.total_cost_dollars:.1f} cents"
         )
+        if self.wasted_cost_dollars:
+            cost += f" + wasted {100 * self.wasted_cost_dollars:.2f}"
+        cost += f" = {100 * self.total_cost_dollars:.1f} cents"
         if not self.n_queries:
             return f"0 queries, {cost}"
         text = (
@@ -657,6 +842,12 @@ class ServingReport:
                 f", {len(self.tenants)} tenants, "
                 f"Jain {self.jain_fairness_index:.2f}"
             )
+        if self.n_failed or self.n_shed or self.n_retries_total:
+            text += (
+                f", availability {100 * self.availability:.1f}% "
+                f"({self.n_retries_total} retries, "
+                f"{self.n_failed} failed, {self.n_shed} shed)"
+            )
         return text
 
     def merge(self, other: "ServingReport") -> "ServingReport":
@@ -686,15 +877,25 @@ class ServingReport:
         stream.merge(self.stream)
         stream.merge(other.stream)
         served: list[ServedQuery] = []
+        dropped: list[DroppedQuery] = []
         if self.served and other.served:
             served = [*self.served, *other.served]
+            dropped = [*self.dropped, *other.dropped]
         keepalive_by_shard = dict(self.keepalive_cost_by_shard)
         for shard, cost in other.keepalive_cost_by_shard.items():
             keepalive_by_shard[shard] = keepalive_by_shard.get(shard, 0.0) + cost
+        wasted_by_shard = dict(self.wasted_cost_by_shard)
+        for shard, cost in other.wasted_cost_by_shard.items():
+            wasted_by_shard[shard] = wasted_by_shard.get(shard, 0.0) + cost
         peaks = dict(self.tenant_peaks)
         for tenant, (vms, sls) in other.tenant_peaks.items():
             mine = peaks.get(tenant, (0, 0))
             peaks[tenant] = (max(mine[0], vms), max(mine[1], sls))
+        in_flight_peaks = dict(self.tenant_in_flight_peaks)
+        for tenant, peak in other.tenant_in_flight_peaks.items():
+            in_flight_peaks[tenant] = max(
+                in_flight_peaks.get(tenant, 0), peak
+            )
         return ServingReport(
             served=served,
             slo_seconds=self.slo_seconds,
@@ -705,6 +906,12 @@ class ServingReport:
             keepalive_cost_by_shard=keepalive_by_shard,
             tenant_weights={**self.tenant_weights, **other.tenant_weights},
             tenant_peaks=peaks,
+            dropped=dropped,
+            wasted_cost_dollars=(
+                self.wasted_cost_dollars + other.wasted_cost_dollars
+            ),
+            wasted_cost_by_shard=wasted_by_shard,
+            tenant_in_flight_peaks=in_flight_peaks,
             stream=stream,
         )
 
@@ -731,6 +938,32 @@ class _Arrival(NamedTuple):
     index: int
     tenant: str
     event: TraceEvent
+
+
+class _ArrivalState:
+    """Mutable retry bookkeeping for one arrival.
+
+    Created lazily on the first failure (or when an arrival joins an
+    open sizing group from the admission queue); arrivals that never
+    need one keep the legacy stateless accounting bit for bit.  The
+    ``basis`` timestamp is where attribution last stopped, so delay
+    spans chain contiguously and ``admission + batching + retry_delay``
+    always equals submit-time minus arrival-time at the final launch.
+    """
+
+    __slots__ = (
+        "attempts", "retries", "wasted", "admission", "batching",
+        "retry_delay", "basis",
+    )
+
+    def __init__(self) -> None:
+        self.attempts = 0       # failed attempts so far
+        self.retries = 0        # resubmissions actually made
+        self.wasted = 0.0       # spend forfeited by revoked leases
+        self.admission = 0.0    # accumulated admission-gate wait
+        self.batching = 0.0     # accumulated coalescing-window wait
+        self.retry_delay = 0.0  # accumulated backoff wait
+        self.basis = 0.0        # where attribution last stopped
 
 
 def _merge_arrival_columns(
@@ -909,6 +1142,25 @@ class ServingSimulator:
         mean, exact waiting count) may therefore be slightly stale for
         reused arrivals.  Default ``None``: enabled for the columnar
         engine, disabled for the event engine (which stays bit-exact).
+    retry_policy:
+        Failure handling for revoked leases (fault injection).  A
+        revoked arrival is resubmitted through the admission gate after
+        an exponential-backoff delay (jittered deterministically from
+        the fault plan's seed) until the policy's retry budget is
+        exhausted, at which point it is dropped and reported as failed.
+        ``None`` (default) drops on first failure -- the naive-fail
+        baseline.
+    fault_plan:
+        Optional :class:`~repro.cloud.faults.FaultPlan` armed on every
+        replay's pool.  ``None`` -- or a plan whose
+        :attr:`~repro.cloud.faults.FaultPlan.is_zero` holds -- leaves
+        the replay bit-for-bit identical to today's fault-free run: no
+        injector is attached and no fault decision is ever drawn.
+    max_pending_admission:
+        Load-shedding bound on each tenant's admission-gate queue: an
+        arrival (or retry) finding the queue at this depth is shed --
+        dropped and reported loudly -- instead of waiting forever.
+        ``None`` (default) queues unboundedly, exactly as before.
     """
 
     def __init__(
@@ -926,9 +1178,14 @@ class ServingSimulator:
         engine: str = "event",
         keep_queries: bool = True,
         decision_reuse: bool | None = None,
+        retry_policy: RetryPolicy | None = None,
+        fault_plan: FaultPlan | None = None,
+        max_pending_admission: int | None = None,
     ) -> None:
         if slo_seconds <= 0:
             raise ValueError("slo_seconds must be positive")
+        if max_pending_admission is not None and max_pending_admission < 0:
+            raise ValueError("max_pending_admission must be non-negative")
         if engine not in ("event", "columnar"):
             raise ValueError(
                 f"unknown engine {engine!r}; choose 'event' or 'columnar'"
@@ -963,6 +1220,9 @@ class ServingSimulator:
         self.decision_reuse = (
             engine == "columnar" if decision_reuse is None else decision_reuse
         )
+        self.retry_policy = retry_policy
+        self.fault_plan = fault_plan
+        self.max_pending_admission = max_pending_admission
 
     def _batch_tuner(self) -> AdaptiveBatchWindow | None:
         """The adaptive-window tuner for one replay (None = static path).
@@ -1065,6 +1325,11 @@ class ServingSimulator:
             self.tenants if self.tenants is not None else TenantRegistry()
         )
         simulator = Simulator()
+        # A zero plan attaches NO injector at all: the fault-free replay
+        # is bit-for-bit today's, with no draws and no extra events.
+        injector = None
+        if self.fault_plan is not None and not self.fault_plan.is_zero:
+            injector = FaultInjector(self.fault_plan)
         pool = ClusterPool(
             simulator,
             provider=self.system.provider,
@@ -1076,6 +1341,7 @@ class ServingSimulator:
             tenants=registry,
             grant_policy=self.grant_policy,
             shard_autoscalers=self.shard_autoscalers,
+            fault_injector=injector,
         )
         # Forecast-driven autoscalers duck-type on `observe_arrival`;
         # they receive every arrival's query class and routed shard.
@@ -1151,12 +1417,32 @@ class ServingSimulator:
         served: list[ServedQuery | None] | None = (
             [None] * n_arrivals if self.keep_queries else None
         )
-        n_completed = 0
+        dropped: list[DroppedQuery] | None = (
+            [] if self.keep_queries else None
+        )
+        n_terminated = 0
         in_flight_total = 0
         tenant_in_flight: collections.Counter[str] = collections.Counter()
+        in_flight_peaks: dict[str, int] = {}
         pending_admission: dict[str, collections.deque[_Arrival]] = (
             collections.defaultdict(collections.deque)
         )
+        # Retry bookkeeping, keyed by arrival index; absent for every
+        # arrival the fault plan never touches (see _ArrivalState).
+        states: dict[int, _ArrivalState] = {}
+        # The adaptive engine's currently open sizing group, hoisted so
+        # retried/admitted arrivals can join it (shared forest pass)
+        # instead of always deciding solo.  Static engines never fill it.
+        open_group: list[_Arrival] = []
+        fault_seed = self.fault_plan.seed if self.fault_plan is not None else 0
+
+        def retry_u(index: int, attempt: int) -> float:
+            # The same stateless hash-uniform scheme the injector uses:
+            # backoff jitter is reproducible per (arrival, attempt) and
+            # independent of event interleaving.
+            key = f"{fault_seed}|retry|{index}|{attempt}"
+            return (zlib.crc32(key.encode("utf-8")) + 0.5) / 2**32
+
         # Class-level decision reuse (see ``decision_reuse``): one cache
         # per replay, invalidated entry-wise when the model retrains.
         decision_cache: dict[tuple, tuple[int, object, object]] = {}
@@ -1175,9 +1461,10 @@ class ServingSimulator:
             policy = initializer.execution_policy(decision.n_vm, decision.n_sl)
 
             def complete(execution: QueryExecution) -> None:
-                nonlocal in_flight_total, n_completed
+                nonlocal in_flight_total, n_terminated
                 in_flight_total -= 1
                 tenant_in_flight[arrival.tenant] -= 1
+                st = states.pop(arrival.index, None)
                 assert execution.result is not None
                 outcome = initializer.finalize(
                     query,
@@ -1199,15 +1486,55 @@ class ServingSimulator:
                     tenant=arrival.tenant,
                     admission_delay_s=admission_delay,
                     quota_delay_s=execution.result.quota_delay_s,
+                    n_retries=st.retries if st is not None else 0,
+                    wasted_cost_dollars=st.wasted if st is not None else 0.0,
+                    retry_delay_s=st.retry_delay if st is not None else 0.0,
                 )
                 report_stream.observe(record)
-                n_completed += 1
+                n_terminated += 1
                 if served is not None:
                     served[arrival.index] = record
                 admit_next(arrival.tenant)
 
+            def failed(execution: QueryExecution, reason: str) -> None:
+                # A lease revocation killed this attempt mid-flight.
+                # The partial spend it forfeited is already in the
+                # pool's wasted ledger; mirror it per arrival so the
+                # chargeback attributes it to the owning tenant.  The
+                # failed attempt never reaches initializer.finalize:
+                # aborted runs must not feed the model's history.
+                nonlocal in_flight_total
+                in_flight_total -= 1
+                tenant_in_flight[arrival.tenant] -= 1
+                st = states.get(arrival.index)
+                if st is None:
+                    st = states[arrival.index] = _ArrivalState()
+                    st.admission = admission_delay
+                    st.batching = batching_delay
+                st.attempts += 1
+                st.wasted += execution.lease.revoked_cost.total
+                if (
+                    self.retry_policy is not None
+                    and st.attempts <= self.retry_policy.max_retries
+                ):
+                    delay = self.retry_policy.backoff(
+                        st.attempts, retry_u(arrival.index, st.attempts)
+                    )
+                    simulator.schedule(delay, lambda: resubmit(arrival))
+                else:
+                    drop(arrival, "failed")
+                admit_next(arrival.tenant)
+
+            st = states.get(arrival.index)
+            first_attempt = st is None or st.attempts == 0
             in_flight_total += 1
             tenant_in_flight[arrival.tenant] += 1
+            if tenant_in_flight[arrival.tenant] > in_flight_peaks.get(
+                arrival.tenant, 0
+            ):
+                in_flight_peaks[arrival.tenant] = (
+                    tenant_in_flight[arrival.tenant]
+                )
             execution = launch_query(
                 query,
                 n_vm=decision.n_vm,
@@ -1216,9 +1543,10 @@ class ServingSimulator:
                 policy=policy,
                 duration_model=duration_model,
                 on_complete=complete,
+                on_failed=failed,
                 tenant=arrival.tenant,
             )
-            if forecast_observers:
+            if forecast_observers and first_attempt:
                 # The lease is routed (and, when capacity allows --
                 # stealing included -- granted) synchronously inside
                 # launch_query, so lease.shard is the serving shard for
@@ -1314,12 +1642,26 @@ class ServingSimulator:
             for offset, (arrival, query, (context, decision)) in enumerate(
                 zip(batch, queries, decided)
             ):
-                batching_delay = decide_time - arrival.event.arrival_s
-                admission_delay = 0.0
-                if simulator.now > decide_time:
-                    # Re-submitted through the admission gate: the wait
-                    # past the group's window close is admission delay.
-                    admission_delay = simulator.now - decide_time
+                st = states.get(arrival.index)
+                if st is None:
+                    batching_delay = decide_time - arrival.event.arrival_s
+                    admission_delay = 0.0
+                    if simulator.now > decide_time:
+                        # Re-submitted through the admission gate: the
+                        # wait past the group's window close is
+                        # admission delay.
+                        admission_delay = simulator.now - decide_time
+                else:
+                    # Stateful arrivals accumulate spans from wherever
+                    # attribution last stopped, so the components still
+                    # sum to submit-time minus arrival-time.
+                    st.batching += max(decide_time - st.basis, 0.0)
+                    st.basis = decide_time
+                    if simulator.now > decide_time:
+                        st.admission += simulator.now - decide_time
+                        st.basis = simulator.now
+                    batching_delay = st.batching
+                    admission_delay = st.admission
                 launch(
                     arrival,
                     query,
@@ -1338,12 +1680,80 @@ class ServingSimulator:
             return tenant_in_flight[arrival.tenant] + admitted_ahead < cap
 
         def admit_next(tenant: str) -> None:
-            """A completion freed an in-flight slot; admit one waiter."""
+            """A termination freed an in-flight slot; admit one waiter."""
             queue = pending_admission.get(tenant)
             if not queue or not admits(queue[0], 0):
                 return
             arrival = queue.popleft()
-            submit_batch([arrival], decide_time=arrival.event.arrival_s)
+            st = states.get(arrival.index)
+            if st is not None:
+                # A retried arrival re-enters the gate: the wait since
+                # its resubmission is admission delay.
+                st.admission += simulator.now - st.basis
+                st.basis = simulator.now
+                enter(arrival)
+            elif tuner is not None and open_group:
+                # Adaptive coalescing: the freed slot lands while a
+                # sizing group is open -- join it and share the
+                # imminent forest pass instead of deciding solo.
+                st = states[arrival.index] = _ArrivalState()
+                st.admission = simulator.now - arrival.event.arrival_s
+                st.basis = simulator.now
+                open_group.append(arrival)
+            else:
+                submit_batch([arrival], decide_time=arrival.event.arrival_s)
+
+        def enter(arrival: _Arrival) -> None:
+            """Submit a retried/re-admitted arrival for sizing now."""
+            if tuner is not None and open_group:
+                open_group.append(arrival)
+                return
+            submit_batch([arrival], decide_time=simulator.now)
+
+        def defer(arrival: _Arrival) -> None:
+            """Queue at the admission gate, shedding over the bound."""
+            queue = pending_admission[arrival.tenant]
+            if (
+                self.max_pending_admission is not None
+                and len(queue) >= self.max_pending_admission
+            ):
+                drop(arrival, "shed")
+                return
+            queue.append(arrival)
+
+        def resubmit(arrival: _Arrival) -> None:
+            """The backoff expired: route the retry back through
+            admission, the quota gate and the coalescer."""
+            st = states[arrival.index]
+            st.retries += 1
+            # Cumulative by construction: total elapsed minus what the
+            # other components already claimed.
+            st.retry_delay = (
+                simulator.now - arrival.event.arrival_s
+                - st.admission - st.batching
+            )
+            st.basis = simulator.now
+            if admits(arrival, 0):
+                enter(arrival)
+            else:
+                defer(arrival)
+
+        def drop(arrival: _Arrival, reason: str) -> None:
+            """Terminate an arrival without serving it (loudly counted)."""
+            nonlocal n_terminated
+            st = states.pop(arrival.index, None)
+            record = DroppedQuery(
+                arrival_s=arrival.event.arrival_s,
+                query_id=arrival.event.query_id,
+                tenant=arrival.tenant,
+                reason=reason,
+                n_retries=st.retries if st is not None else 0,
+                wasted_cost_dollars=st.wasted if st is not None else 0.0,
+            )
+            report_stream.observe_drop(record)
+            n_terminated += 1
+            if dropped is not None:
+                dropped.append(record)
 
         def submit_group(group: list[_Arrival], decide_time: float) -> None:
             admitted: list[_Arrival] = []
@@ -1354,7 +1764,7 @@ class ServingSimulator:
                 if admits(arrival, ahead):
                     admitted.append(arrival)
                 else:
-                    pending_admission[arrival.tenant].append(arrival)
+                    defer(arrival)
             if admitted:
                 submit_batch(admitted, decide_time=decide_time)
 
@@ -1391,12 +1801,11 @@ class ServingSimulator:
             simulator.run()
         else:
             # Adaptive coalescing is event-driven: each arrival either
-            # joins the open group, opens a new one that closes after
-            # the tuner's *current* window, or -- when the window is 0
-            # -- decides solo immediately (the break-even says a wait
-            # is not worth a shared pass right now).
-            open_group: list[_Arrival] = []
-
+            # joins the open group (hoisted above, so retries and gate
+            # re-admissions can join it too), opens a new one that
+            # closes after the tuner's *current* window, or -- when the
+            # window is 0 -- decides solo immediately (the break-even
+            # says a wait is not worth a shared pass right now).
             def close_group() -> None:
                 group = list(open_group)
                 open_group.clear()
@@ -1422,8 +1831,19 @@ class ServingSimulator:
                 )
             simulator.run()
         pool.shutdown()
-        if n_completed != n_arrivals:
+        if n_terminated != n_arrivals:
             raise RuntimeError("some trace arrivals never completed")
+        if report_stream.n_shed > 0:
+            # Load shedding rejects work the trace asked for; never do
+            # that silently.
+            warnings.warn(
+                f"{report_stream.n_shed} arrivals shed at the admission "
+                f"gate (max_pending_admission="
+                f"{self.max_pending_admission}); the report's shed_rate "
+                "reflects rejected work",
+                RuntimeWarning,
+                stacklevel=3,
+            )
         if self._default_pool and pool.stats.leases_queued > 0:
             # The default pool is wide, but any finite cap can contend.
             # Queueing under the *default* config means the replay no
@@ -1451,5 +1871,9 @@ class ServingSimulator:
                 tenant: registry.weight(tenant) for tenant, _ in pairs
             },
             tenant_peaks=pool.tenant_peaks,
+            dropped=dropped if dropped is not None else [],
+            wasted_cost_dollars=pool.wasted_cost_dollars,
+            wasted_cost_by_shard=pool.wasted_cost_by_shard,
+            tenant_in_flight_peaks=in_flight_peaks,
             stream=report_stream,
         )

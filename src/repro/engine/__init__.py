@@ -31,6 +31,7 @@ from repro.engine.policies import (
 from repro.engine.runner import (
     QueryExecution,
     QueryRunResult,
+    RetryPolicy,
     launch_query,
     run_query,
 )
@@ -49,6 +50,7 @@ __all__ = [
     "QueryRunResult",
     "QuerySpec",
     "RelayPolicy",
+    "RetryPolicy",
     "SegueTimeoutPolicy",
     "Simulator",
     "StageSpec",

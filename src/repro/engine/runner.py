@@ -40,9 +40,64 @@ from repro.engine.scheduler import TaskScheduler
 from repro.engine.simulator import Simulator
 from repro.engine.task import TaskDurationModel
 
-__all__ = ["QueryExecution", "QueryRunResult", "launch_query", "run_query"]
+__all__ = [
+    "QueryExecution",
+    "QueryRunResult",
+    "RetryPolicy",
+    "launch_query",
+    "run_query",
+]
 
 _MAX_EVENTS = 10_000_000
+
+
+@dataclasses.dataclass(frozen=True)
+class RetryPolicy:
+    """Exponential backoff with jitter and a per-query retry budget.
+
+    A failed attempt (lease revoked by a fault) is resubmitted after
+    ``backoff(attempt, u)`` seconds, where ``attempt`` counts completed
+    failures (1 for the first retry) and ``u`` in ``[0, 1)`` spreads the
+    delay across ``±jitter`` of the exponential schedule -- callers
+    supply a *deterministic* ``u`` (e.g. a seeded hash of the query) so
+    replays stay reproducible.  A query that has failed more than
+    ``max_retries`` times is dropped as failed-after-budget.
+    """
+
+    max_retries: int = 3
+    backoff_base_s: float = 1.0
+    backoff_factor: float = 2.0
+    backoff_max_s: float = 60.0
+    jitter: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        if self.backoff_base_s < 0 or self.backoff_max_s < 0:
+            raise ValueError("backoff bounds must be non-negative")
+        if self.backoff_factor < 1.0:
+            raise ValueError("backoff_factor must be >= 1")
+        if not 0.0 <= self.jitter <= 1.0:
+            raise ValueError("jitter must be in [0, 1]")
+
+    def backoff(self, attempt: int, u: float = 0.5) -> float:
+        """Seconds to wait before retry number ``attempt`` (1-based)."""
+        if attempt < 1:
+            raise ValueError("attempt numbers start at 1")
+        if not 0.0 <= u <= 1.0:
+            raise ValueError("u must be in [0, 1]")
+        raw = min(
+            self.backoff_max_s,
+            self.backoff_base_s * self.backoff_factor ** (attempt - 1),
+        )
+        return raw * (1.0 - self.jitter + 2.0 * self.jitter * u)
+
+    def describe(self) -> str:
+        return (
+            f"retry(max={self.max_retries}, base={self.backoff_base_s:g}s, "
+            f"x{self.backoff_factor:g} cap {self.backoff_max_s:g}s, "
+            f"jitter={self.jitter:g})"
+        )
 
 
 @dataclasses.dataclass
@@ -101,6 +156,7 @@ class QueryExecution:
         metrics_listener: MetricsListener,
         policy: TerminationPolicy,
         on_complete: Callable[["QueryExecution"], None] | None = None,
+        on_failed: Callable[["QueryExecution", str], None] | None = None,
     ) -> None:
         self.query = query
         self.pool = pool
@@ -108,8 +164,14 @@ class QueryExecution:
         self.metrics_listener = metrics_listener
         self.policy = policy
         self.result: QueryRunResult | None = None
+        #: Set when a fault revoked this attempt's lease; the execution
+        #: will never produce a result.
+        self.failed = False
+        self.failure_reason: str | None = None
         self._user_on_complete = on_complete
+        self._user_on_failed = on_failed
         scheduler.on_complete = self._finish
+        scheduler.on_failed = self._fail
 
     @property
     def completed(self) -> bool:
@@ -143,6 +205,12 @@ class QueryExecution:
         if self._user_on_complete is not None:
             self._user_on_complete(self)
 
+    def _fail(self, scheduler: TaskScheduler, reason: str) -> None:
+        self.failed = True
+        self.failure_reason = reason
+        if self._user_on_failed is not None:
+            self._user_on_failed(self, reason)
+
 
 def _resolve_policy(
     policy: TerminationPolicy | None,
@@ -168,6 +236,7 @@ def launch_query(
     duration_model: TaskDurationModel | None = None,
     rng: np.random.Generator | int | None = None,
     on_complete: Callable[[QueryExecution], None] | None = None,
+    on_failed: Callable[[QueryExecution, str], None] | None = None,
     tenant: str = DEFAULT_TENANT,
 ) -> QueryExecution:
     """Start ``query`` against ``pool`` without advancing simulated time.
@@ -176,7 +245,10 @@ def launch_query(
     (queueing under the pool's grant policy when the shard is saturated)
     and the execution unfolds as events on the pool's simulator; the
     caller decides when to advance it.  ``on_complete`` fires -- inside
-    the completing event -- once the result is available.
+    the completing event -- once the result is available;
+    ``on_failed(execution, reason)`` fires instead if a fault revokes
+    the attempt's lease (only possible when the pool carries a
+    :class:`~repro.cloud.faults.FaultInjector`).
     """
     policy = _resolve_policy(policy, relay, n_vm, n_sl)
     if duration_model is None:
@@ -197,6 +269,7 @@ def launch_query(
         metrics_listener=metrics_listener,
         policy=policy,
         on_complete=on_complete,
+        on_failed=on_failed,
     )
     scheduler.submit(query, n_vm=n_vm, n_sl=n_sl)
     return execution
@@ -271,7 +344,7 @@ def run_query(
     # timers must survive for the *next* query's warm starts.
     simulator = pool.simulator
     for _ in range(_MAX_EVENTS):
-        if execution.completed:
+        if execution.completed or execution.failed:
             break
         if not simulator.step():
             break
@@ -279,6 +352,12 @@ def run_query(
         raise RuntimeError(
             f"simulation processed {_MAX_EVENTS} events without completing "
             f"{query.query_id}; likely an event loop in the model"
+        )
+    if execution.failed:
+        raise RuntimeError(
+            f"{query.query_id} failed: lease revoked "
+            f"({execution.failure_reason}); run_query does not retry -- "
+            "use trace serving with a RetryPolicy for failure-aware runs"
         )
     if execution.result is None:
         raise RuntimeError(

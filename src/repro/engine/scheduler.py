@@ -72,6 +72,11 @@ class TaskScheduler:
     on_complete:
         Optional callback invoked with this scheduler when the query's
         last stage finishes (used by trace serving).
+    on_failed:
+        Optional callback ``(scheduler, reason)`` invoked when a fault
+        revokes the query's lease mid-flight; the attempt is dead (its
+        in-flight events are cancelled) and the caller decides whether
+        to retry.
     tenant:
         The tenant the query's pool lease bills to (multi-tenant serving
         attributes quotas, fairness and chargeback through this).
@@ -85,6 +90,7 @@ class TaskScheduler:
         policy: TerminationPolicy | None = None,
         listeners: tuple[ExecutionListener, ...] = (),
         on_complete: Callable[["TaskScheduler"], None] | None = None,
+        on_failed: Callable[["TaskScheduler", str], None] | None = None,
         tenant: str = DEFAULT_TENANT,
     ) -> None:
         self.simulator = simulator
@@ -93,6 +99,7 @@ class TaskScheduler:
         self.policy = policy or NoEarlyTermination()
         self.listeners = list(listeners)
         self.on_complete = on_complete
+        self.on_failed = on_failed
         self.tenant = tenant
 
         self._query: QuerySpec | None = None
@@ -105,7 +112,13 @@ class TaskScheduler:
         self._stages_left = 0
         self._submitted_at: float | None = None
         self._completed_at: float | None = None
+        self._failed_at: float | None = None
         self._vms_still_booting = 0
+        # In-flight event handles, retained so a revocation can cancel
+        # them: pending task completions (keyed by task identity) and
+        # segueing static timeouts.
+        self._task_handles: dict[int, "object"] = {}
+        self._timeout_handles: list["object"] = []
         # VM INSTANCE ID -> paired SL, consumed on VM readiness (relay).
         self._relay_partner: dict[str, Instance] = {}
         # Retired SLs that must stay leased (billed) until their static
@@ -136,6 +149,7 @@ class TaskScheduler:
             on_granted=self._on_lease_granted,
             tenant=self.tenant,
         )
+        self._lease.on_revoked = self._on_revoked
 
         self._initialise_stage_tracking(query)
         for stage in query.topological_stages():
@@ -153,9 +167,9 @@ class TaskScheduler:
             # Segueing: the static timeout finally tears each SL down, no
             # matter whether its VM replacement is actually ready.
             for sl in lease.sls:
-                self.simulator.schedule(
+                self._timeout_handles.append(self.simulator.schedule(
                     timeout, lambda inst=sl: self._on_static_timeout(inst)
-                )
+                ))
 
     def _initialise_stage_tracking(self, query: QuerySpec) -> None:
         self._remaining_in_stage = {
@@ -285,14 +299,18 @@ class TaskScheduler:
     def _start_task(self, task: Task, executor: Executor) -> None:
         now = self.simulator.now
         duration = self.duration_model.sample(task.stage, executor.kind)
+        factor = self.pool.runtime_factor(executor.instance)
+        if factor != 1.0:
+            duration *= factor  # straggler: same work, inflated runtime
         executor.start_task(task, now, duration)
         self._notify("on_task_start", task, now)
-        self.simulator.schedule(
+        self._task_handles[id(task)] = self.simulator.schedule(
             duration, lambda: self._on_task_complete(task, executor)
         )
 
     def _on_task_complete(self, task: Task, executor: Executor) -> None:
         now = self.simulator.now
+        self._task_handles.pop(id(task), None)
         executor.finish_task(task)
         self._notify("on_task_end", task, now)
 
@@ -331,6 +349,36 @@ class TaskScheduler:
             self.on_complete(self)
 
     # ------------------------------------------------------------------
+    # Revocation
+    # ------------------------------------------------------------------
+
+    def _on_revoked(self, reason: str) -> None:
+        """The pool revoked this query's lease (an injected fault).
+
+        The pool has already torn the lease down -- workers reclaimed,
+        spend forfeited -- so this attempt can never complete: cancel
+        every in-flight completion/timeout event (they reference
+        reclaimed executors) and surrender the run state.  The
+        ``on_failed`` callback then decides the query's fate (retry,
+        count as failed).
+        """
+        if self._completed_at is not None or self._failed_at is not None:
+            return
+        self._failed_at = self.simulator.now
+        for handle in self._task_handles.values():
+            self.simulator.cancel(handle)
+        self._task_handles.clear()
+        for handle in self._timeout_handles:
+            self.simulator.cancel(handle)
+        self._timeout_handles.clear()
+        self._executors.clear()
+        self._ready_tasks.clear()
+        self._relay_partner.clear()
+        self._held_instance_ids.clear()
+        if self.on_failed is not None:
+            self.on_failed(self, reason)
+
+    # ------------------------------------------------------------------
     # Results
     # ------------------------------------------------------------------
 
@@ -343,6 +391,11 @@ class TaskScheduler:
     @property
     def completed(self) -> bool:
         return self._completed_at is not None
+
+    @property
+    def failed(self) -> bool:
+        """Whether a fault revoked this attempt's lease mid-flight."""
+        return self._failed_at is not None
 
     @property
     def completion_time(self) -> float:

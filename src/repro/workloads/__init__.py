@@ -23,7 +23,11 @@ from repro.workloads.catalog import (
     queries_in_suite,
     suites,
 )
-from repro.workloads.synthetic import make_random_query, make_uniform_query
+from repro.workloads.synthetic import (
+    make_chaos_plan,
+    make_random_query,
+    make_uniform_query,
+)
 from repro.workloads.tpcds import TPCDS_ALIEN_QUERY_IDS, TPCDS_TRAINING_QUERY_IDS
 from repro.workloads.tpch import TPCH_QUERY_IDS
 from repro.workloads.wordcount import WORDCOUNT_QUERY_ID
@@ -35,6 +39,7 @@ __all__ = [
     "WORDCOUNT_QUERY_ID",
     "all_query_ids",
     "get_query",
+    "make_chaos_plan",
     "make_random_query",
     "make_uniform_query",
     "queries_in_suite",

@@ -12,16 +12,67 @@ Three generators:
   trace generator (diurnal rate curve plus bursty hot spots over a
   tenant/class population) producing the :class:`ColumnarTrace` columns
   the million-arrival replay benchmark drains.
+- :func:`make_chaos_plan` -- named :class:`~repro.cloud.faults.FaultPlan`
+  severity presets for chaos benchmarks and tests.
 """
 
 from __future__ import annotations
 
 import numpy as np
 
+from repro.cloud.faults import FaultPlan
 from repro.engine.dag import QuerySpec, StageSpec
 from repro.workloads.trace import ColumnarTrace
 
-__all__ = ["make_uniform_query", "make_random_query", "make_scale_trace"]
+__all__ = [
+    "make_chaos_plan",
+    "make_uniform_query",
+    "make_random_query",
+    "make_scale_trace",
+]
+
+#: Severity presets for :func:`make_chaos_plan`.  Rates are per the
+#: fault model table in :mod:`repro.cloud.faults`: SL failures are per
+#: hand-over (they compound over a query's relay hand-overs), VM
+#: preemption is an hourly hazard armed per cold spawn.
+_CHAOS_PRESETS = {
+    "mild": dict(
+        sl_failure_rate=0.01,
+        sl_failure_delay_s=5.0,
+        vm_preemptions_per_hour=0.5,
+    ),
+    "moderate": dict(
+        sl_failure_rate=0.05,
+        sl_failure_delay_s=5.0,
+        vm_preemptions_per_hour=1.0,
+        boot_failure_rate=0.01,
+    ),
+    "severe": dict(
+        sl_failure_rate=0.15,
+        sl_failure_delay_s=5.0,
+        vm_preemptions_per_hour=10.0,
+        boot_failure_rate=0.05,
+        straggler_rate=0.05,
+        straggler_factor=4.0,
+    ),
+}
+
+
+def make_chaos_plan(severity: str = "moderate", seed: int = 0) -> FaultPlan:
+    """A named fault-severity preset (``mild``/``moderate``/``severe``).
+
+    ``moderate`` is the chaos benchmark's regime: a 5% per-hand-over SL
+    invocation failure rate plus a light spot-preemption hazard -- enough
+    chaos that naive-fail visibly drops work while retry-with-backoff
+    still clears its availability bar.
+    """
+    preset = _CHAOS_PRESETS.get(severity)
+    if preset is None:
+        raise ValueError(
+            f"unknown severity {severity!r}; "
+            f"expected one of {sorted(_CHAOS_PRESETS)}"
+        )
+    return FaultPlan(seed=seed, **preset)
 
 
 def make_uniform_query(

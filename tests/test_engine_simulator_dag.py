@@ -127,6 +127,67 @@ class TestSimulator:
         with pytest.raises(ValueError):
             sim.run_until(4.0)  # strictly earlier is still rejected
 
+    def test_cancel_interacts_cleanly_with_run_before(self):
+        # Regression guard for the fault-injection pattern: pending kill
+        # timers are cancelled between run_before() drains; the drain
+        # must skip exactly the cancelled events, fire the rest in
+        # order, and keep the dead-entry accounting exact throughout.
+        sim = Simulator()
+        seen = []
+        handles = [
+            sim.schedule_at(t, lambda t=t: seen.append(t))
+            for t in (1.0, 2.0, 3.0, 4.0, 5.0)
+        ]
+        sim.cancel(handles[1])
+        sim.run_before(3.0)  # strictly-before drain: only t=1 fires
+        assert seen == [1.0]
+        assert sim.pending_events == 3
+        sim.cancel(handles[3])
+        sim.run_before(10.0)
+        assert seen == [1.0, 3.0, 5.0]
+        assert sim.pending_events == 0
+        # Cancelling a handle the drain already popped is a no-op.
+        assert sim.cancel(handles[0]) is False
+
+    def test_mass_cancellation_compacts_the_heap(self):
+        # Cancelling most of the heap triggers the amortised compaction;
+        # the survivors must still fire in order and the O(1) pending
+        # count must stay exact across the rebuild.
+        sim = Simulator()
+        seen = []
+        handles = [
+            sim.schedule_at(float(i), lambda i=i: seen.append(i))
+            for i in range(500)
+        ]
+        for i, handle in enumerate(handles):
+            if i % 10 != 0:
+                assert sim.cancel(handle) is True
+        assert sim.pending_events == 50
+        # The heap physically shrank: dead entries are bounded by the
+        # compaction threshold instead of accumulating forever (450
+        # cancellations, yet far fewer than 450 dead entries remain).
+        assert len(sim._heap) <= 50 + Simulator._COMPACT_MIN_DEAD + 1
+        # Double-cancel after compaction stays a no-op.
+        assert sim.cancel(handles[1]) is False
+        sim.run()
+        assert seen == [i for i in range(500) if i % 10 == 0]
+        assert sim.pending_events == 0
+
+    def test_compaction_keeps_fifo_among_equal_times(self):
+        # Compaction re-heapifies; the (time, seq) ordering must keep
+        # same-timestamp events in their original schedule order.
+        sim = Simulator()
+        seen = []
+        handles = [
+            sim.schedule(1.0, lambda t=tag: seen.append(t))
+            for tag in range(200)
+        ]
+        for tag, handle in enumerate(handles):
+            if tag % 3 != 0:
+                sim.cancel(handle)
+        sim.run()
+        assert seen == [t for t in range(200) if t % 3 == 0]
+
 
 class TestStageSpec:
     def test_validation(self):

@@ -17,6 +17,7 @@ import zlib
 
 import pytest
 
+from repro.cloud.faults import FaultPlan
 from repro.cloud.pool import (
     DEFAULT_TENANT,
     AutoscalerPolicy,
@@ -24,6 +25,7 @@ from repro.cloud.pool import (
     FifoGrant,
     FixedKeepAlive,
     GrantPolicy,
+    HealthAwareRouter,
     LeastLoadedRouter,
     PoolConfig,
     ShardRouter,
@@ -34,7 +36,7 @@ from repro.cloud.pool import (
 )
 from repro.core.forecast import PredictiveKeepAlive
 from repro.core.serving import ServingSimulator
-from repro.engine import Simulator
+from repro.engine import RetryPolicy, Simulator
 from repro.workloads.trace import TraceEvent, WorkloadTrace
 
 from conftest import build_bursty_trace, build_pool, build_small_system
@@ -540,6 +542,12 @@ class Scenario:
     shard_autoscalers: dict[str, AutoscalerPolicy] | None = None
     #: Arrival-coalescing window forwarded to the simulator.
     batch_window_s: object = 0.0
+    #: Seeded fault injection (None = fault-free, bit-exact legacy).
+    fault_plan: FaultPlan | None = None
+    #: Retry-with-backoff policy (None = naive-fail on revocation).
+    retry_policy: RetryPolicy | None = None
+    #: Admission-queue depth bound (None = unbounded, no shedding).
+    max_pending_admission: int | None = None
 
 
 def _scenarios() -> tuple[Scenario, ...]:
@@ -687,6 +695,38 @@ def _scenarios() -> tuple[Scenario, ...]:
             autoscaler=PredictiveKeepAlive(headroom=2.0),
             batch_window_s="auto",
         ),
+        # ----- fault rows: failure-aware serving under injected chaos --
+        Scenario(
+            name="faults-noisy-neighbour-sl",
+            seed=221,
+            traces=_two_tenant_traces(n_hot=4, n_quiet=2),
+            tenants=TenantRegistry(
+                [TenantSpec("hot"), TenantSpec("quiet")]
+            ),
+            pool_config=PoolConfig(max_vms=4, max_sls=6),
+            # Plan seed chosen so the 5% rate actually lands faults on
+            # this trace's hand-over sequence (seeds are cheap; coverage
+            # is the point).
+            fault_plan=FaultPlan(
+                seed=2, sl_failure_rate=0.05, sl_failure_delay_s=5.0
+            ),
+            retry_policy=RetryPolicy(max_retries=4, backoff_base_s=2.0),
+        ),
+        Scenario(
+            name="faults-preemption-circuit-breaker",
+            seed=222,
+            traces=_two_tenant_traces(n_hot=4, n_quiet=2),
+            tenants=TenantRegistry(
+                [TenantSpec("hot"), TenantSpec("quiet")]
+            ),
+            shards={
+                "spot": PoolConfig(max_vms=8, max_sls=8),
+                "stable": PoolConfig(max_vms=8, max_sls=8),
+            },
+            router=HealthAwareRouter(window_s=600.0, trip_threshold=2),
+            fault_plan=FaultPlan(seed=222, vm_preemptions_per_hour=40.0),
+            retry_policy=RetryPolicy(max_retries=5, backoff_base_s=1.0),
+        ),
     )
 
 
@@ -707,12 +747,22 @@ def test_scenario_invariants(scenario: Scenario):
         autoscaler=scenario.autoscaler,
         shard_autoscalers=scenario.shard_autoscalers,
         batch_window_s=scenario.batch_window_s,
+        fault_plan=scenario.fault_plan,
+        retry_policy=scenario.retry_policy,
+        max_pending_admission=scenario.max_pending_admission,
     )
     report = simulator.replay_multi(scenario.traces)
 
-    # Every arrival of every tenant is served exactly once.
+    # Every arrival of every tenant terminates exactly once (served,
+    # failed after its retry budget, or shed at the admission gate --
+    # the last two only ever under fault injection).
     expected = sum(len(trace) for trace in scenario.traces.values())
-    assert report.n_queries == expected
+    assert report.n_arrivals == expected
+    assert report.n_queries + report.n_failed + report.n_shed == expected
+    if scenario.fault_plan is None:
+        assert report.n_queries == expected
+        assert report.wasted_cost_dollars == 0.0
+        assert report.n_retries_total == 0
     assert set(report.tenants) == set(scenario.traces)
 
     # Chargeback conservation: tenant bills partition the pool's bill,
@@ -723,12 +773,13 @@ def test_scenario_invariants(scenario: Scenario):
     )
     assert all(bill >= 0.0 for bill in bills.values())
 
-    # Per-tenant slices partition the stream.
+    # Per-tenant slices partition the stream (drops included).
     assert sum(
-        report.for_tenant(t).n_queries for t in report.tenants
-    ) == report.n_queries
+        report.for_tenant(t).n_arrivals for t in report.tenants
+    ) == report.n_arrivals
 
-    # Quotas (when configured) bound the observed peaks; the quota delay
+    # Quotas (when configured) bound the observed peaks -- including
+    # the in-flight peak, which retries re-enter; the quota delay
     # metric stays zero for unthrottled tenants.
     registry = scenario.tenants or TenantRegistry()
     for tenant in report.tenants:
@@ -738,15 +789,22 @@ def test_scenario_invariants(scenario: Scenario):
             assert vm_peak <= spec.max_leased_vms
         if spec.max_leased_sls is not None:
             assert sl_peak <= spec.max_leased_sls
+        if spec.max_in_flight is not None:
+            assert (
+                report.tenant_in_flight_peaks.get(tenant, 0)
+                <= spec.max_in_flight
+            )
         if tenant not in scenario.quota_tenants:
             tenant_slice = report.for_tenant(tenant)
-            assert float(tenant_slice.quota_throttle_delays.max()) == 0.0
+            if tenant_slice.n_queries:
+                assert float(tenant_slice.quota_throttle_delays.max()) == 0.0
 
-    # Latency accounting holds per query.
+    # Latency accounting holds per query (retry backoff included).
     for query in report.served:
         assert query.latency_s == pytest.approx(
             query.admission_delay_s
             + query.batching_delay_s
+            + query.retry_delay_s
             + query.queueing_delay_s
             + query.outcome.actual_seconds
         )
@@ -755,12 +813,15 @@ def test_scenario_invariants(scenario: Scenario):
     n = len(report.tenants)
     assert 1.0 / n - 1e-12 <= report.jain_fairness_index <= 1.0 + 1e-12
 
-    # Resource-management invariants (hold under EVERY autoscaler):
-    # the bill is exactly query spend plus keep-alive spend, keep-alive
-    # spend partitions across shards, the warm-start rate is a rate, and
-    # every instance-second is either leased or warm-idle.
+    # Resource-management invariants (hold under EVERY autoscaler and
+    # fault plan): the bill is exactly query spend plus keep-alive plus
+    # wasted spend, each shared ledger partitions across shards, the
+    # warm-start rate is a rate, and every instance-second is either
+    # leased to a query or idle in a warm set.
     assert report.total_cost_dollars == pytest.approx(
-        report.query_cost_dollars + report.keepalive_cost_dollars,
+        report.query_cost_dollars
+        + report.keepalive_cost_dollars
+        + report.wasted_cost_dollars,
         rel=1e-12, abs=1e-15,
     )
     assert math.fsum(report.keepalive_cost_by_shard.values()) == pytest.approx(
@@ -769,12 +830,30 @@ def test_scenario_invariants(scenario: Scenario):
     assert all(
         cost >= 0.0 for cost in report.keepalive_cost_by_shard.values()
     )
+    assert math.fsum(report.wasted_cost_by_shard.values()) == pytest.approx(
+        report.wasted_cost_dollars, rel=1e-12, abs=1e-15
+    )
     stats = report.pool_stats
     assert 0.0 <= stats.warm_start_rate <= 1.0
     assert stats.warm_starts + stats.cold_starts == stats.acquisitions
     assert stats.instance_seconds == pytest.approx(
         stats.leased_seconds + stats.idle_seconds, rel=1e-9, abs=1e-6
     )
+    assert stats.wasted_seconds <= stats.leased_seconds + 1e-9
+
+    # Fault rows must genuinely exercise the retry machinery; their
+    # availability is the fraction of arrivals that completed.
+    if scenario.fault_plan is not None:
+        assert report.n_retries_total > 0
+        assert report.wasted_cost_dollars > 0.0
+        assert 0.0 <= report.availability <= 1.0
+        per_arrival_wasted = (
+            sum(s.wasted_cost_dollars for s in report.served)
+            + sum(d.wasted_cost_dollars for d in report.dropped)
+        )
+        assert per_arrival_wasted == pytest.approx(
+            report.wasted_cost_dollars, rel=1e-9, abs=1e-12
+        )
 
 
 def test_fair_policy_shields_quiet_tenant_vs_fifo():
@@ -801,3 +880,54 @@ def test_fair_policy_shields_quiet_tenant_vs_fifo():
     fair_quiet = fair.for_tenant("quiet").queueing_delays.max()
     fifo_quiet = fifo.for_tenant("quiet").queueing_delays.max()
     assert float(fair_quiet) < float(fifo_quiet)
+
+
+def _served_signature(query) -> tuple:
+    """Engine-independent per-query fields (``inference_seconds`` is
+    measured host wall time, so it differs between any two runs)."""
+    return (
+        query.arrival_s,
+        query.tenant,
+        query.waiting_apps_at_submit,
+        query.queueing_delay_s,
+        query.decision_batch_size,
+        query.batching_delay_s,
+        query.admission_delay_s,
+        query.quota_delay_s,
+        query.retry_delay_s,
+        query.n_retries,
+        query.wasted_cost_dollars,
+        query.outcome.decision.config,
+        query.outcome.cost_dollars,
+        query.latency_s,
+    )
+
+
+@pytest.mark.parametrize("engine", ["event", "columnar"])
+def test_zero_fault_plan_is_bit_exact(engine):
+    """A zero :class:`FaultPlan` (and a retry policy that never fires)
+    must leave the replay field-for-field identical to today's
+    fault-free run on BOTH engines: no injector is attached, no RNG is
+    drawn, and no extra events are scheduled."""
+    def run(**kwargs):
+        return ServingSimulator(
+            build_small_system(seed=223),
+            pool_config=PoolConfig(max_vms=16, max_sls=16),
+            engine=engine,
+            decision_reuse=False,
+            **kwargs,
+        ).replay_multi(_two_tenant_traces(n_hot=3, n_quiet=2))
+
+    plain = run()
+    zeroed = run(fault_plan=FaultPlan(), retry_policy=RetryPolicy())
+    assert [_served_signature(s) for s in plain.served] == [
+        _served_signature(s) for s in zeroed.served
+    ]
+    assert plain.query_cost_dollars == zeroed.query_cost_dollars
+    assert plain.keepalive_cost_dollars == zeroed.keepalive_cost_dollars
+    assert plain.pool_stats == zeroed.pool_stats
+    for report in (plain, zeroed):
+        assert report.wasted_cost_dollars == 0.0
+        assert report.dropped == []
+        assert report.n_retries_total == 0
+        assert report.availability == 1.0
