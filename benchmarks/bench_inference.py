@@ -47,6 +47,7 @@ from repro.cloud.pool import PoolConfig  # noqa: E402
 from repro.core.serving import ServingSimulator  # noqa: E402
 from repro.core.tradeoff import EstimatedTimeEntry, select_with_knob  # noqa: E402
 from repro.ml.dataset import Dataset  # noqa: E402
+from repro.ml import forest_native  # noqa: E402
 from repro.ml.forest_native import kernel_name  # noqa: E402
 from repro.ml.gaussian_process import GaussianProcessRegressor  # noqa: E402
 from repro.ml.kernels import Matern52Kernel  # noqa: E402
@@ -462,14 +463,28 @@ def bench_matern_build(n_points: int, repeats: int) -> dict:
     assert loop_diff < 1e-9, f"vectorised Matern drifted from scalars: {loop_diff:.2e}"
     vector_s = best_of(lambda: kernel(points, points), repeats * 2)
     loop_s = best_of(scalar_loop, 2)
-    return {
+    section = {
         "n_points": n_points,
+        "engine": forest_native.kernel_name(),
         "scalar_loop_ms": loop_s * 1e3,
         "vectorized_ms": vector_s * 1e3,
         "speedup": loop_s / vector_s,
         "max_abs_diff_naive": max_diff,
         "max_abs_diff_scalar": loop_diff,
     }
+    # The ctypes Gram-build kernel (one fused C pass up to the exp) must
+    # be bitwise identical to the numpy fallback it accelerates.
+    if forest_native.load_kernel() is not None:
+        fallback = kernel._gram_numpy(points, points)
+        assert np.array_equal(vectorized, fallback), (
+            "native Matern Gram build drifted from the numpy fallback"
+        )
+        fallback_s = best_of(
+            lambda: kernel._gram_numpy(points, points), repeats * 2
+        )
+        section["numpy_fallback_ms"] = fallback_s * 1e3
+        section["native_speedup"] = fallback_s / vector_s
+    return section
 
 
 def bench_batched_serving(quick: bool) -> dict:

@@ -40,6 +40,10 @@ _SPEEDUP_KEYS = (
     "decision_speedup",
     "availability",
     "cost_efficiency",
+    # bench_scale: vectorized submission core vs per-query columnar, and
+    # the adaptive-window columnar leg vs the event baseline.
+    "vector_speedup",
+    "adaptive_speedup",
 )
 
 

@@ -126,8 +126,44 @@ class ReservoirQuantiles:
             self._skip -= 1
 
     def observe_many(self, values) -> None:
-        for value in values:
-            self.observe(value)
+        """Fold a batch of observations, bitwise-equal to a scalar loop.
+
+        While the reservoir is filling the batch is a single ``extend``;
+        past capacity, Algorithm L's geometric skips are consumed in one
+        jump per gap instead of one decrement per arrival.  The rng draw
+        sequence (``integers`` at each replacement, then the two
+        ``random()`` draws of ``_next_skip``) is identical to calling
+        :meth:`observe` per element, so sketch state matches exactly.
+        """
+        arr = np.asarray(values, dtype=np.float64)
+        n = int(arr.size)
+        if n == 0:
+            return
+        self._count += n
+        lo = float(arr.min())
+        hi = float(arr.max())
+        if lo < self._min:
+            self._min = lo
+        if hi > self._max:
+            self._max = hi
+        sample = self._sample
+        i = 0
+        room = self.capacity - len(sample)
+        if room > 0:
+            take = room if room < n else n
+            sample.extend(arr[:take].tolist())
+            i = take
+        while i < n:
+            if self._skip < 0:
+                self._next_skip()
+            if self._skip == 0:
+                sample[int(self._rng.integers(self.capacity))] = float(arr[i])
+                self._next_skip()
+                i += 1
+            else:
+                jump = self._skip if self._skip < n - i else n - i
+                self._skip -= jump
+                i += jump
 
     def _next_skip(self) -> None:
         # Algorithm L: shrink the acceptance weight geometrically and

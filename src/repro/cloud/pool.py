@@ -183,6 +183,7 @@ class TenantRegistry:
         self, tenants: Iterable[TenantSpec] = (), strict: bool = False
     ) -> None:
         self._specs: dict[str, TenantSpec] = {}
+        self._default_specs: dict[str, TenantSpec] = {}
         self.strict = strict
         for spec in tenants:
             self.register(spec)
@@ -196,7 +197,13 @@ class TenantRegistry:
         if spec is None:
             if self.strict:
                 raise KeyError(f"unknown tenant {name!r}")
-            return TenantSpec(name=name)
+            # Cache the implicit unlimited spec: lookups run per lease
+            # on the serving hot path, and the spec is immutable.  The
+            # cache is invisible to ``names`` / ``__iter__`` / ``in``,
+            # so registry introspection still lists only real tenants.
+            spec = self._default_specs.get(name)
+            if spec is None:
+                spec = self._default_specs[name] = TenantSpec(name=name)
         return spec
 
     def weight(self, name: str) -> float:
@@ -397,7 +404,7 @@ class PoolStats:
         return self.idle_seconds / self.instance_seconds
 
 
-@dataclasses.dataclass(frozen=True)
+@dataclasses.dataclass(frozen=True, slots=True)
 class BillingSegment:
     """One instance's leased interval, attributed to one query."""
 
@@ -412,13 +419,20 @@ class BillingSegment:
         return self.end - self.start
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class _OpenSegment:
     instance: Instance
     start: float
     cold: bool
     tasks_at_open: int
     boot_handle: EventHandle | None = None
+    #: Absolute ready time for hand-overs that need no boot *event*: a
+    #: warm worker granted to a holder with ``on_instance_ready=None``
+    #: (a compiled plan runner) has nothing to run at boot time -- the
+    #: instance is already RUNNING and the holder's timeline is local --
+    #: so the pool records the would-be fire time here instead of
+    #: paying a heap event per acquisition.
+    ready_at: float | None = None
 
 
 class PoolLease:
@@ -436,14 +450,13 @@ class PoolLease:
         n_vm: int,
         n_sl: int,
         requested_at: float,
-        on_instance_ready: Callable[[Instance, bool], None],
+        on_instance_ready: Callable[[Instance, bool], None] | None,
         on_granted: Callable[["PoolLease"], None] | None = None,
         requested_vm: int | None = None,
         requested_sl: int | None = None,
         tenant: str = DEFAULT_TENANT,
     ) -> None:
         self.seq = next(self._ids)
-        self.lease_id = f"lease-{self.seq:06d}"
         self.n_vm = n_vm
         self.n_sl = n_sl
         self.requested_vm = n_vm if requested_vm is None else requested_vm
@@ -485,6 +498,11 @@ class PoolLease:
     # ------------------------------------------------------------------
 
     @property
+    def lease_id(self) -> str:
+        """Stable display identifier (derived from ``seq`` on demand)."""
+        return f"lease-{self.seq:06d}"
+
+    @property
     def is_granted(self) -> bool:
         return self.granted_at is not None
 
@@ -512,15 +530,43 @@ class PoolLease:
     def is_active(self, instance: Instance) -> bool:
         return instance.instance_id in self._open
 
+    def scheduled_ready_time(self, instance: Instance) -> float | None:
+        """Absolute time the instance's boot event is scheduled to fire.
+
+        ``None`` once the boot has fired or the instance was released.
+        Compiled plan runners read this at grant time to seed their
+        local timelines without waiting for the boot events.
+        """
+        segment = self._open.get(instance.instance_id)
+        if segment is None:
+            return None
+        if segment.boot_handle is None:
+            return segment.ready_at
+        if segment.boot_handle.cancelled:
+            return None
+        return segment.boot_handle.time
+
     @property
     def warm_acquisitions(self) -> int:
-        warm_open = sum(1 for s in self._open.values() if not s.cold)
-        return warm_open + sum(1 for s in self.segments if not s.cold)
+        warm = 0
+        for s in self._open.values():
+            if not s.cold:
+                warm += 1
+        for s in self.segments:
+            if not s.cold:
+                warm += 1
+        return warm
 
     @property
     def cold_acquisitions(self) -> int:
-        cold_open = sum(1 for s in self._open.values() if s.cold)
-        return cold_open + sum(1 for s in self.segments if s.cold)
+        cold = 0
+        for s in self._open.values():
+            if s.cold:
+                cold += 1
+        for s in self.segments:
+            if s.cold:
+                cold += 1
+        return cold
 
     # ------------------------------------------------------------------
     # Billing
@@ -545,15 +591,28 @@ class PoolLease:
         at least one SL served it.  Warm hand-overs carry no invocation
         fee -- the original long-running invocation simply continues.
         """
+        # Scalar left-fold per field, in segment order -- bitwise equal
+        # to summing per-segment breakdown objects, without allocating
+        # one per segment (this runs once per completed query).
+        vm_rate = prices.vm_per_second
+        burst_rate = prices.vm_burst_per_second
+        storage_rate = prices.vm_storage_per_second
+        sl_rate = prices.sl_per_second
         report = CostBreakdown()
+        used_sl = False
         for segment in self.segments:
+            seconds = segment.end - segment.start
             if segment.kind is InstanceKind.VM:
-                report = report + prices.vm_breakdown(segment.seconds)
+                report.vm_compute += seconds * vm_rate
+                report.vm_burst += seconds * burst_rate
+                report.vm_storage += seconds * storage_rate
             else:
-                report = report + prices.sl_breakdown(
-                    segment.seconds, invocations=1 if segment.cold else 0
-                )
-        if self.used_serverless():
+                report.sl_compute += seconds * sl_rate
+                if segment.cold:
+                    report.sl_invocations += prices.sl_invocation
+                if segment.tasks_executed > 0:
+                    used_sl = True
+        if used_sl:
             report.external_store += prices.redis_charge(query_duration)
         return report
 
@@ -934,6 +993,11 @@ class ClusterPool:
         self.stats = PoolStats()
         self.keepalive_cost = CostBreakdown()
         self.wasted_cost = CostBreakdown()
+        # Pool-wide leased counters, maintained incrementally alongside
+        # the per-shard ones (``leased_vms`` sums shards semantically;
+        # the running totals avoid the per-grant shard scan).
+        self._leased_vms_total = 0
+        self._leased_sls_total = 0
         #: Live reverse map: instance id -> the lease holding it.
         self._lease_by_instance: dict[str, PoolLease] = {}
         self._idle_since: dict[str, float] = {}
@@ -963,11 +1027,11 @@ class ClusterPool:
 
     @property
     def leased_vms(self) -> int:
-        return sum(shard.leased_vms for shard in self._shards.values())
+        return self._leased_vms_total
 
     @property
     def leased_sls(self) -> int:
-        return sum(shard.leased_sls for shard in self._shards.values())
+        return self._leased_sls_total
 
     @property
     def warm_vms(self) -> int:
@@ -1141,6 +1205,64 @@ class ClusterPool:
             raise ValueError("at least one instance is required")
         spec = self.tenants.get(tenant)
         shard = self._shards[self.router.route(n_vm, n_sl, tenant, self)]
+        return self._acquire_on(
+            shard, spec, n_vm, n_sl, on_instance_ready, on_granted, tenant
+        )
+
+    def acquire_many(
+        self,
+        requests: "list[tuple]",
+    ) -> list[PoolLease]:
+        """Grant a whole group's leases in one pass over shard state.
+
+        ``requests`` is a list of ``(n_vm, n_sl, on_instance_ready,
+        on_granted, tenant)`` tuples, processed in order with semantics
+        identical to sequential :meth:`acquire` calls -- grant-policy
+        ordering, quotas, work stealing and fault arming are all
+        event-exact, since each grant/queue decision observes the pool
+        state left by the previous one.  What the batch saves is the
+        per-request routing and tenant-spec lookups: with a single shard
+        the router is consulted once, and tenant specs are resolved once
+        per distinct tenant.  The vectorized submission core leases each
+        sizing group through this in one call.
+        """
+        single: PoolShard | None = None
+        if len(self._shards) == 1:
+            single = next(iter(self._shards.values()))
+        specs: dict[str, TenantSpec] = {}
+        leases: list[PoolLease] = []
+        for n_vm, n_sl, on_instance_ready, on_granted, tenant in requests:
+            if n_vm < 0 or n_sl < 0:
+                raise ValueError("instance counts must be non-negative")
+            if n_vm + n_sl == 0:
+                raise ValueError("at least one instance is required")
+            spec = specs.get(tenant)
+            if spec is None:
+                spec = specs[tenant] = self.tenants.get(tenant)
+            if single is not None:
+                shard = single
+            else:
+                shard = self._shards[
+                    self.router.route(n_vm, n_sl, tenant, self)
+                ]
+            leases.append(
+                self._acquire_on(
+                    shard, spec, n_vm, n_sl, on_instance_ready,
+                    on_granted, tenant,
+                )
+            )
+        return leases
+
+    def _acquire_on(
+        self,
+        shard: PoolShard,
+        spec: "TenantSpec",
+        n_vm: int,
+        n_sl: int,
+        on_instance_ready: Callable[[Instance, bool], None],
+        on_granted: Callable[[PoolLease], None] | None,
+        tenant: str,
+    ) -> PoolLease:
         clamped_vm = min(n_vm, shard.config.max_vms)
         clamped_sl = min(n_sl, shard.config.max_sls)
         if spec.max_leased_vms is not None:
@@ -1212,33 +1334,37 @@ class ClusterPool:
             while times and times[0] < retention:
                 times.popleft()
             times.append(now)
-        for _ in range(lease.n_vm):
+        n_vm = lease.n_vm
+        n_sl = lease.n_sl
+        for _ in range(n_vm):
             lease.vms.append(self._hand_over(lease, InstanceKind.VM, shard))
-        for _ in range(lease.n_sl):
+        for _ in range(n_sl):
             lease.sls.append(
                 self._hand_over(lease, InstanceKind.SERVERLESS, shard)
             )
-        shard.leased_vms += lease.n_vm
-        shard.leased_sls += lease.n_sl
-        vm_used, sl_used = self.tenant_leased(lease.tenant)
-        vm_used += lease.n_vm
-        sl_used += lease.n_sl
-        self._tenant_leased[lease.tenant] = (vm_used, sl_used)
-        peak_vm, peak_sl = self._tenant_peaks.get(lease.tenant, (0, 0))
-        self._tenant_peaks[lease.tenant] = (
-            max(peak_vm, vm_used), max(peak_sl, sl_used)
+        shard.leased_vms += n_vm
+        shard.leased_sls += n_sl
+        self._leased_vms_total += n_vm
+        self._leased_sls_total += n_sl
+        tenant = lease.tenant
+        vm_used, sl_used = self._tenant_leased.get(tenant, (0, 0))
+        vm_used += n_vm
+        sl_used += n_sl
+        self._tenant_leased[tenant] = (vm_used, sl_used)
+        peak_vm, peak_sl = self._tenant_peaks.get(tenant, (0, 0))
+        if vm_used > peak_vm:
+            peak_vm = vm_used
+        if sl_used > peak_sl:
+            peak_sl = sl_used
+        self._tenant_peaks[tenant] = (peak_vm, peak_sl)
+        self._tenant_service[tenant] = (
+            self._tenant_service.get(tenant, 0.0) + n_vm + n_sl
         )
-        self._tenant_service[lease.tenant] = (
-            self._tenant_service.get(lease.tenant, 0.0)
-            + lease.n_vm
-            + lease.n_sl
-        )
-        self.stats.peak_leased_vms = max(
-            self.stats.peak_leased_vms, self.leased_vms
-        )
-        self.stats.peak_leased_sls = max(
-            self.stats.peak_leased_sls, self.leased_sls
-        )
+        stats = self.stats
+        if self._leased_vms_total > stats.peak_leased_vms:
+            stats.peak_leased_vms = self._leased_vms_total
+        if self._leased_sls_total > stats.peak_leased_sls:
+            stats.peak_leased_sls = self._leased_sls_total
         if lease.on_granted is not None:
             lease.on_granted(lease)
 
@@ -1276,9 +1402,18 @@ class ClusterPool:
         )
         lease._open[instance.instance_id] = segment
         self._lease_by_instance[instance.instance_id] = lease
-        segment.boot_handle = self.simulator.schedule(
-            boot, lambda: self._finish_boot(lease, segment)
-        )
+        if lease.on_instance_ready is None and not cold:
+            # A warm worker for an eventless holder (compiled plan
+            # runner): the instance is already RUNNING and nothing
+            # observes the hand-over instant, so skip the boot event
+            # and record its would-be fire time for
+            # ``scheduled_ready_time``.  Cold boots keep the event --
+            # it owns the BOOTING->RUNNING transition.
+            segment.ready_at = now + boot
+        else:
+            segment.boot_handle = self.simulator.schedule(
+                boot, lambda: self._finish_boot(lease, segment)
+            )
         if self.fault_injector is not None and self.fault_injector.active:
             self.fault_injector.on_hand_over(
                 self, lease, shard, instance, cold, boot
@@ -1291,7 +1426,8 @@ class ClusterPool:
             return  # released (or the query completed) before hand-over
         if instance.state is InstanceState.BOOTING:
             instance.transition(InstanceState.RUNNING, self.simulator.now)
-        lease.on_instance_ready(instance, not segment.cold)
+        if lease.on_instance_ready is not None:
+            lease.on_instance_ready(instance, not segment.cold)
 
     # ------------------------------------------------------------------
     # Release
@@ -1323,9 +1459,11 @@ class ClusterPool:
         vm_used, sl_used = self.tenant_leased(lease.tenant)
         if instance.kind is InstanceKind.VM:
             shard.leased_vms -= 1
+            self._leased_vms_total -= 1
             vm_used -= 1
         else:
             shard.leased_sls -= 1
+            self._leased_sls_total -= 1
             sl_used -= 1
         self._tenant_leased[lease.tenant] = (vm_used, sl_used)
 
@@ -1348,6 +1486,20 @@ class ClusterPool:
         """Release every worker the lease still holds."""
         for instance in list(lease.active_instances):
             self.release_instance(lease, instance)
+
+    def cancel_pending_boot(self, lease: PoolLease, instance: Instance) -> None:
+        """Cancel an instance's not-yet-fired boot event.
+
+        Used by compiled plan runners for workers whose computed release
+        precedes (or exactly ties) their own boot: cancelling at grant
+        time guarantees the release observes a still-BOOTING instance,
+        matching the event engine's retire-before-hand-over ordering
+        even when both land on the same timestamp.  Harmless if the
+        handle already fired or was cancelled.
+        """
+        segment = lease._open.get(instance.instance_id)
+        if segment is not None and segment.boot_handle is not None:
+            self.simulator.cancel(segment.boot_handle)
 
     # ------------------------------------------------------------------
     # Fault handling
@@ -1438,9 +1590,11 @@ class ClusterPool:
             )
             if instance.kind is InstanceKind.VM:
                 shard.leased_vms -= 1
+                self._leased_vms_total -= 1
                 vm_used -= 1
             else:
                 shard.leased_sls -= 1
+                self._leased_sls_total -= 1
                 sl_used -= 1
             if (
                 instance is dead_instance
@@ -1458,8 +1612,8 @@ class ClusterPool:
                     self._terminate(instance, now)
         self._tenant_leased[lease.tenant] = (vm_used, sl_used)
         lease.revoked_cost = forfeited
-        self.wasted_cost = self.wasted_cost + forfeited
-        shard.wasted_cost = shard.wasted_cost + forfeited
+        self.wasted_cost.accrue(forfeited)
+        shard.wasted_cost.accrue(forfeited)
         self.stats.wasted_seconds += wasted_seconds
         self.stats.leases_revoked += 1
         self._count_fault(reason)
@@ -1529,8 +1683,8 @@ class ClusterPool:
             idle_cost = self.prices.vm_breakdown(idle)
         else:
             idle_cost = self.prices.sl_breakdown(idle, invocations=0)
-        self.keepalive_cost = self.keepalive_cost + idle_cost
-        shard.keepalive_cost = shard.keepalive_cost + idle_cost
+        self.keepalive_cost.accrue(idle_cost)
+        shard.keepalive_cost.accrue(idle_cost)
         self.stats.idle_seconds += idle
 
     def _terminate(self, instance: Instance, now: float) -> None:
@@ -1550,6 +1704,11 @@ class ClusterPool:
         requests homed elsewhere; rounds repeat until a full pass grants
         nothing.  Every grant consumes capacity, so the loop terminates.
         """
+        for shard in self._shards.values():
+            if shard.queue:
+                break
+        else:
+            return  # nothing queued anywhere: the common steady state
         progressed = True
         while progressed:
             progressed = False

@@ -22,6 +22,7 @@ matching Table 1's "up to 5.8X" unit-cost comparison.
 from __future__ import annotations
 
 import dataclasses
+import functools
 
 __all__ = ["PriceBook", "CostBreakdown", "AWS_PRICES", "GCP_PRICES", "get_prices"]
 
@@ -76,13 +77,17 @@ class PriceBook:
     # ------------------------------------------------------------------
     # Per-second rates
     # ------------------------------------------------------------------
+    # Cached: billing runs on the replay hot path (every hand-over,
+    # release and keep-alive interval derives a rate), and the books are
+    # frozen, so each rate is computed once per instance.  The cache
+    # lives in the instance ``__dict__``, which frozen dataclasses keep.
 
-    @property
+    @functools.cached_property
     def vm_per_second(self) -> float:
         """Base VM price per second (excluding burst and storage)."""
         return self.vm_hourly / _SECONDS_PER_HOUR
 
-    @property
+    @functools.cached_property
     def vm_burst_per_second(self) -> float:
         """Burstable surcharge per VM-second."""
         return (
@@ -92,17 +97,17 @@ class PriceBook:
             / _SECONDS_PER_HOUR
         )
 
-    @property
+    @functools.cached_property
     def vm_storage_per_second(self) -> float:
         """Block-storage price per VM-second."""
         return self.vm_storage_gb * self.storage_gb_month / _SECONDS_PER_MONTH
 
-    @property
+    @functools.cached_property
     def sl_per_second(self) -> float:
         """Serverless price per busy second of one instance."""
         return self.sl_gb_second * self.sl_memory_gb
 
-    @property
+    @functools.cached_property
     def redis_per_second(self) -> float:
         """External store price per second."""
         return self.redis_host_hourly / _SECONDS_PER_HOUR
@@ -162,7 +167,7 @@ class PriceBook:
         return duration_seconds * self.redis_per_second
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class CostBreakdown:
     """Itemised cost of one query execution (Section 5, Cost estimation)."""
 
@@ -194,6 +199,20 @@ class CostBreakdown:
             sl_invocations=self.sl_invocations + other.sl_invocations,
             external_store=self.external_store + other.external_store,
         )
+
+    def accrue(self, other: "CostBreakdown") -> None:
+        """Fold ``other`` in, mutating this breakdown (running ledgers).
+
+        Same arithmetic as ``self + other`` without allocating a new
+        object per accrual -- the pool's keep-alive and wasted-cost
+        ledgers fold in one interval per instance release at scale.
+        """
+        self.vm_compute += other.vm_compute
+        self.vm_burst += other.vm_burst
+        self.vm_storage += other.vm_storage
+        self.sl_compute += other.sl_compute
+        self.sl_invocations += other.sl_invocations
+        self.external_store += other.external_store
 
     def as_dict(self) -> dict[str, float]:
         return {

@@ -121,9 +121,6 @@ class MonitorAndFeatureExtraction:
         recur at prediction time.
         """
         features = context.request.feature_vector(result.n_vm, result.n_sl)
-        features = dataclasses.replace(
-            features, n_vm=result.n_vm, n_sl=result.n_sl
-        )
         record = ExecutionRecord(
             query_id=query.query_id,
             features=features,

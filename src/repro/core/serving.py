@@ -52,6 +52,7 @@ from __future__ import annotations
 
 import collections
 import dataclasses
+import functools
 import math
 import time
 import warnings
@@ -75,11 +76,17 @@ from repro.cloud.pool import (
 from repro.core.forecast import AdaptiveBatchWindow
 from repro.core.job import SubmissionOutcome
 from repro.core.smartpick import Smartpick
+from repro.engine.plan import PlanRunner, StagePlan, plan_supports
 from repro.engine.runner import QueryExecution, RetryPolicy, launch_query
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import DEFAULT_EVENT_BUDGET, Simulator
 from repro.engine.task import TaskDurationModel
 from repro.workloads import get_query
-from repro.workloads.trace import ColumnarTrace, TraceEvent, WorkloadTrace
+from repro.workloads.trace import (
+    ColumnarTrace,
+    TraceEvent,
+    WorkloadTrace,
+    merge_arrival_columns,
+)
 
 __all__ = [
     "DroppedQuery",
@@ -268,6 +275,57 @@ class ServingStream:
             self.n_retrains += 1
         self.n_retries += query.n_retries
         self.wasted_cost.add(query.wasted_cost_dollars)
+
+    def observe_columns(
+        self, tenants: list[str], rows: np.ndarray
+    ) -> None:
+        """Fold a batch of completions, bitwise the per-record fold.
+
+        ``rows`` is one ``float64`` row per served query *in completion
+        order*, columns being exactly the numbers ``observe`` reads off
+        a :class:`ServedQuery`: latency, queueing delay, admission
+        delay, quota-throttle delay, decision inference seconds, cost,
+        then 0/1 batched / alien / retrain flags, retry count and
+        wasted cost.  The sketches consume each column through
+        :meth:`ReservoirQuantiles.observe_many
+        <repro.analysis.sketches.ReservoirQuantiles.observe_many>` (rng
+        draw sequence identical to scalar observes) and the sums are
+        order-independent, so stream state after the fold matches a
+        record-at-a-time replay exactly.  This is the
+        ``keep_queries=False`` fast path: no ``ServedQuery`` objects.
+        """
+        self._observe_columns_one(rows)
+        if self.tenant_streams is not None:
+            groups: dict[str, list[int]] = {}
+            for position, tenant in enumerate(tenants):
+                rows_for = groups.get(tenant)
+                if rows_for is None:
+                    rows_for = groups[tenant] = []
+                rows_for.append(position)
+            for tenant, positions in groups.items():
+                self.ensure_tenant(tenant)._observe_columns_one(
+                    rows[positions]
+                )
+
+    def _observe_columns_one(self, rows: np.ndarray) -> None:
+        n = len(rows)
+        if n == 0:
+            return
+        self.n += n
+        latency = rows[:, 0]
+        self.latency.observe_many(latency)
+        self.queueing.observe_many(rows[:, 1])
+        self.admission.observe_many(rows[:, 2])
+        self.quota_throttle.observe_many(rows[:, 3])
+        self.decision.observe_many(rows[:, 4])
+        self.query_cost.add_many(rows[:, 5])
+        self.decision_seconds_total.add_many(rows[:, 4])
+        self.n_slo_hits += int(np.count_nonzero(latency <= self.slo_seconds))
+        self.n_batched += int(np.count_nonzero(rows[:, 6]))
+        self.n_aliens += int(np.count_nonzero(rows[:, 7]))
+        self.n_retrains += int(np.count_nonzero(rows[:, 8]))
+        self.n_retries += int(rows[:, 9].sum())
+        self.wasted_cost.add_many(rows[:, 10])
 
     def observe_drop(self, drop: DroppedQuery) -> None:
         """Fold one non-completion into the accumulators (and tenant's)."""
@@ -966,74 +1024,179 @@ class _ArrivalState:
         self.basis = 0.0        # where attribution last stopped
 
 
-def _merge_arrival_columns(
-    pairs: list[tuple[str, WorkloadTrace | ColumnarTrace]],
-) -> tuple[np.ndarray, tuple[str, ...], np.ndarray, np.ndarray, np.ndarray]:
-    """Merge per-tenant traces into one time-ordered column set.
+class _CompletionTable:
+    """Flat completion/failure dispatch for every in-flight arrival.
 
-    Returns ``(times, query_ids, query_index, input_gb, tenant_index)``
-    with ``query_index`` into the deduplicated ``query_ids`` table and
-    ``tenant_index`` into ``pairs`` order.  The sort is stable, so equal
-    arrival times keep pair order (and, within a pair, trace order) --
-    the tie-break the event engine's upfront scheduling produced.
+    Replaces the per-launch ``complete``/``failed`` closure pair the
+    replay loop used to allocate: launching registers one tuple of
+    decision context keyed by arrival index, and two shared handlers
+    look it up when the engine fires.  The table also owns the
+    in-flight counters the closures used to mutate through ``nonlocal``.
+
+    With ``keep_queries=False`` (``served is None``) completions do not
+    build :class:`ServedQuery` objects at all: each buffers one column
+    row and the buffer flushes through
+    :meth:`ServingStream.observe_columns` -- bitwise the scalar fold --
+    every :data:`_FLUSH_EVERY` completions and once at replay end.
+    Drops keep feeding the stream immediately; they only touch counters
+    and an order-independent exact sum, so interleaving is immaterial.
     """
-    id_table: dict[str, int] = {}
-    times_parts: list[np.ndarray] = []
-    index_parts: list[np.ndarray] = []
-    size_parts: list[np.ndarray] = []
-    tenant_parts: list[np.ndarray] = []
-    for pair_index, (_, trace) in enumerate(pairs):
-        if isinstance(trace, ColumnarTrace):
-            remap = np.array(
-                [
-                    id_table.setdefault(query_id, len(id_table))
-                    for query_id in trace.query_ids
-                ],
-                dtype=np.int32,
-            )
-            times_parts.append(trace.arrival_s)
-            index_parts.append(
-                remap[trace.query_index]
-                if len(remap)
-                else trace.query_index
-            )
-            size_parts.append(trace.input_gb)
-        else:
-            times_parts.append(np.array(
-                [event.arrival_s for event in trace.events],
-                dtype=np.float64,
-            ))
-            index_parts.append(np.array(
-                [
-                    id_table.setdefault(event.query_id, len(id_table))
-                    for event in trace.events
-                ],
-                dtype=np.int32,
-            ))
-            size_parts.append(np.array(
-                [event.input_gb for event in trace.events],
-                dtype=np.float64,
-            ))
-        tenant_parts.append(
-            np.full(len(times_parts[-1]), pair_index, dtype=np.int32)
-        )
-    if not times_parts:
-        return (
-            np.empty(0, dtype=np.float64),
-            (),
-            np.empty(0, dtype=np.int32),
-            np.empty(0, dtype=np.float64),
-            np.empty(0, dtype=np.int32),
-        )
-    times = np.concatenate(times_parts)
-    order = np.argsort(times, kind="stable")
-    return (
-        times[order],
-        tuple(id_table),
-        np.concatenate(index_parts)[order],
-        np.concatenate(size_parts)[order],
-        np.concatenate(tenant_parts)[order],
+
+    _FLUSH_EVERY = 4096
+
+    __slots__ = (
+        "stream", "served", "states", "finalize", "admit_next",
+        "on_failure", "entries", "in_flight_total", "tenant_in_flight",
+        "in_flight_peaks", "n_terminated", "_rows", "_row_tenants",
     )
+
+    def __init__(
+        self,
+        stream: ServingStream,
+        served: "list[ServedQuery | None] | None",
+        states: "dict[int, _ArrivalState]",
+        finalize,
+    ) -> None:
+        self.stream = stream
+        self.served = served
+        self.states = states
+        self.finalize = finalize
+        #: Wired by the replay after its admission closures exist.
+        self.admit_next = None
+        self.on_failure = None
+        #: arrival index -> (arrival, query, context, decision, waiting,
+        #: batch_size, batching_delay, admission_delay)
+        self.entries: dict[int, tuple] = {}
+        self.in_flight_total = 0
+        self.tenant_in_flight: collections.Counter[str] = (
+            collections.Counter()
+        )
+        self.in_flight_peaks: dict[str, int] = {}
+        self.n_terminated = 0
+        self._rows: list[tuple] = []
+        self._row_tenants: list[str] = []
+
+    def register(self, index: int, entry: tuple) -> None:
+        self.entries[index] = entry
+        self.in_flight_total += 1
+        tenant = entry[0].tenant
+        count = self.tenant_in_flight[tenant] + 1
+        self.tenant_in_flight[tenant] = count
+        if count > self.in_flight_peaks.get(tenant, 0):
+            self.in_flight_peaks[tenant] = count
+
+    # Engine-facing adapters: the event engine hands back a
+    # QueryExecution, the vectorized core a PlanRunner; both expose
+    # ``result`` and ``lease``.
+
+    def complete_execution(self, index: int, execution) -> None:
+        self.complete(index, execution.result, execution.lease)
+
+    def fail_execution(self, index: int, execution, reason: str) -> None:
+        self.fail(index, execution.lease)
+
+    def complete_runner(self, index: int, runner) -> None:
+        self.complete(index, runner.result, runner.lease)
+
+    def fail_runner(self, index: int, runner, reason: str) -> None:
+        self.fail(index, runner.lease)
+
+    def complete(self, index: int, result, lease) -> None:
+        (arrival, query, context, decision, waiting, batch_size,
+         batching_delay, admission_delay) = self.entries.pop(index)
+        self.in_flight_total -= 1
+        self.tenant_in_flight[arrival.tenant] -= 1
+        st = self.states.pop(index, None)
+        assert result is not None
+        outcome = self.finalize(
+            query,
+            context,
+            decision,
+            result,
+            # A clamped lease executed a different configuration than
+            # predicted; its error says nothing about the model (the
+            # run itself still feeds the history).
+            observe_error=not lease.was_clamped,
+        )
+        n_retries = st.retries if st is not None else 0
+        wasted = st.wasted if st is not None else 0.0
+        retry_delay = st.retry_delay if st is not None else 0.0
+        if self.served is None:
+            # Same term order as ServedQuery.latency_s, so the buffered
+            # value is bit-identical to the record path's.
+            latency = (
+                admission_delay
+                + batching_delay
+                + retry_delay
+                + result.queueing_delay_s
+                + outcome.actual_seconds
+            )
+            self._rows.append((
+                latency,
+                result.queueing_delay_s,
+                admission_delay,
+                admission_delay + result.quota_delay_s,
+                outcome.decision.inference_seconds,
+                outcome.cost_dollars,
+                1.0 if batch_size >= 2 else 0.0,
+                1.0 if outcome.is_alien else 0.0,
+                1.0 if outcome.retrain_event else 0.0,
+                float(n_retries),
+                wasted,
+            ))
+            self._row_tenants.append(arrival.tenant)
+            if len(self._rows) >= self._FLUSH_EVERY:
+                self.flush()
+        else:
+            record = ServedQuery(
+                arrival_s=arrival.event.arrival_s,
+                outcome=outcome,
+                waiting_apps_at_submit=waiting,
+                queueing_delay_s=result.queueing_delay_s,
+                decision_batch_size=batch_size,
+                batching_delay_s=batching_delay,
+                tenant=arrival.tenant,
+                admission_delay_s=admission_delay,
+                quota_delay_s=result.quota_delay_s,
+                n_retries=n_retries,
+                wasted_cost_dollars=wasted,
+                retry_delay_s=retry_delay,
+            )
+            self.stream.observe(record)
+            self.served[arrival.index] = record
+        self.n_terminated += 1
+        self.admit_next(arrival.tenant)
+
+    def fail(self, index: int, lease) -> None:
+        # A lease revocation killed this attempt mid-flight.  The
+        # partial spend it forfeited is already in the pool's wasted
+        # ledger; mirror it per arrival so the chargeback attributes it
+        # to the owning tenant.  The failed attempt never reaches
+        # ``finalize``: aborted runs must not feed the model's history.
+        (arrival, _query, _context, _decision, _waiting, _batch_size,
+         batching_delay, admission_delay) = self.entries.pop(index)
+        self.in_flight_total -= 1
+        self.tenant_in_flight[arrival.tenant] -= 1
+        st = self.states.get(index)
+        if st is None:
+            st = self.states[index] = _ArrivalState()
+            st.admission = admission_delay
+            st.batching = batching_delay
+        st.attempts += 1
+        st.wasted += lease.revoked_cost.total
+        self.on_failure(arrival, st)
+        self.admit_next(arrival.tenant)
+
+    def flush(self) -> None:
+        """Drain the buffered completion rows into the stream."""
+        if not self._rows:
+            return
+        self.stream.observe_columns(
+            self._row_tenants,
+            np.array(self._rows, dtype=np.float64),
+        )
+        self._rows = []
+        self._row_tenants = []
 
 
 def _group_bounds(
@@ -1122,8 +1285,34 @@ class ServingSimulator:
         closures; the interleaving with pool events is event-exact, so
         with ``decision_reuse=False`` the two engines produce identical
         reports.  The columnar engine accepts :class:`ColumnarTrace`
-        inputs natively (a million arrivals are ~20 MB of columns) and
-        requires a static ``batch_window_s`` (not ``"auto"``).
+        inputs natively (a million arrivals are ~20 MB of columns);
+        with ``batch_window_s="auto"`` it drains arrivals one at a time
+        so the adaptive tuner sees the same event order as the event
+        engine.
+    submission:
+        How decided arrivals are turned into running queries.
+        ``"object"`` (default) builds one :class:`TaskScheduler
+        <repro.engine.scheduler.TaskScheduler>` per query, drawing task
+        duration noise scalar-by-scalar -- bit-for-bit the historical
+        path.  ``"presample"`` keeps the scheduler objects but draws
+        each query's noise as one vectorized block at submit (bitwise
+        the same numbers as ``"object"``; a stepping stone kept mostly
+        for pinning).  ``"vector"`` is the fast path: repeat arrivals
+        share a compiled :class:`~repro.engine.plan.StagePlan`, a
+        :class:`~repro.engine.plan.PlanRunner` simulates each query's
+        wave timeline locally at lease grant instead of heap-stepping
+        per task, and each sizing group leases through one
+        :meth:`ClusterPool.acquire_many
+        <repro.cloud.pool.ClusterPool.acquire_many>` pass.  Reports are
+        field-for-field ``"presample"``'s (same rng stream, event-exact
+        pool interleaving); policies a plan cannot express (static
+        timeouts, drained-instance holds) fall back per arrival to the
+        presampling path.  Noise caveat: ``"object"`` draws at each
+        task dispatch, so *concurrent* queries interleave draws on the
+        shared rng; ``"presample"``/``"vector"`` draw each query's
+        block at submit.  Reports across that divide match exactly only
+        when queries never overlap -- pin ``"vector"`` against
+        ``"presample"``.
     keep_queries:
         ``True`` (default) retains the full per-query ``served`` list --
         field-for-field today's report.  ``False`` folds every
@@ -1176,6 +1365,7 @@ class ServingSimulator:
         grant_policy: GrantPolicy | None = None,
         shard_autoscalers: dict[str, AutoscalerPolicy] | None = None,
         engine: str = "event",
+        submission: str = "object",
         keep_queries: bool = True,
         decision_reuse: bool | None = None,
         retry_policy: RetryPolicy | None = None,
@@ -1189,6 +1379,11 @@ class ServingSimulator:
         if engine not in ("event", "columnar"):
             raise ValueError(
                 f"unknown engine {engine!r}; choose 'event' or 'columnar'"
+            )
+        if submission not in ("object", "presample", "vector"):
+            raise ValueError(
+                f"unknown submission {submission!r}; choose 'object', "
+                "'presample' or 'vector'"
             )
         if isinstance(batch_window_s, str):
             if batch_window_s != "auto":
@@ -1216,6 +1411,7 @@ class ServingSimulator:
         self.grant_policy = grant_policy
         self.shard_autoscalers = shard_autoscalers
         self.engine = engine
+        self.submission = submission
         self.keep_queries = keep_queries
         self.decision_reuse = (
             engine == "columnar" if decision_reuse is None else decision_reuse
@@ -1374,11 +1570,6 @@ class ServingSimulator:
                 for shard_name in pool.shard_names:
                     ensure_scope(shard_name)
         tuner = self._batch_tuner()
-        if self.engine == "columnar" and tuner is not None:
-            raise ValueError(
-                "the columnar engine requires a static batch window "
-                "(a number or None, not 'auto'/AdaptiveBatchWindow)"
-            )
         # One duration model, seeded from the system's master generator,
         # keeps the whole replay deterministic for a given seed.
         duration_model = TaskDurationModel(
@@ -1394,7 +1585,7 @@ class ServingSimulator:
         # every arrival upfront, the columnar engine in batches.
         tenant_names = [tenant for tenant, _ in pairs]
         times, query_ids, query_index, input_gbs, tenant_index = (
-            _merge_arrival_columns(pairs)
+            merge_arrival_columns(pairs)
         )
         n_arrivals = len(times)
 
@@ -1420,16 +1611,38 @@ class ServingSimulator:
         dropped: list[DroppedQuery] | None = (
             [] if self.keep_queries else None
         )
-        n_terminated = 0
-        in_flight_total = 0
-        tenant_in_flight: collections.Counter[str] = collections.Counter()
-        in_flight_peaks: dict[str, int] = {}
         pending_admission: dict[str, collections.deque[_Arrival]] = (
             collections.defaultdict(collections.deque)
         )
         # Retry bookkeeping, keyed by arrival index; absent for every
         # arrival the fault plan never touches (see _ArrivalState).
         states: dict[int, _ArrivalState] = {}
+        # In-flight counters and completion dispatch live in one flat
+        # table (replacing two closures per launch); its admission
+        # callbacks are wired below once the admission closures exist.
+        table = _CompletionTable(
+            stream=report_stream,
+            served=served,
+            states=states,
+            finalize=initializer.finalize,
+        )
+        presample = self.submission != "object"
+        vector = self.submission == "vector"
+        # Compiled execution plans, keyed by the memoized query object:
+        # repeat arrivals of a class skip the per-query scheduler build.
+        plans: dict[int, StagePlan] = {}
+        # Termination policies are stateless and depend only on which
+        # sides of the split are populated, so one instance per shape
+        # serves every arrival (the plan-support verdict rides along).
+        policy_cache: dict[tuple[bool, bool], tuple[object, bool]] = {}
+
+        def policy_for(n_vm: int, n_sl: int) -> tuple[object, bool]:
+            key = (n_vm > 0, n_sl > 0)
+            hit = policy_cache.get(key)
+            if hit is None:
+                policy = initializer.execution_policy(n_vm, n_sl)
+                hit = policy_cache[key] = (policy, plan_supports(policy))
+            return hit
         # The adaptive engine's currently open sizing group, hoisted so
         # retried/admitted arrivals can join it (shared forest pass)
         # instead of always deciding solo.  Static engines never fill it.
@@ -1445,114 +1658,137 @@ class ServingSimulator:
 
         # Class-level decision reuse (see ``decision_reuse``): one cache
         # per replay, invalidated entry-wise when the model retrains.
-        decision_cache: dict[tuple, tuple[int, object, object]] = {}
+        # key -> (model_version, context, decision, zero-inference reuse
+        # decision); see the cache-hit path in submit_batch.
+        decision_cache: dict[tuple, tuple[int, object, object, object]] = {}
 
-        def launch(
-            arrival: _Arrival,
-            query,
-            context,
-            decision,
-            waiting: int,
-            batch_size: int,
-            batching_delay: float,
-            admission_delay: float,
-        ) -> None:
-            nonlocal in_flight_total
-            policy = initializer.execution_policy(decision.n_vm, decision.n_sl)
-
-            def complete(execution: QueryExecution) -> None:
-                nonlocal in_flight_total, n_terminated
-                in_flight_total -= 1
-                tenant_in_flight[arrival.tenant] -= 1
-                st = states.pop(arrival.index, None)
-                assert execution.result is not None
-                outcome = initializer.finalize(
-                    query,
-                    context,
-                    decision,
-                    execution.result,
-                    # A clamped lease executed a different configuration
-                    # than predicted; its error says nothing about the
-                    # model (the run itself still feeds the history).
-                    observe_error=not execution.lease.was_clamped,
-                )
-                record = ServedQuery(
-                    arrival_s=arrival.event.arrival_s,
-                    outcome=outcome,
-                    waiting_apps_at_submit=waiting,
-                    queueing_delay_s=execution.result.queueing_delay_s,
-                    decision_batch_size=batch_size,
-                    batching_delay_s=batching_delay,
-                    tenant=arrival.tenant,
-                    admission_delay_s=admission_delay,
-                    quota_delay_s=execution.result.quota_delay_s,
-                    n_retries=st.retries if st is not None else 0,
-                    wasted_cost_dollars=st.wasted if st is not None else 0.0,
-                    retry_delay_s=st.retry_delay if st is not None else 0.0,
-                )
-                report_stream.observe(record)
-                n_terminated += 1
-                if served is not None:
-                    served[arrival.index] = record
-                admit_next(arrival.tenant)
-
-            def failed(execution: QueryExecution, reason: str) -> None:
-                # A lease revocation killed this attempt mid-flight.
-                # The partial spend it forfeited is already in the
-                # pool's wasted ledger; mirror it per arrival so the
-                # chargeback attributes it to the owning tenant.  The
-                # failed attempt never reaches initializer.finalize:
-                # aborted runs must not feed the model's history.
-                nonlocal in_flight_total
-                in_flight_total -= 1
-                tenant_in_flight[arrival.tenant] -= 1
-                st = states.get(arrival.index)
-                if st is None:
-                    st = states[arrival.index] = _ArrivalState()
-                    st.admission = admission_delay
-                    st.batching = batching_delay
-                st.attempts += 1
-                st.wasted += execution.lease.revoked_cost.total
-                if (
-                    self.retry_policy is not None
-                    and st.attempts <= self.retry_policy.max_retries
-                ):
-                    delay = self.retry_policy.backoff(
-                        st.attempts, retry_u(arrival.index, st.attempts)
-                    )
-                    simulator.schedule(delay, lambda: resubmit(arrival))
-                else:
-                    drop(arrival, "failed")
-                admit_next(arrival.tenant)
-
-            st = states.get(arrival.index)
-            first_attempt = st is None or st.attempts == 0
-            in_flight_total += 1
-            tenant_in_flight[arrival.tenant] += 1
-            if tenant_in_flight[arrival.tenant] > in_flight_peaks.get(
-                arrival.tenant, 0
+        def handle_failure(arrival: _Arrival, st: _ArrivalState) -> None:
+            """Retry-or-drop policy applied after the table books a
+            failed attempt."""
+            if (
+                self.retry_policy is not None
+                and st.attempts <= self.retry_policy.max_retries
             ):
-                in_flight_peaks[arrival.tenant] = (
-                    tenant_in_flight[arrival.tenant]
+                delay = self.retry_policy.backoff(
+                    st.attempts, retry_u(arrival.index, st.attempts)
                 )
-            execution = launch_query(
-                query,
-                n_vm=decision.n_vm,
-                n_sl=decision.n_sl,
-                pool=pool,
-                policy=policy,
-                duration_model=duration_model,
-                on_complete=complete,
-                on_failed=failed,
-                tenant=arrival.tenant,
-            )
-            if forecast_observers and first_attempt:
+                simulator.schedule(delay, lambda: resubmit(arrival))
+            else:
+                drop(arrival, "failed")
+
+        def launch_group(entries: list[tuple]) -> None:
+            """Launch a decided group's arrivals (table entry tuples).
+
+            Pool acquisition order is arrival order, exactly the
+            sequential path's; consecutive plan-backed launches lease
+            through ONE ``acquire_many`` pass (an unsupported policy
+            flushes the run and falls back to ``launch_query``, keeping
+            the order).  Task-noise draws also stay in arrival order:
+            the duration model and the pool share no rng, so hoisting
+            every ``begin()`` ahead of its grant changes no stream.
+            """
+            observed: list[tuple[_Arrival, object]] = []
+            pending: list[tuple[PlanRunner, tuple]] = []
+
+            def flush_pending() -> None:
+                if not pending:
+                    return
+                leases = pool.acquire_many([req for _, req in pending])
+                # Binding after the batch is safe: revocation can only
+                # fire from a *future* simulator event.
+                for (runner, _), lease in zip(pending, leases):
+                    runner.bind(lease)
+                pending.clear()
+
+            shapes = [policy_for(e[3].n_vm, e[3].n_sl) for e in entries]
+            policies = [shape[0] for shape in shapes]
+            supported = [shape[1] for shape in shapes] if vector else None
+            # When the whole group rides the fast path, draw ONE noise
+            # block for the group and hand each runner its slice:
+            # ``Generator.normal`` fills arrays sequentially from the
+            # bitstream, so a group-sized draw split in entry order is
+            # bitwise identical to per-runner draws.
+            noise_slices: list[list[float]] | None = None
+            if supported is not None and len(entries) > 1 and all(supported):
+                sizes = [e[1].total_tasks for e in entries]
+                block = duration_model.noise_block(sum(sizes)).tolist()
+                noise_slices = []
+                offset = 0
+                for size in sizes:
+                    noise_slices.append(block[offset:offset + size])
+                    offset += size
+
+            for position, entry in enumerate(entries):
+                arrival, query, _context, decision = entry[:4]
+                st = states.get(arrival.index)
+                first_attempt = st is None or st.attempts == 0
+                policy = policies[position]
+                table.register(arrival.index, entry)
+                if supported is not None and supported[position]:
+                    plan = plans.get(id(query))
+                    if plan is None:
+                        plan = plans[id(query)] = StagePlan(
+                            query, duration_model
+                        )
+                    runner = PlanRunner(
+                        plan,
+                        pool,
+                        duration_model,
+                        policy,
+                        tenant=arrival.tenant,
+                        on_complete=functools.partial(
+                            table.complete_runner, arrival.index
+                        ),
+                        on_failed=functools.partial(
+                            table.fail_runner, arrival.index
+                        ),
+                    )
+                    noise = (
+                        noise_slices[position]
+                        if noise_slices is not None
+                        else None
+                    )
+                    pending.append(
+                        (
+                            runner,
+                            runner.begin(
+                                decision.n_vm, decision.n_sl, noise
+                            ),
+                        )
+                    )
+                    if forecast_observers and first_attempt:
+                        observed.append((arrival, runner))
+                else:
+                    flush_pending()
+                    execution = launch_query(
+                        query,
+                        n_vm=decision.n_vm,
+                        n_sl=decision.n_sl,
+                        pool=pool,
+                        policy=policy,
+                        duration_model=duration_model,
+                        presample=presample,
+                        on_complete=functools.partial(
+                            table.complete_execution, arrival.index
+                        ),
+                        on_failed=functools.partial(
+                            table.fail_execution, arrival.index
+                        ),
+                        tenant=arrival.tenant,
+                    )
+                    if forecast_observers and first_attempt:
+                        observed.append((arrival, execution))
+            flush_pending()
+            for arrival, holder in observed:
                 # The lease is routed (and, when capacity allows --
                 # stealing included -- granted) synchronously inside
-                # launch_query, so lease.shard is the serving shard for
+                # the acquire, so lease.shard is the serving shard for
                 # every immediate grant.  A lease that *queues* and is
                 # later stolen observes its routed home instead: the
                 # shard the affinity policy wanted its warmth on.
+                # Feeding after the loop is equivalent to feeding
+                # between acquires: nothing in the pool reads the
+                # forecaster synchronously.
                 class_key = self.system.predictor.query_class(
                     arrival.event.query_id, arrival.event.input_gb
                 )
@@ -1560,7 +1796,7 @@ class ServingSimulator:
                     observer.observe_arrival(
                         class_key,
                         arrival.event.arrival_s,
-                        scope=execution.lease.shard,
+                        scope=holder.lease.shard,
                     )
 
         def submit_batch(batch: list[_Arrival], decide_time: float) -> None:
@@ -1568,7 +1804,7 @@ class ServingSimulator:
             # "waiting applications"; members of the batch additionally
             # see the members ahead of them, exactly as if they had been
             # submitted one after another at the same instant.
-            waiting_base = in_flight_total
+            waiting_base = table.in_flight_total
             queries = [
                 get_query(a.event.query_id, input_gb=a.event.input_gb)
                 for a in batch
@@ -1594,12 +1830,12 @@ class ServingSimulator:
                     keys.append(key)
                     hit = decision_cache.get(key)
                     if hit is not None and hit[0] == version:
-                        slots[position] = (
-                            hit[1],
-                            dataclasses.replace(
-                                hit[2], inference_seconds=0.0
-                            ),
-                        )
+                        # hit[3] is the pre-zeroed reuse decision built
+                        # once at insert time (hits cost no forest pass,
+                        # so they report inference_seconds=0); sharing
+                        # one immutable decision object across hits
+                        # replaces a per-arrival dataclasses.replace.
+                        slots[position] = (hit[1], hit[3])
                     else:
                         misses.append(position)
                 if misses:
@@ -1614,7 +1850,12 @@ class ServingSimulator:
                         # Re-read the version: a retrain during decide
                         # (alien-triggered) must not resurrect entries.
                         decision_cache[keys[p]] = (
-                            predictor.model_version, context, decision
+                            predictor.model_version,
+                            context,
+                            decision,
+                            dataclasses.replace(
+                                decision, inference_seconds=0.0
+                            ),
                         )
                 decided = slots
             elif len(batch) == 1:
@@ -1639,6 +1880,7 @@ class ServingSimulator:
                 tuner.observe_decision(
                     sum(decision.inference_seconds for _, decision in decided)
                 )
+            entries: list[tuple] = []
             for offset, (arrival, query, (context, decision)) in enumerate(
                 zip(batch, queries, decided)
             ):
@@ -1662,22 +1904,25 @@ class ServingSimulator:
                         st.basis = simulator.now
                     batching_delay = st.batching
                     admission_delay = st.admission
-                launch(
+                entries.append((
                     arrival,
                     query,
                     context,
                     decision,
-                    waiting=waiting_base + offset,
-                    batch_size=len(batch),
-                    batching_delay=batching_delay,
-                    admission_delay=admission_delay,
-                )
+                    waiting_base + offset,
+                    len(batch),
+                    batching_delay,
+                    admission_delay,
+                ))
+            launch_group(entries)
 
         def admits(arrival: _Arrival, admitted_ahead: int) -> bool:
             cap = registry.get(arrival.tenant).max_in_flight
             if cap is None:
                 return True
-            return tenant_in_flight[arrival.tenant] + admitted_ahead < cap
+            return (
+                table.tenant_in_flight[arrival.tenant] + admitted_ahead < cap
+            )
 
         def admit_next(tenant: str) -> None:
             """A termination freed an in-flight slot; admit one waiter."""
@@ -1740,7 +1985,6 @@ class ServingSimulator:
 
         def drop(arrival: _Arrival, reason: str) -> None:
             """Terminate an arrival without serving it (loudly counted)."""
-            nonlocal n_terminated
             st = states.pop(arrival.index, None)
             record = DroppedQuery(
                 arrival_s=arrival.event.arrival_s,
@@ -1751,7 +1995,7 @@ class ServingSimulator:
                 wasted_cost_dollars=st.wasted if st is not None else 0.0,
             )
             report_stream.observe_drop(record)
-            n_terminated += 1
+            table.n_terminated += 1
             if dropped is not None:
                 dropped.append(record)
 
@@ -1768,6 +2012,33 @@ class ServingSimulator:
             if admitted:
                 submit_batch(admitted, decide_time=decide_time)
 
+        table.admit_next = admit_next
+        table.on_failure = handle_failure
+
+        # The adaptive coalescer is event-driven: each arrival either
+        # joins the open group (hoisted above, so retries and gate
+        # re-admissions can join it too), opens a new one that closes
+        # after the tuner's *current* window, or -- when the window is
+        # 0 -- decides solo immediately (the break-even says a wait is
+        # not worth a shared pass right now).  Both engines share these
+        # handlers; static engines never call them.
+        def close_group() -> None:
+            group = list(open_group)
+            open_group.clear()
+            submit_group(group, decide_time=simulator.now)
+
+        def on_arrival(arrival: _Arrival) -> None:
+            tuner.observe_arrival(arrival.event.arrival_s)
+            if open_group:
+                open_group.append(arrival)
+                return
+            window = tuner.window()
+            if window <= 0.0:
+                submit_group([arrival], decide_time=simulator.now)
+                return
+            open_group.append(arrival)
+            simulator.schedule(window, close_group)
+
         if self.engine == "columnar":
             # Drain the columns group by group instead of scheduling one
             # EventHandle per arrival.  ``run_before(fire)`` drains every
@@ -1776,14 +2047,27 @@ class ServingSimulator:
             # event engine produces, where upfront-scheduled groups have
             # smaller sequence numbers than any runtime event at the same
             # timestamp and therefore fire first.
-            fuse = max(10_000_000, 64 * n_arrivals)
-            for start, end in _group_bounds(times, self.batch_window_s):
-                fire = float(times[end - 1])
-                simulator.run_before(fire, max_events=fuse)
-                submit_group(
-                    [make_arrival(i) for i in range(start, end)],
-                    decide_time=fire,
-                )
+            fuse = max(DEFAULT_EVENT_BUDGET, 64 * n_arrivals)
+            if tuner is None:
+                for start, end in _group_bounds(times, self.batch_window_s):
+                    fire = float(times[end - 1])
+                    simulator.run_before(fire, max_events=fuse)
+                    submit_group(
+                        [make_arrival(i) for i in range(start, end)],
+                        decide_time=fire,
+                    )
+            else:
+                # Adaptive columnar drain: arrivals feed the tuner one
+                # at a time, so group boundaries (which depend on the
+                # tuner's evolving window) match the event engine's
+                # arrival-by-arrival order exactly.  A ``close_group``
+                # scheduled *at* the next arrival's timestamp fires
+                # after it, same as the event engine's tie-break for
+                # upfront-scheduled arrival events.
+                ticks = times.tolist()
+                for position in range(n_arrivals):
+                    simulator.run_before(ticks[position], max_events=fuse)
+                    on_arrival(make_arrival(position))
             simulator.run(max_events=fuse)
         elif tuner is None:
             stream = [make_arrival(i) for i in range(n_arrivals)]
@@ -1800,29 +2084,6 @@ class ServingSimulator:
                 )
             simulator.run()
         else:
-            # Adaptive coalescing is event-driven: each arrival either
-            # joins the open group (hoisted above, so retries and gate
-            # re-admissions can join it too), opens a new one that
-            # closes after the tuner's *current* window, or -- when the
-            # window is 0 -- decides solo immediately (the break-even
-            # says a wait is not worth a shared pass right now).
-            def close_group() -> None:
-                group = list(open_group)
-                open_group.clear()
-                submit_group(group, decide_time=simulator.now)
-
-            def on_arrival(arrival: _Arrival) -> None:
-                tuner.observe_arrival(arrival.event.arrival_s)
-                if open_group:
-                    open_group.append(arrival)
-                    return
-                window = tuner.window()
-                if window <= 0.0:
-                    submit_group([arrival], decide_time=simulator.now)
-                    return
-                open_group.append(arrival)
-                simulator.schedule(window, close_group)
-
             for position in range(n_arrivals):
                 arrival = make_arrival(position)
                 simulator.schedule_at(
@@ -1831,7 +2092,8 @@ class ServingSimulator:
                 )
             simulator.run()
         pool.shutdown()
-        if n_terminated != n_arrivals:
+        table.flush()
+        if table.n_terminated != n_arrivals:
             raise RuntimeError("some trace arrivals never completed")
         if report_stream.n_shed > 0:
             # Load shedding rejects work the trace asked for; never do
@@ -1874,6 +2136,6 @@ class ServingSimulator:
             dropped=dropped if dropped is not None else [],
             wasted_cost_dollars=pool.wasted_cost_dollars,
             wasted_cost_by_shard=pool.wasted_cost_by_shard,
-            tenant_in_flight_peaks=in_flight_peaks,
+            tenant_in_flight_peaks=table.in_flight_peaks,
             stream=report_stream,
         )

@@ -98,10 +98,22 @@ class QuerySpec:
         return graph
 
     def topological_stages(self) -> list[StageSpec]:
-        """Stages in a valid execution order."""
-        by_id = {stage.stage_id: stage for stage in self.stages}
-        order = nx.topological_sort(self.dependency_graph())
-        return [by_id[stage_id] for stage_id in order]
+        """Stages in a valid execution order.
+
+        The order is memoized on first use: catalog specs are canonical
+        (``get_query`` caches them), so trace replay asks for the same
+        query's order millions of times and the networkx sort would
+        otherwise dominate submission cost.  A fresh list is returned
+        each call so callers may mutate their copy.
+        """
+        cached = getattr(self, "_topo_cache", None)
+        if cached is None:
+            by_id = {stage.stage_id: stage for stage in self.stages}
+            order = nx.topological_sort(self.dependency_graph())
+            cached = tuple(by_id[stage_id] for stage_id in order)
+            # Frozen dataclass: stash the cache via object.__setattr__.
+            object.__setattr__(self, "_topo_cache", cached)
+        return list(cached)
 
     @property
     def n_stages(self) -> int:

@@ -37,7 +37,7 @@ from repro.engine.policies import (
     TerminationPolicy,
 )
 from repro.engine.scheduler import TaskScheduler
-from repro.engine.simulator import Simulator
+from repro.engine.simulator import DEFAULT_EVENT_BUDGET, Simulator
 from repro.engine.task import TaskDurationModel
 
 __all__ = [
@@ -47,8 +47,6 @@ __all__ = [
     "launch_query",
     "run_query",
 ]
-
-_MAX_EVENTS = 10_000_000
 
 
 @dataclasses.dataclass(frozen=True)
@@ -238,6 +236,7 @@ def launch_query(
     on_complete: Callable[[QueryExecution], None] | None = None,
     on_failed: Callable[[QueryExecution, str], None] | None = None,
     tenant: str = DEFAULT_TENANT,
+    presample: bool = False,
 ) -> QueryExecution:
     """Start ``query`` against ``pool`` without advancing simulated time.
 
@@ -261,6 +260,7 @@ def launch_query(
         policy=policy,
         listeners=(metrics_listener, *listeners),
         tenant=tenant,
+        presample=presample,
     )
     execution = QueryExecution(
         query=query,
@@ -343,15 +343,17 @@ def run_query(
     # Step rather than drain: with a shared pool, pending keep-alive
     # timers must survive for the *next* query's warm starts.
     simulator = pool.simulator
-    for _ in range(_MAX_EVENTS):
+    for _ in range(DEFAULT_EVENT_BUDGET):
         if execution.completed or execution.failed:
             break
         if not simulator.step():
             break
     else:
         raise RuntimeError(
-            f"simulation processed {_MAX_EVENTS} events without completing "
-            f"{query.query_id}; likely an event loop in the model"
+            f"event budget exhausted: run_query({query.query_id}) processed "
+            f"{DEFAULT_EVENT_BUDGET} events without completing -- likely an "
+            "event loop in the model (a callback re-scheduling itself "
+            "forever)"
         )
     if execution.failed:
         raise RuntimeError(

@@ -80,6 +80,13 @@ class TaskScheduler:
     tenant:
         The tenant the query's pool lease bills to (multi-tenant serving
         attributes quotas, fairness and chargeback through this).
+    presample:
+        Draw the query's entire duration-noise block in one vectorized
+        call at submit time (consumed in task-start order) instead of
+        one scalar draw per task start.  This is the ``submission=
+        "vector"`` noise convention: results differ from the default
+        globally-interleaved draws, but match any other presampling
+        consumer (e.g. the compiled-plan fast path) bit for bit.
     """
 
     def __init__(
@@ -92,6 +99,7 @@ class TaskScheduler:
         on_complete: Callable[["TaskScheduler"], None] | None = None,
         on_failed: Callable[["TaskScheduler", str], None] | None = None,
         tenant: str = DEFAULT_TENANT,
+        presample: bool = False,
     ) -> None:
         self.simulator = simulator
         self.pool = pool
@@ -101,6 +109,9 @@ class TaskScheduler:
         self.on_complete = on_complete
         self.on_failed = on_failed
         self.tenant = tenant
+        self.presample = presample
+        self._noise_block = None
+        self._noise_cursor = 0
 
         self._query: QuerySpec | None = None
         self._lease: "PoolLease | None" = None
@@ -141,6 +152,10 @@ class TaskScheduler:
         now = self.simulator.now
         self._submitted_at = now
         self._notify("on_query_start", query, now)
+        if self.presample:
+            self._noise_block = self.duration_model.noise_block(
+                query.total_tasks
+            )
 
         self._lease = self.pool.acquire(
             n_vm,
@@ -298,7 +313,13 @@ class TaskScheduler:
 
     def _start_task(self, task: Task, executor: Executor) -> None:
         now = self.simulator.now
-        duration = self.duration_model.sample(task.stage, executor.kind)
+        if self._noise_block is not None:
+            expected = self.duration_model.expected(task.stage, executor.kind)
+            noise = float(self._noise_block[self._noise_cursor])
+            self._noise_cursor += 1
+            duration = TaskDurationModel.realize(expected, noise)
+        else:
+            duration = self.duration_model.sample(task.stage, executor.kind)
         factor = self.pool.runtime_factor(executor.instance)
         if factor != 1.0:
             duration *= factor  # straggler: same work, inflated runtime

@@ -28,7 +28,25 @@ import heapq
 import itertools
 from typing import Callable
 
-__all__ = ["EventHandle", "Simulator"]
+__all__ = ["DEFAULT_EVENT_BUDGET", "EventHandle", "Simulator"]
+
+#: The shared event-budget fuse: every drain loop (``run`` / ``run_until``
+#: / ``run_before`` here, the step loop in
+#: :func:`repro.engine.runner.run_query`, the columnar serving drain)
+#: bounds itself by this many processed events unless the caller passes
+#: an explicit ``max_events``.  Hitting the budget means the model is
+#: almost certainly re-scheduling itself in a loop -- the error says so
+#: loudly instead of spinning forever.
+DEFAULT_EVENT_BUDGET = 10_000_000
+
+
+def _budget_exhausted(context: str, budget: int) -> RuntimeError:
+    return RuntimeError(
+        f"event budget exhausted: {context} processed {budget} events "
+        "without quiescing -- likely an event loop in the model (a "
+        "callback re-scheduling itself forever); pass a larger "
+        "max_events if the workload is genuinely this large"
+    )
 
 
 class EventHandle:
@@ -127,17 +145,14 @@ class Simulator:
             return True
         return False
 
-    def run(self, max_events: int = 10_000_000) -> None:
+    def run(self, max_events: int = DEFAULT_EVENT_BUDGET) -> None:
         """Drain the event heap (bounded by ``max_events`` as a fuse)."""
         for _ in range(max_events):
             if not self.step():
                 return
-        raise RuntimeError(
-            f"simulation did not quiesce within {max_events} events; "
-            "likely an event loop in the model"
-        )
+        raise _budget_exhausted("Simulator.run", max_events)
 
-    def run_until(self, time: float, max_events: int = 10_000_000) -> None:
+    def run_until(self, time: float, max_events: int = DEFAULT_EVENT_BUDGET) -> None:
         """Process events up to simulated ``time`` (inclusive).
 
         Repeated calls with the same ``time`` are idempotent no-ops: the
@@ -152,9 +167,9 @@ class Simulator:
                 self._now = max(self._now, time)
                 return
             self.step()
-        raise RuntimeError("simulation did not quiesce; likely an event loop")
+        raise _budget_exhausted("Simulator.run_until", max_events)
 
-    def run_before(self, time: float, max_events: int = 10_000_000) -> None:
+    def run_before(self, time: float, max_events: int = DEFAULT_EVENT_BUDGET) -> None:
         """Process events *strictly* before simulated ``time``.
 
         The columnar replay drain uses this to reproduce the event
@@ -171,7 +186,7 @@ class Simulator:
                 self._now = max(self._now, time)
                 return
             self.step()
-        raise RuntimeError("simulation did not quiesce; likely an event loop")
+        raise _budget_exhausted("Simulator.run_before", max_events)
 
     def _peek_live(self) -> bool:
         """Drop cancelled entries from the heap top; report liveness."""

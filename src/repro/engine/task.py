@@ -92,6 +92,27 @@ class TaskDurationModel:
                               3.0 * self.provider.noise_sigma))
         return max(expected * (1.0 + noise), 1e-3)
 
+    def noise_block(self, n: int) -> np.ndarray:
+        """Draw ``n`` truncated noise multipliers in one vectorized call.
+
+        ``Generator.normal(0, sigma, size=n)`` consumes the rng stream
+        bitwise-identically to ``n`` sequential scalar draws, and the
+        vectorized clip matches the scalar clip elementwise, so a block
+        drawn here equals the noise the scalar :meth:`sample` path would
+        have produced for the same ``n`` consecutive calls.  Presampling
+        schedulers and compiled plan runners draw one block per query at
+        submit time and consume it in task-start order.
+        """
+        sigma = self.provider.noise_sigma
+        block = self._rng.normal(0.0, sigma, size=n)
+        np.clip(block, -3.0 * sigma, 3.0 * sigma, out=block)
+        return block
+
+    @staticmethod
+    def realize(expected: float, noise: float) -> float:
+        """Apply one presampled noise multiplier to a noise-free duration."""
+        return max(expected * (1.0 + noise), 1e-3)
+
     def expected(self, stage: StageSpec, kind: InstanceKind) -> float:
         """Noise-free duration of one task of ``stage`` on ``kind``."""
         if kind is InstanceKind.VM:

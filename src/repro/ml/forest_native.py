@@ -258,6 +258,44 @@ void forest_grid_matrix(
     default: GRID_DISPATCH(n_words); break;
     }
 }
+
+/* ------------------------------------------------------------------ */
+/* Matern 5/2 Gram build (repro.ml.kernels)                            */
+/* ------------------------------------------------------------------ */
+
+#include <math.h>
+
+/* One fused pass from the BLAS cross product to the Matern polynomial:
+ * squared-distance combination, clamp, sqrt, scaling and the degree-2
+ * polynomial, exactly in the numpy fallback's operation order so every
+ * intermediate double is bit-identical.  The exp pass stays on the
+ * Python side (np.exp and libm exp may disagree in the last ulp), so
+ * the kernel emits both the polynomial and the negated scaled distance
+ * for numpy to finish with one exp and one multiply. */
+void matern_gram(
+    const double *cross,   /* (n, m) a @ b.T */
+    const double *a_sq,    /* (n,) row norms of a */
+    const double *b_sq,    /* (m,) row norms of b */
+    double ell,            /* length scale */
+    int64_t n, int64_t m,
+    double *poly,          /* out: 1 + s + s^2/3 */
+    double *neg_s)         /* out: -s, for np.exp */
+{
+    const double root5 = sqrt(5.0);
+    for (int64_t i = 0; i < n; ++i) {
+        const double ai = a_sq[i];
+        const double *row = cross + i * m;
+        double *p = poly + i * m;
+        double *g = neg_s + i * m;
+        for (int64_t j = 0; j < m; ++j) {
+            double d = (ai + b_sq[j]) - row[j] * 2.0;
+            if (!(d > 0.0)) d = 0.0;
+            const double s = sqrt(d) * root5 / ell;
+            p[j] = (1.0 + s) + (s * s) / 3.0;
+            g[j] = -s;
+        }
+    }
+}
 """
 
 #: Row capacity of the grid kernel's set representation (64-bit words).
@@ -371,6 +409,17 @@ def load_kernel() -> ctypes.CDLL | None:
                     float_array,      # out (n_trees * n_req * n_rows)
                 ]
                 lib.forest_grid_matrix.restype = None
+                lib.matern_gram.argtypes = [
+                    float_array,      # cross (n, m)
+                    float_array,      # a_sq (n,)
+                    float_array,      # b_sq (m,)
+                    ctypes.c_double,  # length scale
+                    ctypes.c_int64,   # n
+                    ctypes.c_int64,   # m
+                    float_array,      # poly out (n, m)
+                    float_array,      # neg_s out (n, m)
+                ]
+                lib.matern_gram.restype = None
                 kernel = lib
             except (OSError, AttributeError):
                 kernel = None

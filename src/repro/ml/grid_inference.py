@@ -23,7 +23,12 @@ the grid** once per model version:
   kernel resolve the mask with an upper-bound binary search;
 - nodes splitting on request-constant columns route *all* rows one way;
   the boolean is computed for every (request, node) pair in one
-  vectorized numpy comparison before the kernel runs.
+  vectorized numpy comparison before the kernel runs;
+- compilation tracks the set of grid rows *reachable* at every node
+  (static splits narrow it; request-dependent splits pass it through) and
+  collapses static nodes that are degenerate for their reachable rows --
+  every row that can arrive goes the same way, so the node's entry is
+  replaced by the surviving child's and the kernel skips the visit.
 
 Descent then becomes a per-(tree, request) set-partition walk over
 bitmasks (``forest_grid_matrix`` in :mod:`repro.ml.forest_native`) with
@@ -124,26 +129,83 @@ class GridPack:
 
         static_nodes = np.nonzero(kind == _STATIC)[0]
         branch_nodes = np.nonzero(kind == _BRANCH)[0]
-        self.n_static = int(static_nodes.size)
-        self.n_branch = int(branch_nodes.size)
         self.n_scaled = int(np.count_nonzero(kind == _SCALED))
 
         # Static masks: rows where column value <= node threshold -- the
         # exact comparison the row-by-row engines evaluate.
-        static_bits = np.zeros((self.n_static, self.n_rows), dtype=bool)
+        static_bits = np.zeros((static_nodes.size, self.n_rows), dtype=bool)
         for column, values in column_values.items():
             selector = pack.feature[static_nodes] == column
             static_bits[selector] = (
                 np.asarray(values, dtype=np.float64)[None, :]
                 <= pack.threshold[static_nodes[selector], None]
             )
+
+        # Reach-based collapse.  Descend each tree with the set of grid
+        # rows that can still be on hand at every node: a static split
+        # narrows the set exactly as the kernel will, a branch or scaled
+        # split passes it through untouched (their verdicts depend on the
+        # request).  The runtime row set is always a subset of this reach,
+        # so a static node whose reachable rows all fall on one side is a
+        # guaranteed no-op: its table entry is replaced by the surviving
+        # child's, the kernel lands on that child's logic directly, and
+        # the leaf assignment -- hence the output -- is bit-for-bit
+        # unchanged.  Branch nodes in unreachable subtrees drop out of the
+        # go-left table (their comparisons were dead weight per request).
+        static_slot = np.full(pack.n_nodes, -1, dtype=np.int64)
+        static_slot[static_nodes] = np.arange(static_nodes.size)
+        node_alive = np.zeros(pack.n_nodes, dtype=bool)
+        collapse_to: dict[int, int] = {}
+        full_rows = np.ones(self.n_rows, dtype=bool)
+        stack: list[tuple[int, np.ndarray]] = [
+            (int(root), full_rows) for root in pack.roots
+        ]
+        while stack:
+            node, rows = stack.pop()
+            node_alive[node] = bool(rows.any())
+            node_kind = kind[node]
+            if node_kind == _LEAF:
+                continue
+            left = int(pack.left[node])
+            right = int(pack.right[node])
+            if node_kind == _STATIC:
+                mask = static_bits[static_slot[node]]
+                left_rows = rows & mask
+                right_rows = rows & ~mask
+                n_left = int(np.count_nonzero(left_rows))
+                if n_left == int(np.count_nonzero(rows)):
+                    collapse_to[node] = left
+                elif n_left == 0:
+                    collapse_to[node] = right
+                stack.append((left, left_rows))
+                stack.append((right, right_rows))
+            else:
+                stack.append((left, rows))
+                stack.append((right, rows))
+
+        # BFS numbering puts every child after its parent, so a reverse
+        # sweep resolves collapse chains in one pass.
+        final = np.arange(pack.n_nodes, dtype=np.int64)
+        for node in sorted(collapse_to, reverse=True):
+            final[node] = final[collapse_to[node]]
+        collapsed = np.zeros(pack.n_nodes, dtype=bool)
+        if collapse_to:
+            collapsed[np.fromiter(collapse_to, dtype=np.int64)] = True
+
+        keep_static = static_nodes[~collapsed[static_nodes]]
+        self.n_static_compiled = int(static_nodes.size)
+        self.n_static = int(keep_static.size)
+        self.n_collapsed = self.n_static_compiled - self.n_static
         self._static_masks = np.ascontiguousarray(
-            _pack_rows(static_bits, self.n_words)
+            _pack_rows(static_bits[static_slot[keep_static]], self.n_words)
         )
 
-        # Request-constant branch nodes, grouped by feature so the
-        # per-request go-left table fills through contiguous slice
-        # assignments (one broadcast comparison per constant feature).
+        # Request-constant branch nodes (reachable ones only), grouped by
+        # feature so the per-request go-left table fills through
+        # contiguous slice assignments (one broadcast comparison per
+        # constant feature).
+        branch_nodes = branch_nodes[node_alive[branch_nodes]]
+        self.n_branch = int(branch_nodes.size)
         branch_order = np.argsort(pack.feature[branch_nodes], kind="stable")
         branch_nodes = branch_nodes[branch_order]
         branch_features = pack.feature[branch_nodes]
@@ -163,14 +225,18 @@ class GridPack:
         # ``lk`` (the right child is adjacent after BFS renumbering),
         # ``aux`` indexes the kind's side table (word offsets for static
         # masks, go-left slots for branches), and ``thr`` doubles as the
-        # leaf value so a leaf visit needs no second load.
+        # leaf value so a leaf visit needs no second load.  Collapsed
+        # nodes take their surviving descendant's entry wholesale, so a
+        # degenerate chain costs one visit instead of its length.
         aux = np.zeros(pack.n_nodes, dtype=np.int64)
-        aux[static_nodes] = np.arange(static_nodes.size) * self.n_words
+        aux[keep_static] = np.arange(keep_static.size) * self.n_words
         aux[branch_nodes] = np.arange(branch_nodes.size)
+        lk_all = (np.where(is_leaf, 0, pack.left) << 2) | kind
+        thr_all = np.where(is_leaf, pack.value, pack.threshold)
         table = np.empty(pack.n_nodes, dtype=forest_native.GRID_NODE_DTYPE)
-        table["lk"] = (np.where(is_leaf, 0, pack.left) << 2) | kind
-        table["aux"] = aux
-        table["thr"] = np.where(is_leaf, pack.value, pack.threshold)
+        table["lk"] = lk_all[final]
+        table["aux"] = aux[final]
+        table["thr"] = thr_all[final]
         self._table = table
 
         # Scaled column: base * alpha is monotone in base for alpha >= 0,
@@ -271,6 +337,7 @@ class GridPack:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (
             f"GridPack(n_trees={self.n_trees}, n_rows={self.n_rows}, "
-            f"static={self.n_static}, branch={self.n_branch}, "
+            f"static={self.n_static} (collapsed {self.n_collapsed} of "
+            f"{self.n_static_compiled}), branch={self.n_branch}, "
             f"scaled={self.n_scaled})"
         )

@@ -11,6 +11,8 @@ import abc
 
 import numpy as np
 
+from repro.ml import forest_native
+
 __all__ = [
     "Kernel",
     "RBFKernel",
@@ -100,6 +102,35 @@ class Matern52Kernel(Kernel):
         self.length_scale = float(length_scale)
 
     def __call__(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        a, b = _as_matrix(a), _as_matrix(b)
+        kernel = forest_native.load_kernel()
+        if kernel is not None:
+            return self._gram_native(kernel, a, b)
+        return self._gram_numpy(a, b)
+
+    def _gram_native(self, kernel, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Ctypes Gram build: one fused C pass from the BLAS cross
+        product to the Matern polynomial and the negated scaled distance.
+
+        The exp pass stays in numpy -- ``np.exp`` and libm ``exp`` can
+        disagree in the last ulp -- so the native and numpy paths remain
+        bitwise identical (the C pass mirrors the fallback's operation
+        order exactly; see the kernel regression tests).
+        """
+        cross = np.ascontiguousarray(a @ b.T)
+        a_sq = np.ascontiguousarray(np.sum(a * a, axis=1))
+        b_sq = np.ascontiguousarray(np.sum(b * b, axis=1))
+        n, m = cross.shape
+        poly = np.empty((n, m))
+        neg_s = np.empty((n, m))
+        kernel.matern_gram(
+            cross, a_sq, b_sq, self.length_scale, n, m, poly, neg_s
+        )
+        np.exp(neg_s, out=neg_s)
+        np.multiply(poly, neg_s, out=poly)
+        return poly
+
+    def _gram_numpy(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
         # Fused in-place evaluation: one Gram-shaped scratch (``scaled``)
         # plus the polynomial accumulator, instead of a fresh temporary
         # per arithmetic step.  Every operation keeps the operand order
@@ -108,7 +139,6 @@ class Matern52Kernel(Kernel):
         # so the result is bitwise identical to the naive evaluation
         # (multiplication commutes exactly in IEEE-754; see the kernel
         # regression tests).
-        a, b = _as_matrix(a), _as_matrix(b)
         scaled = _squared_distances(a, b)
         np.sqrt(scaled, out=scaled)
         np.multiply(scaled, np.sqrt(5.0), out=scaled)

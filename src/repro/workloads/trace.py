@@ -22,6 +22,7 @@ __all__ = [
     "WorkloadTrace",
     "ColumnarTrace",
     "PoissonTraceGenerator",
+    "merge_arrival_columns",
 ]
 
 
@@ -277,3 +278,75 @@ class PoissonTraceGenerator:
                 TraceEvent(arrival_s=now, query_id=query_id, input_gb=size)
             )
         return WorkloadTrace(events=tuple(events))
+
+
+def merge_arrival_columns(
+    pairs: "list[tuple[str, WorkloadTrace | ColumnarTrace]]",
+) -> tuple[np.ndarray, tuple[str, ...], np.ndarray, np.ndarray, np.ndarray]:
+    """Merge per-tenant traces into one time-ordered column set.
+
+    Returns ``(times, query_ids, query_index, input_gb, tenant_index)``
+    with ``query_index`` into the deduplicated ``query_ids`` table and
+    ``tenant_index`` into ``pairs`` order.  The sort is stable, so equal
+    arrival times keep pair order (and, within a pair, trace order) --
+    the tie-break the serving event engine's upfront scheduling
+    produces.  Both serving engines drain these columns; a columnar
+    trace passes straight through without materialising event objects.
+    """
+    id_table: dict[str, int] = {}
+    times_parts: list[np.ndarray] = []
+    index_parts: list[np.ndarray] = []
+    size_parts: list[np.ndarray] = []
+    tenant_parts: list[np.ndarray] = []
+    for pair_index, (_, trace) in enumerate(pairs):
+        if isinstance(trace, ColumnarTrace):
+            remap = np.array(
+                [
+                    id_table.setdefault(query_id, len(id_table))
+                    for query_id in trace.query_ids
+                ],
+                dtype=np.int32,
+            )
+            times_parts.append(trace.arrival_s)
+            index_parts.append(
+                remap[trace.query_index]
+                if len(remap)
+                else trace.query_index
+            )
+            size_parts.append(trace.input_gb)
+        else:
+            times_parts.append(np.array(
+                [event.arrival_s for event in trace.events],
+                dtype=np.float64,
+            ))
+            index_parts.append(np.array(
+                [
+                    id_table.setdefault(event.query_id, len(id_table))
+                    for event in trace.events
+                ],
+                dtype=np.int32,
+            ))
+            size_parts.append(np.array(
+                [event.input_gb for event in trace.events],
+                dtype=np.float64,
+            ))
+        tenant_parts.append(
+            np.full(len(times_parts[-1]), pair_index, dtype=np.int32)
+        )
+    if not times_parts:
+        return (
+            np.empty(0, dtype=np.float64),
+            (),
+            np.empty(0, dtype=np.int32),
+            np.empty(0, dtype=np.float64),
+            np.empty(0, dtype=np.int32),
+        )
+    times = np.concatenate(times_parts)
+    order = np.argsort(times, kind="stable")
+    return (
+        times[order],
+        tuple(id_table),
+        np.concatenate(index_parts)[order],
+        np.concatenate(size_parts)[order],
+        np.concatenate(tenant_parts)[order],
+    )

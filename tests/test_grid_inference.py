@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.cloud.pricing import get_prices
 from repro.cloud.providers import get_provider
@@ -183,6 +185,80 @@ class TestGridPackDescent:
         engine = _grid_pack(predictor)
         with pytest.raises(ValueError):
             engine.tree_matrix(np.zeros((2, len(FEATURE_NAMES))), np.zeros(3))
+
+
+@pytest.mark.skipif(
+    not GridPack.available(), reason="native grid kernel unavailable"
+)
+class TestReachPruning:
+    """Reach-based collapse of degenerate static-mask nodes.
+
+    Mode-restricted grids pin an axis (vm-only fixes ``n_sl = 0``), so
+    every static split on the fixed axis routes all reachable rows one
+    way and must be collapsed at compile time -- with outputs that stay
+    bitwise identical to the uncollapsed stacked descent.
+    """
+
+    def test_restricted_grids_collapse_and_match(self):
+        predictor = _predictor()
+        pack = predictor.forest.packed()
+        for mode in ("vm-only", "sl-only"):
+            grid = predictor.candidate_grid(mode)
+            engine = _grid_pack(predictor, mode)
+            assert engine.n_collapsed > 0
+            assert (
+                engine.n_static + engine.n_collapsed
+                == engine.n_static_compiled
+            )
+            requests = _requests(5)
+            constants, alphas = _constants_and_alphas(requests)
+            stacked = np.vstack([r.feature_matrix(grid) for r in requests])
+            assert np.array_equal(
+                engine.tree_matrix(constants, alphas),
+                pack.tree_matrix(stacked),
+            )
+
+    def test_single_row_grid_collapses_every_static_node(self):
+        # One candidate row leaves no static split anything to separate:
+        # the whole static table must collapse away.
+        predictor = _predictor()
+        pack = predictor.forest.packed()
+        grid = predictor.candidate_grid("hybrid")[:1]
+        values, scaled = FeatureVector.grid_columns(grid[:, 0], grid[:, 1])
+        engine = GridPack(pack, values, scaled)
+        assert engine.n_static == 0
+        assert engine.n_collapsed == engine.n_static_compiled
+        requests = _requests(4)
+        constants, alphas = _constants_and_alphas(requests)
+        stacked = np.vstack([r.feature_matrix(grid) for r in requests])
+        assert np.array_equal(
+            engine.tree_matrix(constants, alphas), pack.tree_matrix(stacked)
+        )
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        n_rows=st.integers(min_value=1, max_value=12),
+        mode=st.sampled_from(["hybrid", "vm-only", "sl-only"]),
+    )
+    @settings(max_examples=15, deadline=None)
+    def test_random_subgrids_bitwise_exact(self, seed, n_rows, mode):
+        # For ANY row subset of any mode's grid -- the harder the
+        # restriction, the more reach-degenerate nodes -- the collapsed
+        # engine equals the stacked descent exactly.
+        predictor = _predictor()
+        pack = predictor.forest.packed()
+        full = predictor.candidate_grid(mode)
+        rng = np.random.default_rng(seed)
+        size = min(n_rows, full.shape[0])
+        grid = full[rng.choice(full.shape[0], size=size, replace=False)]
+        values, scaled = FeatureVector.grid_columns(grid[:, 0], grid[:, 1])
+        engine = GridPack(pack, values, scaled)
+        requests = _requests(3)
+        constants, alphas = _constants_and_alphas(requests)
+        stacked = np.vstack([r.feature_matrix(grid) for r in requests])
+        assert np.array_equal(
+            engine.tree_matrix(constants, alphas), pack.tree_matrix(stacked)
+        )
 
 
 class TestGridPackValidation:

@@ -548,6 +548,10 @@ class Scenario:
     retry_policy: RetryPolicy | None = None
     #: Admission-queue depth bound (None = unbounded, no shedding).
     max_pending_admission: int | None = None
+    #: Decision engine ("event" or "columnar").
+    engine: str = "event"
+    #: Submission path ("object", "presample" or "vector").
+    submission: str = "object"
 
 
 def _scenarios() -> tuple[Scenario, ...]:
@@ -727,6 +731,31 @@ def _scenarios() -> tuple[Scenario, ...]:
             fault_plan=FaultPlan(seed=222, vm_preemptions_per_hour=40.0),
             retry_policy=RetryPolicy(max_retries=5, backoff_base_s=1.0),
         ),
+        # ----- vectorized submission core: the columnar engine's batch
+        # leasing path must uphold every shared invariant (quotas,
+        # chargeback conservation, retry accounting) -- not just match
+        # the event engine field-for-field (test_serving_faults pins
+        # that equivalence).
+        Scenario(
+            name="vectorized-core-faults-quotas",
+            seed=223,
+            traces=_two_tenant_traces(n_hot=5, n_quiet=3),
+            tenants=TenantRegistry(
+                [
+                    TenantSpec("hot", max_leased_vms=3, max_in_flight=2),
+                    TenantSpec("quiet", weight=2.0),
+                ]
+            ),
+            pool_config=PoolConfig(max_vms=6, max_sls=8),
+            quota_tenants=("hot",),
+            batch_window_s="auto",
+            fault_plan=FaultPlan(
+                seed=7, sl_failure_rate=0.05, sl_failure_delay_s=4.0
+            ),
+            retry_policy=RetryPolicy(max_retries=3, backoff_base_s=2.0),
+            engine="columnar",
+            submission="vector",
+        ),
     )
 
 
@@ -750,6 +779,8 @@ def test_scenario_invariants(scenario: Scenario):
         fault_plan=scenario.fault_plan,
         retry_policy=scenario.retry_policy,
         max_pending_admission=scenario.max_pending_admission,
+        engine=scenario.engine,
+        submission=scenario.submission,
     )
     report = simulator.replay_multi(scenario.traces)
 

@@ -147,9 +147,37 @@ class TestEngineEquivalence:
         assert event.batched_decision_rate > 0.0
         assert report_signature(event) == report_signature(columnar)
 
-    def test_columnar_rejects_adaptive_window(self):
-        with pytest.raises(ValueError, match="static batch window"):
-            replay("columnar", make_trace(2.0), batch_window_s="auto")
+    def test_adaptive_window_groups_match(self):
+        # The adaptive ("auto") path now drains columnarly too: the
+        # columnar engine feeds the tuner arrival by arrival, so group
+        # boundaries -- which depend on the tuner's evolving state --
+        # match the event engine's.  A fixed-window tuner keeps the
+        # comparison deterministic (the real auto-tuner mixes measured
+        # wall-clock decision latency into its window).
+        from repro.core.forecast import AdaptiveBatchWindow
+
+        class _FixedWindow(AdaptiveBatchWindow):
+            def __init__(self, window_s: float) -> None:
+                super().__init__(max_window_s=window_s)
+                self._window_s = window_s
+
+            def window(self) -> float:
+                return self._window_s
+
+        trace = make_trace(n_minutes=6.0)
+        event = replay(
+            "event", trace, batch_window_s=_FixedWindow(5.0)
+        )
+        columnar = replay(
+            "columnar",
+            trace,
+            decision_reuse=False,
+            batch_window_s=_FixedWindow(5.0),
+        )
+        assert event.batched_decision_rate > 0.0
+        assert report_signature(event) == report_signature(columnar)
+        for a, b in zip(event.served, columnar.served):
+            assert served_signature(a) == served_signature(b)
 
     def test_unknown_engine_rejected(self):
         with pytest.raises(ValueError, match="engine"):

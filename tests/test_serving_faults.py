@@ -553,10 +553,14 @@ def _fault_scenarios(draw):
         seed=draw(st.integers(0, 2)),
         sl_rate=draw(st.sampled_from([0.0, 0.15, 0.5])),
         preempt=draw(st.sampled_from([0.0, 20.0])),
+        boot_rate=draw(st.sampled_from([0.0, 0.2])),
+        straggler=draw(st.sampled_from([0.0, 0.4])),
         max_retries=draw(st.integers(0, 3)),
         n=draw(st.integers(2, 4)),
         spacing=draw(st.sampled_from([5.0, 45.0])),
         shed_cap=draw(st.sampled_from([None, 1])),
+        window=draw(st.sampled_from([0.0, 8.0])),
+        second_tenant=draw(st.booleans()),
     )
 
 
@@ -641,3 +645,154 @@ class TestNoQueryLost:
         assert tenant.wasted_cost_dollars == pytest.approx(
             report.wasted_cost_dollars
         )
+
+
+def _replay_signature(report) -> dict:
+    """Every engine-independent field of a replay, reliability included.
+
+    Measured wall-clock decision timings are excluded (host time, not
+    simulated time), matching the engine-equivalence pin.
+    """
+    stream = report.stream
+    signature = {
+        "n_queries": report.n_queries,
+        "n_arrivals": report.n_arrivals,
+        "n_failed": report.n_failed,
+        "n_shed": report.n_shed,
+        "n_retries_total": report.n_retries_total,
+        "availability": report.availability,
+        "query_cost": report.query_cost_dollars,
+        "keepalive_cost": report.keepalive_cost_dollars,
+        "wasted_cost": report.wasted_cost_dollars,
+        "p50": (
+            report.latency_percentile(50) if report.n_queries else None
+        ),
+        "p99": (
+            report.latency_percentile(99) if report.n_queries else None
+        ),
+        "queueing_p50": (
+            report.queueing_delay_percentile(50)
+            if report.n_queries
+            else None
+        ),
+        "slo": report.slo_attainment if report.n_queries else None,
+        "batched": report.batched_decision_rate,
+        "warm": report.warm_start_rate,
+        "retrains": report.n_retrains,
+        "peaks": report.tenant_in_flight_peaks,
+        "latency_sample": stream.latency._sample,
+    }
+    for tenant, ts in (stream.tenant_streams or {}).items():
+        signature[f"tenant:{tenant}"] = (
+            ts.n,
+            ts.n_failed,
+            ts.n_retries,
+            ts.latency._sample,
+            ts.wasted_cost.value,
+        )
+    return signature
+
+
+def _served_fields(query) -> tuple:
+    return (
+        query.arrival_s,
+        query.tenant,
+        query.waiting_apps_at_submit,
+        query.queueing_delay_s,
+        query.decision_batch_size,
+        query.batching_delay_s,
+        query.admission_delay_s,
+        query.quota_delay_s,
+        query.outcome.decision.config,
+        query.outcome.cost_dollars,
+        query.latency_s,
+        query.n_retries,
+        query.wasted_cost_dollars,
+        query.retry_delay_s,
+    )
+
+
+def _dropped_fields(drop) -> tuple:
+    return (
+        drop.arrival_s,
+        drop.query_id,
+        drop.tenant,
+        drop.reason,
+        drop.n_retries,
+        drop.wasted_cost_dollars,
+    )
+
+
+class TestVectorizedSubmissionEquivalence:
+    """Compiled-plan vector submission == event engine, faults included.
+
+    Reuses the no-query-lost strategy: arbitrary multi-tenant traces
+    with fault plans, retries, admission shedding and coalescing
+    windows.  The pinned pair is event+presample vs columnar+vector --
+    the locked noise convention under which both engines consume the
+    duration-model rng stream identically -- compared field for field
+    down to the per-query and per-drop records.
+    """
+
+    def _replay(self, scenario, engine: str, submission: str):
+        tenants = [TenantSpec("t", max_in_flight=2)]
+        traces = {
+            "t": build_bursty_trace(
+                scenario["n"], spacing_s=scenario["spacing"]
+            )
+        }
+        if scenario["second_tenant"]:
+            tenants.append(
+                TenantSpec(
+                    "u", weight=2.0, max_leased_vms=6, max_leased_sls=6
+                )
+            )
+            traces["u"] = build_bursty_trace(
+                scenario["n"], spacing_s=scenario["spacing"], start_s=3.0
+            )
+        registry = TenantRegistry(tenants)
+        system = build_small_system(
+            seed=260 + scenario["seed"],
+            n_configs_per_query=6,
+            max_vm=6,
+            max_sl=6,
+            tenants=registry,
+        )
+        simulator = ServingSimulator(
+            system,
+            pool_config=PoolConfig(max_vms=12, max_sls=12),
+            tenants=registry,
+            engine=engine,
+            submission=submission,
+            decision_reuse=False,
+            batch_window_s=scenario["window"],
+            fault_plan=FaultPlan(
+                seed=scenario["seed"],
+                sl_failure_rate=scenario["sl_rate"],
+                sl_failure_delay_s=5.0,
+                vm_preemptions_per_hour=scenario["preempt"],
+                boot_failure_rate=scenario["boot_rate"],
+                straggler_rate=scenario["straggler"],
+                straggler_factor=2.0,
+            ),
+            retry_policy=RetryPolicy(
+                max_retries=scenario["max_retries"], backoff_base_s=3.0
+            ),
+            max_pending_admission=scenario["shed_cap"],
+        )
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", RuntimeWarning)
+            return simulator.replay_multi(traces)
+
+    @given(scenario=_fault_scenarios())
+    @REPLAY_SETTINGS
+    def test_vector_replay_matches_event_engine(self, scenario):
+        event = self._replay(scenario, "event", "presample")
+        vector = self._replay(scenario, "columnar", "vector")
+        assert _replay_signature(event) == _replay_signature(vector)
+        assert len(event.served) == len(vector.served)
+        for a, b in zip(event.served, vector.served):
+            assert _served_fields(a) == _served_fields(b)
+        assert len(event.dropped) == len(vector.dropped)
+        for a, b in zip(event.dropped, vector.dropped):
+            assert _dropped_fields(a) == _dropped_fields(b)
