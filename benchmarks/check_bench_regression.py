@@ -44,6 +44,10 @@ _SPEEDUP_KEYS = (
     # the adaptive-window columnar leg vs the event baseline.
     "vector_speedup",
     "adaptive_speedup",
+    # bench_slo: interactive SLO attainment under deadline-aware grants
+    # (in [0, 1], simulation-deterministic; cost_efficiency above covers
+    # the fair-over-slo cost ratio).
+    "interactive_attainment",
 )
 
 

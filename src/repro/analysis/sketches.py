@@ -199,11 +199,22 @@ class ReservoirQuantiles:
         return self._max
 
     def percentile(self, q: float) -> float:
+        """The ``q``-th percentile (``0 <= q <= 100``) of the stream.
+
+        Exact while the sample still holds the whole stream; the
+        boundaries ``q=0`` and ``q=100`` are exact *always* (they read
+        the tracked extremes, not the sample), and interior estimates
+        are clamped into ``[minimum, maximum]``.  An out-of-range ``q``
+        is an error, never a silent clamp to an extreme.
+        """
         if not self._count:
             raise ValueError("empty sketch has no percentiles")
-        if q <= 0.0:
+        q = float(q)
+        if not 0.0 <= q <= 100.0:
+            raise ValueError("percentile q must be within [0, 100]")
+        if q == 0.0:
             return self._min
-        if q >= 100.0:
+        if q == 100.0:
             return self._max
         estimate = float(np.percentile(np.asarray(self._sample), q))
         return min(max(estimate, self._min), self._max)

@@ -72,6 +72,7 @@ __all__ = [
     "AutoscalerPolicy",
     "ClusterPool",
     "DEFAULT_TENANT",
+    "DeadlineAwareGrant",
     "DemandAutoscaler",
     "FifoGrant",
     "FixedKeepAlive",
@@ -84,6 +85,7 @@ __all__ = [
     "PoolShard",
     "PoolStats",
     "ShardRouter",
+    "TENANT_TIERS",
     "TenantAffinityRouter",
     "TenantRegistry",
     "TenantSpec",
@@ -132,9 +134,16 @@ class PoolConfig:
 # ---------------------------------------------------------------------------
 
 
+#: The two service tiers SLO scheduling distinguishes.  Interactive
+#: tenants hold latency SLOs and are never preemption victims; batch
+#: tenants may be cooperatively preempted (checkpoint + requeue) when an
+#: interactive request is about to miss its deadline.
+TENANT_TIERS = ("batch", "interactive")
+
+
 @dataclasses.dataclass(frozen=True)
 class TenantSpec:
-    """One tenant's fair-share weight and hard quotas.
+    """One tenant's fair-share weight, hard quotas and SLO tier.
 
     Attributes
     ----------
@@ -150,6 +159,16 @@ class TenantSpec:
         Cap on the tenant's concurrently in-flight queries.  The pool does
         not see queries, so this quota is enforced by the admission layer
         (:class:`~repro.core.serving.ServingSimulator`), not here.
+    slo_latency_s:
+        The tenant's end-to-end latency SLO (``None`` = no SLO).  Leases
+        acquired without an explicit deadline derive one from this
+        (``request time + slo_latency_s``); :class:`DeadlineAwareGrant`
+        orders the queue by the remaining slack against it, and serving
+        reports per-tenant attainment against it.
+    tier:
+        ``"interactive"`` or ``"batch"``.  Only batch-tier leases whose
+        holder registered a checkpoint hook are eligible victims for
+        cooperative preemption.
     """
 
     name: str
@@ -157,6 +176,8 @@ class TenantSpec:
     max_leased_vms: int | None = None
     max_leased_sls: int | None = None
     max_in_flight: int | None = None
+    slo_latency_s: float | None = None
+    tier: str = "batch"
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -169,6 +190,12 @@ class TenantSpec:
                 raise ValueError(f"{field_name} must be non-negative")
         if self.max_in_flight is not None and self.max_in_flight < 1:
             raise ValueError("max_in_flight must be at least 1")
+        if self.slo_latency_s is not None and not self.slo_latency_s > 0.0:
+            raise ValueError("slo_latency_s must be positive")
+        if self.tier not in TENANT_TIERS:
+            raise ValueError(
+                f"tier must be one of {TENANT_TIERS}, got {self.tier!r}"
+            )
 
 
 class TenantRegistry:
@@ -367,6 +394,10 @@ class PoolStats:
     boot_failures: int = 0
     warm_kills: int = 0
     leases_revoked: int = 0
+    #: Cooperative preemptions: batch-tier leases checkpointed, revoked
+    #: and requeued so a deadline-pressed interactive request could be
+    #: granted (distinct from fault-injected ``preemptions``).
+    coop_preemptions: int = 0
     #: Exact time conservation ledger: every second of a pooled
     #: instance's life (spawn to termination) is either *leased* to a
     #: query or *idle* in a warm set, so ``instance_seconds`` equals
@@ -455,6 +486,8 @@ class PoolLease:
         requested_vm: int | None = None,
         requested_sl: int | None = None,
         tenant: str = DEFAULT_TENANT,
+        deadline_s: float | None = None,
+        tier: str = "batch",
     ) -> None:
         self.seq = next(self._ids)
         self.n_vm = n_vm
@@ -464,6 +497,13 @@ class PoolLease:
         self.requested_at = requested_at
         self.granted_at: float | None = None
         self.tenant = tenant
+        #: Absolute SLO deadline the request is racing (``None`` = no
+        #: deadline).  :class:`DeadlineAwareGrant` orders queued requests
+        #: by the remaining slack against it.
+        self.deadline_s = deadline_s
+        #: The tenant's service tier at request time ("interactive" or
+        #: "batch"); only batch leases are preemption victims.
+        self.tier = tier
         #: Name of the shard serving the lease; routed at request time,
         #: reassigned if another shard steals the queued request.
         self.shard: str | None = None
@@ -483,6 +523,16 @@ class PoolLease:
         #: Set by the holder (e.g. the task scheduler) to be told when a
         #: fault revokes the lease mid-flight; receives the kill reason.
         self.on_revoked: Callable[[str], None] | None = None
+        #: Cooperative-preemption checkpoint hook.  A holder that can
+        #: suspend its work (capture in-flight task remainders and
+        #: requeue) sets this; the pool calls it immediately *before*
+        #: revoking the lease as a preemption victim, so the holder can
+        #: checkpoint while its scheduled events are still live.  Leases
+        #: without the hook are never preempted.
+        self.on_preempt: Callable[[str], None] | None = None
+        #: How many times this lease was cooperatively preempted (set by
+        #: the pool for observability; a requeued attempt is a new lease).
+        self.preempted = False
         #: Whether a fault revoked this lease before it released cleanly.
         self.revoked = False
         #: Itemised cost of the revoked attempt (forfeited into the
@@ -522,6 +572,12 @@ class PoolLease:
         if self.granted_at is None:
             return 0.0
         return self.granted_at - self.requested_at
+
+    def slack_s(self, now: float) -> float:
+        """Seconds of headroom until the deadline (+inf without one)."""
+        if self.deadline_s is None:
+            return float("inf")
+        return self.deadline_s - now
 
     @property
     def active_instances(self) -> list[Instance]:
@@ -905,6 +961,52 @@ class WeightedFairGrant(GrantPolicy):
         return "weighted-fair"
 
 
+class DeadlineAwareGrant(GrantPolicy):
+    """Least remaining SLO slack first (earliest-deadline-first grants).
+
+    Queued requests are ordered by ``deadline - now``: the request
+    closest to missing its SLO is granted first.  Requests without a
+    deadline (no tenant SLO) sort at infinite slack, i.e. behind every
+    deadlined request, in arrival order among themselves -- so with all
+    SLOs unset the candidate order degenerates to exact arrival order
+    and grants replay identically to a single-tenant FIFO.
+
+    With ``preempt=True`` the policy additionally authorises cooperative
+    preemption: when a deadlined request's slack falls below
+    ``preempt_slack_s`` and its shard cannot fit it, the pool may
+    checkpoint-and-requeue a *batch-tier* granted lease whose holder
+    registered an :attr:`PoolLease.on_preempt` hook, freeing capacity
+    for the urgent request.  The victim's spend so far is forfeited into
+    the pool's ``wasted_cost`` ledger exactly like a fault revocation,
+    but the shard's health meter is left untouched (a preemption is a
+    policy decision, not a fault).
+    """
+
+    def __init__(
+        self, preempt: bool = False, preempt_slack_s: float = 0.0
+    ) -> None:
+        if preempt_slack_s < 0.0:
+            raise ValueError("preempt_slack_s must be non-negative")
+        self.preempt = preempt
+        self.preempt_slack_s = preempt_slack_s
+
+    def candidates(
+        self, shard: PoolShard, pool: "ClusterPool"
+    ) -> list[PoolLease]:
+        now = pool.simulator.now
+        return sorted(
+            shard.queue,
+            key=lambda lease: (lease.slack_s(now), lease.seq),
+        )
+
+    def describe(self) -> str:
+        if self.preempt:
+            return (
+                f"deadline-aware(preempt, slack<{self.preempt_slack_s:g}s)"
+            )
+        return "deadline-aware"
+
+
 class ClusterPool:
     """Owns VM/SL instances across query lifetimes.
 
@@ -1009,6 +1111,12 @@ class ClusterPool:
         self._tenant_leased: dict[str, tuple[int, int]] = {}
         self._tenant_peaks: dict[str, tuple[int, int]] = {}
         self._tenant_service: dict[str, float] = {}
+        # Re-entrancy guard for _pump: a cooperative preemption revokes a
+        # lease *inside* the pump loop, and revoke_lease (and the
+        # victim's synchronous re-acquire) call _pump again; the nested
+        # calls just flag the outer loop to run another pass.
+        self._pumping = False
+        self._pump_again = False
 
     # ------------------------------------------------------------------
     # Introspection
@@ -1186,6 +1294,7 @@ class ClusterPool:
         on_instance_ready: Callable[[Instance, bool], None],
         on_granted: Callable[[PoolLease], None] | None = None,
         tenant: str = DEFAULT_TENANT,
+        deadline_s: float | None = None,
     ) -> PoolLease:
         """Request ``n_vm`` VMs plus ``n_sl`` SLs for one query.
 
@@ -1198,6 +1307,13 @@ class ClusterPool:
         ``on_instance_ready(instance, warm)`` fires after the (warm or
         cold) boot; ``on_granted(lease)`` fires once at grant time, after
         the lease's instance lists are filled.
+
+        ``deadline_s`` is the absolute SLO deadline the request races
+        (used by :class:`DeadlineAwareGrant`); when ``None`` and the
+        tenant's spec carries ``slo_latency_s``, the deadline defaults to
+        ``now + slo_latency_s``.  Callers that know the query's true
+        arrival time (the serving layer, where admission and batching
+        delays precede the pool request) pass it explicitly.
         """
         if n_vm < 0 or n_sl < 0:
             raise ValueError("instance counts must be non-negative")
@@ -1206,7 +1322,8 @@ class ClusterPool:
         spec = self.tenants.get(tenant)
         shard = self._shards[self.router.route(n_vm, n_sl, tenant, self)]
         return self._acquire_on(
-            shard, spec, n_vm, n_sl, on_instance_ready, on_granted, tenant
+            shard, spec, n_vm, n_sl, on_instance_ready, on_granted, tenant,
+            deadline_s,
         )
 
     def acquire_many(
@@ -1216,7 +1333,8 @@ class ClusterPool:
         """Grant a whole group's leases in one pass over shard state.
 
         ``requests`` is a list of ``(n_vm, n_sl, on_instance_ready,
-        on_granted, tenant)`` tuples, processed in order with semantics
+        on_granted, tenant)`` tuples -- optionally with a sixth element,
+        the absolute ``deadline_s`` -- processed in order with semantics
         identical to sequential :meth:`acquire` calls -- grant-policy
         ordering, quotas, work stealing and fault arming are all
         event-exact, since each grant/queue decision observes the pool
@@ -1231,7 +1349,13 @@ class ClusterPool:
             single = next(iter(self._shards.values()))
         specs: dict[str, TenantSpec] = {}
         leases: list[PoolLease] = []
-        for n_vm, n_sl, on_instance_ready, on_granted, tenant in requests:
+        for request in requests:
+            if len(request) == 5:
+                n_vm, n_sl, on_instance_ready, on_granted, tenant = request
+                deadline_s = None
+            else:
+                (n_vm, n_sl, on_instance_ready, on_granted, tenant,
+                 deadline_s) = request
             if n_vm < 0 or n_sl < 0:
                 raise ValueError("instance counts must be non-negative")
             if n_vm + n_sl == 0:
@@ -1248,7 +1372,7 @@ class ClusterPool:
             leases.append(
                 self._acquire_on(
                     shard, spec, n_vm, n_sl, on_instance_ready,
-                    on_granted, tenant,
+                    on_granted, tenant, deadline_s,
                 )
             )
         return leases
@@ -1262,6 +1386,7 @@ class ClusterPool:
         on_instance_ready: Callable[[Instance, bool], None],
         on_granted: Callable[[PoolLease], None] | None,
         tenant: str,
+        deadline_s: float | None = None,
     ) -> PoolLease:
         clamped_vm = min(n_vm, shard.config.max_vms)
         clamped_sl = min(n_sl, shard.config.max_sls)
@@ -1276,6 +1401,8 @@ class ClusterPool:
                 f"request (shard max {shard.config.max_vms} VM, "
                 f"{shard.config.max_sls} SL)"
             )
+        if deadline_s is None and spec.slo_latency_s is not None:
+            deadline_s = self.simulator.now + spec.slo_latency_s
         lease = PoolLease(
             n_vm=clamped_vm,
             n_sl=clamped_sl,
@@ -1285,6 +1412,8 @@ class ClusterPool:
             requested_vm=n_vm,
             requested_sl=n_sl,
             tenant=tenant,
+            deadline_s=deadline_s,
+            tier=spec.tier,
         )
         lease.shard = shard.name
         if not shard.queue and shard.fits(lease) and self.quota_allows(lease):
@@ -1303,7 +1432,18 @@ class ClusterPool:
         return lease
 
     def _note_quota_block(self, lease: PoolLease) -> None:
-        """Record that the lease is waiting on quota, not capacity."""
+        """Record that the lease is waiting on quota, not capacity.
+
+        Interval-exactness audit: ``quota_blocked_since`` is stamped only
+        when no interval is open (``None``), and both closers
+        (:meth:`_note_capacity_block` and :meth:`_grant`) add the open
+        interval to ``quota_delay_s`` exactly once and clear the stamp in
+        the same step -- so a lease that blocks, unblocks and re-blocks
+        accumulates each blocked interval exactly once, never twice.
+        Re-noting an already-open block at a later timestamp is a no-op
+        by design: the interval start must stay the *first* instant the
+        lease was found quota-blocked.
+        """
         if lease.quota_blocked_since is None:
             lease.quota_blocked_since = self.simulator.now
         if not lease._quota_ever_blocked:
@@ -1483,9 +1623,19 @@ class ClusterPool:
         self._pump()
 
     def release(self, lease: PoolLease) -> None:
-        """Release every worker the lease still holds."""
+        """Release every worker the lease still holds.
+
+        The holder is done with the lease, so it stops being a
+        cooperative-preemption target *before* any capacity frees up:
+        each ``release_instance`` pumps the grant queue, and a pump
+        mid-teardown must not pick this very lease as a victim (its
+        attempt has nothing left to checkpoint, and revoking it would
+        forfeit a finished query's spend as wasted).
+        """
+        lease.on_preempt = None
         for instance in list(lease.active_instances):
-            self.release_instance(lease, instance)
+            if lease.is_active(instance):
+                self.release_instance(lease, instance)
 
     def cancel_pending_boot(self, lease: PoolLease, instance: Instance) -> None:
         """Cancel an instance's not-yet-fired boot event.
@@ -1547,6 +1697,7 @@ class ClusterPool:
         lease: PoolLease,
         reason: str,
         dead_instance: Instance | None = None,
+        note_fault: bool = True,
     ) -> None:
         """Tear a lease down mid-flight, forfeiting its spend.
 
@@ -1560,6 +1711,11 @@ class ClusterPool:
         release (the *workers* are fine -- the attempt is not).  The
         holder is told last, via ``lease.on_revoked(reason)``, after all
         pool state is consistent.
+
+        ``note_fault=False`` skips the fault classification and the
+        shard's health meter: a cooperative preemption forfeits spend
+        through the same ledgers but is a scheduling decision, not a
+        shard fault, so :class:`HealthAwareRouter` must not trip on it.
         """
         if not lease.is_granted or lease.revoked:
             return
@@ -1616,8 +1772,9 @@ class ClusterPool:
         shard.wasted_cost.accrue(forfeited)
         self.stats.wasted_seconds += wasted_seconds
         self.stats.leases_revoked += 1
-        self._count_fault(reason)
-        self._note_shard_fault(shard)
+        if note_fault:
+            self._count_fault(reason)
+            self._note_shard_fault(shard)
         if lease.on_revoked is not None:
             lease.on_revoked(reason)
         self._pump()
@@ -1699,10 +1856,34 @@ class ClusterPool:
     def _pump(self) -> None:
         """Grant queued requests while any shard can make progress.
 
+        Re-entrant calls (a preemption's revoke, or a holder re-acquiring
+        from inside its revocation callback) only flag the outer loop to
+        run another full pass, so grant ordering stays a property of one
+        loop rather than of the callback nesting.
+        """
+        if self._pumping:
+            self._pump_again = True
+            return
+        self._pumping = True
+        try:
+            while True:
+                self._pump_again = False
+                self._pump_once()
+                if not self._pump_again:
+                    break
+        finally:
+            self._pumping = False
+
+    def _pump_once(self) -> None:
+        """One pump pass: grants, then work stealing, then preemption.
+
         Each round serves every shard's own queue through the grant
         policy, then lets shards with leftover free capacity steal queued
         requests homed elsewhere; rounds repeat until a full pass grants
         nothing.  Every grant consumes capacity, so the loop terminates.
+        A preemption-enabled grant policy then gets one chance to evict
+        a batch-tier lease for a deadline-pressed request that the round
+        could not serve.
         """
         for shard in self._shards.values():
             if shard.queue:
@@ -1732,6 +1913,73 @@ class ClusterPool:
                     self.stats.work_steals += 1
                     self._grant(lease, thief)
                     progressed = True
+        if getattr(self.grant_policy, "preempt", False):
+            self._try_preempt()
+
+    def _try_preempt(self) -> None:
+        """Evict one batch-tier lease for a deadline-pressed request.
+
+        For each shard, the most urgent queued request whose slack has
+        fallen below the policy's ``preempt_slack_s`` is matched against
+        the shard's granted leases: an eligible victim is batch-tier,
+        cooperatively checkpointable (``on_preempt`` set), granted
+        *before* this instant (a lease granted at the current timestamp
+        cannot be re-evicted -- that would let grant/preempt cycles spin
+        without time advancing), and large enough that revoking it lets
+        the urgent request fit.  Among eligible victims the most
+        recently granted wins -- it has the least sunk spend to forfeit.
+        At most one victim is evicted per pump pass; the revoke re-pumps,
+        and the freed capacity goes to the urgent request first because
+        the deadline policy orders it ahead of any requeued victim.
+        """
+        now = self.simulator.now
+        threshold = self.grant_policy.preempt_slack_s
+        for shard in self._shards.values():
+            if not shard.queue:
+                continue
+            urgent: PoolLease | None = None
+            for lease in self.grant_policy.candidates(shard, self):
+                if lease.slack_s(now) >= threshold:
+                    break  # sorted by slack: nothing urgent follows
+                if self.quota_allows(lease):
+                    urgent = lease
+                    break
+            if urgent is None:
+                continue
+            victim: PoolLease | None = None
+            for held in set(self._lease_by_instance.values()):
+                if (
+                    held.shard != shard.name
+                    or held.tier != "batch"
+                    or held.on_preempt is None
+                    or held.revoked
+                    or not held.is_granted
+                    or held.granted_at >= now
+                ):
+                    continue
+                vm_held = sl_held = 0
+                for open_segment in held._open.values():
+                    if open_segment.instance.kind is InstanceKind.VM:
+                        vm_held += 1
+                    else:
+                        sl_held += 1
+                if (
+                    shard.free_vms + vm_held < urgent.n_vm
+                    or shard.free_sls + sl_held < urgent.n_sl
+                ):
+                    continue
+                if victim is None or (
+                    (held.granted_at, held.seq)
+                    > (victim.granted_at, victim.seq)
+                ):
+                    victim = held
+            if victim is None:
+                continue
+            victim.preempted = True
+            self.stats.coop_preemptions += 1
+            victim.on_preempt("preempted-coop")
+            self.revoke_lease(victim, "preempted-coop", note_fault=False)
+            return
 
     def _steal_candidate(self, thief: PoolShard) -> PoolLease | None:
         """A grant-eligible request another shard holds that fits here.

@@ -227,6 +227,16 @@ class PredictiveKeepAlive(AutoscalerPolicy):
     per_shard:
         When true (default), forecasts are scoped to the releasing
         shard; false restores pool-global forecasting.
+    duration_fraction:
+        Duration-aware break-even: widen the park bound by this fraction
+        of the smoothed observed query duration (fed via
+        :meth:`observe_duration`).  A long-running workload amortises a
+        parked worker's idle spend over far more billed lease time --
+        and a cold boot delays a long query's completion just as much as
+        a short one's -- so the longer the typical query, the further
+        past the raw boot-gap break-even parking stays worthwhile.  The
+        default ``0.0`` ignores durations entirely (the original bound,
+        bit for bit).
     """
 
     def __init__(
@@ -235,13 +245,18 @@ class PredictiveKeepAlive(AutoscalerPolicy):
         headroom: float = 2.0,
         max_keep_alive_s: float = 600.0,
         per_shard: bool = True,
+        duration_fraction: float = 0.0,
     ) -> None:
         if headroom <= 0.0 or max_keep_alive_s < 0.0:
             raise ValueError("headroom must be positive, the cap non-negative")
+        if duration_fraction < 0.0:
+            raise ValueError("duration_fraction must be non-negative")
         self.forecaster = forecaster or ArrivalForecaster()
         self.headroom = headroom
         self.max_keep_alive_s = max_keep_alive_s
         self.per_shard = per_shard
+        self.duration_fraction = duration_fraction
+        self._duration_ewma: float | None = None
 
     def observe_arrival(
         self, class_key: object, time_s: float, scope: str | None = None
@@ -253,6 +268,49 @@ class PredictiveKeepAlive(AutoscalerPolicy):
         for every arrival it serves.
         """
         self.forecaster.observe(class_key, time_s, scope=scope)
+
+    def observe_duration(self, seconds: float) -> None:
+        """Feed one completed query's duration into the smoothed estimate.
+
+        An EWMA (alpha 0.3, matching the forecaster's default) keeps the
+        estimate responsive to workload shifts without letting a single
+        outlier swing the park bound.  Non-positive durations are
+        ignored.  Only consulted when ``duration_fraction > 0``.
+        """
+        seconds = float(seconds)
+        if seconds <= 0.0:
+            return
+        if self._duration_ewma is None:
+            self._duration_ewma = seconds
+        else:
+            self._duration_ewma += 0.3 * (seconds - self._duration_ewma)
+
+    @property
+    def duration_estimate_s(self) -> float | None:
+        """The smoothed query duration, or ``None`` before any sample."""
+        return self._duration_ewma
+
+    def park_bound_s(
+        self,
+        kind: InstanceKind,
+        pool: ClusterPool,
+        shard: PoolShard | None = None,
+    ) -> float:
+        """The duration-weighted park bound: break-even plus amortisation.
+
+        The raw break-even compares idle spend against the warm-boot
+        saving of a *single* hand-over.  When typical queries run long,
+        each hand-over also amortises the parked worker's idle bill over
+        far more billed lease time (and a cold boot delays a long query's
+        completion just as much as a short one's), so parking stays
+        worthwhile a little past the raw bound.  The widening is
+        ``duration_fraction * duration_ewma``; with the default fraction
+        of zero this is exactly :meth:`break_even_s`.
+        """
+        bound = self.break_even_s(kind, pool, shard)
+        if self.duration_fraction > 0.0 and self._duration_ewma is not None:
+            bound += self.duration_fraction * self._duration_ewma
+        return bound
 
     def break_even_s(
         self,
@@ -292,7 +350,7 @@ class PredictiveKeepAlive(AutoscalerPolicy):
         pool: ClusterPool,
         shard: PoolShard | None = None,
     ) -> float:
-        bound = self.break_even_s(kind, pool, shard)
+        bound = self.park_bound_s(kind, pool, shard)
         if shard is not None and self._backlog_wants(kind, pool, shard):
             # Queued demand is an arrival that already happened: the
             # released worker is about to be re-granted, so park it
@@ -343,9 +401,14 @@ class PredictiveKeepAlive(AutoscalerPolicy):
 
     def describe(self) -> str:
         scope = "per-shard" if self.per_shard else "pool-global"
+        duration = (
+            f", duration-weighted({self.duration_fraction:g})"
+            if self.duration_fraction > 0.0
+            else ""
+        )
         return (
             f"predictive-keep-alive(headroom={self.headroom:g}, "
-            f"max={self.max_keep_alive_s:g}s, {scope})"
+            f"max={self.max_keep_alive_s:g}s, {scope}{duration})"
         )
 
 

@@ -117,15 +117,23 @@ class JobInitializer:
         knob: float | None = None,
         mode: str = "hybrid",
         num_waiting_apps: int = 0,
+        max_vm: int | None = None,
+        max_sl: int | None = None,
     ) -> tuple[RequestContext, ConfigDecision]:
         """Steps 1-6: assemble inputs (Similarity Checker for aliens) and
-        determine the configuration."""
+        determine the configuration.
+
+        ``max_vm`` / ``max_sl`` cap the candidate search (quota-priced
+        sizing: the submitting tenant's lease quota bounds the grid).
+        """
         if knob is None:
             knob = self.properties.knob
         context = self.mfe.build_request(
             query, self.predictor, num_waiting_apps=num_waiting_apps
         )
-        decision = self.predictor.determine(context.request, knob=knob, mode=mode)
+        decision = self.predictor.determine(
+            context.request, knob=knob, mode=mode, max_vm=max_vm, max_sl=max_sl
+        )
         return context, decision
 
     def decide_many(
@@ -134,6 +142,8 @@ class JobInitializer:
         knob: float | None = None,
         mode: str = "hybrid",
         num_waiting_apps: int = 0,
+        max_vm: int | None = None,
+        max_sl: int | None = None,
     ) -> list[tuple[RequestContext, ConfigDecision]]:
         """Steps 1-6 for a whole group of queued arrivals at once.
 
@@ -153,7 +163,11 @@ class JobInitializer:
             for index, query in enumerate(queries)
         ]
         decisions = self.predictor.determine_batch(
-            [context.request for context in contexts], knob=knob, mode=mode
+            [context.request for context in contexts],
+            knob=knob,
+            mode=mode,
+            max_vm=max_vm,
+            max_sl=max_sl,
         )
         return list(zip(contexts, decisions))
 

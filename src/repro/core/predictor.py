@@ -390,23 +390,52 @@ class WorkloadPredictor:
     # Resource determination (Eq. 2 + Eq. 4)
     # ------------------------------------------------------------------
 
-    def candidate_grid(self, mode: str = "hybrid") -> np.ndarray:
+    def _effective_bounds(
+        self, max_vm: int | None, max_sl: int | None
+    ) -> tuple[int, int]:
+        """Clamp caller-supplied search bounds to the configured grid.
+
+        Tenant quotas (``TenantSpec.max_leased_vms`` / ``max_leased_sls``)
+        arrive here as *caps*: they can only shrink the search space, never
+        widen it.  ``None`` means no override.  A cap pair that would leave
+        no worker at all is ignored -- an unsatisfiable quota must degrade
+        to the unconstrained search, not an empty grid.
+        """
+        eff_vm = self.max_vm if max_vm is None else min(self.max_vm, int(max_vm))
+        eff_sl = self.max_sl if max_sl is None else min(self.max_sl, int(max_sl))
+        eff_vm = max(eff_vm, 0)
+        eff_sl = max(eff_sl, 0)
+        if eff_vm + eff_sl == 0:
+            return (self.max_vm, self.max_sl)
+        return (eff_vm, eff_sl)
+
+    def candidate_grid(
+        self,
+        mode: str = "hybrid",
+        max_vm: int | None = None,
+        max_sl: int | None = None,
+    ) -> np.ndarray:
         """The ``{nVM, nSL}`` search space for a determination mode.
 
-        Built once per ``(mode, max_vm, max_sl)`` and memoized; the
-        returned array is marked read-only because every caller shares
-        the same instance.
+        ``max_vm`` / ``max_sl`` cap the grid below the predictor's own
+        bounds (quota-priced sizing: a tenant's lease quota shrinks the
+        candidate space *before* the Eq. 4 tradeoff, so quota pressure is
+        priced into the decision instead of discovered as queueing delay
+        at grant time).  Built once per ``(mode, effective bounds)`` and
+        memoized; the returned array is marked read-only because every
+        caller shares the same instance.
         """
         if mode not in _MODES:
             raise ValueError(f"unknown mode {mode!r}; choose from {_MODES}")
-        key = (mode, self.max_vm, self.max_sl)
+        eff_vm, eff_sl = self._effective_bounds(max_vm, max_sl)
+        key = (mode, eff_vm, eff_sl)
         grid = self._grid_cache.get(key)
         if grid is None:
             vm_range = (
-                np.arange(self.max_vm + 1) if mode != "sl-only" else np.zeros(1)
+                np.arange(eff_vm + 1) if mode != "sl-only" else np.zeros(1)
             )
             sl_range = (
-                np.arange(self.max_sl + 1) if mode != "vm-only" else np.zeros(1)
+                np.arange(eff_sl + 1) if mode != "vm-only" else np.zeros(1)
             )
             # indexing="ij" + ravel keeps the nested-loop order: nVM is
             # the slow axis, nSL the fast one.
@@ -423,17 +452,21 @@ class WorkloadPredictor:
         knob: float = 0.0,
         mode: str = "hybrid",
         max_iterations: int = 60,
+        max_vm: int | None = None,
+        max_sl: int | None = None,
     ) -> ConfigDecision:
         """Determine the (near-)optimal configuration for a query.
 
         Runs the BO loop over the candidate grid against the RF model,
         assembles the Estimated Time list from the probes, and applies the
-        tradeoff knob (Eq. 4) when requested.
+        tradeoff knob (Eq. 4) when requested.  ``max_vm`` / ``max_sl``
+        cap the candidate search below the predictor's bounds (tenant
+        quota caps; see :meth:`candidate_grid`).
         """
         if not self.is_trained:
             raise RuntimeError("the prediction model has not been trained")
         started = time.perf_counter()
-        candidates = self.candidate_grid(mode)
+        candidates = self.candidate_grid(mode, max_vm=max_vm, max_sl=max_sl)
 
         def objective(point: np.ndarray) -> float:
             n_vm, n_sl = int(point[0]), int(point[1])
@@ -501,6 +534,8 @@ class WorkloadPredictor:
         requests: list[PredictionRequest],
         knob: float = 0.0,
         mode: str = "hybrid",
+        max_vm: int | None = None,
+        max_sl: int | None = None,
     ) -> list[ConfigDecision]:
         """Size a whole batch of queued queries with ONE forest pass.
 
@@ -541,7 +576,8 @@ class WorkloadPredictor:
         if not requests:
             return []
         started = time.perf_counter()
-        candidates = self.candidate_grid(mode)
+        eff_vm, eff_sl = self._effective_bounds(max_vm, max_sl)
+        candidates = self.candidate_grid(mode, max_vm=eff_vm, max_sl=eff_sl)
         grid_size = candidates.shape[0]
 
         # Identical (query class, features, mode) requests under the
@@ -550,7 +586,10 @@ class WorkloadPredictor:
         # model_version with FIFO eviction).  The chosen index for the
         # requested knob is resolved per cached grid (and memoized on it).
         knob_key = float(knob)
-        keys = [self._decision_key(request, mode) for request in requests]
+        keys = [
+            self._decision_key(request, mode, eff_vm, eff_sl)
+            for request in requests
+        ]
         # Resolve into a batch-local map first: FIFO eviction below must
         # never drop an entry this batch still needs.
         resolved: dict[tuple, tuple[DecisionGrid, int, int]] = {}
@@ -580,7 +619,9 @@ class WorkloadPredictor:
                 fresh_requests.append(request)
 
         if fresh_requests:
-            estimates = self._grid_estimates(fresh_requests, mode, candidates)
+            estimates = self._grid_estimates(
+                fresh_requests, mode, candidates, eff_vm, eff_sl
+            )
             cost_matrix = self.estimate_costs(
                 estimates.reshape(len(fresh_requests), grid_size), candidates
             )
@@ -651,6 +692,8 @@ class WorkloadPredictor:
         requests: list[PredictionRequest],
         mode: str,
         candidates: np.ndarray,
+        max_vm: int | None = None,
+        max_sl: int | None = None,
     ) -> np.ndarray:
         """Grid duration estimates for fresh requests, request-major.
 
@@ -659,7 +702,7 @@ class WorkloadPredictor:
         kernel is available; otherwise one stacked forest pass.  Both
         produce bitwise-identical estimates.
         """
-        engine = self._grid_engine(mode)
+        engine = self._grid_engine(mode, max_vm=max_vm, max_sl=max_sl)
         if engine is not None:
             constants = np.empty(
                 (len(requests), len(FEATURE_NAMES)), dtype=np.float64
@@ -681,21 +724,27 @@ class WorkloadPredictor:
         )
         return self.predict_durations(stacked)
 
-    def _grid_engine(self, mode: str) -> GridPack | None:
+    def _grid_engine(
+        self,
+        mode: str,
+        max_vm: int | None = None,
+        max_sl: int | None = None,
+    ) -> GridPack | None:
         """The grid-compiled engine for a mode, or ``None`` without one.
 
-        Compiled lazily per ``(mode, bounds)`` against the current model
-        version; a grid too wide for the kernel (or a missing native
-        kernel) memoizes ``None`` so the fallback is not re-probed on
-        every batch.
+        Compiled lazily per ``(mode, effective bounds)`` against the
+        current model version; a grid too wide for the kernel (or a
+        missing native kernel) memoizes ``None`` so the fallback is not
+        re-probed on every batch.
         """
         if not GridPack.available():
             return None
-        key = (mode, self.max_vm, self.max_sl)
+        eff_vm, eff_sl = self._effective_bounds(max_vm, max_sl)
+        key = (mode, eff_vm, eff_sl)
         cached = self._grid_engine_cache.get(key)
         if cached is not None and cached[1] == self.model_version:
             return cached[0]
-        candidates = self.candidate_grid(mode)
+        candidates = self.candidate_grid(mode, max_vm=eff_vm, max_sl=eff_sl)
         try:
             column_values, scaled_columns = FeatureVector.grid_columns(
                 candidates[:, 0], candidates[:, 1]
@@ -708,20 +757,23 @@ class WorkloadPredictor:
         self._grid_engine_cache[key] = (engine, self.model_version)
         return engine
 
-    def _decision_key(self, request: PredictionRequest, mode: str) -> tuple:
+    def _decision_key(
+        self, request: PredictionRequest, mode: str, max_vm: int, max_sl: int
+    ) -> tuple:
         """Everything a batched grid's ``(seconds, costs)`` depends on.
 
         Deliberately knob-free: the knob only affects the Eq. 4 index
         selection, which is memoized per knob next to the cached grid.
-        ``max_vm`` / ``max_sl`` / ``relay`` are public mutable attributes
-        (the grid cache keys on the bounds for the same reason), so they
-        are part of the key even though they rarely change.
+        The *effective* search bounds are part of the key (quota-capped
+        batches must never reuse an unconstrained grid or vice versa);
+        ``relay`` is a public mutable attribute, so it is part of the key
+        even though it rarely changes.
         """
         return (
             self.model_version,
             mode,
-            self.max_vm,
-            self.max_sl,
+            max_vm,
+            max_sl,
             self.relay,
             request.query_id,
             request.input_size_gb,

@@ -225,6 +225,8 @@ class PredictionServer:
                         "max_leased_vms": spec.max_leased_vms,
                         "max_leased_sls": spec.max_leased_sls,
                         "max_in_flight": spec.max_in_flight,
+                        "slo_latency_s": spec.slo_latency_s,
+                        "tier": spec.tier,
                     }
                     for spec in self.tenants
                 }

@@ -193,8 +193,8 @@ class ServingStream:
     """
 
     __slots__ = (
-        "slo_seconds", "n", "latency", "queueing", "admission",
-        "quota_throttle", "decision", "query_cost",
+        "slo_seconds", "tenant_slos", "n", "latency", "queueing",
+        "admission", "quota_throttle", "decision", "query_cost",
         "decision_seconds_total", "n_slo_hits", "n_batched", "n_aliens",
         "n_retrains", "n_failed", "n_shed", "n_retries", "wasted_cost",
         "tenant_streams",
@@ -205,8 +205,14 @@ class ServingStream:
         slo_seconds: float,
         sketch_capacity: int = _SKETCH_CAPACITY,
         _track_tenants: bool = True,
+        tenant_slos: Mapping[str, float] | None = None,
     ) -> None:
         self.slo_seconds = slo_seconds
+        #: Per-tenant SLO overrides (``TenantSpec.slo_latency_s``): a
+        #: tenant's sub-stream counts SLO hits against its own latency
+        #: target instead of the replay-wide one.  Empty = legacy
+        #: behaviour, every tenant measured against ``slo_seconds``.
+        self.tenant_slos: dict[str, float] = dict(tenant_slos or {})
         self.n = 0
         self.latency = ReservoirQuantiles(sketch_capacity, seed=1)
         self.queueing = ReservoirQuantiles(sketch_capacity, seed=2)
@@ -240,7 +246,7 @@ class ServingStream:
         stream = self.tenant_streams.get(tenant)
         if stream is None:
             stream = ServingStream(
-                self.slo_seconds,
+                self.tenant_slos.get(tenant, self.slo_seconds),
                 sketch_capacity=self.latency.capacity,
                 _track_tenants=False,
             )
@@ -413,6 +419,11 @@ class ServingReport:
     tenant_in_flight_peaks: dict[str, int] = dataclasses.field(
         default_factory=dict
     )
+    #: Per-tenant SLO targets (``TenantSpec.slo_latency_s``) captured at
+    #: replay time; tenants absent here are measured against the
+    #: replay-wide :attr:`slo_seconds`.  Empty when no tenant declares
+    #: an SLO (the legacy behaviour, bit for bit).
+    tenant_slos: dict[str, float] = dataclasses.field(default_factory=dict)
     #: Streaming accumulators over the same completions.  Replays always
     #: fill one; with ``keep_queries=False`` (million-arrival mode) the
     #: per-query ``served`` list stays empty and every aggregate below
@@ -679,14 +690,17 @@ class ServingReport:
     def for_tenant(self, tenant: str) -> "ServingReport":
         """This report restricted to one tenant's queries.
 
-        The slice keeps the replay-wide SLO, carries the tenant's
-        keep-alive chargeback share as its keep-alive cost (so the
-        slice's ``total_cost_dollars`` is the tenant's bill), and drops
-        the pool stats, which are not attributable to a single tenant.
-        A streaming report slices to the tenant's sub-stream.
+        The slice is measured against the tenant's own SLO when the
+        tenant declared one (``TenantSpec.slo_latency_s``), the
+        replay-wide SLO otherwise; it carries the tenant's keep-alive
+        chargeback share as its keep-alive cost (so the slice's
+        ``total_cost_dollars`` is the tenant's bill), and drops the pool
+        stats, which are not attributable to a single tenant.  A
+        streaming report slices to the tenant's sub-stream.
         """
         if tenant not in self.tenants:
             raise KeyError(f"unknown tenant {tenant!r}")
+        slice_slo = self.tenant_slos.get(tenant, self.slo_seconds)
         weight = self.tenant_weights.get(tenant, 1.0)
         peaks = {}
         if tenant in self.tenant_peaks:
@@ -699,12 +713,10 @@ class ServingReport:
             stream = (self.stream.tenant_streams or {}).get(tenant)
             if stream is None:
                 # Registered but never served: an empty slice.
-                stream = ServingStream(
-                    self.slo_seconds, _track_tenants=False
-                )
+                stream = ServingStream(slice_slo, _track_tenants=False)
         return ServingReport(
             served=[s for s in self.served if s.tenant == tenant],
-            slo_seconds=self.slo_seconds,
+            slo_seconds=slice_slo,
             pool_stats=None,
             keepalive_cost_dollars=self.keepalive_shares().get(tenant, 0.0),
             tenant_weights={tenant: weight},
@@ -712,8 +724,29 @@ class ServingReport:
             dropped=[d for d in self.dropped if d.tenant == tenant],
             wasted_cost_dollars=self._tenant_wasted_costs().get(tenant, 0.0),
             tenant_in_flight_peaks=in_flight_peaks,
+            tenant_slos=(
+                {tenant: self.tenant_slos[tenant]}
+                if tenant in self.tenant_slos
+                else {}
+            ),
             stream=stream,
         )
+
+    def tenant_slo_attainment(self) -> dict[str, float]:
+        """SLO attainment per tenant, each against its *own* target.
+
+        A tenant with ``slo_latency_s`` set is measured against that
+        deadline; others against the replay-wide SLO.  Tenants that
+        served nothing are omitted (attainment is undefined on an empty
+        slice).  Works identically for per-query and streaming
+        (``keep_queries=False``) reports, and survives :meth:`merge`.
+        """
+        attainment = {}
+        for tenant in self.tenants:
+            tenant_slice = self.for_tenant(tenant)
+            if tenant_slice.n_queries:
+                attainment[tenant] = tenant_slice.slo_attainment
+        return attainment
 
     @property
     def jain_fairness_index(self) -> float:
@@ -925,12 +958,20 @@ class ServingReport:
                 raise ValueError(
                     f"tenant {tenant!r} has conflicting weights"
                 )
+        for tenant, slo in other.tenant_slos.items():
+            if self.tenant_slos.get(tenant, slo) != slo:
+                raise ValueError(
+                    f"tenant {tenant!r} has conflicting SLOs"
+                )
         if self.stream is None or other.stream is None:
             raise ValueError(
                 "merge requires replay-produced reports (with streams)"
             )
+        tenant_slos = {**self.tenant_slos, **other.tenant_slos}
         stream = ServingStream(
-            self.slo_seconds, sketch_capacity=self.stream.latency.capacity
+            self.slo_seconds,
+            sketch_capacity=self.stream.latency.capacity,
+            tenant_slos=tenant_slos,
         )
         stream.merge(self.stream)
         stream.merge(other.stream)
@@ -970,6 +1011,7 @@ class ServingReport:
             ),
             wasted_cost_by_shard=wasted_by_shard,
             tenant_in_flight_peaks=in_flight_peaks,
+            tenant_slos=tenant_slos,
             stream=stream,
         )
 
@@ -1046,8 +1088,9 @@ class _CompletionTable:
 
     __slots__ = (
         "stream", "served", "states", "finalize", "admit_next",
-        "on_failure", "entries", "in_flight_total", "tenant_in_flight",
-        "in_flight_peaks", "n_terminated", "_rows", "_row_tenants",
+        "on_failure", "on_duration", "entries", "in_flight_total",
+        "tenant_in_flight", "in_flight_peaks", "n_terminated", "_rows",
+        "_row_tenants",
     )
 
     def __init__(
@@ -1064,6 +1107,8 @@ class _CompletionTable:
         #: Wired by the replay after its admission closures exist.
         self.admit_next = None
         self.on_failure = None
+        #: Optional duration sink (duration-aware autoscalers).
+        self.on_duration = None
         #: arrival index -> (arrival, query, context, decision, waiting,
         #: batch_size, batching_delay, admission_delay)
         self.entries: dict[int, tuple] = {}
@@ -1114,12 +1159,24 @@ class _CompletionTable:
             decision,
             result,
             # A clamped lease executed a different configuration than
-            # predicted; its error says nothing about the model (the
-            # run itself still feeds the history).
-            observe_error=not lease.was_clamped,
+            # predicted -- and a preempted query's wall time includes a
+            # checkpoint/requeue detour; either way the error says
+            # nothing about the model (the run itself still feeds the
+            # history).
+            observe_error=(
+                not lease.was_clamped
+                and getattr(result, "n_preemptions", 0) == 0
+            ),
         )
+        if self.on_duration is not None:
+            self.on_duration(outcome.actual_seconds)
         n_retries = st.retries if st is not None else 0
-        wasted = st.wasted if st is not None else 0.0
+        # Wasted spend has two sources: failed attempts booked on the
+        # arrival state, and cooperative preemptions carried on the
+        # result itself (the preempted attempt's forfeited lease bill).
+        wasted = (st.wasted if st is not None else 0.0) + getattr(
+            result, "wasted_cost_dollars", 0.0
+        )
         retry_delay = st.retry_delay if st is not None else 0.0
         if self.served is None:
             # Same term order as ServedQuery.latency_s, so the buffered
@@ -1245,7 +1302,9 @@ class ServingSimulator:
         every arrival's query class -- via
         :meth:`~repro.core.predictor.WorkloadPredictor.query_class` --
         and the shard it was routed to, closing the serving ->
-        forecaster -> pool feedback loop.
+        forecaster -> pool feedback loop.  Policies that also expose
+        ``observe_duration`` receive every completion's actual runtime
+        (duration-aware park bounds).
     shard_autoscalers:
         Optional per-shard keep-alive overrides forwarded to the pool
         (``{shard_name: policy}``); forecast-driven entries receive the
@@ -1350,6 +1409,26 @@ class ServingSimulator:
         arrival (or retry) finding the queue at this depth is shed --
         dropped and reported loudly -- instead of waiting forever.
         ``None`` (default) queues unboundedly, exactly as before.
+    quota_priced_sizing:
+        Feed each tenant's leased-worker quotas
+        (``TenantSpec.max_leased_vms`` / ``max_leased_sls``) into the
+        Workload Predictor's candidate search bounds, so an over-quota
+        configuration is never *chosen* in the first place -- the quota
+        is priced into the Eq. 4 cost/latency tradeoff at sizing time
+        instead of discovered as ``quota_delay_s`` at grant time.  A
+        coalesced group whose members carry *different* bounds falls
+        back to per-arrival sizing (each arrival still sees its exact
+        waiting count).  Default ``False``: sizing ignores quotas,
+        bit for bit the legacy behaviour.
+
+    Tenants with an SLO (``TenantSpec.slo_latency_s``) additionally get
+    a deadline threaded onto every lease (``arrival + slo_latency_s``),
+    which deadline-aware grant policies
+    (:class:`~repro.cloud.pool.DeadlineAwareGrant`) order the queue by;
+    when such a policy has preemption enabled, batch-tier arrivals are
+    launched preemptible so an interactive tenant's urgent arrival can
+    checkpoint-and-requeue a long-running batch query.  Per-tenant SLO
+    attainment lands in :meth:`ServingReport.tenant_slo_attainment`.
     """
 
     def __init__(
@@ -1371,6 +1450,7 @@ class ServingSimulator:
         retry_policy: RetryPolicy | None = None,
         fault_plan: FaultPlan | None = None,
         max_pending_admission: int | None = None,
+        quota_priced_sizing: bool = False,
     ) -> None:
         if slo_seconds <= 0:
             raise ValueError("slo_seconds must be positive")
@@ -1419,6 +1499,7 @@ class ServingSimulator:
         self.retry_policy = retry_policy
         self.fault_plan = fault_plan
         self.max_pending_admission = max_pending_admission
+        self.quota_priced_sizing = quota_priced_sizing
 
     def _batch_tuner(self) -> AdaptiveBatchWindow | None:
         """The adaptive-window tuner for one replay (None = static path).
@@ -1558,6 +1639,22 @@ class ServingSimulator:
                 continue
             seen_sinks.add(id(sink))
             forecast_observers.append(policy)
+        # Duration-aware policies additionally duck-type on
+        # `observe_duration`: every completion's actual runtime feeds
+        # their park-bound widening.  Dedup on the policy itself -- the
+        # duration EWMA lives there, not on the shared forecaster.
+        duration_observers = []
+        seen_policies: set[int] = set()
+        for policy in (
+            self.autoscaler,
+            *(self.shard_autoscalers or {}).values(),
+        ):
+            if policy is None or not hasattr(policy, "observe_duration"):
+                continue
+            if id(policy) in seen_policies:
+                continue
+            seen_policies.add(id(policy))
+            duration_observers.append(policy)
         # Serving feeds scopes actively, so pin every shard's scope up
         # front: a shard that never receives a routed arrival then
         # forecasts "drained" instead of falling back to the global
@@ -1589,6 +1686,33 @@ class ServingSimulator:
         )
         n_arrivals = len(times)
 
+        # SLO-tier serving state, all inert when no tenant declares an
+        # SLO and the grant policy does not preempt: deadlines stay
+        # None, nothing launches preemptible, and sizing bounds stay
+        # unconstrained -- the legacy replay bit for bit.
+        preempt_enabled = bool(getattr(self.grant_policy, "preempt", False))
+        tenant_slo_map: dict[str, float] = {}
+        tenant_tiers: dict[str, str] = {}
+        for tenant in tenant_names:
+            spec = registry.get(tenant)
+            if spec.slo_latency_s is not None:
+                tenant_slo_map[tenant] = spec.slo_latency_s
+            tenant_tiers[tenant] = spec.tier
+        sizing_bounds: dict[str, tuple[int | None, int | None]] | None = None
+        if self.quota_priced_sizing:
+            sizing_bounds = {
+                tenant: (
+                    registry.get(tenant).max_leased_vms,
+                    registry.get(tenant).max_leased_sls,
+                )
+                for tenant in tenant_names
+            }
+
+        def bounds_for(tenant: str) -> tuple[int | None, int | None]:
+            if sizing_bounds is None:
+                return (None, None)
+            return sizing_bounds.get(tenant, (None, None))
+
         def make_arrival(position: int) -> _Arrival:
             return _Arrival(
                 index=position,
@@ -1602,7 +1726,9 @@ class ServingSimulator:
 
         # Streaming accumulators always run (they are O(capacity));
         # the per-query list is what keep_queries toggles.
-        report_stream = ServingStream(self.slo_seconds)
+        report_stream = ServingStream(
+            self.slo_seconds, tenant_slos=tenant_slo_map
+        )
         for tenant in tenant_names:
             report_stream.ensure_tenant(tenant)
         served: list[ServedQuery | None] | None = (
@@ -1626,6 +1752,12 @@ class ServingSimulator:
             states=states,
             finalize=initializer.finalize,
         )
+        if duration_observers:
+            def feed_durations(seconds: float) -> None:
+                for policy in duration_observers:
+                    policy.observe_duration(seconds)
+
+            table.on_duration = feed_durations
         presample = self.submission != "object"
         vector = self.submission == "vector"
         # Compiled execution plans, keyed by the memoized query object:
@@ -1724,6 +1856,14 @@ class ServingSimulator:
                 first_attempt = st is None or st.attempts == 0
                 policy = policies[position]
                 table.register(arrival.index, entry)
+                # SLO tiers: the deadline is anchored at the *arrival*
+                # (retries keep the original promise), and only
+                # batch-tier work is launched preemptible -- an
+                # interactive query is never a preemption victim.
+                slo = tenant_slo_map.get(arrival.tenant)
+                deadline = (
+                    arrival.event.arrival_s + slo if slo is not None else None
+                )
                 if supported is not None and supported[position]:
                     plan = plans.get(id(query))
                     if plan is None:
@@ -1752,7 +1892,8 @@ class ServingSimulator:
                         (
                             runner,
                             runner.begin(
-                                decision.n_vm, decision.n_sl, noise
+                                decision.n_vm, decision.n_sl, noise,
+                                deadline_s=deadline,
                             ),
                         )
                     )
@@ -1775,6 +1916,12 @@ class ServingSimulator:
                             table.fail_execution, arrival.index
                         ),
                         tenant=arrival.tenant,
+                        deadline_s=deadline,
+                        preemptible=(
+                            preempt_enabled
+                            and tenant_tiers.get(arrival.tenant, "batch")
+                            == "batch"
+                        ),
                     )
                     if forecast_observers and first_attempt:
                         observed.append((arrival, execution))
@@ -1826,6 +1973,7 @@ class ServingSimulator:
                         ),
                         (waiting_base + position).bit_length(),
                         mode,
+                        bounds_for(arrival.tenant),
                     )
                     keys.append(key)
                     hit = decision_cache.get(key)
@@ -1839,41 +1987,75 @@ class ServingSimulator:
                     else:
                         misses.append(position)
                 if misses:
-                    fresh = initializer.decide_many(
-                        [queries[p] for p in misses],
-                        knob=knob,
-                        mode=mode,
-                        num_waiting_apps=waiting_base,
-                    )
-                    for p, (context, decision) in zip(misses, fresh):
-                        slots[p] = (context, decision)
-                        # Re-read the version: a retrain during decide
-                        # (alien-triggered) must not resurrect entries.
-                        decision_cache[keys[p]] = (
-                            predictor.model_version,
-                            context,
-                            decision,
-                            dataclasses.replace(
-                                decision, inference_seconds=0.0
-                            ),
+                    # One decide_many per distinct quota bound (a single
+                    # unconstrained group when sizing ignores quotas).
+                    miss_groups: dict[tuple, list[int]] = {}
+                    for p in misses:
+                        miss_groups.setdefault(keys[p][3], []).append(p)
+                    for (bound_vm, bound_sl), positions in miss_groups.items():
+                        fresh = initializer.decide_many(
+                            [queries[p] for p in positions],
+                            knob=knob,
+                            mode=mode,
+                            num_waiting_apps=waiting_base,
+                            max_vm=bound_vm,
+                            max_sl=bound_sl,
                         )
+                        for p, (context, decision) in zip(positions, fresh):
+                            slots[p] = (context, decision)
+                            # Re-read the version: a retrain during
+                            # decide (alien-triggered) must not
+                            # resurrect entries.
+                            decision_cache[keys[p]] = (
+                                predictor.model_version,
+                                context,
+                                decision,
+                                dataclasses.replace(
+                                    decision, inference_seconds=0.0
+                                ),
+                            )
                 decided = slots
             elif len(batch) == 1:
+                bound_vm, bound_sl = bounds_for(batch[0].tenant)
                 decided = [
                     initializer.decide(
                         queries[0],
                         knob=knob,
                         mode=mode,
                         num_waiting_apps=waiting_base,
+                        max_vm=bound_vm,
+                        max_sl=bound_sl,
                     )
                 ]
             else:
-                decided = initializer.decide_many(
-                    queries,
-                    knob=knob,
-                    mode=mode,
-                    num_waiting_apps=waiting_base,
-                )
+                batch_bounds = {bounds_for(a.tenant) for a in batch}
+                if len(batch_bounds) == 1:
+                    bound_vm, bound_sl = next(iter(batch_bounds))
+                    decided = initializer.decide_many(
+                        queries,
+                        knob=knob,
+                        mode=mode,
+                        num_waiting_apps=waiting_base,
+                        max_vm=bound_vm,
+                        max_sl=bound_sl,
+                    )
+                else:
+                    # Mixed quota bounds in one coalesced group: size
+                    # per arrival so each query's grid honours its own
+                    # tenant's cap (and its exact waiting count).
+                    decided = [
+                        initializer.decide(
+                            query,
+                            knob=knob,
+                            mode=mode,
+                            num_waiting_apps=waiting_base + position,
+                            max_vm=bounds_for(arrival.tenant)[0],
+                            max_sl=bounds_for(arrival.tenant)[1],
+                        )
+                        for position, (arrival, query) in enumerate(
+                            zip(batch, queries)
+                        )
+                    ]
             if tuner is not None:
                 # Per-query inference_seconds amortise one pass equally,
                 # so their sum is the measured wall time of this pass.
@@ -2137,5 +2319,6 @@ class ServingSimulator:
             wasted_cost_dollars=pool.wasted_cost_dollars,
             wasted_cost_by_shard=pool.wasted_cost_by_shard,
             tenant_in_flight_peaks=table.in_flight_peaks,
+            tenant_slos=dict(tenant_slo_map),
             stream=report_stream,
         )

@@ -204,11 +204,16 @@ class PlanRunner:
         return self.result is not None
 
     def begin(
-        self, n_vm: int, n_sl: int, noise: list[float] | None = None
+        self,
+        n_vm: int,
+        n_sl: int,
+        noise: list[float] | None = None,
+        deadline_s: float | None = None,
     ) -> tuple:
         """Record submission and draw the noise block; returns the
-        ``(n_vm, n_sl, on_instance_ready, on_granted, tenant)`` request
-        for :meth:`ClusterPool.acquire_many` / :meth:`ClusterPool.acquire`.
+        ``(n_vm, n_sl, on_instance_ready, on_granted, tenant,
+        deadline_s)`` request for :meth:`ClusterPool.acquire_many` /
+        :meth:`ClusterPool.acquire`.
 
         ``noise`` lets a batch submitter pre-draw one combined block for
         several runners and hand each its slice: ``Generator.normal``
@@ -216,6 +221,10 @@ class PlanRunner:
         draw split in submit order is bitwise identical to per-runner
         draws.  The ready callback is ``None``: the runner's timeline is
         local, so warm hand-overs need no boot event at all.
+        ``deadline_s`` stamps the lease's SLO deadline for
+        deadline-aware grant ordering; plan runners simulate the whole
+        query at grant time, so they are never preemption *victims*,
+        but their requests still queue in slack order.
         """
         self._submitted_at = self.pool.simulator.now
         if noise is None:
@@ -226,17 +235,19 @@ class PlanRunner:
                 self.plan.total_tasks
             ).tolist()
         self._noise = noise
-        return (n_vm, n_sl, None, self._on_granted, self.tenant)
+        return (n_vm, n_sl, None, self._on_granted, self.tenant, deadline_s)
 
     def submit(self, n_vm: int, n_sl: int) -> "PoolLease":
         """Convenience single-arrival path: begin + acquire + bind."""
-        n_vm_, n_sl_, on_ready, on_granted, tenant = self.begin(n_vm, n_sl)
+        (n_vm_, n_sl_, on_ready, on_granted, tenant,
+         deadline_s) = self.begin(n_vm, n_sl)
         lease = self.pool.acquire(
             n_vm_,
             n_sl_,
             on_instance_ready=on_ready,
             on_granted=on_granted,
             tenant=tenant,
+            deadline_s=deadline_s,
         )
         self.bind(lease)
         return lease

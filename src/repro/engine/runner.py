@@ -126,6 +126,12 @@ class QueryRunResult:
     cold_acquisitions: int = 0
     #: The tenant the lease billed to (DEFAULT_TENANT outside multi-tenancy).
     tenant: str = DEFAULT_TENANT
+    #: Spend forfeited by cooperative preemptions of this query -- the
+    #: revoked attempts' leased cost, billed to the pool's wasted ledger
+    #: rather than the query bill -- and how many times it was preempted
+    #: (both 0 outside SLO-tiered scheduling).
+    wasted_cost_dollars: float = 0.0
+    n_preemptions: int = 0
 
     @property
     def cost_dollars(self) -> float:
@@ -199,6 +205,8 @@ class QueryExecution:
             warm_acquisitions=lease.warm_acquisitions,
             cold_acquisitions=lease.cold_acquisitions,
             tenant=lease.tenant,
+            wasted_cost_dollars=scheduler.preempted_cost,
+            n_preemptions=scheduler.n_preemptions,
         )
         if self._user_on_complete is not None:
             self._user_on_complete(self)
@@ -236,6 +244,8 @@ def launch_query(
     on_complete: Callable[[QueryExecution], None] | None = None,
     on_failed: Callable[[QueryExecution, str], None] | None = None,
     tenant: str = DEFAULT_TENANT,
+    deadline_s: float | None = None,
+    preemptible: bool = False,
     presample: bool = False,
 ) -> QueryExecution:
     """Start ``query`` against ``pool`` without advancing simulated time.
@@ -248,6 +258,12 @@ def launch_query(
     ``on_failed(execution, reason)`` fires instead if a fault revokes
     the attempt's lease (only possible when the pool carries a
     :class:`~repro.cloud.faults.FaultInjector`).
+
+    ``deadline_s`` stamps the lease with an absolute SLO deadline (for
+    :class:`~repro.cloud.pool.DeadlineAwareGrant` ordering);
+    ``preemptible=True`` registers the scheduler's cooperative
+    checkpoint so a batch-tier query can be evicted and transparently
+    resumed -- see :class:`~repro.engine.scheduler.TaskScheduler`.
     """
     policy = _resolve_policy(policy, relay, n_vm, n_sl)
     if duration_model is None:
@@ -260,6 +276,8 @@ def launch_query(
         policy=policy,
         listeners=(metrics_listener, *listeners),
         tenant=tenant,
+        deadline_s=deadline_s,
+        preemptible=preemptible,
         presample=presample,
     )
     execution = QueryExecution(

@@ -80,6 +80,22 @@ class TaskScheduler:
     tenant:
         The tenant the query's pool lease bills to (multi-tenant serving
         attributes quotas, fairness and chargeback through this).
+    deadline_s:
+        Absolute SLO deadline passed through to the pool lease, so a
+        :class:`~repro.cloud.pool.DeadlineAwareGrant` can order this
+        request by its remaining slack.  ``None`` (the default) lets the
+        pool derive a deadline from the tenant spec's ``slo_latency_s``,
+        or leaves the lease undeadlined.
+    preemptible:
+        Register a cooperative-preemption checkpoint on the lease: if
+        the pool evicts this (batch-tier) query for a deadline-pressed
+        one, in-flight tasks are checkpointed (their remaining durations
+        captured), the lease's spend is forfeited to the wasted ledger,
+        and the query transparently re-acquires the same configuration
+        and resumes -- completed work is kept, interrupted tasks run
+        only their remainder.  The preempted attempt's forfeited spend
+        and the preemption count are exposed as :attr:`preempted_cost`
+        and :attr:`n_preemptions`.
     presample:
         Draw the query's entire duration-noise block in one vectorized
         call at submit time (consumed in task-start order) instead of
@@ -99,6 +115,8 @@ class TaskScheduler:
         on_complete: Callable[["TaskScheduler"], None] | None = None,
         on_failed: Callable[["TaskScheduler", str], None] | None = None,
         tenant: str = DEFAULT_TENANT,
+        deadline_s: float | None = None,
+        preemptible: bool = False,
         presample: bool = False,
     ) -> None:
         self.simulator = simulator
@@ -109,9 +127,19 @@ class TaskScheduler:
         self.on_complete = on_complete
         self.on_failed = on_failed
         self.tenant = tenant
+        self.deadline_s = deadline_s
+        self.preemptible = preemptible
         self.presample = presample
         self._noise_block = None
         self._noise_cursor = 0
+        #: Spend forfeited by cooperative preemptions of this query
+        #: (sum of the revoked leases' costs) and how often it happened.
+        self.preempted_cost = 0.0
+        self.n_preemptions = 0
+        self._preempt_pending = False
+        # Remaining realised duration per checkpointed task (keyed by
+        # task identity), consumed on the task's restart after resume.
+        self._resume_durations: dict[int, float] = {}
 
         self._query: QuerySpec | None = None
         self._lease: "PoolLease | None" = None
@@ -163,8 +191,11 @@ class TaskScheduler:
             on_instance_ready=self._on_instance_ready,
             on_granted=self._on_lease_granted,
             tenant=self.tenant,
+            deadline_s=self.deadline_s,
         )
         self._lease.on_revoked = self._on_revoked
+        if self.preemptible:
+            self._lease.on_preempt = self._on_preempt
 
         self._initialise_stage_tracking(query)
         for stage in query.topological_stages():
@@ -313,21 +344,36 @@ class TaskScheduler:
 
     def _start_task(self, task: Task, executor: Executor) -> None:
         now = self.simulator.now
-        if self._noise_block is not None:
-            expected = self.duration_model.expected(task.stage, executor.kind)
-            noise = float(self._noise_block[self._noise_cursor])
-            self._noise_cursor += 1
-            duration = TaskDurationModel.realize(expected, noise)
+        resume = (
+            self._resume_durations.pop(id(task), None)
+            if self._resume_durations
+            else None
+        )
+        if resume is not None:
+            # Checkpointed remainder from a preempted attempt: the
+            # realised duration (noise and straggler factor included)
+            # was fixed at the original start; only the remainder runs.
+            duration = resume
         else:
-            duration = self.duration_model.sample(task.stage, executor.kind)
-        factor = self.pool.runtime_factor(executor.instance)
-        if factor != 1.0:
-            duration *= factor  # straggler: same work, inflated runtime
+            if self._noise_block is not None:
+                expected = self.duration_model.expected(
+                    task.stage, executor.kind
+                )
+                noise = float(self._noise_block[self._noise_cursor])
+                self._noise_cursor += 1
+                duration = TaskDurationModel.realize(expected, noise)
+            else:
+                duration = self.duration_model.sample(
+                    task.stage, executor.kind
+                )
+            factor = self.pool.runtime_factor(executor.instance)
+            if factor != 1.0:
+                duration *= factor  # straggler: same work, inflated runtime
         executor.start_task(task, now, duration)
         self._notify("on_task_start", task, now)
-        self._task_handles[id(task)] = self.simulator.schedule(
+        self._task_handles[id(task)] = (task, self.simulator.schedule(
             duration, lambda: self._on_task_complete(task, executor)
-        )
+        ))
 
     def _on_task_complete(self, task: Task, executor: Executor) -> None:
         now = self.simulator.now
@@ -373,29 +419,71 @@ class TaskScheduler:
     # Revocation
     # ------------------------------------------------------------------
 
+    def _on_preempt(self, reason: str) -> None:
+        """Checkpoint for a cooperative preemption (pool callback).
+
+        Called while this query's scheduled events are still live, just
+        before the pool revokes the lease: every in-flight task's
+        remaining duration (``completion event time - now``) is captured
+        and the task is pushed back onto the *front* of the ready queue
+        in its original start order, so the resumed attempt re-dispatches
+        interrupted work first and each interrupted task runs only its
+        remainder.  The revocation callback that follows sees
+        ``_preempt_pending`` and requeues instead of failing.
+        """
+        now = self.simulator.now
+        in_flight = list(self._task_handles.values())  # task-start order
+        for task, handle in reversed(in_flight):
+            self._resume_durations[id(task)] = handle.time - now
+            self._ready_tasks.appendleft(task)
+        self._preempt_pending = True
+
     def _on_revoked(self, reason: str) -> None:
-        """The pool revoked this query's lease (an injected fault).
+        """The pool revoked this query's lease (fault or preemption).
 
         The pool has already torn the lease down -- workers reclaimed,
-        spend forfeited -- so this attempt can never complete: cancel
-        every in-flight completion/timeout event (they reference
-        reclaimed executors) and surrender the run state.  The
-        ``on_failed`` callback then decides the query's fate (retry,
-        count as failed).
+        spend forfeited.  After a cooperative preemption (checkpointed
+        via :meth:`_on_preempt`) the query is *not* dead: the forfeited
+        spend is tallied, executor state is dropped, and the same
+        configuration is re-acquired -- completed stages stay completed
+        and checkpointed tasks resume from their remainders once the new
+        lease grants.  Any other revocation (an injected fault) kills
+        the attempt: cancel every in-flight completion/timeout event
+        (they reference reclaimed executors) and surrender the run
+        state; the ``on_failed`` callback then decides the query's fate
+        (retry, count as failed).
         """
         if self._completed_at is not None or self._failed_at is not None:
             return
-        self._failed_at = self.simulator.now
-        for handle in self._task_handles.values():
+        for _task, handle in self._task_handles.values():
             self.simulator.cancel(handle)
         self._task_handles.clear()
         for handle in self._timeout_handles:
             self.simulator.cancel(handle)
         self._timeout_handles.clear()
         self._executors.clear()
-        self._ready_tasks.clear()
         self._relay_partner.clear()
         self._held_instance_ids.clear()
+        if self._preempt_pending:
+            self._preempt_pending = False
+            assert self._lease is not None
+            self.n_preemptions += 1
+            self.preempted_cost += self._lease.revoked_cost.total
+            self._vms_still_booting = 0
+            prev = self._lease
+            self._lease = self.pool.acquire(
+                prev.n_vm,
+                prev.n_sl,
+                on_instance_ready=self._on_instance_ready,
+                on_granted=self._on_lease_granted,
+                tenant=self.tenant,
+                deadline_s=prev.deadline_s,
+            )
+            self._lease.on_revoked = self._on_revoked
+            self._lease.on_preempt = self._on_preempt
+            return
+        self._failed_at = self.simulator.now
+        self._ready_tasks.clear()
         if self.on_failed is not None:
             self.on_failed(self, reason)
 

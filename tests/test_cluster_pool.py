@@ -7,13 +7,16 @@ import pytest
 from repro.cloud.instances import InstanceKind, InstanceState
 from repro.cloud.pool import (
     ClusterPool,
+    DeadlineAwareGrant,
     DemandAutoscaler,
     FixedKeepAlive,
     NoKeepAlive,
     PoolConfig,
     TenantAffinityRouter,
+    TenantRegistry,
+    TenantSpec,
 )
-from repro.engine import Simulator, run_query
+from repro.engine import Simulator, launch_query, run_query
 from repro.workloads import make_uniform_query
 
 from conftest import AWS_NOISELESS, AWS_PRICES, AWS_SLOW_BOOT, build_pool
@@ -387,6 +390,357 @@ class TestSharedPoolQueries:
         assert all(
             vm.state is InstanceState.TERMINATED for vm in lease.vms
         )
+
+
+class TestQuotaDelayAccounting:
+    """Regression: quota_delay_s must equal the measured blocked time.
+
+    ``_note_capacity_block`` and ``_grant`` both close an open
+    quota-blocked interval; a lease that blocks on quota, gets
+    re-classified as capacity-blocked, then blocks on quota *again*
+    must accumulate each interval exactly once (no double counting of
+    the shared stamp, no lost re-block).
+    """
+
+    def test_reblocked_lease_accumulates_each_interval_exactly_once(
+        self, collector_factory
+    ):
+        sim = Simulator()
+        tenants = TenantRegistry([TenantSpec(name="q", max_leased_vms=2)])
+        pool = build_pool(sim, max_vms=4, max_sls=0, tenants=tenants)
+
+        # t=0: "q" fills its quota; "other" fills the rest of the pool.
+        lease_a = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                               tenant="q")
+        lease_b = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                               tenant="other")
+        assert lease_a.is_granted and lease_b.is_granted
+
+        # t=0: C queues capacity-blocked (0 free VMs) -- no quota stamp.
+        lease_c = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                               tenant="q")
+        assert not lease_c.is_granted
+        assert lease_c.quota_blocked_since is None
+
+        # t=100: capacity frees but "q" is over quota -> interval opens.
+        sim.run_until(100.0)
+        pool.release(lease_b)
+        assert not lease_c.is_granted
+        assert lease_c.quota_blocked_since == 100.0
+
+        # t=130: "other" takes the free capacity back; the same pump pass
+        # re-evaluates C, finds it capacity-blocked, and must close the
+        # quota interval [100, 130] exactly once.
+        sim.run_until(130.0)
+        lease_d = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                               tenant="other")
+        assert lease_d.is_granted
+        assert lease_c.quota_blocked_since is None
+        assert lease_c.quota_delay_s == 30.0
+
+        # t=150: capacity frees again, quota still exhausted -> re-block.
+        sim.run_until(150.0)
+        pool.release(lease_d)
+        assert lease_c.quota_blocked_since == 150.0
+        assert lease_c.quota_delay_s == 30.0  # unchanged while open
+
+        # t=180: "q"'s own lease releases; C grants and closes [150, 180].
+        sim.run_until(180.0)
+        pool.release(lease_a)
+        assert lease_c.is_granted
+        # Exactly the two measured quota-blocked intervals, not a second
+        # count of either: (130-100) + (180-150).
+        assert lease_c.quota_delay_s == 60.0
+        assert lease_c.queueing_delay_s == 180.0
+        # One deferral counted per lease, however many times it blocked.
+        assert pool.stats.quota_deferrals == 1
+
+
+class TestWeightedFairFifoWithinTenant:
+    """Regression: a quota-deferred request keeps its place in line.
+
+    When the quota unblocks, the deferred request must be granted ahead
+    of *later* arrivals from the same tenant -- FIFO within a tenant
+    survives the deferral.
+    """
+
+    def test_quota_unblocked_request_rejoins_ahead_of_later_arrivals(
+        self, collector_factory
+    ):
+        sim = Simulator()
+        tenants = TenantRegistry([TenantSpec(name="t", max_leased_vms=2)])
+        pool = build_pool(sim, max_vms=4, max_sls=0, tenants=tenants)
+
+        lease_a = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                               tenant="t")
+        assert lease_a.is_granted  # quota now exhausted
+
+        # Three same-tenant requests queue in order; all fit capacity-wise
+        # (2 VMs free) but wait on the quota.
+        r1 = pool.acquire(1, 0, on_instance_ready=collector_factory(),
+                          tenant="t")
+        r2 = pool.acquire(1, 0, on_instance_ready=collector_factory(),
+                          tenant="t")
+        r3 = pool.acquire(1, 0, on_instance_ready=collector_factory(),
+                          tenant="t")
+        assert not r1.is_granted and not r2.is_granted and not r3.is_granted
+        assert r1.quota_blocked_since is not None
+
+        # Quota frees two slots: the *first* two arrivals must grant, in
+        # arrival order -- r1 rejoins ahead of r2/r3, not behind them.
+        sim.run_until(50.0)
+        pool.release(lease_a)
+        assert r1.is_granted and r2.is_granted
+        assert not r3.is_granted
+        assert r1.granted_at == r2.granted_at == 50.0
+
+        pool.release(r1)
+        assert r3.is_granted
+
+
+class TestDeadlineAwareGrant:
+    def test_least_slack_first_overtakes_undeadlined_arrivals(
+        self, collector_factory
+    ):
+        sim = Simulator()
+        tenants = TenantRegistry([
+            TenantSpec(name="inter", tier="interactive", slo_latency_s=60.0),
+            TenantSpec(name="batch"),
+        ])
+        pool = build_pool(
+            sim, max_vms=2, max_sls=0, tenants=tenants,
+            grant_policy=DeadlineAwareGrant(),
+        )
+        hog = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                           tenant="batch")
+        assert hog.is_granted
+        # Batch arrives first, interactive second; slack ordering puts
+        # the deadlined request ahead anyway.
+        queued_batch = pool.acquire(
+            2, 0, on_instance_ready=collector_factory(), tenant="batch"
+        )
+        queued_inter = pool.acquire(
+            2, 0, on_instance_ready=collector_factory(), tenant="inter"
+        )
+        assert queued_inter.deadline_s == pytest.approx(60.0)
+        assert queued_batch.deadline_s is None
+        sim.run_until(10.0)
+        pool.release(hog)
+        assert queued_inter.is_granted
+        assert not queued_batch.is_granted
+
+    def test_without_deadlines_order_is_exact_arrival_order(
+        self, collector_factory
+    ):
+        sim = Simulator()
+        pool = build_pool(
+            sim, max_vms=2, max_sls=0, grant_policy=DeadlineAwareGrant()
+        )
+        hog = pool.acquire(2, 0, on_instance_ready=collector_factory())
+        first = pool.acquire(2, 0, on_instance_ready=collector_factory())
+        second = pool.acquire(2, 0, on_instance_ready=collector_factory())
+        shard = pool.shard("default")
+        assert pool.grant_policy.candidates(shard, pool) == [first, second]
+        pool.release(hog)
+        assert first.is_granted and not second.is_granted
+
+    def test_explicit_deadline_overrides_spec_default(
+        self, collector_factory
+    ):
+        sim = Simulator()
+        tenants = TenantRegistry([
+            TenantSpec(name="inter", tier="interactive", slo_latency_s=60.0),
+        ])
+        pool = build_pool(sim, tenants=tenants)
+        lease = pool.acquire(
+            1, 0, on_instance_ready=collector_factory(), tenant="inter",
+            deadline_s=12.5,
+        )
+        assert lease.deadline_s == 12.5
+        assert lease.tier == "interactive"
+
+    def test_tenant_spec_validation(self):
+        with pytest.raises(ValueError):
+            TenantSpec(name="x", slo_latency_s=0.0)
+        with pytest.raises(ValueError):
+            TenantSpec(name="x", tier="gold")
+
+
+class TestCooperativePreemption:
+    def _tenants(self, slo=30.0):
+        return TenantRegistry([
+            TenantSpec(name="inter", tier="interactive", slo_latency_s=slo),
+            TenantSpec(name="bg"),
+        ])
+
+    def test_batch_lease_checkpointed_revoked_and_urgent_granted(
+        self, collector_factory
+    ):
+        sim = Simulator()
+        pool = build_pool(
+            sim, max_vms=2, max_sls=0, tenants=self._tenants(slo=30.0),
+            grant_policy=DeadlineAwareGrant(preempt=True, preempt_slack_s=60.0),
+        )
+        victim = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                              tenant="bg")
+        assert victim.is_granted
+        events = []
+        victim.on_preempt = lambda reason: events.append(("preempt", reason))
+        victim.on_revoked = lambda reason: events.append(("revoked", reason))
+
+        sim.run_until(100.0)
+        urgent = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                              tenant="inter")
+        # slack = 30 s < 60 s threshold: the batch lease is evicted and
+        # the interactive request granted in the same pump.
+        assert urgent.is_granted
+        assert urgent.queueing_delay_s == 0.0
+        assert events == [
+            ("preempt", "preempted-coop"), ("revoked", "preempted-coop")
+        ]
+        assert victim.revoked and victim.preempted
+        # The forfeited spend went to the wasted ledger...
+        assert victim.revoked_cost.total > 0.0
+        assert pool.wasted_cost_dollars == pytest.approx(
+            victim.revoked_cost.total
+        )
+        assert pool.stats.coop_preemptions == 1
+        assert pool.stats.leases_revoked == 1
+        # ...but no *fault* was recorded: health meters must not trip on
+        # a policy decision.
+        assert pool.stats.preemptions == 0
+        assert len(pool.shard("default").fault_times) == 0
+
+    def test_interactive_and_fresh_leases_are_never_victims(
+        self, collector_factory
+    ):
+        sim = Simulator()
+        pool = build_pool(
+            sim, max_vms=2, max_sls=0, tenants=self._tenants(slo=30.0),
+            grant_policy=DeadlineAwareGrant(preempt=True, preempt_slack_s=60.0),
+        )
+        # An interactive-tier holder with a checkpoint hook is still not
+        # eligible -- only batch-tier leases are preempted.
+        holder = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                              tenant="inter")
+        holder.on_preempt = lambda reason: None
+        sim.run_until(100.0)
+        urgent = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                              tenant="inter")
+        assert not urgent.is_granted
+        assert pool.stats.coop_preemptions == 0
+
+    def test_holder_without_checkpoint_hook_is_not_preempted(
+        self, collector_factory
+    ):
+        sim = Simulator()
+        pool = build_pool(
+            sim, max_vms=2, max_sls=0, tenants=self._tenants(slo=30.0),
+            grant_policy=DeadlineAwareGrant(preempt=True, preempt_slack_s=60.0),
+        )
+        holder = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                              tenant="bg")
+        sim.run_until(100.0)
+        urgent = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                              tenant="inter")
+        assert not urgent.is_granted
+        assert not holder.revoked
+        assert pool.stats.coop_preemptions == 0
+
+    def test_completing_lease_is_not_a_victim_mid_release(
+        self, collector_factory
+    ):
+        """Releasing a finished lease must never preempt that same lease.
+
+        ``release`` frees workers one at a time and each return pumps the
+        grant queue; with an urgent request waiting, the preemption pass
+        used to pick the half-released lease itself as the victim (it
+        still looked granted and batch-tier), forfeiting a *completed*
+        query's spend to the wasted ledger and crashing the teardown loop
+        on the already-reclaimed workers.  The holder is done, so the
+        whole lease must leave the victim pool before any capacity frees.
+        """
+        sim = Simulator()
+        pool = build_pool(
+            sim, max_vms=2, max_sls=0, tenants=self._tenants(slo=30.0),
+            grant_policy=DeadlineAwareGrant(preempt=True, preempt_slack_s=10.0),
+        )
+        holder = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                              tenant="bg")
+        assert holder.is_granted
+        events = []
+        holder.on_preempt = lambda reason: events.append(("preempt", reason))
+
+        sim.run_until(100.0)
+        # Queued with 30 s of slack: above the 10 s preemption threshold,
+        # so the enqueue pump leaves the batch holder alone...
+        urgent = pool.acquire(2, 0, on_instance_ready=collector_factory(),
+                              tenant="inter")
+        assert not urgent.is_granted
+        assert pool.stats.coop_preemptions == 0
+
+        # ...but by the time the batch query completes, the queued
+        # request is inside the threshold, and the mid-release pumps see
+        # an urgent arrival next to an apparently-eligible victim.
+        sim.run_until(125.0)
+        pool.release(holder)
+
+        assert events == []
+        assert not holder.revoked
+        assert pool.stats.coop_preemptions == 0
+        assert pool.wasted_cost_dollars == 0.0
+        # The cleanly released capacity serves the urgent request.
+        assert urgent.is_granted
+        assert len(holder.segments) == 2
+
+    def test_scheduler_checkpoints_and_resumes_after_preemption(self):
+        """End to end: a preempted batch query resumes and completes.
+
+        The interactive query's arrival evicts the running batch query;
+        the batch scheduler checkpoints its in-flight tasks, requeues,
+        re-acquires once the interactive query finishes, and completes
+        with the preempted attempt's spend on the wasted ledger (not the
+        query bill) -- the chargeback identity stays exact.
+        """
+        sim = Simulator()
+        pool = build_pool(
+            sim, max_vms=2, max_sls=0, tenants=self._tenants(slo=120.0),
+            grant_policy=DeadlineAwareGrant(
+                preempt=True, preempt_slack_s=300.0
+            ),
+            vm_keep_alive_s=600.0, warm_vm_boot_s=2.0,
+        )
+        batch_exec = launch_query(
+            make_uniform_query(40, 8.0), 2, 0, pool=pool, rng=0,
+            tenant="bg", preemptible=True,
+        )
+        # Let the batch query boot and start running, then spring the
+        # interactive arrival mid-flight.
+        sim.run_until(70.0)
+        assert not batch_exec.completed
+        inter_exec = launch_query(
+            make_uniform_query(8, 2.0), 2, 0, pool=pool, rng=1,
+            tenant="inter",
+        )
+        assert pool.stats.coop_preemptions == 1
+        assert inter_exec.scheduler.lease.queueing_delay_s == 0.0
+        sim.run()
+        assert inter_exec.completed and batch_exec.completed
+        assert not batch_exec.failed
+
+        batch_result = batch_exec.result
+        assert batch_result.n_preemptions == 1
+        assert batch_result.wasted_cost_dollars > 0.0
+        assert batch_result.wasted_cost_dollars == pytest.approx(
+            pool.wasted_cost_dollars
+        )
+        # The final bill covers only the resumed attempt's lease.
+        assert batch_result.cost.total > 0.0
+        inter_result = inter_exec.result
+        assert inter_result.n_preemptions == 0
+        assert inter_result.wasted_cost_dollars == 0.0
+        # The interactive query was never made to wait on the hog.
+        assert inter_result.queueing_delay_s == 0.0
 
 
 class TestBuildPoolHelper:

@@ -113,7 +113,11 @@ class TestRpcService:
 
 class TestTenantAwareRpc:
     def test_determine_echoes_and_meters_tenant(self, small_trained_smartpick):
-        registry = TenantRegistry([TenantSpec("seda-1", weight=2.0)])
+        registry = TenantRegistry([
+            TenantSpec(
+                "seda-1", weight=2.0, slo_latency_s=120.0, tier="interactive"
+            )
+        ])
         with PredictionServer(
             small_trained_smartpick.predictor, tenants=registry
         ) as server:
@@ -125,6 +129,8 @@ class TestTenantAwareRpc:
                 info = client.tenant_info()
         assert info["requests"] == {"seda-1": 2}
         assert info["tenants"]["seda-1"]["weight"] == 2.0
+        assert info["tenants"]["seda-1"]["slo_latency_s"] == 120.0
+        assert info["tenants"]["seda-1"]["tier"] == "interactive"
         assert info["strict"] is False
 
     def test_untagged_calls_bill_the_default_tenant(

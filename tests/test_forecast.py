@@ -303,6 +303,66 @@ class TestPredictiveKeepAlive:
         ).describe()
 
 
+class TestDurationAwareBreakEven:
+    def _pool(self, **kwargs):
+        return build_pool(Simulator(), **kwargs)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PredictiveKeepAlive(duration_fraction=-0.1)
+
+    def test_default_fraction_is_raw_break_even(self):
+        # duration_fraction=0.0 must leave the park bound bit-exact even
+        # after durations have been observed.
+        pool = self._pool()
+        policy = PredictiveKeepAlive()
+        raw = policy.break_even_s(InstanceKind.VM, pool)
+        policy.observe_duration(500.0)
+        assert policy.park_bound_s(InstanceKind.VM, pool) == raw
+
+    def test_ewma_updates(self):
+        policy = PredictiveKeepAlive(duration_fraction=0.5)
+        assert policy.duration_estimate_s is None
+        policy.observe_duration(100.0)
+        assert policy.duration_estimate_s == pytest.approx(100.0)
+        policy.observe_duration(200.0)
+        # alpha = 0.3: 100 + 0.3 * (200 - 100)
+        assert policy.duration_estimate_s == pytest.approx(130.0)
+        policy.observe_duration(-5.0)  # ignored
+        policy.observe_duration(0.0)  # ignored
+        assert policy.duration_estimate_s == pytest.approx(130.0)
+
+    def test_bound_widens_with_observed_durations(self):
+        pool = self._pool()
+        policy = PredictiveKeepAlive(duration_fraction=0.5)
+        raw = policy.break_even_s(InstanceKind.VM, pool)
+        assert policy.park_bound_s(InstanceKind.VM, pool) == raw
+        policy.observe_duration(40.0)
+        assert policy.park_bound_s(InstanceKind.VM, pool) == pytest.approx(
+            raw + 0.5 * 40.0
+        )
+
+    def test_long_durations_park_past_raw_break_even(self):
+        # A forecast gap just past the raw 53 s VM break-even drains by
+        # default, but parks once long observed durations widen the bound.
+        pool = self._pool()
+        policy = PredictiveKeepAlive(headroom=2.0, duration_fraction=0.5)
+        for i in range(5):
+            policy.observe_arrival("q1", 60.0 * i)
+        pool.simulator.run_until(240.0)
+        assert policy.keep_alive(InstanceKind.VM, pool) == 0.0
+        policy.observe_duration(120.0)  # bound: 53 + 60 = 113 s > 60 s gap
+        assert policy.keep_alive(InstanceKind.VM, pool) == pytest.approx(
+            120.0
+        )
+
+    def test_describe_mentions_weighting_only_when_on(self):
+        assert "duration-weighted" not in PredictiveKeepAlive().describe()
+        assert "duration-weighted(0.5)" in PredictiveKeepAlive(
+            duration_fraction=0.5
+        ).describe()
+
+
 class TestAdaptiveBatchWindow:
     def test_validation(self):
         with pytest.raises(ValueError):
@@ -361,6 +421,18 @@ class TestServingIntegration:
         assert expected in observed
         # The routed shard was fed as a scope alongside the global stream.
         assert policy.forecaster.classes(scope="default")
+
+    def test_serving_feeds_durations_to_duration_aware_policy(self):
+        policy = PredictiveKeepAlive(duration_fraction=0.5)
+        assert policy.duration_estimate_s is None
+        ServingSimulator(
+            build_small_system(seed=317),
+            pool_config=PoolConfig(max_vms=16, max_sls=16),
+            autoscaler=policy,
+        ).replay(build_bursty_trace(4, spacing_s=10.0))
+        # Every completion's actual runtime reached the EWMA.
+        assert policy.duration_estimate_s is not None
+        assert policy.duration_estimate_s > 0.0
 
     def test_predictive_autoscaler_warms_sustained_stream(self):
         # Arrivals keep coming while earlier queries complete, so the

@@ -17,10 +17,14 @@ import zlib
 
 import pytest
 
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
 from repro.cloud.faults import FaultPlan
 from repro.cloud.pool import (
     DEFAULT_TENANT,
     AutoscalerPolicy,
+    DeadlineAwareGrant,
     DemandAutoscaler,
     FifoGrant,
     FixedKeepAlive,
@@ -552,6 +556,8 @@ class Scenario:
     engine: str = "event"
     #: Submission path ("object", "presample" or "vector").
     submission: str = "object"
+    #: Price tenant lease quotas into the sizing grid (Eq. 4 bounds).
+    quota_priced_sizing: bool = False
 
 
 def _scenarios() -> tuple[Scenario, ...]:
@@ -756,6 +762,35 @@ def _scenarios() -> tuple[Scenario, ...]:
             engine="columnar",
             submission="vector",
         ),
+        # ----- SLO-first scheduling: deadline-aware grants + quota-priced
+        # sizing + cooperative preemption on a noisy-neighbour trace.  The
+        # interactive tenant's SLO turns into per-lease deadlines (slack
+        # ordering), the batch hog's quota bounds its sizing grid, and its
+        # leases are preemptible -- wasted spend without any fault plan.
+        Scenario(
+            name="slo-noisy-neighbour",
+            seed=224,
+            traces={
+                "inter": build_bursty_trace(3, spacing_s=25.0, start_s=6.0),
+                "bg": build_bursty_trace(
+                    5, spacing_s=2.0, query_id="tpcds-q68"
+                ),
+            },
+            tenants=TenantRegistry(
+                [
+                    TenantSpec(
+                        "inter", slo_latency_s=240.0, tier="interactive"
+                    ),
+                    TenantSpec("bg", max_leased_vms=3, tier="batch"),
+                ]
+            ),
+            pool_config=PoolConfig(max_vms=4, max_sls=6),
+            grant_policy=DeadlineAwareGrant(
+                preempt=True, preempt_slack_s=120.0
+            ),
+            quota_tenants=("bg",),
+            quota_priced_sizing=True,
+        ),
     )
 
 
@@ -781,6 +816,7 @@ def test_scenario_invariants(scenario: Scenario):
         max_pending_admission=scenario.max_pending_admission,
         engine=scenario.engine,
         submission=scenario.submission,
+        quota_priced_sizing=scenario.quota_priced_sizing,
     )
     report = simulator.replay_multi(scenario.traces)
 
@@ -790,11 +826,39 @@ def test_scenario_invariants(scenario: Scenario):
     expected = sum(len(trace) for trace in scenario.traces.values())
     assert report.n_arrivals == expected
     assert report.n_queries + report.n_failed + report.n_shed == expected
+    preempting = bool(getattr(scenario.grant_policy, "preempt", False))
     if scenario.fault_plan is None:
         assert report.n_queries == expected
-        assert report.wasted_cost_dollars == 0.0
         assert report.n_retries_total == 0
+        if not preempting:
+            assert report.wasted_cost_dollars == 0.0
+        else:
+            # A cooperative preemption forfeits the victim's spend into
+            # the wasted ledger without any fault plan; every preempted
+            # query still completes (checkpoint-and-requeue, not kill).
+            assert report.wasted_cost_dollars >= 0.0
+            per_arrival_wasted = sum(
+                s.wasted_cost_dollars for s in report.served
+            )
+            assert per_arrival_wasted == pytest.approx(
+                report.wasted_cost_dollars, rel=1e-9, abs=1e-12
+            )
     assert set(report.tenants) == set(scenario.traces)
+
+    # Per-tenant SLO attainment is well-formed wherever it is defined,
+    # and defined exactly for the tenants that served queries.
+    attainment = report.tenant_slo_attainment()
+    for tenant, value in attainment.items():
+        assert 0.0 <= value <= 1.0
+        assert report.for_tenant(tenant).n_queries > 0
+    registry = scenario.tenants or TenantRegistry()
+    for tenant in report.tenants:
+        if (
+            registry.get(tenant).slo_latency_s is not None
+            and report.for_tenant(tenant).n_queries
+        ):
+            assert tenant in report.tenant_slos
+            assert tenant in attainment
 
     # Chargeback conservation: tenant bills partition the pool's bill,
     # keep-alive included.
@@ -812,7 +876,6 @@ def test_scenario_invariants(scenario: Scenario):
     # Quotas (when configured) bound the observed peaks -- including
     # the in-flight peak, which retries re-enter; the quota delay
     # metric stays zero for unthrottled tenants.
-    registry = scenario.tenants or TenantRegistry()
     for tenant in report.tenants:
         spec = registry.get(tenant)
         vm_peak, sl_peak = report.tenant_peaks.get(tenant, (0, 0))
@@ -962,3 +1025,74 @@ def test_zero_fault_plan_is_bit_exact(engine):
         assert report.dropped == []
         assert report.n_retries_total == 0
         assert report.availability == 1.0
+
+
+def _equivalence_traces():
+    """Small sorted traces that force queueing on a tight pool."""
+    event = st.tuples(
+        st.floats(min_value=0.0, max_value=60.0,
+                  allow_nan=False, allow_infinity=False),
+        st.sampled_from(["tpcds-q82", "tpcds-q68"]),
+        st.floats(min_value=60.0, max_value=160.0,
+                  allow_nan=False, allow_infinity=False),
+    )
+    return st.lists(event, min_size=2, max_size=5).map(
+        lambda items: WorkloadTrace(events=tuple(
+            TraceEvent(arrival, query_id, input_gb=size)
+            for arrival, query_id, size in sorted(items, key=lambda x: x[0])
+        ))
+    )
+
+
+@pytest.mark.parametrize("engine", ["event", "columnar"])
+@given(
+    trace=_equivalence_traces(),
+    max_vms=st.integers(min_value=2, max_value=4),
+    seed=st.integers(min_value=0, max_value=2),
+)
+@settings(
+    max_examples=4,
+    deadline=None,
+    derandomize=True,
+    suppress_health_check=[
+        HealthCheck.too_slow,
+        HealthCheck.function_scoped_fixture,
+    ],
+)
+def test_unset_slos_deadline_aware_equals_weighted_fair(
+    engine, trace, max_vms, seed
+):
+    """With every SLO unset, :class:`DeadlineAwareGrant` must replay
+    field-for-field identically to the default :class:`WeightedFairGrant`
+    on both engines.
+
+    No deadlines means every queued lease sorts at infinite slack in
+    arrival order, and within a single tenant weighted-fair grants are
+    FIFO too -- so even on a tight pool where requests genuinely queue,
+    the grant sequences (and therefore every latency, cost and stat)
+    coincide.  The property pins the tentpole's bit-exactness promise:
+    attaching the deadline machinery without configuring SLOs changes
+    nothing.
+    """
+    def run(policy: GrantPolicy | None):
+        system = build_small_system(
+            seed=230 + seed, n_configs_per_query=6, max_vm=6, max_sl=6
+        )
+        return ServingSimulator(
+            system,
+            pool_config=PoolConfig(max_vms=max_vms, max_sls=max_vms),
+            tenants=TenantRegistry([TenantSpec("solo")]),
+            grant_policy=policy,
+            engine=engine,
+        ).replay_multi({"solo": trace})
+
+    fair = run(None)  # weighted-fair is the default
+    deadline = run(DeadlineAwareGrant())
+    assert [_served_signature(s) for s in fair.served] == [
+        _served_signature(s) for s in deadline.served
+    ]
+    assert fair.total_cost_dollars == deadline.total_cost_dollars
+    assert fair.keepalive_cost_dollars == deadline.keepalive_cost_dollars
+    assert fair.pool_stats == deadline.pool_stats
+    assert deadline.tenant_slos == {}
+    assert deadline.wasted_cost_dollars == 0.0
