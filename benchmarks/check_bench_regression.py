@@ -48,6 +48,11 @@ _SPEEDUP_KEYS = (
     # (in [0, 1], simulation-deterministic; cost_efficiency above covers
     # the fair-over-slo cost ratio).
     "interactive_attainment",
+    # bench_planner: planner-over-best-reactive warm-start and tail-
+    # queueing ratios (simulation-deterministic; cost_efficiency above
+    # covers the best-over-planner cost ratio).
+    "warm_start_uplift",
+    "queueing_improvement",
 )
 
 

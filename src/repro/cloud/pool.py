@@ -59,6 +59,7 @@ from repro.cloud.providers import ProviderProfile
 
 if TYPE_CHECKING:  # avoid a runtime cloud <-> engine import cycle
     from repro.cloud.faults import FaultInjector
+    from repro.core.epochs import PoolPlan
     from repro.engine.simulator import EventHandle, Simulator
 
 #: How long grant timestamps are retained for rate estimation; windows
@@ -374,6 +375,10 @@ class PoolStats:
 
     cold_starts: int = 0
     warm_starts: int = 0
+    #: Workers pre-booted by a :meth:`ClusterPool.apply_plan` ahead of any
+    #: lease (proactive provisioning).  Not an acquisition: a pre-warmed
+    #: worker that is later handed over counts as a ``warm_start`` then.
+    prewarms: int = 0
     expirations: int = 0
     leases_granted: int = 0
     leases_queued: int = 0
@@ -1095,6 +1100,16 @@ class ClusterPool:
         self.stats = PoolStats()
         self.keepalive_cost = CostBreakdown()
         self.wasted_cost = CostBreakdown()
+        #: Idle spend attributable to plan-driven pre-warming (the boot
+        #: interval plus the park until first hand-over or expiry).  A
+        #: sub-ledger of ``keepalive_cost`` -- the chargeback identity is
+        #: unchanged; this makes the planner's speculative spend visible.
+        self.prewarm_cost = CostBreakdown()
+        #: Pre-booting workers (plan-driven) that have not reached their
+        #: warm set yet: instance id -> (instance, destination shard).
+        self._prewarming: dict[str, tuple[Instance, PoolShard]] = {}
+        #: Ids whose *first* idle interval should bill to ``prewarm_cost``.
+        self._prewarmed_ids: set[str] = set()
         # Pool-wide leased counters, maintained incrementally alongside
         # the per-shard ones (``leased_vms`` sums shards semantically;
         # the running totals avoid the per-grant shard scan).
@@ -1164,6 +1179,11 @@ class ClusterPool:
             name: shard.keepalive_cost.total
             for name, shard in self._shards.items()
         }
+
+    @property
+    def prewarm_cost_dollars(self) -> float:
+        """Idle spend of plan-driven pre-warming (within keep-alive)."""
+        return self.prewarm_cost.total
 
     @property
     def wasted_cost_dollars(self) -> float:
@@ -1652,6 +1672,156 @@ class ClusterPool:
             self.simulator.cancel(segment.boot_handle)
 
     # ------------------------------------------------------------------
+    # Epoch planning
+    # ------------------------------------------------------------------
+
+    def apply_plan(self, plan: "PoolPlan") -> None:
+        """Re-shape the pool to a :class:`~repro.core.epochs.PoolPlan`.
+
+        Applied at epoch boundaries by the serving loop.  Safety
+        contract, regardless of what the plan asks for:
+
+        - **Leased workers are never killed.**  A shrink target below a
+          shard's currently leased count is clamped up to it; capacity
+          drains as leases release (their grants simply stop).
+        - **A worker kind a shard supports stays servable.**  Targets
+          are floored at one worker for any kind with nonzero baseline
+          capacity, so in-flight request shapes cannot be stranded.
+        - **Quotas are untouched.**  Pre-boots are tenant-less and grant
+          admission still runs through :meth:`quota_allows`; growing
+          capacity never lets a tenant exceed its quota.
+        - **Pre-boots bill to the keep-alive ledger** (and the
+          ``prewarm_cost`` sub-ledger): their boot interval is *idle*
+          time, so the time-conservation ledger still balances.
+
+        Warm workers parked beyond a shrunken capacity are expired
+        immediately (their idle spend accrues as usual).  Pre-warm
+        requests are clamped to the shard's free headroom (capacity
+        minus leased, warm and already-booting pre-warms).
+        """
+        now = self.simulator.now
+        for name, (target_vms, target_sls) in sorted(
+            plan.shard_capacity.items()
+        ):
+            shard = self._shard_for_plan(name)
+            floor_vms = max(
+                shard.leased_vms, 1 if shard.config.max_vms > 0 else 0
+            )
+            floor_sls = max(
+                shard.leased_sls, 1 if shard.config.max_sls > 0 else 0
+            )
+            new_vms = max(int(target_vms), floor_vms)
+            new_sls = max(int(target_sls), floor_sls)
+            if (new_vms, new_sls) != (
+                shard.config.max_vms, shard.config.max_sls
+            ):
+                shard.config = dataclasses.replace(
+                    shard.config, max_vms=new_vms, max_sls=new_sls
+                )
+            for kind, leased, cap in (
+                (InstanceKind.VM, shard.leased_vms, new_vms),
+                (InstanceKind.SERVERLESS, shard.leased_sls, new_sls),
+            ):
+                warm_set = shard.warm[kind]
+                excess = (
+                    leased + len(warm_set)
+                    + self._prewarming_count(shard, kind) - cap
+                )
+                while excess > 0 and warm_set:
+                    # Evict coldest-first (insertion order): the LIFO
+                    # warm set hands over from the other end.
+                    oldest = next(iter(warm_set))
+                    instance = warm_set.pop(oldest)
+                    self._end_idle(instance, now, shard)
+                    self._terminate(instance, now)
+                    self.stats.expirations += 1
+                    excess -= 1
+        for name, (n_vm, n_sl) in sorted(plan.prewarm.items()):
+            shard = self._shard_for_plan(name)
+            keep_alive = float(plan.prewarm_keep_alive_s)
+            if keep_alive <= 0.0:
+                raise ValueError("prewarm_keep_alive_s must be positive")
+            for kind, wanted in (
+                (InstanceKind.VM, n_vm), (InstanceKind.SERVERLESS, n_sl)
+            ):
+                cap = (
+                    shard.config.max_vms
+                    if kind is InstanceKind.VM
+                    else shard.config.max_sls
+                )
+                leased = (
+                    shard.leased_vms
+                    if kind is InstanceKind.VM
+                    else shard.leased_sls
+                )
+                headroom = (
+                    cap - leased - len(shard.warm[kind])
+                    - self._prewarming_count(shard, kind)
+                )
+                for _ in range(min(int(wanted), max(headroom, 0))):
+                    self._prewarm_one(kind, shard, keep_alive)
+        if plan.grant_policy is not None:
+            self.grant_policy = plan.grant_policy
+        for name, policy in (plan.shard_autoscalers or {}).items():
+            self._shard_for_plan(name).autoscaler = policy
+        self._pump()
+
+    def _shard_for_plan(self, name: str) -> PoolShard:
+        shard = self._shards.get(name)
+        if shard is None:
+            raise ValueError(
+                f"plan names unknown shard {name!r} "
+                f"(shards: {', '.join(self._shards)})"
+            )
+        return shard
+
+    def _prewarming_count(self, shard: PoolShard, kind: InstanceKind) -> int:
+        return sum(
+            1
+            for instance, dest in self._prewarming.values()
+            if dest is shard and instance.kind is kind
+        )
+
+    def _prewarm_one(
+        self, kind: InstanceKind, shard: PoolShard, keep_alive: float
+    ) -> None:
+        """Cold-boot one worker straight into ``shard``'s warm set.
+
+        The boot interval is stamped idle from spawn, so the whole
+        speculative life bills to the keep-alive ledger (never a query)
+        and the time-conservation ledger balances.  Not a cold start:
+        acquisition counters track lease hand-overs only.
+        """
+        now = self.simulator.now
+        if kind is InstanceKind.VM:
+            instance: Instance = VMInstance.create(spawn_time=now)
+            boot = self.provider.vm_boot_seconds
+        else:
+            instance = ServerlessInstance.create(spawn_time=now)
+            boot = self.provider.sl_boot_seconds
+        instance.transition(InstanceState.BOOTING, now)
+        self.stats.prewarms += 1
+        self._idle_since[instance.instance_id] = now
+        self._prewarmed_ids.add(instance.instance_id)
+        self._prewarming[instance.instance_id] = (instance, shard)
+        self.simulator.schedule(
+            boot, lambda: self._finish_prewarm(instance, shard, keep_alive)
+        )
+
+    def _finish_prewarm(
+        self, instance: Instance, shard: PoolShard, keep_alive: float
+    ) -> None:
+        if self._prewarming.pop(instance.instance_id, None) is None:
+            return  # killed or shut down before the boot completed
+        now = self.simulator.now
+        instance.transition(InstanceState.RUNNING, now)
+        shard.warm[instance.kind][instance.instance_id] = instance
+        # _idle_since keeps the spawn stamp: boot time bills as idle.
+        self._expiry_handles[instance.instance_id] = self.simulator.schedule(
+            keep_alive, lambda: self._expire(instance, shard)
+        )
+
+    # ------------------------------------------------------------------
     # Fault handling
     # ------------------------------------------------------------------
 
@@ -1678,6 +1848,17 @@ class ClusterPool:
             self.revoke_lease(lease, reason, dead_instance=instance)
             return
         now = self.simulator.now
+        prewarming = self._prewarming.pop(instance.instance_id, None)
+        if prewarming is not None:
+            # A plan-driven pre-boot killed before reaching its warm set:
+            # account like a warm kill (it was never leased).
+            _, shard = prewarming
+            self._end_idle(instance, now, shard)
+            self._terminate(instance, now)
+            self.stats.warm_kills += 1
+            self._count_fault(reason)
+            self._note_shard_fault(shard)
+            return
         for shard in self._shards.values():
             if shard.warm[instance.kind].pop(
                 instance.instance_id, None
@@ -1842,6 +2023,12 @@ class ClusterPool:
             idle_cost = self.prices.sl_breakdown(idle, invocations=0)
         self.keepalive_cost.accrue(idle_cost)
         shard.keepalive_cost.accrue(idle_cost)
+        if instance.instance_id in self._prewarmed_ids:
+            # First idle interval of a plan-driven pre-boot: also bill
+            # the planner's speculative sub-ledger (once -- a later
+            # re-park of the same worker is ordinary keep-alive).
+            self._prewarmed_ids.discard(instance.instance_id)
+            self.prewarm_cost.accrue(idle_cost)
         self.stats.idle_seconds += idle
 
     def _terminate(self, instance: Instance, now: float) -> None:
@@ -2008,6 +2195,11 @@ class ClusterPool:
     def shutdown(self) -> None:
         """Terminate all warm instances (end of the serving day)."""
         now = self.simulator.now
+        for instance, shard in list(self._prewarming.values()):
+            # Pre-boots still in flight: their whole life was idle spend.
+            self._end_idle(instance, now, shard)
+            self._terminate(instance, now)
+        self._prewarming.clear()
         for shard in self._shards.values():
             for warm_set in shard.warm.values():
                 for instance in list(warm_set.values()):

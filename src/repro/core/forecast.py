@@ -40,7 +40,43 @@ __all__ = [
     "ArrivalForecaster",
     "AdaptiveBatchWindow",
     "PredictiveKeepAlive",
+    "break_even_s",
 ]
+
+
+def break_even_s(
+    kind: InstanceKind,
+    pool: ClusterPool,
+    shard: PoolShard | None = None,
+) -> float:
+    """Idle seconds at which keep-alive spend equals the warm discount.
+
+    Keeping a worker warm for ``t`` idle seconds costs ``rate * t`` (the
+    same per-second rate the pool bills idle time at).  A warm hand-over
+    then saves the billed boot gap -- the cold boot is billed inside the
+    next lease at the same rate, the warm re-attach at only
+    ``warm_boot_s`` -- plus, for serverless workers, the invocation fee a
+    cold spawn would pay.  Setting cost equal to saving and dividing by
+    the rate:
+
+    - VM:  ``t* = vm_boot_s - warm_vm_boot_s``
+    - SL:  ``t* = (sl_boot_s - warm_sl_boot_s) + invocation / sl_rate``
+
+    so a worker is worth keeping warm exactly when the next arrival is
+    expected within ``t*``.  The same bound prices *pre-warming*: booting
+    a worker ahead of a predicted burst pays off exactly when the
+    expected idle wait before its first hand-over stays under ``t*``
+    (see :class:`repro.core.epochs.FleetPlanner`).
+    """
+    config = shard.config if shard is not None else pool.config
+    if kind is InstanceKind.VM:
+        return max(
+            pool.provider.vm_boot_seconds - config.warm_vm_boot_s, 0.0
+        )
+    boot_gap = max(
+        pool.provider.sl_boot_seconds - config.warm_sl_boot_s, 0.0
+    )
+    return boot_gap + pool.prices.sl_invocation / pool.prices.sl_per_second
 
 #: Cap on distinct query-class meters kept per forecast scope; overflow
 #: evicts the class with the oldest last arrival (the most stale, hence
@@ -318,31 +354,8 @@ class PredictiveKeepAlive(AutoscalerPolicy):
         pool: ClusterPool,
         shard: PoolShard | None = None,
     ) -> float:
-        """Idle seconds at which keep-alive spend equals the warm discount.
-
-        Keeping a worker warm for ``t`` idle seconds costs ``rate * t``
-        (the same per-second rate the pool bills idle time at).  A warm
-        hand-over then saves the billed boot gap -- the cold boot is
-        billed inside the next lease at the same rate, the warm re-attach
-        at only ``warm_boot_s`` -- plus, for serverless workers, the
-        invocation fee a cold spawn would pay.  Setting cost equal to
-        saving and dividing by the rate:
-
-        - VM:  ``t* = vm_boot_s - warm_vm_boot_s``
-        - SL:  ``t* = (sl_boot_s - warm_sl_boot_s) + invocation / sl_rate``
-
-        so a worker is worth keeping warm exactly when the next arrival
-        is expected within ``t*``.
-        """
-        config = shard.config if shard is not None else pool.config
-        if kind is InstanceKind.VM:
-            return max(
-                pool.provider.vm_boot_seconds - config.warm_vm_boot_s, 0.0
-            )
-        boot_gap = max(
-            pool.provider.sl_boot_seconds - config.warm_sl_boot_s, 0.0
-        )
-        return boot_gap + pool.prices.sl_invocation / pool.prices.sl_per_second
+        """The break-even bound (module-level :func:`break_even_s`)."""
+        return break_even_s(kind, pool, shard)
 
     def keep_alive(
         self,

@@ -73,6 +73,7 @@ from repro.cloud.pool import (
     ShardRouter,
     TenantRegistry,
 )
+from repro.core.epochs import FleetPlanner, ForecastAwareRouter
 from repro.core.forecast import AdaptiveBatchWindow
 from repro.core.job import SubmissionOutcome
 from repro.core.smartpick import Smartpick
@@ -413,6 +414,13 @@ class ServingReport:
     wasted_cost_by_shard: dict[str, float] = dataclasses.field(
         default_factory=dict
     )
+    #: Epoch boundaries at which the fleet planner ran (closed an epoch,
+    #: forecast the next and applied a plan).  Zero without a planner.
+    epochs_planned: int = 0
+    #: Idle spend of plan-driven pre-warming -- a sub-ledger of
+    #: :attr:`keepalive_cost_dollars` (the chargeback identity is
+    #: unchanged), making the planner's speculative spend observable.
+    prewarm_cost_dollars: float = 0.0
     #: Peak concurrently in-flight arrivals per tenant, *including*
     #: retry resubmissions -- the observable proving ``max_in_flight``
     #: admission quotas hold even while retries re-enter the gate.
@@ -1010,6 +1018,10 @@ class ServingReport:
                 self.wasted_cost_dollars + other.wasted_cost_dollars
             ),
             wasted_cost_by_shard=wasted_by_shard,
+            epochs_planned=self.epochs_planned + other.epochs_planned,
+            prewarm_cost_dollars=(
+                self.prewarm_cost_dollars + other.prewarm_cost_dollars
+            ),
             tenant_in_flight_peaks=in_flight_peaks,
             tenant_slos=tenant_slos,
             stream=stream,
@@ -1451,6 +1463,7 @@ class ServingSimulator:
         fault_plan: FaultPlan | None = None,
         max_pending_admission: int | None = None,
         quota_priced_sizing: bool = False,
+        planner: FleetPlanner | None = None,
     ) -> None:
         if slo_seconds <= 0:
             raise ValueError("slo_seconds must be positive")
@@ -1500,6 +1513,10 @@ class ServingSimulator:
         self.fault_plan = fault_plan
         self.max_pending_admission = max_pending_admission
         self.quota_priced_sizing = quota_priced_sizing
+        #: Epoch-level fleet planner (None = reactive serving, bit for
+        #: bit).  Each replay runs on a ``planner.fresh()`` copy, so a
+        #: scenario-embedded planner cannot leak state across replays.
+        self.planner = planner
 
     def _batch_tuner(self) -> AdaptiveBatchWindow | None:
         """The adaptive-window tuner for one replay (None = static path).
@@ -1620,6 +1637,15 @@ class ServingSimulator:
             shard_autoscalers=self.shard_autoscalers,
             fault_injector=injector,
         )
+        # Epoch planning runs on a fresh copy of the configured planner,
+        # so replays stay deterministic however often the simulator is
+        # reused.  A forecast-aware router must read the SAME planner
+        # instance the replay feeds, so it is rebound to the fresh copy.
+        planner = self.planner.fresh() if self.planner is not None else None
+        if planner is not None and isinstance(
+            pool.router, ForecastAwareRouter
+        ):
+            pool.router = ForecastAwareRouter(planner)
         # Forecast-driven autoscalers duck-type on `observe_arrival`;
         # they receive every arrival's query class and routed shard.
         # Dedup keys on the observation SINK (the forecaster when the
@@ -1752,10 +1778,12 @@ class ServingSimulator:
             states=states,
             finalize=initializer.finalize,
         )
-        if duration_observers:
+        if duration_observers or planner is not None:
             def feed_durations(seconds: float) -> None:
                 for policy in duration_observers:
                     policy.observe_duration(seconds)
+                if planner is not None:
+                    planner.observe_duration(seconds)
 
             table.on_duration = feed_durations
         presample = self.submission != "object"
@@ -1897,7 +1925,9 @@ class ServingSimulator:
                             ),
                         )
                     )
-                    if forecast_observers and first_attempt:
+                    if (
+                        forecast_observers or planner is not None
+                    ) and first_attempt:
                         observed.append((arrival, runner))
                 else:
                     flush_pending()
@@ -1923,7 +1953,9 @@ class ServingSimulator:
                             == "batch"
                         ),
                     )
-                    if forecast_observers and first_attempt:
+                    if (
+                        forecast_observers or planner is not None
+                    ) and first_attempt:
                         observed.append((arrival, execution))
             flush_pending()
             for arrival, holder in observed:
@@ -1944,6 +1976,20 @@ class ServingSimulator:
                         class_key,
                         arrival.event.arrival_s,
                         scope=holder.lease.shard,
+                    )
+                if planner is not None:
+                    # The epoch records the *granted* worker counts (the
+                    # lease's, capacity/quota-clamped), not the decided
+                    # ones: forecasting clamped demand would re-amplify
+                    # exactly what the pool refused to grant.
+                    lease = holder.lease
+                    planner.observe_arrival(
+                        arrival.tenant,
+                        class_key,
+                        arrival.event.input_gb,
+                        shard=lease.shard,
+                        n_vm=lease.n_vm,
+                        n_sl=lease.n_sl,
                     )
 
         def submit_batch(batch: list[_Arrival], decide_time: float) -> None:
@@ -2221,7 +2267,37 @@ class ServingSimulator:
             open_group.append(arrival)
             simulator.schedule(window, close_group)
 
+        # Epoch boundaries are ordinary simulator events, so both engines
+        # interleave them with arrivals identically: the first tick is
+        # created before any runtime event exists, and arrival-vs-tick
+        # ties resolve arrival-first on both engines (upfront arrivals
+        # carry smaller sequence numbers; ``run_before`` drains strictly
+        # before the tick's timestamp).  Ticks stop after the last
+        # arrival -- a plan nobody will arrive to use is wasted money.
+        epochs_planned = 0
+        last_arrival_s = float(times[-1]) if n_arrivals else 0.0
+        if planner is not None and n_arrivals:
+            planner.begin(float(times[0]))
+
+        def start_epoch_ticks() -> None:
+            if planner is None or n_arrivals == 0:
+                return
+            first_end = float(times[0]) + planner.epoch_s
+            if first_end > last_arrival_s:
+                return
+
+            def epoch_tick() -> None:
+                nonlocal epochs_planned
+                pool.apply_plan(planner.on_epoch_end(pool, simulator.now))
+                epochs_planned += 1
+                next_end = simulator.now + planner.epoch_s
+                if next_end <= last_arrival_s:
+                    simulator.schedule_at(next_end, epoch_tick)
+
+            simulator.schedule_at(first_end, epoch_tick)
+
         if self.engine == "columnar":
+            start_epoch_ticks()
             # Drain the columns group by group instead of scheduling one
             # EventHandle per arrival.  ``run_before(fire)`` drains every
             # pending event strictly before the group's decide time, and
@@ -2264,6 +2340,7 @@ class ServingSimulator:
                         group, group[-1].event.arrival_s
                     ),
                 )
+            start_epoch_ticks()
             simulator.run()
         else:
             for position in range(n_arrivals):
@@ -2272,6 +2349,7 @@ class ServingSimulator:
                     arrival.event.arrival_s,
                     lambda arrival=arrival: on_arrival(arrival),
                 )
+            start_epoch_ticks()
             simulator.run()
         pool.shutdown()
         table.flush()
@@ -2318,6 +2396,8 @@ class ServingSimulator:
             dropped=dropped if dropped is not None else [],
             wasted_cost_dollars=pool.wasted_cost_dollars,
             wasted_cost_by_shard=pool.wasted_cost_by_shard,
+            epochs_planned=epochs_planned,
+            prewarm_cost_dollars=pool.prewarm_cost_dollars,
             tenant_in_flight_peaks=table.in_flight_peaks,
             tenant_slos=dict(tenant_slo_map),
             stream=report_stream,

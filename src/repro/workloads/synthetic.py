@@ -12,6 +12,9 @@ Three generators:
   trace generator (diurnal rate curve plus bursty hot spots over a
   tenant/class population) producing the :class:`ColumnarTrace` columns
   the million-arrival replay benchmark drains.
+- :func:`make_epoch_trace` -- a seasonal single-trace variant: the same
+  burst repeats at a fixed phase every period, which is exactly the
+  workload an epoch-level seasonal-naive forecaster can plan for.
 - :func:`make_chaos_plan` -- named :class:`~repro.cloud.faults.FaultPlan`
   severity presets for chaos benchmarks and tests.
 """
@@ -26,6 +29,7 @@ from repro.workloads.trace import ColumnarTrace
 
 __all__ = [
     "make_chaos_plan",
+    "make_epoch_trace",
     "make_uniform_query",
     "make_random_query",
     "make_scale_trace",
@@ -154,6 +158,97 @@ def make_random_query(
         suite="synthetic",
         stages=tuple(stages),
         input_gb=input_gb,
+    )
+
+
+def make_epoch_trace(
+    n_arrivals: int,
+    period_s: float = 3600.0,
+    n_periods: int = 8,
+    burst_phase: float = 0.6,
+    burst_width_fraction: float = 0.08,
+    burst_factor: float = 8.0,
+    query_classes: tuple[str, ...] = ("uniform-2x1s", "uniform-4x1s"),
+    class_weights: tuple[float, ...] | None = None,
+    input_gb_octaves: tuple[float, ...] = (16.0, 32.0),
+    jitter: float = 0.5,
+    rng: np.random.Generator | int | None = None,
+) -> ColumnarTrace:
+    """A seasonal arrival trace: the same burst, every period, on cue.
+
+    Each of the ``n_periods`` periods carries an identical intensity
+    template -- a quiet base plus one Gaussian burst of ``burst_factor``
+    x the base rate centred at fraction ``burst_phase`` of the period.
+    Arrivals are placed by inverse-CDF over the tiled intensity using
+    *stratified* quantiles (``(i + u_i) / n``), so the trace is exactly
+    periodic in expectation: whatever the forecaster learned about
+    period ``k`` holds for period ``k + 1``.  That is the workload where
+    gap-level reactive policies lose -- the burst's first arrivals land
+    on a cold pool every period -- and an epoch planner that pre-warms
+    ahead of the remembered burst wins.
+
+    ``jitter`` in ``[0, 1]`` blends the stratified offsets between the
+    deterministic midpoint (0) and fully uniform (1).  With ``jitter=0``
+    the trace is identical for any ``rng``.  Returns a single
+    :class:`ColumnarTrace` (wrap it in a tenant dict for
+    ``replay_multi``).
+    """
+    if n_arrivals < 1:
+        raise ValueError("n_arrivals must be at least 1")
+    if period_s <= 0:
+        raise ValueError("period_s must be positive")
+    if n_periods < 1:
+        raise ValueError("n_periods must be at least 1")
+    if not 0.0 <= burst_phase <= 1.0:
+        raise ValueError("burst_phase must be in [0, 1]")
+    if not 0.0 < burst_width_fraction < 0.5:
+        raise ValueError("burst_width_fraction must be in (0, 0.5)")
+    if burst_factor < 1.0:
+        raise ValueError("burst_factor must be at least 1")
+    if not 0.0 <= jitter <= 1.0:
+        raise ValueError("jitter must be in [0, 1]")
+    if not query_classes:
+        raise ValueError("query_classes must not be empty")
+    if not input_gb_octaves or any(s <= 0 for s in input_gb_octaves):
+        raise ValueError("input_gb_octaves must be positive sizes")
+    generator = np.random.default_rng(rng)
+
+    duration_s = period_s * n_periods
+    grid = np.linspace(0.0, duration_s, 4096 * max(n_periods // 4, 1))
+    phase = (grid % period_s) / period_s
+    width = burst_width_fraction
+    intensity = 1.0 + (burst_factor - 1.0) * np.exp(
+        -0.5 * ((phase - burst_phase) / width) ** 2
+    )
+    cumulative = np.concatenate(([0.0], np.cumsum(
+        (intensity[1:] + intensity[:-1]) / 2.0 * np.diff(grid)
+    )))
+    offsets = np.full(n_arrivals, 0.5)
+    if jitter > 0.0:
+        offsets = 0.5 + jitter * (
+            generator.uniform(0.0, 1.0, size=n_arrivals) - 0.5
+        )
+    quantiles = (np.arange(n_arrivals) + offsets) / n_arrivals
+    times = np.interp(quantiles * cumulative[-1], cumulative, grid)
+
+    weights = (
+        np.full(len(query_classes), 1.0)
+        if class_weights is None
+        else np.asarray(class_weights, dtype=np.float64)
+    )
+    if weights.shape != (len(query_classes),) or np.any(weights <= 0):
+        raise ValueError("class_weights must match query_classes, positive")
+    class_index = generator.choice(
+        len(query_classes), size=n_arrivals, p=weights / weights.sum()
+    ).astype(np.int32)
+    sizes = np.asarray(input_gb_octaves, dtype=np.float64)[
+        generator.integers(0, len(input_gb_octaves), size=n_arrivals)
+    ]
+    return ColumnarTrace(
+        arrival_s=times,
+        query_index=class_index,
+        input_gb=sizes,
+        query_ids=tuple(query_classes),
     )
 
 

@@ -39,6 +39,13 @@ hypothesis_settings.register_profile("dev", deadline=None)
 hypothesis_settings.register_profile(
     "ci", deadline=None, max_examples=25, derandomize=True
 )
+# "thorough" is the nightly cron leg: 10x the ci example budget, still
+# derandomized so a red cron run reproduces locally with the same
+# profile.  Seed-sensitive flakes (quantile bounds, rare branch
+# interleavings) surface here before they can hit tier-1.
+hypothesis_settings.register_profile(
+    "thorough", deadline=None, max_examples=250, derandomize=True
+)
 hypothesis_settings.load_profile(os.environ.get("HYPOTHESIS_PROFILE", "dev"))
 
 #: Noise-free AWS profile: deterministic task durations for exact asserts.

@@ -38,6 +38,7 @@ from repro.cloud.pool import (
     TenantSpec,
     WeightedFairGrant,
 )
+from repro.core.epochs import EpochForecaster, FleetPlanner
 from repro.core.forecast import PredictiveKeepAlive
 from repro.core.serving import ServingSimulator
 from repro.engine import RetryPolicy, Simulator
@@ -558,6 +559,9 @@ class Scenario:
     submission: str = "object"
     #: Price tenant lease quotas into the sizing grid (Eq. 4 bounds).
     quota_priced_sizing: bool = False
+    #: Epoch-level fleet planner (None = reactive serving).  Stateful is
+    #: fine: the serving layer replays on a ``planner.fresh()`` copy.
+    planner: FleetPlanner | None = None
 
 
 def _scenarios() -> tuple[Scenario, ...]:
@@ -791,6 +795,40 @@ def _scenarios() -> tuple[Scenario, ...]:
             quota_tenants=("bg",),
             quota_priced_sizing=True,
         ),
+        # ----- epoch planning: proactive provisioning rides the same
+        # invariants as every reactive row.  A diurnal-ish two-tenant
+        # burst pattern with a seasonal forecaster, predictive
+        # keep-alive AND tenant quotas: pre-warms must bill to the
+        # keep-alive ledger (chargeback conservation), never breach the
+        # free tier's quota, and every arrival still serves exactly
+        # once.
+        Scenario(
+            name="diurnal-planner",
+            seed=225,
+            traces={
+                "paid": build_bursty_trace(6, spacing_s=20.0),
+                "free": build_bursty_trace(4, spacing_s=30.0, start_s=8.0),
+            },
+            tenants=TenantRegistry(
+                [
+                    TenantSpec("paid", weight=4.0),
+                    TenantSpec(
+                        "free", max_leased_vms=2, max_leased_sls=2
+                    ),
+                ]
+            ),
+            pool_config=PoolConfig(max_vms=10, max_sls=12),
+            autoscaler=PredictiveKeepAlive(headroom=2.0),
+            quota_tenants=("free",),
+            planner=FleetPlanner(
+                epoch_s=30.0,
+                forecaster=EpochForecaster(
+                    alpha=0.5, season_length=3, seasonal_weight=0.5
+                ),
+                max_prewarm_vms=2,
+                max_prewarm_sls=4,
+            ),
+        ),
     )
 
 
@@ -817,6 +855,7 @@ def test_scenario_invariants(scenario: Scenario):
         engine=scenario.engine,
         submission=scenario.submission,
         quota_priced_sizing=scenario.quota_priced_sizing,
+        planner=scenario.planner,
     )
     report = simulator.replay_multi(scenario.traces)
 

@@ -32,8 +32,9 @@ from repro.cloud.pool import (
     TenantRegistry,
     TenantSpec,
 )
+from repro.core.epochs import FleetPlanner
 from repro.core.serving import ServingSimulator, ServingStream
-from repro.workloads.synthetic import make_scale_trace
+from repro.workloads.synthetic import make_epoch_trace, make_scale_trace
 from repro.workloads.trace import (
     ColumnarTrace,
     PoissonTraceGenerator,
@@ -99,6 +100,8 @@ def report_signature(report) -> dict:
         "aliens": report.n_aliens,
         "retrains": report.n_retrains,
         "warm": report.warm_start_rate,
+        "epochs": report.epochs_planned,
+        "prewarm": report.prewarm_cost_dollars,
     }
 
 
@@ -208,6 +211,34 @@ class TestEngineEquivalence:
         assert reused.n_queries == len(trace)
         assert reused.n_retrains > 0
 
+    def test_vector_submission_with_planner_matches(self):
+        # The pinned noise convention for compiled-plan submission is
+        # event+presample vs columnar+vector (both consume the duration
+        # rng stream identically).  A live planner adds epoch ticks and
+        # pre-boots to both engines; they must stay field-for-field
+        # equivalent, pre-warm ledger included.
+        trace = make_trace(n_minutes=8.0)
+        planner = FleetPlanner(
+            epoch_s=60.0, max_prewarm_vms=4, max_prewarm_sls=8
+        )
+        event = replay(
+            "event", trace, submission="presample", planner=planner
+        )
+        vector = replay(
+            "columnar",
+            trace,
+            decision_reuse=False,
+            submission="vector",
+            planner=planner,
+        )
+        assert event.epochs_planned > 0
+        assert event.pool_stats.prewarms > 0
+        assert report_signature(event) == report_signature(vector)
+        assert event.pool_stats == vector.pool_stats
+        assert event.prewarm_cost_dollars == vector.prewarm_cost_dollars
+        for a, b in zip(event.served, vector.served):
+            assert served_signature(a) == served_signature(b)
+
     def test_decision_reuse_skips_forest_passes(self):
         trace = make_trace()
         cold = replay("columnar", trace, decision_reuse=False)
@@ -293,6 +324,43 @@ class TestStreamingReports:
         assert stats.peak_leased_vms == max(
             left.pool_stats.peak_leased_vms,
             right.pool_stats.peak_leased_vms,
+        )
+
+    def test_streaming_carries_planner_counters(self):
+        # keep_queries=False drops the per-query list, never the plan
+        # ledger: epochs_planned and the pre-warm sub-ledger must stream
+        # through intact, and chargeback must still conserve (pre-warm
+        # spend is INSIDE the keep-alive slice, not a new slice).
+        trace = make_trace(n_minutes=8.0)
+        planner = FleetPlanner(
+            epoch_s=60.0, max_prewarm_vms=4, max_prewarm_sls=8
+        )
+        kept = replay("columnar", trace, keep_queries=True, planner=planner)
+        streamed = replay(
+            "columnar", trace, keep_queries=False, planner=planner
+        )
+        assert kept.epochs_planned > 0
+        assert streamed.epochs_planned == kept.epochs_planned
+        assert streamed.pool_stats.prewarms == kept.pool_stats.prewarms
+        assert streamed.prewarm_cost_dollars == kept.prewarm_cost_dollars
+        assert 0.0 < streamed.prewarm_cost_dollars <= (
+            streamed.keepalive_cost_dollars
+        )
+        assert streamed.total_cost_dollars == pytest.approx(
+            streamed.query_cost_dollars
+            + streamed.keepalive_cost_dollars
+            + streamed.wasted_cost_dollars,
+            rel=1e-12,
+        )
+        bills = streamed.chargeback()
+        assert math.fsum(bills.values()) == pytest.approx(
+            streamed.total_cost_dollars, rel=1e-12, abs=1e-15
+        )
+        # Merging streamed reports adds the plan counters.
+        merged = streamed.merge(kept)
+        assert merged.epochs_planned == 2 * kept.epochs_planned
+        assert merged.prewarm_cost_dollars == pytest.approx(
+            2 * kept.prewarm_cost_dollars
         )
 
     def test_merge_slo_mismatch_rejected(self):
@@ -424,3 +492,48 @@ class TestScaleTraceGenerator:
             make_scale_trace(10, diurnal_amplitude=1.5)
         with pytest.raises(ValueError):
             make_scale_trace(10, input_gb_octaves=())
+
+
+class TestEpochTraceGenerator:
+    def test_deterministic_and_sorted(self):
+        a = make_epoch_trace(2_000, period_s=1_800.0, n_periods=6, rng=5)
+        b = make_epoch_trace(2_000, period_s=1_800.0, n_periods=6, rng=5)
+        assert np.array_equal(a.arrival_s, b.arrival_s)
+        assert np.array_equal(a.query_index, b.query_index)
+        assert np.all(np.diff(a.arrival_s) >= 0)
+        assert len(a) == 2_000
+        assert a.arrival_s[-1] <= 1_800.0 * 6
+
+    def test_trace_is_seasonal(self):
+        # Near-identical arrival counts every period, and the burst
+        # lands at the same phase each time -- the structure the
+        # seasonal-naive forecaster is built to exploit.
+        trace = make_epoch_trace(
+            4_000, period_s=1_800.0, n_periods=8, burst_phase=0.6, rng=3
+        )
+        counts, _ = np.histogram(
+            trace.arrival_s, bins=8, range=(0.0, 1_800.0 * 8)
+        )
+        assert counts.max() - counts.min() <= 2
+        phase = (trace.arrival_s % 1_800.0) / 1_800.0
+        in_burst = ((phase > 0.45) & (phase < 0.75)).mean()
+        assert in_burst > 0.5  # 0.3 of the period carries the majority
+
+    def test_zero_jitter_ignores_rng(self):
+        a = make_epoch_trace(500, jitter=0.0, rng=1)
+        b = make_epoch_trace(500, jitter=0.0, rng=2)
+        assert np.array_equal(a.arrival_s, b.arrival_s)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            make_epoch_trace(0)
+        with pytest.raises(ValueError):
+            make_epoch_trace(10, burst_phase=1.5)
+        with pytest.raises(ValueError):
+            make_epoch_trace(10, burst_width_fraction=0.5)
+        with pytest.raises(ValueError):
+            make_epoch_trace(10, burst_factor=0.5)
+        with pytest.raises(ValueError):
+            make_epoch_trace(10, jitter=2.0)
+        with pytest.raises(ValueError):
+            make_epoch_trace(10, n_periods=0)
